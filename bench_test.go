@@ -1,0 +1,530 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design choices DESIGN.md
+// calls out. Each artifact bench runs the corresponding §4 analysis over
+// a shared study run (built once) and reports both wall time and, under
+// -v via b.Log, the regenerated rows/series. Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/graph"
+	"repro/internal/honeypot"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+var (
+	benchOnce    sync.Once
+	benchStudy   *core.Study
+	benchResults *core.Results
+	benchErr     error
+)
+
+// benchSetup runs the 13-campaign study once at 1/4 scale and caches it
+// for all artifact benches.
+func benchSetup(b *testing.B) (*core.Study, *core.Results) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg, err := core.ScaledConfig(2014, 0.25)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		s, err := core.NewStudy(cfg)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		res, err := s.Run()
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchStudy, benchResults = s, res
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy, benchResults
+}
+
+func analysisCampaigns(res *core.Results) []analysis.Campaign {
+	out := make([]analysis.Campaign, 0, len(res.Campaigns))
+	for _, c := range res.Campaigns {
+		out = append(out, analysis.Campaign{
+			ID: c.Spec.ID, Provider: c.Spec.Provider, Page: c.Page,
+			Likers: c.Likers, Active: c.Active,
+		})
+	}
+	return out
+}
+
+// BenchmarkTable1Campaigns regenerates Table 1: the campaign roster with
+// garnered likes, monitoring spans, and terminated accounts (including
+// the §5 month-later sweep, E9).
+func BenchmarkTable1Campaigns(b *testing.B) {
+	_, res := benchSetup(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = res.RenderTable1()
+	}
+	b.StopTimer()
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure1Geolocation regenerates Figure 1: liker geolocation
+// per campaign.
+func BenchmarkFigure1Geolocation(b *testing.B) {
+	s, res := benchSetup(b)
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	var rows []analysis.GeoRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = analysis.LocationBreakdown(s.Store(), camps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatal("no geolocation rows")
+	}
+	b.Log("\n" + res.RenderFigure1())
+}
+
+// BenchmarkTable2Demographics regenerates Table 2: gender/age
+// distributions and KL divergence vs the global Facebook population.
+func BenchmarkTable2Demographics(b *testing.B) {
+	s, res := benchSetup(b)
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	var rows []analysis.DemoRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = analysis.Demographics(s.Store(), camps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatal("no demographics rows")
+	}
+	b.Log("\n" + res.RenderTable2())
+}
+
+// BenchmarkFigure2Temporal regenerates Figure 2: the cumulative like
+// time series and the burst-vs-trickle statistics.
+func BenchmarkFigure2Temporal(b *testing.B) {
+	_, res := benchSetup(b)
+	b.ResetTimer()
+	var bursts []analysis.BurstStats
+	for i := 0; i < b.N; i++ {
+		bursts = bursts[:0]
+		for _, ts := range res.Temporal {
+			bursts = append(bursts, analysis.Burstiness(ts))
+		}
+	}
+	b.StopTimer()
+	if len(bursts) != len(res.Temporal) {
+		b.Fatal("burst stats incomplete")
+	}
+	b.Log("\n" + res.RenderFigure2())
+}
+
+// BenchmarkTable3SocialGraph regenerates Table 3: likers, public friend
+// lists, friend-count statistics, and direct + 2-hop liker friendships
+// per provider (including the ALMS shared-operator group).
+func BenchmarkTable3SocialGraph(b *testing.B) {
+	s, res := benchSetup(b)
+	camps := analysisCampaigns(res)
+	base := s.Store().FriendGraph()
+	b.ResetTimer()
+	var rows []analysis.ProviderGroupRow
+	for i := 0; i < b.N; i++ {
+		ga := analysis.AssignGroups(camps, core.FarmAuthenticLikes, core.FarmMammothSocials)
+		var err error
+		rows, err = analysis.SocialGraphTable(s.Store(), ga, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatal("no Table 3 rows")
+	}
+	b.Log("\n" + res.RenderTable3())
+}
+
+// BenchmarkFigure3LikerGraph regenerates Figure 3: the direct and 2-hop
+// liker friendship graphs and their component census.
+func BenchmarkFigure3LikerGraph(b *testing.B) {
+	s, res := benchSetup(b)
+	base := s.Store().FriendGraph()
+	b.ResetTimer()
+	var direct, twoHop *graph.Undirected
+	for i := 0; i < b.N; i++ {
+		direct, twoHop = analysis.LikerGraphs(res.Groups, base)
+	}
+	b.StopTimer()
+	if direct.NumNodes() == 0 || twoHop.NumEdges() < direct.NumEdges() {
+		b.Fatal("liker graphs malformed")
+	}
+	b.Log("\n" + res.RenderFigure3())
+}
+
+// BenchmarkFigure4PageLikeCDF regenerates Figure 4: the distribution of
+// page-like counts for every campaign's likers plus the organic baseline
+// sample.
+func BenchmarkFigure4PageLikeCDF(b *testing.B) {
+	s, res := benchSetup(b)
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	var cdfs []analysis.PageLikeCDF
+	for i := 0; i < b.N; i++ {
+		var err error
+		cdfs, err = analysis.PageLikeCDFs(s.Store(), camps, res.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(cdfs) == 0 {
+		b.Fatal("no CDFs")
+	}
+	b.Log("\n" + res.RenderFigure4())
+}
+
+// BenchmarkFigure5Jaccard regenerates Figure 5: the 13x13 Jaccard
+// similarity matrices over campaigns' page-like sets and liker sets.
+func BenchmarkFigure5Jaccard(b *testing.B) {
+	s, res := benchSetup(b)
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	var pageSim [][]float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		pageSim, _, err = analysis.JaccardMatrices(s.Store(), camps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(pageSim) != len(camps) {
+		b.Fatal("matrix size mismatch")
+	}
+	b.Log("\n" + res.RenderFigure5())
+}
+
+// BenchmarkFullStudy measures the complete end-to-end pipeline — world
+// build, 13 campaigns, monitoring, sweep, all analyses — at 1/10 scale.
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := core.ScaledConfig(int64(i)+1, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := core.NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches (design choices called out in DESIGN.md §4) ----
+
+type ablationWorld struct {
+	r     *rand.Rand
+	st    *socialnet.Store
+	pop   *socialnet.Population
+	clock *simclock.Clock
+}
+
+func newAblationWorld(b *testing.B, seed int64) *ablationWorld {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	st := socialnet.NewStore()
+	spec := socialnet.DefaultPopulationSpec()
+	spec.NumUsers = 400
+	spec.NumAmbientPages = 500
+	pop, err := socialnet.GeneratePopulation(r, st, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &ablationWorld{r: r, st: st, pop: pop, clock: simclock.New(core.StudyStart)}
+}
+
+func ablationPool(b *testing.B, w *ablationWorld, kind accounts.TopologyKind) *accounts.Cohort {
+	b.Helper()
+	spec := accounts.CohortSpec{
+		Name: "ablation-pool", Size: 600,
+		Kind:              socialnet.KindFarmBot,
+		Operator:          "ablation",
+		CountryMix:        stats.MustCategorical([]string{socialnet.CountryUSA}, []float64{1}),
+		Profile:           socialnet.GlobalFacebookProfile(),
+		FriendsPublicFrac: 0.5,
+		Topology: accounts.TopologySpec{
+			Kind: kind, InternalPairFrac: 0.1, TripletFrac: 0.3,
+			CoreK: 4, CoreBeta: 0.1,
+			DeclaredMedian: 200, DeclaredSigma: 0.8,
+		},
+		// Bursty histories give the bots their detectable signature.
+		Cover:     accounts.CoverSpec{LikeMedian: 150, LikeSigma: 0.8, MaxLikes: 500, Bursty: true},
+		CreatedAt: core.StudyStart.AddDate(-1, 0, 0),
+	}
+	c, err := accounts.Build(w.r, w.st, w.pop, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAblationDeliveryModes contrasts the two §5 modi operandi:
+// burst vs trickle delivery of the same order (drives Figure 2's
+// separation).
+func BenchmarkAblationDeliveryModes(b *testing.B) {
+	for _, mode := range []farm.Mode{farm.ModeBurst, farm.ModeTrickle} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newAblationWorld(b, int64(i)+1)
+				pool := ablationPool(b, w, accounts.TopologyIslands)
+				f, err := farm.New(w.r, w.st, farm.Config{Name: "A", Mode: mode}, pool, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				page, _ := w.st.AddPage(socialnet.Page{Name: "p", Honeypot: true})
+				b.StartTimer()
+				if err := f.PlaceOrder(w.clock, farm.Order{
+					Campaign: "c", Page: page, Quantity: 400, DurationDays: 15,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				w.clock.Drain(0)
+				if w.st.LikeCountOfPage(page) != 400 {
+					b.Fatal("order under-delivered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFarmTopology contrasts the farm graph structures:
+// pair/triplet islands vs a connected Watts–Strogatz core (drives
+// Table 3 / Figure 3).
+func BenchmarkAblationFarmTopology(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		kind accounts.TopologyKind
+	}{{"islands", accounts.TopologyIslands}, {"core", accounts.TopologyCore}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newAblationWorld(b, int64(i)+1)
+				b.StartTimer()
+				pool := ablationPool(b, w, tc.kind)
+				ids := make([]int64, len(pool.Members))
+				for j, m := range pool.Members {
+					ids[j] = int64(m)
+				}
+				sub := w.st.FriendGraph().InducedSubgraph(ids)
+				frac := sub.LargestComponentFraction()
+				switch tc.kind {
+				case accounts.TopologyCore:
+					if frac < 0.9 {
+						b.Fatalf("core fragmented: %v", frac)
+					}
+				case accounts.TopologyIslands:
+					if frac > 0.1 {
+						b.Fatalf("islands merged: %v", frac)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAccountReuse contrasts account rotation against
+// biased reuse between two orders of one operator (drives Figure 5(b)'s
+// AL/MS liker overlap and the ALMS group).
+func BenchmarkAblationAccountReuse(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		reuseBias float64
+	}{{"rotate", 0}, {"reuse", 0.65}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newAblationWorld(b, int64(i)+1)
+				pool := ablationPool(b, w, accounts.TopologyIslands)
+				f, err := farm.New(w.r, w.st, farm.Config{Name: "A", Mode: farm.ModeBurst, RotateAccounts: true}, pool, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p1, _ := w.st.AddPage(socialnet.Page{Name: "p1", Honeypot: true})
+				p2, _ := w.st.AddPage(socialnet.Page{Name: "p2", Honeypot: true})
+				b.StartTimer()
+				if err := f.PlaceOrder(w.clock, farm.Order{Campaign: "o1", Page: p1, Quantity: 250, DurationDays: 3}); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.PlaceOrder(w.clock, farm.Order{
+					Campaign: "o2", Page: p2, Quantity: 250, DurationDays: 3, ReuseBias: tc.reuseBias,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				w.clock.Drain(0)
+				l1 := map[socialnet.UserID]bool{}
+				for _, lk := range w.st.LikesOfPage(p1) {
+					l1[lk.User] = true
+				}
+				overlap := 0
+				for _, lk := range w.st.LikesOfPage(p2) {
+					if l1[lk.User] {
+						overlap++
+					}
+				}
+				if tc.reuseBias == 0 && overlap > 10 {
+					b.Fatalf("rotation produced overlap %d", overlap)
+				}
+				if tc.reuseBias > 0 && overlap < 100 {
+					b.Fatalf("reuse bias produced overlap %d", overlap)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFraudSweep contrasts sweep aggressiveness against the
+// bot cohort (drives Table 1's termination counts).
+func BenchmarkAblationFraudSweep(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  platform.FraudSweepConfig
+	}{
+		{"paper-rate", platform.DefaultFraudSweepConfig()},
+		{"aggressive", platform.FraudSweepConfig{BaseRate: 0.5, MinScore: 0.2}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newAblationWorld(b, int64(i)+1)
+				pool := ablationPool(b, w, accounts.TopologyIslands)
+				ledger := accounts.NewLedger(w.pop, core.StudyStart)
+				ledger.Register(pool)
+				if _, err := ledger.Materialize(w.r, w.st, pool.Members); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := platform.FraudSweep(w.r, w.st, pool.Members, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.cfg.BaseRate >= 0.5 && len(res.Terminated) == 0 {
+					b.Fatal("aggressive sweep terminated nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMonitorCadence contrasts the paper's 2-hour poll
+// cadence against daily polling: the coarse monitor cannot resolve
+// burst deliveries (first-seen timestamps collapse onto day boundaries),
+// which is why §3 crawled every two hours.
+func BenchmarkAblationMonitorCadence(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		interval time.Duration
+	}{{"2h-paper", 2 * time.Hour}, {"daily", 24 * time.Hour}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newAblationWorld(b, int64(i)+1)
+				pool := ablationPool(b, w, accounts.TopologyIslands)
+				f, err := farm.New(w.r, w.st, farm.Config{Name: "A", Mode: farm.ModeBurst}, pool, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				page, _ := w.st.AddPage(socialnet.Page{Name: "p", Honeypot: true})
+				if err := f.PlaceOrder(w.clock, farm.Order{
+					Campaign: "c", Page: page, Quantity: 300, DurationDays: 3, Bursts: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				cfg := honeypot.DefaultMonitorConfig(3)
+				cfg.ActiveInterval = tc.interval
+				b.StartTimer()
+				mon, err := honeypot.StartMonitor(w.clock, w.st, page, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.clock.Drain(0)
+				if mon.TotalLikes() != 300 {
+					b.Fatalf("observed %d likes", mon.TotalLikes())
+				}
+				// Resolution check: distinct first-seen instants.
+				instants := map[int64]struct{}{}
+				for _, u := range mon.Likers() {
+					ts, _ := mon.FirstSeen(u)
+					instants[ts.UnixNano()] = struct{}{}
+				}
+				if tc.interval == 2*time.Hour && len(instants) < 1 {
+					b.Fatal("fine cadence lost all resolution")
+				}
+				if tc.interval == 24*time.Hour && len(instants) > 3 {
+					b.Fatalf("daily cadence resolved %d instants for a one-burst delivery", len(instants))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorPolling measures the §3 monitoring loop in isolation:
+// one page, 15 virtual days of 2-hour polls over a 1000-like stream.
+func BenchmarkMonitorPolling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := socialnet.NewStore()
+		page, _ := st.AddPage(socialnet.Page{Name: "p", Honeypot: true})
+		clock := simclock.New(core.StudyStart)
+		r := rand.New(rand.NewSource(int64(i) + 1))
+		for j := 0; j < 1000; j++ {
+			u := st.AddUser(socialnet.User{Country: "USA"})
+			at := time.Duration(r.Int63n(int64(15 * 24 * time.Hour)))
+			_, _ = clock.ScheduleAfter(at, "like", func(cl *simclock.Clock) {
+				_ = st.AddLike(u, page, cl.Now())
+			})
+		}
+		b.StartTimer()
+		mon, err := honeypot.StartMonitor(clock, st, page, honeypot.DefaultMonitorConfig(15))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clock.Drain(0)
+		if mon.TotalLikes() != 1000 {
+			b.Fatalf("monitor observed %d likes", mon.TotalLikes())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Command farmctl inspects the like-farm models of the study
+// configuration and runs single ad-hoc orders against a fresh world,
+// printing the delivery profile — a workbench for the two modi operandi
+// (burst vs trickle) outside the full 13-campaign study.
+//
+// Usage:
+//
+//	farmctl list                                  # show configured farms
+//	farmctl order -farm SocialFormula.com -count 500 -country USA [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		listFarms()
+	case "order":
+		runOrder(os.Args[2:])
+	case "prices":
+		listPrices()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: farmctl list | farmctl prices | farmctl order -farm NAME -count N [-country C] [-seed N]")
+	os.Exit(2)
+}
+
+func listPrices() {
+	prices := farm.PaperPriceList()
+	value := farm.ValuePerLikeEstimates()
+	fmt.Printf("%-22s %-10s %10s\n", "FARM", "LOCATION", "PER 1000")
+	cfg := core.DefaultConfig(1)
+	for _, fs := range cfg.Farms {
+		for _, loc := range prices.Locations(fs.Config.Name) {
+			if p, ok := prices.Price(fs.Config.Name, loc); ok {
+				fmt.Printf("%-22s %-10s %9.2f$\n", fs.Config.Name, loc, p)
+			}
+		}
+	}
+	fmt.Printf("\nper-like value estimates (§1): ChompOn $%.2f, range $%.2f-$%.2f\n",
+		value["ChompOn"], value["low"], value["high"])
+}
+
+func listFarms() {
+	cfg := core.DefaultConfig(1)
+	fmt.Printf("%-22s %-8s %-10s %-8s %s\n", "FARM", "MODE", "POOL", "SIZE", "NOTES")
+	for _, fs := range cfg.Farms {
+		size := fs.Pool.Size
+		notes := []string{}
+		if fs.Config.IgnoreTargeting {
+			notes = append(notes, "ignores-targeting")
+		}
+		if fs.Config.RotateAccounts {
+			notes = append(notes, "rotates-accounts")
+		}
+		if size == 0 {
+			notes = append(notes, "shares pool "+fs.PoolName)
+		}
+		fmt.Printf("%-22s %-8s %-10s %-8d %s\n",
+			fs.Config.Name, fs.Config.Mode, fs.PoolName, size, strings.Join(notes, ","))
+	}
+}
+
+func runOrder(args []string) {
+	fs := flag.NewFlagSet("order", flag.ExitOnError)
+	farmName := fs.String("farm", core.FarmSocialFormula, "farm brand name")
+	count := fs.Int("count", 500, "likes to order")
+	country := fs.String("country", "", "target country (empty = worldwide)")
+	seed := fs.Int64("seed", 1, "random seed")
+	_ = fs.Parse(args)
+
+	cfg := core.DefaultConfig(*seed)
+	var setup *core.FarmSetup
+	var poolSetup *core.FarmSetup
+	for i := range cfg.Farms {
+		if cfg.Farms[i].Config.Name == *farmName {
+			setup = &cfg.Farms[i]
+		}
+	}
+	if setup == nil {
+		fmt.Fprintf(os.Stderr, "farmctl: unknown farm %q (try farmctl list)\n", *farmName)
+		os.Exit(1)
+	}
+	for i := range cfg.Farms {
+		if cfg.Farms[i].PoolName == setup.PoolName && cfg.Farms[i].Pool.Size > 0 {
+			poolSetup = &cfg.Farms[i]
+			break
+		}
+	}
+	if poolSetup == nil {
+		fmt.Fprintf(os.Stderr, "farmctl: farm %q has no pool definition\n", *farmName)
+		os.Exit(1)
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	st := socialnet.NewStore()
+	popSpec := socialnet.DefaultPopulationSpec()
+	popSpec.NumUsers = 1000
+	popSpec.NumAmbientPages = 1000
+	pop, err := socialnet.GeneratePopulation(r, st, popSpec)
+	if err != nil {
+		fail(err)
+	}
+	cohort, err := accounts.Build(r, st, pop, poolSetup.Pool)
+	if err != nil {
+		fail(err)
+	}
+	f, err := farm.New(r, st, setup.Config, cohort, nil)
+	if err != nil {
+		fail(err)
+	}
+	page, err := st.AddPage(socialnet.Page{Name: "farmctl-target", Honeypot: true})
+	if err != nil {
+		fail(err)
+	}
+	clock := simclock.New(core.StudyStart)
+	order := farm.Order{
+		Campaign: "adhoc", Page: page, Quantity: *count,
+		DurationDays: 15, TargetCountry: *country,
+	}
+	if err := f.PlaceOrder(clock, order); err != nil {
+		fail(err)
+	}
+	clock.Drain(0)
+
+	likes := st.LikesOfPage(page)
+	fmt.Printf("farm %s delivered %d/%d likes (%s mode)\n", *farmName, len(likes), *count, f.Mode())
+	perDay := map[int]int{}
+	countries := map[string]int{}
+	for _, lk := range likes {
+		perDay[int(lk.At.Sub(core.StudyStart)/(24*time.Hour))]++
+		u, _ := st.User(lk.User)
+		countries[u.Country]++
+	}
+	fmt.Println("delivery by day:")
+	for d := 0; d <= 15; d++ {
+		if n := perDay[d]; n > 0 {
+			fmt.Printf("  day %2d: %4d %s\n", d, n, strings.Repeat("#", n/5+1))
+		}
+	}
+	fmt.Println("delivery by country:")
+	for c, n := range countries {
+		fmt.Printf("  %-10s %d\n", c, n)
+	}
+	rep, err := platform.ReportFor(st, page)
+	if err == nil {
+		fpc, mpc := rep.FemaleMaleSplit()
+		fmt.Printf("liker demographics: %.0f%%F/%.0f%%M, KL vs global: ", fpc, mpc)
+		if kl, err := rep.KLvsGlobal(); err == nil {
+			fmt.Printf("%.2f bits\n", kl)
+		} else {
+			fmt.Println("n/a")
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "farmctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command honeypotd builds the simulated world, runs the 13 honeypot
+// campaigns in virtual time, and then serves the resulting platform
+// state over HTTP so it can be crawled like the 2014 Facebook surface.
+//
+// Usage:
+//
+//	honeypotd [-addr :8080] [-seed N] [-scale 0.25] [-token secret]
+//
+// Endpoints: /api/page/{id}, /api/page/{id}/likes, /api/user/{id},
+// /api/user/{id}/friends, /api/user/{id}/likes, /api/directory,
+// /api/admin/report/{id} (X-Admin-Token), /api/healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/socialnet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	seed := flag.Int64("seed", 2014, "random seed")
+	scale := flag.Float64("scale", 0.25, "study scale in (0,1]")
+	token := flag.String("token", "honeypot-admin", "admin token for /api/admin (empty disables)")
+	rps := flag.Float64("rps", 0, "rate-limit requests/second (0 = unlimited)")
+	load := flag.String("load", "", "serve a world snapshot instead of building one")
+	save := flag.String("save", "", "write the built world to a snapshot file before serving")
+	flag.Parse()
+
+	var store *socialnet.Store
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fail(err)
+		}
+		store, err = socialnet.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded world snapshot %s (%d users, %d pages)\n",
+			*load, store.NumUsers(), store.NumPages())
+	} else {
+		cfg, err := core.ScaledConfig(*seed, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
+		start := time.Now()
+		study, err := core.NewStudy(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res, err := study.Run()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "world ready in %s\n", time.Since(start).Round(time.Millisecond))
+		for _, c := range res.Campaigns {
+			fmt.Fprintf(os.Stderr, "  %-8s page=%d likes=%d\n", c.Spec.ID, c.Page, c.Likes)
+		}
+		store = study.Store()
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fail(err)
+			}
+			if err := store.WriteSnapshot(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "world snapshot written to %s\n", *save)
+		}
+	}
+
+	var handler http.Handler = api.NewServer(store, *token)
+	if *rps > 0 {
+		handler = api.Throttle(handler, *rps, int(*rps)+1)
+	}
+	fmt.Fprintf(os.Stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "honeypotd: %v\n", err)
+	os.Exit(1)
+}

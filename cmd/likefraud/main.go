@@ -1,0 +1,93 @@
+// Command likefraud runs the full honeypot study reproduction and prints
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	likefraud [-seed N] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2014, "random seed (runs are deterministic per seed)")
+	scale := flag.Float64("scale", 1.0, "study scale in (0,1]")
+	artifact := flag.String("artifact", "all", "which artifact to print: all, table1, table2, table3, fig1..fig5, removed, econ")
+	outdir := flag.String("outdir", "", "also write CSV/DOT artifacts to this directory")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	start := time.Now()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "building world and running 13 campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
+	}
+	cfg, err := core.ScaledConfig(*seed, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
+		os.Exit(1)
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := study.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "done in %s (%d cover likes materialized)\n",
+			time.Since(start).Round(time.Millisecond), res.HistoryLikes)
+	}
+	if *outdir != "" {
+		files, err := res.WriteArtifacts(*outdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
+			os.Exit(1)
+		}
+		dots, err := study.WriteFigure3DOT(res, *outdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d artifacts to %s\n", len(files)+len(dots), *outdir)
+		}
+	}
+
+	switch strings.ToLower(*artifact) {
+	case "all":
+		fmt.Println(res.RenderAll())
+	case "table1":
+		fmt.Println(res.RenderTable1())
+	case "table2":
+		fmt.Println(res.RenderTable2())
+	case "table3":
+		fmt.Println(res.RenderTable3())
+	case "fig1":
+		fmt.Println(res.RenderFigure1())
+	case "fig2":
+		fmt.Println(res.RenderFigure2())
+	case "fig3":
+		fmt.Println(res.RenderFigure3())
+	case "fig4":
+		fmt.Println(res.RenderFigure4())
+	case "fig5":
+		fmt.Println(res.RenderFigure5())
+	case "removed":
+		fmt.Println(res.RenderRemovedLikes())
+	case "econ":
+		fmt.Println(res.RenderEconomics())
+	default:
+		fmt.Fprintf(os.Stderr, "likefraud: unknown artifact %q\n", *artifact)
+		os.Exit(2)
+	}
+}

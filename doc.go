@@ -1,0 +1,16 @@
+// Package repro reproduces "Paying for Likes? Understanding Facebook
+// Like Fraud Using Honeypots" (De Cristofaro, Friedman, Jourjon, Kaafar,
+// Shafiq — IMC 2014) as a simulation-backed Go library.
+//
+// The paper's measurement infrastructure — thirteen honeypot Facebook
+// pages promoted via page-like ads and four commercial like farms — is
+// rebuilt in internal packages: a social-network world (socialnet), the
+// platform's ad engine / reports tool / fraud sweep (platform), the farm
+// operator models (farm, accounts), the honeypot monitor (honeypot), the
+// HTTP crawl surface (api, crawler), the §4 analyses (analysis, graph,
+// stats, detect), and the end-to-end study driver (core).
+//
+// The root-level benchmarks (bench_test.go) regenerate every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured values.
+package repro

@@ -1,0 +1,94 @@
+// Quickstart: deploy one honeypot page, buy likes from a burst farm,
+// monitor the page on the paper's cadence, and print what the like
+// stream looks like — the smallest end-to-end tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/farm"
+	"repro/internal/honeypot"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+	st := socialnet.NewStore()
+
+	// 1. An organic world to embed the farm in.
+	popSpec := socialnet.DefaultPopulationSpec()
+	popSpec.NumUsers = 500
+	popSpec.NumAmbientPages = 600
+	pop, err := socialnet.GeneratePopulation(r, st, popSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d organic users, %d ambient pages\n", len(pop.Users), len(pop.AmbientPages))
+
+	// 2. A burst farm with 300 disposable Turkish accounts.
+	pool, err := accounts.Build(r, st, pop, accounts.CohortSpec{
+		Name: "demo-farm-pool", Size: 300,
+		Kind:              socialnet.KindFarmBot,
+		Operator:          "DemoFarm",
+		CountryMix:        stats.MustCategorical([]string{socialnet.CountryTurkey}, []float64{1}),
+		Profile:           socialnet.GlobalFacebookProfile(),
+		FriendsPublicFrac: 0.6, SearchableFrac: 0,
+		Topology: accounts.TopologySpec{
+			Kind: accounts.TopologyIslands, InternalPairFrac: 0.1, TripletFrac: 0.3,
+			DeclaredMedian: 150, DeclaredSigma: 0.9,
+		},
+		Cover:     accounts.CoverSpec{LikeMedian: 200, LikeSigma: 0.8, MaxLikes: 1000, Bursty: true},
+		CreatedAt: time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	demoFarm, err := farm.New(r, st, farm.Config{Name: "DemoFarm", Mode: farm.ModeBurst}, pool, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Deploy the honeypot and place a 250-like order.
+	start := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	clock := simclock.New(start)
+	page, _, err := honeypot.Deploy(st, "QUICKSTART", start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = demoFarm.PlaceOrder(clock, farm.Order{
+		Campaign: "QS-1", Page: page, Quantity: 250, DurationDays: 3, Bursts: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Monitor every 2 virtual hours until a quiet week.
+	mon, err := honeypot.StartMonitor(clock, st, page, honeypot.DefaultMonitorConfig(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock.Drain(0)
+
+	stopped, at := mon.Stopped()
+	fmt.Printf("monitor stopped=%v after %d days (at %s)\n",
+		stopped, mon.MonitoringDays(clock.Now()), at.Format("2006-01-02"))
+	fmt.Printf("observed %d likes from %d likers\n", mon.TotalLikes(), len(mon.Likers()))
+
+	series := mon.CumulativeByDay(10)
+	fmt.Println("cumulative likes by day:")
+	for d, v := range series {
+		fmt.Printf("  day %2d: %4d\n", d, v)
+	}
+
+	// 5. The burst signature: how tightly were likes packed?
+	likes := st.LikesOfPage(page)
+	first, last := likes[0].At, likes[len(likes)-1].At
+	fmt.Printf("all %d likes delivered within %s — the bot-farm signature\n",
+		len(likes), last.Sub(first).Round(time.Minute))
+}

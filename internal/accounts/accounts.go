@@ -1,0 +1,457 @@
+// Package accounts builds the account cohorts behind both sides of the
+// study: the click-prone users that Facebook ad campaigns attract and
+// the fake-account pools that like farms operate. A cohort couples
+//
+//   - demographics (gender/age/country mix per Table 2),
+//   - friendship topology (the §4.3 signatures: isolated pairs/triplets
+//     for SocialFormula/AuthenticLikes/MammothSocials, one well-connected
+//     core for BoostLikes, near-isolation for ad clickers),
+//   - declared friend-count distributions (Table 3 averages/medians), and
+//   - a lazily materialized page-like history ("cover likes") that
+//     reproduces Figure 4's inflated like counts and Figure 5(a)'s
+//     page-set overlaps.
+//
+// Histories are lazy because only accounts that actually like a honeypot
+// (or land in the Figure 4 baseline sample) are ever crawled — exactly
+// the visibility the paper's authors had — and because materializing
+// thousand-like histories for every pool account would dominate memory.
+package accounts
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// TopologyKind selects the friendship structure among cohort members.
+type TopologyKind int
+
+// Topology kinds.
+const (
+	// TopologyIslands: members sit in pairs/triplets, mostly with
+	// non-delivering shadow partners, occasionally with each other
+	// (SF/AL/MS signature).
+	TopologyIslands TopologyKind = iota
+	// TopologyCore: members form one connected Watts–Strogatz core
+	// (BoostLikes signature).
+	TopologyCore
+	// TopologySparse: members have no intra-cohort structure beyond
+	// hubs (ad-clicker cohorts; FB likers showed only 6 direct edges).
+	TopologySparse
+)
+
+// TopologySpec configures the structural friendships of a cohort.
+type TopologySpec struct {
+	Kind TopologyKind
+
+	// InternalPairFrac (islands): fraction of members whose island is
+	// formed with other members; the rest pair with shadows. Drives the
+	// count of direct liker–liker edges in Table 3.
+	InternalPairFrac float64
+	// TripletFrac (islands): fraction of islands that are triplets.
+	TripletFrac float64
+
+	// CoreK / CoreBeta (core): Watts–Strogatz parameters.
+	CoreK    int
+	CoreBeta float64
+
+	// HubCount / HubLinksMean: shadow "hub" accounts shared between
+	// members; two members sharing a hub become a 2-hop pair (Figure
+	// 3(b), Table 3 last column).
+	HubCount     int
+	HubLinksMean float64
+
+	// OrganicLinksMean: structural edges into the organic population,
+	// giving likers visible real-looking friends.
+	OrganicLinksMean float64
+
+	// DeclaredMedian / DeclaredSigma: lognormal declared friend-count
+	// (Table 3 column 4-5: e.g. BoostLikes median 850, SocialFormula
+	// 155, MammothSocials 68).
+	DeclaredMedian float64
+	DeclaredSigma  float64
+	// DeclaredMedian2 / DeclaredFrac2 describe an optional second,
+	// cheaper stratum: DeclaredFrac2 of accounts draw their friend
+	// count from a lognormal with this median instead. The AL/MS
+	// operator pool mixes well-padded accounts (median ~343 among AL
+	// likers) with near-bare ones (median 68 among MS likers, 46 in
+	// the reused ALMS group).
+	DeclaredMedian2 float64
+	DeclaredFrac2   float64
+}
+
+// Validate checks the topology parameters.
+func (t *TopologySpec) Validate(size int) error {
+	switch t.Kind {
+	case TopologyIslands:
+		if t.InternalPairFrac < 0 || t.InternalPairFrac > 1 {
+			return fmt.Errorf("accounts: internal pair fraction %v out of [0,1]", t.InternalPairFrac)
+		}
+		if t.TripletFrac < 0 || t.TripletFrac > 1 {
+			return fmt.Errorf("accounts: triplet fraction %v out of [0,1]", t.TripletFrac)
+		}
+	case TopologyCore:
+		if t.CoreK < 2 || t.CoreK%2 != 0 {
+			return fmt.Errorf("accounts: core k=%d must be even >=2", t.CoreK)
+		}
+		if size <= t.CoreK {
+			return fmt.Errorf("accounts: cohort size %d too small for core k=%d", size, t.CoreK)
+		}
+		if t.CoreBeta < 0 || t.CoreBeta > 1 {
+			return fmt.Errorf("accounts: core beta %v out of [0,1]", t.CoreBeta)
+		}
+	case TopologySparse:
+		// nothing
+	default:
+		return fmt.Errorf("accounts: unknown topology kind %d", t.Kind)
+	}
+	if t.HubCount < 0 || t.HubLinksMean < 0 || t.OrganicLinksMean < 0 {
+		return fmt.Errorf("accounts: negative hub/organic parameters")
+	}
+	if t.DeclaredMedian <= 0 || t.DeclaredSigma <= 0 {
+		return fmt.Errorf("accounts: declared friend distribution (median=%v sigma=%v) must be positive", t.DeclaredMedian, t.DeclaredSigma)
+	}
+	if t.DeclaredFrac2 < 0 || t.DeclaredFrac2 > 1 {
+		return fmt.Errorf("accounts: declared stratum-2 fraction %v out of [0,1]", t.DeclaredFrac2)
+	}
+	if t.DeclaredFrac2 > 0 && t.DeclaredMedian2 <= 0 {
+		return fmt.Errorf("accounts: declared stratum-2 median %v must be positive", t.DeclaredMedian2)
+	}
+	return nil
+}
+
+// CoverSlice directs a fraction of a cohort's cover likes at one page
+// block. Which blocks cohorts share determines the Figure 5(a) overlap
+// structure: campaigns of the same farm share job portfolios (near-
+// identical page sets), clicker markets share an "ad-world" block
+// (moderate similarity among FB campaigns), and everyone shares a small
+// global head (the noticeable-but-low cross-channel overlap).
+type CoverSlice struct {
+	Name  string
+	Pages []socialnet.PageID
+	Frac  float64
+}
+
+// CoverSpec configures the lazily generated page-like history of cohort
+// members.
+type CoverSpec struct {
+	// LikeMedian / LikeSigma: lognormal total like count. Farm accounts
+	// carry median 1200–1800, ad clickers 600–1000, BoostLikes ~63
+	// (Figure 4).
+	LikeMedian float64
+	LikeSigma  float64
+	// MaxLikes truncates the tail (paper observed up to ~10,000).
+	MaxLikes int
+	// Slices partition the likes across page blocks; fractions should
+	// sum to <= 1, with any remainder drawn Zipf-weighted from the
+	// ambient catalog. Empty slices = all-ambient.
+	Slices []CoverSlice
+	// Bursty timestamps: when true, history likes cluster into 2-hour
+	// job bursts over past months (bot signature feeding the burst
+	// detector); otherwise they spread uniformly over the past year.
+	Bursty bool
+}
+
+// Validate checks the cover parameters.
+func (c *CoverSpec) Validate() error {
+	if c.LikeMedian <= 0 || c.LikeSigma <= 0 {
+		return fmt.Errorf("accounts: cover like distribution (median=%v sigma=%v) must be positive", c.LikeMedian, c.LikeSigma)
+	}
+	if c.MaxLikes < 1 {
+		return fmt.Errorf("accounts: max likes %d must be >=1", c.MaxLikes)
+	}
+	total := 0.0
+	for _, sl := range c.Slices {
+		if sl.Frac < 0 || sl.Frac > 1 {
+			return fmt.Errorf("accounts: cover slice %q fraction %v out of [0,1]", sl.Name, sl.Frac)
+		}
+		if sl.Frac > 0 && len(sl.Pages) == 0 {
+			return fmt.Errorf("accounts: cover slice %q has no pages", sl.Name)
+		}
+		total += sl.Frac
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("accounts: cover slice fractions sum to %v > 1", total)
+	}
+	return nil
+}
+
+// CohortSpec fully describes a cohort.
+type CohortSpec struct {
+	Name     string
+	Size     int
+	Kind     socialnet.AccountKind
+	Operator string
+
+	// CountryMix draws member countries (e.g. SocialFormula's pool is
+	// Turkish regardless of what the customer ordered).
+	CountryMix *stats.Categorical
+	Profile    *socialnet.Profile
+
+	FriendsPublicFrac float64
+	SearchableFrac    float64
+
+	Topology TopologySpec
+	Cover    CoverSpec
+
+	CreatedAt time.Time
+}
+
+// Validate checks the cohort spec.
+func (s *CohortSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("accounts: cohort without name")
+	}
+	if s.Size < 1 {
+		return fmt.Errorf("accounts: cohort %s size %d must be >=1", s.Name, s.Size)
+	}
+	if s.CountryMix == nil {
+		return fmt.Errorf("accounts: cohort %s has nil country mix", s.Name)
+	}
+	if s.Profile == nil {
+		return fmt.Errorf("accounts: cohort %s has nil profile", s.Name)
+	}
+	if err := s.Profile.Validate(); err != nil {
+		return fmt.Errorf("accounts: cohort %s: %w", s.Name, err)
+	}
+	if s.FriendsPublicFrac < 0 || s.FriendsPublicFrac > 1 || s.SearchableFrac < 0 || s.SearchableFrac > 1 {
+		return fmt.Errorf("accounts: cohort %s fractions out of [0,1]", s.Name)
+	}
+	if err := s.Topology.Validate(s.Size); err != nil {
+		return fmt.Errorf("accounts: cohort %s: %w", s.Name, err)
+	}
+	if err := s.Cover.Validate(); err != nil {
+		return fmt.Errorf("accounts: cohort %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Cohort is a built account pool.
+type Cohort struct {
+	Spec    CohortSpec
+	Members []socialnet.UserID
+	// Shadows are island partners that never deliver likes; Hubs are
+	// shared shadow friends creating mutual-friend (2-hop) relations.
+	Shadows []socialnet.UserID
+	Hubs    []socialnet.UserID
+
+	byCountry map[string][]socialnet.UserID
+}
+
+// Build materializes a cohort into the store: accounts, shadows, hubs,
+// and structural friendships. Histories are NOT generated here; register
+// the cohort with a Ledger and call Materialize for the accounts that
+// end up observed.
+func Build(r *rand.Rand, st *socialnet.Store, pop *socialnet.Population, spec CohortSpec) (*Cohort, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cohort{Spec: spec, byCountry: make(map[string][]socialnet.UserID)}
+
+	declMu, err := stats.LogNormalForMedian(spec.Topology.DeclaredMedian)
+	if err != nil {
+		return nil, err
+	}
+	declDist, err := stats.NewLogNormal(declMu, spec.Topology.DeclaredSigma, 1, 20000)
+	if err != nil {
+		return nil, err
+	}
+	var declDist2 *stats.LogNormal
+	if spec.Topology.DeclaredFrac2 > 0 {
+		mu2, err := stats.LogNormalForMedian(spec.Topology.DeclaredMedian2)
+		if err != nil {
+			return nil, err
+		}
+		declDist2, err = stats.NewLogNormal(mu2, spec.Topology.DeclaredSigma, 1, 20000)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < spec.Size; i++ {
+		country := spec.CountryMix.Sample(r)
+		declared := declDist.SampleInt(r)
+		if declDist2 != nil && stats.Bernoulli(r, spec.Topology.DeclaredFrac2) {
+			declared = declDist2.SampleInt(r)
+		}
+		u := socialnet.User{
+			Gender:          spec.Profile.SampleGender(r),
+			Age:             spec.Profile.SampleAge(r),
+			Country:         country,
+			HomeTown:        socialnet.TownFor(r, country),
+			CurrentTown:     socialnet.TownFor(r, country),
+			FriendsPublic:   stats.Bernoulli(r, spec.FriendsPublicFrac),
+			Searchable:      stats.Bernoulli(r, spec.SearchableFrac),
+			DeclaredFriends: declared,
+			Kind:            spec.Kind,
+			Operator:        spec.Operator,
+			CreatedAt:       spec.CreatedAt,
+		}
+		id := st.AddUser(u)
+		c.Members = append(c.Members, id)
+		c.byCountry[country] = append(c.byCountry[country], id)
+	}
+
+	if err := c.buildTopology(r, st, pop); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cohort) buildTopology(r *rand.Rand, st *socialnet.Store, pop *socialnet.Population) error {
+	spec := c.Spec
+	ids := make([]int64, len(c.Members))
+	for i, m := range c.Members {
+		ids[i] = int64(m)
+	}
+
+	switch spec.Topology.Kind {
+	case TopologyCore:
+		g, err := graph.WattsStrogatz(r, ids, spec.Topology.CoreK, spec.Topology.CoreBeta)
+		if err != nil {
+			return err
+		}
+		for _, e := range g.Edges() {
+			if err := st.Friend(socialnet.UserID(e[0]), socialnet.UserID(e[1])); err != nil {
+				return err
+			}
+		}
+	case TopologyIslands:
+		// Internal islands among members.
+		nInternal := int(float64(len(c.Members)) * spec.Topology.InternalPairFrac)
+		if nInternal > len(c.Members) {
+			nInternal = len(c.Members)
+		}
+		if nInternal >= 2 {
+			idx, err := stats.SampleWithoutReplacement(r, len(c.Members), nInternal)
+			if err != nil {
+				return err
+			}
+			internal := make([]int64, nInternal)
+			for i, j := range idx {
+				internal[i] = int64(c.Members[j])
+			}
+			g, err := graph.PairsAndTriplets(r, internal, spec.Topology.TripletFrac)
+			if err != nil {
+				return err
+			}
+			for _, e := range g.Edges() {
+				if err := st.Friend(socialnet.UserID(e[0]), socialnet.UserID(e[1])); err != nil {
+					return err
+				}
+			}
+		}
+		// External islands: members without an internal island partner
+		// pair with fresh shadows instead.
+		memberSet := make(map[socialnet.UserID]bool, len(c.Members))
+		for _, m := range c.Members {
+			memberSet[m] = true
+		}
+		for _, m := range c.Members {
+			intra := 0
+			for _, f := range st.FriendsOf(m) {
+				if memberSet[f] {
+					intra++
+				}
+			}
+			if intra > 0 {
+				continue
+			}
+			// Pair with 1-2 shadows.
+			nShadow := 1
+			if r.Float64() < spec.Topology.TripletFrac {
+				nShadow = 2
+			}
+			for s := 0; s < nShadow; s++ {
+				sh := c.newShadow(r, st)
+				if err := st.Friend(m, sh); err != nil {
+					return err
+				}
+			}
+		}
+	case TopologySparse:
+		// Mostly no intra-cohort structure; a small InternalPairFrac
+		// yields the handful of coincidental friendships the paper saw
+		// among Facebook-campaign likers (6 edges across 1448 likers).
+		if spec.Topology.InternalPairFrac > 0 {
+			nInternal := int(float64(len(c.Members)) * spec.Topology.InternalPairFrac)
+			if nInternal >= 2 {
+				idx, err := stats.SampleWithoutReplacement(r, len(c.Members), nInternal)
+				if err != nil {
+					return err
+				}
+				for i := 0; i+1 < len(idx); i += 2 {
+					if err := st.Friend(c.Members[idx[i]], c.Members[idx[i+1]]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	// Hubs: shared shadow friends.
+	for h := 0; h < spec.Topology.HubCount; h++ {
+		c.Hubs = append(c.Hubs, c.newShadow(r, st))
+	}
+	if len(c.Hubs) > 0 && spec.Topology.HubLinksMean > 0 {
+		for _, m := range c.Members {
+			k := stats.Poisson(r, spec.Topology.HubLinksMean)
+			for i := 0; i < k; i++ {
+				hub := c.Hubs[r.Intn(len(c.Hubs))]
+				_ = st.Friend(m, hub) // duplicate edges are no-ops
+			}
+		}
+	}
+
+	// Organic ties.
+	if spec.Topology.OrganicLinksMean > 0 && len(pop.Users) > 0 {
+		for _, m := range c.Members {
+			k := stats.Poisson(r, spec.Topology.OrganicLinksMean)
+			for i := 0; i < k; i++ {
+				_ = st.Friend(m, pop.Users[r.Intn(len(pop.Users))])
+			}
+		}
+	}
+	return nil
+}
+
+// newShadow creates a non-delivering, non-searchable account sharing the
+// cohort's demographic profile.
+func (c *Cohort) newShadow(r *rand.Rand, st *socialnet.Store) socialnet.UserID {
+	spec := c.Spec
+	country := spec.CountryMix.Sample(r)
+	u := socialnet.User{
+		Gender:          spec.Profile.SampleGender(r),
+		Age:             spec.Profile.SampleAge(r),
+		Country:         country,
+		HomeTown:        socialnet.TownFor(r, country),
+		CurrentTown:     socialnet.TownFor(r, country),
+		FriendsPublic:   false,
+		Searchable:      false,
+		DeclaredFriends: 1 + r.Intn(40),
+		Kind:            spec.Kind,
+		Operator:        spec.Operator,
+		CreatedAt:       spec.CreatedAt,
+	}
+	id := st.AddUser(u)
+	c.Shadows = append(c.Shadows, id)
+	return id
+}
+
+// MembersByCountry returns the members whose country matches, in ID
+// order. Empty country returns all members.
+func (c *Cohort) MembersByCountry(country string) []socialnet.UserID {
+	var out []socialnet.UserID
+	if country == "" {
+		out = append(out, c.Members...)
+	} else {
+		out = append(out, c.byCountry[country]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,466 @@
+package accounts
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func smallWorld(t *testing.T, seed int64) (*rand.Rand, *socialnet.Store, *socialnet.Population) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	st := socialnet.NewStore()
+	spec := socialnet.DefaultPopulationSpec()
+	spec.NumUsers = 300
+	spec.NumAmbientPages = 400
+	pop, err := socialnet.GeneratePopulation(r, st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, st, pop
+}
+
+func islandSpec(size int) CohortSpec {
+	return CohortSpec{
+		Name: "test-islands", Size: size,
+		Kind:              socialnet.KindFarmBot,
+		Operator:          "op",
+		CountryMix:        stats.MustCategorical([]string{socialnet.CountryTurkey}, []float64{1}),
+		Profile:           socialnet.GlobalFacebookProfile(),
+		FriendsPublicFrac: 0.5, SearchableFrac: 0.1,
+		Topology: TopologySpec{
+			Kind:             TopologyIslands,
+			InternalPairFrac: 0.2,
+			TripletFrac:      0.3,
+			HubCount:         20,
+			HubLinksMean:     0.5,
+			OrganicLinksMean: 0.1,
+			DeclaredMedian:   150,
+			DeclaredSigma:    0.8,
+		},
+		Cover: CoverSpec{
+			LikeMedian: 100, LikeSigma: 0.8, MaxLikes: 500, Bursty: true,
+		},
+		CreatedAt: t0,
+	}
+}
+
+func coreSpec(size int) CohortSpec {
+	s := islandSpec(size)
+	s.Name = "test-core"
+	s.Kind = socialnet.KindFarmStealth
+	s.Topology = TopologySpec{
+		Kind: TopologyCore, CoreK: 4, CoreBeta: 0.1,
+		HubCount: 10, HubLinksMean: 1,
+		DeclaredMedian: 800, DeclaredSigma: 0.8,
+	}
+	s.Cover.Bursty = false
+	return s
+}
+
+func TestBuildIslandCohort(t *testing.T) {
+	r, st, pop := smallWorld(t, 1)
+	c, err := Build(r, st, pop, islandSpec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Members) != 200 {
+		t.Fatalf("members = %d", len(c.Members))
+	}
+	// Every member has at least one friend (island partner or shadow).
+	isolated := 0
+	for _, m := range c.Members {
+		if st.FriendCount(m) == 0 {
+			isolated++
+		}
+	}
+	if isolated > 10 {
+		t.Fatalf("%d members with no island partner at all", isolated)
+	}
+	if len(c.Hubs) != 20 {
+		t.Fatalf("hubs = %d", len(c.Hubs))
+	}
+	if len(c.Shadows) == 0 {
+		t.Fatal("external islands should create shadows")
+	}
+	// Country pinning.
+	u, _ := st.User(c.Members[0])
+	if u.Country != socialnet.CountryTurkey {
+		t.Fatalf("country = %s", u.Country)
+	}
+	if u.Operator != "op" || u.Kind != socialnet.KindFarmBot {
+		t.Fatalf("operator/kind = %s/%s", u.Operator, u.Kind)
+	}
+}
+
+func TestBuildCoreCohortConnected(t *testing.T) {
+	r, st, pop := smallWorld(t, 2)
+	c, err := Build(r, st, pop, coreSpec(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The member-induced subgraph should be one well-connected core.
+	ids := make([]int64, len(c.Members))
+	for i, m := range c.Members {
+		ids[i] = int64(m)
+	}
+	sub := st.FriendGraph().InducedSubgraph(ids)
+	if f := sub.LargestComponentFraction(); f < 0.95 {
+		t.Fatalf("core cohort largest component fraction = %v, want ~1", f)
+	}
+}
+
+func TestIslandCohortComponentsSmall(t *testing.T) {
+	r, st, pop := smallWorld(t, 3)
+	c, err := Build(r, st, pop, islandSpec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, len(c.Members))
+	for i, m := range c.Members {
+		ids[i] = int64(m)
+	}
+	sub := st.FriendGraph().InducedSubgraph(ids)
+	for size := range sub.ComponentSizes() {
+		if size > 4 {
+			t.Fatalf("island cohort has component of size %d", size)
+		}
+	}
+}
+
+func TestDeclaredFriendsCalibration(t *testing.T) {
+	r, st, pop := smallWorld(t, 4)
+	c, err := Build(r, st, pop, coreSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(c.Members))
+	for i, m := range c.Members {
+		counts[i] = float64(st.DeclaredFriendCount(m))
+	}
+	med, err := stats.Median(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 550 || med > 1150 {
+		t.Fatalf("declared median = %v, want ≈800", med)
+	}
+}
+
+func TestDeclaredBimodal(t *testing.T) {
+	r, st, pop := smallWorld(t, 5)
+	spec := islandSpec(600)
+	spec.Topology.DeclaredMedian = 500
+	spec.Topology.DeclaredMedian2 = 30
+	spec.Topology.DeclaredFrac2 = 0.5
+	c, err := Build(r, st, pop, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := 0, 0
+	for _, m := range c.Members {
+		d := st.DeclaredFriendCount(m)
+		if d < 100 {
+			low++
+		}
+		if d >= 100 {
+			high++
+		}
+	}
+	if low < 150 || high < 150 {
+		t.Fatalf("bimodal strata unbalanced: low=%d high=%d", low, high)
+	}
+}
+
+func TestMembersByCountry(t *testing.T) {
+	r, st, pop := smallWorld(t, 6)
+	spec := islandSpec(300)
+	spec.CountryMix = stats.MustCategorical(
+		[]string{socialnet.CountryUSA, socialnet.CountryTurkey}, []float64{0.5, 0.5})
+	c, err := Build(r, st, pop, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usa := c.MembersByCountry(socialnet.CountryUSA)
+	tur := c.MembersByCountry(socialnet.CountryTurkey)
+	all := c.MembersByCountry("")
+	if len(usa)+len(tur) != len(all) || len(all) != 300 {
+		t.Fatalf("partition broken: %d + %d != %d", len(usa), len(tur), len(all))
+	}
+	if len(usa) < 100 || len(tur) < 100 {
+		t.Fatalf("mix skewed: usa=%d tur=%d", len(usa), len(tur))
+	}
+	for _, m := range usa {
+		u, _ := st.User(m)
+		if u.Country != socialnet.CountryUSA {
+			t.Fatalf("wrong country for %d", m)
+		}
+	}
+	if len(c.MembersByCountry("Atlantis")) != 0 {
+		t.Fatal("unknown country should be empty")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mutations := []func(*CohortSpec){
+		func(s *CohortSpec) { s.Name = "" },
+		func(s *CohortSpec) { s.Size = 0 },
+		func(s *CohortSpec) { s.CountryMix = nil },
+		func(s *CohortSpec) { s.Profile = nil },
+		func(s *CohortSpec) { s.FriendsPublicFrac = 2 },
+		func(s *CohortSpec) { s.SearchableFrac = -1 },
+		func(s *CohortSpec) { s.Topology.InternalPairFrac = 2 },
+		func(s *CohortSpec) { s.Topology.TripletFrac = -1 },
+		func(s *CohortSpec) { s.Topology.DeclaredMedian = 0 },
+		func(s *CohortSpec) { s.Topology.DeclaredSigma = 0 },
+		func(s *CohortSpec) { s.Topology.DeclaredFrac2 = 0.5; s.Topology.DeclaredMedian2 = 0 },
+		func(s *CohortSpec) { s.Topology.HubCount = -1 },
+		func(s *CohortSpec) { s.Topology.Kind = TopologyKind(99) },
+		func(s *CohortSpec) { s.Cover.LikeMedian = 0 },
+		func(s *CohortSpec) { s.Cover.MaxLikes = 0 },
+		func(s *CohortSpec) {
+			s.Cover.Slices = []CoverSlice{{Name: "x", Frac: 0.5}}
+		},
+		func(s *CohortSpec) {
+			s.Cover.Slices = []CoverSlice{
+				{Name: "a", Pages: []socialnet.PageID{1}, Frac: 0.7},
+				{Name: "b", Pages: []socialnet.PageID{2}, Frac: 0.7},
+			}
+		},
+	}
+	for i, mut := range mutations {
+		spec := islandSpec(50)
+		mut(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("mutation %d: invalid spec accepted", i)
+		}
+	}
+	coreBad := coreSpec(50)
+	coreBad.Topology.CoreK = 3
+	if err := coreBad.Validate(); err == nil {
+		t.Fatal("odd core k accepted")
+	}
+	coreBad = coreSpec(50)
+	coreBad.Topology.CoreK = 50
+	if err := coreBad.Validate(); err == nil {
+		t.Fatal("core k >= size accepted")
+	}
+}
+
+func TestLedgerMaterializeLazy(t *testing.T) {
+	r, st, pop := smallWorld(t, 7)
+	led := NewLedger(pop, t0)
+	c, err := Build(r, st, pop, islandSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Register(c)
+	if !led.Registered(c.Members[0]) {
+		t.Fatal("members should be registered")
+	}
+	if led.Registered(pop.Users[0]) {
+		t.Fatal("organic users should not be registered")
+	}
+	// Nothing materialized yet.
+	if n := st.LikeCountOfUser(c.Members[0]); n != 0 {
+		t.Fatalf("pre-materialization like count = %d", n)
+	}
+	subset := c.Members[:30]
+	written, err := led.Materialize(r, st, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 {
+		t.Fatal("materialize wrote nothing")
+	}
+	if led.MaterializedCount() != 30 {
+		t.Fatalf("materialized count = %d", led.MaterializedCount())
+	}
+	for _, m := range subset {
+		if st.LikeCountOfUser(m) == 0 {
+			t.Fatalf("member %d has no history", m)
+		}
+	}
+	// Unmaterialized members untouched.
+	if n := st.LikeCountOfUser(c.Members[50]); n != 0 {
+		t.Fatalf("unrequested member has %d likes", n)
+	}
+	// Idempotent.
+	again, err := led.Materialize(r, st, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("second materialize wrote %d likes", again)
+	}
+}
+
+func TestMaterializeHistoryDistinctPages(t *testing.T) {
+	r, st, pop := smallWorld(t, 8)
+	led := NewLedger(pop, t0)
+	c, err := Build(r, st, pop, islandSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Register(c)
+	if _, err := led.Materialize(r, st, c.Members); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.Members[:10] {
+		seen := map[socialnet.PageID]bool{}
+		for _, lk := range st.LikesOfUser(m) {
+			if seen[lk.Page] {
+				t.Fatalf("member %d has duplicate like for page %d", m, lk.Page)
+			}
+			seen[lk.Page] = true
+		}
+	}
+}
+
+func TestMaterializeBurstyTimestamps(t *testing.T) {
+	r, st, pop := smallWorld(t, 9)
+	led := NewLedger(pop, t0)
+	spec := islandSpec(30)
+	spec.Cover.LikeMedian = 300
+	spec.Cover.Bursty = true
+	c, err := Build(r, st, pop, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Register(c)
+	if _, err := led.Materialize(r, st, c.Members); err != nil {
+		t.Fatal(err)
+	}
+	// Bursty accounts should show dense 2-hour windows.
+	found := false
+	for _, m := range c.Members {
+		likes := st.LikesOfUser(m)
+		if len(likes) < 80 {
+			continue
+		}
+		counts := map[int64]int{}
+		for _, lk := range likes {
+			counts[lk.At.UnixNano()/int64(2*time.Hour)]++
+		}
+		for _, n := range counts {
+			if n >= 30 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no dense 2-hour window in bursty history")
+	}
+}
+
+func TestMaterializeWithSlices(t *testing.T) {
+	r, st, pop := smallWorld(t, 10)
+	jobs, err := MakeJobPortfolio(st, "testfarm", 50, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := MakePageBlock(st, "noise", "noise", 80, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := islandSpec(20)
+	spec.Cover.LikeMedian = 60
+	spec.Cover.MaxLikes = 120
+	spec.Cover.Slices = []CoverSlice{
+		{Name: "jobs", Pages: jobs, Frac: 0.5},
+		{Name: "noise", Pages: noise, Frac: 0.5},
+	}
+	c, err := Build(r, st, pop, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger(pop, t0)
+	led.Register(c)
+	if _, err := led.Materialize(r, st, c.Members); err != nil {
+		t.Fatal(err)
+	}
+	jobSet := map[socialnet.PageID]bool{}
+	for _, p := range jobs {
+		jobSet[p] = true
+	}
+	noiseSet := map[socialnet.PageID]bool{}
+	for _, p := range noise {
+		noiseSet[p] = true
+	}
+	for _, m := range c.Members {
+		nJobs, nNoise, nOther := 0, 0, 0
+		for _, lk := range st.LikesOfUser(m) {
+			switch {
+			case jobSet[lk.Page]:
+				nJobs++
+			case noiseSet[lk.Page]:
+				nNoise++
+			default:
+				nOther++
+			}
+		}
+		if nJobs == 0 || nNoise == 0 {
+			t.Fatalf("member %d missing slice likes: jobs=%d noise=%d", m, nJobs, nNoise)
+		}
+		if nOther != 0 {
+			t.Fatalf("member %d has %d likes outside slices (fractions sum to 1)", m, nOther)
+		}
+	}
+}
+
+func TestMakePageBlock(t *testing.T) {
+	st := socialnet.NewStore()
+	ids, err := MakePageBlock(st, "blk", "cat", 10, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 || st.NumPages() != 10 {
+		t.Fatalf("block size %d, pages %d", len(ids), st.NumPages())
+	}
+	p, _ := st.Page(ids[0])
+	if p.Honeypot {
+		t.Fatal("block pages must not be honeypots")
+	}
+	if _, err := MakePageBlock(st, "bad", "cat", 0, t0); err == nil {
+		t.Fatal("size 0 should error")
+	}
+}
+
+func TestHistoryExcludesHoneypots(t *testing.T) {
+	st := socialnet.NewStore()
+	u := st.AddUser(socialnet.User{Country: "USA"})
+	hp, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.AddHistory(u, []socialnet.Like{{Page: hp, At: t0}})
+	if err == nil {
+		t.Fatal("history with honeypot page should error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	run := func() []int {
+		r, st, pop := smallWorld(t, 42)
+		c, err := Build(r, st, pop, islandSpec(120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(c.Members))
+		for i, m := range c.Members {
+			out[i] = st.DeclaredFriendCount(m)*100 + st.FriendCount(m)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cohort build not deterministic at member %d", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package accounts
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// Ledger tracks which cohort each account belongs to so page-like
+// histories can be materialized lazily — only for the accounts that end
+// up being observed (honeypot likers and the Figure 4 baseline sample).
+type Ledger struct {
+	pop   *socialnet.Population
+	specs map[socialnet.UserID]*CoverSpec
+	done  map[socialnet.UserID]bool
+	now   time.Time
+}
+
+// NewLedger creates a ledger; now anchors the "past year" history window.
+func NewLedger(pop *socialnet.Population, now time.Time) *Ledger {
+	return &Ledger{
+		pop:   pop,
+		specs: make(map[socialnet.UserID]*CoverSpec),
+		done:  make(map[socialnet.UserID]bool),
+		now:   now,
+	}
+}
+
+// Register associates a cohort's members with its cover spec.
+func (l *Ledger) Register(c *Cohort) {
+	spec := c.Spec.Cover
+	for _, m := range c.Members {
+		l.specs[m] = &spec
+	}
+}
+
+// Registered reports whether the account has a cover spec.
+func (l *Ledger) Registered(u socialnet.UserID) bool {
+	_, ok := l.specs[u]
+	return ok
+}
+
+// Materialize generates the page-like history for each given account that
+// has a registered spec and has not been materialized yet. Organic
+// accounts (no spec) are skipped: their likes were generated eagerly with
+// the population. It returns the number of history likes written.
+func (l *Ledger) Materialize(r *rand.Rand, st *socialnet.Store, users []socialnet.UserID) (int, error) {
+	// Deterministic order regardless of caller's set iteration.
+	sorted := append([]socialnet.UserID(nil), users...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	total := 0
+	for _, u := range sorted {
+		spec, ok := l.specs[u]
+		if !ok || l.done[u] {
+			continue
+		}
+		n, err := l.materializeOne(r, st, u, spec)
+		if err != nil {
+			return total, err
+		}
+		l.done[u] = true
+		total += n
+	}
+	return total, nil
+}
+
+func (l *Ledger) materializeOne(r *rand.Rand, st *socialnet.Store, u socialnet.UserID, spec *CoverSpec) (int, error) {
+	mu, err := stats.LogNormalForMedian(spec.LikeMedian)
+	if err != nil {
+		return 0, err
+	}
+	dist, err := stats.NewLogNormal(mu, spec.LikeSigma, 1, float64(spec.MaxLikes))
+	if err != nil {
+		return 0, err
+	}
+	k := dist.SampleInt(r)
+	if k > spec.MaxLikes {
+		k = spec.MaxLikes
+	}
+
+	// Per-slice quotas: proportional targets, with overflow from full
+	// slices redistributed to slices that still have unused pages, and
+	// only the final remainder falling through to the ambient catalog.
+	quota := make([]int, len(spec.Slices))
+	assigned := 0
+	for i, sl := range spec.Slices {
+		n := int(float64(k)*sl.Frac + 0.5)
+		if n > len(sl.Pages) {
+			n = len(sl.Pages)
+		}
+		if assigned+n > k {
+			n = k - assigned
+		}
+		quota[i] = n
+		assigned += n
+	}
+	fracSum := 0.0
+	for _, sl := range spec.Slices {
+		fracSum += sl.Frac
+	}
+	want := int(float64(k)*fracSum + 0.5)
+	if want > k {
+		want = k
+	}
+	for assigned < want {
+		grew := false
+		for i, sl := range spec.Slices {
+			if assigned >= want {
+				break
+			}
+			if quota[i] < len(sl.Pages) {
+				quota[i]++
+				assigned++
+				grew = true
+			}
+		}
+		if !grew {
+			break // all slices exhausted
+		}
+	}
+
+	var pages []socialnet.PageID
+	for i, sl := range spec.Slices {
+		if quota[i] == 0 {
+			continue
+		}
+		idx, err := stats.SampleWithoutReplacement(r, len(sl.Pages), quota[i])
+		if err != nil {
+			return 0, err
+		}
+		sort.Ints(idx)
+		for _, j := range idx {
+			pages = append(pages, sl.Pages[j])
+		}
+	}
+	pages = append(pages, l.pop.SampleAmbientPages(r, k-assigned)...)
+
+	likes := make([]socialnet.Like, 0, len(pages))
+	if spec.Bursty {
+		// Job bursts: consecutive runs of ~40-150 likes inside 2-hour
+		// windows, spread over the past ~10 months. This is the account-
+		// level bot signature the burst detector keys on.
+		i := 0
+		for i < len(pages) {
+			run := 40 + r.Intn(111)
+			if i+run > len(pages) {
+				run = len(pages) - i
+			}
+			burstStart := l.now.Add(-time.Duration(1+r.Intn(300*24)) * time.Hour)
+			for j := 0; j < run; j++ {
+				at := burstStart.Add(time.Duration(r.Int63n(int64(2 * time.Hour))))
+				likes = append(likes, socialnet.Like{Page: pages[i+j], At: at})
+			}
+			i += run
+		}
+	} else {
+		for _, p := range pages {
+			at := l.now.Add(-time.Duration(1+r.Int63n(365*24)) * time.Hour)
+			likes = append(likes, socialnet.Like{Page: p, At: at})
+		}
+	}
+	if err := st.AddHistory(u, likes); err != nil {
+		return 0, err
+	}
+	return len(likes), nil
+}
+
+// MaterializedCount returns how many accounts have histories generated.
+func (l *Ledger) MaterializedCount() int { return len(l.done) }
+
+// MakePageBlock creates n non-honeypot pages forming a named block of
+// the page universe and returns their IDs. Blocks are the unit of
+// page-set overlap between cohorts (see CoverSlice).
+func MakePageBlock(st *socialnet.Store, name, category string, n int, createdAt time.Time) ([]socialnet.PageID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("accounts: block %q size %d must be >=1", name, n)
+	}
+	out := make([]socialnet.PageID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := st.AddPage(socialnet.Page{
+			Name:      fmt.Sprintf("%s-%05d", name, i),
+			Category:  category,
+			CreatedAt: createdAt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// MakeJobPortfolio creates n non-honeypot "customer" pages for a farm and
+// returns their IDs. Each farm's accounts like pages from their own
+// portfolio, producing the within-farm page-set overlap of Figure 5(a).
+func MakeJobPortfolio(st *socialnet.Store, farm string, n int, createdAt time.Time) ([]socialnet.PageID, error) {
+	return MakePageBlock(st, farm+"-job", "customer", n, createdAt)
+}

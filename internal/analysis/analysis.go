@@ -1,0 +1,184 @@
+// Package analysis implements the paper's §4 comparative analyses over
+// monitored honeypot campaigns: liker geolocation (Figure 1), gender/age
+// demographics with KL divergence against the global network (Table 2),
+// temporal like-delivery series (Figure 2), the liker social graph with
+// direct and 2-hop relations (Table 3, Figure 3), page-like count
+// distributions against an organic baseline (Figure 4), and pairwise
+// Jaccard similarity of campaigns' page sets and liker sets (Figure 5).
+//
+// The analyses consume only the observables the paper's authors had:
+// page like streams, the page-admin aggregate reports, public friend
+// lists, and public page-like lists.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// Campaign is one promoted honeypot page as seen by the analysis layer.
+type Campaign struct {
+	// ID is the paper's campaign label, e.g. "FB-USA" or "SF-ALL".
+	ID string
+	// Provider is the promotion channel, e.g. "Facebook.com".
+	Provider string
+	// Page is the honeypot page.
+	Page socialnet.PageID
+	// Likers are the observed likers in first-seen order.
+	Likers []socialnet.UserID
+	// Active is false for paid-but-never-delivered campaigns (BL-ALL,
+	// MS-ALL); they appear in tables as dashes and in matrices as zero
+	// rows.
+	Active bool
+}
+
+// ProviderFacebook is the provider label for ad campaigns.
+const ProviderFacebook = "Facebook.com"
+
+// ALMSGroup is the synthetic provider group for likers shared between
+// AuthenticLikes and MammothSocials campaigns (§4.3).
+const ALMSGroup = "ALMS"
+
+// GeoRow is one campaign's liker-country breakdown (Figure 1).
+type GeoRow struct {
+	CampaignID string
+	// Percent maps the study countries (plus "Other") to percentages.
+	Percent map[string]float64
+	Total   int
+}
+
+// LocationBreakdown computes Figure 1: per campaign, the percentage of
+// likers per country, with non-study countries folded into "Other".
+func LocationBreakdown(st *socialnet.Store, campaigns []Campaign) ([]GeoRow, error) {
+	known := make(map[string]bool)
+	for _, c := range socialnet.StudyCountries() {
+		known[c] = true
+	}
+	var out []GeoRow
+	for _, c := range campaigns {
+		if !c.Active {
+			continue
+		}
+		row := GeoRow{CampaignID: c.ID, Percent: make(map[string]float64)}
+		for _, uid := range c.Likers {
+			u, err := st.User(uid)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: geolocation: %w", err)
+			}
+			label := u.Country
+			if !known[label] {
+				label = socialnet.CountryOther
+			}
+			row.Percent[label]++
+			row.Total++
+		}
+		if row.Total > 0 {
+			for k := range row.Percent {
+				row.Percent[k] = 100 * row.Percent[k] / float64(row.Total)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// DemoRow is one campaign's Table 2 row.
+type DemoRow struct {
+	CampaignID string
+	FemalePct  float64
+	MalePct    float64
+	// AgePct is the age distribution (percent) in Table 2 bracket order.
+	AgePct [6]float64
+	// KL is the divergence (bits) of the age distribution from the
+	// global Facebook age distribution.
+	KL float64
+	N  int
+}
+
+// Demographics computes Table 2 for the active campaigns.
+func Demographics(st *socialnet.Store, campaigns []Campaign) ([]DemoRow, error) {
+	var out []DemoRow
+	for _, c := range campaigns {
+		if !c.Active {
+			continue
+		}
+		row := DemoRow{CampaignID: c.ID}
+		var ageCounts [6]float64
+		var nf, nm int
+		for _, uid := range c.Likers {
+			u, err := st.User(uid)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: demographics: %w", err)
+			}
+			switch u.Gender {
+			case socialnet.GenderFemale:
+				nf++
+			case socialnet.GenderMale:
+				nm++
+			}
+			if int(u.Age) < len(ageCounts) {
+				ageCounts[u.Age]++
+			}
+			row.N++
+		}
+		if nf+nm > 0 {
+			row.FemalePct = 100 * float64(nf) / float64(nf+nm)
+			row.MalePct = 100 * float64(nm) / float64(nf+nm)
+		}
+		total := 0.0
+		for _, v := range ageCounts {
+			total += v
+		}
+		if total > 0 {
+			for i, v := range ageCounts {
+				row.AgePct[i] = 100 * v / total
+			}
+			kl, err := stats.KLDivergence(ageCounts[:], socialnet.GlobalAgeDistribution())
+			if err != nil {
+				return nil, fmt.Errorf("analysis: demographics KL: %w", err)
+			}
+			row.KL = kl
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// GlobalDemoRow returns the reference row (last row of Table 2).
+func GlobalDemoRow() DemoRow {
+	p := socialnet.GlobalFacebookProfile()
+	row := DemoRow{CampaignID: "Facebook", FemalePct: 46, MalePct: 54}
+	fr := p.AgeFractions()
+	for i, v := range fr {
+		row.AgePct[i] = 100 * v
+	}
+	return row
+}
+
+// SortCampaigns orders campaigns in the paper's roster order given the
+// roster IDs; campaigns not in the roster go last alphabetically.
+func SortCampaigns(campaigns []Campaign, rosterOrder []string) []Campaign {
+	rank := make(map[string]int, len(rosterOrder))
+	for i, id := range rosterOrder {
+		rank[id] = i
+	}
+	out := append([]Campaign(nil), campaigns...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return out[i].ID < out[j].ID
+		}
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/socialnet"
+)
+
+func exportFixture(t *testing.T) (*graph.Undirected, *GroupAssignment) {
+	t.Helper()
+	g := graph.NewUndirected()
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(3, 4)
+	_ = g.AddEdge(4, 5)
+	g.AddNode(6) // isolated
+	ga := &GroupAssignment{
+		ByUser: map[socialnet.UserID]string{
+			1: "P1", 2: "P1", 3: "P2", 4: "P2", 5: "P2", 6: "P1",
+		},
+		Groups: map[string][]socialnet.UserID{
+			"P1": {1, 2, 6}, "P2": {3, 4, 5},
+		},
+		Order: []string{"P1", "P2"},
+	}
+	return g, ga
+}
+
+func TestLikerGraphDOTBasic(t *testing.T) {
+	g, ga := exportFixture(t)
+	dot := LikerGraphDOT(g, ga, DOTOptions{Name: "test"})
+	if !strings.HasPrefix(dot, `graph "test" {`) || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	for _, want := range []string{"n1 --", "n3 --", "n4 -- n5"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("missing edge %q:\n%s", want, dot)
+		}
+	}
+	// Isolated node 6 excluded by default.
+	if strings.Contains(dot, "n6 [") {
+		t.Fatalf("isolated node included by default:\n%s", dot)
+	}
+	// Provider colors differ.
+	if !strings.Contains(dot, "steelblue") || !strings.Contains(dot, "firebrick") {
+		t.Fatalf("provider colors missing:\n%s", dot)
+	}
+	// Tooltips carry the provider labels.
+	if !strings.Contains(dot, `tooltip="P2"`) {
+		t.Fatalf("tooltip missing:\n%s", dot)
+	}
+}
+
+func TestLikerGraphDOTIncludeIsolated(t *testing.T) {
+	g, ga := exportFixture(t)
+	dot := LikerGraphDOT(g, ga, DOTOptions{IncludeIsolated: true})
+	if !strings.Contains(dot, "n6 [") {
+		t.Fatalf("isolated node missing with IncludeIsolated:\n%s", dot)
+	}
+	if !strings.Contains(dot, `graph "likers"`) {
+		t.Fatalf("default name missing:\n%s", dot)
+	}
+}
+
+func TestLikerGraphDOTMaxNodes(t *testing.T) {
+	g, ga := exportFixture(t)
+	// Cap at 3: only the largest component (3-4-5) fits.
+	dot := LikerGraphDOT(g, ga, DOTOptions{MaxNodes: 3})
+	if !strings.Contains(dot, "n3 [") || strings.Contains(dot, "n1 [") {
+		t.Fatalf("MaxNodes should keep only the largest component:\n%s", dot)
+	}
+	// Edges to dropped nodes are excluded.
+	if strings.Contains(dot, "n1 -- n2") {
+		t.Fatalf("edge of dropped component present:\n%s", dot)
+	}
+}
+
+func TestLikerGraphDOTUnknownProviderGray(t *testing.T) {
+	g := graph.NewUndirected()
+	_ = g.AddEdge(7, 8)
+	ga := &GroupAssignment{
+		ByUser: map[socialnet.UserID]string{},
+		Groups: map[string][]socialnet.UserID{},
+	}
+	dot := LikerGraphDOT(g, ga, DOTOptions{})
+	if !strings.Contains(dot, `color="gray"`) {
+		t.Fatalf("unknown provider should be gray:\n%s", dot)
+	}
+}

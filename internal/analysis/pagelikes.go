@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// PageLikeCDF is one campaign's distribution of per-liker page-like
+// counts (Figure 4), as an ECDF plus summary quantiles.
+type PageLikeCDF struct {
+	CampaignID string
+	N          int
+	Median     float64
+	P90        float64
+	Max        float64
+	ECDF       *stats.ECDF
+}
+
+// PageLikeCDFs computes Figure 4 for the active campaigns, plus the
+// baseline sample labelled "Facebook" when baseline is non-empty.
+func PageLikeCDFs(st *socialnet.Store, campaigns []Campaign, baseline []socialnet.UserID) ([]PageLikeCDF, error) {
+	var out []PageLikeCDF
+	build := func(id string, users []socialnet.UserID) error {
+		if len(users) == 0 {
+			return nil
+		}
+		counts := make([]float64, len(users))
+		for i, u := range users {
+			counts[i] = float64(st.LikeCountOfUser(u))
+		}
+		e, err := stats.NewECDF(counts)
+		if err != nil {
+			return fmt.Errorf("analysis: page-like CDF %s: %w", id, err)
+		}
+		med, err := stats.Median(counts)
+		if err != nil {
+			return err
+		}
+		p90, err := stats.Quantile(counts, 0.9)
+		if err != nil {
+			return err
+		}
+		_, max, err := stats.MinMax(counts)
+		if err != nil {
+			return err
+		}
+		out = append(out, PageLikeCDF{
+			CampaignID: id, N: len(users),
+			Median: med, P90: p90, Max: max, ECDF: e,
+		})
+		return nil
+	}
+	for _, c := range campaigns {
+		if !c.Active {
+			continue
+		}
+		if err := build(c.ID, c.Likers); err != nil {
+			return nil, err
+		}
+	}
+	if len(baseline) > 0 {
+		if err := build("Facebook", baseline); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BaselineSample draws n users uniformly from the public directory — the
+// unbiased Facebook-population sample of Figure 4 (the paper used 2000
+// profiles from the searchable-ID directory crawl of [9]).
+func BaselineSample(r *rand.Rand, st *socialnet.Store, n int) ([]socialnet.UserID, error) {
+	dir := st.Directory()
+	if n < 1 {
+		return nil, fmt.Errorf("analysis: baseline size %d must be >=1", n)
+	}
+	if n > len(dir) {
+		return nil, fmt.Errorf("analysis: baseline size %d exceeds directory %d", n, len(dir))
+	}
+	idx, err := stats.SampleWithoutReplacement(r, len(dir), n)
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(idx)
+	out := make([]socialnet.UserID, n)
+	for i, j := range idx {
+		out[i] = dir[j]
+	}
+	return out, nil
+}
+
+// JaccardMatrices computes Figure 5: the pairwise Jaccard similarity of
+// campaigns' page-like unions (a) and liker sets (b), scaled by 100 as
+// in the paper's heatmaps. Inactive campaigns contribute empty sets (zero
+// rows/columns). The matrix is indexed by the campaigns slice order.
+func JaccardMatrices(st *socialnet.Store, campaigns []Campaign) (pageSim, userSim [][]float64, err error) {
+	n := len(campaigns)
+	pageSets := make([]map[socialnet.PageID]struct{}, n)
+	userSets := make([]map[socialnet.UserID]struct{}, n)
+	for i, c := range campaigns {
+		pageSets[i] = make(map[socialnet.PageID]struct{})
+		userSets[i] = make(map[socialnet.UserID]struct{})
+		if !c.Active {
+			continue
+		}
+		for _, u := range c.Likers {
+			userSets[i][u] = struct{}{}
+			for _, lk := range st.LikesOfUser(u) {
+				if lk.Page == c.Page {
+					continue // exclude the honeypot page itself
+				}
+				pageSets[i][lk.Page] = struct{}{}
+			}
+		}
+	}
+	pageSim = make([][]float64, n)
+	userSim = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		pageSim[i] = make([]float64, n)
+		userSim[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				if campaigns[i].Active {
+					pageSim[i][j] = 100
+					userSim[i][j] = 100
+				}
+				continue
+			}
+			pageSim[i][j] = 100 * stats.Jaccard(pageSets[i], pageSets[j])
+			userSim[i][j] = 100 * stats.Jaccard(userSets[i], userSets[j])
+		}
+	}
+	return pageSim, userSim, nil
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// ProviderGroupRow is one row of Table 3: the likers associated with one
+// provider and their friendship structure.
+type ProviderGroupRow struct {
+	Provider string
+	// Likers is the number of distinct likers attributed to the group.
+	Likers int
+	// PublicFriendLists is how many of them expose their friend list,
+	// with PublicPct the percentage.
+	PublicFriendLists int
+	PublicPct         float64
+	// AvgFriends / StdFriends / MedianFriends summarize declared friend
+	// counts over likers with public lists.
+	AvgFriends    float64
+	StdFriends    float64
+	MedianFriends float64
+	// DirectFriendships is the number of liker–liker friendship edges
+	// involving at least one group member.
+	DirectFriendships int
+	// TwoHopRelations is the number of liker pairs connected directly
+	// or via a mutual friend, involving at least one group member.
+	TwoHopRelations int
+}
+
+// GroupAssignment attributes each liker to a provider group, splitting
+// out the ALMS group: users who liked both an AuthenticLikes page and a
+// MammothSocials page (§4.3). alProvider/msProvider are the provider
+// labels to combine.
+type GroupAssignment struct {
+	// ByUser maps each liker to its group label.
+	ByUser map[socialnet.UserID]string
+	// Groups maps group label to its member likers (sorted).
+	Groups map[string][]socialnet.UserID
+	// Order lists group labels in presentation order.
+	Order []string
+}
+
+// AssignGroups computes the provider attribution of every liker.
+func AssignGroups(campaigns []Campaign, alProvider, msProvider string) *GroupAssignment {
+	providerSets := make(map[socialnet.UserID]map[string]bool)
+	var providerOrder []string
+	seenProvider := make(map[string]bool)
+	for _, c := range campaigns {
+		if !seenProvider[c.Provider] {
+			seenProvider[c.Provider] = true
+			providerOrder = append(providerOrder, c.Provider)
+		}
+		for _, u := range c.Likers {
+			m, ok := providerSets[u]
+			if !ok {
+				m = make(map[string]bool, 1)
+				providerSets[u] = m
+			}
+			m[c.Provider] = true
+		}
+	}
+	ga := &GroupAssignment{
+		ByUser: make(map[socialnet.UserID]string, len(providerSets)),
+		Groups: make(map[string][]socialnet.UserID),
+	}
+	users := make([]socialnet.UserID, 0, len(providerSets))
+	for u := range providerSets {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	for _, u := range users {
+		provs := providerSets[u]
+		var label string
+		if provs[alProvider] && provs[msProvider] {
+			label = ALMSGroup
+		} else {
+			// Deterministic pick: first provider in campaign order that
+			// this user liked. Cross-provider multi-likers outside the
+			// AL/MS pair are rare; the paper notes a few users liked
+			// pages in multiple campaigns.
+			for _, p := range providerOrder {
+				if provs[p] {
+					label = p
+					break
+				}
+			}
+		}
+		ga.ByUser[u] = label
+		ga.Groups[label] = append(ga.Groups[label], u)
+	}
+	for _, p := range providerOrder {
+		if len(ga.Groups[p]) > 0 {
+			ga.Order = append(ga.Order, p)
+		}
+	}
+	if len(ga.Groups[ALMSGroup]) > 0 {
+		ga.Order = append(ga.Order, ALMSGroup)
+	}
+	return ga
+}
+
+// SocialGraphTable computes Table 3. base is the full friendship graph
+// snapshot (mutual friends for 2-hop relations may be any user, liker or
+// not).
+func SocialGraphTable(st *socialnet.Store, ga *GroupAssignment, base *graph.Undirected) ([]ProviderGroupRow, error) {
+	// All likers across groups.
+	var allLikers []socialnet.UserID
+	for _, us := range ga.Groups {
+		allLikers = append(allLikers, us...)
+	}
+	sort.Slice(allLikers, func(i, j int) bool { return allLikers[i] < allLikers[j] })
+
+	ids := make([]int64, len(allLikers))
+	for i, u := range allLikers {
+		ids[i] = int64(u)
+	}
+	direct := base.InducedSubgraph(ids)
+	twoHop := graph.TwoHopClosure(ids, base)
+
+	countInvolving := func(g *graph.Undirected, group string) int {
+		n := 0
+		for _, e := range g.Edges() {
+			ga1 := ga.ByUser[socialnet.UserID(e[0])]
+			ga2 := ga.ByUser[socialnet.UserID(e[1])]
+			if ga1 == group || ga2 == group {
+				n++
+			}
+		}
+		return n
+	}
+
+	var rows []ProviderGroupRow
+	for _, label := range ga.Order {
+		members := ga.Groups[label]
+		row := ProviderGroupRow{Provider: label, Likers: len(members)}
+		var friendCounts []float64
+		for _, u := range members {
+			if !st.FriendsVisible(u) {
+				continue
+			}
+			row.PublicFriendLists++
+			friendCounts = append(friendCounts, float64(st.DeclaredFriendCount(u)))
+		}
+		if row.Likers > 0 {
+			row.PublicPct = 100 * float64(row.PublicFriendLists) / float64(row.Likers)
+		}
+		if len(friendCounts) > 0 {
+			mean, std, err := stats.MeanStd(friendCounts)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: social graph: %w", err)
+			}
+			med, err := stats.Median(friendCounts)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: social graph: %w", err)
+			}
+			row.AvgFriends, row.StdFriends, row.MedianFriends = mean, std, med
+		}
+		row.DirectFriendships = countInvolving(direct, label)
+		row.TwoHopRelations = countInvolving(twoHop, label)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LikerGraphs returns the direct liker friendship graph and its 2-hop
+// closure (Figure 3(a) and 3(b)).
+func LikerGraphs(ga *GroupAssignment, base *graph.Undirected) (direct, twoHop *graph.Undirected) {
+	var ids []int64
+	for _, us := range ga.Groups {
+		for _, u := range us {
+			ids = append(ids, int64(u))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return base.InducedSubgraph(ids), graph.TwoHopClosure(ids, base)
+}
+
+// ComponentCensus summarizes a liker graph for the Figure 3 discussion:
+// how many isolated nodes, pairs, triplets, and larger components each
+// provider group contributes, plus the largest component size.
+type ComponentCensus struct {
+	Provider   string
+	Isolated   int
+	Pairs      int
+	Triplets   int
+	Larger     int
+	LargestCmp int
+}
+
+// CensusByProvider classifies each provider group's members' components
+// within the given liker graph. A component is attributed to a provider
+// if the majority of its nodes belong to that provider (ties: first in
+// group order).
+func CensusByProvider(ga *GroupAssignment, g *graph.Undirected) []ComponentCensus {
+	rows := make(map[string]*ComponentCensus)
+	for _, label := range ga.Order {
+		rows[label] = &ComponentCensus{Provider: label}
+	}
+	for _, comp := range g.ConnectedComponents() {
+		counts := make(map[string]int)
+		for _, n := range comp {
+			counts[ga.ByUser[socialnet.UserID(n)]]++
+		}
+		best, bestN := "", -1
+		for _, label := range ga.Order {
+			if counts[label] > bestN {
+				best, bestN = label, counts[label]
+			}
+		}
+		row, ok := rows[best]
+		if !ok {
+			row = &ComponentCensus{Provider: best}
+			rows[best] = row
+		}
+		switch len(comp) {
+		case 1:
+			row.Isolated++
+		case 2:
+			row.Pairs++
+		case 3:
+			row.Triplets++
+		default:
+			row.Larger++
+		}
+		if len(comp) > row.LargestCmp {
+			row.LargestCmp = len(comp)
+		}
+	}
+	var out []ComponentCensus
+	for _, label := range ga.Order {
+		out = append(out, *rows[label])
+	}
+	return out
+}
+
+// CrossProviderEdges counts direct liker-liker edges whose endpoints
+// belong to different provider groups — the AL↔MS ties that flagged the
+// shared operator.
+func CrossProviderEdges(ga *GroupAssignment, g *graph.Undirected) map[[2]string]int {
+	out := make(map[[2]string]int)
+	for _, e := range g.Edges() {
+		a := ga.ByUser[socialnet.UserID(e[0])]
+		b := ga.ByUser[socialnet.UserID(e[1])]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]string{a, b}]++
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// TemporalSeries is one campaign's cumulative like count by day offset
+// (Figure 2). Values[d] is the cumulative count at day d (0..Days).
+type TemporalSeries struct {
+	CampaignID string
+	Values     []int
+}
+
+// BurstStats summarizes how bursty a delivery series is: the largest
+// single-day jump as a fraction of the total, and the number of days in
+// which 90% of the volume arrived. The §4.2 dichotomy — SF/AL/MS dump
+// likes inside two-hour windows while BL and the Facebook ads trickle —
+// shows up as MaxDayJumpFrac near 1 vs spread across many days.
+type BurstStats struct {
+	CampaignID     string
+	Total          int
+	MaxDayJumpFrac float64
+	DaysTo90Pct    int
+}
+
+// Burstiness computes BurstStats from a temporal series.
+func Burstiness(s TemporalSeries) BurstStats {
+	out := BurstStats{CampaignID: s.CampaignID}
+	if len(s.Values) == 0 {
+		return out
+	}
+	total := s.Values[len(s.Values)-1]
+	out.Total = total
+	if total == 0 {
+		return out
+	}
+	maxJump := 0
+	for d := 1; d < len(s.Values); d++ {
+		if j := s.Values[d] - s.Values[d-1]; j > maxJump {
+			maxJump = j
+		}
+	}
+	// Day 0 may already carry likes (burst within the first poll gap).
+	if s.Values[0] > maxJump {
+		maxJump = s.Values[0]
+	}
+	out.MaxDayJumpFrac = float64(maxJump) / float64(total)
+	threshold := int(0.9 * float64(total))
+	for d := 0; d < len(s.Values); d++ {
+		if s.Values[d] >= threshold {
+			out.DaysTo90Pct = d
+			break
+		}
+	}
+	return out
+}
+
+// InterLikeGaps returns the gaps between consecutive like timestamps of
+// a campaign's like stream — the raw material for window-level burst
+// analysis beyond daily resolution.
+func InterLikeGaps(times []time.Time) ([]time.Duration, error) {
+	if len(times) < 2 {
+		return nil, nil
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			return nil, fmt.Errorf("analysis: like times not sorted at %d", i)
+		}
+	}
+	out := make([]time.Duration, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out[i-1] = times[i].Sub(times[i-1])
+	}
+	return out, nil
+}
+
+// WindowStats summarizes a campaign's like stream at sub-day
+// granularity: the §4.2 observation that SF/AL/MS delivered their likes
+// "within a short period of time of two hours" is a claim about these
+// windows, not about daily buckets.
+type WindowStats struct {
+	CampaignID string
+	Total      int
+	// MaxIn2h is the largest number of likes in any 2-hour window, and
+	// MaxFrac2h its share of the total.
+	MaxIn2h   int
+	MaxFrac2h float64
+	// ActiveWindows is how many distinct (aligned) 2-hour windows saw
+	// at least one like — bursts concentrate everything into a handful.
+	ActiveWindows int
+}
+
+// WindowAnalysis computes WindowStats from a campaign's sorted like
+// times.
+func WindowAnalysis(campaignID string, times []time.Time) (WindowStats, error) {
+	out := WindowStats{CampaignID: campaignID, Total: len(times)}
+	if len(times) == 0 {
+		return out, nil
+	}
+	maxIn, err := MaxWithinWindow(times, 2*time.Hour)
+	if err != nil {
+		return out, err
+	}
+	out.MaxIn2h = maxIn
+	out.MaxFrac2h = float64(maxIn) / float64(len(times))
+	windows := make(map[int64]struct{})
+	for _, tm := range times {
+		windows[tm.UnixNano()/int64(2*time.Hour)] = struct{}{}
+	}
+	out.ActiveWindows = len(windows)
+	return out, nil
+}
+
+// MaxWithinWindow returns the largest number of likes falling within any
+// sliding window of the given width (the paper: "likes were garnered
+// within a short period of time of two hours").
+func MaxWithinWindow(times []time.Time, window time.Duration) (int, error) {
+	if window <= 0 {
+		return 0, fmt.Errorf("analysis: non-positive window %s", window)
+	}
+	if len(times) == 0 {
+		return 0, nil
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			return 0, fmt.Errorf("analysis: like times not sorted at %d", i)
+		}
+	}
+	best := 1
+	lo := 0
+	for hi := range times {
+		for times[hi].Sub(times[lo]) > window {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,324 @@
+// Package api exposes the simulated platform over HTTP, standing in for
+// the web surface the paper's Selenium crawler scraped (§3): page views
+// with like counts and like streams, public profiles, friend lists
+// gated by the owner's privacy setting, public page-like lists, the
+// searchable directory, and the page-admin aggregate report (gated by an
+// admin token, as the real report tool was gated by page ownership).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/platform"
+	"repro/internal/socialnet"
+)
+
+// Server serves the world over HTTP.
+type Server struct {
+	store *socialnet.Store
+	// AdminToken gates /api/admin endpoints.
+	adminToken string
+	mux        *http.ServeMux
+}
+
+// MaxPageSize caps pagination limits.
+const MaxPageSize = 500
+
+// NewServer builds the HTTP front-end. adminToken may be empty to
+// disable admin endpoints entirely.
+func NewServer(st *socialnet.Store, adminToken string) *Server {
+	s := &Server{store: st, adminToken: adminToken, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/page/{id}", s.handlePage)
+	s.mux.HandleFunc("GET /api/page/{id}/likes", s.handlePageLikes)
+	s.mux.HandleFunc("GET /api/user/{id}", s.handleUser)
+	s.mux.HandleFunc("GET /api/user/{id}/friends", s.handleUserFriends)
+	s.mux.HandleFunc("GET /api/user/{id}/likes", s.handleUserLikes)
+	s.mux.HandleFunc("GET /api/directory", s.handleDirectory)
+	s.mux.HandleFunc("GET /api/admin/report/{id}", s.handleAdminReport)
+	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- wire types ----
+
+// PageDoc is the public page view.
+type PageDoc struct {
+	ID          int64  `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Category    string `json:"category"`
+	Honeypot    bool   `json:"honeypot"`
+	LikeCount   int    `json:"like_count"`
+}
+
+// LikeDoc is one like event.
+type LikeDoc struct {
+	User int64  `json:"user"`
+	At   string `json:"at"` // RFC3339
+}
+
+// PageLikesDoc is a page's like stream (paginated).
+type PageLikesDoc struct {
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Likes  []LikeDoc `json:"likes"`
+}
+
+// UserDoc is the public profile view.
+type UserDoc struct {
+	ID              int64  `json:"id"`
+	Gender          string `json:"gender"`
+	Age             string `json:"age"`
+	Country         string `json:"country"`
+	HomeTown        string `json:"home_town"`
+	CurrentTown     string `json:"current_town"`
+	FriendsPublic   bool   `json:"friends_public"`
+	DeclaredFriends int    `json:"declared_friends"`
+	Status          string `json:"status"`
+}
+
+// UserFriendsDoc is a (public) friend list page.
+type UserFriendsDoc struct {
+	Total   int     `json:"total"`
+	Offset  int     `json:"offset"`
+	Friends []int64 `json:"friends"`
+}
+
+// UserLikesDoc is a user's page-like list page.
+type UserLikesDoc struct {
+	Total  int     `json:"total"`
+	Offset int     `json:"offset"`
+	Pages  []int64 `json:"pages"`
+}
+
+// DirectoryDoc is a slice of the searchable directory.
+type DirectoryDoc struct {
+	Total  int     `json:"total"`
+	Offset int     `json:"offset"`
+	Users  []int64 `json:"users"`
+}
+
+// ReportDoc is the admin aggregate report.
+type ReportDoc struct {
+	Page          int64          `json:"page"`
+	TotalLikes    int            `json:"total_likes"`
+	GenderCounts  map[string]int `json:"gender_counts"`
+	AgeCounts     map[string]int `json:"age_counts"`
+	CountryCounts map[string]int `json:"country_counts"`
+}
+
+// ErrorDoc carries API errors.
+type ErrorDoc struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func pathID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func paging(r *http.Request) (offset, limit int, err error) {
+	limit = 100
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, errors.New("bad offset")
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, 0, errors.New("bad limit")
+		}
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	return offset, limit, nil
+}
+
+func window[T any](xs []T, offset, limit int) []T {
+	if offset >= len(xs) {
+		return nil
+	}
+	end := offset + limit
+	if end > len(xs) {
+		end = len(xs)
+	}
+	return xs[offset:end]
+}
+
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad page id")
+		return
+	}
+	p, err := s.store.Page(socialnet.PageID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such page")
+		return
+	}
+	writeJSON(w, http.StatusOK, PageDoc{
+		ID: int64(p.ID), Name: p.Name, Description: p.Description,
+		Category: p.Category, Honeypot: p.Honeypot,
+		LikeCount: s.store.LikeCountOfPage(p.ID),
+	})
+}
+
+func (s *Server) handlePageLikes(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad page id")
+		return
+	}
+	if _, err := s.store.Page(socialnet.PageID(id)); err != nil {
+		writeError(w, http.StatusNotFound, "no such page")
+		return
+	}
+	offset, limit, err := paging(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	likes := s.store.LikesOfPage(socialnet.PageID(id))
+	doc := PageLikesDoc{Total: len(likes), Offset: offset}
+	for _, lk := range window(likes, offset, limit) {
+		doc.Likes = append(doc.Likes, LikeDoc{User: int64(lk.User), At: lk.At.Format("2006-01-02T15:04:05Z07:00")})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	u, err := s.store.User(socialnet.UserID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	writeJSON(w, http.StatusOK, UserDoc{
+		ID: int64(u.ID), Gender: u.Gender.String(), Age: u.Age.String(),
+		Country: u.Country, HomeTown: u.HomeTown, CurrentTown: u.CurrentTown,
+		FriendsPublic:   u.FriendsPublic,
+		DeclaredFriends: s.store.DeclaredFriendCount(u.ID),
+		Status:          u.Status.String(),
+	})
+}
+
+func (s *Server) handleUserFriends(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	uid := socialnet.UserID(id)
+	if _, err := s.store.User(uid); err != nil {
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	if !s.store.FriendsVisible(uid) {
+		writeError(w, http.StatusForbidden, "friend list is private")
+		return
+	}
+	offset, limit, err := paging(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	friends := s.store.FriendsOf(uid)
+	doc := UserFriendsDoc{Total: len(friends), Offset: offset}
+	for _, f := range window(friends, offset, limit) {
+		doc.Friends = append(doc.Friends, int64(f))
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleUserLikes(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	uid := socialnet.UserID(id)
+	if _, err := s.store.User(uid); err != nil {
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	offset, limit, err := paging(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	likes := s.store.LikesOfUser(uid)
+	doc := UserLikesDoc{Total: len(likes), Offset: offset}
+	for _, lk := range window(likes, offset, limit) {
+		doc.Pages = append(doc.Pages, int64(lk.Page))
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
+	offset, limit, err := paging(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dir := s.store.Directory()
+	doc := DirectoryDoc{Total: len(dir), Offset: offset}
+	for _, u := range window(dir, offset, limit) {
+		doc.Users = append(doc.Users, int64(u))
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleAdminReport(w http.ResponseWriter, r *http.Request) {
+	if s.adminToken == "" || r.Header.Get("X-Admin-Token") != s.adminToken {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad page id")
+		return
+	}
+	rep, err := platform.ReportFor(s.store, socialnet.PageID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such page")
+		return
+	}
+	doc := ReportDoc{
+		Page: int64(rep.Page), TotalLikes: rep.TotalLikes,
+		GenderCounts:  rep.GenderCounts,
+		AgeCounts:     map[string]int{},
+		CountryCounts: rep.CountryCounts,
+	}
+	for i, n := range rep.AgeCounts {
+		doc.AgeCounts[socialnet.AgeBracket(i).String()] = n
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

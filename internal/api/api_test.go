@@ -1,0 +1,217 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func testServer(t *testing.T) (*httptest.Server, *socialnet.Store, socialnet.PageID, socialnet.UserID, socialnet.UserID) {
+	t.Helper()
+	st := socialnet.NewStore()
+	pub := st.AddUser(socialnet.User{
+		Gender: socialnet.GenderFemale, Age: socialnet.Age18to24,
+		Country: "USA", HomeTown: "USA-town-01", CurrentTown: "USA-town-02",
+		FriendsPublic: true, Searchable: true, DeclaredFriends: 250,
+	})
+	priv := st.AddUser(socialnet.User{
+		Gender: socialnet.GenderMale, Age: socialnet.Age25to34,
+		Country: "India", FriendsPublic: false, Searchable: true,
+	})
+	_ = st.Friend(pub, priv)
+	page, err := st.AddPage(socialnet.Page{Name: "Virtual Electricity", Description: "not real", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.AddLike(pub, page, t0)
+	_ = st.AddLike(priv, page, t0.Add(time.Hour))
+	srv := httptest.NewServer(NewServer(st, "sekrit"))
+	t.Cleanup(srv.Close)
+	return srv, st, page, pub, priv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestPageEndpoint(t *testing.T) {
+	srv, _, page, _, _ := testServer(t)
+	var doc PageDoc
+	code := getJSON(t, fmt.Sprintf("%s/api/page/%d", srv.URL, page), &doc)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Name != "Virtual Electricity" || !doc.Honeypot || doc.LikeCount != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if code := getJSON(t, srv.URL+"/api/page/999", nil); code != 404 {
+		t.Fatalf("missing page status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/page/xyz", nil); code != 400 {
+		t.Fatalf("bad id status = %d", code)
+	}
+}
+
+func TestPageLikesPagination(t *testing.T) {
+	srv, st, page, _, _ := testServer(t)
+	// Add more likers to exercise pagination.
+	for i := 0; i < 25; i++ {
+		u := st.AddUser(socialnet.User{Country: "Egypt"})
+		_ = st.AddLike(u, page, t0.Add(time.Duration(i+2)*time.Hour))
+	}
+	var doc PageLikesDoc
+	code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?limit=10", srv.URL, page), &doc)
+	if code != 200 || doc.Total != 27 || len(doc.Likes) != 10 {
+		t.Fatalf("first page: code=%d total=%d likes=%d", code, doc.Total, len(doc.Likes))
+	}
+	var page2 PageLikesDoc
+	getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?offset=20&limit=10", srv.URL, page), &page2)
+	if len(page2.Likes) != 7 {
+		t.Fatalf("last page likes = %d, want 7", len(page2.Likes))
+	}
+	// Likes are time-ordered.
+	if doc.Likes[0].At > doc.Likes[9].At {
+		t.Fatal("likes not time-ordered")
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?offset=-1", srv.URL, page), nil); code != 400 {
+		t.Fatalf("bad offset status = %d", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?limit=0", srv.URL, page), nil); code != 400 {
+		t.Fatalf("bad limit status = %d", code)
+	}
+}
+
+func TestUserEndpoint(t *testing.T) {
+	srv, _, _, pub, _ := testServer(t)
+	var doc UserDoc
+	code := getJSON(t, fmt.Sprintf("%s/api/user/%d", srv.URL, pub), &doc)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Gender != "F" || doc.Age != "18-24" || doc.Country != "USA" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.DeclaredFriends != 250 {
+		t.Fatalf("declared friends = %d", doc.DeclaredFriends)
+	}
+	if doc.Status != "active" {
+		t.Fatalf("status = %s", doc.Status)
+	}
+	if code := getJSON(t, srv.URL+"/api/user/999", nil); code != 404 {
+		t.Fatalf("missing user = %d", code)
+	}
+}
+
+func TestFriendListPrivacy(t *testing.T) {
+	srv, _, _, pub, priv := testServer(t)
+	var doc UserFriendsDoc
+	code := getJSON(t, fmt.Sprintf("%s/api/user/%d/friends", srv.URL, pub), &doc)
+	if code != 200 || doc.Total != 1 || doc.Friends[0] != int64(priv) {
+		t.Fatalf("public list: code=%d doc=%+v", code, doc)
+	}
+	code = getJSON(t, fmt.Sprintf("%s/api/user/%d/friends", srv.URL, priv), nil)
+	if code != 403 {
+		t.Fatalf("private list status = %d, want 403", code)
+	}
+}
+
+func TestUserLikes(t *testing.T) {
+	srv, _, page, pub, _ := testServer(t)
+	var doc UserLikesDoc
+	code := getJSON(t, fmt.Sprintf("%s/api/user/%d/likes", srv.URL, pub), &doc)
+	if code != 200 || doc.Total != 1 || doc.Pages[0] != int64(page) {
+		t.Fatalf("likes: code=%d doc=%+v", code, doc)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	srv, _, _, _, _ := testServer(t)
+	var doc DirectoryDoc
+	code := getJSON(t, srv.URL+"/api/directory?limit=10", &doc)
+	if code != 200 || doc.Total != 2 {
+		t.Fatalf("directory: code=%d doc=%+v", code, doc)
+	}
+}
+
+func TestAdminReportAuth(t *testing.T) {
+	srv, _, page, _, _ := testServer(t)
+	url := fmt.Sprintf("%s/api/admin/report/%d", srv.URL, page)
+	// No token: 401.
+	if code := getJSON(t, url, nil); code != 401 {
+		t.Fatalf("unauthorized status = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("X-Admin-Token", "sekrit")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("authorized status = %d", resp.StatusCode)
+	}
+	var doc ReportDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TotalLikes != 2 || doc.GenderCounts["F"] != 1 || doc.GenderCounts["M"] != 1 {
+		t.Fatalf("report = %+v", doc)
+	}
+	if doc.AgeCounts["18-24"] != 1 {
+		t.Fatalf("ages = %v", doc.AgeCounts)
+	}
+}
+
+func TestAdminDisabledWithoutToken(t *testing.T) {
+	st := socialnet.NewStore()
+	page, _ := st.AddPage(socialnet.Page{Name: "p"})
+	srv := httptest.NewServer(NewServer(st, ""))
+	defer srv.Close()
+	req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/api/admin/report/%d", srv.URL, page), nil)
+	req.Header.Set("X-Admin-Token", "")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 {
+		t.Fatalf("disabled admin status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _, page, _, _ := testServer(t)
+	resp, err := http.Post(fmt.Sprintf("%s/api/page/%d", srv.URL, page), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _, _, _ := testServer(t)
+	if code := getJSON(t, srv.URL+"/api/healthz", nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+}

@@ -1,0 +1,61 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Throttle wraps a handler with a token-bucket rate limit, returning
+// 429 Too Many Requests (with a Retry-After hint) when the bucket is
+// empty. The real platform throttled aggressive crawlers the same way;
+// wrapping the API with Throttle exercises the crawler's politeness and
+// retry machinery under contention.
+func Throttle(next http.Handler, ratePerSec float64, burst int) http.Handler {
+	if ratePerSec <= 0 || burst < 1 {
+		return next
+	}
+	tb := &tokenBucket{
+		rate:   ratePerSec,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wait, ok := tb.take(); !ok {
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "rate limited")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take consumes one token; when empty it reports how long until the
+// next token accrues.
+func (b *tokenBucket) take() (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	deficit := 1 - b.tokens
+	return time.Duration(deficit / b.rate * float64(time.Second)), false
+}

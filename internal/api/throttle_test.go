@@ -1,0 +1,94 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestThrottleAllowsBurst(t *testing.T) {
+	srv := httptest.NewServer(Throttle(okHandler(), 1, 5))
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d status = %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestThrottleRejectsOverBurst(t *testing.T) {
+	srv := httptest.NewServer(Throttle(okHandler(), 0.5, 2))
+	defer srv.Close()
+	codes := make([]int, 0, 5)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		}
+	}
+	limited := 0
+	for _, c := range codes {
+		if c == http.StatusTooManyRequests {
+			limited++
+		}
+	}
+	if limited < 2 {
+		t.Fatalf("codes = %v, want >=2 rate-limited", codes)
+	}
+}
+
+func TestThrottleRefills(t *testing.T) {
+	srv := httptest.NewServer(Throttle(okHandler(), 50, 1))
+	defer srv.Close()
+	get := func() int {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if get() != 200 {
+		t.Fatal("first request should pass")
+	}
+	// Bucket may be empty immediately after; wait for refill at 50/s.
+	time.Sleep(50 * time.Millisecond)
+	if get() != 200 {
+		t.Fatal("request after refill should pass")
+	}
+}
+
+func TestThrottleDisabled(t *testing.T) {
+	h := Throttle(okHandler(), 0, 0)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatal("disabled throttle should never limit")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/socialnet"
+)
+
+// WriteArtifacts writes every table and figure to dir: CSV files for the
+// tables and matrices, text renderings for the plots, and Graphviz DOT
+// files for the Figure 3 liker graphs. It returns the written file
+// names (relative to dir).
+func (r *Results) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: artifacts dir: %w", err)
+	}
+	var written []string
+	write := func(name, content string) error {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("core: write %s: %w", name, err)
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	// Table 1 CSV.
+	t1 := report.NewTable("", "campaign", "provider", "description", "location",
+		"budget", "duration_days", "monitoring_days", "likes", "terminated")
+	for _, c := range r.Campaigns {
+		mon, likes, term := "", "", ""
+		if c.Active {
+			mon = fmt.Sprintf("%d", c.MonitoringDays)
+			likes = fmt.Sprintf("%d", c.Likes)
+			term = fmt.Sprintf("%d", c.Terminated)
+		}
+		t1.AddRow(c.Spec.ID, c.Spec.Provider, c.Spec.Description, c.Spec.Location,
+			c.Spec.BudgetText, fmt.Sprintf("%d", c.Spec.DurationDays), mon, likes, term)
+	}
+	if err := write("table1_campaigns.csv", t1.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Figure 1 CSV.
+	countries := socialnet.StudyCountries()
+	f1 := report.NewTable("", append([]string{"campaign"}, countries...)...)
+	for _, row := range r.Geo {
+		cells := []string{row.CampaignID}
+		for _, c := range countries {
+			cells = append(cells, report.Pct(row.Percent[c]))
+		}
+		f1.AddRow(cells...)
+	}
+	if err := write("figure1_geolocation.csv", f1.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Table 2 CSV.
+	t2 := report.NewTable("", "campaign", "female_pct", "male_pct",
+		"age_13_17", "age_18_24", "age_25_34", "age_35_44", "age_45_54", "age_55_plus", "kl_bits")
+	for _, row := range r.Demo {
+		cells := []string{row.CampaignID, report.Pct(row.FemalePct), report.Pct(row.MalePct)}
+		for _, v := range row.AgePct {
+			cells = append(cells, report.Pct(v))
+		}
+		cells = append(cells, report.F(row.KL, 3))
+		t2.AddRow(cells...)
+	}
+	if err := write("table2_demographics.csv", t2.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Figure 2 CSV: one row per campaign per day.
+	f2 := report.NewTable("", "campaign", "day", "cumulative_likes")
+	for _, ts := range r.Temporal {
+		for d, v := range ts.Values {
+			f2.AddRow(ts.CampaignID, fmt.Sprintf("%d", d), fmt.Sprintf("%d", v))
+		}
+	}
+	if err := write("figure2_temporal.csv", f2.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Table 3 CSV.
+	t3 := report.NewTable("", "provider", "likers", "public_friend_lists", "public_pct",
+		"avg_friends", "std_friends", "median_friends", "direct_friendships", "two_hop_relations")
+	for _, row := range r.Table3 {
+		t3.AddRow(row.Provider,
+			fmt.Sprintf("%d", row.Likers),
+			fmt.Sprintf("%d", row.PublicFriendLists),
+			report.Pct(row.PublicPct),
+			report.F(row.AvgFriends, 1), report.F(row.StdFriends, 1),
+			report.F(row.MedianFriends, 1),
+			fmt.Sprintf("%d", row.DirectFriendships),
+			fmt.Sprintf("%d", row.TwoHopRelations))
+	}
+	if err := write("table3_socialgraph.csv", t3.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Figure 4 CSV: summary quantiles per campaign.
+	f4 := report.NewTable("", "campaign", "n", "median", "p90", "max")
+	for _, c := range r.CDFs {
+		f4.AddRow(c.CampaignID, fmt.Sprintf("%d", c.N),
+			report.F(c.Median, 1), report.F(c.P90, 1), report.F(c.Max, 1))
+	}
+	if err := write("figure4_pagelikes.csv", f4.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Figure 5 CSVs.
+	labels := make([]string, len(r.Campaigns))
+	for i, c := range r.Campaigns {
+		labels[i] = c.Spec.ID
+	}
+	matrixCSV := func(m [][]float64) string {
+		t := report.NewTable("", append([]string{"campaign"}, labels...)...)
+		for i, row := range m {
+			cells := []string{labels[i]}
+			for _, v := range row {
+				cells = append(cells, report.F(v, 2))
+			}
+			t.AddRow(cells...)
+		}
+		return t.CSV()
+	}
+	if err := write("figure5a_jaccard_pages.csv", matrixCSV(r.PageSim)); err != nil {
+		return nil, err
+	}
+	if err := write("figure5b_jaccard_likers.csv", matrixCSV(r.UserSim)); err != nil {
+		return nil, err
+	}
+
+	// Extension CSV.
+	ext := report.NewTable("", "campaign", "likes", "removed")
+	for _, c := range r.Campaigns {
+		if !c.Active {
+			continue
+		}
+		ext.AddRow(c.Spec.ID, fmt.Sprintf("%d", c.Likes),
+			fmt.Sprintf("%d", r.RemovedLikes[c.Spec.ID]))
+	}
+	if err := write("extension_removed_likes.csv", ext.CSV()); err != nil {
+		return nil, err
+	}
+
+	// Full text report.
+	if err := write("report.txt", r.RenderAll()); err != nil {
+		return nil, err
+	}
+	return written, nil
+}
+
+// WriteFigure3DOT writes the direct and 2-hop liker graphs as Graphviz
+// DOT files into dir (figure3a_direct.dot, figure3b_twohop.dot), using
+// the study's base friendship graph.
+func (s *Study) WriteFigure3DOT(res *Results, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: dot dir: %w", err)
+	}
+	base := s.store.FriendGraph()
+	direct, twoHop := analysis.LikerGraphs(res.Groups, base)
+	files := []struct {
+		name string
+		dot  string
+	}{
+		{"figure3a_direct.dot", analysis.LikerGraphDOT(direct, res.Groups, analysis.DOTOptions{Name: "direct"})},
+		{"figure3b_twohop.dot", analysis.LikerGraphDOT(twoHop, res.Groups, analysis.DOTOptions{Name: "twohop"})},
+	}
+	var written []string
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.dot), 0o644); err != nil {
+			return nil, fmt.Errorf("core: write %s: %w", f.name, err)
+		}
+		written = append(written, f.name)
+	}
+	return written, nil
+}

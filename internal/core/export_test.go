@@ -1,0 +1,115 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	res := miniResults(t)
+	dir := t.TempDir()
+	files, err := res.WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table1_campaigns.csv", "figure1_geolocation.csv", "table2_demographics.csv",
+		"figure2_temporal.csv", "table3_socialgraph.csv", "figure4_pagelikes.csv",
+		"figure5a_jaccard_pages.csv", "figure5b_jaccard_likers.csv",
+		"extension_removed_likes.csv", "report.txt",
+	}
+	got := map[string]bool{}
+	for _, f := range files {
+		got[f] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("missing artifact %s in %v", w, files)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 20 {
+			t.Fatalf("artifact %s suspiciously small (%d bytes)", w, len(data))
+		}
+	}
+	// CSV headers sane.
+	t1, _ := os.ReadFile(filepath.Join(dir, "table1_campaigns.csv"))
+	if !strings.HasPrefix(string(t1), "campaign,provider,") {
+		t.Fatalf("table1 header: %s", string(t1[:60]))
+	}
+	// 13 campaigns + header.
+	if lines := strings.Count(string(t1), "\n"); lines != 14 {
+		t.Fatalf("table1 lines = %d, want 14", lines)
+	}
+}
+
+func TestWriteFigure3DOT(t *testing.T) {
+	// Needs the study, not just results; run a tiny dedicated one.
+	cfg, err := ScaledConfig(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files, err := s.WriteFigure3DOT(res, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txt := string(data)
+		if !strings.HasPrefix(txt, "graph ") || !strings.Contains(txt, " -- ") {
+			t.Fatalf("%s is not a DOT graph:\n%s", f, txt[:min(200, len(txt))])
+		}
+	}
+}
+
+func TestRemovedLikesExtension(t *testing.T) {
+	res := miniResults(t)
+	// Every active campaign has an entry; removed <= likes.
+	for _, c := range res.Campaigns {
+		if !c.Active {
+			continue
+		}
+		removed, ok := res.RemovedLikes[c.Spec.ID]
+		if !ok {
+			t.Fatalf("no removed-likes entry for %s", c.Spec.ID)
+		}
+		if removed < 0 || removed > c.Likes {
+			t.Fatalf("%s removed = %d of %d", c.Spec.ID, removed, c.Likes)
+		}
+		if removed != c.Terminated {
+			// Each terminated liker contributed exactly one like to the
+			// honeypot, so the two counts coincide.
+			t.Fatalf("%s removed %d != terminated %d", c.Spec.ID, removed, c.Terminated)
+		}
+	}
+	out := res.RenderRemovedLikes()
+	if !strings.Contains(out, "Removed") || !strings.Contains(out, "SF-ALL") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/farm"
+	"repro/internal/report"
+	"repro/internal/socialnet"
+)
+
+// RenderTable1 prints the campaign roster with garnered likes,
+// monitoring spans, and terminated-account counts (Table 1).
+func (r *Results) RenderTable1() string {
+	t := report.NewTable(
+		"Table 1: Facebook and like farm campaigns used to promote the honeypot pages",
+		"Campaign ID", "Provider", "Description", "Location", "Budget",
+		"Duration", "Monitoring", "#Likes", "#Terminated",
+	)
+	for _, c := range r.Campaigns {
+		likes, mon, term := "-", "-", "-"
+		if c.Active {
+			likes = fmt.Sprintf("%d", c.Likes)
+			mon = fmt.Sprintf("%d days", c.MonitoringDays)
+			term = fmt.Sprintf("%d", c.Terminated)
+		}
+		t.AddRow(
+			c.Spec.ID, c.Spec.Provider, c.Spec.Description, c.Spec.Location,
+			c.Spec.BudgetText, fmt.Sprintf("%d days", c.Spec.DurationDays),
+			mon, likes, term,
+		)
+	}
+	return t.String()
+}
+
+// RenderFigure1 prints the per-campaign liker geolocation breakdown.
+func (r *Results) RenderFigure1() string {
+	countries := socialnet.StudyCountries()
+	var labels []string
+	pct := make(map[string]map[string]float64, len(r.Geo))
+	for _, row := range r.Geo {
+		labels = append(labels, row.CampaignID)
+		pct[row.CampaignID] = row.Percent
+	}
+	var b strings.Builder
+	b.WriteString(report.StackedBars(
+		"Figure 1: Geolocation of the likers (per campaign)",
+		labels, countries, pct,
+	))
+	t := report.NewTable("", append([]string{"Campaign"}, countries...)...)
+	for _, row := range r.Geo {
+		cells := []string{row.CampaignID}
+		for _, c := range countries {
+			cells = append(cells, report.Pct(row.Percent[c]))
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderTable2 prints gender and age statistics of likers with KL
+// divergence from the global Facebook age distribution.
+func (r *Results) RenderTable2() string {
+	t := report.NewTable(
+		"Table 2: Gender and age statistics of likers",
+		"Campaign ID", "%F/%M", "13-17", "18-24", "25-34", "35-44", "45-54", "55+", "KL",
+	)
+	addRow := func(row analysis.DemoRow, kl string) {
+		cells := []string{
+			row.CampaignID,
+			fmt.Sprintf("%s/%s", report.F(row.FemalePct, 0), report.F(row.MalePct, 0)),
+		}
+		for _, v := range row.AgePct {
+			cells = append(cells, report.Pct(v))
+		}
+		cells = append(cells, kl)
+		t.AddRow(cells...)
+	}
+	for _, row := range r.Demo {
+		addRow(row, report.F(row.KL, 2))
+	}
+	addRow(analysis.GlobalDemoRow(), "-")
+	return t.String()
+}
+
+// RenderFigure2 prints the cumulative-like time series, split into the
+// Facebook-campaign panel (a) and the like-farm panel (b) as in the
+// paper.
+func (r *Results) RenderFigure2() string {
+	var fbNames, farmNames []string
+	var fbSeries, farmSeries [][]int
+	for _, ts := range r.Temporal {
+		if strings.HasPrefix(ts.CampaignID, "FB-") {
+			fbNames = append(fbNames, ts.CampaignID)
+			fbSeries = append(fbSeries, ts.Values)
+		} else {
+			farmNames = append(farmNames, ts.CampaignID)
+			farmSeries = append(farmSeries, ts.Values)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(report.LinePlot("Figure 2(a): Cumulative likes, Facebook campaigns", fbNames, fbSeries, 12))
+	b.WriteByte('\n')
+	b.WriteString(report.LinePlot("Figure 2(b): Cumulative likes, like farm campaigns", farmNames, farmSeries, 12))
+	b.WriteByte('\n')
+	t := report.NewTable("Delivery burstiness", "Campaign", "Total", "MaxDayJump", "DaysTo90%")
+	for _, bs := range r.Bursts {
+		t.AddRow(bs.CampaignID, fmt.Sprintf("%d", bs.Total),
+			report.F(bs.MaxDayJumpFrac, 2), fmt.Sprintf("%d", bs.DaysTo90Pct))
+	}
+	b.WriteString(t.String())
+	if len(r.Windows) > 0 {
+		b.WriteByte('\n')
+		w := report.NewTable(
+			"2-hour window analysis (§4.2: burst farms land likes within two hours)",
+			"Campaign", "Total", "MaxIn2h", "MaxFrac2h", "ActiveWindows",
+		)
+		for _, ws := range r.Windows {
+			w.AddRow(ws.CampaignID, fmt.Sprintf("%d", ws.Total),
+				fmt.Sprintf("%d", ws.MaxIn2h), report.F(ws.MaxFrac2h, 2),
+				fmt.Sprintf("%d", ws.ActiveWindows))
+		}
+		b.WriteString(w.String())
+	}
+	return b.String()
+}
+
+// RenderTable3 prints likers and friendships between likers.
+func (r *Results) RenderTable3() string {
+	t := report.NewTable(
+		"Table 3: Likers and friendships between likers",
+		"Provider", "#Likers", "#Public friend lists", "Avg (±Std) #Friends",
+		"Median #Friends", "#Friendships between likers", "#2-hop relations",
+	)
+	for _, row := range r.Table3 {
+		t.AddRow(
+			row.Provider,
+			fmt.Sprintf("%d", row.Likers),
+			fmt.Sprintf("%d (%s%%)", row.PublicFriendLists, report.Pct(row.PublicPct)),
+			fmt.Sprintf("%s ± %s", report.F(row.AvgFriends, 0), report.F(row.StdFriends, 0)),
+			report.F(row.MedianFriends, 0),
+			fmt.Sprintf("%d", row.DirectFriendships),
+			fmt.Sprintf("%d", row.TwoHopRelations),
+		)
+	}
+	return t.String()
+}
+
+// RenderFigure3 prints the component census of the direct and 2-hop
+// liker graphs plus cross-provider edges.
+func (r *Results) RenderFigure3() string {
+	var b strings.Builder
+	render := func(title string, census []analysis.ComponentCensus) {
+		t := report.NewTable(title, "Provider", "Isolated", "Pairs", "Triplets", "Larger", "LargestCmp")
+		for _, c := range census {
+			t.AddRow(c.Provider,
+				fmt.Sprintf("%d", c.Isolated), fmt.Sprintf("%d", c.Pairs),
+				fmt.Sprintf("%d", c.Triplets), fmt.Sprintf("%d", c.Larger),
+				fmt.Sprintf("%d", c.LargestCmp))
+		}
+		b.WriteString(t.String())
+	}
+	render("Figure 3(a): Direct friendship relations between likers (component census)", r.DirectCensus)
+	b.WriteByte('\n')
+	render("Figure 3(b): 2-hop friendship relations between likers (component census)", r.TwoHopCensus)
+	if len(r.CrossEdges) > 0 {
+		b.WriteByte('\n')
+		t := report.NewTable("Cross-provider direct edges", "Pair", "#Edges")
+		var keys [][2]string
+		for k := range r.CrossEdges {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			t.AddRow(k[0]+" <-> "+k[1], fmt.Sprintf("%d", r.CrossEdges[k]))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// RenderFigure4 prints the page-like count distributions.
+func (r *Results) RenderFigure4() string {
+	var b strings.Builder
+	t := report.NewTable(
+		"Figure 4: Page-like counts per liker (distribution summary)",
+		"Campaign", "N", "Median", "P90", "Max",
+	)
+	for _, c := range r.CDFs {
+		t.AddRow(c.CampaignID, fmt.Sprintf("%d", c.N),
+			report.F(c.Median, 0), report.F(c.P90, 0), report.F(c.Max, 0))
+	}
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+
+	var fb, farms []analysis.PageLikeCDF
+	for _, c := range r.CDFs {
+		if strings.HasPrefix(c.CampaignID, "FB-") || c.CampaignID == "Facebook" {
+			fb = append(fb, c)
+		}
+		if !strings.HasPrefix(c.CampaignID, "FB-") {
+			farms = append(farms, c)
+		}
+	}
+	plot := func(title string, set []analysis.PageLikeCDF) {
+		names := make([]string, len(set))
+		for i, c := range set {
+			names[i] = c.CampaignID
+		}
+		b.WriteString(report.CDFPlot(title, names, func(si int, x float64) float64 {
+			return set[si].ECDF.At(x)
+		}, 10000, 72, 12))
+	}
+	plot("Figure 4(a): CDF of page-like counts, Facebook campaigns + baseline", fb)
+	b.WriteByte('\n')
+	plot("Figure 4(b): CDF of page-like counts, like farms + baseline", farms)
+	return b.String()
+}
+
+// RenderFigure5 prints the Jaccard similarity matrices.
+func (r *Results) RenderFigure5() string {
+	labels := make([]string, len(r.Campaigns))
+	for i, c := range r.Campaigns {
+		labels[i] = c.Spec.ID
+	}
+	var b strings.Builder
+	b.WriteString(report.Heatmap("Figure 5(a): Jaccard similarity (x100) of page-like sets", labels, r.PageSim))
+	b.WriteByte('\n')
+	b.WriteString(report.MatrixTable("", labels, r.PageSim, 1))
+	b.WriteByte('\n')
+	b.WriteString(report.Heatmap("Figure 5(b): Jaccard similarity (x100) of liker sets", labels, r.UserSim))
+	b.WriteByte('\n')
+	b.WriteString(report.MatrixTable("", labels, r.UserSim, 1))
+	return b.String()
+}
+
+// RenderEconomics prints the like-economics extension: package price vs
+// delivered likes vs the nominal per-like value estimates of §1. The
+// gap — farm likes costing cents while being "worth" dollars — is the
+// market the paper documents.
+func (r *Results) RenderEconomics() string {
+	prices := farm.PaperPriceList()
+	value := farm.ValuePerLikeEstimates()["ChompOn"]
+	t := report.NewTable(
+		fmt.Sprintf("Extension: like-farm economics (value/like = $%.2f, ChompOn estimate)", value),
+		"Campaign", "Package", "Ordered", "Delivered", "Fulfilled", "$/like", "Nominal value",
+	)
+	for _, c := range r.Campaigns {
+		if c.Spec.Kind != KindFarmOrder {
+			continue
+		}
+		loc := "Worldwide"
+		if strings.Contains(c.Spec.Location, "USA") {
+			loc = "USA"
+		}
+		e, err := farm.OrderEconomics(c.Spec.FarmName, loc, prices, c.Spec.Order.Quantity, c.Likes, value)
+		if err != nil {
+			t.AddRow(c.Spec.ID, "?", "-", "-", "-", "-", "-")
+			continue
+		}
+		cost := "-"
+		if e.CostPerDeliveredLike >= 0 {
+			cost = "$" + report.F(e.CostPerDeliveredLike, 3)
+		} else {
+			cost = "scam"
+		}
+		t.AddRow(c.Spec.ID,
+			"$"+report.F(e.PackagePrice, 2),
+			fmt.Sprintf("%d", e.OrderedLikes),
+			fmt.Sprintf("%d", e.DeliveredLikes),
+			report.Pct(100*e.FulfillmentRate())+"%",
+			cost,
+			"$"+report.F(e.NominalValue, 0),
+		)
+	}
+	return t.String()
+}
+
+// RenderRemovedLikes prints the §5 future-work extension: how many
+// likes each honeypot page lost once the sweep terminated fake likers.
+func (r *Results) RenderRemovedLikes() string {
+	t := report.NewTable(
+		"Extension: likes removed by the termination sweep (per campaign)",
+		"Campaign", "Likes", "Removed", "Removed %",
+	)
+	for _, c := range r.Campaigns {
+		if !c.Active {
+			t.AddRow(c.Spec.ID, "-", "-", "-")
+			continue
+		}
+		removed := r.RemovedLikes[c.Spec.ID]
+		pct := 0.0
+		if c.Likes > 0 {
+			pct = 100 * float64(removed) / float64(c.Likes)
+		}
+		t.AddRow(c.Spec.ID, fmt.Sprintf("%d", c.Likes),
+			fmt.Sprintf("%d", removed), report.Pct(pct))
+	}
+	return t.String()
+}
+
+// RenderAll prints every artifact in paper order, plus extensions.
+func (r *Results) RenderAll() string {
+	sections := []string{
+		r.RenderTable1(),
+		r.RenderFigure1(),
+		r.RenderTable2(),
+		r.RenderFigure2(),
+		r.RenderTable3(),
+		r.RenderFigure3(),
+		r.RenderFigure4(),
+		r.RenderFigure5(),
+		r.RenderRemovedLikes(),
+		r.RenderEconomics(),
+	}
+	return strings.Join(sections, "\n\n")
+}

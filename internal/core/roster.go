@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/farm"
+)
+
+// RosterSpec configures a randomized campaign roster — the paper's §5
+// future work asks for "larger and more diverse honeypots measurements";
+// this generates them over the same world machinery.
+type RosterSpec struct {
+	// NumFacebook ad campaigns to generate (targets drawn from the
+	// configured markets plus worldwide).
+	NumFacebook int
+	// NumFarmOrders to generate (farms drawn from the configured
+	// brands, locations alternating worldwide/targeted).
+	NumFarmOrders int
+	// OrderQuantity is the package size per farm order.
+	OrderQuantity int
+	// BudgetPerDay / DurationDays for ad campaigns.
+	BudgetPerDay float64
+	DurationDays int
+	// InactiveFrac is the probability a farm order is a scam that never
+	// delivers (the paper hit 2 of 8).
+	InactiveFrac float64
+}
+
+// Validate checks the spec.
+func (s *RosterSpec) Validate() error {
+	if s.NumFacebook < 0 || s.NumFarmOrders < 0 || s.NumFacebook+s.NumFarmOrders == 0 {
+		return fmt.Errorf("core: roster needs at least one campaign")
+	}
+	if s.NumFarmOrders > 0 && s.OrderQuantity < 1 {
+		return fmt.Errorf("core: order quantity %d must be >=1", s.OrderQuantity)
+	}
+	if s.NumFacebook > 0 && s.BudgetPerDay <= 0 {
+		return fmt.Errorf("core: budget/day %v must be positive", s.BudgetPerDay)
+	}
+	if s.DurationDays < 1 {
+		return fmt.Errorf("core: duration %d days must be >=1", s.DurationDays)
+	}
+	if s.InactiveFrac < 0 || s.InactiveFrac > 1 {
+		return fmt.Errorf("core: inactive fraction %v out of [0,1]", s.InactiveFrac)
+	}
+	return nil
+}
+
+// RandomRoster replaces cfg.Campaigns with a generated roster drawn over
+// cfg's markets and farms. Farm pool sizes are not adjusted; callers
+// must keep total ordered likes within pool capacity.
+func RandomRoster(r *rand.Rand, cfg *StudyConfig, spec RosterSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.NumFarmOrders > 0 && len(cfg.Farms) == 0 {
+		return fmt.Errorf("core: roster wants farm orders but config has no farms")
+	}
+	var campaigns []CampaignSpec
+
+	// Ad campaigns cycle through targeted markets plus worldwide.
+	var targets []string
+	for _, m := range cfg.Markets {
+		targets = append(targets, m.Country)
+	}
+	targets = append(targets, "") // worldwide
+	for i := 0; i < spec.NumFacebook; i++ {
+		country := targets[i%len(targets)]
+		loc := country
+		if loc == "" {
+			loc = "Worldwide"
+		}
+		campaigns = append(campaigns, CampaignSpec{
+			ID:            fmt.Sprintf("FBX-%02d-%s", i, shortLoc(loc)),
+			Provider:      "Facebook.com",
+			Description:   "Page like ads",
+			Location:      loc,
+			BudgetText:    fmt.Sprintf("$%.0f/day", spec.BudgetPerDay),
+			DurationDays:  spec.DurationDays,
+			Kind:          KindFacebookAds,
+			TargetCountry: country,
+			BudgetPerDay:  spec.BudgetPerDay,
+		})
+	}
+
+	for i := 0; i < spec.NumFarmOrders; i++ {
+		fs := cfg.Farms[i%len(cfg.Farms)]
+		location := "Worldwide"
+		target := ""
+		if i%2 == 1 {
+			location = "USA only"
+			target = "USA"
+		}
+		order := farm.Order{
+			Quantity:     spec.OrderQuantity,
+			DurationDays: spec.DurationDays,
+			Inactive:     r.Float64() < spec.InactiveFrac,
+		}
+		order.TargetCountry = target
+		if fs.Config.Mode == farm.ModeBurst {
+			order.Bursts = 1 + r.Intn(3)
+		}
+		campaigns = append(campaigns, CampaignSpec{
+			ID:           fmt.Sprintf("FRM-%02d-%s", i, shortLoc(location)),
+			Provider:     fs.Config.Name,
+			Description:  fmt.Sprintf("%d likes", spec.OrderQuantity),
+			Location:     location,
+			BudgetText:   "$--",
+			DurationDays: spec.DurationDays,
+			Kind:         KindFarmOrder,
+			FarmName:     fs.Config.Name,
+			Order:        order,
+		})
+	}
+	cfg.Campaigns = campaigns
+	return nil
+}
+
+func shortLoc(loc string) string {
+	switch loc {
+	case "Worldwide":
+		return "ALL"
+	case "USA only":
+		return "USA"
+	default:
+		if len(loc) > 3 {
+			return loc[:3]
+		}
+		return loc
+	}
+}

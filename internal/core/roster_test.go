@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomRosterGeneratesCampaigns(t *testing.T) {
+	cfg, err := ScaledConfig(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	spec := RosterSpec{
+		NumFacebook:   7,
+		NumFarmOrders: 8,
+		OrderQuantity: 20,
+		BudgetPerDay:  6,
+		DurationDays:  10,
+		InactiveFrac:  0.2,
+	}
+	if err := RandomRoster(r, &cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Campaigns) != 15 {
+		t.Fatalf("campaigns = %d", len(cfg.Campaigns))
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generated roster invalid: %v", err)
+	}
+	// IDs unique, kinds mixed.
+	seen := map[string]bool{}
+	fb, farms := 0, 0
+	for _, cs := range cfg.Campaigns {
+		if seen[cs.ID] {
+			t.Fatalf("duplicate ID %s", cs.ID)
+		}
+		seen[cs.ID] = true
+		switch cs.Kind {
+		case KindFacebookAds:
+			fb++
+		case KindFarmOrder:
+			farms++
+		}
+	}
+	if fb != 7 || farms != 8 {
+		t.Fatalf("kinds: fb=%d farms=%d", fb, farms)
+	}
+}
+
+// TestDiverseRosterStudyRuns is the §5 future-work scenario: a larger,
+// more diverse honeypot deployment over the same machinery.
+func TestDiverseRosterStudyRuns(t *testing.T) {
+	cfg, err := ScaledConfig(9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	err = RandomRoster(r, &cfg, RosterSpec{
+		NumFacebook:   6,
+		NumFarmOrders: 10,
+		OrderQuantity: 15,
+		BudgetPerDay:  4,
+		DurationDays:  8,
+		InactiveFrac:  0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Campaigns) != 16 {
+		t.Fatalf("results campaigns = %d", len(res.Campaigns))
+	}
+	delivered := 0
+	for _, c := range res.Campaigns {
+		if c.Active && c.Likes > 0 {
+			delivered++
+		}
+	}
+	if delivered < 10 {
+		t.Fatalf("only %d campaigns delivered", delivered)
+	}
+	// All artifacts still render.
+	if out := res.RenderAll(); len(out) < 1000 {
+		t.Fatalf("render too small: %d bytes", len(out))
+	}
+}
+
+func TestRosterSpecValidation(t *testing.T) {
+	cfg, err := ScaledConfig(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	bad := []RosterSpec{
+		{},
+		{NumFacebook: 1, BudgetPerDay: 0, DurationDays: 5},
+		{NumFarmOrders: 1, OrderQuantity: 0, DurationDays: 5},
+		{NumFacebook: 1, BudgetPerDay: 5, DurationDays: 0},
+		{NumFacebook: 1, BudgetPerDay: 5, DurationDays: 5, InactiveFrac: 2},
+	}
+	for i, spec := range bad {
+		if err := RandomRoster(r, &cfg, spec); err == nil {
+			t.Fatalf("spec %d accepted", i)
+		}
+	}
+	noFarms := cfg
+	noFarms.Farms = nil
+	if err := RandomRoster(r, &noFarms, RosterSpec{NumFarmOrders: 2, OrderQuantity: 5, DurationDays: 3}); err == nil {
+		t.Fatal("farm orders without farms accepted")
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/analysis"
+	"repro/internal/farm"
+	"repro/internal/honeypot"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+// Study is a configured experiment over a freshly built world.
+type Study struct {
+	cfg    StudyConfig
+	rng    *rand.Rand
+	store  *socialnet.Store
+	pop    *socialnet.Population
+	ledger *accounts.Ledger
+	engine *platform.AdEngine
+	farms  map[string]*farm.Farm
+	clock  *simclock.Clock
+}
+
+// CampaignResult is the outcome of one campaign (a Table 1 row plus the
+// raw liker set and the Figure 2 series).
+type CampaignResult struct {
+	Spec           CampaignSpec
+	Page           socialnet.PageID
+	Active         bool
+	Likes          int
+	Terminated     int
+	MonitoringDays int
+	Likers         []socialnet.UserID
+	// Series is the cumulative like count by day offset, spanning at
+	// least the common 15-day Figure 2 axis.
+	Series []int
+}
+
+// Results bundles every artifact of the study.
+type Results struct {
+	Config    StudyConfig
+	Campaigns []CampaignResult
+
+	Geo      []analysis.GeoRow         // Figure 1
+	Demo     []analysis.DemoRow        // Table 2
+	Temporal []analysis.TemporalSeries // Figure 2
+	Bursts   []analysis.BurstStats
+	Windows  []analysis.WindowStats // Figure 2 at 2-hour granularity
+
+	Groups       *analysis.GroupAssignment
+	Table3       []analysis.ProviderGroupRow
+	DirectCensus []analysis.ComponentCensus // Figure 3(a)
+	TwoHopCensus []analysis.ComponentCensus // Figure 3(b)
+	CrossEdges   map[[2]string]int
+
+	Baseline []socialnet.UserID
+	CDFs     []analysis.PageLikeCDF // Figure 4
+
+	PageSim [][]float64 // Figure 5(a)
+	UserSim [][]float64 // Figure 5(b)
+
+	// RemovedLikes maps campaign ID to the number of likes the page
+	// lost to the termination sweep — the §5 future-work extension
+	// ("longer observation of removed likes").
+	RemovedLikes map[string]int
+
+	// HistoryLikes is how many cover likes were materialized for the
+	// observed likers and baseline users.
+	HistoryLikes int
+}
+
+// NewStudy builds the world: organic population, ad markets, farm pools.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Study{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		store: socialnet.NewStore(),
+		farms: make(map[string]*farm.Farm),
+		clock: simclock.New(cfg.Start),
+	}
+	pop, err := socialnet.GeneratePopulation(s.rng, s.store, cfg.Population)
+	if err != nil {
+		return nil, fmt.Errorf("core: population: %w", err)
+	}
+	s.pop = pop
+	s.ledger = accounts.NewLedger(pop, cfg.Start)
+
+	// Shared page-universe blocks. Which blocks cohorts share fixes the
+	// Figure 5(a) overlap structure.
+	blockDate := cfg.Start.AddDate(-2, 0, 0)
+	var globalHead, adWorld []socialnet.PageID
+	if cfg.Blocks.GlobalHead > 0 {
+		if globalHead, err = accounts.MakePageBlock(s.store, "global-head", "global", cfg.Blocks.GlobalHead, blockDate); err != nil {
+			return nil, fmt.Errorf("core: global head: %w", err)
+		}
+	}
+	if cfg.Blocks.AdWorld > 0 {
+		if adWorld, err = accounts.MakePageBlock(s.store, "adworld", "ads", cfg.Blocks.AdWorld, blockDate); err != nil {
+			return nil, fmt.Errorf("core: adworld: %w", err)
+		}
+	}
+	// Per-market regional blocks, attached as clicker cover slices:
+	// clickers like the shared ad-world pages, their region's pages, and
+	// a pinch of the global head.
+	markets := make([]platform.ClickMarket, len(cfg.Markets))
+	copy(markets, cfg.Markets)
+	for i := range markets {
+		if len(markets[i].Cohort.Cover.Slices) > 0 || cfg.Blocks.RegionalPerMarket <= 0 {
+			continue
+		}
+		regional, err := accounts.MakePageBlock(s.store, "regional-"+markets[i].Country, "regional", cfg.Blocks.RegionalPerMarket, blockDate)
+		if err != nil {
+			return nil, fmt.Errorf("core: regional block %s: %w", markets[i].Country, err)
+		}
+		var slices []accounts.CoverSlice
+		if len(adWorld) > 0 {
+			slices = append(slices, accounts.CoverSlice{Name: "adworld", Pages: adWorld, Frac: 0.45})
+		}
+		slices = append(slices, accounts.CoverSlice{Name: "regional", Pages: regional, Frac: 0.45})
+		if len(globalHead) > 0 {
+			slices = append(slices, accounts.CoverSlice{Name: "global", Pages: globalHead, Frac: 0.10})
+		}
+		markets[i].Cohort.Cover.Slices = slices
+	}
+
+	engine, err := platform.NewAdEngine(s.rng, s.store, pop, s.ledger, markets)
+	if err != nil {
+		return nil, fmt.Errorf("core: ad engine: %w", err)
+	}
+	s.engine = engine
+
+	// Farm pools: farms sharing a PoolName share the cohort and usage.
+	pools := make(map[string]*accounts.Cohort)
+	usages := make(map[string]*farm.Usage)
+	for _, fs := range cfg.Farms {
+		cohort, ok := pools[fs.PoolName]
+		if !ok {
+			spec := fs.Pool
+			if len(spec.Cover.Slices) == 0 {
+				var slices []accounts.CoverSlice
+				if fs.JobPortfolioSize > 0 && fs.Mix.Jobs > 0 {
+					jobs, err := accounts.MakeJobPortfolio(s.store, fs.Config.Name, fs.JobPortfolioSize, blockDate)
+					if err != nil {
+						return nil, fmt.Errorf("core: farm %s: %w", fs.Config.Name, err)
+					}
+					slices = append(slices, accounts.CoverSlice{Name: "jobs", Pages: jobs, Frac: fs.Mix.Jobs})
+				}
+				if fs.NoiseBlockSize > 0 && fs.Mix.Noise > 0 {
+					noise, err := accounts.MakePageBlock(s.store, fs.PoolName+"-noise", "noise", fs.NoiseBlockSize, blockDate)
+					if err != nil {
+						return nil, fmt.Errorf("core: farm %s noise: %w", fs.Config.Name, err)
+					}
+					slices = append(slices, accounts.CoverSlice{Name: "noise", Pages: noise, Frac: fs.Mix.Noise})
+				}
+				if len(globalHead) > 0 && fs.Mix.Global > 0 {
+					slices = append(slices, accounts.CoverSlice{Name: "global", Pages: globalHead, Frac: fs.Mix.Global})
+				}
+				spec.Cover.Slices = slices
+			}
+			cohort, err = accounts.Build(s.rng, s.store, pop, spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: farm pool %s: %w", fs.PoolName, err)
+			}
+			s.ledger.Register(cohort)
+			pools[fs.PoolName] = cohort
+			usages[fs.PoolName] = farm.NewUsage()
+		}
+		f, err := farm.New(s.rng, s.store, fs.Config, cohort, usages[fs.PoolName])
+		if err != nil {
+			return nil, fmt.Errorf("core: farm %s: %w", fs.Config.Name, err)
+		}
+		s.farms[fs.Config.Name] = f
+	}
+	return s, nil
+}
+
+// Store exposes the world (examples, tools, tests).
+func (s *Study) Store() *socialnet.Store { return s.store }
+
+// Population exposes the organic world.
+func (s *Study) Population() *socialnet.Population { return s.pop }
+
+// Clock exposes the virtual clock.
+func (s *Study) Clock() *simclock.Clock { return s.clock }
+
+// Farm returns a configured farm by brand name.
+func (s *Study) Farm(name string) (*farm.Farm, bool) {
+	f, ok := s.farms[name]
+	return f, ok
+}
+
+// Run executes the full experiment: deploy, promote, monitor, sweep,
+// analyze. It is deterministic given the config's seed.
+func (s *Study) Run() (*Results, error) {
+	type running struct {
+		spec    CampaignSpec
+		page    socialnet.PageID
+		monitor *honeypot.Monitor
+		active  bool
+	}
+	var states []*running
+
+	// Deploy and promote all 13 pages at t0, as in §3 ("all campaigns
+	// were launched on March 12, 2014").
+	for _, cs := range s.cfg.Campaigns {
+		page, _, err := honeypot.Deploy(s.store, cs.ID, s.clock.Now())
+		if err != nil {
+			return nil, fmt.Errorf("core: deploy %s: %w", cs.ID, err)
+		}
+		st := &running{spec: cs, page: page, active: true}
+		switch cs.Kind {
+		case KindFacebookAds:
+			err = s.engine.Launch(s.clock, platform.AdCampaign{
+				Page:          page,
+				TargetCountry: cs.TargetCountry,
+				BudgetPerDay:  cs.BudgetPerDay,
+				DurationDays:  cs.DurationDays,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: launch %s: %w", cs.ID, err)
+			}
+		case KindFarmOrder:
+			f := s.farms[cs.FarmName]
+			order := cs.Order
+			order.Campaign = cs.ID
+			order.Page = page
+			err = f.PlaceOrder(s.clock, order)
+			if errors.Is(err, farm.ErrInactive) {
+				st.active = false
+			} else if err != nil {
+				return nil, fmt.Errorf("core: order %s: %w", cs.ID, err)
+			}
+		}
+		mcfg := honeypot.DefaultMonitorConfig(cs.DurationDays)
+		if s.cfg.MonitorActiveInterval > 0 {
+			mcfg.ActiveInterval = s.cfg.MonitorActiveInterval
+		}
+		mon, err := honeypot.StartMonitor(s.clock, s.store, page, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: monitor %s: %w", cs.ID, err)
+		}
+		st.monitor = mon
+		states = append(states, st)
+	}
+
+	// Run the virtual weeks: every delivery fires and every monitor
+	// eventually stops itself, so the queue drains.
+	s.clock.Drain(0)
+
+	// Collect likers; materialize their cover histories plus the
+	// baseline sample's (the crawl of §3 / Figure 4).
+	var allLikers []socialnet.UserID
+	for _, st := range states {
+		allLikers = append(allLikers, st.monitor.Likers()...)
+	}
+	baseline, err := analysis.BaselineSample(s.rng, s.store, s.cfg.BaselineSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline: %w", err)
+	}
+	toMaterialize := append(append([]socialnet.UserID(nil), allLikers...), baseline...)
+	histLikes, err := s.ledger.Materialize(s.rng, s.store, toMaterialize)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize histories: %w", err)
+	}
+
+	// The month-later fraud sweep (§5): Facebook examines the accounts
+	// and terminates a score-proportional few.
+	if _, err := platform.FraudSweep(s.rng, s.store, allLikers, s.cfg.Sweep); err != nil {
+		return nil, fmt.Errorf("core: fraud sweep: %w", err)
+	}
+
+	// Assemble results.
+	res := &Results{
+		Config: s.cfg, Baseline: baseline, HistoryLikes: histLikes,
+		RemovedLikes: make(map[string]int, len(states)),
+	}
+	var aCampaigns []analysis.Campaign
+	for _, st := range states {
+		likers := st.monitor.Likers()
+		terminated, err := platform.TerminatedAmong(s.store, likers)
+		if err != nil {
+			return nil, err
+		}
+		// Figure 2 plots all campaigns on a common 15-day axis.
+		days := 15
+		if st.spec.DurationDays > days {
+			days = st.spec.DurationDays
+		}
+		cr := CampaignResult{
+			Spec:           st.spec,
+			Page:           st.page,
+			Active:         st.active,
+			Likes:          st.monitor.TotalLikes(),
+			Terminated:     terminated,
+			MonitoringDays: st.monitor.MonitoringDays(s.clock.Now()),
+			Likers:         likers,
+			Series:         st.monitor.CumulativeByDay(days),
+		}
+		res.Campaigns = append(res.Campaigns, cr)
+		res.RemovedLikes[st.spec.ID] = s.store.LikeCountOfPage(st.page) - s.store.ActiveLikeCountOfPage(st.page)
+		aCampaigns = append(aCampaigns, analysis.Campaign{
+			ID:       st.spec.ID,
+			Provider: st.spec.Provider,
+			Page:     st.page,
+			Likers:   likers,
+			Active:   st.active,
+		})
+	}
+
+	if res.Geo, err = analysis.LocationBreakdown(s.store, aCampaigns); err != nil {
+		return nil, err
+	}
+	if res.Demo, err = analysis.Demographics(s.store, aCampaigns); err != nil {
+		return nil, err
+	}
+	for i, st := range states {
+		res.Temporal = append(res.Temporal, analysis.TemporalSeries{
+			CampaignID: st.spec.ID,
+			Values:     res.Campaigns[i].Series,
+		})
+		res.Bursts = append(res.Bursts, analysis.Burstiness(res.Temporal[i]))
+		likes := s.store.LikesOfPage(st.page)
+		times := make([]time.Time, len(likes))
+		for j, lk := range likes {
+			times[j] = lk.At
+		}
+		ws, err := analysis.WindowAnalysis(st.spec.ID, times)
+		if err != nil {
+			return nil, err
+		}
+		res.Windows = append(res.Windows, ws)
+	}
+
+	res.Groups = analysis.AssignGroups(aCampaigns, FarmAuthenticLikes, FarmMammothSocials)
+	base := s.store.FriendGraph()
+	if res.Table3, err = analysis.SocialGraphTable(s.store, res.Groups, base); err != nil {
+		return nil, err
+	}
+	direct, twoHop := analysis.LikerGraphs(res.Groups, base)
+	res.DirectCensus = analysis.CensusByProvider(res.Groups, direct)
+	res.TwoHopCensus = analysis.CensusByProvider(res.Groups, twoHop)
+	res.CrossEdges = analysis.CrossProviderEdges(res.Groups, direct)
+
+	if res.CDFs, err = analysis.PageLikeCDFs(s.store, aCampaigns, baseline); err != nil {
+		return nil, err
+	}
+	if res.PageSim, res.UserSim, err = analysis.JaccardMatrices(s.store, aCampaigns); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunDefault builds and runs the default 13-campaign study.
+func RunDefault(seed int64) (*Results, error) {
+	s, err := NewStudy(DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Elapsed returns the virtual time since study start.
+func (s *Study) Elapsed() time.Duration { return s.clock.Now().Sub(s.cfg.Start) }

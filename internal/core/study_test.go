@@ -1,0 +1,396 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/socialnet"
+)
+
+// miniResults runs the 13-campaign study at 1/10 scale, cached across
+// tests in this package.
+var cachedMini *Results
+
+func miniResults(t *testing.T) *Results {
+	t.Helper()
+	if cachedMini != nil {
+		return cachedMini
+	}
+	cfg, err := ScaledConfig(7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedMini = res
+	return res
+}
+
+func campaign(t *testing.T, res *Results, id string) CampaignResult {
+	t.Helper()
+	for _, c := range res.Campaigns {
+		if c.Spec.ID == id {
+			return c
+		}
+	}
+	t.Fatalf("campaign %s missing", id)
+	return CampaignResult{}
+}
+
+func TestStudyRunsAll13Campaigns(t *testing.T) {
+	res := miniResults(t)
+	if len(res.Campaigns) != 13 {
+		t.Fatalf("campaigns = %d, want 13", len(res.Campaigns))
+	}
+	ids := map[string]bool{}
+	for _, c := range res.Campaigns {
+		ids[c.Spec.ID] = true
+	}
+	for _, want := range []string{"FB-USA", "FB-FRA", "FB-IND", "FB-EGY", "FB-ALL",
+		"BL-ALL", "BL-USA", "SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-ALL", "MS-USA"} {
+		if !ids[want] {
+			t.Fatalf("missing campaign %s", want)
+		}
+	}
+}
+
+func TestInactiveCampaignsDeliverNothing(t *testing.T) {
+	res := miniResults(t)
+	for _, id := range []string{"BL-ALL", "MS-ALL"} {
+		c := campaign(t, res, id)
+		if c.Active {
+			t.Fatalf("%s should be inactive", id)
+		}
+		if c.Likes != 0 {
+			t.Fatalf("%s delivered %d likes", id, c.Likes)
+		}
+	}
+}
+
+func TestActiveCampaignsDeliver(t *testing.T) {
+	res := miniResults(t)
+	for _, id := range []string{"FB-IND", "FB-EGY", "FB-ALL", "BL-USA", "SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-USA"} {
+		c := campaign(t, res, id)
+		if !c.Active || c.Likes == 0 {
+			t.Fatalf("%s: active=%v likes=%d", id, c.Active, c.Likes)
+		}
+	}
+	// Cheap markets vastly outdeliver expensive ones on equal budget.
+	if campaign(t, res, "FB-IND").Likes <= campaign(t, res, "FB-USA").Likes {
+		t.Fatal("India should garner far more likes than USA per dollar")
+	}
+}
+
+func TestWorldwideCampaignIsIndian(t *testing.T) {
+	res := miniResults(t)
+	for _, row := range res.Geo {
+		if row.CampaignID == "FB-ALL" {
+			if row.Percent[socialnet.CountryIndia] < 85 {
+				t.Fatalf("FB-ALL india pct = %v, want ≳90", row.Percent[socialnet.CountryIndia])
+			}
+			return
+		}
+	}
+	t.Fatal("FB-ALL geo row missing")
+}
+
+func TestSocialFormulaIgnoresTargeting(t *testing.T) {
+	res := miniResults(t)
+	for _, row := range res.Geo {
+		if row.CampaignID == "SF-USA" {
+			if row.Percent[socialnet.CountryTurkey] < 70 {
+				t.Fatalf("SF-USA turkey pct = %v", row.Percent[socialnet.CountryTurkey])
+			}
+			return
+		}
+	}
+	t.Fatal("SF-USA geo row missing")
+}
+
+func TestKLOrdering(t *testing.T) {
+	res := miniResults(t)
+	kl := map[string]float64{}
+	for _, row := range res.Demo {
+		kl[row.CampaignID] = row.KL
+	}
+	// SF mirrors the global population; FB-IND/EGY/ALL are far from it.
+	if kl["SF-ALL"] > 0.25 {
+		t.Fatalf("SF-ALL KL = %v, want near 0", kl["SF-ALL"])
+	}
+	for _, id := range []string{"FB-IND", "FB-EGY", "FB-ALL"} {
+		if kl[id] < 0.4 {
+			t.Fatalf("%s KL = %v, want large", id, kl[id])
+		}
+		if kl[id] <= kl["SF-ALL"] {
+			t.Fatalf("%s KL should exceed SF-ALL", id)
+		}
+	}
+}
+
+func TestBurstVsTrickleShapes(t *testing.T) {
+	res := miniResults(t)
+	burst := map[string]float64{}
+	for _, b := range res.Bursts {
+		burst[b.CampaignID] = b.MaxDayJumpFrac
+	}
+	// Burst farms concentrate delivery; BL and FB ads trickle.
+	for _, id := range []string{"SF-ALL", "SF-USA", "AL-ALL", "MS-USA"} {
+		if burst[id] < 0.3 {
+			t.Fatalf("%s max-day jump = %v, want bursty", id, burst[id])
+		}
+	}
+	for _, id := range []string{"BL-USA", "FB-IND", "FB-EGY"} {
+		if burst[id] > 0.25 {
+			t.Fatalf("%s max-day jump = %v, want trickle", id, burst[id])
+		}
+	}
+}
+
+func TestWindowAnalysisShape(t *testing.T) {
+	res := miniResults(t)
+	w := map[string]float64{}
+	active := map[string]int{}
+	for _, ws := range res.Windows {
+		w[ws.CampaignID] = ws.MaxFrac2h
+		active[ws.CampaignID] = ws.ActiveWindows
+	}
+	// Burst farms land a large share of all likes inside one 2-hour
+	// window; BL and FB ads never do.
+	for _, id := range []string{"SF-ALL", "AL-ALL"} {
+		if w[id] < 0.3 {
+			t.Fatalf("%s max 2h fraction = %v, want bursty", id, w[id])
+		}
+	}
+	for _, id := range []string{"BL-USA", "FB-IND"} {
+		if w[id] > 0.2 {
+			t.Fatalf("%s max 2h fraction = %v, want trickle", id, w[id])
+		}
+	}
+	// Trickles touch far more windows than bursts.
+	if active["BL-USA"] <= active["SF-ALL"] {
+		t.Fatalf("BL active windows %d should exceed SF %d", active["BL-USA"], active["SF-ALL"])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := miniResults(t)
+	rows := map[string]int{}
+	medians := map[string]float64{}
+	for i, row := range res.Table3 {
+		rows[row.Provider] = i
+		medians[row.Provider] = row.MedianFriends
+	}
+	for _, p := range []string{"Facebook.com", FarmBoostLikes, FarmSocialFormula, FarmAuthenticLikes} {
+		if _, ok := rows[p]; !ok {
+			t.Fatalf("Table 3 missing provider %s", p)
+		}
+	}
+	// BoostLikes likers have by far the most friends.
+	if medians[FarmBoostLikes] <= medians[FarmSocialFormula] ||
+		medians[FarmBoostLikes] <= medians["Facebook.com"] {
+		t.Fatalf("BL median %v should dominate: %v", medians[FarmBoostLikes], medians)
+	}
+	// BoostLikes likers are the most interconnected.
+	var bl, fb *int
+	for i := range res.Table3 {
+		row := &res.Table3[i]
+		if row.Provider == FarmBoostLikes {
+			bl = &row.DirectFriendships
+		}
+		if row.Provider == "Facebook.com" {
+			fb = &row.DirectFriendships
+		}
+	}
+	if bl == nil || fb == nil || *bl <= *fb {
+		t.Fatalf("BL direct friendships should dominate FB: %v vs %v", bl, fb)
+	}
+}
+
+func TestALMSGroupExists(t *testing.T) {
+	res := miniResults(t)
+	found := false
+	for _, row := range res.Table3 {
+		if row.Provider == "ALMS" && row.Likers > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ALMS shared-operator group missing from Table 3")
+	}
+}
+
+func TestPageLikeMedianOrdering(t *testing.T) {
+	res := miniResults(t)
+	med := map[string]float64{}
+	for _, c := range res.CDFs {
+		med[c.CampaignID] = c.Median
+	}
+	// Baseline << BL-USA << FB campaigns < farm campaigns.
+	if med["Facebook"] >= med["FB-IND"] {
+		t.Fatalf("baseline median %v should be far below FB-IND %v", med["Facebook"], med["FB-IND"])
+	}
+	if med["BL-USA"] >= med["FB-IND"] {
+		t.Fatalf("BL-USA median %v should be below FB-IND %v", med["BL-USA"], med["FB-IND"])
+	}
+	if med["SF-ALL"] <= med["FB-IND"] {
+		t.Fatalf("SF-ALL median %v should exceed FB-IND %v", med["SF-ALL"], med["FB-IND"])
+	}
+}
+
+func TestJaccardBlocks(t *testing.T) {
+	res := miniResults(t)
+	idx := map[string]int{}
+	for i, c := range res.Campaigns {
+		idx[c.Spec.ID] = i
+	}
+	pageSim := res.PageSim
+	userSim := res.UserSim
+	// Same-farm page similarity far exceeds cross-farm.
+	sfPair := pageSim[idx["SF-ALL"]][idx["SF-USA"]]
+	crossFarm := pageSim[idx["SF-ALL"]][idx["BL-USA"]]
+	if sfPair <= crossFarm {
+		t.Fatalf("SF pair %v should exceed SF-BL %v", sfPair, crossFarm)
+	}
+	// AL-USA and MS-USA share likers (same operator).
+	alms := userSim[idx["AL-USA"]][idx["MS-USA"]]
+	other := userSim[idx["SF-ALL"]][idx["BL-USA"]]
+	if alms <= other {
+		t.Fatalf("AL/MS user similarity %v should exceed unrelated %v", alms, other)
+	}
+	// Inactive campaigns are zero rows.
+	for j := range pageSim[idx["BL-ALL"]] {
+		if pageSim[idx["BL-ALL"]][j] != 0 {
+			t.Fatal("inactive campaign has nonzero similarity")
+		}
+	}
+}
+
+func TestTerminationShape(t *testing.T) {
+	res := miniResults(t)
+	botTerm := campaign(t, res, "SF-ALL").Terminated + campaign(t, res, "SF-USA").Terminated +
+		campaign(t, res, "AL-ALL").Terminated + campaign(t, res, "AL-USA").Terminated
+	blTerm := campaign(t, res, "BL-USA").Terminated
+	if botTerm == 0 {
+		t.Fatal("burst farms should lose some accounts")
+	}
+	if blTerm > botTerm {
+		t.Fatalf("stealth farm lost %d vs burst farms %d", blTerm, botTerm)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	res := miniResults(t)
+	sections := map[string]string{
+		"table1": res.RenderTable1(),
+		"table2": res.RenderTable2(),
+		"table3": res.RenderTable3(),
+		"fig1":   res.RenderFigure1(),
+		"fig2":   res.RenderFigure2(),
+		"fig3":   res.RenderFigure3(),
+		"fig4":   res.RenderFigure4(),
+		"fig5":   res.RenderFigure5(),
+	}
+	for name, out := range sections {
+		if len(out) < 100 {
+			t.Fatalf("%s output too short:\n%s", name, out)
+		}
+	}
+	all := res.RenderAll()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("RenderAll missing %q", want)
+		}
+	}
+	// Inactive campaigns render as dashes in Table 1.
+	if !strings.Contains(sections["table1"], "BL-ALL") {
+		t.Fatal("BL-ALL row missing")
+	}
+}
+
+func TestMonitoringWindows(t *testing.T) {
+	res := miniResults(t)
+	// FB campaigns: 15-day campaigns + ~7 quiet days ≈ 22.
+	for _, id := range []string{"FB-IND", "FB-EGY"} {
+		c := campaign(t, res, id)
+		if c.MonitoringDays < 20 || c.MonitoringDays > 25 {
+			t.Fatalf("%s monitored %d days, want ≈22", id, c.MonitoringDays)
+		}
+	}
+	// SF bursts finish fast: monitoring ends within ~8-11 days.
+	c := campaign(t, res, "SF-ALL")
+	if c.MonitoringDays > 12 {
+		t.Fatalf("SF-ALL monitored %d days, want ≈10", c.MonitoringDays)
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	cfg, err := ScaledConfig(99, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int {
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, c := range res.Campaigns {
+			out = append(out, c.Likes, c.Terminated, len(c.Likers))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("study not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := func(mut func(*StudyConfig)) StudyConfig {
+		cfg := DefaultConfig(1)
+		mut(&cfg)
+		return cfg
+	}
+	cases := []StudyConfig{
+		bad(func(c *StudyConfig) { c.Campaigns = nil }),
+		bad(func(c *StudyConfig) { c.Campaigns[0].ID = "" }),
+		bad(func(c *StudyConfig) { c.Campaigns[1].ID = c.Campaigns[0].ID }),
+		bad(func(c *StudyConfig) { c.Campaigns[0].BudgetPerDay = 0 }),
+		bad(func(c *StudyConfig) { c.Campaigns[5].FarmName = "nope" }),
+		bad(func(c *StudyConfig) { c.Campaigns[0].DurationDays = 0 }),
+		bad(func(c *StudyConfig) { c.BaselineSize = 0 }),
+		bad(func(c *StudyConfig) { c.SweepDelayDays = 0 }),
+		bad(func(c *StudyConfig) { c.Farms = append(c.Farms, c.Farms[0]) }),
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := ScaledConfig(1, 0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := ScaledConfig(1, 1.5); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}
+
+func TestRosterOrder(t *testing.T) {
+	cfg := DefaultConfig(1)
+	order := cfg.RosterOrder()
+	if len(order) != 13 || order[0] != "FB-USA" || order[12] != "MS-USA" {
+		t.Fatalf("roster = %v", order)
+	}
+}

@@ -1,0 +1,305 @@
+// Package crawler implements the study's data-collection client over the
+// HTTP API — the stand-in for the paper's Selenium-driven crawl (§3). It
+// is a polite crawler: a minimum interval between requests, bounded
+// retries with exponential backoff on transient failures, pagination of
+// like streams and friend lists, and graceful handling of private friend
+// lists (most Facebook-campaign likers kept theirs private).
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Errors.
+var (
+	// ErrPrivate marks a friend list the owner has hidden.
+	ErrPrivate = errors.New("crawler: friend list is private")
+	// ErrNotFound marks a missing user or page.
+	ErrNotFound = errors.New("crawler: not found")
+)
+
+// Config tunes the crawler's politeness.
+type Config struct {
+	// BaseURL is the API root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// MinInterval is the minimum spacing between requests (politeness).
+	MinInterval time.Duration
+	// MaxRetries bounds retry attempts per request.
+	MaxRetries int
+	// Backoff is the initial retry backoff (doubled per attempt).
+	Backoff time.Duration
+	// PageSize is the pagination window.
+	PageSize int
+	// RetryAfterCap bounds how long a server's Retry-After hint can
+	// stall a retry (0 = 2s). Servers advertise whole seconds; a polite
+	// crawler honors them but never sleeps unboundedly.
+	RetryAfterCap time.Duration
+	// AdminToken authorizes admin-report requests.
+	AdminToken string
+	// HTTPClient overrides the default client (tests, timeouts).
+	HTTPClient *http.Client
+}
+
+// DefaultConfig returns a polite configuration for local use.
+func DefaultConfig(baseURL string) Config {
+	return Config{
+		BaseURL:     baseURL,
+		MinInterval: 10 * time.Millisecond,
+		MaxRetries:  3,
+		Backoff:     50 * time.Millisecond,
+		PageSize:    200,
+	}
+}
+
+// Validate checks the config.
+func (c *Config) Validate() error {
+	if c.BaseURL == "" {
+		return errors.New("crawler: empty base URL")
+	}
+	if c.MinInterval < 0 || c.Backoff < 0 {
+		return errors.New("crawler: negative intervals")
+	}
+	if c.MaxRetries < 0 {
+		return errors.New("crawler: negative retries")
+	}
+	if c.PageSize < 1 || c.PageSize > api.MaxPageSize {
+		return fmt.Errorf("crawler: page size %d out of [1,%d]", c.PageSize, api.MaxPageSize)
+	}
+	return nil
+}
+
+// Client is the crawler.
+type Client struct {
+	cfg  Config
+	http *http.Client
+	last time.Time
+	// Stats counts requests and retries for observability.
+	Requests int
+	Retries  int
+}
+
+// New builds a crawler client.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{cfg: cfg, http: hc}, nil
+}
+
+// get performs one polite, retrying GET and decodes JSON into out.
+func (c *Client) get(ctx context.Context, path string, admin bool, out any) error {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.Retries++
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		if wait := c.cfg.MinInterval - time.Since(c.last); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		c.last = time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+		if err != nil {
+			return fmt.Errorf("crawler: %w", err)
+		}
+		if admin {
+			req.Header.Set("X-Admin-Token", c.cfg.AdminToken)
+		}
+		c.Requests++
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // transient: retry
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("crawler: decode %s: %w", path, err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusForbidden:
+			return fmt.Errorf("%w: %s", ErrPrivate, path)
+		case resp.StatusCode == http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, path)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Honor the server's Retry-After hint when present, capped.
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					maxWait := c.cfg.RetryAfterCap
+					if maxWait <= 0 {
+						maxWait = 2 * time.Second
+					}
+					d := time.Duration(secs) * time.Second
+					if d > maxWait {
+						d = maxWait
+					}
+					if d > backoff {
+						backoff = d
+					}
+				}
+			}
+			lastErr = fmt.Errorf("crawler: rate limited on %s", path)
+			continue // retry after backoff
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("crawler: server error %d on %s", resp.StatusCode, path)
+			continue // retry
+		default:
+			return fmt.Errorf("crawler: status %d on %s", resp.StatusCode, path)
+		}
+	}
+	return fmt.Errorf("crawler: giving up on %s after %d attempts: %w", path, c.cfg.MaxRetries+1, lastErr)
+}
+
+// Page fetches a page view.
+func (c *Client) Page(ctx context.Context, id int64) (api.PageDoc, error) {
+	var doc api.PageDoc
+	err := c.get(ctx, fmt.Sprintf("/api/page/%d", id), false, &doc)
+	return doc, err
+}
+
+// PageLikes fetches the full like stream of a page, following
+// pagination.
+func (c *Client) PageLikes(ctx context.Context, id int64) ([]api.LikeDoc, error) {
+	var out []api.LikeDoc
+	offset := 0
+	for {
+		var doc api.PageLikesDoc
+		path := fmt.Sprintf("/api/page/%d/likes?offset=%d&limit=%d", id, offset, c.cfg.PageSize)
+		if err := c.get(ctx, path, false, &doc); err != nil {
+			return nil, err
+		}
+		out = append(out, doc.Likes...)
+		offset += len(doc.Likes)
+		if len(doc.Likes) == 0 || offset >= doc.Total {
+			return out, nil
+		}
+	}
+}
+
+// User fetches a public profile.
+func (c *Client) User(ctx context.Context, id int64) (api.UserDoc, error) {
+	var doc api.UserDoc
+	err := c.get(ctx, fmt.Sprintf("/api/user/%d", id), false, &doc)
+	return doc, err
+}
+
+// UserFriends fetches the full friend list; ErrPrivate when hidden.
+func (c *Client) UserFriends(ctx context.Context, id int64) ([]int64, error) {
+	var out []int64
+	offset := 0
+	for {
+		var doc api.UserFriendsDoc
+		path := fmt.Sprintf("/api/user/%d/friends?offset=%d&limit=%d", id, offset, c.cfg.PageSize)
+		if err := c.get(ctx, path, false, &doc); err != nil {
+			return nil, err
+		}
+		out = append(out, doc.Friends...)
+		offset += len(doc.Friends)
+		if len(doc.Friends) == 0 || offset >= doc.Total {
+			return out, nil
+		}
+	}
+}
+
+// UserLikes fetches the full page-like list of a user.
+func (c *Client) UserLikes(ctx context.Context, id int64) ([]int64, error) {
+	var out []int64
+	offset := 0
+	for {
+		var doc api.UserLikesDoc
+		path := fmt.Sprintf("/api/user/%d/likes?offset=%d&limit=%d", id, offset, c.cfg.PageSize)
+		if err := c.get(ctx, path, false, &doc); err != nil {
+			return nil, err
+		}
+		out = append(out, doc.Pages...)
+		offset += len(doc.Pages)
+		if len(doc.Pages) == 0 || offset >= doc.Total {
+			return out, nil
+		}
+	}
+}
+
+// Directory fetches a window of the searchable directory.
+func (c *Client) Directory(ctx context.Context, offset, limit int) (api.DirectoryDoc, error) {
+	var doc api.DirectoryDoc
+	err := c.get(ctx, fmt.Sprintf("/api/directory?offset=%d&limit=%d", offset, limit), false, &doc)
+	return doc, err
+}
+
+// AdminReport fetches the page-admin aggregate report.
+func (c *Client) AdminReport(ctx context.Context, page int64) (api.ReportDoc, error) {
+	var doc api.ReportDoc
+	err := c.get(ctx, fmt.Sprintf("/api/admin/report/%d", page), true, &doc)
+	return doc, err
+}
+
+// LikerProfile is the per-liker crawl output: the §3 data collection
+// unit (profile attributes, friend list when public, page-like list).
+type LikerProfile struct {
+	User          api.UserDoc
+	Friends       []int64
+	FriendsHidden bool
+	PageLikes     []int64
+}
+
+// CrawlLikers crawls every liker of a page: profile, friend list (noting
+// privacy), and page-like list.
+func (c *Client) CrawlLikers(ctx context.Context, page int64) ([]LikerProfile, error) {
+	likes, err := c.PageLikes(ctx, page)
+	if err != nil {
+		return nil, err
+	}
+	var out []LikerProfile
+	for _, lk := range likes {
+		u, err := c.User(ctx, lk.User)
+		if err != nil {
+			return nil, err
+		}
+		prof := LikerProfile{User: u}
+		friends, err := c.UserFriends(ctx, lk.User)
+		switch {
+		case errors.Is(err, ErrPrivate):
+			prof.FriendsHidden = true
+		case err != nil:
+			return nil, err
+		default:
+			prof.Friends = friends
+		}
+		pages, err := c.UserLikes(ctx, lk.User)
+		if err != nil {
+			return nil, err
+		}
+		prof.PageLikes = pages
+		out = append(out, prof)
+	}
+	return out, nil
+}

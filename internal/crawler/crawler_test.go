@@ -1,0 +1,274 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/socialnet"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func testWorld(t *testing.T) (*httptest.Server, *socialnet.Store, socialnet.PageID, socialnet.UserID, socialnet.UserID) {
+	t.Helper()
+	st := socialnet.NewStore()
+	pub := st.AddUser(socialnet.User{FriendsPublic: true, Searchable: true, Country: "USA", DeclaredFriends: 5})
+	priv := st.AddUser(socialnet.User{FriendsPublic: false, Country: "Turkey"})
+	for i := 0; i < 3; i++ {
+		f := st.AddUser(socialnet.User{})
+		_ = st.Friend(pub, f)
+	}
+	page, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.AddLike(pub, page, t0)
+	_ = st.AddLike(priv, page, t0.Add(time.Hour))
+	// Some extra page likes for pub.
+	for i := 0; i < 450; i++ {
+		p, _ := st.AddPage(socialnet.Page{Name: "x"})
+		_ = st.AddLike(pub, p, t0.Add(time.Duration(i)*time.Minute))
+	}
+	srv := httptest.NewServer(api.NewServer(st, "tok"))
+	t.Cleanup(srv.Close)
+	return srv, st, page, pub, priv
+}
+
+func newClient(t *testing.T, srv *httptest.Server) *Client {
+	t.Helper()
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 0
+	cfg.AdminToken = "tok"
+	cfg.PageSize = 100
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPageFetch(t *testing.T) {
+	srv, _, page, _, _ := testWorld(t)
+	c := newClient(t, srv)
+	doc, err := c.Page(context.Background(), int64(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Honeypot || doc.LikeCount != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if _, err := c.Page(context.Background(), 99999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing page err = %v", err)
+	}
+}
+
+func TestUserLikesPaginated(t *testing.T) {
+	srv, _, _, pub, _ := testWorld(t)
+	c := newClient(t, srv)
+	pages, err := c.UserLikes(context.Background(), int64(pub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 450 covers + 1 honeypot.
+	if len(pages) != 451 {
+		t.Fatalf("user likes = %d, want 451", len(pages))
+	}
+	// Pagination required several requests.
+	if c.Requests < 5 {
+		t.Fatalf("requests = %d, want >=5 for pagination", c.Requests)
+	}
+	seen := map[int64]bool{}
+	for _, p := range pages {
+		if seen[p] {
+			t.Fatalf("duplicate page %d across pagination windows", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFriendPrivacy(t *testing.T) {
+	srv, _, _, pub, priv := testWorld(t)
+	c := newClient(t, srv)
+	friends, err := c.UserFriends(context.Background(), int64(pub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(friends) != 3 {
+		t.Fatalf("friends = %d", len(friends))
+	}
+	if _, err := c.UserFriends(context.Background(), int64(priv)); !errors.Is(err, ErrPrivate) {
+		t.Fatalf("private list err = %v", err)
+	}
+}
+
+func TestCrawlLikers(t *testing.T) {
+	srv, _, page, _, _ := testWorld(t)
+	c := newClient(t, srv)
+	profiles, err := c.CrawlLikers(context.Background(), int64(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	var pubProf, privProf *LikerProfile
+	for i := range profiles {
+		if profiles[i].User.Country == "USA" {
+			pubProf = &profiles[i]
+		} else {
+			privProf = &profiles[i]
+		}
+	}
+	if pubProf == nil || privProf == nil {
+		t.Fatal("profiles missing")
+	}
+	if pubProf.FriendsHidden || len(pubProf.Friends) != 3 {
+		t.Fatalf("public profile = %+v", pubProf)
+	}
+	if !privProf.FriendsHidden || len(privProf.Friends) != 0 {
+		t.Fatalf("private profile = %+v", privProf)
+	}
+	if len(pubProf.PageLikes) != 451 {
+		t.Fatalf("public page likes = %d", len(pubProf.PageLikes))
+	}
+}
+
+func TestAdminReport(t *testing.T) {
+	srv, _, page, _, _ := testWorld(t)
+	c := newClient(t, srv)
+	rep, err := c.AdminReport(context.Background(), int64(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLikes != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Wrong token: error (401 is non-retryable).
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 0
+	cfg.AdminToken = "wrong"
+	bad, _ := New(cfg)
+	if _, err := bad.AdminReport(context.Background(), int64(page)); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	srv, _, _, _, _ := testWorld(t)
+	c := newClient(t, srv)
+	doc, err := c.Directory(context.Background(), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 1 {
+		t.Fatalf("directory total = %d (only searchable)", doc.Total)
+	}
+}
+
+func TestRetryOn500(t *testing.T) {
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":1,"name":"p","honeypot":false,"like_count":0}`))
+	}))
+	defer flaky.Close()
+	cfg := DefaultConfig(flaky.URL)
+	cfg.MinInterval = 0
+	cfg.Backoff = time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Page(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "p" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if c.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries)
+	}
+}
+
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	always500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer always500.Close()
+	cfg := DefaultConfig(always500.URL)
+	cfg.MinInterval = 0
+	cfg.Backoff = time.Millisecond
+	cfg.MaxRetries = 2
+	c, _ := New(cfg)
+	if _, err := c.Page(context.Background(), 1); err == nil {
+		t.Fatal("should give up on persistent 500s")
+	}
+	if c.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer slow.Close()
+	cfg := DefaultConfig(slow.URL)
+	cfg.MinInterval = 0
+	c, _ := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Page(ctx, 1); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestPolitenessSpacing(t *testing.T) {
+	var stamps []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stamps = append(stamps, time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":1,"name":"p","honeypot":false,"like_count":0}`))
+	}))
+	defer srv.Close()
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 30 * time.Millisecond
+	c, _ := New(cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Page(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(stamps); i++ {
+		if gap := stamps[i].Sub(stamps[i-1]); gap < 25*time.Millisecond {
+			t.Fatalf("requests %d gap = %v, want >=30ms politeness", i, gap)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BaseURL: "http://x", MinInterval: -1},
+		{BaseURL: "http://x", MaxRetries: -1},
+		{BaseURL: "http://x", PageSize: 0},
+		{BaseURL: "http://x", PageSize: api.MaxPageSize + 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/socialnet"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func times(offsets ...time.Duration) []time.Time {
+	out := make([]time.Time, len(offsets))
+	for i, d := range offsets {
+		out[i] = t0.Add(d)
+	}
+	return out
+}
+
+func TestBurstScoreAllInOneWindow(t *testing.T) {
+	ts := times(0, time.Minute, 30*time.Minute, time.Hour)
+	s, err := BurstScore(ts, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("burst score = %v, want 1", s)
+	}
+}
+
+func TestBurstScoreSpread(t *testing.T) {
+	var offs []time.Duration
+	for i := 0; i < 100; i++ {
+		offs = append(offs, time.Duration(i)*24*time.Hour)
+	}
+	s, err := BurstScore(times(offs...), 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0.01 {
+		t.Fatalf("burst score = %v, want 0.01 (1/100)", s)
+	}
+}
+
+func TestBurstScoreEdgeCases(t *testing.T) {
+	if s, err := BurstScore(nil, time.Hour); err != nil || s != 0 {
+		t.Fatalf("empty = %v, %v", s, err)
+	}
+	if _, err := BurstScore(times(0), 0); err == nil {
+		t.Fatal("zero window should error")
+	}
+	// Unsorted input is handled (sorted internally).
+	s, err := BurstScore(times(3*time.Hour, 0, time.Minute), 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.6 || s > 0.7 {
+		t.Fatalf("unsorted burst = %v, want 2/3", s)
+	}
+}
+
+func TestMaxLikesInWindow(t *testing.T) {
+	ts := times(0, time.Minute, 2*time.Minute, 26*time.Hour, 27*time.Hour)
+	n, err := MaxLikesInWindow(ts, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("max in window = %d, want 3", n)
+	}
+	if n, _ := MaxLikesInWindow(nil, time.Hour); n != 0 {
+		t.Fatalf("empty = %d", n)
+	}
+	if _, err := MaxLikesInWindow(ts, -time.Hour); err == nil {
+		t.Fatal("negative window should error")
+	}
+}
+
+func TestScoreBotSignature(t *testing.T) {
+	f := AccountFeatures{LikeCount: 1500, FriendCount: 50, MaxIn2h: 120, Burst2h: 0.08, IslandSize: 2}
+	if s := f.Score(); s < 0.8 {
+		t.Fatalf("bot score = %v, want high", s)
+	}
+}
+
+func TestScoreStealthSignature(t *testing.T) {
+	// BoostLikes-style: few likes, many friends, trickled, big component.
+	f := AccountFeatures{LikeCount: 60, FriendCount: 900, MaxIn2h: 2, Burst2h: 0.03, IslandSize: 500}
+	if s := f.Score(); s != 0 {
+		t.Fatalf("stealth score = %v, want 0", s)
+	}
+}
+
+func TestScoreOrganicSignature(t *testing.T) {
+	f := AccountFeatures{LikeCount: 35, FriendCount: 300, MaxIn2h: 2, Burst2h: 0.06, IslandSize: 1}
+	if s := f.Score(); s != 0 {
+		t.Fatalf("organic score = %v, want 0", s)
+	}
+}
+
+func TestScoreClickerSignature(t *testing.T) {
+	// Ad clickers: inflated like counts but no bursts; low-moderate score.
+	f := AccountFeatures{LikeCount: 900, FriendCount: 200, MaxIn2h: 4, Burst2h: 0.01, IslandSize: 1}
+	s := f.Score()
+	if s <= 0 || s > 0.3 {
+		t.Fatalf("clicker score = %v, want small positive", s)
+	}
+}
+
+func TestScoreMonotoneInBurst(t *testing.T) {
+	base := AccountFeatures{LikeCount: 1000, FriendCount: 100}
+	prev := -1.0
+	for _, m := range []int{1, 12, 25, 50, 200} {
+		f := base
+		f.MaxIn2h = m
+		s := f.Score()
+		if s < prev {
+			t.Fatalf("score not monotone in MaxIn2h at %d: %v < %v", m, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestScoreBounded(t *testing.T) {
+	f := AccountFeatures{LikeCount: 10000, FriendCount: 0, MaxIn2h: 10000, Burst2h: 1, IslandSize: 2}
+	if s := f.Score(); s > 1 {
+		t.Fatalf("score = %v > 1", s)
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	st := socialnet.NewStore()
+	u := st.AddUser(socialnet.User{Country: "USA", DeclaredFriends: 123})
+	v := st.AddUser(socialnet.User{Country: "USA"})
+	_ = st.Friend(u, v)
+	p1, _ := st.AddPage(socialnet.Page{Name: "p1"})
+	p2, _ := st.AddPage(socialnet.Page{Name: "p2"})
+	_ = st.AddLike(u, p1, t0)
+	_ = st.AddLike(u, p2, t0.Add(time.Minute))
+	f, err := ExtractFeatures(st, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LikeCount != 2 || f.MaxIn2h != 2 || f.Burst2h != 1 {
+		t.Fatalf("features = %+v", f)
+	}
+	if f.FriendCount != 123 {
+		t.Fatalf("declared friends = %d, want 123", f.FriendCount)
+	}
+	if _, err := ExtractFeatures(st, 999); err == nil {
+		t.Fatal("missing user should error")
+	}
+}
+
+func TestIsolatedIslands(t *testing.T) {
+	base := graph.NewUndirected()
+	_ = base.AddEdge(1, 2) // pair
+	_ = base.AddEdge(3, 4) // triplet
+	_ = base.AddEdge(4, 5)
+	_ = base.AddEdge(1, 100) // outside edge, not in user set
+	base.AddNode(6)          // singleton
+	users := []socialnet.UserID{1, 2, 3, 4, 5, 6}
+	out := IsolatedIslands(base, users)
+	if out[1] != 2 || out[2] != 2 {
+		t.Fatalf("pair sizes: %v", out)
+	}
+	if out[3] != 3 || out[5] != 3 {
+		t.Fatalf("triplet sizes: %v", out)
+	}
+	if out[6] != 1 {
+		t.Fatalf("singleton size: %v", out)
+	}
+}
+
+func TestLockstepDetectsBurstGroup(t *testing.T) {
+	st := socialnet.NewStore()
+	var bots []socialnet.UserID
+	for i := 0; i < 6; i++ {
+		bots = append(bots, st.AddUser(socialnet.User{Country: "TR"}))
+	}
+	organic := st.AddUser(socialnet.User{Country: "US"})
+	p1, _ := st.AddPage(socialnet.Page{Name: "job1"})
+	p2, _ := st.AddPage(socialnet.Page{Name: "job2"})
+	// Bots like both pages within tight windows.
+	for i, b := range bots {
+		_ = st.AddLike(b, p1, t0.Add(time.Duration(i)*time.Minute))
+		_ = st.AddLike(b, p2, t0.Add(48*time.Hour+time.Duration(i)*time.Minute))
+	}
+	// Organic likes p1 days later.
+	_ = st.AddLike(organic, p1, t0.Add(200*time.Hour))
+
+	groups, err := Lockstep(st, []socialnet.PageID{p1, p2}, DefaultLockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if len(groups[0].Users) != 6 {
+		t.Fatalf("group size = %d, want 6", len(groups[0].Users))
+	}
+	for _, u := range groups[0].Users {
+		if u == organic {
+			t.Fatal("organic user caught in lockstep group")
+		}
+	}
+	if len(groups[0].Pages) != 2 {
+		t.Fatalf("evidence pages = %d, want 2", len(groups[0].Pages))
+	}
+}
+
+func TestLockstepRequiresMinPages(t *testing.T) {
+	st := socialnet.NewStore()
+	var us []socialnet.UserID
+	for i := 0; i < 5; i++ {
+		us = append(us, st.AddUser(socialnet.User{}))
+	}
+	p1, _ := st.AddPage(socialnet.Page{Name: "only"})
+	for i, u := range us {
+		_ = st.AddLike(u, p1, t0.Add(time.Duration(i)*time.Minute))
+	}
+	// One shared page < MinPages(2): no groups.
+	groups, err := Lockstep(st, []socialnet.PageID{p1}, DefaultLockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("groups = %d, want 0", len(groups))
+	}
+}
+
+func TestLockstepSpreadLikesNotGrouped(t *testing.T) {
+	st := socialnet.NewStore()
+	var us []socialnet.UserID
+	for i := 0; i < 5; i++ {
+		us = append(us, st.AddUser(socialnet.User{}))
+	}
+	p1, _ := st.AddPage(socialnet.Page{Name: "a"})
+	p2, _ := st.AddPage(socialnet.Page{Name: "b"})
+	// Same pages, but likes days apart: no shared windows.
+	for i, u := range us {
+		_ = st.AddLike(u, p1, t0.Add(time.Duration(i*50)*time.Hour))
+		_ = st.AddLike(u, p2, t0.Add(time.Duration(1000+i*50)*time.Hour))
+	}
+	groups, err := Lockstep(st, []socialnet.PageID{p1, p2}, DefaultLockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("spread likes grouped: %v", groups)
+	}
+}
+
+func TestLockstepConfigValidation(t *testing.T) {
+	bad := []LockstepConfig{
+		{Window: 0, MinUsers: 3, MinPages: 2, MaxBucketUsers: 10},
+		{Window: time.Hour, MinUsers: 1, MinPages: 2, MaxBucketUsers: 10},
+		{Window: time.Hour, MinUsers: 3, MinPages: 0, MaxBucketUsers: 10},
+		{Window: time.Hour, MinUsers: 3, MinPages: 2, MaxBucketUsers: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	st := socialnet.NewStore()
+	if _, err := Lockstep(st, nil, LockstepConfig{}); err == nil {
+		t.Fatal("invalid config should fail Lockstep")
+	}
+}
+
+func TestLockstepDeterministicOutput(t *testing.T) {
+	build := func() []LockstepGroup {
+		st := socialnet.NewStore()
+		var us []socialnet.UserID
+		for i := 0; i < 8; i++ {
+			us = append(us, st.AddUser(socialnet.User{}))
+		}
+		p1, _ := st.AddPage(socialnet.Page{Name: "a"})
+		p2, _ := st.AddPage(socialnet.Page{Name: "b"})
+		for i, u := range us {
+			_ = st.AddLike(u, p1, t0.Add(time.Duration(i)*time.Minute))
+			_ = st.AddLike(u, p2, t0.Add(time.Hour*30+time.Duration(i)*time.Minute))
+		}
+		g, err := Lockstep(st, []socialnet.PageID{p1, p2}, DefaultLockstepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a {
+		if len(a[i].Users) != len(b[i].Users) {
+			t.Fatal("nondeterministic group sizes")
+		}
+		for j := range a[i].Users {
+			if a[i].Users[j] != b[i].Users[j] {
+				t.Fatal("nondeterministic group membership order")
+			}
+		}
+	}
+}

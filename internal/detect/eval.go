@@ -1,0 +1,134 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/socialnet"
+)
+
+// Evaluation is a binary confusion matrix for detector output against
+// ground truth. The simulation knows which accounts are farm-controlled
+// (socialnet.AccountKind), letting the §5-motivated detectors be scored
+// in a way the paper's authors — without ground truth for Facebook's own
+// campaigns — could not.
+type Evaluation struct {
+	TP, FP, FN, TN int
+}
+
+// Evaluate scores a flagged set against a ground-truth labelling over
+// the given population.
+func Evaluate(population []socialnet.UserID, flagged map[socialnet.UserID]bool, isFake func(socialnet.UserID) bool) Evaluation {
+	var e Evaluation
+	for _, u := range population {
+		switch {
+		case flagged[u] && isFake(u):
+			e.TP++
+		case flagged[u]:
+			e.FP++
+		case isFake(u):
+			e.FN++
+		default:
+			e.TN++
+		}
+	}
+	return e
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was flagged.
+func (e Evaluation) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when there are no positives.
+func (e Evaluation) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (e Evaluation) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP/(FP+TN).
+func (e Evaluation) FalsePositiveRate() float64 {
+	if e.FP+e.TN == 0 {
+		return 0
+	}
+	return float64(e.FP) / float64(e.FP+e.TN)
+}
+
+// String implements fmt.Stringer.
+func (e Evaluation) String() string {
+	return fmt.Sprintf("tp=%d fp=%d fn=%d tn=%d precision=%.3f recall=%.3f f1=%.3f",
+		e.TP, e.FP, e.FN, e.TN, e.Precision(), e.Recall(), e.F1())
+}
+
+// ROCPoint is one operating point of a score-thresholded detector.
+type ROCPoint struct {
+	Threshold float64
+	Eval      Evaluation
+}
+
+// ScoreSweep evaluates the score map at every distinct threshold,
+// returning operating points in descending threshold order (from
+// flag-nothing toward flag-everything).
+func ScoreSweep(scores map[socialnet.UserID]float64, isFake func(socialnet.UserID) bool) []ROCPoint {
+	population := make([]socialnet.UserID, 0, len(scores))
+	thrSet := make(map[float64]struct{})
+	for u, s := range scores {
+		population = append(population, u)
+		thrSet[s] = struct{}{}
+	}
+	sort.Slice(population, func(i, j int) bool { return population[i] < population[j] })
+	thresholds := make([]float64, 0, len(thrSet))
+	for t := range thrSet {
+		thresholds = append(thresholds, t)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(thresholds)))
+
+	out := make([]ROCPoint, 0, len(thresholds))
+	for _, thr := range thresholds {
+		flagged := make(map[socialnet.UserID]bool)
+		for u, s := range scores {
+			if s >= thr {
+				flagged[u] = true
+			}
+		}
+		out = append(out, ROCPoint{Threshold: thr, Eval: Evaluate(population, flagged, isFake)})
+	}
+	return out
+}
+
+// AUC returns the area under the ROC curve of the sweep (trapezoidal
+// over FPR/TPR), a single-number summary of detector quality.
+func AUC(points []ROCPoint) float64 {
+	type xy struct{ x, y float64 }
+	pts := make([]xy, 0, len(points)+2)
+	pts = append(pts, xy{0, 0})
+	for _, p := range points {
+		pts = append(pts, xy{p.Eval.FalsePositiveRate(), p.Eval.Recall()})
+	}
+	pts = append(pts, xy{1, 1})
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	area := 0.0
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].x - pts[i-1].x) * (pts[i].y + pts[i-1].y) / 2
+	}
+	return area
+}

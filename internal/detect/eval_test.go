@@ -1,0 +1,130 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/socialnet"
+)
+
+func u(ids ...int) []socialnet.UserID {
+	out := make([]socialnet.UserID, len(ids))
+	for i, v := range ids {
+		out[i] = socialnet.UserID(v)
+	}
+	return out
+}
+
+func TestEvaluateConfusionMatrix(t *testing.T) {
+	pop := u(1, 2, 3, 4, 5, 6)
+	flagged := map[socialnet.UserID]bool{1: true, 2: true, 5: true}
+	isFake := func(id socialnet.UserID) bool { return id <= 3 }
+	e := Evaluate(pop, flagged, isFake)
+	// fakes: 1,2,3; flagged: 1,2,5 -> TP=2 FP=1 FN=1 TN=2.
+	if e.TP != 2 || e.FP != 1 || e.FN != 1 || e.TN != 2 {
+		t.Fatalf("eval = %+v", e)
+	}
+	if p := e.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", p)
+	}
+	if r := e.Recall(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if f := e.F1(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("f1 = %v", f)
+	}
+	if fpr := e.FalsePositiveRate(); math.Abs(fpr-1.0/3) > 1e-12 {
+		t.Fatalf("fpr = %v", fpr)
+	}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEvaluateDegenerate(t *testing.T) {
+	var e Evaluation
+	if e.Precision() != 0 || e.Recall() != 0 || e.F1() != 0 || e.FalsePositiveRate() != 0 {
+		t.Fatal("degenerate metrics should be 0")
+	}
+}
+
+func TestScoreSweepMonotone(t *testing.T) {
+	scores := map[socialnet.UserID]float64{
+		1: 0.9, 2: 0.8, 3: 0.5, 4: 0.2, 5: 0.1,
+	}
+	isFake := func(id socialnet.UserID) bool { return id <= 2 }
+	points := ScoreSweep(scores, isFake)
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Thresholds descend, flagged count (TP+FP) ascends.
+	prevFlagged := -1
+	for i, p := range points {
+		if i > 0 && p.Threshold >= points[i-1].Threshold {
+			t.Fatalf("thresholds not descending: %v", points)
+		}
+		flagged := p.Eval.TP + p.Eval.FP
+		if flagged < prevFlagged {
+			t.Fatalf("flagged count decreased: %v", points)
+		}
+		prevFlagged = flagged
+	}
+	// At the top threshold, only user 1 (fake) is flagged: perfect precision.
+	if points[0].Eval.TP != 1 || points[0].Eval.FP != 0 {
+		t.Fatalf("top point = %+v", points[0].Eval)
+	}
+	// At the lowest threshold everything is flagged: recall 1.
+	last := points[len(points)-1].Eval
+	if last.Recall() != 1 {
+		t.Fatalf("bottom recall = %v", last.Recall())
+	}
+}
+
+func TestAUCPerfectSeparator(t *testing.T) {
+	// Fakes score 1.0, organic scores 0.0: AUC should be ~1.
+	scores := map[socialnet.UserID]float64{}
+	for i := 1; i <= 20; i++ {
+		if i <= 10 {
+			scores[socialnet.UserID(i)] = 1.0
+		} else {
+			scores[socialnet.UserID(i)] = 0.0
+		}
+	}
+	isFake := func(id socialnet.UserID) bool { return id <= 10 }
+	auc := AUC(ScoreSweep(scores, isFake))
+	if auc < 0.99 {
+		t.Fatalf("perfect separator AUC = %v", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	// Identical scores for everyone: AUC should collapse to ~0.5.
+	scores := map[socialnet.UserID]float64{}
+	for i := 1; i <= 40; i++ {
+		scores[socialnet.UserID(i)] = 0.5
+	}
+	isFake := func(id socialnet.UserID) bool { return id%2 == 0 }
+	auc := AUC(ScoreSweep(scores, isFake))
+	if auc < 0.4 || auc > 0.6 {
+		t.Fatalf("uninformative AUC = %v", auc)
+	}
+}
+
+func TestAUCBoundedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := map[socialnet.UserID]float64{}
+		for i, v := range raw {
+			scores[socialnet.UserID(i+1)] = float64(v) / 255
+		}
+		isFake := func(id socialnet.UserID) bool { return id%3 == 0 }
+		auc := AUC(ScoreSweep(scores, isFake))
+		return auc >= 0 && auc <= 1 && !math.IsNaN(auc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

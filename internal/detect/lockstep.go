@@ -1,0 +1,185 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// LockstepConfig parameterizes the CopyCatch-style detector [4]: find
+// groups of at least MinUsers accounts that each liked at least MinPages
+// common pages, with the likes on each common page falling within a
+// Window of each other.
+type LockstepConfig struct {
+	Window   time.Duration
+	MinUsers int
+	MinPages int
+	// MaxBucketUsers caps the per-(page,window) bucket fanout to bound
+	// the pair-counting cost on pathological inputs.
+	MaxBucketUsers int
+}
+
+// DefaultLockstepConfig mirrors the granularity of the paper's burst
+// observations: 700+ likes landed within single 2-hour windows.
+func DefaultLockstepConfig() LockstepConfig {
+	return LockstepConfig{
+		Window:         2 * time.Hour,
+		MinUsers:       3,
+		MinPages:       2,
+		MaxBucketUsers: 4096,
+	}
+}
+
+// Validate checks the config.
+func (c *LockstepConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("detect: lockstep window %s must be positive", c.Window)
+	}
+	if c.MinUsers < 2 {
+		return fmt.Errorf("detect: lockstep min users %d must be >=2", c.MinUsers)
+	}
+	if c.MinPages < 1 {
+		return fmt.Errorf("detect: lockstep min pages %d must be >=1", c.MinPages)
+	}
+	if c.MaxBucketUsers < c.MinUsers {
+		return fmt.Errorf("detect: lockstep bucket cap %d below min users %d", c.MaxBucketUsers, c.MinUsers)
+	}
+	return nil
+}
+
+// LockstepGroup is a detected cluster: the users and the (page, window)
+// evidence supporting it.
+type LockstepGroup struct {
+	Users []socialnet.UserID
+	Pages []socialnet.PageID
+}
+
+// Lockstep runs the detector over the given pages' like streams.
+//
+// Implementation: bucket each page's likes into Window-aligned bins; for
+// every pair of users sharing a (page, bin) bucket, count distinct pages
+// of co-occurrence; build a co-liking graph over pairs meeting MinPages;
+// its connected components of size >= MinUsers are reported.
+func Lockstep(st *socialnet.Store, pages []socialnet.PageID, cfg LockstepConfig) ([]LockstepGroup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type pairKey struct{ a, b socialnet.UserID }
+	pairPages := make(map[pairKey]map[socialnet.PageID]struct{})
+
+	for _, pid := range pages {
+		likes := st.LikesOfPage(pid)
+		buckets := make(map[int64][]socialnet.UserID)
+		for _, lk := range likes {
+			bin := lk.At.UnixNano() / int64(cfg.Window)
+			buckets[bin] = append(buckets[bin], lk.User)
+		}
+		// Deterministic bucket order.
+		bins := make([]int64, 0, len(buckets))
+		for b := range buckets {
+			bins = append(bins, b)
+		}
+		sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
+		for _, b := range bins {
+			us := buckets[b]
+			if len(us) < 2 {
+				continue
+			}
+			if len(us) > cfg.MaxBucketUsers {
+				us = us[:cfg.MaxBucketUsers]
+			}
+			sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+			for i := 0; i < len(us); i++ {
+				for j := i + 1; j < len(us); j++ {
+					if us[i] == us[j] {
+						continue
+					}
+					k := pairKey{us[i], us[j]}
+					m, ok := pairPages[k]
+					if !ok {
+						m = make(map[socialnet.PageID]struct{}, 2)
+						pairPages[k] = m
+					}
+					m[pid] = struct{}{}
+				}
+			}
+		}
+	}
+
+	// Union-find over qualifying pairs.
+	parent := make(map[socialnet.UserID]socialnet.UserID)
+	var find func(socialnet.UserID) socialnet.UserID
+	find = func(x socialnet.UserID) socialnet.UserID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b socialnet.UserID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	memberPages := make(map[socialnet.UserID]map[socialnet.PageID]struct{})
+	for k, pgs := range pairPages {
+		if len(pgs) < cfg.MinPages {
+			continue
+		}
+		union(k.a, k.b)
+		for _, u := range []socialnet.UserID{k.a, k.b} {
+			m, ok := memberPages[u]
+			if !ok {
+				m = make(map[socialnet.PageID]struct{})
+				memberPages[u] = m
+			}
+			for p := range pgs {
+				m[p] = struct{}{}
+			}
+		}
+	}
+
+	clusters := make(map[socialnet.UserID][]socialnet.UserID)
+	for u := range memberPages {
+		r := find(u)
+		clusters[r] = append(clusters[r], u)
+	}
+	var out []LockstepGroup
+	roots := make([]socialnet.UserID, 0, len(clusters))
+	for r := range clusters {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		us := clusters[r]
+		if len(us) < cfg.MinUsers {
+			continue
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		pageSet := make(map[socialnet.PageID]struct{})
+		for _, u := range us {
+			for p := range memberPages[u] {
+				pageSet[p] = struct{}{}
+			}
+		}
+		pgs := make([]socialnet.PageID, 0, len(pageSet))
+		for p := range pageSet {
+			pgs = append(pgs, p)
+		}
+		sort.Slice(pgs, func(i, j int) bool { return pgs[i] < pgs[j] })
+		out = append(out, LockstepGroup{Users: us, Pages: pgs})
+	}
+	return out, nil
+}

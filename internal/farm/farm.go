@@ -1,0 +1,444 @@
+// Package farm models the underground like-farm operators the paper
+// bought from (§3): BoostLikes, SocialFormula, AuthenticLikes, and
+// MammothSocials. A Farm owns an account pool (an accounts.Cohort), a
+// customer-page job portfolio, and a delivery scheduler implementing one
+// of the two modi operandi the paper identifies (§5):
+//
+//   - ModeBurst: script-driven disposable accounts dump the ordered
+//     likes in a few ≤2-hour bursts within the first days, then go
+//     silent (SocialFormula, AuthenticLikes, MammothSocials —
+//     Figure 2(b)).
+//   - ModeTrickle: a well-connected network of human-like accounts
+//     trickles likes steadily across the full order duration,
+//     indistinguishable in shape from Facebook's own ad delivery
+//     (BoostLikes — compare Figures 2(a) and 2(b)).
+//
+// Farms can share an account pool: the paper infers from cross-liking
+// and friendship ties that AuthenticLikes and MammothSocials are run by
+// the same operator (§4.3, §4.4); constructing two Farm values over one
+// Cohort reproduces that.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// Mode is a delivery strategy.
+type Mode int
+
+// Delivery modes.
+const (
+	ModeBurst Mode = iota
+	ModeTrickle
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeTrickle {
+		return "trickle"
+	}
+	return "burst"
+}
+
+// Config describes a farm brand.
+type Config struct {
+	// Name is the brand, e.g. "SocialFormula.com".
+	Name string
+	// Mode is the delivery strategy.
+	Mode Mode
+	// IgnoreTargeting: SocialFormula delivered Turkish likes regardless
+	// of the ordered audience (§4.1, Figure 1).
+	IgnoreTargeting bool
+	// RotateAccounts: deliver from least-recently-used accounts first,
+	// so overlapping orders draw nearly disjoint account sets (the
+	// paper saw only ~5% liker overlap between SF-ALL and SF-USA).
+	// When false, accounts are drawn uniformly at random.
+	RotateAccounts bool
+}
+
+// Usage tracks how often each account has delivered likes. Farms run by
+// the same operator share a Usage: that is how MammothSocials ends up
+// reusing accounts AuthenticLikes already spent (the ALMS group).
+type Usage struct {
+	counts map[socialnet.UserID]int
+}
+
+// NewUsage returns an empty usage tracker.
+func NewUsage() *Usage { return &Usage{counts: make(map[socialnet.UserID]int)} }
+
+// Count returns the deliveries recorded for an account.
+func (u *Usage) Count(id socialnet.UserID) int { return u.counts[id] }
+
+// Farm is an operating like farm.
+type Farm struct {
+	cfg    Config
+	cohort *accounts.Cohort
+	rng    *rand.Rand
+	store  *socialnet.Store
+
+	// usage counts deliveries per account, for rotation and for
+	// cross-order reuse bias; possibly shared with sibling farms.
+	usage *Usage
+}
+
+// Errors.
+var (
+	ErrInactive = errors.New("farm: order marked inactive (paid but never delivered)")
+	ErrDrained  = errors.New("farm: account pool cannot cover order")
+)
+
+// New creates a farm over an existing account cohort. Multiple farms may
+// share one cohort and one Usage tracker (the AL/MS same-operator
+// scenario); pass usage=nil for an independent tracker.
+func New(r *rand.Rand, st *socialnet.Store, cfg Config, cohort *accounts.Cohort, usage *Usage) (*Farm, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("farm: config without name")
+	}
+	if cohort == nil || len(cohort.Members) == 0 {
+		return nil, fmt.Errorf("farm: %s has no account pool", cfg.Name)
+	}
+	if usage == nil {
+		usage = NewUsage()
+	}
+	return &Farm{
+		cfg:    cfg,
+		cohort: cohort,
+		rng:    r,
+		store:  st,
+		usage:  usage,
+	}, nil
+}
+
+// Name returns the farm brand.
+func (f *Farm) Name() string { return f.cfg.Name }
+
+// Mode returns the delivery mode.
+func (f *Farm) Mode() Mode { return f.cfg.Mode }
+
+// Cohort exposes the account pool (shared-operator scenarios, tests).
+func (f *Farm) Cohort() *accounts.Cohort { return f.cohort }
+
+// Order is a like purchase.
+type Order struct {
+	// Campaign labels the order (e.g. "SF-USA").
+	Campaign string
+	Page     socialnet.PageID
+	// TargetCountry restricts delivery accounts ("" = worldwide).
+	TargetCountry string
+	// Quantity is the advertised package size (e.g. 1000 likes).
+	Quantity int
+	// DeliverCount is how many likes the farm actually delivers; the
+	// paper saw anywhere from 31.7% to 103.8% of the ordered amount
+	// (Table 1). Zero means deliver Quantity.
+	DeliverCount int
+	// DurationDays spreads trickle deliveries; burst farms ignore all
+	// but the first ~2 days of it.
+	DurationDays int
+	// StartDelay postpones the first delivery (AuthenticLikes delivered
+	// its burst on day 2).
+	StartDelay time.Duration
+	// ReuseBias in [0,1]: fraction of deliveries drawn preferentially
+	// from accounts this farm's operator has already used for other
+	// orders. Models the AL/MS cross-campaign account sharing that
+	// creates the paper's ALMS group (Table 3, Figure 5(b)).
+	ReuseBias float64
+	// Inactive marks paid-but-never-delivered orders (BL-ALL, MS-ALL).
+	Inactive bool
+	// Bursts overrides the number of delivery bursts (default 1-3).
+	Bursts int
+	// BurstSpreadDays is the window over which burst start times are
+	// drawn (default 1.5 days). AL-USA's bursts straddled the whole
+	// campaign — its page was still gathering likes at day 15.
+	BurstSpreadDays int
+	// BiasLowFriends makes account selection prefer the pool's cheapest
+	// accounts (fewest declared friends). The MammothSocials order was
+	// served by the operator's most disposable profiles — MS likers had
+	// median 68 friends, the reused ALMS group 46, against 343 for
+	// AuthenticLikes likers (Table 3).
+	BiasLowFriends bool
+}
+
+// Validate checks order parameters.
+func (o *Order) Validate() error {
+	if o.Campaign == "" {
+		return errors.New("farm: order without campaign label")
+	}
+	if o.Quantity < 1 {
+		return fmt.Errorf("farm: order quantity %d must be >=1", o.Quantity)
+	}
+	if o.DeliverCount < 0 {
+		return fmt.Errorf("farm: deliver count %d must be >=0", o.DeliverCount)
+	}
+	if o.DurationDays < 1 {
+		return fmt.Errorf("farm: duration %d days must be >=1", o.DurationDays)
+	}
+	if o.StartDelay < 0 {
+		return fmt.Errorf("farm: negative start delay %s", o.StartDelay)
+	}
+	if o.ReuseBias < 0 || o.ReuseBias > 1 {
+		return fmt.Errorf("farm: reuse bias %v out of [0,1]", o.ReuseBias)
+	}
+	if o.Bursts < 0 || o.Bursts > 10 {
+		return fmt.Errorf("farm: bursts %d out of [0,10]", o.Bursts)
+	}
+	if o.BurstSpreadDays < 0 {
+		return fmt.Errorf("farm: burst spread %d days must be >=0", o.BurstSpreadDays)
+	}
+	return nil
+}
+
+// PlaceOrder schedules the order's deliveries on the clock. Inactive
+// orders return ErrInactive without scheduling anything — the paper paid
+// BoostLikes and MammothSocials for worldwide packages that never
+// delivered a single like.
+func (f *Farm) PlaceOrder(clock *simclock.Clock, o Order) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if _, err := f.store.Page(o.Page); err != nil {
+		return err
+	}
+	if o.Inactive {
+		return ErrInactive
+	}
+	want := o.DeliverCount
+	if want == 0 {
+		want = o.Quantity
+	}
+	deliverers, err := f.selectAccounts(o, want)
+	if err != nil {
+		return err
+	}
+	switch f.cfg.Mode {
+	case ModeBurst:
+		f.scheduleBursts(clock, o, deliverers)
+	case ModeTrickle:
+		f.scheduleTrickle(clock, o, deliverers)
+	default:
+		return fmt.Errorf("farm: unknown mode %d", f.cfg.Mode)
+	}
+	for _, u := range deliverers {
+		f.usage.counts[u]++
+	}
+	return nil
+}
+
+// selectAccounts picks the accounts that will deliver the order.
+func (f *Farm) selectAccounts(o Order, want int) ([]socialnet.UserID, error) {
+	target := o.TargetCountry
+	if f.cfg.IgnoreTargeting {
+		target = ""
+	}
+	eligible := f.cohort.MembersByCountry(target)
+	if len(eligible) == 0 {
+		// Fall back to the whole pool rather than failing the order —
+		// farms deliver *something* (SocialFormula shipped Turkish
+		// likes for a USA order).
+		eligible = f.cohort.MembersByCountry("")
+	}
+	if want > len(eligible) {
+		return nil, fmt.Errorf("%w: want %d, eligible %d (%s)", ErrDrained, want, len(eligible), o.Campaign)
+	}
+
+	var used, fresh []socialnet.UserID
+	for _, u := range eligible {
+		if f.usage.counts[u] > 0 {
+			used = append(used, u)
+		} else {
+			fresh = append(fresh, u)
+		}
+	}
+
+	var out []socialnet.UserID
+	nReused := int(float64(want) * o.ReuseBias)
+	if nReused > len(used) {
+		nReused = len(used)
+	}
+	if nReused > 0 {
+		picked, err := f.pick(used, nReused, o.BiasLowFriends)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, picked...)
+	}
+	remaining := want - len(out)
+	poolForRest := fresh
+	if !f.cfg.RotateAccounts {
+		// Uniform: mix used and fresh.
+		poolForRest = eligible
+	}
+	// Filter accounts already chosen or already liking the page.
+	chosen := make(map[socialnet.UserID]bool, len(out))
+	for _, u := range out {
+		chosen[u] = true
+	}
+	var candidates []socialnet.UserID
+	for _, u := range poolForRest {
+		if !chosen[u] && !f.store.Likes(u, o.Page) {
+			candidates = append(candidates, u)
+		}
+	}
+	if remaining > len(candidates) {
+		// Preferred pool is short: take all of it, then sample only the
+		// shortfall from the rest of the eligible pool.
+		inCandidates := make(map[socialnet.UserID]bool, len(candidates))
+		for _, u := range candidates {
+			inCandidates[u] = true
+		}
+		var extras []socialnet.UserID
+		for _, u := range eligible {
+			if !chosen[u] && !inCandidates[u] && !f.store.Likes(u, o.Page) {
+				extras = append(extras, u)
+			}
+		}
+		shortfall := remaining - len(candidates)
+		if shortfall > len(extras) {
+			return nil, fmt.Errorf("%w: want %d more, candidates %d (%s)", ErrDrained, shortfall, len(extras), o.Campaign)
+		}
+		out = append(out, candidates...)
+		picked, err := f.pick(extras, shortfall, o.BiasLowFriends)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, picked...), nil
+	}
+	picked, err := f.pick(candidates, remaining, o.BiasLowFriends)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, picked...), nil
+}
+
+// pick draws n accounts from list, either uniformly without replacement
+// or — under low-friend bias — from the cheapest third of the pool by
+// declared friend count (falling back to the whole list when n exceeds
+// that third).
+func (f *Farm) pick(list []socialnet.UserID, n int, biasLowFriends bool) ([]socialnet.UserID, error) {
+	if !biasLowFriends {
+		idx, err := stats.SampleWithoutReplacement(f.rng, len(list), n)
+		if err != nil {
+			return nil, err
+		}
+		sort.Ints(idx)
+		out := make([]socialnet.UserID, 0, n)
+		for _, i := range idx {
+			out = append(out, list[i])
+		}
+		return out, nil
+	}
+	sorted := append([]socialnet.UserID(nil), list...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di := f.store.DeclaredFriendCount(sorted[i])
+		dj := f.store.DeclaredFriendCount(sorted[j])
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	window := len(sorted) / 3
+	if window < n {
+		window = n
+	}
+	if window > len(sorted) {
+		window = len(sorted)
+	}
+	idx, err := stats.SampleWithoutReplacement(f.rng, window, n)
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(idx)
+	out := make([]socialnet.UserID, 0, n)
+	for _, i := range idx {
+		out = append(out, sorted[i])
+	}
+	return out, nil
+}
+
+// scheduleBursts places the deliverers' likes into 1-3 tight bursts in
+// the first days of the order (AuthenticLikes delivered 700+ likes
+// within 4 hours of day 2 and nothing afterwards).
+func (f *Farm) scheduleBursts(clock *simclock.Clock, o Order, users []socialnet.UserID) {
+	nBursts := o.Bursts
+	if nBursts == 0 {
+		nBursts = 1 + f.rng.Intn(3)
+	}
+	if nBursts > len(users) {
+		nBursts = 1
+	}
+	spread := time.Duration(o.BurstSpreadDays) * 24 * time.Hour
+	if spread == 0 {
+		spread = 36 * time.Hour
+	}
+	per := len(users) / nBursts
+	for b := 0; b < nBursts; b++ {
+		lo := b * per
+		hi := lo + per
+		if b == nBursts-1 {
+			hi = len(users)
+		}
+		// Stagger bursts across the spread window: burst b starts in
+		// slot b, so the first burst lands early (keeping the monitor
+		// engaged) and the last lands near the end of the window.
+		slot := int64(spread) / int64(nBursts)
+		start := o.StartDelay + time.Duration(int64(b)*slot+f.rng.Int63n(slot/2+1))
+		window := time.Duration(30+f.rng.Intn(91)) * time.Minute // 0.5-2h
+		for _, u := range users[lo:hi] {
+			u := u
+			at := start + time.Duration(f.rng.Int63n(int64(window)))
+			_, _ = clock.ScheduleAfter(at, "farm-burst-like", func(cl *simclock.Clock) {
+				_ = f.store.AddLike(u, o.Page, cl.Now())
+			})
+		}
+	}
+}
+
+// scheduleTrickle spreads the deliverers' likes evenly over the order's
+// full duration at random times of day (BoostLikes's stealthy pacing).
+func (f *Farm) scheduleTrickle(clock *simclock.Clock, o Order, users []socialnet.UserID) {
+	days := o.DurationDays
+	perDay := len(users) / days
+	i := 0
+	for d := 0; d < days && i < len(users); d++ {
+		n := perDay
+		if d == days-1 {
+			n = len(users) - i
+		} else {
+			// Small jitter so the daily increments aren't flat.
+			n += f.rng.Intn(5) - 2
+			if n < 0 {
+				n = 0
+			}
+			if i+n > len(users) {
+				n = len(users) - i
+			}
+		}
+		for j := 0; j < n; j++ {
+			u := users[i]
+			i++
+			at := o.StartDelay + time.Duration(d)*24*time.Hour + time.Duration(f.rng.Int63n(int64(24*time.Hour)))
+			_, _ = clock.ScheduleAfter(at, "farm-trickle-like", func(cl *simclock.Clock) {
+				_ = f.store.AddLike(u, o.Page, cl.Now())
+			})
+		}
+	}
+}
+
+// UsedAccounts returns the accounts this farm has delivered with so far,
+// in ID order.
+func (f *Farm) UsedAccounts() []socialnet.UserID {
+	out := make([]socialnet.UserID, 0, len(f.usage.counts))
+	for u := range f.usage.counts {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,466 @@
+package farm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+type world struct {
+	r      *rand.Rand
+	st     *socialnet.Store
+	pop    *socialnet.Population
+	clock  *simclock.Clock
+	cohort *accounts.Cohort
+}
+
+func newWorld(t *testing.T, seed int64, poolSize int, countries *stats.Categorical) *world {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	st := socialnet.NewStore()
+	spec := socialnet.DefaultPopulationSpec()
+	spec.NumUsers = 200
+	spec.NumAmbientPages = 300
+	pop, err := socialnet.GeneratePopulation(r, st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspec := accounts.CohortSpec{
+		Name: "pool", Size: poolSize,
+		Kind:              socialnet.KindFarmBot,
+		Operator:          "op",
+		CountryMix:        countries,
+		Profile:           socialnet.GlobalFacebookProfile(),
+		FriendsPublicFrac: 0.5, SearchableFrac: 0,
+		Topology: accounts.TopologySpec{
+			Kind: accounts.TopologyIslands, InternalPairFrac: 0.1, TripletFrac: 0.2,
+			DeclaredMedian: 150, DeclaredSigma: 0.8,
+		},
+		Cover:     accounts.CoverSpec{LikeMedian: 50, LikeSigma: 0.8, MaxLikes: 200},
+		CreatedAt: t0,
+	}
+	cohort, err := accounts.Build(r, st, pop, cspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{r: r, st: st, pop: pop, clock: simclock.New(t0), cohort: cohort}
+}
+
+func usaTurkey() *stats.Categorical {
+	return stats.MustCategorical(
+		[]string{socialnet.CountryUSA, socialnet.CountryTurkey}, []float64{0.5, 0.5})
+}
+
+func (w *world) page(t *testing.T) socialnet.PageID {
+	t.Helper()
+	p, err := w.st.AddPage(socialnet.Page{Name: "honeypot", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBurstOrderDeliversOnTime(t *testing.T) {
+	w := newWorld(t, 1, 400, usaTurkey())
+	f, err := New(w.r, w.st, Config{Name: "SF", Mode: ModeBurst}, w.cohort, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := w.page(t)
+	err = f.PlaceOrder(w.clock, Order{
+		Campaign: "SF-ALL", Page: page, Quantity: 300, DeliverCount: 300,
+		DurationDays: 3, Bursts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	if got := w.st.LikeCountOfPage(page); got != 300 {
+		t.Fatalf("delivered %d likes, want 300", got)
+	}
+	// All likes within the first ~2.5 days (bursts fall in a 36h window
+	// plus up to 2h of burst width).
+	for _, lk := range w.st.LikesOfPage(page) {
+		if lk.At.Sub(t0) > 60*time.Hour {
+			t.Fatalf("burst like at %v, too late", lk.At.Sub(t0))
+		}
+	}
+}
+
+func TestBurstLikesAreDense(t *testing.T) {
+	w := newWorld(t, 2, 500, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "SF", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "X", Page: page, Quantity: 400, DurationDays: 3, Bursts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	likes := w.st.LikesOfPage(page)
+	if len(likes) != 400 {
+		t.Fatalf("likes = %d", len(likes))
+	}
+	span := likes[len(likes)-1].At.Sub(likes[0].At)
+	if span > 2*time.Hour {
+		t.Fatalf("single burst spans %v, want <=2h", span)
+	}
+}
+
+func TestTrickleOrderSpreadsLikes(t *testing.T) {
+	w := newWorld(t, 3, 500, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "BL", Mode: ModeTrickle}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "BL-USA", Page: page, Quantity: 300, DurationDays: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	likes := w.st.LikesOfPage(page)
+	if len(likes) != 300 {
+		t.Fatalf("likes = %d", len(likes))
+	}
+	// Count likes per day; no day should dominate.
+	perDay := map[int]int{}
+	for _, lk := range likes {
+		perDay[int(lk.At.Sub(t0)/(24*time.Hour))]++
+	}
+	if len(perDay) < 12 {
+		t.Fatalf("trickle hit only %d days, want ~15", len(perDay))
+	}
+	for d, n := range perDay {
+		if n > 60 {
+			t.Fatalf("day %d got %d likes — too bursty for trickle", d, n)
+		}
+	}
+}
+
+func TestInactiveOrder(t *testing.T) {
+	w := newWorld(t, 4, 100, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "MS", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	err := f.PlaceOrder(w.clock, Order{
+		Campaign: "MS-ALL", Page: page, Quantity: 100, DurationDays: 5, Inactive: true,
+	})
+	if !errors.Is(err, ErrInactive) {
+		t.Fatalf("err = %v, want ErrInactive", err)
+	}
+	w.clock.Drain(0)
+	if got := w.st.LikeCountOfPage(page); got != 0 {
+		t.Fatalf("inactive order delivered %d likes", got)
+	}
+}
+
+func TestTargetingSelectsCountry(t *testing.T) {
+	w := newWorld(t, 5, 600, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "AL", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "AL-USA", Page: page, Quantity: 200, DurationDays: 3,
+		TargetCountry: socialnet.CountryUSA,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	for _, lk := range w.st.LikesOfPage(page) {
+		u, _ := w.st.User(lk.User)
+		if u.Country != socialnet.CountryUSA {
+			t.Fatalf("USA order delivered from %s", u.Country)
+		}
+	}
+}
+
+func TestIgnoreTargetingDeliversAnyway(t *testing.T) {
+	turkeyOnly := stats.MustCategorical([]string{socialnet.CountryTurkey}, []float64{1})
+	w := newWorld(t, 6, 400, turkeyOnly)
+	f, _ := New(w.r, w.st, Config{Name: "SF", Mode: ModeBurst, IgnoreTargeting: true}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "SF-USA", Page: page, Quantity: 200, DurationDays: 3,
+		TargetCountry: socialnet.CountryUSA,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	turkish := 0
+	for _, lk := range w.st.LikesOfPage(page) {
+		u, _ := w.st.User(lk.User)
+		if u.Country == socialnet.CountryTurkey {
+			turkish++
+		}
+	}
+	if turkish != 200 {
+		t.Fatalf("SF should deliver Turkish likes for a USA order: %d/200", turkish)
+	}
+}
+
+func TestFallbackWhenNoCountryMatch(t *testing.T) {
+	turkeyOnly := stats.MustCategorical([]string{socialnet.CountryTurkey}, []float64{1})
+	w := newWorld(t, 7, 300, turkeyOnly)
+	// Honest targeting, but pool has no USA accounts: falls back to the
+	// whole pool rather than failing.
+	f, _ := New(w.r, w.st, Config{Name: "X", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "X-USA", Page: page, Quantity: 100, DurationDays: 3,
+		TargetCountry: socialnet.CountryUSA,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	if got := w.st.LikeCountOfPage(page); got != 100 {
+		t.Fatalf("fallback delivered %d likes", got)
+	}
+}
+
+func TestRotationMinimizesOverlap(t *testing.T) {
+	w := newWorld(t, 8, 500, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "SF", Mode: ModeBurst, RotateAccounts: true}, w.cohort, nil)
+	p1, p2 := w.page(t), w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{Campaign: "A", Page: p1, Quantity: 200, DurationDays: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PlaceOrder(w.clock, Order{Campaign: "B", Page: p2, Quantity: 200, DurationDays: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	likers1 := map[socialnet.UserID]bool{}
+	for _, lk := range w.st.LikesOfPage(p1) {
+		likers1[lk.User] = true
+	}
+	overlap := 0
+	for _, lk := range w.st.LikesOfPage(p2) {
+		if likers1[lk.User] {
+			overlap++
+		}
+	}
+	// 200+200 from 500 with rotation: overlap should be ~0.
+	if overlap > 5 {
+		t.Fatalf("rotation overlap = %d, want ~0", overlap)
+	}
+}
+
+func TestReuseBiasCreatesOverlap(t *testing.T) {
+	w := newWorld(t, 9, 600, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "ALMS", Mode: ModeBurst, RotateAccounts: true}, w.cohort, nil)
+	p1, p2 := w.page(t), w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{Campaign: "AL", Page: p1, Quantity: 300, DurationDays: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "MS", Page: p2, Quantity: 100, DurationDays: 3, ReuseBias: 0.6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	likers1 := map[socialnet.UserID]bool{}
+	for _, lk := range w.st.LikesOfPage(p1) {
+		likers1[lk.User] = true
+	}
+	overlap := 0
+	for _, lk := range w.st.LikesOfPage(p2) {
+		if likers1[lk.User] {
+			overlap++
+		}
+	}
+	if overlap < 50 || overlap > 70 {
+		t.Fatalf("reuse overlap = %d, want ≈60", overlap)
+	}
+}
+
+func TestSharedUsageAcrossFarms(t *testing.T) {
+	w := newWorld(t, 10, 600, usaTurkey())
+	usage := NewUsage()
+	al, _ := New(w.r, w.st, Config{Name: "AL", Mode: ModeBurst, RotateAccounts: true}, w.cohort, usage)
+	ms, _ := New(w.r, w.st, Config{Name: "MS", Mode: ModeBurst, RotateAccounts: true}, w.cohort, usage)
+	p1, p2 := w.page(t), w.page(t)
+	if err := al.PlaceOrder(w.clock, Order{Campaign: "AL", Page: p1, Quantity: 300, DurationDays: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.PlaceOrder(w.clock, Order{
+		Campaign: "MS", Page: p2, Quantity: 100, DurationDays: 3, ReuseBias: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	likers1 := map[socialnet.UserID]bool{}
+	for _, lk := range w.st.LikesOfPage(p1) {
+		likers1[lk.User] = true
+	}
+	overlap := 0
+	for _, lk := range w.st.LikesOfPage(p2) {
+		if likers1[lk.User] {
+			overlap++
+		}
+	}
+	// MS's reuse bias pulls from AL's accounts because usage is shared.
+	if overlap < 40 {
+		t.Fatalf("cross-farm overlap = %d, want ≈50", overlap)
+	}
+}
+
+func TestBiasLowFriendsSelectsCheapAccounts(t *testing.T) {
+	w := newWorld(t, 11, 600, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "MS", Mode: ModeBurst}, w.cohort, nil)
+	pBias, pPlain := w.page(t), w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "biased", Page: pBias, Quantity: 100, DurationDays: 3, BiasLowFriends: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PlaceOrder(w.clock, Order{
+		Campaign: "plain", Page: pPlain, Quantity: 100, DurationDays: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.clock.Drain(0)
+	median := func(p socialnet.PageID) float64 {
+		var xs []float64
+		for _, lk := range w.st.LikesOfPage(p) {
+			xs = append(xs, float64(w.st.DeclaredFriendCount(lk.User)))
+		}
+		m, err := stats.Median(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mb, mp := median(pBias), median(pPlain)
+	if mb >= mp {
+		t.Fatalf("biased median %v should be below plain median %v", mb, mp)
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	w := newWorld(t, 12, 50, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "X", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	bad := []Order{
+		{Page: page, Quantity: 10, DurationDays: 3},                                        // no campaign
+		{Campaign: "c", Page: page, Quantity: 0, DurationDays: 3},                          // no quantity
+		{Campaign: "c", Page: page, Quantity: 10, DeliverCount: -1, DurationDays: 3},       // negative deliver
+		{Campaign: "c", Page: page, Quantity: 10, DurationDays: 0},                         // no duration
+		{Campaign: "c", Page: page, Quantity: 10, DurationDays: 3, StartDelay: -time.Hour}, // negative delay
+		{Campaign: "c", Page: page, Quantity: 10, DurationDays: 3, ReuseBias: 1.5},         // bad bias
+		{Campaign: "c", Page: page, Quantity: 10, DurationDays: 3, Bursts: 11},             // too many bursts
+		{Campaign: "c", Page: page, Quantity: 10, DurationDays: 3, BurstSpreadDays: -1},    // negative spread
+	}
+	for i, o := range bad {
+		if err := f.PlaceOrder(w.clock, o); err == nil {
+			t.Fatalf("order %d accepted", i)
+		}
+	}
+	if err := f.PlaceOrder(w.clock, Order{Campaign: "c", Page: 9999, Quantity: 10, DurationDays: 3}); err == nil {
+		t.Fatal("missing page accepted")
+	}
+}
+
+func TestPoolDrained(t *testing.T) {
+	w := newWorld(t, 13, 50, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "X", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	err := f.PlaceOrder(w.clock, Order{Campaign: "big", Page: page, Quantity: 100, DurationDays: 3})
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("err = %v, want ErrDrained", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w := newWorld(t, 14, 50, usaTurkey())
+	if _, err := New(w.r, w.st, Config{}, w.cohort, nil); err == nil {
+		t.Fatal("farm without name accepted")
+	}
+	if _, err := New(w.r, w.st, Config{Name: "X"}, nil, nil); err == nil {
+		t.Fatal("farm without pool accepted")
+	}
+}
+
+func TestUsedAccountsTracksDeliverers(t *testing.T) {
+	w := newWorld(t, 15, 200, usaTurkey())
+	f, _ := New(w.r, w.st, Config{Name: "X", Mode: ModeBurst}, w.cohort, nil)
+	page := w.page(t)
+	if err := f.PlaceOrder(w.clock, Order{Campaign: "c", Page: page, Quantity: 50, DurationDays: 3}); err != nil {
+		t.Fatal(err)
+	}
+	used := f.UsedAccounts()
+	if len(used) != 50 {
+		t.Fatalf("used = %d, want 50", len(used))
+	}
+	for i := 1; i < len(used); i++ {
+		if used[i] <= used[i-1] {
+			t.Fatal("UsedAccounts not sorted")
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBurst.String() != "burst" || ModeTrickle.String() != "trickle" {
+		t.Fatal("mode strings")
+	}
+}
+
+// TestDeliveryExactlyOnceProperty: for random seeds and modes, an order
+// delivers exactly DeliverCount likes, each from a distinct account,
+// none from terminated accounts, all timestamped within the order span.
+func TestDeliveryExactlyOnceProperty(t *testing.T) {
+	f := func(seed int64, burstMode bool) bool {
+		w := newWorld(t, seed, 300, usaTurkey())
+		mode := ModeTrickle
+		if burstMode {
+			mode = ModeBurst
+		}
+		fm, err := New(w.r, w.st, Config{Name: "P", Mode: mode}, w.cohort, nil)
+		if err != nil {
+			return false
+		}
+		page, err := w.st.AddPage(socialnet.Page{Name: "p", Honeypot: true})
+		if err != nil {
+			return false
+		}
+		want := 50 + int(seed%97+97)%97 // 50..146, deterministic per seed
+		if err := fm.PlaceOrder(w.clock, Order{
+			Campaign: "prop", Page: page, Quantity: want, DurationDays: 10,
+		}); err != nil {
+			return false
+		}
+		w.clock.Drain(0)
+		likes := w.st.LikesOfPage(page)
+		if len(likes) != want {
+			return false
+		}
+		seen := map[socialnet.UserID]bool{}
+		for _, lk := range likes {
+			if seen[lk.User] {
+				return false
+			}
+			seen[lk.User] = true
+			if lk.At.Before(t0) || lk.At.After(t0.Add(12*24*time.Hour)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCheck runs a reduced-count property check (full testing/quick is
+// overkill for world-building properties).
+func quickCheck(f func(int64, bool) bool, n int) error {
+	for i := 0; i < n; i++ {
+		if !f(int64(i*31+7), i%2 == 0) {
+			return errors.New("property violated")
+		}
+	}
+	return nil
+}

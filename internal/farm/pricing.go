@@ -1,0 +1,129 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PriceList captures the like-farm market of §3 / Table 1: packages of
+// 1000 likes at prices from $14.99 (SocialFormula worldwide) to $190
+// (BoostLikes USA), alongside the per-like value estimates the paper
+// quotes in §1 (ChompOn: $8; other estimates $3.60–$214.81).
+type PriceList struct {
+	entries map[priceKey]float64
+}
+
+type priceKey struct {
+	farm     string
+	location string
+}
+
+// NewPriceList builds an empty price list.
+func NewPriceList() *PriceList {
+	return &PriceList{entries: make(map[priceKey]float64)}
+}
+
+// Set records the price of a 1000-like package for a farm+location.
+func (p *PriceList) Set(farm, location string, price float64) error {
+	if farm == "" {
+		return fmt.Errorf("farm: price without farm name")
+	}
+	if price <= 0 {
+		return fmt.Errorf("farm: non-positive price %v for %s/%s", price, farm, location)
+	}
+	p.entries[priceKey{farm, location}] = price
+	return nil
+}
+
+// Price returns the package price for a farm+location.
+func (p *PriceList) Price(farm, location string) (float64, bool) {
+	v, ok := p.entries[priceKey{farm, location}]
+	return v, ok
+}
+
+// PaperPriceList returns the Table 1 prices.
+func PaperPriceList() *PriceList {
+	p := NewPriceList()
+	_ = p.Set("BoostLikes.com", "Worldwide", 70.00)
+	_ = p.Set("BoostLikes.com", "USA", 190.00)
+	_ = p.Set("SocialFormula.com", "Worldwide", 14.99)
+	_ = p.Set("SocialFormula.com", "USA", 69.99)
+	_ = p.Set("AuthenticLikes.com", "Worldwide", 49.95)
+	_ = p.Set("AuthenticLikes.com", "USA", 59.95)
+	_ = p.Set("MammothSocials.com", "Worldwide", 20.00)
+	_ = p.Set("MammothSocials.com", "USA", 95.00)
+	return p
+}
+
+// ValuePerLikeEstimates returns the §1 revenue-per-like estimates the
+// paper cites, keyed by source.
+func ValuePerLikeEstimates() map[string]float64 {
+	return map[string]float64{
+		"ChompOn": 8.00,
+		"low":     3.60,
+		"mid":     136.38,
+		"high":    214.81,
+	}
+}
+
+// Economics summarizes one order's economics: what was paid, what was
+// delivered, and what the delivered likes are nominally worth — the gap
+// between the two is the fraud's margin and the buyer's illusion.
+type Economics struct {
+	Farm           string
+	Location       string
+	PackagePrice   float64
+	OrderedLikes   int
+	DeliveredLikes int
+	// CostPerDeliveredLike is price / delivered (Inf when nothing was
+	// delivered — the BL-ALL / MS-ALL scam case is reported as -1).
+	CostPerDeliveredLike float64
+	// NominalValue is delivered * value-per-like under the given
+	// estimate.
+	NominalValue float64
+}
+
+// OrderEconomics computes the economics of an order outcome.
+func OrderEconomics(farm, location string, prices *PriceList, ordered, delivered int, valuePerLike float64) (Economics, error) {
+	if ordered < 1 {
+		return Economics{}, fmt.Errorf("farm: ordered %d must be >=1", ordered)
+	}
+	if delivered < 0 {
+		return Economics{}, fmt.Errorf("farm: delivered %d must be >=0", delivered)
+	}
+	if valuePerLike < 0 {
+		return Economics{}, fmt.Errorf("farm: negative value per like %v", valuePerLike)
+	}
+	price, ok := prices.Price(farm, location)
+	if !ok {
+		return Economics{}, fmt.Errorf("farm: no price for %s/%s", farm, location)
+	}
+	e := Economics{
+		Farm: farm, Location: location,
+		PackagePrice: price, OrderedLikes: ordered, DeliveredLikes: delivered,
+		NominalValue: float64(delivered) * valuePerLike,
+	}
+	if delivered > 0 {
+		e.CostPerDeliveredLike = price * float64(ordered) / 1000 / float64(delivered)
+	} else {
+		e.CostPerDeliveredLike = -1
+	}
+	return e, nil
+}
+
+// FulfillmentRate returns delivered/ordered.
+func (e Economics) FulfillmentRate() float64 {
+	return float64(e.DeliveredLikes) / float64(e.OrderedLikes)
+}
+
+// Locations lists the price list's known locations for a farm, sorted.
+func (p *PriceList) Locations(farm string) []string {
+	var out []string
+	for k := range p.entries {
+		if k.farm == farm {
+			out = append(out, k.location)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

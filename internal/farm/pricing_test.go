@@ -1,0 +1,105 @@
+package farm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperPriceList(t *testing.T) {
+	p := PaperPriceList()
+	cases := []struct {
+		farm, loc string
+		want      float64
+	}{
+		{"BoostLikes.com", "USA", 190},
+		{"BoostLikes.com", "Worldwide", 70},
+		{"SocialFormula.com", "Worldwide", 14.99},
+		{"MammothSocials.com", "USA", 95},
+	}
+	for _, c := range cases {
+		got, ok := p.Price(c.farm, c.loc)
+		if !ok || got != c.want {
+			t.Fatalf("Price(%s,%s) = %v,%v want %v", c.farm, c.loc, got, ok, c.want)
+		}
+	}
+	if _, ok := p.Price("Nope.com", "USA"); ok {
+		t.Fatal("unknown farm priced")
+	}
+	locs := p.Locations("BoostLikes.com")
+	if len(locs) != 2 || locs[0] != "USA" || locs[1] != "Worldwide" {
+		t.Fatalf("locations = %v", locs)
+	}
+}
+
+func TestPriceListValidation(t *testing.T) {
+	p := NewPriceList()
+	if err := p.Set("", "USA", 10); err == nil {
+		t.Fatal("empty farm accepted")
+	}
+	if err := p.Set("X", "USA", 0); err == nil {
+		t.Fatal("zero price accepted")
+	}
+}
+
+func TestOrderEconomics(t *testing.T) {
+	prices := PaperPriceList()
+	// SF-ALL: $14.99 for 1000 ordered, 984 delivered, at $8/like value.
+	e, err := OrderEconomics("SocialFormula.com", "Worldwide", prices, 1000, 984, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.CostPerDeliveredLike-14.99/984) > 1e-9 {
+		t.Fatalf("cost/like = %v", e.CostPerDeliveredLike)
+	}
+	if e.NominalValue != 984*8 {
+		t.Fatalf("nominal value = %v", e.NominalValue)
+	}
+	if math.Abs(e.FulfillmentRate()-0.984) > 1e-12 {
+		t.Fatalf("fulfillment = %v", e.FulfillmentRate())
+	}
+	// The fraud economics: ~1.5 cents buys a "like" nominally worth $8.
+	if e.CostPerDeliveredLike > 0.02 {
+		t.Fatalf("SF like costs %v, should be ~$0.015", e.CostPerDeliveredLike)
+	}
+}
+
+func TestOrderEconomicsScam(t *testing.T) {
+	prices := PaperPriceList()
+	// BL-ALL: paid $70, delivered nothing.
+	e, err := OrderEconomics("BoostLikes.com", "Worldwide", prices, 1000, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CostPerDeliveredLike != -1 {
+		t.Fatalf("scam cost/like = %v, want -1 sentinel", e.CostPerDeliveredLike)
+	}
+	if e.NominalValue != 0 || e.FulfillmentRate() != 0 {
+		t.Fatalf("scam economics = %+v", e)
+	}
+}
+
+func TestOrderEconomicsValidation(t *testing.T) {
+	prices := PaperPriceList()
+	if _, err := OrderEconomics("BoostLikes.com", "USA", prices, 0, 10, 8); err == nil {
+		t.Fatal("ordered 0 accepted")
+	}
+	if _, err := OrderEconomics("BoostLikes.com", "USA", prices, 100, -1, 8); err == nil {
+		t.Fatal("negative delivered accepted")
+	}
+	if _, err := OrderEconomics("BoostLikes.com", "USA", prices, 100, 10, -1); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := OrderEconomics("Nope.com", "USA", prices, 100, 10, 8); err == nil {
+		t.Fatal("unknown farm accepted")
+	}
+}
+
+func TestValueEstimates(t *testing.T) {
+	est := ValuePerLikeEstimates()
+	if est["ChompOn"] != 8 {
+		t.Fatalf("ChompOn = %v", est["ChompOn"])
+	}
+	if est["low"] >= est["mid"] || est["mid"] >= est["high"] {
+		t.Fatalf("estimates not ordered: %v", est)
+	}
+}

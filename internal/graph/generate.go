@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generators for the synthetic social topologies. The farm models use
+// them to build account networks whose shape matches the paper's
+// observations: BoostLikes accounts sit in one well-connected
+// Watts–Strogatz-style core; SocialFormula/AuthenticLikes/MammothSocials
+// accounts form isolated pairs and triplets; the organic Facebook
+// population grows by preferential attachment.
+
+// ErdosRenyi generates G(n, p) over node IDs ids. Every pair is connected
+// independently with probability p.
+func ErdosRenyi(r *rand.Rand, ids []int64, p float64) (*Undirected, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v out of [0,1]", p)
+	}
+	g := NewUndirected()
+	for _, id := range ids {
+		g.AddNode(id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if r.Float64() < p {
+				if err := g.AddEdge(ids[i], ids[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice over ids
+// where each node connects to its k nearest neighbors (k even), with each
+// edge rewired with probability beta. High local clustering + short
+// paths; the model for BoostLikes's "large and well-connected network".
+func WattsStrogatz(r *rand.Rand, ids []int64, k int, beta float64) (*Undirected, error) {
+	n := len(ids)
+	if n < 3 {
+		return nil, fmt.Errorf("graph: watts-strogatz needs >=3 nodes, got %d", n)
+	}
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("graph: watts-strogatz k=%d must be even and >=2", k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("graph: watts-strogatz k=%d must be < n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: rewire probability %v out of [0,1]", beta)
+	}
+	g := NewUndirected()
+	for _, id := range ids {
+		g.AddNode(id)
+	}
+	// Ring lattice.
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			j := (i + d) % n
+			if err := g.AddEdge(ids[i], ids[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Rewire.
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			if r.Float64() >= beta {
+				continue
+			}
+			j := (i + d) % n
+			if !g.HasEdge(ids[i], ids[j]) {
+				continue // already rewired away
+			}
+			// pick a new endpoint, avoiding self-loops and duplicates
+			for tries := 0; tries < 32; tries++ {
+				m := r.Intn(n)
+				if ids[m] == ids[i] || g.HasEdge(ids[i], ids[m]) {
+					continue
+				}
+				g.removeEdge(ids[i], ids[j])
+				_ = g.AddEdge(ids[i], ids[m])
+				break
+			}
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: nodes arrive
+// one at a time and attach m edges to existing nodes with probability
+// proportional to degree. Models the organic Facebook friendship graph's
+// heavy-tailed degree distribution.
+func BarabasiAlbert(r *rand.Rand, ids []int64, m int) (*Undirected, error) {
+	n := len(ids)
+	if m < 1 {
+		return nil, fmt.Errorf("graph: barabasi-albert m=%d must be >=1", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("graph: barabasi-albert needs >= m+1=%d nodes, got %d", m+1, n)
+	}
+	g := NewUndirected()
+	// Seed: a small clique of m+1 nodes.
+	for i := 0; i <= m; i++ {
+		g.AddNode(ids[i])
+		for j := 0; j < i; j++ {
+			if err := g.AddEdge(ids[i], ids[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Repeated-endpoint list: sampling uniformly from it is sampling
+	// proportional to degree.
+	var stubs []int64
+	for _, e := range g.Edges() {
+		stubs = append(stubs, e[0], e[1])
+	}
+	for i := m + 1; i < n; i++ {
+		g.AddNode(ids[i])
+		targets := make(map[int64]struct{}, m)
+		ordered := make([]int64, 0, m) // keep RNG-draw order, not map order
+		for len(targets) < m {
+			t := stubs[r.Intn(len(stubs))]
+			if t == ids[i] {
+				continue
+			}
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			ordered = append(ordered, t)
+		}
+		for _, t := range ordered {
+			if err := g.AddEdge(ids[i], t); err != nil {
+				return nil, err
+			}
+			stubs = append(stubs, ids[i], t)
+		}
+	}
+	return g, nil
+}
+
+// PairsAndTriplets partitions ids into connected islands of size 2 and 3
+// (plus at most one leftover singleton or one island resized to fit),
+// with tripletFrac of the islands being triplets. This is the topology
+// the paper observes for SocialFormula/AuthenticLikes/MammothSocials
+// likers: "many isolated pairs and triplets of likers who are not
+// connected", limiting blast radius if one fake account is identified.
+func PairsAndTriplets(r *rand.Rand, ids []int64, tripletFrac float64) (*Undirected, error) {
+	if tripletFrac < 0 || tripletFrac > 1 {
+		return nil, fmt.Errorf("graph: triplet fraction %v out of [0,1]", tripletFrac)
+	}
+	g := NewUndirected()
+	for _, id := range ids {
+		g.AddNode(id)
+	}
+	// Shuffle a copy for random island membership.
+	perm := append([]int64(nil), ids...)
+	r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	i := 0
+	for i < len(perm) {
+		size := 2
+		if r.Float64() < tripletFrac {
+			size = 3
+		}
+		if rem := len(perm) - i; rem < size {
+			size = rem
+		}
+		island := perm[i : i+size]
+		for a := 1; a < len(island); a++ {
+			if err := g.AddEdge(island[0], island[a]); err != nil {
+				return nil, err
+			}
+		}
+		if len(island) == 3 && r.Float64() < 0.5 {
+			_ = g.AddEdge(island[1], island[2]) // sometimes a closed triangle
+		}
+		i += size
+	}
+	return g, nil
+}
+
+// AttachPeriphery connects each node in periphery to approximately
+// degreeMean random nodes in core, modelling fake accounts that pad their
+// friend lists with organic users to look real.
+func AttachPeriphery(r *rand.Rand, g *Undirected, periphery, core []int64, degreeMean float64) error {
+	if degreeMean < 0 {
+		return fmt.Errorf("graph: negative mean degree %v", degreeMean)
+	}
+	if len(core) == 0 {
+		return fmt.Errorf("graph: empty core to attach to")
+	}
+	for _, p := range periphery {
+		k := poissonLike(r, degreeMean)
+		if k > len(core) {
+			k = len(core)
+		}
+		for t := 0; t < k; t++ {
+			c := core[r.Intn(len(core))]
+			if c == p {
+				continue
+			}
+			_ = g.AddEdge(p, c)
+		}
+	}
+	return nil
+}
+
+func poissonLike(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(math.Round(lambda + r.NormFloat64()*math.Sqrt(lambda)))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// removeEdge deletes an edge if present (internal helper for rewiring).
+func (g *Undirected) removeEdge(a, b int64) {
+	if _, ok := g.adj[a][b]; !ok {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.edges--
+}

@@ -1,0 +1,333 @@
+// Package graph implements the undirected-graph machinery behind the
+// paper's social-graph analysis (§4.3): adjacency storage, connected
+// components, 2-hop closures, degree statistics, and clustering
+// coefficients, plus the random-graph generators used to synthesize farm
+// account topologies (isolated pairs/triplets vs a well-connected core).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undirected is an undirected simple graph over int64 node IDs. Nodes are
+// created implicitly by AddEdge or explicitly by AddNode. Self-loops and
+// parallel edges are rejected/ignored respectively.
+type Undirected struct {
+	adj   map[int64]map[int64]struct{}
+	edges int
+}
+
+// NewUndirected returns an empty graph.
+func NewUndirected() *Undirected {
+	return &Undirected{adj: make(map[int64]map[int64]struct{})}
+}
+
+// AddNode ensures the node exists (possibly isolated).
+func (g *Undirected) AddNode(id int64) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[int64]struct{})
+	}
+}
+
+// HasNode reports whether the node exists.
+func (g *Undirected) HasNode(id int64) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// AddEdge inserts an undirected edge. Self-loops are an error; duplicate
+// edges are a no-op.
+func (g *Undirected) AddEdge(a, b int64) error {
+	if a == b {
+		return fmt.Errorf("graph: self-loop on node %d", a)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if _, dup := g.adj[a][b]; dup {
+		return nil
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether edge {a,b} exists.
+func (g *Undirected) HasEdge(a, b int64) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// RemoveNode deletes a node and all incident edges.
+func (g *Undirected) RemoveNode(id int64) {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return
+	}
+	for n := range nbrs {
+		delete(g.adj[n], id)
+		g.edges--
+	}
+	delete(g.adj, id)
+}
+
+// NumNodes and NumEdges return graph sizes.
+func (g *Undirected) NumNodes() int { return len(g.adj) }
+func (g *Undirected) NumEdges() int { return g.edges }
+
+// Degree returns the degree of a node (0 if absent).
+func (g *Undirected) Degree(id int64) int { return len(g.adj[id]) }
+
+// Neighbors returns a sorted copy of a node's neighbor set.
+func (g *Undirected) Neighbors(id int64) []int64 {
+	nbrs := g.adj[id]
+	out := make([]int64, 0, len(nbrs))
+	for n := range nbrs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns all node IDs in sorted order.
+func (g *Undirected) Nodes() []int64 {
+	out := make([]int64, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges as sorted (a<b) pairs in deterministic order.
+func (g *Undirected) Edges() [][2]int64 {
+	out := make([][2]int64, 0, g.edges)
+	for a, nbrs := range g.adj {
+		for b := range nbrs {
+			if a < b {
+				out = append(out, [2]int64{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ConnectedComponents returns the node partition into components, each
+// sorted, ordered by (size desc, smallest node asc) for determinism.
+func (g *Undirected) ConnectedComponents() [][]int64 {
+	seen := make(map[int64]bool, len(g.adj))
+	var comps [][]int64
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []int64
+		queue := []int64{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			comp = append(comp, n)
+			for _, m := range g.Neighbors(n) {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// ComponentSizes returns the component size census as a size->count map.
+// The paper's Figure 3 discussion hinges on this: SF/AL/MS likers form
+// isolated pairs and triplets while BL likers form one large component.
+func (g *Undirected) ComponentSizes() map[int]int {
+	out := make(map[int]int)
+	for _, c := range g.ConnectedComponents() {
+		out[len(c)]++
+	}
+	return out
+}
+
+// LargestComponentFraction returns |largest component| / |nodes|, or 0
+// for an empty graph.
+func (g *Undirected) LargestComponentFraction() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	comps := g.ConnectedComponents()
+	return float64(len(comps[0])) / float64(len(g.adj))
+}
+
+// InducedSubgraph returns the subgraph over the given node set (nodes
+// absent from g are ignored).
+func (g *Undirected) InducedSubgraph(nodes []int64) *Undirected {
+	keep := make(map[int64]struct{}, len(nodes))
+	for _, n := range nodes {
+		if g.HasNode(n) {
+			keep[n] = struct{}{}
+		}
+	}
+	sub := NewUndirected()
+	for n := range keep {
+		sub.AddNode(n)
+		for m := range g.adj[n] {
+			if _, ok := keep[m]; ok && n < m {
+				_ = sub.AddEdge(n, m)
+			}
+		}
+	}
+	return sub
+}
+
+// TwoHopClosure returns a new graph over the same node set where an edge
+// {a,b} exists iff a and b are adjacent in g OR share at least one common
+// neighbor in base. This matches the paper's "2-hop friendship relations"
+// (Figure 3(b), Table 3 last column): likers connected directly or via a
+// mutual friend, where the mutual friend may be any user in the base
+// graph, not only a liker.
+func TwoHopClosure(likers []int64, base *Undirected) *Undirected {
+	out := NewUndirected()
+	set := make(map[int64]struct{}, len(likers))
+	for _, n := range likers {
+		if base.HasNode(n) {
+			set[n] = struct{}{}
+			out.AddNode(n)
+		}
+	}
+	// Invert: for every node v in base adjacent to >=2 likers, connect
+	// those likers pairwise. Also copy direct liker-liker edges.
+	for a := range set {
+		for b := range base.adj[a] {
+			if _, ok := set[b]; ok && a < b {
+				_ = out.AddEdge(a, b)
+			}
+		}
+	}
+	// Common-neighbor pass: group likers by shared neighbor.
+	nbrLikers := make(map[int64][]int64)
+	for a := range set {
+		for v := range base.adj[a] {
+			nbrLikers[v] = append(nbrLikers[v], a)
+		}
+	}
+	for v, ls := range nbrLikers {
+		if len(ls) < 2 {
+			continue
+		}
+		// If v is itself a liker, direct edges already cover v's pairs
+		// only partially; mutual-friend semantics still apply.
+		_ = v
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		for i := 0; i < len(ls); i++ {
+			for j := i + 1; j < len(ls); j++ {
+				_ = out.AddEdge(ls[i], ls[j])
+			}
+		}
+	}
+	return out
+}
+
+// DegreeStats summarizes node degrees.
+type DegreeStats struct {
+	N      int
+	Mean   float64
+	Median float64
+	Max    int
+	Min    int
+}
+
+// Degrees returns the degree sequence in node-sorted order.
+func (g *Undirected) Degrees() []int {
+	nodes := g.Nodes()
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = g.Degree(n)
+	}
+	return out
+}
+
+// DegreeSummary computes degree statistics; zero-valued for empty graphs.
+func (g *Undirected) DegreeSummary() DegreeStats {
+	degs := g.Degrees()
+	if len(degs) == 0 {
+		return DegreeStats{}
+	}
+	s := DegreeStats{N: len(degs), Min: degs[0], Max: degs[0]}
+	sum := 0
+	sorted := append([]int(nil), degs...)
+	sort.Ints(sorted)
+	for _, d := range degs {
+		sum += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = float64(sum) / float64(len(degs))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = float64(sorted[mid])
+	} else {
+		s.Median = float64(sorted[mid-1]+sorted[mid]) / 2
+	}
+	return s
+}
+
+// ClusteringCoefficient returns the global average local clustering
+// coefficient. Nodes with degree < 2 contribute 0.
+func (g *Undirected) ClusteringCoefficient() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	total := 0.0
+	for n, nbrs := range g.adj {
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		lst := g.Neighbors(n)
+		for i := 0; i < len(lst); i++ {
+			for j := i + 1; j < len(lst); j++ {
+				if g.HasEdge(lst[i], lst[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+	}
+	return total / float64(len(g.adj))
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Undirected) Clone() *Undirected {
+	out := NewUndirected()
+	for n, nbrs := range g.adj {
+		out.AddNode(n)
+		for m := range nbrs {
+			if n < m {
+				_ = out.AddEdge(n, m)
+			}
+		}
+	}
+	return out
+}

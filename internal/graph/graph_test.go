@@ -1,0 +1,420 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildPath(t *testing.T, ids ...int64) *Undirected {
+	t.Helper()
+	g := NewUndirected()
+	for i := 0; i+1 < len(ids); i++ {
+		if err := g.AddEdge(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewUndirected()
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge should be symmetric")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	// duplicate is a no-op
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge changed count: %d", g.NumEdges())
+	}
+	if err := g.AddEdge(3, 3); err == nil {
+		t.Fatal("self-loop should error")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := buildPath(t, 1, 2, 3)
+	g.RemoveNode(2)
+	if g.HasNode(2) || g.HasEdge(1, 2) || g.HasEdge(2, 3) {
+		t.Fatal("node 2 should be fully removed")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("nodes=%d edges=%d after removal", g.NumNodes(), g.NumEdges())
+	}
+	g.RemoveNode(99) // absent: no-op
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewUndirected()
+	for _, m := range []int64{5, 3, 9, 1} {
+		_ = g.AddEdge(0, m)
+	}
+	n := g.Neighbors(0)
+	want := []int64{1, 3, 5, 9}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", n, want)
+		}
+	}
+	if len(g.Neighbors(42)) != 0 {
+		t.Fatal("absent node should have no neighbors")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := buildPath(t, 1, 2, 3)
+	if g.Degree(2) != 2 || g.Degree(1) != 1 || g.Degree(99) != 0 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(2), g.Degree(1), g.Degree(99))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := buildPath(t, 1, 2, 3)
+	_ = g.AddEdge(10, 11)
+	g.AddNode(20)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	// ordered by size desc
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes: %d %d %d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	sizes := g.ComponentSizes()
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("ComponentSizes = %v", sizes)
+	}
+	if f := g.LargestComponentFraction(); f != 0.5 {
+		t.Fatalf("LargestComponentFraction = %v, want 0.5", f)
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := make([]int64, 30)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		g, err := ErdosRenyi(r, ids, 0.08)
+		if err != nil {
+			return false
+		}
+		comps := g.ConnectedComponents()
+		seen := map[int64]int{}
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, n := range c {
+				seen[n]++
+			}
+		}
+		if total != g.NumNodes() {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildPath(t, 1, 2, 3, 4)
+	sub := g.InducedSubgraph([]int64{1, 2, 4, 99})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3 (99 absent in g)", sub.NumNodes())
+	}
+	if !sub.HasEdge(1, 2) || sub.HasEdge(3, 4) || sub.HasEdge(2, 3) {
+		t.Fatal("subgraph edges wrong")
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("subgraph edges = %d, want 1", sub.NumEdges())
+	}
+}
+
+func TestTwoHopClosure(t *testing.T) {
+	// base: likers 1,2 share mutual friend 100 (not a liker); likers 2,3 direct.
+	base := NewUndirected()
+	_ = base.AddEdge(1, 100)
+	_ = base.AddEdge(2, 100)
+	_ = base.AddEdge(2, 3)
+	_ = base.AddEdge(4, 200) // liker 4 isolated from others
+	th := TwoHopClosure([]int64{1, 2, 3, 4}, base)
+	if !th.HasEdge(1, 2) {
+		t.Fatal("mutual friend should connect 1-2")
+	}
+	if !th.HasEdge(2, 3) {
+		t.Fatal("direct edge should persist")
+	}
+	if th.HasEdge(1, 3) {
+		t.Fatal("1-3 share no mutual friend and no edge")
+	}
+	if th.Degree(4) != 0 {
+		t.Fatal("4 should stay isolated")
+	}
+	if !th.HasNode(4) {
+		t.Fatal("isolated liker should still be a node")
+	}
+}
+
+func TestTwoHopSupersetOfDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := make([]int64, 40)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		base, err := ErdosRenyi(r, ids, 0.1)
+		if err != nil {
+			return false
+		}
+		likers := ids[:15]
+		direct := base.InducedSubgraph(likers)
+		th := TwoHopClosure(likers, base)
+		for _, e := range direct.Edges() {
+			if !th.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return th.NumEdges() >= direct.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSummary(t *testing.T) {
+	g := buildPath(t, 1, 2, 3) // degrees 1,2,1
+	s := g.DegreeSummary()
+	if s.N != 3 || s.Min != 1 || s.Max != 2 || s.Median != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean < 1.3 || s.Mean > 1.4 {
+		t.Fatalf("mean = %v, want 4/3", s.Mean)
+	}
+	empty := NewUndirected().DegreeSummary()
+	if empty.N != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: clustering 1.
+	tri := NewUndirected()
+	_ = tri.AddEdge(1, 2)
+	_ = tri.AddEdge(2, 3)
+	_ = tri.AddEdge(1, 3)
+	if c := tri.ClusteringCoefficient(); c != 1 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+	// Path: clustering 0.
+	path := buildPath(t, 1, 2, 3)
+	if c := path.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+	if c := NewUndirected().ClusteringCoefficient(); c != 0 {
+		t.Fatalf("empty clustering = %v", c)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildPath(t, 1, 2, 3)
+	c := g.Clone()
+	_ = c.AddEdge(3, 4)
+	if g.HasNode(4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NumEdges() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("edges: clone=%d orig=%d", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := NewUndirected()
+	_ = g.AddEdge(5, 2)
+	_ = g.AddEdge(1, 9)
+	_ = g.AddEdge(1, 3)
+	e := g.Edges()
+	want := [][2]int64{{1, 3}, {1, 9}, {2, 5}}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", e, want)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ids := make([]int64, 50)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	g, err := ErdosRenyi(r, ids, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Expected edges ≈ C(50,2)*0.2 = 245.
+	if g.NumEdges() < 180 || g.NumEdges() > 310 {
+		t.Fatalf("edges = %d, want ≈245", g.NumEdges())
+	}
+	if _, err := ErdosRenyi(r, ids, 1.5); err == nil {
+		t.Fatal("p>1 should error")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ids := make([]int64, 100)
+	for i := range ids {
+		ids[i] = int64(i + 1000)
+	}
+	g, err := WattsStrogatz(r, ids, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Ring lattice has n*k/2 edges; rewiring preserves the count.
+	if g.NumEdges() != 300 {
+		t.Fatalf("edges = %d, want 300", g.NumEdges())
+	}
+	if f := g.LargestComponentFraction(); f < 0.99 {
+		t.Fatalf("WS graph should be connected, largest frac = %v", f)
+	}
+	// Low beta keeps clustering well above random-graph levels.
+	if c := g.ClusteringCoefficient(); c < 0.2 {
+		t.Fatalf("WS clustering = %v, want high", c)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ids := []int64{1, 2, 3, 4, 5, 6}
+	if _, err := WattsStrogatz(r, ids[:2], 2, 0.1); err == nil {
+		t.Fatal("n<3 should error")
+	}
+	if _, err := WattsStrogatz(r, ids, 3, 0.1); err == nil {
+		t.Fatal("odd k should error")
+	}
+	if _, err := WattsStrogatz(r, ids, 6, 0.1); err == nil {
+		t.Fatal("k>=n should error")
+	}
+	if _, err := WattsStrogatz(r, ids, 2, 2); err == nil {
+		t.Fatal("beta>1 should error")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ids := make([]int64, 200)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	g, err := BarabasiAlbert(r, ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if f := g.LargestComponentFraction(); f != 1 {
+		t.Fatalf("BA graph must be connected, frac = %v", f)
+	}
+	s := g.DegreeSummary()
+	if s.Max < 15 {
+		t.Fatalf("BA should grow hubs, max degree = %d", s.Max)
+	}
+	if s.Min < 3 {
+		t.Fatalf("every arriving node attaches m=3 edges, min = %d", s.Min)
+	}
+	if _, err := BarabasiAlbert(r, ids[:2], 3); err == nil {
+		t.Fatal("too few nodes should error")
+	}
+	if _, err := BarabasiAlbert(r, ids, 0); err == nil {
+		t.Fatal("m=0 should error")
+	}
+}
+
+func TestPairsAndTriplets(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ids := make([]int64, 90)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	g, err := PairsAndTriplets(r, ids, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 90 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	sizes := g.ComponentSizes()
+	for size := range sizes {
+		if size > 3 {
+			t.Fatalf("island of size %d > 3: %v", size, sizes)
+		}
+	}
+	if sizes[2] == 0 || sizes[3] == 0 {
+		t.Fatalf("want both pairs and triplets: %v", sizes)
+	}
+	if _, err := PairsAndTriplets(r, ids, -0.1); err == nil {
+		t.Fatal("bad fraction should error")
+	}
+}
+
+func TestAttachPeriphery(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := NewUndirected()
+	core := []int64{1, 2, 3, 4, 5}
+	for _, c := range core {
+		g.AddNode(c)
+	}
+	periphery := []int64{100, 101, 102}
+	if err := AttachPeriphery(r, g, periphery, core, 3); err != nil {
+		t.Fatal(err)
+	}
+	attached := 0
+	for _, p := range periphery {
+		if g.Degree(p) > 0 {
+			attached++
+		}
+		for _, n := range g.Neighbors(p) {
+			isCore := false
+			for _, c := range core {
+				if n == c {
+					isCore = true
+				}
+			}
+			if !isCore {
+				t.Fatalf("periphery node %d attached to non-core %d", p, n)
+			}
+		}
+	}
+	if attached == 0 {
+		t.Fatal("no periphery node attached with mean degree 3")
+	}
+	if err := AttachPeriphery(r, g, periphery, nil, 3); err == nil {
+		t.Fatal("empty core should error")
+	}
+	if err := AttachPeriphery(r, g, periphery, core, -1); err == nil {
+		t.Fatal("negative mean should error")
+	}
+}

@@ -1,0 +1,261 @@
+// Package honeypot implements the study-side instrumentation of §3:
+// deploying deliberately empty "Virtual Electricity" pages whose
+// description warns "This is not a real page, so please do not like
+// it.", promoting them via Facebook ads or farm orders, and monitoring
+// garnered likes on the paper's cadence — a crawl every 2 hours during
+// the campaign, daily afterwards, stopping once a page has gone a full
+// week without a new like.
+package honeypot
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+// PageName and PageDescription reproduce the paper's honeypot content.
+const (
+	PageName        = "Virtual Electricity"
+	PageDescription = "This is not a real page, so please do not like it."
+)
+
+// Deploy creates one honeypot page with a fresh administrator account
+// (the paper used a different owner per page).
+func Deploy(st *socialnet.Store, campaignID string, createdAt time.Time) (socialnet.PageID, socialnet.UserID, error) {
+	owner := st.AddUser(socialnet.User{
+		Gender:     socialnet.GenderUnknown,
+		Country:    socialnet.CountryOther,
+		Searchable: false,
+		Kind:       socialnet.KindOrganic,
+		CreatedAt:  createdAt,
+	})
+	pid, err := st.AddPage(socialnet.Page{
+		Name:        fmt.Sprintf("%s (%s)", PageName, campaignID),
+		Description: PageDescription,
+		Owner:       owner,
+		Category:    "honeypot",
+		CreatedAt:   createdAt,
+		Honeypot:    true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return pid, owner, nil
+}
+
+// Snapshot is one monitoring observation.
+type Snapshot struct {
+	At         time.Time
+	Cumulative int
+}
+
+// MonitorConfig sets the §3 cadence.
+type MonitorConfig struct {
+	// CampaignPeriod is the phase polled every ActiveInterval.
+	CampaignDays int
+	// ActiveInterval is the in-campaign poll spacing (paper: 2 hours).
+	ActiveInterval time.Duration
+	// TailInterval is the post-campaign spacing (paper: 24 hours).
+	TailInterval time.Duration
+	// QuietCutoff stops monitoring after this long without a new like
+	// (paper: one week).
+	QuietCutoff time.Duration
+	// MaxDays hard-stops monitoring (safety bound; 0 = none).
+	MaxDays int
+}
+
+// DefaultMonitorConfig matches the paper's procedure.
+func DefaultMonitorConfig(campaignDays int) MonitorConfig {
+	return MonitorConfig{
+		CampaignDays:   campaignDays,
+		ActiveInterval: 2 * time.Hour,
+		TailInterval:   24 * time.Hour,
+		QuietCutoff:    7 * 24 * time.Hour,
+		MaxDays:        60,
+	}
+}
+
+// Validate checks the config.
+func (c *MonitorConfig) Validate() error {
+	if c.CampaignDays < 1 {
+		return fmt.Errorf("honeypot: campaign days %d must be >=1", c.CampaignDays)
+	}
+	if c.ActiveInterval <= 0 || c.TailInterval <= 0 {
+		return fmt.Errorf("honeypot: poll intervals must be positive")
+	}
+	if c.QuietCutoff <= 0 {
+		return fmt.Errorf("honeypot: quiet cutoff must be positive")
+	}
+	if c.MaxDays < 0 {
+		return fmt.Errorf("honeypot: max days %d must be >=0", c.MaxDays)
+	}
+	return nil
+}
+
+// Monitor observes one honeypot page on the simulation clock.
+type Monitor struct {
+	store *socialnet.Store
+	page  socialnet.PageID
+	cfg   MonitorConfig
+
+	started   time.Time
+	snapshots []Snapshot
+	firstSeen map[socialnet.UserID]time.Time
+	lastNew   time.Time
+	stoppedAt time.Time
+	stopped   bool
+	inTail    bool
+	ticker    *simclock.Ticker
+}
+
+// StartMonitor begins polling the page.
+func StartMonitor(clock *simclock.Clock, st *socialnet.Store, page socialnet.PageID, cfg MonitorConfig) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := st.Page(page); err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		store:     st,
+		page:      page,
+		cfg:       cfg,
+		started:   clock.Now(),
+		firstSeen: make(map[socialnet.UserID]time.Time),
+		lastNew:   clock.Now(),
+	}
+	// Initial observation at start.
+	m.observe(clock)
+	t, err := clock.Every(cfg.ActiveInterval, fmt.Sprintf("monitor-page-%d", page), m.tick)
+	if err != nil {
+		return nil, err
+	}
+	m.ticker = t
+	return m, nil
+}
+
+// tick is the periodic poll. It returns false to stop the ticker.
+func (m *Monitor) tick(clock *simclock.Clock) bool {
+	if m.stopped {
+		return false
+	}
+	m.observe(clock)
+	now := clock.Now()
+	elapsed := now.Sub(m.started)
+
+	// Phase switch: campaign over -> daily polls.
+	if !m.inTail && elapsed >= time.Duration(m.cfg.CampaignDays)*24*time.Hour {
+		m.inTail = true
+		_ = m.ticker.Reset(m.cfg.TailInterval)
+	}
+	// Stop: a week with no new like (only evaluated in the tail — the
+	// paper kept the 2-hour cadence for the whole campaign), or the
+	// hard cap.
+	if m.inTail && now.Sub(m.lastNew) > m.cfg.QuietCutoff {
+		m.stop(now)
+		return false
+	}
+	if m.cfg.MaxDays > 0 && elapsed >= time.Duration(m.cfg.MaxDays)*24*time.Hour {
+		m.stop(now)
+		return false
+	}
+	return true
+}
+
+func (m *Monitor) observe(clock *simclock.Clock) {
+	likes := m.store.LikesOfPage(m.page)
+	now := clock.Now()
+	fresh := 0
+	for _, lk := range likes {
+		if _, seen := m.firstSeen[lk.User]; !seen {
+			m.firstSeen[lk.User] = now
+			fresh++
+		}
+	}
+	if fresh > 0 {
+		m.lastNew = now
+	}
+	m.snapshots = append(m.snapshots, Snapshot{At: now, Cumulative: len(likes)})
+}
+
+func (m *Monitor) stop(at time.Time) {
+	m.stopped = true
+	m.stoppedAt = at
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// Stopped reports whether monitoring has ended, and when.
+func (m *Monitor) Stopped() (bool, time.Time) { return m.stopped, m.stoppedAt }
+
+// Snapshots returns the observation series.
+func (m *Monitor) Snapshots() []Snapshot {
+	return append([]Snapshot(nil), m.snapshots...)
+}
+
+// Likers returns the observed likers in first-seen order (ties by ID).
+func (m *Monitor) Likers() []socialnet.UserID {
+	out := make([]socialnet.UserID, 0, len(m.firstSeen))
+	for u := range m.firstSeen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := m.firstSeen[out[i]], m.firstSeen[out[j]]
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// FirstSeen returns when a liker was first observed by a poll.
+func (m *Monitor) FirstSeen(u socialnet.UserID) (time.Time, bool) {
+	t, ok := m.firstSeen[u]
+	return t, ok
+}
+
+// TotalLikes returns the final observed cumulative count.
+func (m *Monitor) TotalLikes() int {
+	if len(m.snapshots) == 0 {
+		return 0
+	}
+	return m.snapshots[len(m.snapshots)-1].Cumulative
+}
+
+// MonitoringDays returns how many days the page was monitored (start to
+// stop, rounded up), or elapsed-so-far when still running.
+func (m *Monitor) MonitoringDays(now time.Time) int {
+	end := now
+	if m.stopped {
+		end = m.stoppedAt
+	}
+	d := end.Sub(m.started)
+	days := int(d / (24 * time.Hour))
+	if d%(24*time.Hour) != 0 {
+		days++
+	}
+	return days
+}
+
+// CumulativeByDay buckets the observed cumulative likes into day offsets
+// 0..days (value at each day boundary), for Figure 2's time series. The
+// value for day d is the last snapshot at or before start+d*24h.
+func (m *Monitor) CumulativeByDay(days int) []int {
+	out := make([]int, days+1)
+	cur := 0
+	si := 0
+	for d := 0; d <= days; d++ {
+		boundary := m.started.Add(time.Duration(d) * 24 * time.Hour)
+		for si < len(m.snapshots) && !m.snapshots[si].At.After(boundary) {
+			cur = m.snapshots[si].Cumulative
+			si++
+		}
+		out[d] = cur
+	}
+	return out
+}

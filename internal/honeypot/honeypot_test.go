@@ -1,0 +1,265 @@
+package honeypot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func setup(t *testing.T) (*simclock.Clock, *socialnet.Store, socialnet.PageID) {
+	t.Helper()
+	clock := simclock.New(t0)
+	st := socialnet.NewStore()
+	page, owner, err := Deploy(st, "FB-USA", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == 0 {
+		t.Fatal("no owner account")
+	}
+	return clock, st, page
+}
+
+func addLiker(t *testing.T, st *socialnet.Store, page socialnet.PageID, at time.Time) socialnet.UserID {
+	t.Helper()
+	u := st.AddUser(socialnet.User{Country: "USA"})
+	if err := st.AddLike(u, page, at); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestDeployCreatesHoneypotPage(t *testing.T) {
+	_, st, page := setup(t)
+	p, err := st.Page(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Honeypot {
+		t.Fatal("page should be flagged honeypot")
+	}
+	if !strings.Contains(p.Name, PageName) || !strings.Contains(p.Name, "FB-USA") {
+		t.Fatalf("page name = %q", p.Name)
+	}
+	if p.Description != PageDescription {
+		t.Fatalf("description = %q", p.Description)
+	}
+	if p.Owner == 0 {
+		t.Fatal("page should have an owner")
+	}
+}
+
+func TestMonitorObservesLikes(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule 3 likes over the first day.
+	for i := 0; i < 3; i++ {
+		i := i
+		_, _ = clock.ScheduleAfter(time.Duration(3+i*5)*time.Hour, "like", func(cl *simclock.Clock) {
+			addLiker(t, st, page, cl.Now())
+		})
+	}
+	clock.RunFor(2 * 24 * time.Hour)
+	if mon.TotalLikes() != 3 {
+		t.Fatalf("observed %d likes, want 3", mon.TotalLikes())
+	}
+	if got := len(mon.Likers()); got != 3 {
+		t.Fatalf("likers = %d", got)
+	}
+}
+
+func TestMonitorPollCadence(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the page alive with a like each day.
+	for d := 0; d < 5; d++ {
+		d := d
+		_, _ = clock.ScheduleAfter(time.Duration(d*24+1)*time.Hour, "like", func(cl *simclock.Clock) {
+			addLiker(t, st, page, cl.Now())
+		})
+	}
+	clock.RunFor(36 * time.Hour) // mid-campaign
+	snaps := mon.Snapshots()
+	// 2h cadence: 1 initial + 18 polls in 36h.
+	if len(snaps) < 17 || len(snaps) > 20 {
+		t.Fatalf("in-campaign snapshots = %d, want ~19", len(snaps))
+	}
+	pre := len(snaps)
+	clock.RunFor(3 * 24 * time.Hour) // into the tail: daily polls
+	post := len(mon.Snapshots())
+	perDay := float64(post-pre) / 3
+	if perDay > 7 {
+		t.Fatalf("tail polling too frequent: %.1f snapshots/day", perDay)
+	}
+}
+
+func TestMonitorStopsAfterQuietWeek(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addLiker(t, st, page, t0.Add(time.Hour))
+	clock.Drain(0)
+	stopped, at := mon.Stopped()
+	if !stopped {
+		t.Fatal("monitor should stop after a quiet week")
+	}
+	// Campaign 3 days; last like day 0; quiet cutoff 7d -> stop ~day 8-10.
+	days := at.Sub(t0).Hours() / 24
+	if days < 7 || days > 11 {
+		t.Fatalf("stopped at day %.1f, want ~8-10", days)
+	}
+	if mon.MonitoringDays(clock.Now()) < 8 {
+		t.Fatalf("monitoring days = %d", mon.MonitoringDays(clock.Now()))
+	}
+}
+
+func TestMonitorInactivePageStopsEarly(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	stopped, at := mon.Stopped()
+	if !stopped {
+		t.Fatal("monitor should stop")
+	}
+	days := at.Sub(t0).Hours() / 24
+	// No likes ever: stops right after the campaign's quiet week is
+	// recognized in the tail (campaign 15d, lastNew = start -> stops
+	// at first tail poll past day 15).
+	if days < 15 || days > 17 {
+		t.Fatalf("inactive page stopped at day %.1f", days)
+	}
+	if mon.TotalLikes() != 0 {
+		t.Fatalf("likes = %d", mon.TotalLikes())
+	}
+}
+
+func TestMonitorMaxDaysCap(t *testing.T) {
+	clock, st, page := setup(t)
+	cfg := DefaultMonitorConfig(5)
+	cfg.MaxDays = 10
+	mon, err := StartMonitor(clock, st, page, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A like every day forever would keep it alive without the cap.
+	tk, err := clock.Every(24*time.Hour, "likes", func(cl *simclock.Clock) bool {
+		addLiker(t, st, page, cl.Now())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.RunFor(30 * 24 * time.Hour)
+	tk.Stop()
+	stopped, at := mon.Stopped()
+	if !stopped {
+		t.Fatal("monitor should hit MaxDays")
+	}
+	if d := at.Sub(t0).Hours() / 24; d > 10.5 {
+		t.Fatalf("stopped at day %.1f, cap 10", d)
+	}
+}
+
+func TestFirstSeenOrder(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late socialnet.UserID
+	_, _ = clock.ScheduleAfter(30*time.Hour, "late", func(cl *simclock.Clock) {
+		late = addLiker(t, st, page, cl.Now())
+	})
+	_, _ = clock.ScheduleAfter(3*time.Hour, "early", func(cl *simclock.Clock) {
+		early = addLiker(t, st, page, cl.Now())
+	})
+	clock.RunFor(3 * 24 * time.Hour)
+	likers := mon.Likers()
+	if len(likers) != 2 || likers[0] != early || likers[1] != late {
+		t.Fatalf("likers = %v, want [%d %d]", likers, early, late)
+	}
+	ts, ok := mon.FirstSeen(early)
+	if !ok {
+		t.Fatal("FirstSeen(early) missing")
+	}
+	// First seen at the poll after the like (2h grid).
+	if ts.Sub(t0) < 3*time.Hour || ts.Sub(t0) > 5*time.Hour {
+		t.Fatalf("first seen at %v", ts.Sub(t0))
+	}
+	if _, ok := mon.FirstSeen(9999); ok {
+		t.Fatal("unknown liker should not have FirstSeen")
+	}
+}
+
+func TestCumulativeByDay(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 likes just after the day-1 boundary, 5 after the day-3 boundary.
+	for i := 0; i < 5; i++ {
+		i := i
+		_, _ = clock.ScheduleAfter(24*time.Hour+time.Duration(i+1)*time.Minute, "d1", func(cl *simclock.Clock) {
+			addLiker(t, st, page, cl.Now())
+		})
+		_, _ = clock.ScheduleAfter(3*24*time.Hour+time.Duration(i+1)*time.Minute, "d3", func(cl *simclock.Clock) {
+			addLiker(t, st, page, cl.Now())
+		})
+	}
+	clock.RunFor(6 * 24 * time.Hour)
+	series := mon.CumulativeByDay(5)
+	if len(series) != 6 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0] != 0 || series[1] != 0 {
+		t.Fatalf("early series = %v", series)
+	}
+	if series[2] != 5 {
+		t.Fatalf("day 2 = %d, want 5", series[2])
+	}
+	if series[5] != 10 {
+		t.Fatalf("day 5 = %d, want 10", series[5])
+	}
+	// Monotone.
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Fatalf("series not monotone: %v", series)
+		}
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	clock, st, page := setup(t)
+	bad := []MonitorConfig{
+		{CampaignDays: 0, ActiveInterval: time.Hour, TailInterval: time.Hour, QuietCutoff: time.Hour},
+		{CampaignDays: 5, ActiveInterval: 0, TailInterval: time.Hour, QuietCutoff: time.Hour},
+		{CampaignDays: 5, ActiveInterval: time.Hour, TailInterval: 0, QuietCutoff: time.Hour},
+		{CampaignDays: 5, ActiveInterval: time.Hour, TailInterval: time.Hour, QuietCutoff: 0},
+		{CampaignDays: 5, ActiveInterval: time.Hour, TailInterval: time.Hour, QuietCutoff: time.Hour, MaxDays: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := StartMonitor(clock, st, page, cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	if _, err := StartMonitor(clock, st, 9999, DefaultMonitorConfig(5)); err == nil {
+		t.Fatal("missing page accepted")
+	}
+}

@@ -1,0 +1,337 @@
+// Package platform simulates the Facebook-side machinery the paper's
+// honeypots interacted with: the page-like ad delivery engine ("page like
+// ads", §1), the page-admin reports tool that returns only aggregated
+// demographics (§3, Data Collection), and the fraud sweep that terminates
+// bot-like accounts (§5, Table 1 last column).
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// ClickMarket describes, for one country, how page-like ads convert
+// budget into likes and who the resulting likers are. The paper's central
+// observation about Facebook campaigns — a $90 budget yields 32 likes in
+// the US but ~700 in Egypt, with likers far younger and more male than
+// the overall network — is a property of these markets.
+type ClickMarket struct {
+	Country string
+	// CostPerLike is the effective dollars per garnered like.
+	CostPerLike float64
+	// Cohort describes the click-prone accounts this market supplies:
+	// demographics (Table 2 rows), friend structure (near-isolated, 6
+	// direct edges among 1448 FB likers), declared friend counts
+	// (median 198), and cover-like history (median 600–1000, Figure 4).
+	Cohort accounts.CohortSpec
+}
+
+// Validate checks market parameters.
+func (m *ClickMarket) Validate() error {
+	if m.Country == "" {
+		return fmt.Errorf("platform: market without country")
+	}
+	if m.CostPerLike <= 0 {
+		return fmt.Errorf("platform: market %s cost per like %v must be positive", m.Country, m.CostPerLike)
+	}
+	if err := m.Cohort.Validate(); err != nil {
+		return fmt.Errorf("platform: market %s: %w", m.Country, err)
+	}
+	return nil
+}
+
+// clickerTopology is the common structural spec for ad-clicker cohorts.
+// Hub sizing follows pairs ≈ (size·links)²/(2·hubs): with links=0.35 and
+// hubs=size/5 the five markets together produce on the order of the 169
+// two-hop liker relations Table 3 reports for Facebook campaigns.
+func clickerTopology(declaredMedian float64, size int) accounts.TopologySpec {
+	hubs := size / 5
+	if hubs < 8 {
+		hubs = 8
+	}
+	return accounts.TopologySpec{
+		Kind:             accounts.TopologySparse,
+		InternalPairFrac: 0.006, // a few coincidental friend pairs
+		HubCount:         hubs,
+		HubLinksMean:     0.35,
+		OrganicLinksMean: 0.1,
+		DeclaredMedian:   declaredMedian,
+		DeclaredSigma:    1.0,
+	}
+}
+
+// clickerCover is the common like-history spec for ad-clicker cohorts.
+// Slices (which page blocks the likes target) are composed by the study
+// once the page universe exists; without slices the likes fall back to
+// the Zipf-weighted ambient catalog.
+func clickerCover(median float64) accounts.CoverSpec {
+	return accounts.CoverSpec{
+		LikeMedian: median,
+		LikeSigma:  1.0,
+		MaxLikes:   10000,
+		Bursty:     false,
+	}
+}
+
+// DefaultMarkets returns click markets calibrated so the paper's $6/day x
+// 15-day campaigns land near the Table 1 like counts: USA 32, France 44,
+// India 518, Egypt 691, worldwide 484 (96% India).
+func DefaultMarkets(createdAt time.Time) []ClickMarket {
+	fixed := func(country string) *stats.Categorical {
+		return stats.MustCategorical([]string{country}, []float64{1})
+	}
+	return []ClickMarket{
+		{
+			Country:     socialnet.CountryUSA,
+			CostPerLike: 2.80, // $90 budget -> ~32 likes
+			Cohort: accounts.CohortSpec{
+				Name: "clickers-usa", Size: 300,
+				Kind:       socialnet.KindOrganic,
+				CountryMix: fixed(socialnet.CountryUSA),
+				Profile: &socialnet.Profile{
+					FemaleFrac: 0.54,
+					AgeWeights: [6]float64{54.0, 27.0, 6.8, 6.8, 1.4, 4.1},
+				},
+				FriendsPublicFrac: 0.18,
+				SearchableFrac:    0.10,
+				Topology:          clickerTopology(198, 300),
+				Cover:             clickerCover(700),
+				CreatedAt:         createdAt,
+			},
+		},
+		{
+			Country:     socialnet.CountryFrance,
+			CostPerLike: 2.05, // -> ~44 likes
+			Cohort: accounts.CohortSpec{
+				Name: "clickers-fra", Size: 300,
+				Kind:       socialnet.KindOrganic,
+				CountryMix: fixed(socialnet.CountryFrance),
+				Profile: &socialnet.Profile{
+					FemaleFrac: 0.46,
+					AgeWeights: [6]float64{60.8, 20.8, 8.7, 2.6, 5.2, 1.7},
+				},
+				FriendsPublicFrac: 0.18,
+				SearchableFrac:    0.10,
+				Topology:          clickerTopology(190, 300),
+				Cover:             clickerCover(650),
+				CreatedAt:         createdAt,
+			},
+		},
+		{
+			Country:     socialnet.CountryIndia,
+			CostPerLike: 0.174, // -> ~518 likes
+			Cohort: accounts.CohortSpec{
+				Name: "clickers-ind", Size: 2600,
+				Kind:       socialnet.KindOrganic,
+				CountryMix: fixed(socialnet.CountryIndia),
+				Profile: &socialnet.Profile{
+					FemaleFrac: 0.07,
+					AgeWeights: [6]float64{52.7, 43.5, 2.3, 0.7, 0.5, 0.3},
+				},
+				FriendsPublicFrac: 0.20,
+				SearchableFrac:    0.10,
+				Topology:          clickerTopology(200, 2600),
+				Cover:             clickerCover(900),
+				CreatedAt:         createdAt,
+			},
+		},
+		{
+			Country:     socialnet.CountryEgypt,
+			CostPerLike: 0.130, // -> ~691 likes
+			Cohort: accounts.CohortSpec{
+				Name: "clickers-egy", Size: 1700,
+				Kind:       socialnet.KindOrganic,
+				CountryMix: fixed(socialnet.CountryEgypt),
+				Profile: &socialnet.Profile{
+					FemaleFrac: 0.18,
+					AgeWeights: [6]float64{54.6, 34.4, 6.4, 2.9, 0.8, 0.8},
+				},
+				FriendsPublicFrac: 0.20,
+				SearchableFrac:    0.10,
+				Topology:          clickerTopology(195, 1700),
+				Cover:             clickerCover(850),
+				CreatedAt:         createdAt,
+			},
+		},
+	}
+}
+
+// WorldwideMix returns the delivery mix the paper observed for the
+// FB-ALL campaign: the ad auction routes a worldwide budget to the
+// cheapest clicks, which were almost exclusively Indian (96%).
+func WorldwideMix() map[string]float64 {
+	return map[string]float64{
+		socialnet.CountryIndia: 0.96,
+		socialnet.CountryEgypt: 0.025,
+		socialnet.CountryOther: 0.015,
+	}
+}
+
+// AdEngine owns the click markets and delivers page-like ad campaigns on
+// the simulation clock.
+type AdEngine struct {
+	store   *socialnet.Store
+	rng     *rand.Rand
+	markets map[string]*marketState
+}
+
+type marketState struct {
+	cfg    ClickMarket
+	cohort *accounts.Cohort
+}
+
+// NewAdEngine builds each market's clicker cohort into the store and
+// registers it with the ledger for lazy history materialization.
+func NewAdEngine(r *rand.Rand, st *socialnet.Store, pop *socialnet.Population, ledger *accounts.Ledger, markets []ClickMarket) (*AdEngine, error) {
+	if len(markets) == 0 {
+		return nil, fmt.Errorf("platform: no markets configured")
+	}
+	e := &AdEngine{store: st, rng: r, markets: make(map[string]*marketState, len(markets))}
+	for _, m := range markets {
+		m := m
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := e.markets[m.Country]; dup {
+			return nil, fmt.Errorf("platform: duplicate market for %s", m.Country)
+		}
+		cohort, err := accounts.Build(r, st, pop, m.Cohort)
+		if err != nil {
+			return nil, fmt.Errorf("platform: market %s: %w", m.Country, err)
+		}
+		ledger.Register(cohort)
+		e.markets[m.Country] = &marketState{cfg: m, cohort: cohort}
+	}
+	return e, nil
+}
+
+// Market returns the market config for a country (for inspection).
+func (e *AdEngine) Market(country string) (ClickMarket, bool) {
+	ms, ok := e.markets[country]
+	if !ok {
+		return ClickMarket{}, false
+	}
+	return ms.cfg, true
+}
+
+// Countries returns configured market countries, sorted.
+func (e *AdEngine) Countries() []string {
+	out := make([]string, 0, len(e.markets))
+	for c := range e.markets {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AdCampaign is a page-like ad buy.
+type AdCampaign struct {
+	Page socialnet.PageID
+	// TargetCountry is a market country, or "" for worldwide delivery
+	// (routed through the Mix, default WorldwideMix).
+	TargetCountry string
+	BudgetPerDay  float64
+	DurationDays  int
+	// Mix overrides the worldwide routing mix (nil = WorldwideMix()).
+	Mix map[string]float64
+}
+
+func (e *AdEngine) validate(c AdCampaign) error {
+	if c.BudgetPerDay <= 0 {
+		return fmt.Errorf("platform: budget/day %v must be positive", c.BudgetPerDay)
+	}
+	if c.DurationDays < 1 {
+		return fmt.Errorf("platform: duration %d days must be >=1", c.DurationDays)
+	}
+	if c.TargetCountry != "" {
+		if _, ok := e.markets[c.TargetCountry]; !ok {
+			return fmt.Errorf("platform: no click market for %q", c.TargetCountry)
+		}
+	}
+	return nil
+}
+
+// Launch schedules the campaign's daily deliveries on the clock. Each
+// day, the budget buys budget/CPL likes (Poisson-jittered), spread at
+// uniform random instants through the day — the steady trickle of
+// Figure 2(a).
+func (e *AdEngine) Launch(clock *simclock.Clock, c AdCampaign) error {
+	if err := e.validate(c); err != nil {
+		return err
+	}
+	if _, err := e.store.Page(c.Page); err != nil {
+		return err
+	}
+	mix := c.Mix
+	if c.TargetCountry == "" && mix == nil {
+		mix = WorldwideMix()
+	}
+	for day := 0; day < c.DurationDays; day++ {
+		day := day
+		_, err := clock.ScheduleAfter(time.Duration(day)*24*time.Hour, fmt.Sprintf("ad-day-%d", day), func(cl *simclock.Clock) {
+			e.deliverDay(cl, c, mix)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverDay schedules one day's likes.
+func (e *AdEngine) deliverDay(clock *simclock.Clock, c AdCampaign, mix map[string]float64) {
+	type slice struct {
+		country string
+		budget  float64
+	}
+	var slices []slice
+	if c.TargetCountry != "" {
+		slices = []slice{{c.TargetCountry, c.BudgetPerDay}}
+	} else {
+		countries := make([]string, 0, len(mix))
+		for co := range mix {
+			countries = append(countries, co)
+		}
+		sort.Strings(countries)
+		for _, co := range countries {
+			slices = append(slices, slice{co, c.BudgetPerDay * mix[co]})
+		}
+	}
+	for _, sl := range slices {
+		ms, ok := e.markets[sl.country]
+		if !ok {
+			continue // mix countries without a market deliver nothing
+		}
+		mean := sl.budget / ms.cfg.CostPerLike
+		n := stats.Poisson(e.rng, mean)
+		pool := ms.cohort.Members
+		for i := 0; i < n; i++ {
+			if len(pool) == 0 {
+				return
+			}
+			var uid socialnet.UserID
+			found := false
+			for tries := 0; tries < 24; tries++ {
+				cand := pool[e.rng.Intn(len(pool))]
+				if !e.store.Likes(cand, c.Page) {
+					uid, found = cand, true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			at := clock.Now().Add(time.Duration(e.rng.Int63n(int64(24 * time.Hour))))
+			_, _ = clock.ScheduleAt(at, "ad-like", func(cl *simclock.Clock) {
+				_ = e.store.AddLike(uid, c.Page, cl.Now())
+			})
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/accounts"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func testWorld(t *testing.T, seed int64) (*rand.Rand, *socialnet.Store, *socialnet.Population, *accounts.Ledger) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	st := socialnet.NewStore()
+	spec := socialnet.DefaultPopulationSpec()
+	spec.NumUsers = 300
+	spec.NumAmbientPages = 400
+	pop, err := socialnet.GeneratePopulation(r, st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, st, pop, accounts.NewLedger(pop, t0)
+}
+
+func testEngine(t *testing.T, seed int64) (*AdEngine, *socialnet.Store, *simclock.Clock) {
+	t.Helper()
+	r, st, pop, ledger := testWorld(t, seed)
+	markets := DefaultMarkets(t0.AddDate(-2, 0, 0))
+	// Shrink pools for test speed.
+	for i := range markets {
+		markets[i].Cohort.Size = 400
+		markets[i].Cohort.Topology.HubCount = 40
+	}
+	e, err := NewAdEngine(r, st, pop, ledger, markets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, st, simclock.New(t0)
+}
+
+func honeypotPage(t *testing.T, st *socialnet.Store) socialnet.PageID {
+	t.Helper()
+	p, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEngineMarkets(t *testing.T) {
+	e, _, _ := testEngine(t, 1)
+	countries := e.Countries()
+	if len(countries) != 4 {
+		t.Fatalf("countries = %v", countries)
+	}
+	m, ok := e.Market(socialnet.CountryIndia)
+	if !ok || m.CostPerLike >= 1 {
+		t.Fatalf("india market = %+v, %v", m, ok)
+	}
+	if _, ok := e.Market("Atlantis"); ok {
+		t.Fatal("unknown market should be absent")
+	}
+}
+
+func TestCampaignDeliversBudgetedLikes(t *testing.T) {
+	e, st, clock := testEngine(t, 2)
+	page := honeypotPage(t, st)
+	err := e.Launch(clock, AdCampaign{
+		Page: page, TargetCountry: socialnet.CountryEgypt,
+		BudgetPerDay: 6, DurationDays: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	likes := st.LikeCountOfPage(page)
+	// Egypt CPL 0.13: E[likes] = 90/0.13 ≈ 692 but the 400-account test
+	// pool caps distinct likers.
+	if likes < 300 || likes > 400 {
+		t.Fatalf("likes = %d, want pool-capped ≈350-400", likes)
+	}
+	for _, lk := range st.LikesOfPage(page) {
+		u, _ := st.User(lk.User)
+		if u.Country != socialnet.CountryEgypt {
+			t.Fatalf("Egypt campaign delivered from %s", u.Country)
+		}
+	}
+}
+
+func TestExpensiveMarketDeliversFew(t *testing.T) {
+	e, st, clock := testEngine(t, 3)
+	page := honeypotPage(t, st)
+	if err := e.Launch(clock, AdCampaign{
+		Page: page, TargetCountry: socialnet.CountryUSA,
+		BudgetPerDay: 6, DurationDays: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	likes := st.LikeCountOfPage(page)
+	// USA CPL 2.80: E ≈ 32.
+	if likes < 10 || likes > 70 {
+		t.Fatalf("USA likes = %d, want ≈32", likes)
+	}
+}
+
+func TestWorldwideRoutesToIndia(t *testing.T) {
+	e, st, clock := testEngine(t, 4)
+	page := honeypotPage(t, st)
+	if err := e.Launch(clock, AdCampaign{
+		Page: page, BudgetPerDay: 6, DurationDays: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	india := 0
+	total := 0
+	for _, lk := range st.LikesOfPage(page) {
+		u, _ := st.User(lk.User)
+		total++
+		if u.Country == socialnet.CountryIndia {
+			india++
+		}
+	}
+	if total == 0 {
+		t.Fatal("worldwide campaign delivered nothing")
+	}
+	if f := float64(india) / float64(total); f < 0.9 {
+		t.Fatalf("india fraction = %v, want ≥0.9 (paper: 96%%)", f)
+	}
+}
+
+func TestDeliveryTrickles(t *testing.T) {
+	e, st, clock := testEngine(t, 5)
+	page := honeypotPage(t, st)
+	if err := e.Launch(clock, AdCampaign{
+		Page: page, TargetCountry: socialnet.CountryIndia,
+		BudgetPerDay: 6, DurationDays: 15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	perDay := map[int]int{}
+	for _, lk := range st.LikesOfPage(page) {
+		perDay[int(lk.At.Sub(t0)/(24*time.Hour))]++
+	}
+	if len(perDay) < 12 {
+		t.Fatalf("ad delivery hit only %d days", len(perDay))
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	e, st, clock := testEngine(t, 6)
+	page := honeypotPage(t, st)
+	bad := []AdCampaign{
+		{Page: page, BudgetPerDay: 0, DurationDays: 5},
+		{Page: page, BudgetPerDay: 6, DurationDays: 0},
+		{Page: page, TargetCountry: "Atlantis", BudgetPerDay: 6, DurationDays: 5},
+	}
+	for i, c := range bad {
+		if err := e.Launch(clock, c); err == nil {
+			t.Fatalf("campaign %d accepted", i)
+		}
+	}
+	if err := e.Launch(clock, AdCampaign{Page: 9999, BudgetPerDay: 6, DurationDays: 5}); err == nil {
+		t.Fatal("missing page accepted")
+	}
+}
+
+func TestNewAdEngineValidation(t *testing.T) {
+	r, st, pop, ledger := testWorld(t, 7)
+	if _, err := NewAdEngine(r, st, pop, ledger, nil); err == nil {
+		t.Fatal("empty markets accepted")
+	}
+	m := DefaultMarkets(t0)[:1]
+	dup := append(append([]ClickMarket(nil), m...), m...)
+	if _, err := NewAdEngine(r, st, pop, ledger, dup); err == nil {
+		t.Fatal("duplicate market accepted")
+	}
+	badMarket := m[0]
+	badMarket.CostPerLike = 0
+	if _, err := NewAdEngine(r, st, pop, ledger, []ClickMarket{badMarket}); err == nil {
+		t.Fatal("zero CPL accepted")
+	}
+	noCountry := m[0]
+	noCountry.Country = ""
+	if _, err := NewAdEngine(r, st, pop, ledger, []ClickMarket{noCountry}); err == nil {
+		t.Fatal("missing country accepted")
+	}
+}
+
+func TestReportFor(t *testing.T) {
+	_, st, _, _ := testWorld(t, 8)
+	page := honeypotPage(t, st)
+	demo := []struct {
+		g socialnet.Gender
+		a socialnet.AgeBracket
+		c string
+	}{
+		{socialnet.GenderFemale, socialnet.Age18to24, socialnet.CountryUSA},
+		{socialnet.GenderMale, socialnet.Age18to24, socialnet.CountryUSA},
+		{socialnet.GenderMale, socialnet.Age13to17, socialnet.CountryIndia},
+		{socialnet.GenderMale, socialnet.Age25to34, "Narnia"},
+	}
+	for i, d := range demo {
+		u := st.AddUser(socialnet.User{Gender: d.g, Age: d.a, Country: d.c, HomeTown: d.c + "-h", CurrentTown: d.c + "-c"})
+		if err := st.AddLike(u, page, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := ReportFor(st, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLikes != 4 {
+		t.Fatalf("total = %d", rep.TotalLikes)
+	}
+	f, m := rep.FemaleMaleSplit()
+	if f != 25 || m != 75 {
+		t.Fatalf("split = %v/%v", f, m)
+	}
+	if rep.AgeCounts[socialnet.Age18to24] != 2 {
+		t.Fatalf("age counts = %v", rep.AgeCounts)
+	}
+	fr := rep.AgeFractions()
+	if fr[socialnet.Age18to24] != 0.5 {
+		t.Fatalf("age fractions = %v", fr)
+	}
+	pct := rep.CountryPercentages()
+	if pct[socialnet.CountryUSA] != 50 || pct[socialnet.CountryOther] != 25 {
+		t.Fatalf("country pct = %v", pct)
+	}
+	top, share := rep.TopCountry()
+	if top != socialnet.CountryUSA || share != 50 {
+		t.Fatalf("top country = %s %v", top, share)
+	}
+	kl, err := rep.KLvsGlobal()
+	if err != nil || kl <= 0 {
+		t.Fatalf("KL = %v, %v", kl, err)
+	}
+	if _, err := ReportFor(st, 9999); err == nil {
+		t.Fatal("missing page accepted")
+	}
+}
+
+func TestReportEmptyPage(t *testing.T) {
+	_, st, _, _ := testWorld(t, 9)
+	page := honeypotPage(t, st)
+	rep, err := ReportFor(st, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLikes != 0 {
+		t.Fatal("empty page should have no likes")
+	}
+	f, m := rep.FemaleMaleSplit()
+	if f != 0 || m != 0 {
+		t.Fatal("empty split should be 0/0")
+	}
+	if top, _ := rep.TopCountry(); top != "" {
+		t.Fatalf("top country = %q", top)
+	}
+	if len(rep.CountryPercentages()) != 0 {
+		t.Fatal("empty percentages expected")
+	}
+}
+
+func TestFraudSweepTerminatesBots(t *testing.T) {
+	r, st, _, _ := testWorld(t, 10)
+	page := honeypotPage(t, st)
+	// 200 bot accounts with dense burst histories.
+	var bots []socialnet.UserID
+	job, _ := st.AddPage(socialnet.Page{Name: "job"})
+	_ = job
+	for i := 0; i < 200; i++ {
+		u := st.AddUser(socialnet.User{Country: "TR", DeclaredFriends: 20})
+		bots = append(bots, u)
+		var hist []socialnet.Like
+		for j := 0; j < 120; j++ {
+			p, err := st.AddPage(socialnet.Page{Name: "cover"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist = append(hist, socialnet.Like{Page: p, At: t0.Add(-time.Duration(1+j/100)*24*time.Hour + time.Duration(j%100)*time.Minute)})
+		}
+		if err := st.AddHistory(u, hist); err != nil {
+			t.Fatal(err)
+		}
+		_ = st.AddLike(u, page, t0.Add(time.Duration(i)*time.Minute))
+	}
+	cfg := FraudSweepConfig{BaseRate: 0.5, MinScore: 0.2}
+	res, err := FraudSweep(r, st, bots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Examined != 200 {
+		t.Fatalf("examined = %d", res.Examined)
+	}
+	if len(res.Terminated) < 40 {
+		t.Fatalf("terminated = %d bots, want many at base rate 0.5", len(res.Terminated))
+	}
+	n, err := TerminatedAmong(st, bots)
+	if err != nil || n != len(res.Terminated) {
+		t.Fatalf("TerminatedAmong = %d, %v", n, err)
+	}
+}
+
+func TestFraudSweepSparesOrganic(t *testing.T) {
+	r, st, pop, _ := testWorld(t, 11)
+	users := pop.Users[:200]
+	res, err := FraudSweep(r, st, users, DefaultFraudSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Terminated) > 4 {
+		t.Fatalf("terminated %d organic users", len(res.Terminated))
+	}
+}
+
+func TestFraudSweepSkipsAlreadyTerminated(t *testing.T) {
+	r, st, pop, _ := testWorld(t, 12)
+	u := pop.Users[0]
+	if err := st.Terminate(u); err != nil {
+		t.Fatal(err)
+	}
+	res, err := FraudSweep(r, st, []socialnet.UserID{u}, DefaultFraudSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Examined != 0 {
+		t.Fatalf("examined = %d, want 0", res.Examined)
+	}
+}
+
+func TestFraudSweepConfigValidation(t *testing.T) {
+	r, st, pop, _ := testWorld(t, 13)
+	bad := []FraudSweepConfig{
+		{BaseRate: -1, MinScore: 0.5},
+		{BaseRate: 0.5, MinScore: 2},
+		{BaseRate: 0.5, MinScore: 0.5, RandomFloor: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := FraudSweep(r, st, pop.Users[:5], cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestWorldwideMixSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, v := range WorldwideMix() {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mix sums to %v", sum)
+	}
+}

@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// PageReport is the page-admin aggregate report Facebook provided in 2014
+// (§3, Data Collection): distributions of liker gender, age, country, and
+// towns, with no per-user records. Facebook computed these from both
+// public and private profile attributes; the simulated report likewise
+// reads the ground-truth store, not the public view.
+type PageReport struct {
+	Page       socialnet.PageID
+	TotalLikes int
+
+	// GenderCounts maps "F"/"M"/"?" to liker counts.
+	GenderCounts map[string]int
+	// AgeCounts is indexed in Table 2 bracket order.
+	AgeCounts [6]int
+	// CountryCounts maps country label to liker counts.
+	CountryCounts map[string]int
+	// HomeTownCounts / CurrentTownCounts map towns to counts.
+	HomeTownCounts    map[string]int
+	CurrentTownCounts map[string]int
+}
+
+// ReportFor aggregates the demographics of a page's likers.
+func ReportFor(st *socialnet.Store, page socialnet.PageID) (*PageReport, error) {
+	if _, err := st.Page(page); err != nil {
+		return nil, err
+	}
+	rep := &PageReport{
+		Page:              page,
+		GenderCounts:      make(map[string]int),
+		CountryCounts:     make(map[string]int),
+		HomeTownCounts:    make(map[string]int),
+		CurrentTownCounts: make(map[string]int),
+	}
+	for _, lk := range st.LikesOfPage(page) {
+		u, err := st.User(lk.User)
+		if err != nil {
+			return nil, fmt.Errorf("platform: report: %w", err)
+		}
+		rep.TotalLikes++
+		rep.GenderCounts[u.Gender.String()]++
+		if int(u.Age) < len(rep.AgeCounts) {
+			rep.AgeCounts[u.Age]++
+		}
+		rep.CountryCounts[u.Country]++
+		rep.HomeTownCounts[u.HomeTown]++
+		rep.CurrentTownCounts[u.CurrentTown]++
+	}
+	return rep, nil
+}
+
+// FemaleMaleSplit returns the F/M percentages (ignoring unknown).
+func (r *PageReport) FemaleMaleSplit() (f, m float64) {
+	nf := float64(r.GenderCounts["F"])
+	nm := float64(r.GenderCounts["M"])
+	if nf+nm == 0 {
+		return 0, 0
+	}
+	return 100 * nf / (nf + nm), 100 * nm / (nf + nm)
+}
+
+// AgeFractions returns the age distribution normalized to 1.
+func (r *PageReport) AgeFractions() []float64 {
+	out := make([]float64, len(r.AgeCounts))
+	total := 0
+	for _, c := range r.AgeCounts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range r.AgeCounts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// KLvsGlobal returns the KL divergence (bits) of the report's age
+// distribution against the global Facebook age distribution — the last
+// column of Table 2.
+func (r *PageReport) KLvsGlobal() (float64, error) {
+	return stats.KLDivergence(r.AgeFractions(), socialnet.GlobalAgeDistribution())
+}
+
+// CountryPercentages returns the country mix as label->percentage,
+// with countries outside the study set folded into "Other" (Figure 1).
+func (r *PageReport) CountryPercentages() map[string]float64 {
+	known := make(map[string]bool)
+	for _, c := range socialnet.StudyCountries() {
+		known[c] = true
+	}
+	out := make(map[string]float64)
+	if r.TotalLikes == 0 {
+		return out
+	}
+	for c, n := range r.CountryCounts {
+		label := c
+		if !known[c] {
+			label = socialnet.CountryOther
+		}
+		out[label] += 100 * float64(n) / float64(r.TotalLikes)
+	}
+	return out
+}
+
+// TopCountry returns the dominant country and its percentage.
+func (r *PageReport) TopCountry() (string, float64) {
+	type kv struct {
+		c string
+		n int
+	}
+	var all []kv
+	for c, n := range r.CountryCounts {
+		all = append(all, kv{c, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].c < all[j].c
+	})
+	if len(all) == 0 || r.TotalLikes == 0 {
+		return "", 0
+	}
+	return all[0].c, 100 * float64(all[0].n) / float64(r.TotalLikes)
+}

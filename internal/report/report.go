@@ -1,0 +1,319 @@
+// Package report renders the study's tables and figures as aligned ASCII
+// tables, CSV, simple line plots, and heatmaps — one renderer per paper
+// artifact, so the harness can print the same rows and series the paper
+// reports.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given decimals, trimming "-0".
+func F(v float64, decimals int) string {
+	s := fmt.Sprintf("%.*f", decimals, v)
+	if s == "-0" || strings.HasPrefix(s, "-0.") && strings.Trim(s[3:], "0") == "" {
+		s = s[1:]
+	}
+	return s
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return F(v, 1) }
+
+// Heatmap renders a matrix (values expected in [0,100]) with row/column
+// labels using intensity characters, mirroring the paper's Figure 5.
+func Heatmap(title string, labels []string, m [][]float64) string {
+	ramp := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	// Column header: first letter codes with index.
+	b.WriteString(strings.Repeat(" ", labelW+1))
+	for j := range labels {
+		b.WriteString(fmt.Sprintf("%3d", j))
+	}
+	b.WriteByte('\n')
+	for i, row := range m {
+		b.WriteString(fmt.Sprintf("%-*s ", labelW, labels[i]))
+		for _, v := range row {
+			if v < 0 {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			idx := int(v / 100 * float64(len(ramp)-1))
+			ch := ramp[idx]
+			b.WriteString("  ")
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: ")
+	for i, r := range ramp {
+		b.WriteString(fmt.Sprintf("'%c'=%d ", r, i*100/(len(ramp)-1)))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// MatrixTable renders a labelled numeric matrix as a table of values.
+func MatrixTable(title string, labels []string, m [][]float64, decimals int) string {
+	t := NewTable(title, append([]string{""}, labels...)...)
+	for i, row := range m {
+		cells := make([]string, 0, len(row)+1)
+		cells = append(cells, labels[i])
+		for _, v := range row {
+			cells = append(cells, F(v, decimals))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// LinePlot renders multiple integer series (e.g. cumulative likes per
+// day) as an ASCII chart of the given height.
+func LinePlot(title string, seriesNames []string, series [][]int, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	maxV, maxLen := 0, 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if maxV == 0 || maxLen == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	marks := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxLen*3))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for x, v := range s {
+			y := height - 1 - int(float64(v)/float64(maxV)*float64(height-1))
+			col := x * 3
+			if grid[y][col] == ' ' {
+				grid[y][col] = mark
+			} else {
+				grid[y][col] = '+'
+			}
+		}
+	}
+	for i, rowBytes := range grid {
+		val := int(float64(height-1-i) / float64(height-1) * float64(maxV))
+		b.WriteString(fmt.Sprintf("%6d |%s\n", val, string(rowBytes)))
+	}
+	b.WriteString("       +" + strings.Repeat("-", maxLen*3) + "\n")
+	b.WriteString("        day 0")
+	if maxLen > 5 {
+		b.WriteString(strings.Repeat(" ", (maxLen-5)*3-6) + fmt.Sprintf("day %d", maxLen-1))
+	}
+	b.WriteByte('\n')
+	for si, name := range seriesNames {
+		b.WriteString(fmt.Sprintf("  %c = %s\n", marks[si%len(marks)], name))
+	}
+	return b.String()
+}
+
+// CDFPlot renders ECDF curves given sampled (x, y) step points per
+// series, on a fixed x grid up to xMax.
+func CDFPlot(title string, seriesNames []string, at func(series int, x float64) float64, xMax float64, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	marks := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range seriesNames {
+		mark := marks[si%len(marks)]
+		for col := 0; col < width; col++ {
+			x := xMax * float64(col) / float64(width-1)
+			y := at(si, x)
+			if y < 0 {
+				y = 0
+			}
+			if y > 1 {
+				y = 1
+			}
+			rowI := height - 1 - int(y*float64(height-1))
+			if grid[rowI][col] == ' ' {
+				grid[rowI][col] = mark
+			} else if grid[rowI][col] != mark {
+				grid[rowI][col] = '+'
+			}
+		}
+	}
+	for i, rowBytes := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		b.WriteString(fmt.Sprintf("%5.2f |%s\n", frac, string(rowBytes)))
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("       0%sx=%.0f\n", strings.Repeat(" ", width-12), xMax))
+	for si, name := range seriesNames {
+		b.WriteString(fmt.Sprintf("  %c = %s\n", marks[si%len(marks)], name))
+	}
+	return b.String()
+}
+
+// StackedBars renders per-row percentage breakdowns (Figure 1 style):
+// each row is a horizontal 50-char bar partitioned by category.
+func StackedBars(title string, rowLabels []string, categories []string, pct map[string]map[string]float64) string {
+	const barW = 50
+	symbols := []byte("#=+:.ox*%&")
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, rl := range rowLabels {
+		row := pct[rl]
+		b.WriteString(fmt.Sprintf("%-*s |", labelW, rl))
+		written := 0
+		for ci, cat := range categories {
+			n := int(row[cat] / 100 * barW)
+			if written+n > barW {
+				n = barW - written
+			}
+			b.WriteString(strings.Repeat(string(symbols[ci%len(symbols)]), n))
+			written += n
+		}
+		if written < barW {
+			b.WriteString(strings.Repeat(" ", barW-written))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend: ")
+	for ci, cat := range categories {
+		b.WriteString(fmt.Sprintf("'%c'=%s ", symbols[ci%len(symbols)], cat))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "ID", "Value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-id", "22")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Both value columns start at the same offset.
+	h := strings.Index(lines[1], "Value")
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if h != r1 || h != r2 {
+		t.Fatalf("misaligned columns: %d %d %d\n%s", h, r1, r2, out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("row lost:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "hello, world")
+	tb.AddRow("2", `say "hi"`)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"hello, world"` {
+		t.Fatalf("quoted comma = %q", lines[1])
+	}
+	if lines[2] != `2,"say ""hi"""` {
+		t.Fatalf("escaped quotes = %q", lines[2])
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F(3.14159, 2)")
+	}
+	if F(-0.0001, 1) != "0.0" {
+		t.Fatalf("F(-0.0001, 1) = %q, want 0.0", F(-0.0001, 1))
+	}
+	if Pct(54.55) != "54.5" && Pct(54.55) != "54.6" {
+		t.Fatalf("Pct = %q", Pct(54.55))
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{{100, 0}, {50, 100}}
+	out := Heatmap("HM", []string{"r1", "r2"}, m)
+	if !strings.Contains(out, "HM") || !strings.Contains(out, "legend:") {
+		t.Fatalf("heatmap:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatal("full intensity char missing")
+	}
+	// Out-of-range values are clamped, not panicking.
+	_ = Heatmap("", []string{"a"}, [][]float64{{-5}})
+	_ = Heatmap("", []string{"a"}, [][]float64{{500}})
+}
+
+func TestMatrixTable(t *testing.T) {
+	out := MatrixTable("M", []string{"x", "y"}, [][]float64{{1, 2.5}, {3, 4}}, 1)
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "x") {
+		t.Fatalf("matrix table:\n%s", out)
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	out := LinePlot("Likes", []string{"a", "b"},
+		[][]int{{0, 10, 20, 30}, {0, 5, 5, 5}}, 8)
+	if !strings.Contains(out, "Likes") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "A = a") || !strings.Contains(out, "B = b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "day 0") {
+		t.Fatal("missing x axis")
+	}
+	empty := LinePlot("E", nil, nil, 8)
+	if !strings.Contains(empty, "no data") {
+		t.Fatalf("empty plot:\n%s", empty)
+	}
+	zeros := LinePlot("Z", []string{"z"}, [][]int{{0, 0}}, 8)
+	if !strings.Contains(zeros, "no data") {
+		t.Fatalf("all-zero plot:\n%s", zeros)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	at := func(si int, x float64) float64 {
+		if si == 0 {
+			return x / 100
+		}
+		return 1
+	}
+	out := CDFPlot("CDF", []string{"ramp", "flat"}, at, 100, 40, 8)
+	if !strings.Contains(out, "CDF") || !strings.Contains(out, "A = ramp") {
+		t.Fatalf("cdf plot:\n%s", out)
+	}
+	if !strings.Contains(out, " 1.00 |") || !strings.Contains(out, " 0.00 |") {
+		t.Fatalf("missing y labels:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	pct := map[string]map[string]float64{
+		"row1": {"USA": 50, "India": 50},
+		"row2": {"USA": 100},
+	}
+	out := StackedBars("Geo", []string{"row1", "row2"}, []string{"USA", "India"}, pct)
+	if !strings.Contains(out, "Geo") || !strings.Contains(out, "legend:") {
+		t.Fatalf("stacked bars:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var rowLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rowLines = append(rowLines, l)
+		}
+	}
+	if len(rowLines) != 2 {
+		t.Fatalf("bar rows = %d", len(rowLines))
+	}
+	// Bars are fixed width.
+	w1 := strings.LastIndex(rowLines[0], "|") - strings.Index(rowLines[0], "|")
+	w2 := strings.LastIndex(rowLines[1], "|") - strings.Index(rowLines[1], "|")
+	if w1 != w2 {
+		t.Fatalf("bars not equal width: %d vs %d", w1, w2)
+	}
+}

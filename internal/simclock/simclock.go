@@ -1,0 +1,270 @@
+// Package simclock provides a deterministic discrete-event simulation clock.
+//
+// The measurement study in the paper spans real weeks (15-day campaigns,
+// up to 22 days of monitoring, plus a follow-up sweep a month later). The
+// reproduction replays those weeks in virtual time: components schedule
+// events on a Clock, and the owner advances time by draining the event
+// queue. Events fire in timestamp order; ties break by insertion order, so
+// a run is fully deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. The callback receives the Clock so it can
+// schedule follow-up events (e.g. a monitor re-arming itself).
+type Event struct {
+	At   time.Time
+	Name string
+	Fn   func(c *Clock)
+
+	seq   uint64
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *Event
+}
+
+// Cancel removes the event from the queue if it has not fired yet.
+// It reports whether the event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Clock is a virtual clock with an event queue. It is not safe for
+// concurrent use; simulations are single-threaded over virtual time and
+// use real goroutines only inside individual event handlers.
+type Clock struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	fired uint64
+}
+
+// ErrPast is returned when scheduling an event before the current virtual time.
+var ErrPast = errors.New("simclock: scheduling in the past")
+
+// New returns a Clock starting at the given instant.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (c *Clock) Len() int {
+	n := 0
+	for _, ev := range c.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events that have executed.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// ScheduleAt registers fn to run at the absolute virtual instant at.
+func (c *Clock) ScheduleAt(at time.Time, name string, fn func(*Clock)) (Handle, error) {
+	if at.Before(c.now) {
+		return Handle{}, fmt.Errorf("%w: at=%s now=%s (%s)", ErrPast, at, c.now, name)
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: c.seq}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// ScheduleAfter registers fn to run d after the current virtual time.
+func (c *Clock) ScheduleAfter(d time.Duration, name string, fn func(*Clock)) (Handle, error) {
+	if d < 0 {
+		return Handle{}, fmt.Errorf("%w: negative delay %s (%s)", ErrPast, d, name)
+	}
+	return c.ScheduleAt(c.now.Add(d), name, fn)
+}
+
+// Every schedules fn to run now+d, then every d thereafter, until the
+// returned Ticker is stopped or fn returns false.
+func (c *Clock) Every(d time.Duration, name string, fn func(*Clock) bool) (*Ticker, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("simclock: non-positive period %s (%s)", d, name)
+	}
+	t := &Ticker{clock: c, period: d, name: name, fn: fn}
+	if err := t.arm(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Ticker is a periodic event created by Every.
+type Ticker struct {
+	clock   *Clock
+	period  time.Duration
+	name    string
+	fn      func(*Clock) bool
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) arm() error {
+	h, err := t.clock.ScheduleAfter(t.period, t.name, func(c *Clock) {
+		if t.stopped {
+			return
+		}
+		if !t.fn(c) {
+			t.stopped = true
+			return
+		}
+		// Re-arm. Error is impossible: the delay is positive.
+		_ = t.arm()
+	})
+	if err != nil {
+		return err
+	}
+	t.handle = h
+	return nil
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Period returns the ticker's interval.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// Reset changes the ticker period. The currently pending tick is
+// rescheduled to fire the new period after the current virtual time.
+func (t *Ticker) Reset(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("simclock: non-positive period %s (%s)", d, t.name)
+	}
+	t.period = d
+	if !t.stopped && t.handle.Pending() {
+		t.handle.Cancel()
+		return t.arm()
+	}
+	return nil
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev := heap.Pop(&c.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		ev.dead = true
+		c.now = ev.At
+		c.fired++
+		ev.Fn(c)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes all events with timestamps <= deadline, then advances
+// the clock to the deadline. It returns the number of events executed.
+func (c *Clock) RunUntil(deadline time.Time) int {
+	n := 0
+	for {
+		ev := c.peek()
+		if ev == nil || ev.At.After(deadline) {
+			break
+		}
+		c.Step()
+		n++
+	}
+	if deadline.After(c.now) {
+		c.now = deadline
+	}
+	return n
+}
+
+// RunFor advances the clock by d, executing due events. It returns the
+// number of events executed.
+func (c *Clock) RunFor(d time.Duration) int { return c.RunUntil(c.now.Add(d)) }
+
+// Drain executes events until the queue is empty or limit events have run
+// (limit <= 0 means no limit). It returns the number executed.
+func (c *Clock) Drain(limit int) int {
+	n := 0
+	for c.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+func (c *Clock) peek() *Event {
+	for c.queue.Len() > 0 {
+		ev := c.queue[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&c.queue)
+	}
+	return nil
+}
+
+// NextAt returns the timestamp of the next pending event, and false when
+// the queue is empty.
+func (c *Clock) NextAt() (time.Time, bool) {
+	ev := c.peek()
+	if ev == nil {
+		return time.Time{}, false
+	}
+	return ev.At, true
+}

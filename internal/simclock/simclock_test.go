@@ -1,0 +1,285 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func TestNowStartsAtOrigin(t *testing.T) {
+	c := New(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), t0)
+	}
+}
+
+func TestScheduleAtOrdering(t *testing.T) {
+	c := New(t0)
+	var order []string
+	add := func(d time.Duration, name string) {
+		if _, err := c.ScheduleAfter(d, name, func(*Clock) { order = append(order, name) }); err != nil {
+			t.Fatalf("ScheduleAfter(%v): %v", d, err)
+		}
+	}
+	add(3*time.Hour, "c")
+	add(1*time.Hour, "a")
+	add(2*time.Hour, "b")
+	c.Drain(0)
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	c := New(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := c.ScheduleAfter(time.Hour, "tie", func(*Clock) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending insertion order", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	c := New(t0)
+	if _, err := c.ScheduleAt(t0.Add(-time.Second), "past", func(*Clock) {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+	if _, err := c.ScheduleAfter(-time.Second, "past", func(*Clock) {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	c := New(t0)
+	var seen time.Time
+	_, err := c.ScheduleAfter(90*time.Minute, "probe", func(cl *Clock) { seen = cl.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	want := t0.Add(90 * time.Minute)
+	if !seen.Equal(want) {
+		t.Fatalf("event saw now=%v, want %v", seen, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New(t0)
+	fired := false
+	h, err := c.ScheduleAfter(time.Hour, "x", func(*Clock) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Pending() {
+		t.Fatal("handle should be pending before cancel")
+	}
+	if !h.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	c.Drain(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntilExecutesDueAndAdvances(t *testing.T) {
+	c := New(t0)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		if _, err := c.ScheduleAfter(time.Duration(i)*time.Hour, "e", func(*Clock) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := c.RunUntil(t0.Add(3 * time.Hour))
+	if n != 3 || count != 3 {
+		t.Fatalf("RunUntil executed %d (count %d), want 3", n, count)
+	}
+	if !c.Now().Equal(t0.Add(3 * time.Hour)) {
+		t.Fatalf("Now() = %v, want deadline", c.Now())
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2 remaining", got)
+	}
+}
+
+func TestRunForRelativeWindow(t *testing.T) {
+	c := New(t0)
+	count := 0
+	if _, err := c.ScheduleAfter(30*time.Minute, "e", func(*Clock) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ScheduleAfter(2*time.Hour, "e", func(*Clock) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Hour)
+	if count != 1 {
+		t.Fatalf("count = %d after 1h window, want 1", count)
+	}
+	c.RunFor(2 * time.Hour)
+	if count != 2 {
+		t.Fatalf("count = %d after second window, want 2", count)
+	}
+}
+
+func TestEveryTicksAndStops(t *testing.T) {
+	c := New(t0)
+	ticks := 0
+	tk, err := c.Every(2*time.Hour, "monitor", func(*Clock) bool {
+		ticks++
+		return ticks < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(24 * time.Hour)
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4 (self-stopped)", ticks)
+	}
+	tk.Stop() // idempotent
+	c.RunFor(24 * time.Hour)
+	if ticks != 4 {
+		t.Fatalf("ticker fired after stop: ticks = %d", ticks)
+	}
+}
+
+func TestEveryStopExternally(t *testing.T) {
+	c := New(t0)
+	ticks := 0
+	tk, err := c.Every(time.Hour, "m", func(*Clock) bool { ticks++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * time.Hour)
+	tk.Stop()
+	c.RunFor(10 * time.Hour)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestEveryReset(t *testing.T) {
+	c := New(t0)
+	var at []time.Duration
+	tk, err := c.Every(time.Hour, "m", func(cl *Clock) bool {
+		at = append(at, cl.Now().Sub(t0))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Hour) // first tick at 1h
+	if err := tk.Reset(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(12 * time.Hour)
+	// ticks at 1h, 7h, 13h
+	want := []time.Duration{time.Hour, 7 * time.Hour, 13 * time.Hour}
+	if len(at) != len(want) {
+		t.Fatalf("ticks at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestEveryRejectsBadPeriod(t *testing.T) {
+	c := New(t0)
+	if _, err := c.Every(0, "bad", func(*Clock) bool { return true }); err == nil {
+		t.Fatal("Every(0) should fail")
+	}
+	tk, err := c.Every(time.Hour, "ok", func(*Clock) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Reset(-time.Hour); err == nil {
+		t.Fatal("Reset(-1h) should fail")
+	}
+}
+
+func TestEventsScheduledFromEvents(t *testing.T) {
+	c := New(t0)
+	var depth3 time.Time
+	_, err := c.ScheduleAfter(time.Hour, "1", func(cl *Clock) {
+		_, _ = cl.ScheduleAfter(time.Hour, "2", func(cl *Clock) {
+			_, _ = cl.ScheduleAfter(time.Hour, "3", func(cl *Clock) { depth3 = cl.Now() })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Drain(0)
+	if !depth3.Equal(t0.Add(3 * time.Hour)) {
+		t.Fatalf("chained event at %v, want %v", depth3, t0.Add(3*time.Hour))
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	c := New(t0)
+	count := 0
+	for i := 0; i < 10; i++ {
+		if _, err := c.ScheduleAfter(time.Duration(i+1)*time.Minute, "e", func(*Clock) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Drain(4); n != 4 || count != 4 {
+		t.Fatalf("Drain(4) ran %d events (count %d), want 4", n, count)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	c := New(t0)
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("empty queue should report no next event")
+	}
+	h, err := c.ScheduleAfter(time.Hour, "a", func(*Clock) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := c.NextAt(); !ok || !at.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("NextAt = %v,%v", at, ok)
+	}
+	h.Cancel()
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("cancelled event should not be reported as next")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	c := New(t0)
+	for i := 0; i < 7; i++ {
+		if _, err := c.ScheduleAfter(time.Duration(i+1)*time.Minute, "e", func(*Clock) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain(0)
+	if c.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", c.Fired())
+	}
+}
+
+func TestLenExcludesCancelled(t *testing.T) {
+	c := New(t0)
+	h1, _ := c.ScheduleAfter(time.Hour, "a", func(*Clock) {})
+	_, _ = c.ScheduleAfter(2*time.Hour, "b", func(*Clock) {})
+	h1.Cancel()
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,125 @@
+package socialnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Profile describes the demographic mix of a user population: the
+// fraction of female profiles and the age-bracket weights in Table 2
+// order. Campaign audiences, farm account pools, and the organic
+// population are all drawn from Profiles.
+type Profile struct {
+	FemaleFrac float64
+	AgeWeights [6]float64
+}
+
+// Validate checks the profile's ranges.
+func (p *Profile) Validate() error {
+	if p.FemaleFrac < 0 || p.FemaleFrac > 1 {
+		return fmt.Errorf("socialnet: female fraction %v out of [0,1]", p.FemaleFrac)
+	}
+	sum := 0.0
+	for i, w := range p.AgeWeights {
+		if w < 0 {
+			return fmt.Errorf("socialnet: negative age weight %v at bracket %s", w, AgeBracket(i))
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return fmt.Errorf("socialnet: all age weights zero")
+	}
+	return nil
+}
+
+// SampleGender draws a gender from the profile.
+func (p *Profile) SampleGender(r *rand.Rand) Gender {
+	if stats.Bernoulli(r, p.FemaleFrac) {
+		return GenderFemale
+	}
+	return GenderMale
+}
+
+// SampleAge draws an age bracket from the profile.
+func (p *Profile) SampleAge(r *rand.Rand) AgeBracket {
+	ws := p.AgeWeights
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range ws {
+		acc += w
+		if u < acc {
+			return AgeBracket(i)
+		}
+	}
+	return Age55plus
+}
+
+// AgeFractions returns the normalized age weights.
+func (p *Profile) AgeFractions() []float64 {
+	out := make([]float64, len(p.AgeWeights))
+	sum := 0.0
+	for _, w := range p.AgeWeights {
+		sum += w
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, w := range p.AgeWeights {
+		out[i] = w / sum
+	}
+	return out
+}
+
+// GlobalFacebookProfile is the reference demographic mix of the overall
+// Facebook population from the last row of Table 2: 46% female, age
+// distribution {14.9, 32.3, 26.6, 13.2, 7.2, 5.9}%. The paper's KL
+// column is computed against this distribution.
+func GlobalFacebookProfile() *Profile {
+	return &Profile{
+		FemaleFrac: 0.46,
+		AgeWeights: [6]float64{14.9, 32.3, 26.6, 13.2, 7.2, 5.9},
+	}
+}
+
+// GlobalAgeDistribution returns the reference age fractions in Table 2
+// order, for KL computations.
+func GlobalAgeDistribution() []float64 {
+	return GlobalFacebookProfile().AgeFractions()
+}
+
+// YoungMaleProfile models the audience the paper's FB-IND / FB-EGY /
+// FB-ALL campaigns attracted: heavily male (6–18% female) and heavily
+// 13–24 (≥86% under 25).
+func YoungMaleProfile(femaleFrac float64) *Profile {
+	return &Profile{
+		FemaleFrac: femaleFrac,
+		AgeWeights: [6]float64{52, 43, 2.3, 1, 0.5, 0.5},
+	}
+}
+
+// Countries used across the study. "Other" absorbs the long tail.
+const (
+	CountryUSA    = "USA"
+	CountryFrance = "France"
+	CountryIndia  = "India"
+	CountryEgypt  = "Egypt"
+	CountryTurkey = "Turkey"
+	CountryOther  = "Other"
+)
+
+// StudyCountries returns the country labels of Figure 1 in legend order.
+func StudyCountries() []string {
+	return []string{CountryUSA, CountryIndia, CountryEgypt, CountryTurkey, CountryFrance, CountryOther}
+}
+
+// TownFor returns a deterministic pseudo-town for a country, giving
+// profiles home/current town attributes like Facebook's report tool.
+func TownFor(r *rand.Rand, country string) string {
+	return fmt.Sprintf("%s-town-%02d", country, r.Intn(20))
+}

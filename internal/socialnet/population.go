@@ -1,0 +1,253 @@
+package socialnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// PopulationSpec configures the organic world generated around the
+// honeypots: the regular Facebook users whose liking behaviour sets the
+// Figure 4 baseline (median ~34 page likes) and whose friendship graph
+// supplies the mutual friends behind 2-hop relations.
+type PopulationSpec struct {
+	// NumUsers is the organic population size.
+	NumUsers int
+	// NumAmbientPages is the size of the ambient page catalog (the
+	// "normal" pages everyone, including farm accounts, likes).
+	NumAmbientPages int
+	// CountryMix draws each user's country.
+	CountryMix *stats.Categorical
+	// Profile is the demographic profile (defaults to the global
+	// Facebook profile of Table 2's last row).
+	Profile *Profile
+	// FriendAttachM is the Barabási–Albert attachment parameter for the
+	// organic friendship graph.
+	FriendAttachM int
+	// LikeMedian and LikeSigma parameterize the lognormal page-like
+	// count per organic user; the paper's baseline sample had median 34.
+	LikeMedian float64
+	LikeSigma  float64
+	// MaxLikes truncates the like-count tail (the paper observed up to
+	// ~10,000). Zero means 10000.
+	MaxLikes int
+	// PageZipfS is the Zipf exponent of ambient page popularity.
+	PageZipfS float64
+	// SearchableFrac is the fraction of users in the public directory.
+	SearchableFrac float64
+	// FriendsPublicFrac is the fraction of organic users with public
+	// friend lists.
+	FriendsPublicFrac float64
+	// CreatedAt stamps user records.
+	CreatedAt time.Time
+}
+
+// DefaultPopulationSpec returns a spec sized for a full study run.
+func DefaultPopulationSpec() PopulationSpec {
+	return PopulationSpec{
+		NumUsers:        8000,
+		NumAmbientPages: 4000,
+		CountryMix: stats.MustCategorical(
+			StudyCountries(),
+			[]float64{0.20, 0.12, 0.05, 0.04, 0.05, 0.54},
+		),
+		Profile:           GlobalFacebookProfile(),
+		FriendAttachM:     5,
+		LikeMedian:        34,
+		LikeSigma:         1.3,
+		MaxLikes:          10000,
+		PageZipfS:         1.05,
+		SearchableFrac:    0.85,
+		FriendsPublicFrac: 0.55,
+		CreatedAt:         time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Population is the generated organic world.
+type Population struct {
+	Users        []UserID
+	AmbientPages []PageID
+	pageZipf     *stats.BoundedZipf
+}
+
+// Validate checks the spec's ranges.
+func (s *PopulationSpec) Validate() error {
+	if s.NumUsers < 10 {
+		return fmt.Errorf("socialnet: population %d too small (need >=10)", s.NumUsers)
+	}
+	if s.NumAmbientPages < 10 {
+		return fmt.Errorf("socialnet: ambient catalog %d too small (need >=10)", s.NumAmbientPages)
+	}
+	if s.CountryMix == nil {
+		return fmt.Errorf("socialnet: nil country mix")
+	}
+	if s.Profile == nil {
+		return fmt.Errorf("socialnet: nil demographic profile")
+	}
+	if err := s.Profile.Validate(); err != nil {
+		return err
+	}
+	if s.FriendAttachM < 1 || s.FriendAttachM >= s.NumUsers {
+		return fmt.Errorf("socialnet: friend attachment m=%d out of range", s.FriendAttachM)
+	}
+	if s.LikeMedian <= 0 || s.LikeSigma <= 0 {
+		return fmt.Errorf("socialnet: like distribution (median=%v sigma=%v) must be positive", s.LikeMedian, s.LikeSigma)
+	}
+	if s.PageZipfS <= 0 {
+		return fmt.Errorf("socialnet: zipf exponent %v must be positive", s.PageZipfS)
+	}
+	if s.SearchableFrac < 0 || s.SearchableFrac > 1 || s.FriendsPublicFrac < 0 || s.FriendsPublicFrac > 1 {
+		return fmt.Errorf("socialnet: fractions out of [0,1]")
+	}
+	return nil
+}
+
+// GeneratePopulation fills the store with the organic world: users with
+// demographics, a preferential-attachment friendship graph, an ambient
+// page catalog, and per-user page likes spread over the year before the
+// campaigns.
+func GeneratePopulation(r *rand.Rand, st *Store, spec PopulationSpec) (*Population, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	maxLikes := spec.MaxLikes
+	if maxLikes == 0 {
+		maxLikes = 10000
+	}
+	if maxLikes > spec.NumAmbientPages {
+		maxLikes = spec.NumAmbientPages
+	}
+
+	pop := &Population{}
+
+	// Users.
+	for i := 0; i < spec.NumUsers; i++ {
+		country := spec.CountryMix.Sample(r)
+		u := User{
+			Gender:        spec.Profile.SampleGender(r),
+			Age:           spec.Profile.SampleAge(r),
+			Country:       country,
+			HomeTown:      TownFor(r, country),
+			CurrentTown:   TownFor(r, country),
+			FriendsPublic: stats.Bernoulli(r, spec.FriendsPublicFrac),
+			Searchable:    stats.Bernoulli(r, spec.SearchableFrac),
+			Kind:          KindOrganic,
+			CreatedAt:     spec.CreatedAt,
+		}
+		pop.Users = append(pop.Users, st.AddUser(u))
+	}
+
+	// Friendships: BA graph over the organic users.
+	ids := make([]int64, len(pop.Users))
+	for i, u := range pop.Users {
+		ids[i] = int64(u)
+	}
+	g, err := graph.BarabasiAlbert(r, ids, spec.FriendAttachM)
+	if err != nil {
+		return nil, fmt.Errorf("socialnet: friendship graph: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if err := st.Friend(UserID(e[0]), UserID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+
+	// Ambient pages.
+	for i := 0; i < spec.NumAmbientPages; i++ {
+		id, err := st.AddPage(Page{
+			Name:      fmt.Sprintf("ambient-page-%05d", i),
+			Category:  ambientCategory(r),
+			CreatedAt: spec.CreatedAt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pop.AmbientPages = append(pop.AmbientPages, id)
+	}
+	zipf, err := stats.NewBoundedZipf(len(pop.AmbientPages), spec.PageZipfS)
+	if err != nil {
+		return nil, err
+	}
+	pop.pageZipf = zipf
+
+	// Organic likes: per-user lognormal count over Zipf-popular pages,
+	// timestamped in the year before CreatedAt+4y (i.e. pre-campaign).
+	mu, err := stats.LogNormalForMedian(spec.LikeMedian)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := stats.NewLogNormal(mu, spec.LikeSigma, 1, float64(maxLikes))
+	if err != nil {
+		return nil, err
+	}
+	likeWindowStart := spec.CreatedAt.AddDate(1, 0, 0)
+	for _, uid := range pop.Users {
+		k := ln.SampleInt(r)
+		if k > maxLikes {
+			k = maxLikes
+		}
+		pages := pop.SampleAmbientPages(r, k)
+		for _, pid := range pages {
+			at := likeWindowStart.Add(time.Duration(r.Int63n(int64(3 * 365 * 24 * time.Hour))))
+			if err := st.AddLike(uid, pid, at); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pop, nil
+}
+
+// SampleAmbientPages draws k distinct ambient pages, Zipf-weighted by
+// popularity rank, falling back to uniform fill when k approaches the
+// catalog size.
+func (p *Population) SampleAmbientPages(r *rand.Rand, k int) []PageID {
+	n := len(p.AmbientPages)
+	if k >= n {
+		return append([]PageID(nil), p.AmbientPages...)
+	}
+	chosen := make(map[int]struct{}, k)
+	// Zipf-weighted rejection; beyond a density threshold switch to a
+	// uniform partial shuffle to avoid quadratic rejection cost.
+	if k <= n/3 {
+		attempts := 0
+		for len(chosen) < k && attempts < 20*k {
+			rank := p.pageZipf.Sample(r) - 1
+			chosen[rank] = struct{}{}
+			attempts++
+		}
+	}
+	if len(chosen) < k {
+		idx, err := stats.SampleWithoutReplacement(r, n, k-len(chosen))
+		if err == nil {
+			for _, i := range idx {
+				if len(chosen) >= k {
+					break
+				}
+				chosen[i] = struct{}{}
+			}
+		}
+		// Deterministic fill for any residual collisions.
+		for i := 0; len(chosen) < k && i < n; i++ {
+			chosen[i] = struct{}{}
+		}
+	}
+	ranks := make([]int, 0, len(chosen))
+	for i := range chosen {
+		ranks = append(ranks, i)
+	}
+	sort.Ints(ranks) // map order is random per process; keep runs reproducible
+	out := make([]PageID, 0, k)
+	for _, i := range ranks {
+		out = append(out, p.AmbientPages[i])
+	}
+	return out
+}
+
+func ambientCategory(r *rand.Rand) string {
+	cats := []string{"brand", "entertainment", "sports", "news", "community", "local-business", "music", "gaming"}
+	return cats[r.Intn(len(cats))]
+}

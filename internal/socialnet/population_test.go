@@ -1,0 +1,244 @@
+package socialnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func smallSpec() PopulationSpec {
+	s := DefaultPopulationSpec()
+	s.NumUsers = 600
+	s.NumAmbientPages = 500
+	s.LikeMedian = 34
+	return s
+}
+
+func TestGeneratePopulationBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	st := NewStore()
+	pop, err := GeneratePopulation(r, st, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Users) != 600 {
+		t.Fatalf("users = %d", len(pop.Users))
+	}
+	if len(pop.AmbientPages) != 500 {
+		t.Fatalf("pages = %d", len(pop.AmbientPages))
+	}
+	if st.NumUsers() != 600 || st.NumPages() != 500 {
+		t.Fatalf("store sizes %d/%d", st.NumUsers(), st.NumPages())
+	}
+}
+
+func TestPopulationLikeMedianNearTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	st := NewStore()
+	pop, err := GeneratePopulation(r, st, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(pop.Users))
+	for i, u := range pop.Users {
+		counts[i] = float64(st.LikeCountOfUser(u))
+	}
+	med, err := stats.Median(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper baseline: median 34 page likes per regular user.
+	if med < 22 || med > 50 {
+		t.Fatalf("organic like median = %v, want ≈34", med)
+	}
+}
+
+func TestPopulationFriendGraphConnected(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	st := NewStore()
+	pop, err := GeneratePopulation(r, st, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := st.FriendGraph()
+	if f := g.LargestComponentFraction(); f < 0.99 {
+		t.Fatalf("organic graph should be connected: %v", f)
+	}
+	// BA graph: every user has at least m friends.
+	for _, u := range pop.Users[:50] {
+		if st.FriendCount(u) < 1 {
+			t.Fatalf("user %d isolated", u)
+		}
+	}
+}
+
+func TestPopulationDemographicsMatchProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	st := NewStore()
+	spec := smallSpec()
+	spec.NumUsers = 3000
+	pop, err := GeneratePopulation(r, st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	female, young := 0, 0
+	for _, uid := range pop.Users {
+		u, _ := st.User(uid)
+		if u.Gender == GenderFemale {
+			female++
+		}
+		if u.Age == Age13to17 || u.Age == Age18to24 {
+			young++
+		}
+	}
+	ff := float64(female) / float64(len(pop.Users))
+	if ff < 0.42 || ff > 0.50 {
+		t.Fatalf("female fraction = %v, want ≈0.46", ff)
+	}
+	yf := float64(young) / float64(len(pop.Users))
+	if yf < 0.42 || yf > 0.53 {
+		t.Fatalf("under-25 fraction = %v, want ≈0.472", yf)
+	}
+}
+
+func TestPopulationDeterministicGivenSeed(t *testing.T) {
+	run := func() []int {
+		r := rand.New(rand.NewSource(123))
+		st := NewStore()
+		pop, err := GeneratePopulation(r, st, smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(pop.Users))
+		for i, u := range pop.Users {
+			out[i] = st.LikeCountOfUser(u)*1000 + st.FriendCount(u)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic population at user %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleAmbientPagesDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	st := NewStore()
+	pop, err := GeneratePopulation(r, st, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 10, 150, 400, 499, 500, 600} {
+		got := pop.SampleAmbientPages(r, k)
+		want := k
+		if k > len(pop.AmbientPages) {
+			want = len(pop.AmbientPages)
+		}
+		if len(got) != want {
+			t.Fatalf("k=%d returned %d pages, want %d", k, len(got), want)
+		}
+		seen := map[PageID]bool{}
+		for _, p := range got {
+			if seen[p] {
+				t.Fatalf("k=%d returned duplicate page %d", k, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := func(mut func(*PopulationSpec)) PopulationSpec {
+		s := smallSpec()
+		mut(&s)
+		return s
+	}
+	cases := []PopulationSpec{
+		bad(func(s *PopulationSpec) { s.NumUsers = 5 }),
+		bad(func(s *PopulationSpec) { s.NumAmbientPages = 2 }),
+		bad(func(s *PopulationSpec) { s.CountryMix = nil }),
+		bad(func(s *PopulationSpec) { s.Profile = nil }),
+		bad(func(s *PopulationSpec) { s.Profile = &Profile{FemaleFrac: 2} }),
+		bad(func(s *PopulationSpec) { s.FriendAttachM = 0 }),
+		bad(func(s *PopulationSpec) { s.LikeMedian = 0 }),
+		bad(func(s *PopulationSpec) { s.LikeSigma = -1 }),
+		bad(func(s *PopulationSpec) { s.PageZipfS = 0 }),
+		bad(func(s *PopulationSpec) { s.SearchableFrac = 1.5 }),
+		bad(func(s *PopulationSpec) { s.FriendsPublicFrac = -0.1 }),
+	}
+	r := rand.New(rand.NewSource(1))
+	for i, spec := range cases {
+		if _, err := GeneratePopulation(r, NewStore(), spec); err == nil {
+			t.Fatalf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestProfileSampling(t *testing.T) {
+	p := YoungMaleProfile(0.07)
+	r := rand.New(rand.NewSource(2))
+	male, young := 0, 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if p.SampleGender(r) == GenderMale {
+			male++
+		}
+		a := p.SampleAge(r)
+		if a == Age13to17 || a == Age18to24 {
+			young++
+		}
+	}
+	if f := float64(male) / float64(n); f < 0.90 || f > 0.96 {
+		t.Fatalf("male fraction = %v, want ≈0.93", f)
+	}
+	if f := float64(young) / float64(n); f < 0.92 {
+		t.Fatalf("young fraction = %v, want ≥0.92", f)
+	}
+}
+
+func TestGlobalDistribution(t *testing.T) {
+	d := GlobalAgeDistribution()
+	if len(d) != 6 {
+		t.Fatalf("len = %d", len(d))
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("sum = %v, want 1", sum)
+	}
+	// Largest bracket is 18-24 per Table 2.
+	for i, v := range d {
+		if i != 1 && v >= d[1] {
+			t.Fatalf("18-24 should dominate: %v", d)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	ok := GlobalFacebookProfile()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Profile{FemaleFrac: -1, AgeWeights: [6]float64{1, 1, 1, 1, 1, 1}}).Validate(); err == nil {
+		t.Fatal("negative female frac should error")
+	}
+	if err := (&Profile{FemaleFrac: 0.5, AgeWeights: [6]float64{-1, 1, 1, 1, 1, 1}}).Validate(); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if err := (&Profile{FemaleFrac: 0.5}).Validate(); err == nil {
+		t.Fatal("zero weights should error")
+	}
+}
+
+func TestTownForDeterministicCountryPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	town := TownFor(r, CountryEgypt)
+	if len(town) == 0 || town[:5] != "Egypt" {
+		t.Fatalf("town = %q", town)
+	}
+}

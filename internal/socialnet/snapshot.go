@@ -1,0 +1,124 @@
+package socialnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshot is the gob wire form of a Store. Indexed likes (those with
+// page-side streams, i.e. everything added via AddLike) are kept apart
+// from bulk histories so both indexes rebuild exactly.
+type snapshot struct {
+	Version     int
+	Users       []User
+	Pages       []Page
+	Indexed     []Like
+	Histories   map[UserID][]Like
+	Friendships [][2]int64
+	NextUser    UserID
+	NextPage    PageID
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serializes the world. The snapshot is deterministic:
+// same store contents, same bytes.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	snap := snapshot{
+		Version:   snapshotVersion,
+		NextUser:  s.nextUser,
+		NextPage:  s.nextPage,
+		Histories: make(map[UserID][]Like),
+	}
+	userIDs := make([]UserID, 0, len(s.users))
+	for id := range s.users {
+		userIDs = append(userIDs, id)
+	}
+	sort.Slice(userIDs, func(i, j int) bool { return userIDs[i] < userIDs[j] })
+	for _, id := range userIDs {
+		snap.Users = append(snap.Users, *s.users[id])
+	}
+	pageIDs := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		pageIDs = append(pageIDs, id)
+	}
+	sort.Slice(pageIDs, func(i, j int) bool { return pageIDs[i] < pageIDs[j] })
+	for _, id := range pageIDs {
+		snap.Pages = append(snap.Pages, *s.pages[id])
+	}
+	for _, pid := range pageIDs {
+		snap.Indexed = append(snap.Indexed, s.likesByPage[pid]...)
+	}
+	// Histories: user-side likes that are not in the page-side index.
+	for _, uid := range userIDs {
+		var hist []Like
+		for _, lk := range s.likesByUser[uid] {
+			if _, indexed := s.likeSet[likeKey{lk.User, lk.Page}]; !indexed {
+				hist = append(hist, lk)
+			}
+		}
+		if len(hist) > 0 {
+			snap.Histories[uid] = hist
+		}
+	}
+	snap.Friendships = s.friends.Edges()
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// ReadSnapshot reconstructs a Store from a snapshot stream.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("socialnet: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("socialnet: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	st := NewStore()
+	st.nextUser = snap.NextUser
+	st.nextPage = snap.NextPage
+	for i := range snap.Users {
+		u := snap.Users[i]
+		st.users[u.ID] = &u
+		st.friends.AddNode(int64(u.ID))
+		if u.Searchable {
+			st.directory = append(st.directory, u.ID)
+		}
+	}
+	for i := range snap.Pages {
+		p := snap.Pages[i]
+		st.pages[p.ID] = &p
+	}
+	for _, lk := range snap.Indexed {
+		if _, ok := st.users[lk.User]; !ok {
+			return nil, fmt.Errorf("socialnet: snapshot like references missing user %d", lk.User)
+		}
+		if _, ok := st.pages[lk.Page]; !ok {
+			return nil, fmt.Errorf("socialnet: snapshot like references missing page %d", lk.Page)
+		}
+		k := likeKey{lk.User, lk.Page}
+		if _, dup := st.likeSet[k]; dup {
+			return nil, fmt.Errorf("socialnet: snapshot duplicate like %v", k)
+		}
+		st.likeSet[k] = struct{}{}
+		st.likesByPage[lk.Page] = append(st.likesByPage[lk.Page], lk)
+		st.likesByUser[lk.User] = append(st.likesByUser[lk.User], lk)
+	}
+	for uid, hist := range snap.Histories {
+		if _, ok := st.users[uid]; !ok {
+			return nil, fmt.Errorf("socialnet: snapshot history references missing user %d", uid)
+		}
+		st.likesByUser[uid] = append(st.likesByUser[uid], hist...)
+	}
+	for _, e := range snap.Friendships {
+		if err := st.friends.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("socialnet: snapshot friendship: %w", err)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,371 @@
+package socialnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Store is the concurrency-safe world state. A single Store backs the
+// platform, the farms, the honeypot monitor, and the HTTP API.
+type Store struct {
+	mu sync.RWMutex
+
+	users map[UserID]*User
+	pages map[PageID]*Page
+
+	nextUser UserID
+	nextPage PageID
+
+	friends *graph.Undirected
+
+	likesByPage map[PageID][]Like
+	likesByUser map[UserID][]Like
+	likeSet     map[likeKey]struct{}
+
+	directory []UserID // searchable users, insertion order
+}
+
+type likeKey struct {
+	u UserID
+	p PageID
+}
+
+// Errors returned by Store operations.
+var (
+	ErrNoUser        = errors.New("socialnet: no such user")
+	ErrNoPage        = errors.New("socialnet: no such page")
+	ErrDuplicateLike = errors.New("socialnet: duplicate like")
+	ErrTerminated    = errors.New("socialnet: account terminated")
+)
+
+// NewStore returns an empty world.
+func NewStore() *Store {
+	return &Store{
+		users:       make(map[UserID]*User),
+		pages:       make(map[PageID]*Page),
+		friends:     graph.NewUndirected(),
+		likesByPage: make(map[PageID][]Like),
+		likesByUser: make(map[UserID][]Like),
+		likeSet:     make(map[likeKey]struct{}),
+		nextUser:    1,
+		nextPage:    1,
+	}
+}
+
+// AddUser inserts a user, assigning its ID. The input is copied.
+func (s *Store) AddUser(u User) UserID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u.ID = s.nextUser
+	s.nextUser++
+	s.users[u.ID] = &u
+	s.friends.AddNode(int64(u.ID))
+	if u.Searchable {
+		s.directory = append(s.directory, u.ID)
+	}
+	return u.ID
+}
+
+// User returns a copy of the user record.
+func (s *Store) User(id UserID) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return User{}, fmt.Errorf("%w: %d", ErrNoUser, id)
+	}
+	return *u, nil
+}
+
+// NumUsers returns the number of users.
+func (s *Store) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// AddPage inserts a page, assigning its ID.
+func (s *Store) AddPage(p Page) (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.Owner != 0 {
+		if _, ok := s.users[p.Owner]; !ok {
+			return 0, fmt.Errorf("%w: page owner %d", ErrNoUser, p.Owner)
+		}
+	}
+	p.ID = s.nextPage
+	s.nextPage++
+	s.pages[p.ID] = &p
+	return p.ID, nil
+}
+
+// Page returns a copy of the page record.
+func (s *Store) Page(id PageID) (Page, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return Page{}, fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	return *p, nil
+}
+
+// NumPages returns the number of pages.
+func (s *Store) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Pages returns all page IDs in ascending order.
+func (s *Store) Pages() []PageID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLike records user liking page at the given instant. Terminated
+// accounts cannot like; duplicate likes return ErrDuplicateLike.
+func (s *Store) AddLike(u UserID, p PageID, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	usr, ok := s.users[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, u)
+	}
+	if usr.Status == StatusTerminated {
+		return fmt.Errorf("%w: user %d", ErrTerminated, u)
+	}
+	if _, ok := s.pages[p]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoPage, p)
+	}
+	k := likeKey{u, p}
+	if _, dup := s.likeSet[k]; dup {
+		return fmt.Errorf("%w: user %d page %d", ErrDuplicateLike, u, p)
+	}
+	s.likeSet[k] = struct{}{}
+	lk := Like{User: u, Page: p, At: at}
+	s.likesByPage[p] = append(s.likesByPage[p], lk)
+	s.likesByUser[u] = append(s.likesByUser[u], lk)
+	return nil
+}
+
+// Likes reports whether user u likes page p.
+func (s *Store) Likes(u UserID, p PageID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.likeSet[likeKey{u, p}]
+	return ok
+}
+
+// LikesOfPage returns the page's likes in like-time order.
+func (s *Store) LikesOfPage(p PageID) []Like {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]Like(nil), s.likesByPage[p]...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// LikeCountOfPage returns the number of likes on a page.
+func (s *Store) LikeCountOfPage(p PageID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.likesByPage[p])
+}
+
+// ActiveLikeCountOfPage returns the page's like count excluding likes
+// from terminated accounts — the number a page admin sees after a fraud
+// sweep removes fake profiles. The paper's §5 future work calls for
+// "longer observation of removed likes"; this is the observable that
+// study extension tracks.
+func (s *Store) ActiveLikeCountOfPage(p PageID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, lk := range s.likesByPage[p] {
+		if u, ok := s.users[lk.User]; ok && u.Status == StatusActive {
+			n++
+		}
+	}
+	return n
+}
+
+// LikesOfUser returns all likes by the user in like-time order. This is
+// the "pages liked" list the crawler collected per liker (§4.4); in the
+// reproduction it is always public, as it effectively was via the 2014
+// profile crawl.
+func (s *Store) LikesOfUser(u UserID) []Like {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]Like(nil), s.likesByUser[u]...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// LikeCountOfUser returns the number of pages the user likes.
+func (s *Store) LikeCountOfUser(u UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.likesByUser[u])
+}
+
+// AddHistory bulk-imports a user's pre-existing like history. Unlike
+// AddLike it updates only the user-side index: ambient/job pages never
+// need page-side like streams (no analysis reads them), and skipping the
+// page index and dedup set keeps multi-million-like histories cheap.
+// Callers must not include honeypot pages (enforced) and must not repeat
+// pages within or across imports for the same user.
+func (s *Store) AddHistory(u UserID, likes []Like) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[u]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, u)
+	}
+	for _, lk := range likes {
+		pg, ok := s.pages[lk.Page]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrNoPage, lk.Page)
+		}
+		if pg.Honeypot {
+			return fmt.Errorf("socialnet: history import may not include honeypot page %d", lk.Page)
+		}
+		lk.User = u
+		s.likesByUser[u] = append(s.likesByUser[u], lk)
+	}
+	return nil
+}
+
+// DeclaredFriendCount returns the friend-list length a profile displays:
+// the declared count, floored at the structurally observed degree.
+func (s *Store) DeclaredFriendCount(u UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	usr, ok := s.users[u]
+	if !ok {
+		return 0
+	}
+	deg := s.friends.Degree(int64(u))
+	if usr.DeclaredFriends > deg {
+		return usr.DeclaredFriends
+	}
+	return deg
+}
+
+// Friend records a mutual friendship (Facebook friendships are
+// bidirectional, unlike Twitter follows — see §2).
+func (s *Store) Friend(a, b UserID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[a]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, a)
+	}
+	if _, ok := s.users[b]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, b)
+	}
+	return s.friends.AddEdge(int64(a), int64(b))
+}
+
+// AreFriends reports whether a and b are friends.
+func (s *Store) AreFriends(a, b UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.friends.HasEdge(int64(a), int64(b))
+}
+
+// FriendsOf returns the user's friend list regardless of privacy; callers
+// exposing data externally must consult FriendsVisible first.
+func (s *Store) FriendsOf(u UserID) []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ns := s.friends.Neighbors(int64(u))
+	out := make([]UserID, len(ns))
+	for i, n := range ns {
+		out[i] = UserID(n)
+	}
+	return out
+}
+
+// FriendCount returns the user's number of friends.
+func (s *Store) FriendCount(u UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.friends.Degree(int64(u))
+}
+
+// FriendsVisible reports whether the user's friend list is public.
+func (s *Store) FriendsVisible(u UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	usr, ok := s.users[u]
+	return ok && usr.FriendsPublic
+}
+
+// FriendGraph returns a snapshot copy of the whole friendship graph.
+// Analysis code uses it as the "base" graph for 2-hop closures.
+func (s *Store) FriendGraph() *graph.Undirected {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.friends.Clone()
+}
+
+// Terminate marks an account terminated (fraud sweep). Terminated
+// accounts keep their historical likes — the paper counted terminated
+// likers a month later, implying likes remained attributable.
+func (s *Store) Terminate(u UserID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	usr, ok := s.users[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, u)
+	}
+	usr.Status = StatusTerminated
+	return nil
+}
+
+// Directory returns the searchable-user directory (insertion order copy),
+// mirroring Facebook's public directory from which the paper's baseline
+// sample of 2000 users was drawn.
+func (s *Store) Directory() []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]UserID(nil), s.directory...)
+}
+
+// UsersWhere returns IDs of users matching the predicate, ascending.
+// The predicate runs under the read lock; it must not call back into the
+// store.
+func (s *Store) UsersWhere(pred func(*User) bool) []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []UserID
+	for id, u := range s.users {
+		if pred(u) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetFriendsPublic updates the friend-list visibility of a user.
+func (s *Store) SetFriendsPublic(u UserID, public bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	usr, ok := s.users[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoUser, u)
+	}
+	usr.FriendsPublic = public
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package socialnet models the social-network world the honeypot study
+// measured: users with demographic attributes and privacy settings,
+// pages, timestamped likes, and a friendship graph. It replaces the live
+// Facebook platform of the paper (§3) with an in-memory, deterministic,
+// concurrency-safe store exposing the same observables the authors had:
+// public profile attributes, optionally-public friend lists, public page
+// like lists, page-admin aggregate reports, and a searchable directory.
+package socialnet
+
+import (
+	"time"
+)
+
+// UserID and PageID identify users and pages. IDs are assigned densely by
+// the Store and are stable across a run given the same seed.
+type UserID int64
+
+// PageID identifies a page.
+type PageID int64
+
+// Gender is a user's declared gender.
+type Gender uint8
+
+// Gender values.
+const (
+	GenderUnknown Gender = iota
+	GenderFemale
+	GenderMale
+)
+
+// String implements fmt.Stringer.
+func (g Gender) String() string {
+	switch g {
+	case GenderFemale:
+		return "F"
+	case GenderMale:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// AgeBracket matches the buckets of the paper's Table 2.
+type AgeBracket uint8
+
+// Age brackets of Table 2.
+const (
+	Age13to17 AgeBracket = iota
+	Age18to24
+	Age25to34
+	Age35to44
+	Age45to54
+	Age55plus
+	ageBracketCount
+)
+
+// AgeBrackets lists all brackets in Table 2 order.
+func AgeBrackets() []AgeBracket {
+	return []AgeBracket{Age13to17, Age18to24, Age25to34, Age35to44, Age45to54, Age55plus}
+}
+
+// AgeBracketLabels lists the Table 2 column labels in order.
+func AgeBracketLabels() []string {
+	return []string{"13-17", "18-24", "25-34", "35-44", "45-54", "55+"}
+}
+
+// String implements fmt.Stringer.
+func (a AgeBracket) String() string {
+	labels := AgeBracketLabels()
+	if int(a) < len(labels) {
+		return labels[a]
+	}
+	return "?"
+}
+
+// AccountStatus tracks whether an account is live or terminated by the
+// platform's fraud sweep (Table 1 last column, §5 follow-up).
+type AccountStatus uint8
+
+// Account statuses.
+const (
+	StatusActive AccountStatus = iota
+	StatusTerminated
+)
+
+// String implements fmt.Stringer.
+func (s AccountStatus) String() string {
+	if s == StatusTerminated {
+		return "terminated"
+	}
+	return "active"
+}
+
+// AccountKind distinguishes organic users from farm-controlled accounts.
+// The analysis code never reads this field — it only sees observables,
+// as the paper's authors did — but evaluation harnesses use it as ground
+// truth for detector precision/recall.
+type AccountKind uint8
+
+// Account kinds.
+const (
+	KindOrganic     AccountKind = iota
+	KindFarmBot                 // disposable script-driven account (burst farms)
+	KindFarmStealth             // long-lived human-mimicking account (trickle farms)
+)
+
+// String implements fmt.Stringer.
+func (k AccountKind) String() string {
+	switch k {
+	case KindFarmBot:
+		return "farm-bot"
+	case KindFarmStealth:
+		return "farm-stealth"
+	default:
+		return "organic"
+	}
+}
+
+// User is a profile in the world.
+type User struct {
+	ID          UserID
+	Gender      Gender
+	Age         AgeBracket
+	Country     string // ISO-ish country label, e.g. "USA", "India"
+	HomeTown    string
+	CurrentTown string
+
+	// FriendsPublic mirrors Facebook's friend-list visibility setting;
+	// the paper found ~80% of FB-campaign likers kept lists private vs
+	// ~40-60% for most farms (Table 3).
+	FriendsPublic bool
+	// DeclaredFriends is the friend-count shown on the profile. The
+	// structural graph stores only the relations that matter to the
+	// analyses (islands, cores, hubs, organic ties); DeclaredFriends
+	// models the full list length, of which observed edges are a lower
+	// bound — the paper makes the same caveat about hidden friends
+	// ("these numbers only represent a lower bound", §4.3).
+	DeclaredFriends int
+	// Searchable mirrors presence in the public directory used to draw
+	// the unbiased baseline sample for Figure 4.
+	Searchable bool
+
+	Status    AccountStatus
+	Kind      AccountKind
+	Operator  string // farm brand operating this account, "" if organic
+	CreatedAt time.Time
+}
+
+// Page is a Facebook-style page users can like.
+type Page struct {
+	ID          PageID
+	Name        string
+	Description string
+	Owner       UserID
+	Category    string
+	CreatedAt   time.Time
+	// Honeypot marks the study's own pages ("This is not a real page,
+	// so please do not like it.").
+	Honeypot bool
+}
+
+// Like is a timestamped (user, page) like event.
+type Like struct {
+	User UserID
+	Page PageID
+	At   time.Time
+}

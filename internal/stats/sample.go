@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Categorical samples labels from a fixed discrete distribution using the
+// alias-free cumulative method. It is the workhorse behind demographic
+// attribute assignment (gender, age bracket, country).
+type Categorical struct {
+	labels []string
+	cum    []float64
+}
+
+// NewCategorical builds a sampler over labels with the given weights
+// (non-negative, not all zero). Weights need not sum to 1.
+func NewCategorical(labels []string, weights []float64) (*Categorical, error) {
+	if len(labels) == 0 || len(labels) != len(weights) {
+		return nil, fmt.Errorf("stats: categorical needs matching labels/weights (%d vs %d)", len(labels), len(weights))
+	}
+	norm, err := Normalize(weights)
+	if err != nil {
+		return nil, err
+	}
+	cum := make([]float64, len(norm))
+	acc := 0.0
+	for i, w := range norm {
+		acc += w
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return &Categorical{labels: append([]string(nil), labels...), cum: cum}, nil
+}
+
+// MustCategorical is NewCategorical that panics on error; for statically
+// known tables (e.g. the global Facebook age distribution).
+func MustCategorical(labels []string, weights []float64) *Categorical {
+	c, err := NewCategorical(labels, weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sample draws one label.
+func (c *Categorical) Sample(r *rand.Rand) string {
+	u := r.Float64()
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.labels) {
+		i = len(c.labels) - 1
+	}
+	return c.labels[i]
+}
+
+// Labels returns the category labels in order.
+func (c *Categorical) Labels() []string { return append([]string(nil), c.labels...) }
+
+// Prob returns the probability of a label (0 if absent).
+func (c *Categorical) Prob(label string) float64 {
+	prev := 0.0
+	for i, l := range c.labels {
+		if l == label {
+			return c.cum[i] - prev
+		}
+		prev = c.cum[i]
+	}
+	return 0
+}
+
+// LogNormal samples from a lognormal distribution with the given
+// parameters of the underlying normal, truncated to [min, max]. The
+// page-like counts of real Facebook users (Figure 4 baseline, median ~34)
+// and of farm accounts (median 1200–1800) are modelled this way.
+type LogNormal struct {
+	Mu, Sigma float64
+	Min, Max  float64
+}
+
+// NewLogNormal builds a truncated lognormal sampler. Max <= 0 means no
+// upper bound.
+func NewLogNormal(mu, sigma, min, max float64) (*LogNormal, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("stats: lognormal sigma %v must be positive", sigma)
+	}
+	if max > 0 && min > max {
+		return nil, fmt.Errorf("stats: lognormal min %v > max %v", min, max)
+	}
+	return &LogNormal{Mu: mu, Sigma: sigma, Min: min, Max: max}, nil
+}
+
+// Sample draws one value by rejection from the truncation window, falling
+// back to clamping after a bounded number of attempts.
+func (l *LogNormal) Sample(r *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+		if v >= l.Min && (l.Max <= 0 || v <= l.Max) {
+			return v
+		}
+	}
+	v := math.Exp(l.Mu)
+	if v < l.Min {
+		v = l.Min
+	}
+	if l.Max > 0 && v > l.Max {
+		v = l.Max
+	}
+	return v
+}
+
+// SampleInt draws one value rounded to an int.
+func (l *LogNormal) SampleInt(r *rand.Rand) int { return int(math.Round(l.Sample(r))) }
+
+// MedianOf returns the median of the (untruncated) distribution, exp(mu).
+func (l *LogNormal) MedianOf() float64 { return math.Exp(l.Mu) }
+
+// LogNormalForMedian returns the mu parameter that yields the target median.
+func LogNormalForMedian(median float64) (float64, error) {
+	if median <= 0 {
+		return 0, fmt.Errorf("stats: lognormal median %v must be positive", median)
+	}
+	return math.Log(median), nil
+}
+
+// BoundedZipf samples integers in [1, n] with probability proportional to
+// 1/rank^s. Used for page popularity when farm accounts pick cover pages.
+type BoundedZipf struct {
+	cum []float64
+}
+
+// NewBoundedZipf builds a Zipf sampler over ranks 1..n with exponent s > 0.
+func NewBoundedZipf(n int, s float64) (*BoundedZipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf n %d must be positive", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf exponent %v must be positive", s)
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		cum[i-1] = acc
+	}
+	for i := range cum {
+		cum[i] /= acc
+	}
+	cum[n-1] = 1
+	return &BoundedZipf{cum: cum}, nil
+}
+
+// Sample draws a rank in [1, n].
+func (z *BoundedZipf) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i + 1
+}
+
+// N returns the support size.
+func (z *BoundedZipf) N() int { return len(z.cum) }
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It errors when k > n.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) ([]int, error) {
+	if k < 0 || n < 0 {
+		return nil, errors.New("stats: negative sample size")
+	}
+	if k > n {
+		return nil, fmt.Errorf("stats: cannot sample %d from %d without replacement", k, n)
+	}
+	// Partial Fisher–Yates over an index slice; O(n) space, O(k) swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k], nil
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using
+// Knuth's method for small lambda and a normal approximation above 30.
+// It drives arrival counts per monitoring interval.
+func Poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// JitterDuration returns base scaled by a uniform factor in [1-f, 1+f].
+func JitterDuration(r *rand.Rand, base float64, f float64) float64 {
+	if f <= 0 {
+		return base
+	}
+	return base * (1 - f + 2*f*r.Float64())
+}

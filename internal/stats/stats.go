@@ -1,0 +1,309 @@
+// Package stats provides the statistical primitives used throughout the
+// reproduction: descriptive statistics, empirical CDFs, quantiles,
+// Kullback–Leibler divergence (Table 2), Jaccard similarity (Figure 5),
+// and seeded samplers for the synthetic world (categorical, truncated
+// lognormal, bounded Zipf).
+//
+// Everything is deterministic given an explicit *rand.Rand; no package
+// state, no global randomness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// MeanStd returns both the mean and population standard deviation.
+func MeanStd(xs []float64) (mean, std float64, err error) {
+	mean, err = Mean(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	std, err = StdDev(xs)
+	return mean, std, err
+}
+
+// Median returns the median of xs (average of middle two for even length).
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile of xs, q in [0,1], using linear
+// interpolation between order statistics (type 7, the R/NumPy default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Normalize scales non-negative weights to sum to 1. It returns an error
+// if any weight is negative or the sum is zero.
+func Normalize(ws []float64) ([]float64, error) {
+	if len(ws) == 0 {
+		return nil, ErrEmpty
+	}
+	sum := 0.0
+	for i, w := range ws {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: negative or NaN weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, errors.New("stats: all weights zero")
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = w / sum
+	}
+	return out, nil
+}
+
+// KLDivergence returns D_KL(p || q) in bits for two discrete distributions
+// over the same support. Entries of p that are zero contribute nothing.
+// To remain defined when q has zero mass where p does not (which happens
+// with finite samples), q is smoothed with a small epsilon and
+// renormalized, mirroring the common practice for the paper's Table 2.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) == 0 || len(p) != len(q) {
+		return 0, fmt.Errorf("stats: KL over mismatched supports (%d vs %d)", len(p), len(q))
+	}
+	pn, err := Normalize(p)
+	if err != nil {
+		return 0, fmt.Errorf("stats: KL p: %w", err)
+	}
+	const eps = 1e-9
+	qs := make([]float64, len(q))
+	for i, w := range q {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("stats: KL q: negative or NaN weight %v at %d", w, i)
+		}
+		qs[i] = w + eps
+	}
+	qn, err := Normalize(qs)
+	if err != nil {
+		return 0, fmt.Errorf("stats: KL q: %w", err)
+	}
+	d := 0.0
+	for i := range pn {
+		if pn[i] == 0 {
+			continue
+		}
+		d += pn[i] * math.Log2(pn[i]/qn[i])
+	}
+	if d < 0 && d > -1e-12 {
+		d = 0 // clamp floating-point noise; KL is non-negative
+	}
+	return d, nil
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two sets of strings. The Jaccard
+// of two empty sets is defined as 0 here (the paper's campaign like-sets
+// are never both empty in practice).
+func Jaccard[T comparable](a, b map[T]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// SetOf builds a set from a slice.
+func SetOf[T comparable](xs []T) map[T]struct{} {
+	s := make(map[T]struct{}, len(xs))
+	for _, x := range xs {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (which are copied and sorted).
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Min and Max return the sample range.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Quantile returns the q-quantile of the underlying samples.
+func (e *ECDF) Quantile(q float64) (float64, error) { return Quantile(e.sorted, q) }
+
+// Points returns (x, F(x)) pairs at the distinct sample values, suitable
+// for plotting a CDF curve like the paper's Figure 4.
+func (e *ECDF) Points() (xs, ys []float64) {
+	n := float64(len(e.sorted))
+	for i := 0; i < len(e.sorted); {
+		j := i
+		for j < len(e.sorted) && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ys = append(ys, float64(j)/n)
+		i = j
+	}
+	return xs, ys
+}
+
+// Histogram counts samples into labelled categories.
+type Histogram struct {
+	Labels []string
+	Counts []int
+	index  map[string]int
+}
+
+// NewHistogram creates a histogram over the given ordered category labels.
+func NewHistogram(labels ...string) *Histogram {
+	h := &Histogram{
+		Labels: append([]string(nil), labels...),
+		Counts: make([]int, len(labels)),
+		index:  make(map[string]int, len(labels)),
+	}
+	for i, l := range labels {
+		h.index[l] = i
+	}
+	return h
+}
+
+// Add increments the count for label. Unknown labels are counted under an
+// implicit "other" bucket appended on first use.
+func (h *Histogram) Add(label string) {
+	i, ok := h.index[label]
+	if !ok {
+		i, ok = h.index["other"]
+		if !ok {
+			h.Labels = append(h.Labels, "other")
+			h.Counts = append(h.Counts, 0)
+			i = len(h.Labels) - 1
+			h.index["other"] = i
+		}
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of samples added.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns the normalized counts; all zeros if empty.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(t)
+	}
+	return out
+}
+
+// Count returns the count for a label (0 if absent).
+func (h *Histogram) Count(label string) int {
+	if i, ok := h.index[label]; ok {
+		return h.Counts[i]
+	}
+	return 0
+}

@@ -1,0 +1,545 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v (%v), want 5", m, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almostEqual(sd, 2, 1e-12) {
+		t.Fatalf("StdDev = %v (%v), want 2", sd, err)
+	}
+	med, err := Median(xs)
+	if err != nil || med != 4.5 {
+		t.Fatalf("Median = %v (%v), want 4.5", med, err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) should error")
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Fatal("StdDev(nil) should error")
+	}
+	if _, err := Median(nil); err == nil {
+		t.Fatal("Median(nil) should error")
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("MinMax(nil) should error")
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("NewECDF(nil) should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v (%v), want %v", c.q, got, err, c.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("Quantile out of range should error")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Fatal("Quantile(NaN) should error")
+	}
+	one, err := Quantile([]float64{42}, 0.7)
+	if err != nil || one != 42 {
+		t.Fatalf("single-element quantile = %v (%v)", one, err)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.3, 0.5}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("Normalize = %v, want %v", out, want)
+		}
+	}
+	if _, err := Normalize([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := Normalize([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights should error")
+	}
+}
+
+func TestKLDivergenceIdentityIsZero(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.3, 0.4}
+	d, err := KLDivergence(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, 1e-6) {
+		t.Fatalf("KL(p||p) = %v, want ~0", d)
+	}
+}
+
+func TestKLDivergenceKnownValue(t *testing.T) {
+	// KL([1,0] || [0.5,0.5]) = log2(2) = 1 bit.
+	d, err := KLDivergence([]float64{1, 0}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1, 1e-6) {
+		t.Fatalf("KL = %v, want 1", d)
+	}
+}
+
+func TestKLDivergenceHandlesZeroQ(t *testing.T) {
+	d, err := KLDivergence([]float64{0.5, 0.5}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 0) || math.IsNaN(d) || d <= 0 {
+		t.Fatalf("smoothed KL = %v, want finite positive", d)
+	}
+}
+
+func TestKLDivergenceErrors(t *testing.T) {
+	if _, err := KLDivergence([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("mismatched supports should error")
+	}
+	if _, err := KLDivergence(nil, nil); err == nil {
+		t.Fatal("empty should error")
+	}
+	if _, err := KLDivergence([]float64{0.5, 0.5}, []float64{-1, 2}); err == nil {
+		t.Fatal("negative q should error")
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(a, b [6]uint8) bool {
+		p := make([]float64, 6)
+		q := make([]float64, 6)
+		sum := 0.0
+		for i := range p {
+			p[i] = float64(a[i])
+			q[i] = float64(b[i]) + 1 // keep q strictly positive
+			sum += p[i]
+		}
+		if sum == 0 {
+			return true // Normalize rejects; not this property's domain
+		}
+		d, err := KLDivergence(p, q)
+		return err == nil && d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := SetOf([]string{"x", "y", "z"})
+	b := SetOf([]string{"y", "z", "w"})
+	if got := Jaccard(a, b); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("Jaccard(a,a) = %v, want 1", got)
+	}
+	empty := map[string]struct{}{}
+	if got := Jaccard(empty, empty); got != 0 {
+		t.Fatalf("Jaccard(∅,∅) = %v, want 0", got)
+	}
+	if got := Jaccard(a, empty); got != 0 {
+		t.Fatalf("Jaccard(a,∅) = %v, want 0", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := SetOf(xs)
+		b := SetOf(ys)
+		j1 := Jaccard(a, b)
+		j2 := Jaccard(b, a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("ECDF.At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 3 {
+		t.Fatalf("N/Min/Max = %d/%v/%v", e.N(), e.Min(), e.Max())
+	}
+	xs, ys := e.Points()
+	if len(xs) != 3 || xs[1] != 2 || !almostEqual(ys[1], 0.75, 1e-12) {
+		t.Fatalf("Points = %v %v", xs, ys)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, probes [8]uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		prevX, prevY := math.Inf(-1), 0.0
+		ps := make([]float64, 0, len(probes))
+		for _, p := range probes {
+			ps = append(ps, float64(p))
+		}
+		// monotone in sorted probe order
+		for _, x := range ps {
+			_ = x
+		}
+		sortFloats(ps)
+		for _, x := range ps {
+			y := e.At(x)
+			if x >= prevX && y < prevY {
+				return false
+			}
+			if y < 0 || y > 1 {
+				return false
+			}
+			prevX, prevY = x, y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("USA", "India", "Egypt")
+	for i := 0; i < 3; i++ {
+		h.Add("USA")
+	}
+	h.Add("India")
+	h.Add("Turkey") // goes to other
+	h.Add("Turkey")
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Count("USA") != 3 || h.Count("other") != 2 || h.Count("Egypt") != 0 {
+		t.Fatalf("counts wrong: %v %v", h.Labels, h.Counts)
+	}
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 0.5, 1e-12) {
+		t.Fatalf("Fractions = %v", fr)
+	}
+	if h.Count("nope") != 0 {
+		t.Fatal("unknown label should count 0")
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram("a", "b")
+	fr := h.Fractions()
+	if fr[0] != 0 || fr[1] != 0 {
+		t.Fatalf("empty Fractions = %v, want zeros", fr)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	c, err := NewCategorical([]string{"a", "b", "c"}, []float64{1, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	n := 100000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	if f := float64(counts["c"]) / float64(n); !almostEqual(f, 0.7, 0.02) {
+		t.Fatalf("P(c) ≈ %v, want ~0.7", f)
+	}
+	if f := float64(counts["a"]) / float64(n); !almostEqual(f, 0.1, 0.02) {
+		t.Fatalf("P(a) ≈ %v, want ~0.1", f)
+	}
+	if p := c.Prob("b"); !almostEqual(p, 0.2, 1e-12) {
+		t.Fatalf("Prob(b) = %v, want 0.2", p)
+	}
+	if p := c.Prob("zzz"); p != 0 {
+		t.Fatalf("Prob(zzz) = %v, want 0", p)
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	if _, err := NewCategorical(nil, nil); err == nil {
+		t.Fatal("empty categorical should error")
+	}
+	if _, err := NewCategorical([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := NewCategorical([]string{"a", "b"}, []float64{0, 0}); err == nil {
+		t.Fatal("zero weights should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCategorical should panic on bad input")
+		}
+	}()
+	MustCategorical([]string{"a"}, []float64{-1})
+}
+
+func TestLogNormalMedianCalibration(t *testing.T) {
+	mu, err := LogNormalForMedian(34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLogNormal(mu, 1.2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = l.Sample(r)
+	}
+	med, err := Median(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 28 || med > 42 {
+		t.Fatalf("sampled median = %v, want ≈34", med)
+	}
+}
+
+func TestLogNormalTruncation(t *testing.T) {
+	l, err := NewLogNormal(math.Log(100), 2.0, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := l.Sample(r)
+		if v < 10 || v > 500 {
+			t.Fatalf("sample %v outside truncation [10,500]", v)
+		}
+	}
+}
+
+func TestLogNormalErrors(t *testing.T) {
+	if _, err := NewLogNormal(0, 0, 0, 0); err == nil {
+		t.Fatal("sigma=0 should error")
+	}
+	if _, err := NewLogNormal(0, 1, 10, 5); err == nil {
+		t.Fatal("min>max should error")
+	}
+	if _, err := LogNormalForMedian(0); err == nil {
+		t.Fatal("median 0 should error")
+	}
+}
+
+func TestBoundedZipf(t *testing.T) {
+	z, err := NewBoundedZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	counts := make([]int, 101)
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := z.Sample(r)
+		if v < 1 || v > 100 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("zipf not decreasing: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+}
+
+func TestBoundedZipfErrors(t *testing.T) {
+	if _, err := NewBoundedZipf(0, 1); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NewBoundedZipf(10, 0); err == nil {
+		t.Fatal("s=0 should error")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	got, err := SampleWithoutReplacement(r, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if _, err := SampleWithoutReplacement(r, 3, 5); err == nil {
+		t.Fatal("k>n should error")
+	}
+	if _, err := SampleWithoutReplacement(r, 3, -1); err == nil {
+		t.Fatal("negative k should error")
+	}
+	all, err := SampleWithoutReplacement(r, 4, 4)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("full sample: %v (%v)", all, err)
+	}
+}
+
+func TestSampleWithoutReplacementUniformProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		got, err := SampleWithoutReplacement(r, 20, 7)
+		if err != nil || len(got) != 7 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if Bernoulli(r, 0) {
+		t.Fatal("p=0 should be false")
+	}
+	if !Bernoulli(r, 1) {
+		t.Fatal("p=1 should be true")
+	}
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / float64(n); !almostEqual(f, 0.3, 0.01) {
+		t.Fatalf("Bernoulli(0.3) ≈ %v", f)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if Poisson(r, 0) != 0 {
+		t.Fatal("lambda=0 should be 0")
+	}
+	sum := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += Poisson(r, 4.5)
+	}
+	if m := float64(sum) / float64(n); !almostEqual(m, 4.5, 0.15) {
+		t.Fatalf("Poisson mean ≈ %v, want 4.5", m)
+	}
+	// large-lambda path
+	sum = 0
+	for i := 0; i < n; i++ {
+		v := Poisson(r, 100)
+		if v < 0 {
+			t.Fatal("negative poisson draw")
+		}
+		sum += v
+	}
+	if m := float64(sum) / float64(n); !almostEqual(m, 100, 2) {
+		t.Fatalf("Poisson(100) mean ≈ %v", m)
+	}
+}
+
+func TestJitterDuration(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if v := JitterDuration(r, 100, 0); v != 100 {
+		t.Fatalf("no jitter should return base, got %v", v)
+	}
+	for i := 0; i < 1000; i++ {
+		v := JitterDuration(r, 100, 0.25)
+		if v < 75 || v > 125 {
+			t.Fatalf("jitter %v outside [75,125]", v)
+		}
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	sampleSeq := func(seed int64) []string {
+		c := MustCategorical([]string{"a", "b", "c"}, []float64{1, 1, 1})
+		r := rand.New(rand.NewSource(seed))
+		out := make([]string, 50)
+		for i := range out {
+			out[i] = c.Sample(r)
+		}
+		return out
+	}
+	a := sampleSeq(42)
+	b := sampleSeq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should produce identical sequences")
+		}
+	}
+}
