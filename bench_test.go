@@ -8,8 +8,11 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -230,14 +233,17 @@ func BenchmarkFigure5Jaccard(b *testing.B) {
 	b.Log("\n" + res.RenderFigure5())
 }
 
-// BenchmarkFullStudy measures the complete end-to-end pipeline — world
-// build, 13 campaigns, monitoring, sweep, all analyses — at 1/10 scale.
-func BenchmarkFullStudy(b *testing.B) {
+// benchFullStudy runs the complete end-to-end pipeline — world build,
+// 13 campaigns, monitoring, sweep, all analyses — at 1/10 scale with
+// the given worker-pool size.
+func benchFullStudy(b *testing.B, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		cfg, err := core.ScaledConfig(int64(i)+1, 0.1)
 		if err != nil {
 			b.Fatal(err)
 		}
+		cfg.Workers = workers
 		s, err := core.NewStudy(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -245,6 +251,99 @@ func BenchmarkFullStudy(b *testing.B) {
 		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFullStudy measures the parallel engine at its default width
+// (Workers = GOMAXPROCS). Compare against BenchmarkFullStudySerial for
+// the speedup; the determinism tests prove both produce identical
+// output for a fixed seed.
+func BenchmarkFullStudy(b *testing.B) { benchFullStudy(b, 0) }
+
+// BenchmarkFullStudySerial is the same pipeline pinned to one worker —
+// the serial baseline for the parallel engine.
+func BenchmarkFullStudySerial(b *testing.B) { benchFullStudy(b, 1) }
+
+// BenchmarkSweepGrid measures the scenario-grid runner: a 4-variant
+// budget×population grid of small studies executed concurrently.
+func BenchmarkSweepGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := core.ScaledConfig(int64(i)+1, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw := &core.Sweep{
+			Variants: core.GridVariants(base,
+				core.SweepAxis{Name: "budget", Values: []core.SweepValue{
+					{Label: "budget=1x"},
+					{Label: "budget=2x", Apply: func(c *core.StudyConfig) {
+						for j := range c.Campaigns {
+							c.Campaigns[j].BudgetPerDay *= 2
+						}
+					}},
+				}},
+				core.SweepAxis{Name: "pop", Values: []core.SweepValue{
+					{Label: "pop=1x"},
+					{Label: "pop=2x", Apply: func(c *core.StudyConfig) { c.Population.NumUsers *= 2 }},
+				}},
+			),
+			InnerWorkers: 1,
+		}
+		if _, err := sw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedStoreParallelLikes measures concurrent AddLike
+// throughput on the lock-striped store across shard counts: the
+// contention profile the parallel delivery path depends on. Each
+// iteration inserts a fixed batch of distinct (user, page) pairs from
+// GOMAXPROCS goroutines into a fresh store, so no run ever exhausts
+// the pair space and degrades into measuring duplicate rejection.
+func BenchmarkShardedStoreParallelLikes(b *testing.B) {
+	const nUsers, nPages = 4096, 16
+	const batch = nUsers * nPages
+	for _, shards := range []int{1, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			t0 := core.StudyStart
+			workers := runtime.GOMAXPROCS(0)
+			for iter := 0; iter < b.N; iter++ {
+				b.StopTimer()
+				st := socialnet.NewShardedStore(shards)
+				users := make([]socialnet.UserID, nUsers)
+				for i := range users {
+					users[i] = st.AddUser(socialnet.User{Country: socialnet.CountryUSA})
+				}
+				pages := make([]socialnet.PageID, nPages)
+				for i := range pages {
+					pages[i], _ = st.AddPage(socialnet.Page{Name: fmt.Sprintf("p%d", i)})
+				}
+				b.StartTimer()
+				var seq atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(seq.Add(1)) - 1
+							if i >= batch {
+								return
+							}
+							u := users[i%nUsers]
+							p := pages[i/nUsers]
+							if err := st.AddLike(u, p, t0.Add(time.Duration(i)*time.Second)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(batch), "likes/op")
+		})
 	}
 }
 

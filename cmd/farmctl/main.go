@@ -6,12 +6,15 @@
 // Usage:
 //
 //	farmctl list                                  # show configured farms
+//	farmctl prices                                # paper price list
 //	farmctl order -farm SocialFormula.com -count 500 -country USA [-seed N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -26,45 +29,54 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the process exit
+// code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		listFarms()
+		listFarms(stdout)
+		return 0
 	case "order":
-		runOrder(os.Args[2:])
+		return runOrder(args[1:], stdout, stderr)
 	case "prices":
-		listPrices()
+		listPrices(stdout)
+		return 0
 	default:
-		usage()
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: farmctl list | farmctl prices | farmctl order -farm NAME -count N [-country C] [-seed N]")
-	os.Exit(2)
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage: farmctl list | farmctl prices | farmctl order -farm NAME -count N [-country C] [-seed N]")
 }
 
-func listPrices() {
+func listPrices(stdout io.Writer) {
 	prices := farm.PaperPriceList()
 	value := farm.ValuePerLikeEstimates()
-	fmt.Printf("%-22s %-10s %10s\n", "FARM", "LOCATION", "PER 1000")
+	fmt.Fprintf(stdout, "%-22s %-10s %10s\n", "FARM", "LOCATION", "PER 1000")
 	cfg := core.DefaultConfig(1)
 	for _, fs := range cfg.Farms {
 		for _, loc := range prices.Locations(fs.Config.Name) {
 			if p, ok := prices.Price(fs.Config.Name, loc); ok {
-				fmt.Printf("%-22s %-10s %9.2f$\n", fs.Config.Name, loc, p)
+				fmt.Fprintf(stdout, "%-22s %-10s %9.2f$\n", fs.Config.Name, loc, p)
 			}
 		}
 	}
-	fmt.Printf("\nper-like value estimates (§1): ChompOn $%.2f, range $%.2f-$%.2f\n",
+	fmt.Fprintf(stdout, "\nper-like value estimates (§1): ChompOn $%.2f, range $%.2f-$%.2f\n",
 		value["ChompOn"], value["low"], value["high"])
 }
 
-func listFarms() {
+func listFarms(stdout io.Writer) {
 	cfg := core.DefaultConfig(1)
-	fmt.Printf("%-22s %-8s %-10s %-8s %s\n", "FARM", "MODE", "POOL", "SIZE", "NOTES")
+	fmt.Fprintf(stdout, "%-22s %-8s %-10s %-8s %s\n", "FARM", "MODE", "POOL", "SIZE", "NOTES")
 	for _, fs := range cfg.Farms {
 		size := fs.Pool.Size
 		notes := []string{}
@@ -77,18 +89,24 @@ func listFarms() {
 		if size == 0 {
 			notes = append(notes, "shares pool "+fs.PoolName)
 		}
-		fmt.Printf("%-22s %-8s %-10s %-8d %s\n",
+		fmt.Fprintf(stdout, "%-22s %-8s %-10s %-8d %s\n",
 			fs.Config.Name, fs.Config.Mode, fs.PoolName, size, strings.Join(notes, ","))
 	}
 }
 
-func runOrder(args []string) {
-	fs := flag.NewFlagSet("order", flag.ExitOnError)
+func runOrder(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("order", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	farmName := fs.String("farm", core.FarmSocialFormula, "farm brand name")
 	count := fs.Int("count", 500, "likes to order")
 	country := fs.String("country", "", "target country (empty = worldwide)")
 	seed := fs.Int64("seed", 1, "random seed")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := core.DefaultConfig(*seed)
 	var setup *core.FarmSetup
@@ -99,8 +117,8 @@ func runOrder(args []string) {
 		}
 	}
 	if setup == nil {
-		fmt.Fprintf(os.Stderr, "farmctl: unknown farm %q (try farmctl list)\n", *farmName)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "farmctl: unknown farm %q (try farmctl list)\n", *farmName)
+		return 1
 	}
 	for i := range cfg.Farms {
 		if cfg.Farms[i].PoolName == setup.PoolName && cfg.Farms[i].Pool.Size > 0 {
@@ -109,8 +127,8 @@ func runOrder(args []string) {
 		}
 	}
 	if poolSetup == nil {
-		fmt.Fprintf(os.Stderr, "farmctl: farm %q has no pool definition\n", *farmName)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "farmctl: farm %q has no pool definition\n", *farmName)
+		return 1
 	}
 
 	r := rand.New(rand.NewSource(*seed))
@@ -120,19 +138,19 @@ func runOrder(args []string) {
 	popSpec.NumAmbientPages = 1000
 	pop, err := socialnet.GeneratePopulation(r, st, popSpec)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	cohort, err := accounts.Build(r, st, pop, poolSetup.Pool)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	f, err := farm.New(r, st, setup.Config, cohort, nil)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	page, err := st.AddPage(socialnet.Page{Name: "farmctl-target", Honeypot: true})
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	clock := simclock.New(core.StudyStart)
 	order := farm.Order{
@@ -140,12 +158,12 @@ func runOrder(args []string) {
 		DurationDays: 15, TargetCountry: *country,
 	}
 	if err := f.PlaceOrder(clock, order); err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	clock.Drain(0)
 
 	likes := st.LikesOfPage(page)
-	fmt.Printf("farm %s delivered %d/%d likes (%s mode)\n", *farmName, len(likes), *count, f.Mode())
+	fmt.Fprintf(stdout, "farm %s delivered %d/%d likes (%s mode)\n", *farmName, len(likes), *count, f.Mode())
 	perDay := map[int]int{}
 	countries := map[string]int{}
 	for _, lk := range likes {
@@ -153,29 +171,30 @@ func runOrder(args []string) {
 		u, _ := st.User(lk.User)
 		countries[u.Country]++
 	}
-	fmt.Println("delivery by day:")
+	fmt.Fprintln(stdout, "delivery by day:")
 	for d := 0; d <= 15; d++ {
 		if n := perDay[d]; n > 0 {
-			fmt.Printf("  day %2d: %4d %s\n", d, n, strings.Repeat("#", n/5+1))
+			fmt.Fprintf(stdout, "  day %2d: %4d %s\n", d, n, strings.Repeat("#", n/5+1))
 		}
 	}
-	fmt.Println("delivery by country:")
+	fmt.Fprintln(stdout, "delivery by country:")
 	for c, n := range countries {
-		fmt.Printf("  %-10s %d\n", c, n)
+		fmt.Fprintf(stdout, "  %-10s %d\n", c, n)
 	}
 	rep, err := platform.ReportFor(st, page)
 	if err == nil {
 		fpc, mpc := rep.FemaleMaleSplit()
-		fmt.Printf("liker demographics: %.0f%%F/%.0f%%M, KL vs global: ", fpc, mpc)
+		fmt.Fprintf(stdout, "liker demographics: %.0f%%F/%.0f%%M, KL vs global: ", fpc, mpc)
 		if kl, err := rep.KLvsGlobal(); err == nil {
-			fmt.Printf("%.2f bits\n", kl)
+			fmt.Fprintf(stdout, "%.2f bits\n", kl)
 		} else {
-			fmt.Println("n/a")
+			fmt.Fprintln(stdout, "n/a")
 		}
 	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "farmctl: %v\n", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "farmctl: %v\n", err)
+	return 1
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFarms(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"BoostLikes.com", "SocialFormula.com", "AuthenticLikes.com", "MammothSocials.com", "shares pool alms"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestListPrices(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"prices"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PER 1000") || !strings.Contains(out.String(), "ChompOn") {
+		t.Fatalf("prices output malformed:\n%s", out.String())
+	}
+}
+
+func TestOrderSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"order", "-farm", "SocialFormula.com", "-count", "60", "-seed", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "delivered 60/60 likes") {
+		t.Fatalf("order output missing delivery line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "delivery by day:") {
+		t.Fatalf("order output missing day profile:\n%s", out.String())
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestOrderUnknownFarm(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"order", "-farm", "NoSuchFarm"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown farm") {
+		t.Fatalf("stderr missing diagnosis: %s", errOut.String())
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	honeypotd [-addr :8080] [-seed N] [-scale 0.25] [-token secret]
+//	honeypotd [-addr :8080] [-seed N] [-scale 0.25] [-workers W] [-token secret]
 //
 // Endpoints: /api/page/{id}, /api/page/{id}/likes, /api/user/{id},
 // /api/user/{id}/friends, /api/user/{id}/likes, /api/directory,
@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -24,75 +26,107 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	seed := flag.Int64("seed", 2014, "random seed")
-	scale := flag.Float64("scale", 0.25, "study scale in (0,1]")
-	token := flag.String("token", "honeypot-admin", "admin token for /api/admin (empty disables)")
-	rps := flag.Float64("rps", 0, "rate-limit requests/second (0 = unlimited)")
-	load := flag.String("load", "", "serve a world snapshot instead of building one")
-	save := flag.String("save", "", "write the built world to a snapshot file before serving")
-	flag.Parse()
-
-	var store *socialnet.Store
-	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fail(err)
-		}
-		store, err = socialnet.ReadSnapshot(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded world snapshot %s (%d users, %d pages)\n",
-			*load, store.NumUsers(), store.NumPages())
-	} else {
-		cfg, err := core.ScaledConfig(*seed, *scale)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
-		start := time.Now()
-		study, err := core.NewStudy(cfg)
-		if err != nil {
-			fail(err)
-		}
-		res, err := study.Run()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "world ready in %s\n", time.Since(start).Round(time.Millisecond))
-		for _, c := range res.Campaigns {
-			fmt.Fprintf(os.Stderr, "  %-8s page=%d likes=%d\n", c.Spec.ID, c.Page, c.Likes)
-		}
-		store = study.Store()
-		if *save != "" {
-			f, err := os.Create(*save)
-			if err != nil {
-				fail(err)
-			}
-			if err := store.WriteSnapshot(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
-				fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "world snapshot written to %s\n", *save)
-		}
-	}
-
-	var handler http.Handler = api.NewServer(store, *token)
-	if *rps > 0 {
-		handler = api.Throttle(handler, *rps, int(*rps)+1)
-	}
-	fmt.Fprintf(os.Stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fail(err)
-	}
+	os.Exit(run(os.Args[1:], os.Stderr, http.ListenAndServe))
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "honeypotd: %v\n", err)
-	os.Exit(1)
+// run is the testable body of the command: it parses flags, builds (or
+// loads) the world, assembles the crawl surface, and hands the handler
+// to serve. Tests inject a serve function backed by httptest instead of
+// a real listener. It returns the process exit code.
+func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) int {
+	fs := flag.NewFlagSet("honeypotd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Int64("seed", 2014, "random seed")
+	scale := fs.Float64("scale", 0.25, "study scale in (0,1]")
+	workers := fs.Int("workers", 0, "study worker pool size (0 = one per CPU)")
+	token := fs.String("token", "honeypot-admin", "admin token for /api/admin (empty disables)")
+	rps := fs.Float64("rps", 0, "rate-limit requests/second (0 = unlimited)")
+	load := fs.String("load", "", "serve a world snapshot instead of building one")
+	save := fs.String("save", "", "write the built world to a snapshot file before serving")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	store, err := buildStore(*seed, *scale, *workers, *load, *save, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "honeypotd: %v\n", err)
+		return 1
+	}
+
+	handler := newHandler(store, *token, *rps)
+	fmt.Fprintf(stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
+	if err := serve(*addr, handler); err != nil {
+		fmt.Fprintf(stderr, "honeypotd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// buildStore loads a snapshot or builds a fresh world by running the
+// full study at the given scale on the parallel engine.
+func buildStore(seed int64, scale float64, workers int, load, save string, stderr io.Writer) (*socialnet.Store, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		store, err := socialnet.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "loaded world snapshot %s (%d users, %d pages)\n",
+			load, store.NumUsers(), store.NumPages())
+		return store, nil
+	}
+
+	cfg, err := core.ScaledConfig(seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
+	fmt.Fprintf(stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", seed, scale)
+	start := time.Now()
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := study.Run()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "world ready in %s\n", time.Since(start).Round(time.Millisecond))
+	for _, c := range res.Campaigns {
+		fmt.Fprintf(stderr, "  %-8s page=%d likes=%d\n", c.Spec.ID, c.Page, c.Likes)
+	}
+	store := study.Store()
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.WriteSnapshot(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "world snapshot written to %s\n", save)
+	}
+	return store, nil
+}
+
+// newHandler assembles the crawl surface: the API server plus the
+// optional rate limiter.
+func newHandler(store *socialnet.Store, token string, rps float64) http.Handler {
+	var handler http.Handler = api.NewServer(store, token)
+	if rps > 0 {
+		handler = api.Throttle(handler, rps, int(rps)+1)
+	}
+	return handler
 }

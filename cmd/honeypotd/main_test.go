@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+)
+
+// serveOnce runs the command with a serve function that captures the
+// handler instead of listening, and returns an httptest server over it.
+func serveOnce(t *testing.T, args []string) (*httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	var stderr bytes.Buffer
+	var captured http.Handler
+	code := run(args, &stderr, func(addr string, h http.Handler) error {
+		captured = h
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if captured == nil {
+		t.Fatal("serve was never called")
+	}
+	ts := httptest.NewServer(captured)
+	t.Cleanup(ts.Close)
+	return ts, &stderr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeBuiltWorld(t *testing.T) {
+	ts, stderr := serveOnce(t, []string{"-seed", "3", "-scale", "0.05"})
+	if code, _ := get(t, ts.URL+"/api/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, body := get(t, ts.URL+"/api/directory"); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("directory = %d (%d bytes)", code, len(body))
+	}
+	if code, _ := get(t, ts.URL+"/api/page/1"); code != http.StatusOK {
+		t.Fatalf("page 1 = %d", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("world ready")) {
+		t.Fatalf("stderr missing build progress: %s", stderr.String())
+	}
+}
+
+func TestSnapshotSaveAndLoadRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "world.gob")
+	serveOnce(t, []string{"-seed", "3", "-scale", "0.05", "-save", snap})
+
+	ts, stderr := serveOnce(t, []string{"-load", snap})
+	if code, _ := get(t, ts.URL+"/api/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after load = %d", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("loaded world snapshot")) {
+		t.Fatalf("stderr missing load line: %s", stderr.String())
+	}
+}
+
+func TestBadScaleFails(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run([]string{"-scale", "9"}, &stderr, func(string, http.Handler) error { return nil })
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	likefraud [-seed N] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5] [-csv]
+//	likefraud [-seed N] [-scale S] [-workers W] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|removed|econ] [-outdir DIR]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -17,77 +19,97 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 2014, "random seed (runs are deterministic per seed)")
-	scale := flag.Float64("scale", 1.0, "study scale in (0,1]")
-	artifact := flag.String("artifact", "all", "which artifact to print: all, table1, table2, table3, fig1..fig5, removed, econ")
-	outdir := flag.String("outdir", "", "also write CSV/DOT artifacts to this directory")
-	quiet := flag.Bool("quiet", false, "suppress progress output")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: parse flags, run the study,
+// render the requested artifact. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("likefraud", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 2014, "random seed (runs are deterministic per seed)")
+	scale := fs.Float64("scale", 1.0, "study scale in (0,1]")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+	artifact := fs.String("artifact", "all", "which artifact to print: all, table1, table2, table3, fig1..fig5, removed, econ")
+	outdir := fs.String("outdir", "", "also write CSV/DOT/JSON artifacts to this directory")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	start := time.Now()
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "building world and running 13 campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
+		fmt.Fprintf(stderr, "building world and running 13 campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
 	}
 	cfg, err := core.ScaledConfig(*seed, *scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "likefraud: %v\n", err)
+		return 1
 	}
+	cfg.Workers = *workers
 	study, err := core.NewStudy(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "likefraud: %v\n", err)
+		return 1
 	}
 	res, err := study.Run()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "likefraud: %v\n", err)
+		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "done in %s (%d cover likes materialized)\n",
+		fmt.Fprintf(stderr, "done in %s (%d cover likes materialized)\n",
 			time.Since(start).Round(time.Millisecond), res.HistoryLikes)
 	}
 	if *outdir != "" {
 		files, err := res.WriteArtifacts(*outdir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
 		}
 		dots, err := study.WriteFigure3DOT(res, *outdir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "likefraud: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
+		if _, err := res.WriteJSON(*outdir); err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "wrote %d artifacts to %s\n", len(files)+len(dots), *outdir)
+			fmt.Fprintf(stderr, "wrote %d artifacts to %s\n", len(files)+len(dots)+1, *outdir)
 		}
 	}
 
 	switch strings.ToLower(*artifact) {
 	case "all":
-		fmt.Println(res.RenderAll())
+		fmt.Fprintln(stdout, res.RenderAll())
 	case "table1":
-		fmt.Println(res.RenderTable1())
+		fmt.Fprintln(stdout, res.RenderTable1())
 	case "table2":
-		fmt.Println(res.RenderTable2())
+		fmt.Fprintln(stdout, res.RenderTable2())
 	case "table3":
-		fmt.Println(res.RenderTable3())
+		fmt.Fprintln(stdout, res.RenderTable3())
 	case "fig1":
-		fmt.Println(res.RenderFigure1())
+		fmt.Fprintln(stdout, res.RenderFigure1())
 	case "fig2":
-		fmt.Println(res.RenderFigure2())
+		fmt.Fprintln(stdout, res.RenderFigure2())
 	case "fig3":
-		fmt.Println(res.RenderFigure3())
+		fmt.Fprintln(stdout, res.RenderFigure3())
 	case "fig4":
-		fmt.Println(res.RenderFigure4())
+		fmt.Fprintln(stdout, res.RenderFigure4())
 	case "fig5":
-		fmt.Println(res.RenderFigure5())
+		fmt.Fprintln(stdout, res.RenderFigure5())
 	case "removed":
-		fmt.Println(res.RenderRemovedLikes())
+		fmt.Fprintln(stdout, res.RenderRemovedLikes())
 	case "econ":
-		fmt.Println(res.RenderEconomics())
+		fmt.Fprintln(stdout, res.RenderEconomics())
 	default:
-		fmt.Fprintf(os.Stderr, "likefraud: unknown artifact %q\n", *artifact)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "likefraud: unknown artifact %q\n", *artifact)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Smoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-seed", "3", "-scale", "0.05", "-quiet", "-artifact", "table1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"FB-USA", "SF-ALL", "MS-USA"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table1 output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-seed", "3", "-scale", "0.05", "-quiet", "-artifact", "table1", "-outdir", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"table1_campaigns.csv", "results.json", "figure3a_direct.dot"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("artifact %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownArtifact(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "0.05", "-quiet", "-artifact", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "7"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -10,7 +10,14 @@
 // HTTP crawl surface (api, crawler), the §4 analyses (analysis, graph,
 // stats, detect), and the end-to-end study driver (core).
 //
+// The study engine is parallel and deterministic: the world store is
+// lock-striped (socialnet.NewShardedStore), campaigns run concurrently
+// on private event clocks with RNG streams split per campaign and per
+// account, and core.Sweep executes whole scenario grids of study
+// variants at once. Results are bit-identical for any worker count
+// (StudyConfig.Workers); see DESIGN.md §3–§6.
+//
 // The root-level benchmarks (bench_test.go) regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment
-// index and EXPERIMENTS.md for paper-vs-measured values.
+// index and the sharding + worker-pool architecture.
 package repro

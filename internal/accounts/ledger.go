@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/socialnet"
 	"repro/internal/stats"
 )
@@ -47,23 +48,58 @@ func (l *Ledger) Registered(u socialnet.UserID) bool {
 // Materialize generates the page-like history for each given account that
 // has a registered spec and has not been materialized yet. Organic
 // accounts (no spec) are skipped: their likes were generated eagerly with
-// the population. It returns the number of history likes written.
+// the population. It returns the number of history likes written. It is
+// a serial convenience wrapper over MaterializeSeeded, seeding the
+// split streams from the caller's generator.
 func (l *Ledger) Materialize(r *rand.Rand, st *socialnet.Store, users []socialnet.UserID) (int, error) {
-	// Deterministic order regardless of caller's set iteration.
+	return l.MaterializeSeeded(r.Int63(), st, users, 1)
+}
+
+// MaterializeSeeded is Materialize with per-account randomness split
+// from a root seed and generation fanned out over a worker pool: each
+// pending account's history draws from its own stream
+// (seed, "history", userID) and lands on its own store stripe, so the
+// generated world is bit-identical for any worker count — including
+// workers == 1, the serial path. Accounts already materialized are
+// skipped, exactly as in Materialize.
+func (l *Ledger) MaterializeSeeded(seed int64, st *socialnet.Store, users []socialnet.UserID, workers int) (int, error) {
+	// Deterministic, deduped worklist regardless of caller's ordering.
 	sorted := append([]socialnet.UserID(nil), users...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	total := 0
-	for _, u := range sorted {
+	type item struct {
+		u    socialnet.UserID
+		spec *CoverSpec
+	}
+	var work []item
+	for i, u := range sorted {
+		if i > 0 && u == sorted[i-1] {
+			continue
+		}
 		spec, ok := l.specs[u]
 		if !ok || l.done[u] {
 			continue
 		}
-		n, err := l.materializeOne(r, st, u, spec)
-		if err != nil {
-			return total, err
+		work = append(work, item{u, spec})
+	}
+
+	counts := make([]int, len(work))
+	err := parallel.ForEach(workers, len(work), func(i int) error {
+		r := stats.SplitRandN(seed, "history", int64(work[i].u))
+		n, err := l.materializeOne(r, st, work[i].u, work[i].spec)
+		counts[i] = n
+		return err
+	})
+	// Mark every account whose history generation succeeded before
+	// surfacing any error, so a retry does not double-import.
+	total := 0
+	for i, it := range work {
+		if counts[i] > 0 || err == nil {
+			l.done[it.u] = true
+			total += counts[i]
 		}
-		l.done[u] = true
-		total += n
+	}
+	if err != nil {
+		return total, err
 	}
 	return total, nil
 }

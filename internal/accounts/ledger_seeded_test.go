@@ -1,0 +1,98 @@
+package accounts
+
+import (
+	"testing"
+
+	"repro/internal/socialnet"
+)
+
+// seededWorld builds a small world plus a registered cohort and returns
+// the store, ledger, and members.
+func seededWorld(t *testing.T, seed int64) (*socialnet.Store, *Ledger, []socialnet.UserID) {
+	t.Helper()
+	r, st, pop := smallWorld(t, seed)
+	led := NewLedger(pop, t0)
+	c, err := Build(r, st, pop, islandSpec(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Register(c)
+	return st, led, c.Members
+}
+
+// TestMaterializeSeededDeterministicAcrossWorkers: the same seed and
+// worklist yield identical histories for any worker count.
+func TestMaterializeSeededDeterministicAcrossWorkers(t *testing.T) {
+	histories := func(workers int) (int, map[socialnet.UserID][]socialnet.Like) {
+		st, led, members := seededWorld(t, 4)
+		n, err := led.MaterializeSeeded(99, st, members, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[socialnet.UserID][]socialnet.Like, len(members))
+		for _, m := range members {
+			out[m] = st.LikesOfUser(m)
+		}
+		return n, out
+	}
+	nSerial, serial := histories(1)
+	for _, workers := range []int{4, 16} {
+		n, conc := histories(workers)
+		if n != nSerial {
+			t.Fatalf("workers=%d wrote %d likes, serial wrote %d", workers, n, nSerial)
+		}
+		for u, likes := range serial {
+			got := conc[u]
+			if len(got) != len(likes) {
+				t.Fatalf("workers=%d: user %d history length %d vs %d", workers, u, len(got), len(likes))
+			}
+			for i := range likes {
+				if got[i] != likes[i] {
+					t.Fatalf("workers=%d: user %d like %d differs", workers, u, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeSeededIdempotent: a second call writes nothing, same
+// as the serial Materialize contract.
+func TestMaterializeSeededIdempotent(t *testing.T) {
+	st, led, members := seededWorld(t, 5)
+	first, err := led.MaterializeSeeded(7, st, members, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == 0 {
+		t.Fatal("materialize wrote nothing")
+	}
+	again, err := led.MaterializeSeeded(7, st, members, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("second materialize wrote %d likes", again)
+	}
+	if led.MaterializedCount() != len(members) {
+		t.Fatalf("materialized count = %d, want %d", led.MaterializedCount(), len(members))
+	}
+}
+
+// TestMaterializeSeededDedupesWorklist: duplicate IDs in the request
+// must not double-import a history.
+func TestMaterializeSeededDedupesWorklist(t *testing.T) {
+	st, led, members := seededWorld(t, 6)
+	dup := append(append([]socialnet.UserID(nil), members[:10]...), members[:10]...)
+	if _, err := led.MaterializeSeeded(3, st, dup, 8); err != nil {
+		t.Fatal(err)
+	}
+	st2, led2, members2 := seededWorld(t, 6)
+	if _, err := led2.MaterializeSeeded(3, st2, members2[:10], 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a, b := st.LikeCountOfUser(members[i]), st2.LikeCountOfUser(members2[i]); a != b {
+			t.Fatalf("duplicated worklist changed history size: %d vs %d", a, b)
+		}
+	}
+}

@@ -108,6 +108,14 @@ type StudyConfig struct {
 	// MonitorActiveInterval/sweep cadence follow the paper unless
 	// overridden here (zero values = paper defaults).
 	MonitorActiveInterval time.Duration
+
+	// Workers bounds the study engine's worker pool: campaign
+	// simulation, history materialization, the fraud sweep, and the §4
+	// analyses all run on it. 0 (the default) means one worker per
+	// logical CPU; 1 runs the whole study serially. Results are
+	// bit-identical for every worker count — each campaign and each
+	// account draws from its own RNG stream split from Seed.
+	Workers int
 }
 
 // StudyStart is the paper's campaign launch date (§3).
@@ -155,6 +163,9 @@ func (c *StudyConfig) Validate() error {
 	}
 	if c.SweepDelayDays < 1 {
 		return fmt.Errorf("core: sweep delay %d days must be >=1", c.SweepDelayDays)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d must be >=0", c.Workers)
 	}
 	return nil
 }

@@ -1,14 +1,109 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/report"
 	"repro/internal/socialnet"
 )
+
+// CrossEdgeCount is one provider-pair direct-friendship count in JSON
+// form ([2]string map keys cannot be marshaled directly).
+type CrossEdgeCount struct {
+	A, B  string
+	Count int
+}
+
+// resultsJSON is the stable JSON shape of Results: every field either
+// marshals deterministically by construction (slices, string-keyed
+// maps) or is converted to a sorted slice here. Config is reduced to
+// the identifying knobs; the full config is process-local (it holds
+// distributions and function-free but large specs).
+type resultsJSON struct {
+	Seed         int64
+	Workers      int
+	Campaigns    []CampaignResult
+	Geo          []analysis.GeoRow
+	Demo         []analysis.DemoRow
+	Temporal     []analysis.TemporalSeries
+	Bursts       []analysis.BurstStats
+	Windows      []analysis.WindowStats
+	Table3       []analysis.ProviderGroupRow
+	DirectCensus []analysis.ComponentCensus
+	TwoHopCensus []analysis.ComponentCensus
+	CrossEdges   []CrossEdgeCount
+	GroupOrder   []string
+	Groups       map[string][]socialnet.UserID
+	Baseline     []socialnet.UserID
+	CDFs         []analysis.PageLikeCDF
+	PageSim      [][]float64
+	UserSim      [][]float64
+	RemovedLikes map[string]int
+	HistoryLikes int
+}
+
+// MarshalJSONStable renders the complete results as deterministic JSON:
+// the same study outcome always yields the same bytes, regardless of
+// worker count or map iteration order. The determinism regression tests
+// compare these bytes across serial and parallel runs.
+func (r *Results) MarshalJSONStable() ([]byte, error) {
+	out := resultsJSON{
+		Seed:         r.Config.Seed,
+		Workers:      r.Config.Workers,
+		Campaigns:    r.Campaigns,
+		Geo:          r.Geo,
+		Demo:         r.Demo,
+		Temporal:     r.Temporal,
+		Bursts:       r.Bursts,
+		Windows:      r.Windows,
+		Table3:       r.Table3,
+		DirectCensus: r.DirectCensus,
+		TwoHopCensus: r.TwoHopCensus,
+		Baseline:     r.Baseline,
+		CDFs:         r.CDFs,
+		PageSim:      r.PageSim,
+		UserSim:      r.UserSim,
+		RemovedLikes: r.RemovedLikes,
+		HistoryLikes: r.HistoryLikes,
+	}
+	out.CrossEdges = make([]CrossEdgeCount, 0, len(r.CrossEdges))
+	for k, v := range r.CrossEdges {
+		out.CrossEdges = append(out.CrossEdges, CrossEdgeCount{A: k[0], B: k[1], Count: v})
+	}
+	sort.Slice(out.CrossEdges, func(i, j int) bool {
+		if out.CrossEdges[i].A != out.CrossEdges[j].A {
+			return out.CrossEdges[i].A < out.CrossEdges[j].A
+		}
+		return out.CrossEdges[i].B < out.CrossEdges[j].B
+	})
+	if r.Groups != nil {
+		out.GroupOrder = r.Groups.Order
+		out.Groups = r.Groups.Groups
+	}
+	return json.MarshalIndent(&out, "", " ")
+}
+
+// WriteJSON writes the stable JSON rendering to dir/results.json and
+// returns the file name.
+func (r *Results) WriteJSON(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: artifacts dir: %w", err)
+	}
+	data, err := r.MarshalJSONStable()
+	if err != nil {
+		return "", fmt.Errorf("core: marshal results: %w", err)
+	}
+	name := "results.json"
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		return "", fmt.Errorf("core: write %s: %w", name, err)
+	}
+	return name, nil
+}
 
 // WriteArtifacts writes every table and figure to dir: CSV files for the
 // tables and matrices, text renderings for the plots, and Graphviz DOT

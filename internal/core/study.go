@@ -10,9 +10,11 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/farm"
 	"repro/internal/honeypot"
+	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 	"repro/internal/socialnet"
+	"repro/internal/stats"
 )
 
 // Study is a configured experiment over a freshly built world.
@@ -87,7 +89,11 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		farms: make(map[string]*farm.Farm),
 		clock: simclock.New(cfg.Start),
 	}
-	pop, err := socialnet.GeneratePopulation(s.rng, s.store, cfg.Population)
+	// Population like-histories generate on the study's worker pool;
+	// the world is identical for every pool size.
+	popSpec := cfg.Population
+	popSpec.Workers = cfg.Workers
+	pop, err := socialnet.GeneratePopulation(s.rng, s.store, popSpec)
 	if err != nil {
 		return nil, fmt.Errorf("core: population: %w", err)
 	}
@@ -198,136 +204,150 @@ func (s *Study) Farm(name string) (*farm.Farm, bool) {
 	return f, ok
 }
 
-// Run executes the full experiment: deploy, promote, monitor, sweep,
-// analyze. It is deterministic given the config's seed.
-func (s *Study) Run() (*Results, error) {
-	type running struct {
-		spec    CampaignSpec
-		page    socialnet.PageID
-		monitor *honeypot.Monitor
-		active  bool
-	}
-	var states []*running
+// running is the in-flight state of one campaign. Each campaign owns a
+// private event clock and an RNG stream split from the root seed, so
+// its delivery and monitoring schedule is a pure function of its own
+// state — the property that lets campaigns run concurrently while
+// staying bit-identical to the serial path.
+type running struct {
+	spec    CampaignSpec
+	page    socialnet.PageID
+	clock   *simclock.Clock
+	rng     *rand.Rand
+	active  bool
+	summary honeypot.Summary
+	removed int
+}
 
-	// Deploy and promote all 13 pages at t0, as in §3 ("all campaigns
-	// were launched on March 12, 2014").
-	for _, cs := range s.cfg.Campaigns {
-		page, _, err := honeypot.Deploy(s.store, cs.ID, s.clock.Now())
+// Run executes the full experiment: deploy, promote, monitor, sweep,
+// analyze. It is deterministic given the config's seed: every phase
+// runs on a bounded worker pool (StudyConfig.Workers; default one per
+// CPU), and the output is bit-identical for every worker count because
+// all randomness is drawn from streams split per campaign and per
+// account rather than from one shared sequence.
+func (s *Study) Run() (*Results, error) {
+	workers := parallel.Workers(s.cfg.Workers)
+
+	// Phase 1 — deploy all 13 pages at t0, as in §3 ("all campaigns
+	// were launched on March 12, 2014"). Serial: page and owner IDs
+	// come from shared counters and must not depend on scheduling.
+	states := make([]*running, len(s.cfg.Campaigns))
+	for i, cs := range s.cfg.Campaigns {
+		page, _, err := honeypot.Deploy(s.store, cs.ID, s.cfg.Start)
 		if err != nil {
 			return nil, fmt.Errorf("core: deploy %s: %w", cs.ID, err)
 		}
-		st := &running{spec: cs, page: page, active: true}
-		switch cs.Kind {
-		case KindFacebookAds:
-			err = s.engine.Launch(s.clock, platform.AdCampaign{
-				Page:          page,
-				TargetCountry: cs.TargetCountry,
-				BudgetPerDay:  cs.BudgetPerDay,
-				DurationDays:  cs.DurationDays,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: launch %s: %w", cs.ID, err)
-			}
-		case KindFarmOrder:
-			f := s.farms[cs.FarmName]
-			order := cs.Order
-			order.Campaign = cs.ID
-			order.Page = page
-			err = f.PlaceOrder(s.clock, order)
-			if errors.Is(err, farm.ErrInactive) {
-				st.active = false
-			} else if err != nil {
-				return nil, fmt.Errorf("core: order %s: %w", cs.ID, err)
-			}
+		states[i] = &running{
+			spec:   cs,
+			page:   page,
+			clock:  simclock.New(s.cfg.Start),
+			rng:    stats.SplitRand(s.cfg.Seed, "campaign/"+cs.ID),
+			active: true,
 		}
-		mcfg := honeypot.DefaultMonitorConfig(cs.DurationDays)
-		if s.cfg.MonitorActiveInterval > 0 {
-			mcfg.ActiveInterval = s.cfg.MonitorActiveInterval
-		}
-		mon, err := honeypot.StartMonitor(s.clock, s.store, page, mcfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: monitor %s: %w", cs.ID, err)
-		}
-		st.monitor = mon
-		states = append(states, st)
 	}
 
-	// Run the virtual weeks: every delivery fires and every monitor
-	// eventually stops itself, so the queue drains.
-	s.clock.Drain(0)
+	// Phase 2 — group campaigns into promotion domains. Campaigns
+	// ordering from the same farm pool share account usage state
+	// (rotation, the AL/MS reuse bias), so their orders must be placed
+	// in roster order; everything else is mutually independent. Each
+	// domain drives its campaigns' private clocks to exhaustion;
+	// deliveries from different domains interleave freely on the
+	// sharded store.
+	poolOf := make(map[string]string, len(s.cfg.Farms))
+	for _, fs := range s.cfg.Farms {
+		poolOf[fs.Config.Name] = fs.PoolName
+	}
+	var domains [][]int
+	domainOf := make(map[string]int)
+	for i, cs := range s.cfg.Campaigns {
+		if cs.Kind == KindFarmOrder {
+			pool := poolOf[cs.FarmName]
+			if d, ok := domainOf[pool]; ok {
+				domains[d] = append(domains[d], i)
+				continue
+			}
+			domainOf[pool] = len(domains)
+		}
+		domains = append(domains, []int{i})
+	}
 
-	// Collect likers; materialize their cover histories plus the
-	// baseline sample's (the crawl of §3 / Figure 4).
+	// Phase 3 — promote, monitor, and drain every campaign.
+	err := parallel.ForEach(workers, len(domains), func(d int) error {
+		for _, idx := range domains[d] {
+			if err := s.runCampaign(states[idx]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Keep the study clock (Elapsed, examples) at the virtual end of
+	// the slowest campaign, as in the single-clock engine.
+	for _, st := range states {
+		if st.clock.Now().After(s.clock.Now()) {
+			s.clock.RunUntil(st.clock.Now())
+		}
+	}
+
+	// Phase 4 — collect likers; materialize their cover histories plus
+	// the baseline sample's (the crawl of §3 / Figure 4), one split
+	// RNG stream per account.
 	var allLikers []socialnet.UserID
 	for _, st := range states {
-		allLikers = append(allLikers, st.monitor.Likers()...)
+		allLikers = append(allLikers, st.summary.Likers...)
 	}
-	baseline, err := analysis.BaselineSample(s.rng, s.store, s.cfg.BaselineSize)
+	baseline, err := analysis.BaselineSample(stats.SplitRand(s.cfg.Seed, "baseline"), s.store, s.cfg.BaselineSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline: %w", err)
 	}
 	toMaterialize := append(append([]socialnet.UserID(nil), allLikers...), baseline...)
-	histLikes, err := s.ledger.Materialize(s.rng, s.store, toMaterialize)
+	histLikes, err := s.ledger.MaterializeSeeded(s.cfg.Seed, s.store, toMaterialize, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: materialize histories: %w", err)
 	}
 
-	// The month-later fraud sweep (§5): Facebook examines the accounts
-	// and terminates a score-proportional few.
-	if _, err := platform.FraudSweep(s.rng, s.store, allLikers, s.cfg.Sweep); err != nil {
+	// Phase 5 — the month-later fraud sweep (§5): Facebook examines the
+	// accounts and terminates a score-proportional few, scoring on the
+	// pool with one split stream per account.
+	if _, err := platform.FraudSweepSeeded(s.cfg.Seed, s.store, allLikers, s.cfg.Sweep, workers); err != nil {
 		return nil, fmt.Errorf("core: fraud sweep: %w", err)
 	}
 
-	// Assemble results.
+	// Phase 6 — per-campaign results, then the §4 analyses fanned out
+	// on the pool. Every task writes its own index or Results field, so
+	// assembly needs no locks and no ordering.
 	res := &Results{
 		Config: s.cfg, Baseline: baseline, HistoryLikes: histLikes,
 		RemovedLikes: make(map[string]int, len(states)),
+		Campaigns:    make([]CampaignResult, len(states)),
+		Temporal:     make([]analysis.TemporalSeries, len(states)),
+		Bursts:       make([]analysis.BurstStats, len(states)),
+		Windows:      make([]analysis.WindowStats, len(states)),
 	}
-	var aCampaigns []analysis.Campaign
-	for _, st := range states {
-		likers := st.monitor.Likers()
-		terminated, err := platform.TerminatedAmong(s.store, likers)
+	err = parallel.ForEach(workers, len(states), func(i int) error {
+		st := states[i]
+		terminated, err := platform.TerminatedAmong(s.store, st.summary.Likers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Figure 2 plots all campaigns on a common 15-day axis.
-		days := 15
-		if st.spec.DurationDays > days {
-			days = st.spec.DurationDays
-		}
-		cr := CampaignResult{
+		res.Campaigns[i] = CampaignResult{
 			Spec:           st.spec,
 			Page:           st.page,
 			Active:         st.active,
-			Likes:          st.monitor.TotalLikes(),
+			Likes:          st.summary.TotalLikes,
 			Terminated:     terminated,
-			MonitoringDays: st.monitor.MonitoringDays(s.clock.Now()),
-			Likers:         likers,
-			Series:         st.monitor.CumulativeByDay(days),
+			MonitoringDays: st.summary.MonitoringDays,
+			Likers:         st.summary.Likers,
+			Series:         st.summary.Series,
 		}
-		res.Campaigns = append(res.Campaigns, cr)
-		res.RemovedLikes[st.spec.ID] = s.store.LikeCountOfPage(st.page) - s.store.ActiveLikeCountOfPage(st.page)
-		aCampaigns = append(aCampaigns, analysis.Campaign{
-			ID:       st.spec.ID,
-			Provider: st.spec.Provider,
-			Page:     st.page,
-			Likers:   likers,
-			Active:   st.active,
-		})
-	}
-
-	if res.Geo, err = analysis.LocationBreakdown(s.store, aCampaigns); err != nil {
-		return nil, err
-	}
-	if res.Demo, err = analysis.Demographics(s.store, aCampaigns); err != nil {
-		return nil, err
-	}
-	for i, st := range states {
-		res.Temporal = append(res.Temporal, analysis.TemporalSeries{
+		st.removed = s.store.LikeCountOfPage(st.page) - s.store.ActiveLikeCountOfPage(st.page)
+		res.Temporal[i] = analysis.TemporalSeries{
 			CampaignID: st.spec.ID,
-			Values:     res.Campaigns[i].Series,
-		})
-		res.Bursts = append(res.Bursts, analysis.Burstiness(res.Temporal[i]))
+			Values:     st.summary.Series,
+		}
+		res.Bursts[i] = analysis.Burstiness(res.Temporal[i])
 		likes := s.store.LikesOfPage(st.page)
 		times := make([]time.Time, len(likes))
 		for j, lk := range likes {
@@ -335,28 +355,115 @@ func (s *Study) Run() (*Results, error) {
 		}
 		ws, err := analysis.WindowAnalysis(st.spec.ID, times)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Windows = append(res.Windows, ws)
+		res.Windows[i] = ws
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	aCampaigns := make([]analysis.Campaign, len(states))
+	for i, st := range states {
+		res.RemovedLikes[st.spec.ID] = st.removed
+		aCampaigns[i] = analysis.Campaign{
+			ID:       st.spec.ID,
+			Provider: st.spec.Provider,
+			Page:     st.page,
+			Likers:   st.summary.Likers,
+			Active:   st.active,
+		}
 	}
 
 	res.Groups = analysis.AssignGroups(aCampaigns, FarmAuthenticLikes, FarmMammothSocials)
 	base := s.store.FriendGraph()
-	if res.Table3, err = analysis.SocialGraphTable(s.store, res.Groups, base); err != nil {
-		return nil, err
-	}
-	direct, twoHop := analysis.LikerGraphs(res.Groups, base)
-	res.DirectCensus = analysis.CensusByProvider(res.Groups, direct)
-	res.TwoHopCensus = analysis.CensusByProvider(res.Groups, twoHop)
-	res.CrossEdges = analysis.CrossProviderEdges(res.Groups, direct)
-
-	if res.CDFs, err = analysis.PageLikeCDFs(s.store, aCampaigns, baseline); err != nil {
-		return nil, err
-	}
-	if res.PageSim, res.UserSim, err = analysis.JaccardMatrices(s.store, aCampaigns); err != nil {
+	err = parallel.Tasks(workers,
+		func() error {
+			var err error
+			res.Geo, err = analysis.LocationBreakdown(s.store, aCampaigns)
+			return err
+		},
+		func() error {
+			var err error
+			res.Demo, err = analysis.Demographics(s.store, aCampaigns)
+			return err
+		},
+		func() error {
+			var err error
+			res.Table3, err = analysis.SocialGraphTable(s.store, res.Groups, base)
+			return err
+		},
+		func() error {
+			direct, twoHop := analysis.LikerGraphs(res.Groups, base)
+			res.DirectCensus = analysis.CensusByProvider(res.Groups, direct)
+			res.TwoHopCensus = analysis.CensusByProvider(res.Groups, twoHop)
+			res.CrossEdges = analysis.CrossProviderEdges(res.Groups, direct)
+			return nil
+		},
+		func() error {
+			var err error
+			res.CDFs, err = analysis.PageLikeCDFs(s.store, aCampaigns, baseline)
+			return err
+		},
+		func() error {
+			var err error
+			res.PageSim, res.UserSim, err = analysis.JaccardMatrices(s.store, aCampaigns)
+			return err
+		},
+	)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// runCampaign promotes one campaign on its private clock, monitors the
+// page on the §3 cadence, and drains the clock to the end of
+// monitoring. It runs on the study's worker pool; everything it touches
+// is either campaign-private (clock, RNG stream, monitor), striped
+// (store), or — for same-pool farm orders — serialized by the domain
+// grouping in Run.
+func (s *Study) runCampaign(st *running) error {
+	cs := st.spec
+	switch cs.Kind {
+	case KindFacebookAds:
+		err := s.engine.LaunchSeeded(st.clock, st.rng, platform.AdCampaign{
+			Page:          st.page,
+			TargetCountry: cs.TargetCountry,
+			BudgetPerDay:  cs.BudgetPerDay,
+			DurationDays:  cs.DurationDays,
+		})
+		if err != nil {
+			return fmt.Errorf("core: launch %s: %w", cs.ID, err)
+		}
+	case KindFarmOrder:
+		f := s.farms[cs.FarmName]
+		order := cs.Order
+		order.Campaign = cs.ID
+		order.Page = st.page
+		err := f.PlaceOrderSeeded(st.clock, st.rng, order)
+		if errors.Is(err, farm.ErrInactive) {
+			st.active = false
+		} else if err != nil {
+			return fmt.Errorf("core: order %s: %w", cs.ID, err)
+		}
+	}
+	mcfg := honeypot.DefaultMonitorConfig(cs.DurationDays)
+	if s.cfg.MonitorActiveInterval > 0 {
+		mcfg.ActiveInterval = s.cfg.MonitorActiveInterval
+	}
+	mon, err := honeypot.StartMonitor(st.clock, s.store, st.page, mcfg)
+	if err != nil {
+		return fmt.Errorf("core: monitor %s: %w", cs.ID, err)
+	}
+	st.clock.Drain(0)
+	// Figure 2 plots all campaigns on a common 15-day axis.
+	days := 15
+	if cs.DurationDays > days {
+		days = cs.DurationDays
+	}
+	st.summary = mon.Summarize(st.clock.Now(), days)
+	return nil
 }
 
 // RunDefault builds and runs the default 13-campaign study.

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/platform"
+)
+
+// SweepVariant is one cell of a scenario grid: a name and a complete
+// study configuration.
+type SweepVariant struct {
+	Name   string
+	Config StudyConfig
+}
+
+// SweepAxis is one dimension of a scenario grid: a set of labeled
+// config mutations (e.g. budgets ×2, a different farm mix, a smaller
+// population).
+type SweepAxis struct {
+	Name   string
+	Values []SweepValue
+}
+
+// SweepValue is one point on an axis: a label and the mutation it
+// applies to a copied base configuration.
+type SweepValue struct {
+	Label string
+	Apply func(*StudyConfig)
+}
+
+// CloneConfig returns a copy of the config whose top-level slices
+// (Campaigns, Farms, Markets) are independent, so the usual grid
+// mutations — budgets, order sizes, farm mixes, population knobs —
+// never leak between variants. Deeply nested shared pointers
+// (distributions, cover slices) are still shared and must be treated
+// as immutable by axis mutations.
+func CloneConfig(c StudyConfig) StudyConfig {
+	out := c
+	out.Campaigns = append([]CampaignSpec(nil), c.Campaigns...)
+	out.Farms = append([]FarmSetup(nil), c.Farms...)
+	out.Markets = append([]platform.ClickMarket(nil), c.Markets...)
+	return out
+}
+
+// GridVariants expands the cartesian product of the axes over a base
+// configuration into named variants ("budget=2x/pop=50%"). Axis values
+// apply in axis order to an independent clone of the base config (see
+// CloneConfig), so variants never share the state grid mutations
+// usually touch. With no axes it returns the base as the single
+// variant.
+func GridVariants(base StudyConfig, axes ...SweepAxis) []SweepVariant {
+	variants := []SweepVariant{{Name: "base", Config: base}}
+	for _, ax := range axes {
+		if len(ax.Values) == 0 {
+			continue
+		}
+		next := make([]SweepVariant, 0, len(variants)*len(ax.Values))
+		for _, v := range variants {
+			for _, val := range ax.Values {
+				nv := SweepVariant{Name: val.Label, Config: CloneConfig(v.Config)}
+				if v.Name != "base" {
+					nv.Name = v.Name + "/" + val.Label
+				}
+				if val.Apply != nil {
+					val.Apply(&nv.Config)
+				}
+				next = append(next, nv)
+			}
+		}
+		variants = next
+	}
+	return variants
+}
+
+// SweepOutcome is the result of one variant: the full Results on
+// success, or the error that stopped it. Elapsed is the wall time the
+// variant took on its worker.
+type SweepOutcome struct {
+	Name    string
+	Results *Results
+	Err     error
+	Elapsed time.Duration
+}
+
+// SweepSummaryRow aggregates one variant for quick comparison across
+// the grid.
+type SweepSummaryRow struct {
+	Name         string
+	Seed         int64
+	Campaigns    int
+	TotalLikes   int
+	Terminated   int
+	RemovedLikes int
+	HistoryLikes int
+}
+
+// Sweep executes many study variants concurrently — the scenario-grid
+// workloads (budget ablations, farm-mix ablations, population scaling)
+// that a single serial Study.Run cannot cover in reasonable time. Each
+// variant builds its own world (own store, own clock, own streams), so
+// variants share nothing and the grid parallelizes perfectly; per-study
+// parallelism is governed by each variant's StudyConfig.Workers.
+type Sweep struct {
+	Variants []SweepVariant
+	// Workers bounds how many variants run at once (0 = one per CPU).
+	// Grids of full-size studies are memory-hungry; cap this when
+	// worlds are large.
+	Workers int
+	// InnerWorkers overrides every variant's StudyConfig.Workers when
+	// > 0; set it to 1 to keep the total goroutine count equal to
+	// Workers.
+	InnerWorkers int
+}
+
+// Run executes the grid. Every variant runs to completion (failures
+// don't cancel siblings); outcomes are returned in variant order. The
+// returned error is the first variant error in grid order, if any —
+// outcomes are complete either way.
+func (sw *Sweep) Run() ([]SweepOutcome, error) {
+	outcomes := make([]SweepOutcome, len(sw.Variants))
+	err := parallel.ForEach(sw.Workers, len(sw.Variants), func(i int) error {
+		v := sw.Variants[i]
+		cfg := v.Config
+		if sw.InnerWorkers > 0 {
+			cfg.Workers = sw.InnerWorkers
+		}
+		start := time.Now()
+		res, err := runVariant(cfg)
+		outcomes[i] = SweepOutcome{
+			Name:    v.Name,
+			Results: res,
+			Err:     err,
+			Elapsed: time.Since(start),
+		}
+		if err != nil {
+			return fmt.Errorf("core: sweep variant %s: %w", v.Name, err)
+		}
+		return nil
+	})
+	return outcomes, err
+}
+
+func runVariant(cfg StudyConfig) (*Results, error) {
+	s, err := NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Summarize aggregates outcomes into comparison rows, skipping failed
+// variants.
+func Summarize(outcomes []SweepOutcome) []SweepSummaryRow {
+	rows := make([]SweepSummaryRow, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err != nil || o.Results == nil {
+			continue
+		}
+		row := SweepSummaryRow{
+			Name:         o.Name,
+			Seed:         o.Results.Config.Seed,
+			Campaigns:    len(o.Results.Campaigns),
+			HistoryLikes: o.Results.HistoryLikes,
+		}
+		for _, c := range o.Results.Campaigns {
+			row.TotalLikes += c.Likes
+			row.Terminated += c.Terminated
+		}
+		for _, n := range o.Results.RemovedLikes {
+			row.RemovedLikes += n
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

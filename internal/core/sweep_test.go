@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sweepBase(t *testing.T, seed int64) StudyConfig {
+	t.Helper()
+	cfg, err := ScaledConfig(seed, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestGridVariantsCartesianProduct(t *testing.T) {
+	base := sweepBase(t, 3)
+	variants := GridVariants(base,
+		SweepAxis{Name: "budget", Values: []SweepValue{
+			{Label: "budget=1x", Apply: nil},
+			{Label: "budget=2x", Apply: func(c *StudyConfig) {
+				for i := range c.Campaigns {
+					c.Campaigns[i].BudgetPerDay *= 2
+				}
+			}},
+		}},
+		SweepAxis{Name: "pop", Values: []SweepValue{
+			{Label: "pop=s", Apply: nil},
+			{Label: "pop=l", Apply: func(c *StudyConfig) { c.Population.NumUsers *= 2 }},
+		}},
+	)
+	if len(variants) != 4 {
+		t.Fatalf("variants = %d, want 4", len(variants))
+	}
+	want := []string{"budget=1x/pop=s", "budget=1x/pop=l", "budget=2x/pop=s", "budget=2x/pop=l"}
+	for i, v := range variants {
+		if v.Name != want[i] {
+			t.Fatalf("variant %d = %q, want %q", i, v.Name, want[i])
+		}
+	}
+	// Mutations must not leak across variants: only budget=2x cells see
+	// the doubled budget.
+	if variants[0].Config.Campaigns[0].BudgetPerDay != base.Campaigns[0].BudgetPerDay {
+		t.Fatal("base variant mutated")
+	}
+	if variants[2].Config.Campaigns[0].BudgetPerDay != 2*base.Campaigns[0].BudgetPerDay {
+		t.Fatal("budget axis not applied")
+	}
+}
+
+// TestSweepRunsGridConcurrently runs a small scenario grid (budget and
+// population axes) on the variant pool and checks the aggregates react
+// to the axes in the expected direction.
+func TestSweepRunsGridConcurrently(t *testing.T) {
+	base := sweepBase(t, 11)
+	sw := &Sweep{
+		Variants: GridVariants(base,
+			SweepAxis{Name: "budget", Values: []SweepValue{
+				{Label: "budget=1x"},
+				{Label: "budget=3x", Apply: func(c *StudyConfig) {
+					for i := range c.Campaigns {
+						if c.Campaigns[i].Kind == KindFacebookAds {
+							c.Campaigns[i].BudgetPerDay *= 3
+						}
+					}
+				}},
+			}},
+		),
+		Workers:      2,
+		InnerWorkers: 1,
+	}
+	outcomes, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outcomes))
+	}
+	rows := Summarize(outcomes)
+	if len(rows) != 2 {
+		t.Fatalf("summary rows = %d, want 2", len(rows))
+	}
+	if rows[0].Name != "budget=1x" || rows[1].Name != "budget=3x" {
+		t.Fatalf("row order %q, %q", rows[0].Name, rows[1].Name)
+	}
+	// Tripling the FB ad budgets must garner strictly more likes.
+	if rows[1].TotalLikes <= rows[0].TotalLikes {
+		t.Fatalf("3x budget likes %d <= 1x budget likes %d", rows[1].TotalLikes, rows[0].TotalLikes)
+	}
+	for _, row := range rows {
+		if row.Campaigns != 13 {
+			t.Fatalf("%s ran %d campaigns, want 13", row.Name, row.Campaigns)
+		}
+	}
+}
+
+// TestSweepVariantFailureDoesNotCancelSiblings: a broken variant
+// reports its error; healthy variants still complete.
+func TestSweepVariantFailureDoesNotCancelSiblings(t *testing.T) {
+	base := sweepBase(t, 5)
+	broken := base
+	broken.BaselineSize = 0 // fails validation
+	sw := &Sweep{
+		Variants: []SweepVariant{
+			{Name: "broken", Config: broken},
+			{Name: "healthy", Config: base},
+		},
+		Workers:      2,
+		InnerWorkers: 1,
+	}
+	outcomes, err := sw.Run()
+	if err == nil {
+		t.Fatal("expected the broken variant's error")
+	}
+	if outcomes[0].Err == nil {
+		t.Fatal("broken variant should have an error")
+	}
+	if outcomes[1].Err != nil || outcomes[1].Results == nil {
+		t.Fatalf("healthy variant failed: %v", outcomes[1].Err)
+	}
+}
+
+// TestSweepDeterministic: the same grid yields byte-identical variant
+// results regardless of the sweep's own worker count.
+func TestSweepDeterministic(t *testing.T) {
+	grid := func(workers int) [][]byte {
+		sw := &Sweep{
+			Variants: GridVariants(sweepBase(t, 23),
+				SweepAxis{Name: "pop", Values: []SweepValue{
+					{Label: "pop=1x"},
+					{Label: "pop=2x", Apply: func(c *StudyConfig) { c.Population.NumUsers *= 2 }},
+				}},
+			),
+			Workers:      workers,
+			InnerWorkers: 1,
+		}
+		outcomes, err := sw.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for _, o := range outcomes {
+			data, err := o.Results.MarshalJSONStable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, data)
+		}
+		return out
+	}
+	serial := grid(1)
+	conc := grid(4)
+	for i := range serial {
+		if !bytes.Equal(serial[i], conc[i]) {
+			t.Fatalf("variant %d differs between sweep worker counts", i)
+		}
+	}
+}

@@ -196,11 +196,23 @@ func (o *Order) Validate() error {
 	return nil
 }
 
-// PlaceOrder schedules the order's deliveries on the clock. Inactive
-// orders return ErrInactive without scheduling anything — the paper paid
-// BoostLikes and MammothSocials for worldwide packages that never
-// delivered a single like.
+// PlaceOrder schedules the order's deliveries on the clock, drawing
+// randomness from the farm's own stream. Inactive orders return
+// ErrInactive without scheduling anything — the paper paid BoostLikes
+// and MammothSocials for worldwide packages that never delivered a
+// single like.
 func (f *Farm) PlaceOrder(clock *simclock.Clock, o Order) error {
+	return f.PlaceOrderSeeded(clock, f.rng, o)
+}
+
+// PlaceOrderSeeded is PlaceOrder drawing all randomness (account
+// selection and delivery scheduling) from the given stream instead of
+// the farm's own. The parallel study engine passes each campaign a
+// stream split from the root seed, so order outcomes do not depend on
+// how campaigns interleave across workers. Orders against one farm
+// pool must still be placed in a fixed sequence: account rotation and
+// reuse bias read the pool's shared usage state.
+func (f *Farm) PlaceOrderSeeded(clock *simclock.Clock, r *rand.Rand, o Order) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
@@ -214,15 +226,15 @@ func (f *Farm) PlaceOrder(clock *simclock.Clock, o Order) error {
 	if want == 0 {
 		want = o.Quantity
 	}
-	deliverers, err := f.selectAccounts(o, want)
+	deliverers, err := f.selectAccounts(r, o, want)
 	if err != nil {
 		return err
 	}
 	switch f.cfg.Mode {
 	case ModeBurst:
-		f.scheduleBursts(clock, o, deliverers)
+		f.scheduleBursts(clock, r, o, deliverers)
 	case ModeTrickle:
-		f.scheduleTrickle(clock, o, deliverers)
+		f.scheduleTrickle(clock, r, o, deliverers)
 	default:
 		return fmt.Errorf("farm: unknown mode %d", f.cfg.Mode)
 	}
@@ -233,7 +245,7 @@ func (f *Farm) PlaceOrder(clock *simclock.Clock, o Order) error {
 }
 
 // selectAccounts picks the accounts that will deliver the order.
-func (f *Farm) selectAccounts(o Order, want int) ([]socialnet.UserID, error) {
+func (f *Farm) selectAccounts(r *rand.Rand, o Order, want int) ([]socialnet.UserID, error) {
 	target := o.TargetCountry
 	if f.cfg.IgnoreTargeting {
 		target = ""
@@ -264,7 +276,7 @@ func (f *Farm) selectAccounts(o Order, want int) ([]socialnet.UserID, error) {
 		nReused = len(used)
 	}
 	if nReused > 0 {
-		picked, err := f.pick(used, nReused, o.BiasLowFriends)
+		picked, err := f.pick(r, used, nReused, o.BiasLowFriends)
 		if err != nil {
 			return nil, err
 		}
@@ -305,13 +317,13 @@ func (f *Farm) selectAccounts(o Order, want int) ([]socialnet.UserID, error) {
 			return nil, fmt.Errorf("%w: want %d more, candidates %d (%s)", ErrDrained, shortfall, len(extras), o.Campaign)
 		}
 		out = append(out, candidates...)
-		picked, err := f.pick(extras, shortfall, o.BiasLowFriends)
+		picked, err := f.pick(r, extras, shortfall, o.BiasLowFriends)
 		if err != nil {
 			return nil, err
 		}
 		return append(out, picked...), nil
 	}
-	picked, err := f.pick(candidates, remaining, o.BiasLowFriends)
+	picked, err := f.pick(r, candidates, remaining, o.BiasLowFriends)
 	if err != nil {
 		return nil, err
 	}
@@ -322,9 +334,9 @@ func (f *Farm) selectAccounts(o Order, want int) ([]socialnet.UserID, error) {
 // or — under low-friend bias — from the cheapest third of the pool by
 // declared friend count (falling back to the whole list when n exceeds
 // that third).
-func (f *Farm) pick(list []socialnet.UserID, n int, biasLowFriends bool) ([]socialnet.UserID, error) {
+func (f *Farm) pick(r *rand.Rand, list []socialnet.UserID, n int, biasLowFriends bool) ([]socialnet.UserID, error) {
 	if !biasLowFriends {
-		idx, err := stats.SampleWithoutReplacement(f.rng, len(list), n)
+		idx, err := stats.SampleWithoutReplacement(r, len(list), n)
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +363,7 @@ func (f *Farm) pick(list []socialnet.UserID, n int, biasLowFriends bool) ([]soci
 	if window > len(sorted) {
 		window = len(sorted)
 	}
-	idx, err := stats.SampleWithoutReplacement(f.rng, window, n)
+	idx, err := stats.SampleWithoutReplacement(r, window, n)
 	if err != nil {
 		return nil, err
 	}
@@ -366,10 +378,10 @@ func (f *Farm) pick(list []socialnet.UserID, n int, biasLowFriends bool) ([]soci
 // scheduleBursts places the deliverers' likes into 1-3 tight bursts in
 // the first days of the order (AuthenticLikes delivered 700+ likes
 // within 4 hours of day 2 and nothing afterwards).
-func (f *Farm) scheduleBursts(clock *simclock.Clock, o Order, users []socialnet.UserID) {
+func (f *Farm) scheduleBursts(clock *simclock.Clock, r *rand.Rand, o Order, users []socialnet.UserID) {
 	nBursts := o.Bursts
 	if nBursts == 0 {
-		nBursts = 1 + f.rng.Intn(3)
+		nBursts = 1 + r.Intn(3)
 	}
 	if nBursts > len(users) {
 		nBursts = 1
@@ -389,11 +401,11 @@ func (f *Farm) scheduleBursts(clock *simclock.Clock, o Order, users []socialnet.
 		// slot b, so the first burst lands early (keeping the monitor
 		// engaged) and the last lands near the end of the window.
 		slot := int64(spread) / int64(nBursts)
-		start := o.StartDelay + time.Duration(int64(b)*slot+f.rng.Int63n(slot/2+1))
-		window := time.Duration(30+f.rng.Intn(91)) * time.Minute // 0.5-2h
+		start := o.StartDelay + time.Duration(int64(b)*slot+r.Int63n(slot/2+1))
+		window := time.Duration(30+r.Intn(91)) * time.Minute // 0.5-2h
 		for _, u := range users[lo:hi] {
 			u := u
-			at := start + time.Duration(f.rng.Int63n(int64(window)))
+			at := start + time.Duration(r.Int63n(int64(window)))
 			_, _ = clock.ScheduleAfter(at, "farm-burst-like", func(cl *simclock.Clock) {
 				_ = f.store.AddLike(u, o.Page, cl.Now())
 			})
@@ -403,7 +415,7 @@ func (f *Farm) scheduleBursts(clock *simclock.Clock, o Order, users []socialnet.
 
 // scheduleTrickle spreads the deliverers' likes evenly over the order's
 // full duration at random times of day (BoostLikes's stealthy pacing).
-func (f *Farm) scheduleTrickle(clock *simclock.Clock, o Order, users []socialnet.UserID) {
+func (f *Farm) scheduleTrickle(clock *simclock.Clock, r *rand.Rand, o Order, users []socialnet.UserID) {
 	days := o.DurationDays
 	perDay := len(users) / days
 	i := 0
@@ -413,7 +425,7 @@ func (f *Farm) scheduleTrickle(clock *simclock.Clock, o Order, users []socialnet
 			n = len(users) - i
 		} else {
 			// Small jitter so the daily increments aren't flat.
-			n += f.rng.Intn(5) - 2
+			n += r.Intn(5) - 2
 			if n < 0 {
 				n = 0
 			}
@@ -424,7 +436,7 @@ func (f *Farm) scheduleTrickle(clock *simclock.Clock, o Order, users []socialnet
 		for j := 0; j < n; j++ {
 			u := users[i]
 			i++
-			at := o.StartDelay + time.Duration(d)*24*time.Hour + time.Duration(f.rng.Int63n(int64(24*time.Hour)))
+			at := o.StartDelay + time.Duration(d)*24*time.Hour + time.Duration(r.Int63n(int64(24*time.Hour)))
 			_, _ = clock.ScheduleAfter(at, "farm-trickle-like", func(cl *simclock.Clock) {
 				_ = f.store.AddLike(u, o.Page, cl.Now())
 			})

@@ -242,6 +242,34 @@ func (m *Monitor) MonitoringDays(now time.Time) int {
 	return days
 }
 
+// Summary is the complete outcome of one monitored campaign, collected
+// in a single call once the campaign's clock has drained. The study
+// engine's worker pool collects one Summary per campaign; a Monitor is
+// confined to the goroutine driving its clock, so collection needs no
+// locking.
+type Summary struct {
+	// Likers is the observed liker set in first-seen order (ties by ID).
+	Likers []socialnet.UserID
+	// TotalLikes is the final observed cumulative count.
+	TotalLikes int
+	// MonitoringDays is the monitored span in days, rounded up.
+	MonitoringDays int
+	// Series is the cumulative like count by day offset 0..days.
+	Series []int
+}
+
+// Summarize collects the monitor's full outcome: likers, final count,
+// monitored span (using now for a still-running monitor), and the
+// day-bucketed cumulative series over at least the given number of days.
+func (m *Monitor) Summarize(now time.Time, days int) Summary {
+	return Summary{
+		Likers:         m.Likers(),
+		TotalLikes:     m.TotalLikes(),
+		MonitoringDays: m.MonitoringDays(now),
+		Series:         m.CumulativeByDay(days),
+	}
+}
+
 // CumulativeByDay buckets the observed cumulative likes into day offsets
 // 0..days (value at each day boundary), for Figure 2's time series. The
 // value for day d is the last snapshot at or before start+d*24h.

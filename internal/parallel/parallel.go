@@ -1,0 +1,98 @@
+// Package parallel provides the bounded worker pools the study engine
+// runs on. Every helper is deterministic from the caller's point of
+// view: work items are identified by index, results land in
+// index-addressed slots, and the first error in index order wins — so
+// output never depends on goroutine scheduling, only on the inputs.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a configured worker count: values < 1 mean "one
+// worker per logical CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for i in [0, n) on a pool of the given number of
+// workers. All n items run even when some fail; the returned error is
+// the failing item with the lowest index, so the caller sees the same
+// error no matter how the pool scheduled the work. workers < 1 uses one
+// worker per CPU; workers == 1 runs inline in index order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tasks runs a set of independent closures on a pool of the given
+// number of workers and returns the first error in task order. It is
+// ForEach over an explicit task list, for heterogeneous stages (e.g.
+// the study's analysis fan-out).
+func Tasks(workers int, tasks ...func() error) error {
+	return ForEach(workers, len(tasks), func(i int) error { return tasks[i]() })
+}
+
+// Chunks splits [0, n) into contiguous spans of at most chunk items and
+// runs fn(lo, hi) for each span on the pool. Use it when per-item
+// dispatch is too fine-grained (e.g. scoring thousands of accounts).
+func Chunks(workers, n, chunk int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	spans := (n + chunk - 1) / chunk
+	return ForEach(workers, spans, func(i int) error {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}

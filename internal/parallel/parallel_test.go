@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		hits := make([]atomic.Int32, 100)
+		if err := ForEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 50, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 31:
+				return errors.New("b")
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachDoesNotCancelOnError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(4, 20, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("fail %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20 items", ran.Load())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive workers must normalize to >=1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("positive workers must pass through")
+	}
+}
+
+func TestTasks(t *testing.T) {
+	var a, b atomic.Bool
+	err := Tasks(2,
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return errors.New("task b") },
+	)
+	if err == nil || err.Error() != "task b" {
+		t.Fatalf("err = %v", err)
+	}
+	if !a.Load() || !b.Load() {
+		t.Fatal("not all tasks ran")
+	}
+}
+
+func TestChunksCoversRange(t *testing.T) {
+	hits := make([]atomic.Int32, 103)
+	if err := Chunks(4, len(hits), 10, func(lo, hi int) error {
+		if hi-lo > 10 || hi-lo < 1 {
+			return fmt.Errorf("bad span [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, hits[i].Load())
+		}
+	}
+}

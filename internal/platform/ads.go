@@ -258,11 +258,22 @@ func (e *AdEngine) validate(c AdCampaign) error {
 	return nil
 }
 
-// Launch schedules the campaign's daily deliveries on the clock. Each
-// day, the budget buys budget/CPL likes (Poisson-jittered), spread at
-// uniform random instants through the day — the steady trickle of
-// Figure 2(a).
+// Launch schedules the campaign's daily deliveries on the clock,
+// drawing randomness from the engine's own stream. Each day, the budget
+// buys budget/CPL likes (Poisson-jittered), spread at uniform random
+// instants through the day — the steady trickle of Figure 2(a).
 func (e *AdEngine) Launch(clock *simclock.Clock, c AdCampaign) error {
+	return e.LaunchSeeded(clock, e.rng, c)
+}
+
+// LaunchSeeded is Launch drawing all randomness — including the
+// delivery-day draws that fire later on the clock — from the given
+// stream instead of the engine's. The parallel study engine passes each
+// campaign a stream split from the root seed, so a campaign's delivery
+// sequence is a function of its own stream alone and campaigns can be
+// driven on separate clocks concurrently; markets are read-only at
+// delivery time.
+func (e *AdEngine) LaunchSeeded(clock *simclock.Clock, r *rand.Rand, c AdCampaign) error {
 	if err := e.validate(c); err != nil {
 		return err
 	}
@@ -276,7 +287,7 @@ func (e *AdEngine) Launch(clock *simclock.Clock, c AdCampaign) error {
 	for day := 0; day < c.DurationDays; day++ {
 		day := day
 		_, err := clock.ScheduleAfter(time.Duration(day)*24*time.Hour, fmt.Sprintf("ad-day-%d", day), func(cl *simclock.Clock) {
-			e.deliverDay(cl, c, mix)
+			e.deliverDay(cl, r, c, mix)
 		})
 		if err != nil {
 			return err
@@ -286,7 +297,7 @@ func (e *AdEngine) Launch(clock *simclock.Clock, c AdCampaign) error {
 }
 
 // deliverDay schedules one day's likes.
-func (e *AdEngine) deliverDay(clock *simclock.Clock, c AdCampaign, mix map[string]float64) {
+func (e *AdEngine) deliverDay(clock *simclock.Clock, r *rand.Rand, c AdCampaign, mix map[string]float64) {
 	type slice struct {
 		country string
 		budget  float64
@@ -310,7 +321,7 @@ func (e *AdEngine) deliverDay(clock *simclock.Clock, c AdCampaign, mix map[strin
 			continue // mix countries without a market deliver nothing
 		}
 		mean := sl.budget / ms.cfg.CostPerLike
-		n := stats.Poisson(e.rng, mean)
+		n := stats.Poisson(r, mean)
 		pool := ms.cohort.Members
 		for i := 0; i < n; i++ {
 			if len(pool) == 0 {
@@ -319,7 +330,7 @@ func (e *AdEngine) deliverDay(clock *simclock.Clock, c AdCampaign, mix map[strin
 			var uid socialnet.UserID
 			found := false
 			for tries := 0; tries < 24; tries++ {
-				cand := pool[e.rng.Intn(len(pool))]
+				cand := pool[r.Intn(len(pool))]
 				if !e.store.Likes(cand, c.Page) {
 					uid, found = cand, true
 					break
@@ -328,7 +339,7 @@ func (e *AdEngine) deliverDay(clock *simclock.Clock, c AdCampaign, mix map[strin
 			if !found {
 				continue
 			}
-			at := clock.Now().Add(time.Duration(e.rng.Int63n(int64(24 * time.Hour))))
+			at := clock.Now().Add(time.Duration(r.Int63n(int64(24 * time.Hour))))
 			_, _ = clock.ScheduleAt(at, "ad-like", func(cl *simclock.Clock) {
 				_ = e.store.AddLike(uid, c.Page, cl.Now())
 			})

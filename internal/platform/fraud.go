@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/detect"
+	"repro/internal/parallel"
 	"repro/internal/socialnet"
 	"repro/internal/stats"
 )
@@ -61,39 +62,83 @@ type SweepResult struct {
 
 // FraudSweep examines the given accounts, scores them with the detect
 // package's composite features (burstiness, like inflation, island
-// membership), and terminates a score-proportional random subset.
+// membership), and terminates a score-proportional random subset. It
+// is a serial convenience wrapper over FraudSweepSeeded, seeding the
+// split streams from the caller's generator.
 func FraudSweep(r *rand.Rand, st *socialnet.Store, accounts []socialnet.UserID, cfg FraudSweepConfig) (*SweepResult, error) {
+	return FraudSweepSeeded(r.Int63(), st, accounts, cfg, 1)
+}
+
+// FraudSweepSeeded is FraudSweep with per-account randomness split from
+// a root seed and feature scoring fanned out over a worker pool. Each
+// account's termination coin flip draws from its own stream
+// (seed, "sweep", userID), so the outcome is bit-identical for any
+// worker count — including workers == 1, the serial path. Scoring is
+// read-only over the store; terminations are applied in a serial pass
+// afterwards, which matches the serial semantics because an account's
+// features never depend on another account's termination status.
+func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.UserID, cfg FraudSweepConfig, workers int) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Island sizes within the examined cohort.
 	islands := detect.IsolatedIslands(st.FriendGraph(), accounts)
 
-	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(accounts))}
-	// Deterministic account order.
+	// Sort and dedupe: an account that liked several honeypots (the
+	// ALMS reuse scenario) is examined exactly once.
 	sorted := append([]socialnet.UserID(nil), accounts...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, uid := range sorted {
-		u, err := st.User(uid)
-		if err != nil {
-			return nil, err
+	uniq := sorted[:0]
+	for i, uid := range sorted {
+		if i == 0 || uid != sorted[i-1] {
+			uniq = append(uniq, uid)
 		}
-		if u.Status == socialnet.StatusTerminated {
+	}
+	sorted = uniq
+
+	type verdict struct {
+		examined  bool
+		score     float64
+		terminate bool
+	}
+	verdicts := make([]verdict, len(sorted))
+	err := parallel.Chunks(workers, len(sorted), 64, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			uid := sorted[i]
+			u, err := st.User(uid)
+			if err != nil {
+				return err
+			}
+			if u.Status == socialnet.StatusTerminated {
+				continue
+			}
+			f, err := detect.ExtractFeatures(st, uid)
+			if err != nil {
+				return err
+			}
+			f.IslandSize = islands[uid]
+			score := f.Score()
+			p := cfg.RandomFloor
+			if score >= cfg.MinScore {
+				p += cfg.BaseRate * score
+			}
+			r := stats.SplitRandN(seed, "sweep", int64(uid))
+			verdicts[i] = verdict{examined: true, score: score, terminate: stats.Bernoulli(r, p)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(sorted))}
+	for i, uid := range sorted {
+		v := verdicts[i]
+		if !v.examined {
 			continue
 		}
-		f, err := detect.ExtractFeatures(st, uid)
-		if err != nil {
-			return nil, err
-		}
-		f.IslandSize = islands[uid]
-		score := f.Score()
 		res.Examined++
-		res.Scores[uid] = score
-		p := cfg.RandomFloor
-		if score >= cfg.MinScore {
-			p += cfg.BaseRate * score
-		}
-		if stats.Bernoulli(r, p) {
+		res.Scores[uid] = v.score
+		if v.terminate {
 			if err := st.Terminate(uid); err != nil {
 				return nil, err
 			}

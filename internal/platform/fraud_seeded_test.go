@@ -1,0 +1,92 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// botWorld builds a store with a burst-history bot cohort that all
+// liked one honeypot page.
+func botWorld(t *testing.T, seed int64, n int) (*socialnet.Store, []socialnet.UserID) {
+	t.Helper()
+	_, st, _, _ := testWorld(t, seed)
+	page := honeypotPage(t, st)
+	var bots []socialnet.UserID
+	for i := 0; i < n; i++ {
+		u := st.AddUser(socialnet.User{Country: "TR", DeclaredFriends: 20})
+		bots = append(bots, u)
+		var hist []socialnet.Like
+		for j := 0; j < 120; j++ {
+			p, err := st.AddPage(socialnet.Page{Name: "cover"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist = append(hist, socialnet.Like{Page: p, At: t0.Add(-time.Duration(1+j/100)*24*time.Hour + time.Duration(j%100)*time.Minute)})
+		}
+		if err := st.AddHistory(u, hist); err != nil {
+			t.Fatal(err)
+		}
+		_ = st.AddLike(u, page, t0.Add(time.Duration(i)*time.Minute))
+	}
+	return st, bots
+}
+
+// TestFraudSweepSeededDeterministicAcrossWorkers: same seed, same
+// accounts ⇒ identical terminations for any pool size.
+func TestFraudSweepSeededDeterministicAcrossWorkers(t *testing.T) {
+	cfg := FraudSweepConfig{BaseRate: 0.5, MinScore: 0.2}
+	sweep := func(workers int) *SweepResult {
+		st, bots := botWorld(t, 21, 150)
+		res, err := FraudSweepSeeded(77, st, bots, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := sweep(1)
+	if serial.Examined != 150 || len(serial.Terminated) == 0 {
+		t.Fatalf("serial sweep degenerate: examined %d, terminated %d", serial.Examined, len(serial.Terminated))
+	}
+	for _, workers := range []int{4, 16} {
+		conc := sweep(workers)
+		if conc.Examined != serial.Examined {
+			t.Fatalf("workers=%d examined %d vs %d", workers, conc.Examined, serial.Examined)
+		}
+		if len(conc.Terminated) != len(serial.Terminated) {
+			t.Fatalf("workers=%d terminated %d vs %d", workers, len(conc.Terminated), len(serial.Terminated))
+		}
+		for i := range serial.Terminated {
+			if conc.Terminated[i] != serial.Terminated[i] {
+				t.Fatalf("workers=%d termination %d differs", workers, i)
+			}
+		}
+		for u, s := range serial.Scores {
+			if conc.Scores[u] != s {
+				t.Fatalf("workers=%d score of %d differs", workers, u)
+			}
+		}
+	}
+}
+
+// TestFraudSweepSeededDedupes: an account listed twice (it liked two
+// honeypots) is examined once.
+func TestFraudSweepSeededDedupes(t *testing.T) {
+	st, bots := botWorld(t, 22, 60)
+	dup := append(append([]socialnet.UserID(nil), bots...), bots...)
+	res, err := FraudSweepSeeded(5, st, dup, FraudSweepConfig{BaseRate: 0.5, MinScore: 0.2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Examined != len(bots) {
+		t.Fatalf("examined %d, want %d", res.Examined, len(bots))
+	}
+	seen := map[socialnet.UserID]bool{}
+	for _, u := range res.Terminated {
+		if seen[u] {
+			t.Fatalf("account %d terminated twice", u)
+		}
+		seen[u] = true
+	}
+}

@@ -1,0 +1,340 @@
+package socialnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillWorld creates nUsers users and nPages pages serially (IDs must be
+// stable) and returns their IDs.
+func fillWorld(t testing.TB, st *Store, nUsers, nPages int) ([]UserID, []PageID) {
+	t.Helper()
+	users := make([]UserID, nUsers)
+	for i := range users {
+		users[i] = st.AddUser(User{Country: CountryUSA, Searchable: i%2 == 0})
+	}
+	pages := make([]PageID, nPages)
+	for i := range pages {
+		id, err := st.AddPage(Page{Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[i] = id
+	}
+	return users, pages
+}
+
+// TestShardedStoreParallelLikes hammers AddLike from many goroutines —
+// every (user, page) pair exactly once, plus concurrent duplicate
+// attempts — and checks both indexes agree afterwards. Run under
+// -race this is the store's central concurrency test.
+func TestShardedStoreParallelLikes(t *testing.T) {
+	st := NewShardedStore(8)
+	users, pages := fillWorld(t, st, 60, 12)
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+	var wg sync.WaitGroup
+	dupes := make([]int, len(users))
+	for ui := range users {
+		wg.Add(1)
+		go func(ui int) {
+			defer wg.Done()
+			for pi, p := range pages {
+				at := t0.Add(time.Duration(ui*len(pages)+pi) * time.Minute)
+				if err := st.AddLike(users[ui], p, at); err != nil {
+					t.Error(err)
+				}
+				// A second like for the same pair must always be
+				// rejected, even while other writers are active.
+				if err := st.AddLike(users[ui], p, at); errors.Is(err, ErrDuplicateLike) {
+					dupes[ui]++
+				} else {
+					t.Errorf("duplicate like slipped through: %v", err)
+				}
+			}
+		}(ui)
+	}
+	wg.Wait()
+
+	for _, p := range pages {
+		if got := st.LikeCountOfPage(p); got != len(users) {
+			t.Fatalf("page %d has %d likes, want %d", p, got, len(users))
+		}
+		likes := st.LikesOfPage(p)
+		for i := 1; i < len(likes); i++ {
+			if likes[i].At.Before(likes[i-1].At) {
+				t.Fatal("page likes out of time order")
+			}
+		}
+	}
+	for ui, u := range users {
+		if got := st.LikeCountOfUser(u); got != len(pages) {
+			t.Fatalf("user %d has %d likes, want %d", u, got, len(pages))
+		}
+		if dupes[ui] != len(pages) {
+			t.Fatalf("user %d saw %d duplicate rejections, want %d", u, dupes[ui], len(pages))
+		}
+	}
+}
+
+// TestShardedStoreParallelMixedOps runs writers (likes, histories,
+// friendships, terminations) against readers (the crawl surface:
+// profiles, friend lists, like lists, directory) concurrently.
+// Correctness here is "no race, no panic, invariants hold" — exact
+// counts are covered by the deterministic tests.
+func TestShardedStoreParallelMixedOps(t *testing.T) {
+	st := NewStore()
+	users, pages := fillWorld(t, st, 40, 10)
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+	var wg sync.WaitGroup
+	// Likers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j, u := range users {
+				if (j+w)%4 == 0 {
+					_ = st.AddLike(u, pages[(j+w)%len(pages)], t0.Add(time.Duration(j)*time.Hour))
+				}
+			}
+		}(i)
+	}
+	// History importers (non-honeypot pages only, one user each).
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := users[w]
+			likes := []Like{{Page: pages[w], At: t0.AddDate(-1, 0, 0)}}
+			if err := st.AddHistory(u, likes); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Friendship writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < len(users); i++ {
+			if err := st.Friend(users[i-1], users[i]); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	// Termination sweep.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(users); i += 7 {
+			if err := st.Terminate(users[i]); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	// Crawlers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, u := range users {
+				_, _ = st.User(u)
+				_ = st.FriendsOf(u)
+				_ = st.LikesOfUser(u)
+				_ = st.DeclaredFriendCount(u)
+			}
+			for _, p := range pages {
+				_ = st.LikesOfPage(p)
+				_ = st.ActiveLikeCountOfPage(p)
+			}
+			_ = st.Directory()
+			_ = st.NumUsers()
+			_ = st.Pages()
+		}()
+	}
+	wg.Wait()
+
+	// Terminated users must reject further likes.
+	if err := st.AddLike(users[0], pages[9], t0.AddDate(0, 2, 0)); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("terminated user liked: %v", err)
+	}
+}
+
+// TestShardedStoreShardCountIrrelevant: the same serial operation
+// sequence must read back identically from a 1-shard and a 256-shard
+// store, including snapshot bytes.
+func TestShardedStoreShardCountIrrelevant(t *testing.T) {
+	build := func(shards int) *Store {
+		st := NewShardedStore(shards)
+		users, pages := fillWorld(t, st, 30, 8)
+		t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+		for i, u := range users {
+			for j := 0; j < 3; j++ {
+				_ = st.AddLike(u, pages[(i+j)%len(pages)], t0.Add(time.Duration(i*3+j)*time.Minute))
+			}
+		}
+		for i := 2; i < len(users); i += 3 {
+			_ = st.Friend(users[i-1], users[i])
+		}
+		return st
+	}
+	var a, b bytes.Buffer
+	if err := build(1).WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(256).WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot bytes differ between shard counts")
+	}
+}
+
+// TestSnapshotDeterministicAfterConcurrentFill: a store filled by many
+// goroutines must snapshot to the same bytes as one filled serially
+// with the same likes — the canonical-order guarantee the parallel
+// engine depends on.
+func TestSnapshotDeterministicAfterConcurrentFill(t *testing.T) {
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	type likeOp struct {
+		u  int
+		p  int
+		at time.Time
+	}
+	var ops []likeOp
+	for u := 0; u < 24; u++ {
+		for p := 0; p < 6; p++ {
+			ops = append(ops, likeOp{u, p, t0.Add(time.Duration(u+p) * time.Hour)})
+		}
+	}
+
+	serial := NewStore()
+	su, sp := fillWorld(t, serial, 24, 6)
+	for _, op := range ops {
+		if err := serial.AddLike(su[op.u], sp[op.p], op.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conc := NewStore()
+	cu, cp := fillWorld(t, conc, 24, 6)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += 8 {
+				op := ops[i]
+				if err := conc.AddLike(cu[op.u], cp[op.p], op.at); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var a, b bytes.Buffer
+	if err := serial.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := conc.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("concurrent fill changed snapshot bytes")
+	}
+}
+
+// TestSnapshotRecoversMidFlightLike: an AddLike caught between its
+// user-side commit and its page-side append (the instant it holds no
+// lock) must still appear, fully indexed, in a snapshot taken at that
+// moment. We fabricate that intermediate state directly.
+func TestSnapshotRecoversMidFlightLike(t *testing.T) {
+	st := NewStore()
+	users, pages := fillWorld(t, st, 4, 2)
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	if err := st.AddLike(users[0], pages[0], t0); err != nil {
+		t.Fatal(err)
+	}
+	// users[1] liking pages[1]: user stripe committed, page stripe not.
+	lk := Like{User: users[1], Page: pages[1], At: t0.Add(time.Hour)}
+	sh := st.userShard(users[1])
+	sh.likeSet[likeKey{lk.User, lk.Page}] = struct{}{}
+	sh.likesByUser[users[1]] = append(sh.likesByUser[users[1]], lk)
+
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Likes(users[1], pages[1]) {
+		t.Fatal("mid-flight like missing from reloaded store")
+	}
+	if got := re.LikeCountOfPage(pages[1]); got != 1 {
+		t.Fatalf("page-side stream has %d likes, want 1", got)
+	}
+}
+
+// TestShardedStoreStress is the heavy concurrency soak: many writers
+// and readers over a larger world. Skipped under -short.
+func TestShardedStoreStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	st := NewStore()
+	users, pages := fillWorld(t, st, 2000, 50)
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(users); i += 16 {
+				u := users[i]
+				for j := 0; j < 10; j++ {
+					p := pages[(i+j*7)%len(pages)]
+					_ = st.AddLike(u, p, t0.Add(time.Duration(i%96)*time.Hour))
+				}
+				if i%3 == 0 {
+					_ = st.LikesOfUser(u)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := pages[i%len(pages)]
+				_ = st.LikesOfPage(p)
+				_ = st.LikeCountOfPage(p)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range pages {
+		total += st.LikeCountOfPage(p)
+	}
+	want := len(users) * 10
+	if total != want {
+		t.Fatalf("total page-side likes %d, want %d", total, want)
+	}
+	userTotal := 0
+	for _, u := range users {
+		userTotal += st.LikeCountOfUser(u)
+	}
+	if userTotal != want {
+		t.Fatalf("total user-side likes %d, want %d", userTotal, want)
+	}
+}

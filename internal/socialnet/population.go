@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -44,6 +45,11 @@ type PopulationSpec struct {
 	FriendsPublicFrac float64
 	// CreatedAt stamps user records.
 	CreatedAt time.Time
+	// Workers bounds the worker pool generating per-user like
+	// histories (0 = one per CPU). The generated world is identical
+	// for every worker count: each user's likes draw from a stream
+	// split per user ID.
+	Workers int
 }
 
 // DefaultPopulationSpec returns a spec sized for a full study run.
@@ -176,6 +182,10 @@ func GeneratePopulation(r *rand.Rand, st *Store, spec PopulationSpec) (*Populati
 
 	// Organic likes: per-user lognormal count over Zipf-popular pages,
 	// timestamped in the year before CreatedAt+4y (i.e. pre-campaign).
+	// Each user's likes draw from a stream split from a seed taken off
+	// the shared stream, so generation fans out over the worker pool
+	// (users land on different store stripes) while the world stays
+	// identical for every pool size.
 	mu, err := stats.LogNormalForMedian(spec.LikeMedian)
 	if err != nil {
 		return nil, err
@@ -185,18 +195,25 @@ func GeneratePopulation(r *rand.Rand, st *Store, spec PopulationSpec) (*Populati
 		return nil, err
 	}
 	likeWindowStart := spec.CreatedAt.AddDate(1, 0, 0)
-	for _, uid := range pop.Users {
-		k := ln.SampleInt(r)
+	likeSeed := r.Int63()
+	err = parallel.ForEach(spec.Workers, len(pop.Users), func(i int) error {
+		uid := pop.Users[i]
+		ur := stats.SplitRandN(likeSeed, "organic-likes", int64(uid))
+		k := ln.SampleInt(ur)
 		if k > maxLikes {
 			k = maxLikes
 		}
-		pages := pop.SampleAmbientPages(r, k)
+		pages := pop.SampleAmbientPages(ur, k)
 		for _, pid := range pages {
-			at := likeWindowStart.Add(time.Duration(r.Int63n(int64(3 * 365 * 24 * time.Hour))))
+			at := likeWindowStart.Add(time.Duration(ur.Int63n(int64(3 * 365 * 24 * time.Hour))))
 			if err := st.AddLike(uid, pid, at); err != nil {
-				return nil, err
+				return err
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pop, nil
 }

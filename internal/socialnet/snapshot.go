@@ -15,57 +15,117 @@ type snapshot struct {
 	Users       []User
 	Pages       []Page
 	Indexed     []Like
-	Histories   map[UserID][]Like
+	Histories   []userHistory
 	Friendships [][2]int64
 	NextUser    UserID
 	NextPage    PageID
 }
 
-const snapshotVersion = 1
+// userHistory is one user's non-indexed like history. A sorted slice
+// (not a map) keeps the gob encoding byte-deterministic.
+type userHistory struct {
+	User  UserID
+	Likes []Like
+}
 
-// WriteSnapshot serializes the world. The snapshot is deterministic:
-// same store contents, same bytes.
+// snapshotVersion 2: sharded store, slice-form histories, canonical
+// like ordering.
+const snapshotVersion = 2
+
+// WriteSnapshot serializes the world. The snapshot is deterministic —
+// same store contents, same bytes, regardless of shard count or fill
+// concurrency — and point-in-time consistent even with writers active:
+// it read-locks every stripe (plus the graph and directory locks) for
+// the duration of the copy, so a mid-flight AddLike can never appear
+// in one index but not the other. Lock acquisition is in a fixed total
+// order and writers never hold two locks at once, so this cannot
+// deadlock.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	for i := range s.userShards {
+		s.userShards[i].mu.RLock()
+		defer s.userShards[i].mu.RUnlock()
+	}
+	for i := range s.pageShards {
+		s.pageShards[i].mu.RLock()
+		defer s.pageShards[i].mu.RUnlock()
+	}
+	s.friendsMu.RLock()
+	defer s.friendsMu.RUnlock()
+	s.dirMu.RLock()
+	defer s.dirMu.RUnlock()
 
 	snap := snapshot{
-		Version:   snapshotVersion,
-		NextUser:  s.nextUser,
-		NextPage:  s.nextPage,
-		Histories: make(map[UserID][]Like),
+		Version:  snapshotVersion,
+		NextUser: UserID(s.nextUser.Load()),
+		NextPage: PageID(s.nextPage.Load()),
 	}
-	userIDs := make([]UserID, 0, len(s.users))
-	for id := range s.users {
-		userIDs = append(userIDs, id)
+
+	var userIDs []UserID
+	for i := range s.userShards {
+		for id := range s.userShards[i].users {
+			userIDs = append(userIDs, id)
+		}
 	}
 	sort.Slice(userIDs, func(i, j int) bool { return userIDs[i] < userIDs[j] })
 	for _, id := range userIDs {
-		snap.Users = append(snap.Users, *s.users[id])
+		snap.Users = append(snap.Users, *s.userShard(id).users[id])
 	}
-	pageIDs := make([]PageID, 0, len(s.pages))
-	for id := range s.pages {
-		pageIDs = append(pageIDs, id)
+
+	var pageIDs []PageID
+	for i := range s.pageShards {
+		for id := range s.pageShards[i].pages {
+			pageIDs = append(pageIDs, id)
+		}
 	}
 	sort.Slice(pageIDs, func(i, j int) bool { return pageIDs[i] < pageIDs[j] })
 	for _, id := range pageIDs {
-		snap.Pages = append(snap.Pages, *s.pages[id])
+		snap.Pages = append(snap.Pages, *s.pageShard(id).pages[id])
 	}
+
+	// Collect page-side streams into mutable copies (the lazy sort
+	// cache must not be touched under a read lock), remembering which
+	// (user, page) pairs the page side has: an AddLike caught between
+	// its user-side commit and its page-side append (it holds no lock
+	// at that point) is in likeSet but not yet in likesByPage, and is
+	// recovered from the user side below.
+	byPage := make(map[PageID][]Like, len(pageIDs))
+	pageSeen := make(map[likeKey]struct{})
 	for _, pid := range pageIDs {
-		snap.Indexed = append(snap.Indexed, s.likesByPage[pid]...)
+		likes := append([]Like(nil), s.pageShard(pid).likesByPage[pid]...)
+		byPage[pid] = likes
+		for _, lk := range likes {
+			pageSeen[likeKey{lk.User, lk.Page}] = struct{}{}
+		}
 	}
-	// Histories: user-side likes that are not in the page-side index.
+
+	// Histories: user-side likes that are not in the page-side index,
+	// in canonical per-user order. Indexed likes missing page-side are
+	// the mid-flight stragglers: fold them back into their page stream.
 	for _, uid := range userIDs {
+		sh := s.userShard(uid)
 		var hist []Like
-		for _, lk := range s.likesByUser[uid] {
-			if _, indexed := s.likeSet[likeKey{lk.User, lk.Page}]; !indexed {
+		for _, lk := range sh.likesByUser[uid] {
+			k := likeKey{lk.User, lk.Page}
+			if _, indexed := sh.likeSet[k]; !indexed {
 				hist = append(hist, lk)
+				continue
+			}
+			if _, seen := pageSeen[k]; !seen {
+				byPage[lk.Page] = append(byPage[lk.Page], lk)
+				pageSeen[k] = struct{}{}
 			}
 		}
 		if len(hist) > 0 {
-			snap.Histories[uid] = hist
+			sortUserLikes(hist)
+			snap.Histories = append(snap.Histories, userHistory{User: uid, Likes: hist})
 		}
 	}
+	for _, pid := range pageIDs {
+		likes := byPage[pid]
+		sortPageLikes(likes)
+		snap.Indexed = append(snap.Indexed, likes...)
+	}
+
 	snap.Friendships = s.friends.Edges()
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -80,11 +140,12 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("socialnet: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
 	st := NewStore()
-	st.nextUser = snap.NextUser
-	st.nextPage = snap.NextPage
+	st.nextUser.Store(int64(snap.NextUser))
+	st.nextPage.Store(int64(snap.NextPage))
 	for i := range snap.Users {
 		u := snap.Users[i]
-		st.users[u.ID] = &u
+		sh := st.userShard(u.ID)
+		sh.users[u.ID] = &u
 		st.friends.AddNode(int64(u.ID))
 		if u.Searchable {
 			st.directory = append(st.directory, u.ID)
@@ -92,28 +153,31 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	}
 	for i := range snap.Pages {
 		p := snap.Pages[i]
-		st.pages[p.ID] = &p
+		st.pageShard(p.ID).pages[p.ID] = &p
 	}
 	for _, lk := range snap.Indexed {
-		if _, ok := st.users[lk.User]; !ok {
+		ush := st.userShard(lk.User)
+		if _, ok := ush.users[lk.User]; !ok {
 			return nil, fmt.Errorf("socialnet: snapshot like references missing user %d", lk.User)
 		}
-		if _, ok := st.pages[lk.Page]; !ok {
+		psh := st.pageShard(lk.Page)
+		if _, ok := psh.pages[lk.Page]; !ok {
 			return nil, fmt.Errorf("socialnet: snapshot like references missing page %d", lk.Page)
 		}
 		k := likeKey{lk.User, lk.Page}
-		if _, dup := st.likeSet[k]; dup {
+		if _, dup := ush.likeSet[k]; dup {
 			return nil, fmt.Errorf("socialnet: snapshot duplicate like %v", k)
 		}
-		st.likeSet[k] = struct{}{}
-		st.likesByPage[lk.Page] = append(st.likesByPage[lk.Page], lk)
-		st.likesByUser[lk.User] = append(st.likesByUser[lk.User], lk)
+		ush.likeSet[k] = struct{}{}
+		psh.likesByPage[lk.Page] = append(psh.likesByPage[lk.Page], lk)
+		ush.likesByUser[lk.User] = append(ush.likesByUser[lk.User], lk)
 	}
-	for uid, hist := range snap.Histories {
-		if _, ok := st.users[uid]; !ok {
-			return nil, fmt.Errorf("socialnet: snapshot history references missing user %d", uid)
+	for _, uh := range snap.Histories {
+		ush := st.userShard(uh.User)
+		if _, ok := ush.users[uh.User]; !ok {
+			return nil, fmt.Errorf("socialnet: snapshot history references missing user %d", uh.User)
 		}
-		st.likesByUser[uid] = append(st.likesByUser[uid], hist...)
+		ush.likesByUser[uh.User] = append(ush.likesByUser[uh.User], uh.Likes...)
 	}
 	for _, e := range snap.Friendships {
 		if err := st.friends.AddEdge(e[0], e[1]); err != nil {

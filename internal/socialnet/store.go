@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -12,22 +13,49 @@ import (
 
 // Store is the concurrency-safe world state. A single Store backs the
 // platform, the farms, the honeypot monitor, and the HTTP API.
+//
+// Internally the store is lock-striped: users (with their like
+// histories and the duplicate-like set) and pages (with their like
+// streams) are partitioned into shards keyed by ID, so concurrent
+// likers, monitors, and crawlers touching different users/pages never
+// serialize on one mutex. The friendship graph and the public directory
+// are global structures with their own locks. All read accessors return
+// data in a canonical order (IDs ascending, likes by (time, ID)), so a
+// store filled concurrently reads back identically to one filled
+// serially with the same contents.
 type Store struct {
-	mu sync.RWMutex
+	userShards []userShard
+	pageShards []pageShard
+	shardMask  uint64
 
-	users map[UserID]*User
-	pages map[PageID]*Page
+	nextUser atomic.Int64
+	nextPage atomic.Int64
 
-	nextUser UserID
-	nextPage PageID
+	friendsMu sync.RWMutex
+	friends   *graph.Undirected
 
-	friends *graph.Undirected
-
-	likesByPage map[PageID][]Like
-	likesByUser map[UserID][]Like
-	likeSet     map[likeKey]struct{}
-
+	dirMu     sync.RWMutex
 	directory []UserID // searchable users, insertion order
+}
+
+// userShard holds one partition of the user space: the user records,
+// the user-side like index, and the duplicate-like set (keyed by user,
+// so the dedup check is atomic with the user-side append).
+type userShard struct {
+	mu          sync.RWMutex
+	users       map[UserID]*User
+	likesByUser map[UserID][]Like
+	userSorted  map[UserID]bool
+	likeSet     map[likeKey]struct{}
+}
+
+// pageShard holds one partition of the page space: the page records and
+// the page-side like streams.
+type pageShard struct {
+	mu          sync.RWMutex
+	pages       map[PageID]*Page
+	likesByPage map[PageID][]Like
+	pageSorted  map[PageID]bool
 }
 
 type likeKey struct {
@@ -43,39 +71,112 @@ var (
 	ErrTerminated    = errors.New("socialnet: account terminated")
 )
 
-// NewStore returns an empty world.
-func NewStore() *Store {
-	return &Store{
-		users:       make(map[UserID]*User),
-		pages:       make(map[PageID]*Page),
-		friends:     graph.NewUndirected(),
-		likesByPage: make(map[PageID][]Like),
-		likesByUser: make(map[UserID][]Like),
-		likeSet:     make(map[likeKey]struct{}),
-		nextUser:    1,
-		nextPage:    1,
+// DefaultShards is the shard count used by NewStore: enough stripes
+// that a worker pool sized to any realistic core count rarely contends.
+const DefaultShards = 64
+
+// NewStore returns an empty world with the default shard count.
+func NewStore() *Store { return NewShardedStore(DefaultShards) }
+
+// NewShardedStore returns an empty world partitioned into the given
+// number of lock stripes (rounded up to a power of two; values < 1 fall
+// back to DefaultShards). Shard count affects only contention, never
+// results.
+func NewShardedStore(shards int) *Store {
+	if shards < 1 {
+		shards = DefaultShards
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Store{
+		userShards: make([]userShard, n),
+		pageShards: make([]pageShard, n),
+		shardMask:  uint64(n - 1),
+		friends:    graph.NewUndirected(),
+	}
+	for i := range s.userShards {
+		s.userShards[i] = userShard{
+			users:       make(map[UserID]*User),
+			likesByUser: make(map[UserID][]Like),
+			userSorted:  make(map[UserID]bool),
+			likeSet:     make(map[likeKey]struct{}),
+		}
+	}
+	for i := range s.pageShards {
+		s.pageShards[i] = pageShard{
+			pages:       make(map[PageID]*Page),
+			likesByPage: make(map[PageID][]Like),
+			pageSorted:  make(map[PageID]bool),
+		}
+	}
+	s.nextUser.Store(1)
+	s.nextPage.Store(1)
+	return s
+}
+
+// NumShards returns the number of lock stripes.
+func (s *Store) NumShards() int { return len(s.userShards) }
+
+func (s *Store) userShard(u UserID) *userShard {
+	return &s.userShards[uint64(u)&s.shardMask]
+}
+
+func (s *Store) pageShard(p PageID) *pageShard {
+	return &s.pageShards[uint64(p)&s.shardMask]
+}
+
+// sortUserLikes orders a user-side like slice canonically: by time,
+// ties by page ID. The order is a total one, so it is independent of
+// insertion order — the property the parallel engine's determinism
+// rests on.
+func sortUserLikes(likes []Like) {
+	sort.Slice(likes, func(i, j int) bool {
+		if !likes[i].At.Equal(likes[j].At) {
+			return likes[i].At.Before(likes[j].At)
+		}
+		return likes[i].Page < likes[j].Page
+	})
+}
+
+// sortPageLikes orders a page-side like slice canonically: by time,
+// ties by user ID.
+func sortPageLikes(likes []Like) {
+	sort.Slice(likes, func(i, j int) bool {
+		if !likes[i].At.Equal(likes[j].At) {
+			return likes[i].At.Before(likes[j].At)
+		}
+		return likes[i].User < likes[j].User
+	})
 }
 
 // AddUser inserts a user, assigning its ID. The input is copied.
 func (s *Store) AddUser(u User) UserID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	u.ID = s.nextUser
-	s.nextUser++
-	s.users[u.ID] = &u
+	u.ID = UserID(s.nextUser.Add(1) - 1)
+	sh := s.userShard(u.ID)
+	sh.mu.Lock()
+	sh.users[u.ID] = &u
+	sh.mu.Unlock()
+
+	s.friendsMu.Lock()
 	s.friends.AddNode(int64(u.ID))
+	s.friendsMu.Unlock()
+
 	if u.Searchable {
+		s.dirMu.Lock()
 		s.directory = append(s.directory, u.ID)
+		s.dirMu.Unlock()
 	}
 	return u.ID
 }
 
 // User returns a copy of the user record.
 func (s *Store) User(id UserID) (User, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	u, ok := s.users[id]
+	sh := s.userShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	u, ok := sh.users[id]
 	if !ok {
 		return User{}, fmt.Errorf("%w: %d", ErrNoUser, id)
 	}
@@ -84,31 +185,41 @@ func (s *Store) User(id UserID) (User, error) {
 
 // NumUsers returns the number of users.
 func (s *Store) NumUsers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.users)
+	n := 0
+	for i := range s.userShards {
+		sh := &s.userShards[i]
+		sh.mu.RLock()
+		n += len(sh.users)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // AddPage inserts a page, assigning its ID.
 func (s *Store) AddPage(p Page) (PageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if p.Owner != 0 {
-		if _, ok := s.users[p.Owner]; !ok {
+		osh := s.userShard(p.Owner)
+		osh.mu.RLock()
+		_, ok := osh.users[p.Owner]
+		osh.mu.RUnlock()
+		if !ok {
 			return 0, fmt.Errorf("%w: page owner %d", ErrNoUser, p.Owner)
 		}
 	}
-	p.ID = s.nextPage
-	s.nextPage++
-	s.pages[p.ID] = &p
+	p.ID = PageID(s.nextPage.Add(1) - 1)
+	sh := s.pageShard(p.ID)
+	sh.mu.Lock()
+	sh.pages[p.ID] = &p
+	sh.mu.Unlock()
 	return p.ID, nil
 }
 
 // Page returns a copy of the page record.
 func (s *Store) Page(id PageID) (Page, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.pages[id]
+	sh := s.pageShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.pages[id]
 	if !ok {
 		return Page{}, fmt.Errorf("%w: %d", ErrNoPage, id)
 	}
@@ -117,18 +228,26 @@ func (s *Store) Page(id PageID) (Page, error) {
 
 // NumPages returns the number of pages.
 func (s *Store) NumPages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pages)
+	n := 0
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.RLock()
+		n += len(sh.pages)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Pages returns all page IDs in ascending order.
 func (s *Store) Pages() []PageID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]PageID, 0, len(s.pages))
-	for id := range s.pages {
-		out = append(out, id)
+	var out []PageID
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.RLock()
+		for id := range sh.pages {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -136,52 +255,90 @@ func (s *Store) Pages() []PageID {
 
 // AddLike records user liking page at the given instant. Terminated
 // accounts cannot like; duplicate likes return ErrDuplicateLike.
+//
+// The operation touches two stripes (user-side, then page-side) but
+// never holds both locks at once, so concurrent AddLike calls on any
+// mix of users and pages are deadlock-free. The user-side stripe is the
+// linearization point: the duplicate check and the user-side append are
+// atomic, and pages are never deleted, so the page-side append cannot
+// fail after the user-side commit.
 func (s *Store) AddLike(u UserID, p PageID, at time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	usr, ok := s.users[u]
+	psh := s.pageShard(p)
+	psh.mu.RLock()
+	_, pageOK := psh.pages[p]
+	psh.mu.RUnlock()
+	if !pageOK {
+		return fmt.Errorf("%w: %d", ErrNoPage, p)
+	}
+
+	lk := Like{User: u, Page: p, At: at}
+	ush := s.userShard(u)
+	ush.mu.Lock()
+	usr, ok := ush.users[u]
 	if !ok {
+		ush.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
 	if usr.Status == StatusTerminated {
+		ush.mu.Unlock()
 		return fmt.Errorf("%w: user %d", ErrTerminated, u)
 	}
-	if _, ok := s.pages[p]; !ok {
-		return fmt.Errorf("%w: %d", ErrNoPage, p)
-	}
 	k := likeKey{u, p}
-	if _, dup := s.likeSet[k]; dup {
+	if _, dup := ush.likeSet[k]; dup {
+		ush.mu.Unlock()
 		return fmt.Errorf("%w: user %d page %d", ErrDuplicateLike, u, p)
 	}
-	s.likeSet[k] = struct{}{}
-	lk := Like{User: u, Page: p, At: at}
-	s.likesByPage[p] = append(s.likesByPage[p], lk)
-	s.likesByUser[u] = append(s.likesByUser[u], lk)
+	ush.likeSet[k] = struct{}{}
+	ush.likesByUser[u] = append(ush.likesByUser[u], lk)
+	delete(ush.userSorted, u)
+	ush.mu.Unlock()
+
+	psh.mu.Lock()
+	psh.likesByPage[p] = append(psh.likesByPage[p], lk)
+	delete(psh.pageSorted, p)
+	psh.mu.Unlock()
 	return nil
 }
 
 // Likes reports whether user u likes page p.
 func (s *Store) Likes(u UserID, p PageID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.likeSet[likeKey{u, p}]
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.likeSet[likeKey{u, p}]
 	return ok
 }
 
-// LikesOfPage returns the page's likes in like-time order.
+// LikesOfPage returns the page's likes in like-time order (ties by user
+// ID). The slice is sorted lazily on first read after a write and the
+// order cached, so repeated polling (the §3 monitor crawls every page
+// every 2 virtual hours) does not re-sort an unchanged stream.
 func (s *Store) LikesOfPage(p PageID) []Like {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]Like(nil), s.likesByPage[p]...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	sh := s.pageShard(p)
+	sh.mu.RLock()
+	if sh.pageSorted[p] {
+		out := append([]Like(nil), sh.likesByPage[p]...)
+		sh.mu.RUnlock()
+		return out
+	}
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	if !sh.pageSorted[p] {
+		sortPageLikes(sh.likesByPage[p])
+		sh.pageSorted[p] = true
+	}
+	out := append([]Like(nil), sh.likesByPage[p]...)
+	sh.mu.Unlock()
 	return out
 }
 
 // LikeCountOfPage returns the number of likes on a page.
 func (s *Store) LikeCountOfPage(p PageID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.likesByPage[p])
+	sh := s.pageShard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.likesByPage[p])
 }
 
 // ActiveLikeCountOfPage returns the page's like count excluding likes
@@ -190,34 +347,55 @@ func (s *Store) LikeCountOfPage(p PageID) int {
 // "longer observation of removed likes"; this is the observable that
 // study extension tracks.
 func (s *Store) ActiveLikeCountOfPage(p PageID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.pageShard(p)
+	sh.mu.RLock()
+	likes := append([]Like(nil), sh.likesByPage[p]...)
+	sh.mu.RUnlock()
+
 	n := 0
-	for _, lk := range s.likesByPage[p] {
-		if u, ok := s.users[lk.User]; ok && u.Status == StatusActive {
+	for _, lk := range likes {
+		ush := s.userShard(lk.User)
+		ush.mu.RLock()
+		if u, ok := ush.users[lk.User]; ok && u.Status == StatusActive {
 			n++
 		}
+		ush.mu.RUnlock()
 	}
 	return n
 }
 
-// LikesOfUser returns all likes by the user in like-time order. This is
-// the "pages liked" list the crawler collected per liker (§4.4); in the
-// reproduction it is always public, as it effectively was via the 2014
-// profile crawl.
+// LikesOfUser returns all likes by the user in like-time order (ties by
+// page ID). This is the "pages liked" list the crawler collected per
+// liker (§4.4); in the reproduction it is always public, as it
+// effectively was via the 2014 profile crawl. Like LikesOfPage, the
+// sort is computed lazily once per write burst and cached — the §4
+// analyses read each liker's history several times.
 func (s *Store) LikesOfUser(u UserID) []Like {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]Like(nil), s.likesByUser[u]...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	if sh.userSorted[u] {
+		out := append([]Like(nil), sh.likesByUser[u]...)
+		sh.mu.RUnlock()
+		return out
+	}
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	if !sh.userSorted[u] {
+		sortUserLikes(sh.likesByUser[u])
+		sh.userSorted[u] = true
+	}
+	out := append([]Like(nil), sh.likesByUser[u]...)
+	sh.mu.Unlock()
 	return out
 }
 
 // LikeCountOfUser returns the number of pages the user likes.
 func (s *Store) LikeCountOfUser(u UserID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.likesByUser[u])
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.likesByUser[u])
 }
 
 // AddHistory bulk-imports a user's pre-existing like history. Unlike
@@ -225,39 +403,60 @@ func (s *Store) LikeCountOfUser(u UserID) int {
 // need page-side like streams (no analysis reads them), and skipping the
 // page index and dedup set keeps multi-million-like histories cheap.
 // Callers must not include honeypot pages (enforced) and must not repeat
-// pages within or across imports for the same user.
+// pages within or across imports for the same user. Concurrent imports
+// for different users proceed on different stripes.
 func (s *Store) AddHistory(u UserID, likes []Like) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[u]; !ok {
+	// Validate all referenced pages first, stripe by stripe, before
+	// touching the user shard — no lock nesting, no partial import on a
+	// bad page.
+	for i := range likes {
+		psh := s.pageShard(likes[i].Page)
+		psh.mu.RLock()
+		pg, ok := psh.pages[likes[i].Page]
+		honeypot := ok && pg.Honeypot
+		psh.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrNoPage, likes[i].Page)
+		}
+		if honeypot {
+			return fmt.Errorf("socialnet: history import may not include honeypot page %d", likes[i].Page)
+		}
+	}
+
+	sh := s.userShard(u)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.users[u]; !ok {
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
 	for _, lk := range likes {
-		pg, ok := s.pages[lk.Page]
-		if !ok {
-			return fmt.Errorf("%w: %d", ErrNoPage, lk.Page)
-		}
-		if pg.Honeypot {
-			return fmt.Errorf("socialnet: history import may not include honeypot page %d", lk.Page)
-		}
 		lk.User = u
-		s.likesByUser[u] = append(s.likesByUser[u], lk)
+		sh.likesByUser[u] = append(sh.likesByUser[u], lk)
 	}
+	delete(sh.userSorted, u)
 	return nil
 }
 
 // DeclaredFriendCount returns the friend-list length a profile displays:
 // the declared count, floored at the structurally observed degree.
 func (s *Store) DeclaredFriendCount(u UserID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	usr, ok := s.users[u]
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	usr, ok := sh.users[u]
+	declared := 0
+	if ok {
+		declared = usr.DeclaredFriends
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return 0
 	}
+
+	s.friendsMu.RLock()
 	deg := s.friends.Degree(int64(u))
-	if usr.DeclaredFriends > deg {
-		return usr.DeclaredFriends
+	s.friendsMu.RUnlock()
+	if declared > deg {
+		return declared
 	}
 	return deg
 }
@@ -265,30 +464,38 @@ func (s *Store) DeclaredFriendCount(u UserID) int {
 // Friend records a mutual friendship (Facebook friendships are
 // bidirectional, unlike Twitter follows — see §2).
 func (s *Store) Friend(a, b UserID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[a]; !ok {
+	if !s.userExists(a) {
 		return fmt.Errorf("%w: %d", ErrNoUser, a)
 	}
-	if _, ok := s.users[b]; !ok {
+	if !s.userExists(b) {
 		return fmt.Errorf("%w: %d", ErrNoUser, b)
 	}
+	s.friendsMu.Lock()
+	defer s.friendsMu.Unlock()
 	return s.friends.AddEdge(int64(a), int64(b))
+}
+
+func (s *Store) userExists(u UserID) bool {
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.users[u]
+	return ok
 }
 
 // AreFriends reports whether a and b are friends.
 func (s *Store) AreFriends(a, b UserID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.friendsMu.RLock()
+	defer s.friendsMu.RUnlock()
 	return s.friends.HasEdge(int64(a), int64(b))
 }
 
 // FriendsOf returns the user's friend list regardless of privacy; callers
 // exposing data externally must consult FriendsVisible first.
 func (s *Store) FriendsOf(u UserID) []UserID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.friendsMu.RLock()
 	ns := s.friends.Neighbors(int64(u))
+	s.friendsMu.RUnlock()
 	out := make([]UserID, len(ns))
 	for i, n := range ns {
 		out[i] = UserID(n)
@@ -298,24 +505,25 @@ func (s *Store) FriendsOf(u UserID) []UserID {
 
 // FriendCount returns the user's number of friends.
 func (s *Store) FriendCount(u UserID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.friendsMu.RLock()
+	defer s.friendsMu.RUnlock()
 	return s.friends.Degree(int64(u))
 }
 
 // FriendsVisible reports whether the user's friend list is public.
 func (s *Store) FriendsVisible(u UserID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	usr, ok := s.users[u]
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	usr, ok := sh.users[u]
 	return ok && usr.FriendsPublic
 }
 
 // FriendGraph returns a snapshot copy of the whole friendship graph.
 // Analysis code uses it as the "base" graph for 2-hop closures.
 func (s *Store) FriendGraph() *graph.Undirected {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.friendsMu.RLock()
+	defer s.friendsMu.RUnlock()
 	return s.friends.Clone()
 }
 
@@ -323,9 +531,10 @@ func (s *Store) FriendGraph() *graph.Undirected {
 // accounts keep their historical likes — the paper counted terminated
 // likers a month later, implying likes remained attributable.
 func (s *Store) Terminate(u UserID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	usr, ok := s.users[u]
+	sh := s.userShard(u)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	usr, ok := sh.users[u]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
@@ -333,26 +542,34 @@ func (s *Store) Terminate(u UserID) error {
 	return nil
 }
 
-// Directory returns the searchable-user directory (insertion order copy),
-// mirroring Facebook's public directory from which the paper's baseline
-// sample of 2000 users was drawn.
+// Directory returns the searchable-user directory in ascending ID
+// order, mirroring Facebook's public directory from which the paper's
+// baseline sample of 2000 users was drawn. Like every other read
+// accessor the order is canonical: a serial fill appends IDs in
+// ascending order anyway, and sorting keeps the directory — and
+// everything sampled from it — independent of AddUser timing.
 func (s *Store) Directory() []UserID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]UserID(nil), s.directory...)
+	s.dirMu.RLock()
+	out := append([]UserID(nil), s.directory...)
+	s.dirMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // UsersWhere returns IDs of users matching the predicate, ascending.
-// The predicate runs under the read lock; it must not call back into the
-// store.
+// The predicate runs under a shard read lock; it must not call back into
+// the store.
 func (s *Store) UsersWhere(pred func(*User) bool) []UserID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []UserID
-	for id, u := range s.users {
-		if pred(u) {
-			out = append(out, id)
+	for i := range s.userShards {
+		sh := &s.userShards[i]
+		sh.mu.RLock()
+		for id, u := range sh.users {
+			if pred(u) {
+				out = append(out, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -360,9 +577,10 @@ func (s *Store) UsersWhere(pred func(*User) bool) []UserID {
 
 // SetFriendsPublic updates the friend-list visibility of a user.
 func (s *Store) SetFriendsPublic(u UserID, public bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	usr, ok := s.users[u]
+	sh := s.userShard(u)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	usr, ok := sh.users[u]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
