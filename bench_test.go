@@ -235,8 +235,8 @@ func BenchmarkFigure5Jaccard(b *testing.B) {
 
 // benchFullStudy runs the complete end-to-end pipeline — world build,
 // 13 campaigns, monitoring, sweep, all analyses — at 1/10 scale with
-// the given worker-pool size.
-func benchFullStudy(b *testing.B, workers int) {
+// the given worker-pool size and analysis engine.
+func benchFullStudy(b *testing.B, workers int, analyses string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		cfg, err := core.ScaledConfig(int64(i)+1, 0.1)
@@ -244,6 +244,7 @@ func benchFullStudy(b *testing.B, workers int) {
 			b.Fatal(err)
 		}
 		cfg.Workers = workers
+		cfg.Analyses = analyses
 		s, err := core.NewStudy(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -255,14 +256,20 @@ func benchFullStudy(b *testing.B, workers int) {
 }
 
 // BenchmarkFullStudy measures the parallel engine at its default width
-// (Workers = GOMAXPROCS). Compare against BenchmarkFullStudySerial for
-// the speedup; the determinism tests prove both produce identical
-// output for a fixed seed.
-func BenchmarkFullStudy(b *testing.B) { benchFullStudy(b, 0) }
+// (Workers = GOMAXPROCS) with the one-pass streaming analysis phase.
+// Compare against BenchmarkFullStudySerial for the pool speedup and
+// BenchmarkFullStudyMultiScan for the one-pass win; the determinism
+// tests prove all of them produce identical output for a fixed seed.
+func BenchmarkFullStudy(b *testing.B) { benchFullStudy(b, 0, core.AnalysisOnePass) }
 
 // BenchmarkFullStudySerial is the same pipeline pinned to one worker —
 // the serial baseline for the parallel engine.
-func BenchmarkFullStudySerial(b *testing.B) { benchFullStudy(b, 1) }
+func BenchmarkFullStudySerial(b *testing.B) { benchFullStudy(b, 1, core.AnalysisOnePass) }
+
+// BenchmarkFullStudyMultiScan is the same pipeline with the legacy
+// analysis engine (one full store scan per §4 analysis) — the baseline
+// the journal-backed one-pass phase is measured against.
+func BenchmarkFullStudyMultiScan(b *testing.B) { benchFullStudy(b, 0, core.AnalysisMultiScan) }
 
 // BenchmarkSweepGrid measures the scenario-grid runner: a 4-variant
 // budget×population grid of small studies executed concurrently.
@@ -624,6 +631,167 @@ func BenchmarkMonitorPolling(b *testing.B) {
 		clock.Drain(0)
 		if mon.TotalLikes() != 1000 {
 			b.Fatalf("monitor observed %d likes", mon.TotalLikes())
+		}
+	}
+}
+
+// ---- Journal and one-pass analysis benches (DESIGN.md §8) ----
+
+// BenchmarkJournalMillionLikes is the million-like ingest bench: a
+// quarter-million users bulk-import four-page histories (the journal's
+// batched append path) and the canonical merged view is materialized
+// once — the exact shape of the study's materialize-then-analyze phase
+// at production scale.
+func BenchmarkJournalMillionLikes(b *testing.B) {
+	const nUsers = 1 << 18 // 262,144 users
+	const perUser = 4      // -> ~1M like events
+	const nPages = 512
+	t0 := core.StudyStart.AddDate(-1, 0, 0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := socialnet.NewStore()
+		users := make([]socialnet.UserID, nUsers)
+		for j := range users {
+			users[j] = st.AddUser(socialnet.User{Country: socialnet.CountryUSA})
+		}
+		pages := make([]socialnet.PageID, nPages)
+		for j := range pages {
+			pages[j], _ = st.AddPage(socialnet.Page{Name: fmt.Sprintf("p%d", j)})
+		}
+		b.StartTimer()
+		likes := make([]socialnet.Like, perUser)
+		for j, u := range users {
+			for k := 0; k < perUser; k++ {
+				// 131 is coprime to 512: distinct pages per user.
+				likes[k] = socialnet.Like{
+					Page: pages[(j+131*k)%nPages],
+					At:   t0.Add(time.Duration((j*perUser+k)%100000) * time.Second),
+				}
+			}
+			if err := st.AddHistory(u, likes); err != nil {
+				b.Fatal(err)
+			}
+		}
+		evs := st.Journal().EventsCanonical(0)
+		if len(evs) != nUsers*perUser {
+			b.Fatalf("journal holds %d events, want %d", len(evs), nUsers*perUser)
+		}
+	}
+	b.ReportMetric(float64(nUsers*perUser), "likes/op")
+}
+
+// BenchmarkMonitorTickIncremental proves the §3 monitor's ticks are
+// O(new likes), not O(all likes): after a backlog of any size, a quiet
+// poll costs the same — while the pre-journal full-rescan approach
+// (simulated by the "rescan" sub-benches) scales linearly with the
+// backlog.
+func BenchmarkMonitorTickIncremental(b *testing.B) {
+	setup := func(b *testing.B, backlog int) (*socialnet.Store, socialnet.PageID, *simclock.Clock) {
+		b.Helper()
+		st := socialnet.NewStore()
+		page, err := st.AddPage(socialnet.Page{Name: "p", Honeypot: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < backlog; j++ {
+			u := st.AddUser(socialnet.User{Country: socialnet.CountryUSA})
+			if err := st.AddLike(u, page, core.StudyStart.Add(time.Duration(j)*time.Second)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return st, page, simclock.New(core.StudyStart.AddDate(0, 1, 0))
+	}
+	for _, backlog := range []int{10_000, 100_000, 500_000} {
+		backlog := backlog
+		b.Run(fmt.Sprintf("backlog=%d/incremental", backlog), func(b *testing.B) {
+			st, page, clock := setup(b, backlog)
+			cfg := honeypot.DefaultMonitorConfig(100000) // stay in the active phase
+			cfg.MaxDays = 0
+			mon, err := honeypot.StartMonitor(clock, st, page, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clock.RunFor(2 * time.Hour) // exactly one quiet poll
+			}
+			b.StopTimer()
+			if mon.TotalLikes() != backlog {
+				b.Fatalf("monitor observed %d of %d likes", mon.TotalLikes(), backlog)
+			}
+		})
+		b.Run(fmt.Sprintf("backlog=%d/rescan", backlog), func(b *testing.B) {
+			st, page, _ := setup(b, backlog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The pre-journal monitor re-read the cumulative stream
+				// on every poll.
+				if got := len(st.LikesOfPage(page)); got != backlog {
+					b.Fatalf("rescan saw %d likes", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisOnePass measures the streaming analysis phase in
+// isolation: one canonical journal materialization feeding all six
+// like-scan aggregators.
+func BenchmarkAnalysisOnePass(b *testing.B) {
+	s, res := benchSetup(b)
+	st := s.Store()
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geo := analysis.NewGeoAggregator(st, camps)
+		demo := analysis.NewDemoAggregator(st, camps)
+		win := analysis.NewWindowAggregator(camps)
+		cdf := analysis.NewPageLikeCDFAggregator(camps, res.Baseline)
+		jac := analysis.NewJaccardAggregator(camps)
+		rem := analysis.NewRemovedLikesAggregator(st, camps)
+		err := analysis.RunPass(st.Journal(), camps, res.Baseline, 0,
+			geo, demo, win, cdf, jac, rem)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalysisMultiScan measures the legacy analysis phase: one
+// full store scan per analysis (the baseline BenchmarkAnalysisOnePass
+// replaces). Note this bench flatters the legacy path: repeated
+// iterations reuse the store's lazy per-user sort caches, which a real
+// run pays for cold — the end-to-end comparison (BenchmarkFullStudy vs
+// BenchmarkFullStudyMultiScan) is the honest one, and there the
+// one-pass engine wins.
+func BenchmarkAnalysisMultiScan(b *testing.B) {
+	s, res := benchSetup(b)
+	st := s.Store()
+	camps := analysisCampaigns(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.LocationBreakdown(st, camps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analysis.Demographics(st, camps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analysis.PageLikeCDFs(st, camps, res.Baseline); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := analysis.JaccardMatrices(st, camps); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range camps {
+			likes := st.LikesOfPage(c.Page)
+			times := make([]time.Time, len(likes))
+			for j, lk := range likes {
+				times[j] = lk.At
+			}
+			if _, err := analysis.WindowAnalysis(c.ID, times); err != nil {
+				b.Fatal(err)
+			}
+			_ = st.LikeCountOfPage(c.Page) - st.ActiveLikeCountOfPage(c.Page)
 		}
 	}
 }

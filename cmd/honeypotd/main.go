@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
@@ -26,13 +30,19 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stderr, http.ListenAndServe))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(os.Args[1:], os.Stderr, func(addr string, h http.Handler) error {
+		return serveGraceful(ctx, addr, h, os.Stderr)
+	}))
 }
 
 // run is the testable body of the command: it parses flags, builds (or
 // loads) the world, assembles the crawl surface, and hands the handler
-// to serve. Tests inject a serve function backed by httptest instead of
-// a real listener. It returns the process exit code.
+// to serve. In production serve is serveGraceful — an http.Server with
+// slow-client timeouts that drains on SIGINT/SIGTERM; tests inject a
+// serve function backed by httptest instead of a real listener. It
+// returns the process exit code.
 func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) int {
 	fs := flag.NewFlagSet("honeypotd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -129,4 +139,44 @@ func newHandler(store *socialnet.Store, token string, rps float64) http.Handler 
 		handler = api.Throttle(handler, rps, int(rps)+1)
 	}
 	return handler
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before the process exits anyway.
+const shutdownGrace = 10 * time.Second
+
+// serveGraceful runs an http.Server with slow-client timeouts and
+// drains it cleanly when ctx is cancelled (SIGINT/SIGTERM in main). A
+// clean shutdown returns nil; an aborted listener returns its error.
+func serveGraceful(ctx context.Context, addr string, h http.Handler, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(stderr, "honeypotd: signal received, draining for up to %s\n", shutdownGrace)
+		shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		// Serve may have failed for a real reason racing the signal;
+		// only a clean close is success.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

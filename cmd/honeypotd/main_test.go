@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // serveOnce runs the command with a serve function that captures the
@@ -78,5 +80,39 @@ func TestBadScaleFails(t *testing.T) {
 	code := run([]string{"-scale", "9"}, &stderr, func(string, http.Handler) error { return nil })
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stderr bytes.Buffer
+	done := make(chan error, 1)
+	addr := "127.0.0.1:0"
+	go func() {
+		done <- serveGraceful(ctx, addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}), &stderr)
+	}()
+	// Let the listener come up, then signal shutdown.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within 5s")
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("draining")) {
+		t.Fatalf("stderr missing drain notice: %s", stderr.String())
+	}
+}
+
+func TestServeGracefulBadAddr(t *testing.T) {
+	var stderr bytes.Buffer
+	err := serveGraceful(context.Background(), "256.256.256.256:99999", http.NotFoundHandler(), &stderr)
+	if err == nil {
+		t.Fatal("bad address should fail to listen")
 	}
 }

@@ -17,6 +17,14 @@
 // variants at once. Results are bit-identical for any worker count
 // (StudyConfig.Workers); see DESIGN.md §3–§6.
 //
+// Every like flows through socialnet.Journal, an append-only sharded
+// event log the indexes are derived views of. Honeypot monitors advance
+// per-page journal cursors (O(new likes) per §3 poll), the §4 analyses
+// run as streaming Aggregators fanned out over one pass of the journal
+// (analysis.RunPass), and the fraud sweep groups its burst features
+// from one journal scan; see DESIGN.md §8 for the cursor semantics and
+// the determinism rules new aggregators must follow.
+//
 // The root-level benchmarks (bench_test.go) regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment
 // index and the sharding + worker-pool architecture.

@@ -50,19 +50,38 @@ type GeoRow struct {
 	Total   int
 }
 
-// LocationBreakdown computes Figure 1: per campaign, the percentage of
-// likers per country, with non-study countries folded into "Other".
-func LocationBreakdown(st *socialnet.Store, campaigns []Campaign) ([]GeoRow, error) {
+// knownCountries returns the study-country membership set used to fold
+// everything else into "Other".
+func knownCountries() map[string]bool {
 	known := make(map[string]bool)
 	for _, c := range socialnet.StudyCountries() {
 		known[c] = true
 	}
+	return known
+}
+
+// geoRowFrom normalizes accumulated per-country liker counts into a
+// Figure 1 row (counts become percentages in place).
+func geoRowFrom(id string, counts map[string]float64, total int) GeoRow {
+	if total > 0 {
+		for k := range counts {
+			counts[k] = 100 * counts[k] / float64(total)
+		}
+	}
+	return GeoRow{CampaignID: id, Percent: counts, Total: total}
+}
+
+// LocationBreakdown computes Figure 1: per campaign, the percentage of
+// likers per country, with non-study countries folded into "Other".
+func LocationBreakdown(st *socialnet.Store, campaigns []Campaign) ([]GeoRow, error) {
+	known := knownCountries()
 	var out []GeoRow
 	for _, c := range campaigns {
 		if !c.Active {
 			continue
 		}
-		row := GeoRow{CampaignID: c.ID, Percent: make(map[string]float64)}
+		counts := make(map[string]float64)
+		total := 0
 		for _, uid := range c.Likers {
 			u, err := st.User(uid)
 			if err != nil {
@@ -72,15 +91,10 @@ func LocationBreakdown(st *socialnet.Store, campaigns []Campaign) ([]GeoRow, err
 			if !known[label] {
 				label = socialnet.CountryOther
 			}
-			row.Percent[label]++
-			row.Total++
+			counts[label]++
+			total++
 		}
-		if row.Total > 0 {
-			for k := range row.Percent {
-				row.Percent[k] = 100 * row.Percent[k] / float64(row.Total)
-			}
-		}
-		out = append(out, row)
+		out = append(out, geoRowFrom(c.ID, counts, total))
 	}
 	return out, nil
 }
@@ -98,6 +112,50 @@ type DemoRow struct {
 	N  int
 }
 
+// demoTally accumulates one campaign's gender/age counts; demoRowFrom
+// turns the tally into a Table 2 row. Shared between the batch scan and
+// the streaming aggregator.
+type demoTally struct {
+	ageCounts [6]float64
+	nf, nm, n int
+}
+
+func (t *demoTally) observe(u socialnet.User) {
+	switch u.Gender {
+	case socialnet.GenderFemale:
+		t.nf++
+	case socialnet.GenderMale:
+		t.nm++
+	}
+	if int(u.Age) < len(t.ageCounts) {
+		t.ageCounts[u.Age]++
+	}
+	t.n++
+}
+
+func demoRowFrom(id string, t demoTally) (DemoRow, error) {
+	row := DemoRow{CampaignID: id, N: t.n}
+	if t.nf+t.nm > 0 {
+		row.FemalePct = 100 * float64(t.nf) / float64(t.nf+t.nm)
+		row.MalePct = 100 * float64(t.nm) / float64(t.nf+t.nm)
+	}
+	total := 0.0
+	for _, v := range t.ageCounts {
+		total += v
+	}
+	if total > 0 {
+		for i, v := range t.ageCounts {
+			row.AgePct[i] = 100 * v / total
+		}
+		kl, err := stats.KLDivergence(t.ageCounts[:], socialnet.GlobalAgeDistribution())
+		if err != nil {
+			return DemoRow{}, fmt.Errorf("analysis: demographics KL: %w", err)
+		}
+		row.KL = kl
+	}
+	return row, nil
+}
+
 // Demographics computes Table 2 for the active campaigns.
 func Demographics(st *socialnet.Store, campaigns []Campaign) ([]DemoRow, error) {
 	var out []DemoRow
@@ -105,42 +163,17 @@ func Demographics(st *socialnet.Store, campaigns []Campaign) ([]DemoRow, error) 
 		if !c.Active {
 			continue
 		}
-		row := DemoRow{CampaignID: c.ID}
-		var ageCounts [6]float64
-		var nf, nm int
+		var tally demoTally
 		for _, uid := range c.Likers {
 			u, err := st.User(uid)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: demographics: %w", err)
 			}
-			switch u.Gender {
-			case socialnet.GenderFemale:
-				nf++
-			case socialnet.GenderMale:
-				nm++
-			}
-			if int(u.Age) < len(ageCounts) {
-				ageCounts[u.Age]++
-			}
-			row.N++
+			tally.observe(u)
 		}
-		if nf+nm > 0 {
-			row.FemalePct = 100 * float64(nf) / float64(nf+nm)
-			row.MalePct = 100 * float64(nm) / float64(nf+nm)
-		}
-		total := 0.0
-		for _, v := range ageCounts {
-			total += v
-		}
-		if total > 0 {
-			for i, v := range ageCounts {
-				row.AgePct[i] = 100 * v / total
-			}
-			kl, err := stats.KLDivergence(ageCounts[:], socialnet.GlobalAgeDistribution())
-			if err != nil {
-				return nil, fmt.Errorf("analysis: demographics KL: %w", err)
-			}
-			row.KL = kl
+		row, err := demoRowFrom(c.ID, tally)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, row)
 	}

@@ -20,6 +20,31 @@ type PageLikeCDF struct {
 	ECDF       *stats.ECDF
 }
 
+// newPageLikeCDF assembles one Figure 4 row from per-user page-like
+// counts. Shared between the batch scan and the streaming aggregator.
+func newPageLikeCDF(id string, counts []float64) (PageLikeCDF, error) {
+	e, err := stats.NewECDF(counts)
+	if err != nil {
+		return PageLikeCDF{}, fmt.Errorf("analysis: page-like CDF %s: %w", id, err)
+	}
+	med, err := stats.Median(counts)
+	if err != nil {
+		return PageLikeCDF{}, err
+	}
+	p90, err := stats.Quantile(counts, 0.9)
+	if err != nil {
+		return PageLikeCDF{}, err
+	}
+	_, max, err := stats.MinMax(counts)
+	if err != nil {
+		return PageLikeCDF{}, err
+	}
+	return PageLikeCDF{
+		CampaignID: id, N: len(counts),
+		Median: med, P90: p90, Max: max, ECDF: e,
+	}, nil
+}
+
 // PageLikeCDFs computes Figure 4 for the active campaigns, plus the
 // baseline sample labelled "Facebook" when baseline is non-empty.
 func PageLikeCDFs(st *socialnet.Store, campaigns []Campaign, baseline []socialnet.UserID) ([]PageLikeCDF, error) {
@@ -32,26 +57,11 @@ func PageLikeCDFs(st *socialnet.Store, campaigns []Campaign, baseline []socialne
 		for i, u := range users {
 			counts[i] = float64(st.LikeCountOfUser(u))
 		}
-		e, err := stats.NewECDF(counts)
-		if err != nil {
-			return fmt.Errorf("analysis: page-like CDF %s: %w", id, err)
-		}
-		med, err := stats.Median(counts)
+		row, err := newPageLikeCDF(id, counts)
 		if err != nil {
 			return err
 		}
-		p90, err := stats.Quantile(counts, 0.9)
-		if err != nil {
-			return err
-		}
-		_, max, err := stats.MinMax(counts)
-		if err != nil {
-			return err
-		}
-		out = append(out, PageLikeCDF{
-			CampaignID: id, N: len(users),
-			Median: med, P90: p90, Max: max, ECDF: e,
-		})
+		out = append(out, row)
 		return nil
 	}
 	for _, c := range campaigns {
@@ -117,22 +127,41 @@ func JaccardMatrices(st *socialnet.Store, campaigns []Campaign) (pageSim, userSi
 			}
 		}
 	}
-	pageSim = make([][]float64, n)
-	userSim = make([][]float64, n)
+	pageSim, userSim = jaccardFromSets(campaigns, pageSets, userSets)
+	return pageSim, userSim, nil
+}
+
+// jaccardFromSets turns per-campaign page and liker sets into the
+// Figure 5 similarity matrices.
+func jaccardFromSets(campaigns []Campaign, pageSets []map[socialnet.PageID]struct{}, userSets []map[socialnet.UserID]struct{}) (pageSim, userSim [][]float64) {
+	return similarityMatrices(campaigns,
+		func(a, b int) float64 { return 100 * stats.Jaccard(pageSets[a], pageSets[b]) },
+		func(a, b int) float64 { return 100 * stats.Jaccard(userSets[a], userSets[b]) })
+}
+
+// similarityMatrices assembles the Figure 5 matrix shape — diagonal
+// 100 for active campaigns, 0 rows for inactive ones, symmetric
+// off-diagonal entries from the pairwise callbacks — shared between
+// the batch scan (map sets) and the streaming aggregator (dense
+// bitmaps), so the encoding of the matrix rules cannot diverge.
+func similarityMatrices(campaigns []Campaign, pageSim, userSim func(a, b int) float64) (ps, us [][]float64) {
+	n := len(campaigns)
+	ps = make([][]float64, n)
+	us = make([][]float64, n)
 	for i := 0; i < n; i++ {
-		pageSim[i] = make([]float64, n)
-		userSim[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				if campaigns[i].Active {
-					pageSim[i][j] = 100
-					userSim[i][j] = 100
-				}
-				continue
-			}
-			pageSim[i][j] = 100 * stats.Jaccard(pageSets[i], pageSets[j])
-			userSim[i][j] = 100 * stats.Jaccard(userSets[i], userSets[j])
+		ps[i] = make([]float64, n)
+		us[i] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		if campaigns[a].Active {
+			ps[a][a] = 100
+			us[a][a] = 100
+		}
+		for b := a + 1; b < n; b++ {
+			p, u := pageSim(a, b), userSim(a, b)
+			ps[a][b], ps[b][a] = p, p
+			us[a][b], us[b][a] = u, u
 		}
 	}
-	return pageSim, userSim, nil
+	return ps, us
 }

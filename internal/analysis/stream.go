@@ -1,0 +1,611 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/socialnet"
+	"repro/internal/stats"
+)
+
+// Aggregator is a streaming §4 analysis: it observes each relevant
+// like event of the store's journal exactly once and assembles its
+// artifact in Finalize. The study engine fans all aggregators out over
+// ONE filtered extraction of the journal instead of running one full
+// store scan per analysis.
+//
+// Events arrive in shard-canonical order: journal shards in index
+// order, events canonically (time, user, page) sorted within each
+// shard's span. That order is a pure function of the event set and the
+// shard count, so it is reproducible — but it is not globally
+// time-sorted, and the shard count is a deployment knob. Determinism
+// rules for implementations (DESIGN.md §8): Observe must therefore be
+// an ORDER-INSENSITIVE fold (counts, sets, sums) plus read-only store
+// lookups — no randomness, no iteration over Go maps into ordered
+// output, no dependence on wall time; an analysis that needs time
+// order must buffer and sort its own (filtered, small) series, as
+// WindowAggregator does — and Finalize must emit rows in campaign
+// (input-slice) order. Under those rules an aggregator's output is
+// bit-identical for every worker count and store shard count
+// (TestAggregatorsDeterministicAcrossShardCounts).
+//
+// Observe runs on the hot path — millions of events per run — so the
+// concrete aggregators key their membership tests off dense arrays
+// indexed by the (densely assigned) user and page IDs, not maps.
+type Aggregator interface {
+	// Observe folds one journal event into the aggregator's state.
+	// Implementations must not retain the event's memory beyond the
+	// call except by value.
+	Observe(ev socialnet.LikeEvent)
+	// Finalize completes the fold and reports the first error captured
+	// during the pass, if any. Results are exposed by concrete types.
+	Finalize() error
+}
+
+// Consume feeds every event to the aggregator in order and finalizes
+// it — the single-aggregator driver; the study engine runs one Consume
+// per aggregator over a shared filtered extraction.
+func Consume(events []socialnet.LikeEvent, agg Aggregator) error {
+	for _, ev := range events {
+		agg.Observe(ev)
+	}
+	return agg.Finalize()
+}
+
+// RunPass drives every aggregator over the study-relevant journal
+// events in one pass. Two execution shapes, chosen by pool width and
+// byte-identical in output (aggregators are order-insensitive folds,
+// so the event order between the shapes may differ):
+//
+//   - Serial pool: a single fused journal scan — no filtered slice is
+//     ever materialized; each relevant event is handed to all
+//     aggregators in turn. This minimizes total work (one traversal,
+//     zero allocation), which is what a one-core deployment needs.
+//   - Parallel pool: the relevant events are extracted once in
+//     shard-canonical order (per-shard filter + sort on the pool) and
+//     the aggregators then consume the shared slice concurrently, one
+//     task per aggregator.
+func RunPass(j *socialnet.Journal, campaigns []Campaign, baseline []socialnet.UserID, workers int, aggs ...Aggregator) error {
+	keep := relevantFilter(campaigns, baseline)
+	if parallel.Workers(workers) == 1 {
+		j.Scan(func(ev socialnet.LikeEvent) {
+			if !keep(ev) {
+				return
+			}
+			for _, agg := range aggs {
+				agg.Observe(ev)
+			}
+		})
+		for _, agg := range aggs {
+			if err := agg.Finalize(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	events := j.EventsWhere(workers, keep)
+	return parallel.ForEach(workers, len(aggs), func(i int) error {
+		return Consume(events, aggs[i])
+	})
+}
+
+// RelevantEvents extracts, in shard-canonical order, the subsequence
+// of the journal the §4 aggregators can possibly act on: events by a
+// tracked user (an observed liker of an active campaign, or a baseline
+// sample member) or on a campaign page. The journal also carries the
+// ambient histories of the entire organic population — far more events
+// than the study's likers produce — so the selection runs as a
+// per-shard filter (two dense-array membership tests per event) and
+// only the survivors are sorted, per shard, on the pool. This is what
+// lets six aggregators consume the stream for less than one batch
+// scan. The filter is a transparent superset: aggregators keep their
+// own (now cheap) membership logic, so feeding them the raw canonical
+// stream produces identical output.
+func RelevantEvents(j *socialnet.Journal, campaigns []Campaign, baseline []socialnet.UserID, workers int) []socialnet.LikeEvent {
+	return j.EventsWhere(workers, relevantFilter(campaigns, baseline))
+}
+
+// relevantFilter builds the dense-array predicate behind RelevantEvents
+// and RunPass: keep events by tracked users or on campaign pages. One
+// definition, so the materialized and fused paths can never drift.
+func relevantFilter(campaigns []Campaign, baseline []socialnet.UserID) func(socialnet.LikeEvent) bool {
+	users := denseUserSet(campaigns, baseline)
+	pages := densePageIndex(campaigns, false)
+	return func(ev socialnet.LikeEvent) bool {
+		return (int(ev.User) < len(users) && users[ev.User]) ||
+			(int(ev.Page) < len(pages) && pages[ev.Page] >= 0)
+	}
+}
+
+// densePageIndex maps page ID to campaign index as a flat array (-1 =
+// not a campaign page), sized by the largest campaign page ID. Events
+// referencing pages beyond the array are by definition not campaign
+// pages — callers bounds-check with len.
+func densePageIndex(campaigns []Campaign, activeOnly bool) []int32 {
+	var maxPage socialnet.PageID
+	for _, c := range campaigns {
+		if c.Page > maxPage {
+			maxPage = c.Page
+		}
+	}
+	idx := make([]int32, maxPage+1)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, c := range campaigns {
+		if activeOnly && !c.Active {
+			continue
+		}
+		idx[c.Page] = int32(i)
+	}
+	return idx
+}
+
+// denseLikerSets returns per-campaign observed-liker membership arrays
+// (nil for inactive campaigns), indexed by user ID. The analyses
+// attribute a like to a campaign only when the monitor observed the
+// liker — the observables the paper's authors had — so aggregators
+// filter page events through these sets rather than trusting raw page
+// traffic.
+func denseLikerSets(campaigns []Campaign) [][]bool {
+	var maxUser socialnet.UserID
+	for _, c := range campaigns {
+		for _, u := range c.Likers {
+			if u > maxUser {
+				maxUser = u
+			}
+		}
+	}
+	out := make([][]bool, len(campaigns))
+	for i, c := range campaigns {
+		if !c.Active {
+			continue
+		}
+		set := make([]bool, maxUser+1)
+		for _, u := range c.Likers {
+			set[u] = true
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// denseUserSet returns the union of active campaigns' likers and the
+// baseline sample as a flat membership array indexed by user ID.
+func denseUserSet(campaigns []Campaign, baseline []socialnet.UserID) []bool {
+	var maxUser socialnet.UserID
+	for _, c := range campaigns {
+		for _, u := range c.Likers {
+			if u > maxUser {
+				maxUser = u
+			}
+		}
+	}
+	for _, u := range baseline {
+		if u > maxUser {
+			maxUser = u
+		}
+	}
+	set := make([]bool, maxUser+1)
+	for _, c := range campaigns {
+		if !c.Active {
+			continue
+		}
+		for _, u := range c.Likers {
+			set[u] = true
+		}
+	}
+	for _, u := range baseline {
+		set[u] = true
+	}
+	return set
+}
+
+// memberOf reports whether user u is in the dense set.
+func memberOf(set []bool, u socialnet.UserID) bool {
+	return int(u) < len(set) && set[u]
+}
+
+// campaignOf resolves a page to its campaign index, or -1.
+func campaignOf(idx []int32, p socialnet.PageID) int32 {
+	if int(p) >= len(idx) {
+		return -1
+	}
+	return idx[p]
+}
+
+// GeoAggregator streams Figure 1 (liker geolocation per campaign).
+type GeoAggregator struct {
+	st        *socialnet.Store
+	campaigns []Campaign
+	pageIdx   []int32
+	likerOf   [][]bool
+	known     map[string]bool
+	counts    []map[string]float64
+	totals    []int
+	rows      []GeoRow
+	err       error
+}
+
+// NewGeoAggregator builds the Figure 1 aggregator.
+func NewGeoAggregator(st *socialnet.Store, campaigns []Campaign) *GeoAggregator {
+	g := &GeoAggregator{
+		st:        st,
+		campaigns: campaigns,
+		pageIdx:   densePageIndex(campaigns, true),
+		likerOf:   denseLikerSets(campaigns),
+		known:     knownCountries(),
+		counts:    make([]map[string]float64, len(campaigns)),
+		totals:    make([]int, len(campaigns)),
+	}
+	for i, c := range campaigns {
+		if c.Active {
+			g.counts[i] = make(map[string]float64)
+		}
+	}
+	return g
+}
+
+// Observe implements Aggregator.
+func (g *GeoAggregator) Observe(ev socialnet.LikeEvent) {
+	i := campaignOf(g.pageIdx, ev.Page)
+	if i < 0 || !memberOf(g.likerOf[i], ev.User) || g.err != nil {
+		return
+	}
+	u, err := g.st.User(ev.User)
+	if err != nil {
+		g.err = fmt.Errorf("analysis: geolocation: %w", err)
+		return
+	}
+	label := u.Country
+	if !g.known[label] {
+		label = socialnet.CountryOther
+	}
+	g.counts[i][label]++
+	g.totals[i]++
+}
+
+// Finalize implements Aggregator.
+func (g *GeoAggregator) Finalize() error {
+	if g.err != nil {
+		return g.err
+	}
+	for i, c := range g.campaigns {
+		if !c.Active {
+			continue
+		}
+		g.rows = append(g.rows, geoRowFrom(c.ID, g.counts[i], g.totals[i]))
+	}
+	return nil
+}
+
+// Rows returns the Figure 1 rows (valid after Finalize).
+func (g *GeoAggregator) Rows() []GeoRow { return g.rows }
+
+// DemoAggregator streams Table 2 (gender/age demographics + KL).
+type DemoAggregator struct {
+	st        *socialnet.Store
+	campaigns []Campaign
+	pageIdx   []int32
+	likerOf   [][]bool
+	tallies   []demoTally
+	rows      []DemoRow
+	err       error
+}
+
+// NewDemoAggregator builds the Table 2 aggregator.
+func NewDemoAggregator(st *socialnet.Store, campaigns []Campaign) *DemoAggregator {
+	return &DemoAggregator{
+		st:        st,
+		campaigns: campaigns,
+		pageIdx:   densePageIndex(campaigns, true),
+		likerOf:   denseLikerSets(campaigns),
+		tallies:   make([]demoTally, len(campaigns)),
+	}
+}
+
+// Observe implements Aggregator.
+func (d *DemoAggregator) Observe(ev socialnet.LikeEvent) {
+	i := campaignOf(d.pageIdx, ev.Page)
+	if i < 0 || !memberOf(d.likerOf[i], ev.User) || d.err != nil {
+		return
+	}
+	u, err := d.st.User(ev.User)
+	if err != nil {
+		d.err = fmt.Errorf("analysis: demographics: %w", err)
+		return
+	}
+	d.tallies[i].observe(u)
+}
+
+// Finalize implements Aggregator.
+func (d *DemoAggregator) Finalize() error {
+	if d.err != nil {
+		return d.err
+	}
+	for i, c := range d.campaigns {
+		if !c.Active {
+			continue
+		}
+		row, err := demoRowFrom(c.ID, d.tallies[i])
+		if err != nil {
+			return err
+		}
+		d.rows = append(d.rows, row)
+	}
+	return nil
+}
+
+// Rows returns the Table 2 rows (valid after Finalize).
+func (d *DemoAggregator) Rows() []DemoRow { return d.rows }
+
+// WindowAggregator streams the 2-hour window analysis (Figure 2 at
+// sub-day granularity) for every campaign, active or not — inactive
+// pages simply contribute empty streams, matching the batch scan.
+type WindowAggregator struct {
+	campaigns []Campaign
+	pageIdx   []int32
+	times     [][]time.Time
+	stats     []WindowStats
+}
+
+// NewWindowAggregator builds the window-analysis aggregator.
+func NewWindowAggregator(campaigns []Campaign) *WindowAggregator {
+	return &WindowAggregator{
+		campaigns: campaigns,
+		pageIdx:   densePageIndex(campaigns, false),
+		times:     make([][]time.Time, len(campaigns)),
+	}
+}
+
+// Observe implements Aggregator.
+func (w *WindowAggregator) Observe(ev socialnet.LikeEvent) {
+	if i := campaignOf(w.pageIdx, ev.Page); i >= 0 {
+		w.times[i] = append(w.times[i], ev.At)
+	}
+}
+
+// Finalize implements Aggregator. The window scans need time-sorted
+// series, and the stream is only shard-canonical, so each campaign's
+// (small) series is sorted here — the one place in the streaming layer
+// that pays for order, at per-campaign rather than journal scale.
+func (w *WindowAggregator) Finalize() error {
+	w.stats = make([]WindowStats, len(w.campaigns))
+	for i, c := range w.campaigns {
+		ts := w.times[i]
+		sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
+		ws, err := WindowAnalysis(c.ID, ts)
+		if err != nil {
+			return err
+		}
+		w.stats[i] = ws
+	}
+	return nil
+}
+
+// Stats returns one WindowStats per campaign, in campaign order (valid
+// after Finalize).
+func (w *WindowAggregator) Stats() []WindowStats { return w.stats }
+
+// PageLikeCDFAggregator streams Figure 4: the distribution of total
+// page-like counts per liker for every active campaign, plus the
+// organic baseline sample labelled "Facebook". A user's count is their
+// total journal presence — campaign likes and imported history alike —
+// exactly what the profile crawl of §4.4 measured.
+type PageLikeCDFAggregator struct {
+	campaigns []Campaign
+	baseline  []socialnet.UserID
+	tracked   []bool
+	counts    []int32
+	rows      []PageLikeCDF
+}
+
+// NewPageLikeCDFAggregator builds the Figure 4 aggregator.
+func NewPageLikeCDFAggregator(campaigns []Campaign, baseline []socialnet.UserID) *PageLikeCDFAggregator {
+	tracked := denseUserSet(campaigns, baseline)
+	return &PageLikeCDFAggregator{
+		campaigns: campaigns,
+		baseline:  baseline,
+		tracked:   tracked,
+		counts:    make([]int32, len(tracked)),
+	}
+}
+
+// Observe implements Aggregator.
+func (a *PageLikeCDFAggregator) Observe(ev socialnet.LikeEvent) {
+	if memberOf(a.tracked, ev.User) {
+		a.counts[ev.User]++
+	}
+}
+
+// Finalize implements Aggregator.
+func (a *PageLikeCDFAggregator) Finalize() error {
+	build := func(id string, users []socialnet.UserID) error {
+		if len(users) == 0 {
+			return nil
+		}
+		counts := make([]float64, len(users))
+		for i, u := range users {
+			counts[i] = float64(a.counts[u])
+		}
+		row, err := newPageLikeCDF(id, counts)
+		if err != nil {
+			return err
+		}
+		a.rows = append(a.rows, row)
+		return nil
+	}
+	for _, c := range a.campaigns {
+		if !c.Active {
+			continue
+		}
+		if err := build(c.ID, c.Likers); err != nil {
+			return err
+		}
+	}
+	return build("Facebook", a.baseline)
+}
+
+// Rows returns the Figure 4 rows (valid after Finalize).
+func (a *PageLikeCDFAggregator) Rows() []PageLikeCDF { return a.rows }
+
+// JaccardAggregator streams Figure 5: pairwise similarity of campaigns'
+// page-like unions and liker sets. The page union of a campaign is
+// every page its observed likers like — assembled here from each
+// liker's events as they stream by, into dense per-campaign page
+// bitmaps, instead of copying each liker's full history out of the
+// store and folding maps.
+type JaccardAggregator struct {
+	campaigns []Campaign
+	likerOf   [][]bool
+	// anyLiker is the union of likerOf: the early-out that spares
+	// baseline-only users the per-campaign probes on the hot path.
+	anyLiker []bool
+	// pageSeen[i][p] marks page p liked by a member of campaign i
+	// (excluding i's own honeypot page). Grown on demand: page IDs are
+	// dense but the universe isn't known up front.
+	pageSeen [][]bool
+	pageSim  [][]float64
+	userSim  [][]float64
+}
+
+// NewJaccardAggregator builds the Figure 5 aggregator.
+func NewJaccardAggregator(campaigns []Campaign) *JaccardAggregator {
+	return &JaccardAggregator{
+		campaigns: campaigns,
+		likerOf:   denseLikerSets(campaigns),
+		anyLiker:  denseUserSet(campaigns, nil),
+		pageSeen:  make([][]bool, len(campaigns)),
+	}
+}
+
+// Observe implements Aggregator.
+func (j *JaccardAggregator) Observe(ev socialnet.LikeEvent) {
+	if !memberOf(j.anyLiker, ev.User) {
+		return
+	}
+	for i := range j.campaigns {
+		if j.likerOf[i] == nil || !memberOf(j.likerOf[i], ev.User) {
+			continue
+		}
+		if ev.Page == j.campaigns[i].Page {
+			continue // exclude the campaign's own honeypot page
+		}
+		seen := j.pageSeen[i]
+		if int(ev.Page) >= len(seen) {
+			grown := make([]bool, int(ev.Page)+1)
+			copy(grown, seen)
+			seen = grown
+			j.pageSeen[i] = seen
+		}
+		seen[ev.Page] = true
+	}
+}
+
+// Finalize implements Aggregator.
+func (j *JaccardAggregator) Finalize() error {
+	n := len(j.campaigns)
+	sizes := make([]int, n)
+	for i, seen := range j.pageSeen {
+		for _, ok := range seen {
+			if ok {
+				sizes[i]++
+			}
+		}
+	}
+	jaccard := func(a, b []bool, na, nb int) float64 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		m := len(a)
+		if len(b) < m {
+			m = len(b)
+		}
+		inter := 0
+		for p := 0; p < m; p++ {
+			if a[p] && b[p] {
+				inter++
+			}
+		}
+		return float64(inter) / float64(na+nb-inter)
+	}
+	userSets := make([]map[socialnet.UserID]struct{}, n)
+	for i, c := range j.campaigns {
+		userSets[i] = make(map[socialnet.UserID]struct{})
+		if !c.Active {
+			continue
+		}
+		for _, u := range c.Likers {
+			userSets[i][u] = struct{}{}
+		}
+	}
+	j.pageSim, j.userSim = similarityMatrices(j.campaigns,
+		func(a, b int) float64 { return 100 * jaccard(j.pageSeen[a], j.pageSeen[b], sizes[a], sizes[b]) },
+		func(a, b int) float64 { return 100 * stats.Jaccard(userSets[a], userSets[b]) })
+	return nil
+}
+
+// Matrices returns the Figure 5 page and liker similarity matrices
+// (valid after Finalize).
+func (j *JaccardAggregator) Matrices() (pageSim, userSim [][]float64) {
+	return j.pageSim, j.userSim
+}
+
+// RemovedLikesAggregator streams the §5 follow-up observable: how many
+// of each honeypot page's likes the termination sweep removed. It must
+// run after the sweep, since it reads account status per page event.
+type RemovedLikesAggregator struct {
+	st        *socialnet.Store
+	campaigns []Campaign
+	pageIdx   []int32
+	total     []int
+	active    []int
+	removed   map[string]int
+	err       error
+}
+
+// NewRemovedLikesAggregator builds the removed-likes aggregator.
+func NewRemovedLikesAggregator(st *socialnet.Store, campaigns []Campaign) *RemovedLikesAggregator {
+	return &RemovedLikesAggregator{
+		st:        st,
+		campaigns: campaigns,
+		pageIdx:   densePageIndex(campaigns, false),
+		total:     make([]int, len(campaigns)),
+		active:    make([]int, len(campaigns)),
+	}
+}
+
+// Observe implements Aggregator.
+func (r *RemovedLikesAggregator) Observe(ev socialnet.LikeEvent) {
+	i := campaignOf(r.pageIdx, ev.Page)
+	if i < 0 || r.err != nil {
+		return
+	}
+	r.total[i]++
+	u, err := r.st.User(ev.User)
+	if err != nil {
+		r.err = fmt.Errorf("analysis: removed likes: %w", err)
+		return
+	}
+	if u.Status == socialnet.StatusActive {
+		r.active[i]++
+	}
+}
+
+// Finalize implements Aggregator.
+func (r *RemovedLikesAggregator) Finalize() error {
+	if r.err != nil {
+		return r.err
+	}
+	r.removed = make(map[string]int, len(r.campaigns))
+	for i, c := range r.campaigns {
+		r.removed[c.ID] = r.total[i] - r.active[i]
+	}
+	return nil
+}
+
+// Removed returns likes lost to the sweep per campaign ID, including
+// zero entries for inactive campaigns (valid after Finalize).
+func (r *RemovedLikesAggregator) Removed() map[string]int { return r.removed }

@@ -116,7 +116,21 @@ type StudyConfig struct {
 	// bit-identical for every worker count — each campaign and each
 	// account draws from its own RNG stream split from Seed.
 	Workers int
+
+	// Analyses selects the §4 analysis engine. The default
+	// (AnalysisOnePass) streams every aggregator over one canonical
+	// materialization of the store's like-event journal;
+	// AnalysisMultiScan is the legacy engine that scans the store once
+	// per analysis, kept as the regression baseline — both produce
+	// byte-identical Results.
+	Analyses string
 }
+
+// Analysis engine modes for StudyConfig.Analyses.
+const (
+	AnalysisOnePass   = ""
+	AnalysisMultiScan = "multiscan"
+)
 
 // StudyStart is the paper's campaign launch date (§3).
 var StudyStart = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
@@ -163,6 +177,9 @@ func (c *StudyConfig) Validate() error {
 	}
 	if c.SweepDelayDays < 1 {
 		return fmt.Errorf("core: sweep delay %d days must be >=1", c.SweepDelayDays)
+	}
+	if c.Analyses != AnalysisOnePass && c.Analyses != AnalysisMultiScan {
+		return fmt.Errorf("core: unknown analysis mode %q", c.Analyses)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d must be >=0", c.Workers)

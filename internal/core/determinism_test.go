@@ -69,3 +69,91 @@ func TestRunSeedSensitivity(t *testing.T) {
 		t.Fatal("different seeds produced identical results")
 	}
 }
+
+// runScaledWithMode is runScaledWithWorkers with an analysis-engine
+// override (the mode is config-local and not rendered into JSON).
+func runScaledWithMode(t *testing.T, seed int64, scale float64, workers int, mode string) []byte {
+	t.Helper()
+	cfg, err := ScaledConfig(seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Analyses = mode
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Config.Workers = 0
+	data, err := res.MarshalJSONStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestAnalysisEnginesEquivalent: the one-pass streaming engine and the
+// legacy multi-scan engine must render byte-identical Results — the
+// aggregators are a pure re-plumbing of the §4 analyses, not a
+// reinterpretation.
+func TestAnalysisEnginesEquivalent(t *testing.T) {
+	onePass := runScaledWithMode(t, 42, 0.08, 0, AnalysisOnePass)
+	multi := runScaledWithMode(t, 42, 0.08, 0, AnalysisMultiScan)
+	if !bytes.Equal(onePass, multi) {
+		t.Fatalf("analysis engines diverge (one-pass %d bytes, multi-scan %d bytes)",
+			len(onePass), len(multi))
+	}
+}
+
+// TestJournalStatsExported: the run's journal accounting lands in
+// Results and the stable JSON, with per-campaign cursors matching the
+// monitors' consumption.
+func TestJournalStatsExported(t *testing.T) {
+	cfg, err := ScaledConfig(11, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Journal.TotalEvents != s.Store().Journal().Len() {
+		t.Fatalf("TotalEvents = %d, journal holds %d", res.Journal.TotalEvents, s.Store().Journal().Len())
+	}
+	if res.Journal.TotalEvents <= res.HistoryLikes {
+		t.Fatalf("TotalEvents %d should exceed history likes %d (campaign likes missing?)",
+			res.Journal.TotalEvents, res.HistoryLikes)
+	}
+	if len(res.Journal.Campaigns) != len(res.Campaigns) {
+		t.Fatalf("journal stats cover %d campaigns, want %d", len(res.Journal.Campaigns), len(res.Campaigns))
+	}
+	likes := 0
+	for _, c := range res.Campaigns {
+		js := res.Journal.Campaigns[c.Spec.ID]
+		if c.Active && js.Cursor != c.Likes {
+			t.Fatalf("campaign %s cursor %d != observed likes %d", c.Spec.ID, js.Cursor, c.Likes)
+		}
+		if js.Events < js.Cursor {
+			t.Fatalf("campaign %s events %d < cursor %d", c.Spec.ID, js.Events, js.Cursor)
+		}
+		likes += js.Events
+	}
+	if likes == 0 {
+		t.Fatal("no campaign journal events recorded")
+	}
+	data, err := res.MarshalJSONStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"Journal"`)) || !bytes.Contains(data, []byte(`"TotalEvents"`)) {
+		t.Fatal("stable JSON missing journal stats")
+	}
+}

@@ -45,6 +45,7 @@ type resultsJSON struct {
 	UserSim      [][]float64
 	RemovedLikes map[string]int
 	HistoryLikes int
+	Journal      JournalStats
 }
 
 // MarshalJSONStable renders the complete results as deterministic JSON:
@@ -70,6 +71,9 @@ func (r *Results) MarshalJSONStable() ([]byte, error) {
 		UserSim:      r.UserSim,
 		RemovedLikes: r.RemovedLikes,
 		HistoryLikes: r.HistoryLikes,
+		// Journal.Campaigns is a string-keyed map: encoding/json sorts
+		// the keys, so the rendering stays byte-deterministic.
+		Journal: r.Journal,
 	}
 	out.CrossEdges = make([]CrossEdgeCount, 0, len(r.CrossEdges))
 	for k, v := range r.CrossEdges {

@@ -44,6 +44,23 @@ type CampaignResult struct {
 	Series []int
 }
 
+// CampaignJournalStats is one campaign's ingest accounting: how many
+// like events its honeypot page's journal stream holds and the
+// monitor's cursor high-water mark (events consumed by polls). Sweeps
+// compare these across variants to see ingest volume shift.
+type CampaignJournalStats struct {
+	Events int
+	Cursor int
+}
+
+// JournalStats summarizes the append-only like-event journal behind a
+// run: the total event count (campaign likes plus materialized cover
+// histories) and the per-campaign stream stats.
+type JournalStats struct {
+	TotalEvents int
+	Campaigns   map[string]CampaignJournalStats
+}
+
 // Results bundles every artifact of the study.
 type Results struct {
 	Config    StudyConfig
@@ -75,6 +92,9 @@ type Results struct {
 	// HistoryLikes is how many cover likes were materialized for the
 	// observed likers and baseline users.
 	HistoryLikes int
+
+	// Journal is the run's event-journal accounting.
+	Journal JournalStats
 }
 
 // NewStudy builds the world: organic population, ad markets, farm pools.
@@ -216,7 +236,6 @@ type running struct {
 	rng     *rand.Rand
 	active  bool
 	summary honeypot.Summary
-	removed int
 }
 
 // Run executes the full experiment: deploy, promote, monitor, sweep,
@@ -315,16 +334,14 @@ func (s *Study) Run() (*Results, error) {
 		return nil, fmt.Errorf("core: fraud sweep: %w", err)
 	}
 
-	// Phase 6 — per-campaign results, then the §4 analyses fanned out
-	// on the pool. Every task writes its own index or Results field, so
-	// assembly needs no locks and no ordering.
+	// Phase 6 — per-campaign results straight from the monitor
+	// summaries, fanned out on the pool. Every task writes its own
+	// index, so assembly needs no locks and no ordering.
 	res := &Results{
 		Config: s.cfg, Baseline: baseline, HistoryLikes: histLikes,
-		RemovedLikes: make(map[string]int, len(states)),
-		Campaigns:    make([]CampaignResult, len(states)),
-		Temporal:     make([]analysis.TemporalSeries, len(states)),
-		Bursts:       make([]analysis.BurstStats, len(states)),
-		Windows:      make([]analysis.WindowStats, len(states)),
+		Campaigns: make([]CampaignResult, len(states)),
+		Temporal:  make([]analysis.TemporalSeries, len(states)),
+		Bursts:    make([]analysis.BurstStats, len(states)),
 	}
 	err = parallel.ForEach(workers, len(states), func(i int) error {
 		st := states[i]
@@ -342,22 +359,11 @@ func (s *Study) Run() (*Results, error) {
 			Likers:         st.summary.Likers,
 			Series:         st.summary.Series,
 		}
-		st.removed = s.store.LikeCountOfPage(st.page) - s.store.ActiveLikeCountOfPage(st.page)
 		res.Temporal[i] = analysis.TemporalSeries{
 			CampaignID: st.spec.ID,
 			Values:     st.summary.Series,
 		}
 		res.Bursts[i] = analysis.Burstiness(res.Temporal[i])
-		likes := s.store.LikesOfPage(st.page)
-		times := make([]time.Time, len(likes))
-		for j, lk := range likes {
-			times[j] = lk.At
-		}
-		ws, err := analysis.WindowAnalysis(st.spec.ID, times)
-		if err != nil {
-			return err
-		}
-		res.Windows[i] = ws
 		return nil
 	})
 	if err != nil {
@@ -365,7 +371,6 @@ func (s *Study) Run() (*Results, error) {
 	}
 	aCampaigns := make([]analysis.Campaign, len(states))
 	for i, st := range states {
-		res.RemovedLikes[st.spec.ID] = st.removed
 		aCampaigns[i] = analysis.Campaign{
 			ID:       st.spec.ID,
 			Provider: st.spec.Provider,
@@ -375,9 +380,112 @@ func (s *Study) Run() (*Results, error) {
 		}
 	}
 
+	// Phase 7 — the §4 analyses. The default engine streams every
+	// aggregator over ONE canonical materialization of the like-event
+	// journal; the legacy engine re-scans the store once per analysis.
+	// Both are bit-identical (TestAnalysisEnginesEquivalent).
 	res.Groups = analysis.AssignGroups(aCampaigns, FarmAuthenticLikes, FarmMammothSocials)
+	if s.cfg.Analyses == AnalysisMultiScan {
+		err = s.runAnalysesMultiScan(res, aCampaigns, baseline, workers)
+	} else {
+		err = s.runAnalysesOnePass(res, aCampaigns, baseline, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Journal accounting: total ingest plus per-campaign stream stats.
+	res.Journal = JournalStats{
+		TotalEvents: s.store.Journal().Len(),
+		Campaigns:   make(map[string]CampaignJournalStats, len(states)),
+	}
+	for _, st := range states {
+		res.Journal.Campaigns[st.spec.ID] = CampaignJournalStats{
+			Events: st.summary.Events,
+			Cursor: st.summary.Cursor,
+		}
+	}
+	return res, nil
+}
+
+// runAnalysesOnePass is the streaming analysis engine: one canonical
+// pass over the journal feeds every like-scan aggregator, while the
+// graph analyses (which read the friendship graph, not like events) run
+// alongside on the same pool. Determinism: the canonical event order is
+// a pure function of the events themselves (socialnet journal
+// contract), each aggregator folds that sequence serially, and tasks
+// write disjoint Results fields — so output is bit-identical for every
+// worker and shard count.
+func (s *Study) runAnalysesOnePass(res *Results, aCampaigns []analysis.Campaign, baseline []socialnet.UserID, workers int) error {
+	geo := analysis.NewGeoAggregator(s.store, aCampaigns)
+	demo := analysis.NewDemoAggregator(s.store, aCampaigns)
+	win := analysis.NewWindowAggregator(aCampaigns)
+	cdf := analysis.NewPageLikeCDFAggregator(aCampaigns, baseline)
+	jac := analysis.NewJaccardAggregator(aCampaigns)
+	rem := analysis.NewRemovedLikesAggregator(s.store, aCampaigns)
+
 	base := s.store.FriendGraph()
-	err = parallel.Tasks(workers,
+	err := parallel.Tasks(workers,
+		func() error {
+			var err error
+			res.Table3, err = analysis.SocialGraphTable(s.store, res.Groups, base)
+			return err
+		},
+		func() error {
+			direct, twoHop := analysis.LikerGraphs(res.Groups, base)
+			res.DirectCensus = analysis.CensusByProvider(res.Groups, direct)
+			res.TwoHopCensus = analysis.CensusByProvider(res.Groups, twoHop)
+			res.CrossEdges = analysis.CrossProviderEdges(res.Groups, direct)
+			return nil
+		},
+		func() error {
+			return analysis.RunPass(s.store.Journal(), aCampaigns, baseline, workers,
+				geo, demo, win, cdf, jac, rem)
+		},
+	)
+	if err != nil {
+		return err
+	}
+	res.Geo = geo.Rows()
+	res.Demo = demo.Rows()
+	res.Windows = win.Stats()
+	res.CDFs = cdf.Rows()
+	res.PageSim, res.UserSim = jac.Matrices()
+	res.RemovedLikes = rem.Removed()
+	return nil
+}
+
+// runAnalysesMultiScan is the legacy analysis engine: one full store
+// scan per analysis. Kept as the byte-identical baseline the one-pass
+// engine is benchmarked and regression-tested against.
+func (s *Study) runAnalysesMultiScan(res *Results, aCampaigns []analysis.Campaign, baseline []socialnet.UserID, workers int) error {
+	res.Windows = make([]analysis.WindowStats, len(aCampaigns))
+	removed := make([]int, len(aCampaigns))
+	err := parallel.ForEach(workers, len(aCampaigns), func(i int) error {
+		c := aCampaigns[i]
+		removed[i] = s.store.LikeCountOfPage(c.Page) - s.store.ActiveLikeCountOfPage(c.Page)
+		likes := s.store.LikesOfPage(c.Page)
+		times := make([]time.Time, len(likes))
+		for j, lk := range likes {
+			times[j] = lk.At
+		}
+		ws, err := analysis.WindowAnalysis(c.ID, times)
+		if err != nil {
+			return err
+		}
+		res.Windows[i] = ws
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.RemovedLikes = make(map[string]int, len(aCampaigns))
+	for i, c := range aCampaigns {
+		res.RemovedLikes[c.ID] = removed[i]
+	}
+
+	base := s.store.FriendGraph()
+	return parallel.Tasks(workers,
 		func() error {
 			var err error
 			res.Geo, err = analysis.LocationBreakdown(s.store, aCampaigns)
@@ -411,10 +519,6 @@ func (s *Study) Run() (*Results, error) {
 			return err
 		},
 	)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // runCampaign promotes one campaign on its private clock, monitors the

@@ -99,6 +99,16 @@ func ExtractFeatures(st *socialnet.Store, u socialnet.UserID) (AccountFeatures, 
 	for i, lk := range likes {
 		times[i] = lk.At
 	}
+	return FeaturesFromTimes(st, u, times)
+}
+
+// FeaturesFromTimes computes features from a precollected like-time
+// slice — the path the platform's fraud sweep uses after grouping
+// timestamps per account out of one pass over the store's journal,
+// instead of copying each account's index. The caller is responsible
+// for the slice covering the account's complete like activity; order
+// does not matter (the window scans sort a private copy).
+func FeaturesFromTimes(st *socialnet.Store, u socialnet.UserID, times []time.Time) (AccountFeatures, error) {
 	burst, err := BurstScore(times, 2*time.Hour)
 	if err != nil {
 		return AccountFeatures{}, err
@@ -109,7 +119,7 @@ func ExtractFeatures(st *socialnet.Store, u socialnet.UserID) (AccountFeatures, 
 	}
 	return AccountFeatures{
 		User:        u,
-		LikeCount:   len(likes),
+		LikeCount:   len(times),
 		FriendCount: st.DeclaredFriendCount(u),
 		Burst2h:     burst,
 		MaxIn2h:     maxIn,

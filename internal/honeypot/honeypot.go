@@ -96,6 +96,13 @@ func (c *MonitorConfig) Validate() error {
 }
 
 // Monitor observes one honeypot page on the simulation clock.
+//
+// Each poll advances a per-page journal cursor instead of re-reading
+// the page's cumulative like stream: a tick costs O(likes since the
+// previous tick), so a long-monitored page with a large backlog ticks
+// in constant time once the stream goes quiet. The observed series is
+// identical to a full re-scan per poll — the §3 crawl cadence is
+// preserved as a view over the store's append-only journal.
 type Monitor struct {
 	store *socialnet.Store
 	page  socialnet.PageID
@@ -104,6 +111,10 @@ type Monitor struct {
 	started   time.Time
 	snapshots []Snapshot
 	firstSeen map[socialnet.UserID]time.Time
+	// cursor is the page-stream high-water mark: the number of like
+	// events consumed so far, which for an append-only stream is also
+	// the observed cumulative like count.
+	cursor    int
 	lastNew   time.Time
 	stoppedAt time.Time
 	stopped   bool
@@ -166,19 +177,20 @@ func (m *Monitor) tick(clock *simclock.Clock) bool {
 }
 
 func (m *Monitor) observe(clock *simclock.Clock) {
-	likes := m.store.LikesOfPage(m.page)
+	batch, next := m.store.PageEventsSince(m.page, m.cursor)
+	m.cursor = next
 	now := clock.Now()
 	fresh := 0
-	for _, lk := range likes {
-		if _, seen := m.firstSeen[lk.User]; !seen {
-			m.firstSeen[lk.User] = now
+	for _, ev := range batch {
+		if _, seen := m.firstSeen[ev.User]; !seen {
+			m.firstSeen[ev.User] = now
 			fresh++
 		}
 	}
 	if fresh > 0 {
 		m.lastNew = now
 	}
-	m.snapshots = append(m.snapshots, Snapshot{At: now, Cumulative: len(likes)})
+	m.snapshots = append(m.snapshots, Snapshot{At: now, Cumulative: m.cursor})
 }
 
 func (m *Monitor) stop(at time.Time) {
@@ -227,6 +239,10 @@ func (m *Monitor) TotalLikes() int {
 	return m.snapshots[len(m.snapshots)-1].Cumulative
 }
 
+// Cursor returns the monitor's journal-cursor high-water mark: the
+// number of page like events consumed across all polls so far.
+func (m *Monitor) Cursor() int { return m.cursor }
+
 // MonitoringDays returns how many days the page was monitored (start to
 // stop, rounded up), or elapsed-so-far when still running.
 func (m *Monitor) MonitoringDays(now time.Time) int {
@@ -256,6 +272,12 @@ type Summary struct {
 	MonitoringDays int
 	// Series is the cumulative like count by day offset 0..days.
 	Series []int
+	// Events is the number of like events the page's journal stream held
+	// at summarize time; Cursor is the monitor's high-water mark (events
+	// consumed by polls). They differ only if likes landed after the
+	// monitor stopped.
+	Events int
+	Cursor int
 }
 
 // Summarize collects the monitor's full outcome: likers, final count,
@@ -267,6 +289,8 @@ func (m *Monitor) Summarize(now time.Time, days int) Summary {
 		TotalLikes:     m.TotalLikes(),
 		MonitoringDays: m.MonitoringDays(now),
 		Series:         m.CumulativeByDay(days),
+		Events:         m.store.LikeCountOfPage(m.page),
+		Cursor:         m.cursor,
 	}
 }
 

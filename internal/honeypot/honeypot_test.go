@@ -263,3 +263,136 @@ func TestMonitorConfigValidation(t *testing.T) {
 		t.Fatal("missing page accepted")
 	}
 }
+
+// TestMonitorQuietCutoffExactBoundary pins the quiet-cutoff comparison:
+// a gap of exactly QuietCutoff since the last new like does NOT stop the
+// monitor (the rule is "more than a week without a new like"); the stop
+// lands on the next tail poll after the cutoff is exceeded.
+func TestMonitorQuietCutoffExactBoundary(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One like at hour 23, observed by the tick at hour 24 -> lastNew=24h.
+	_, _ = clock.ScheduleAfter(23*time.Hour, "like", func(cl *simclock.Clock) {
+		addLiker(t, st, page, cl.Now())
+	})
+	clock.Drain(0)
+	stopped, at := mon.Stopped()
+	if !stopped {
+		t.Fatal("monitor should stop eventually")
+	}
+	// Tail polls run daily from hour 48. The poll at hour 192 sees a gap
+	// of exactly 7*24h — not yet "more than" the cutoff — so the stop
+	// must land on the next daily poll, hour 216.
+	if got := at.Sub(t0); got != 216*time.Hour {
+		t.Fatalf("stopped after %v, want 216h (the poll after the exact 7-day gap)", got)
+	}
+}
+
+// TestMonitorCadenceTransition pins the active->daily switch: 2-hour
+// polls through the campaign, daily polls after, with the transition
+// tick landing exactly on the campaign boundary.
+func TestMonitorCadenceTransition(t *testing.T) {
+	clock, st, page := setup(t)
+	cfg := DefaultMonitorConfig(1) // 1-day campaign
+	mon, err := StartMonitor(clock, st, page, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep it alive past the transition.
+	_, _ = clock.ScheduleAfter(30*time.Hour, "like", func(cl *simclock.Clock) {
+		addLiker(t, st, page, cl.Now())
+	})
+	clock.RunFor(4 * 24 * time.Hour)
+	snaps := mon.Snapshots()
+	// Initial observation + ticks at 2h..24h + daily at 48h, 72h, 96h.
+	var want []time.Duration
+	want = append(want, 0)
+	for h := 2; h <= 24; h += 2 {
+		want = append(want, time.Duration(h)*time.Hour)
+	}
+	for h := 48; h <= 96; h += 24 {
+		want = append(want, time.Duration(h)*time.Hour)
+	}
+	if len(snaps) != len(want) {
+		t.Fatalf("snapshots = %d, want %d", len(snaps), len(want))
+	}
+	for i, s := range snaps {
+		if s.At.Sub(t0) != want[i] {
+			t.Fatalf("snapshot %d at %v, want %v", i, s.At.Sub(t0), want[i])
+		}
+	}
+}
+
+// TestMonitorZeroLikeCampaignSummary covers the paid-but-never-delivered
+// campaigns (BL-ALL, MS-ALL): the monitor runs its course, observes
+// nothing, and the summary is all zeros with an untouched cursor.
+func TestMonitorZeroLikeCampaignSummary(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Drain(0)
+	sum := mon.Summarize(clock.Now(), 15)
+	if len(sum.Likers) != 0 || sum.TotalLikes != 0 {
+		t.Fatalf("zero-like summary = %+v", sum)
+	}
+	if sum.Events != 0 || sum.Cursor != 0 {
+		t.Fatalf("journal stats = events %d cursor %d, want 0/0", sum.Events, sum.Cursor)
+	}
+	if len(sum.Series) != 16 {
+		t.Fatalf("series length = %d", len(sum.Series))
+	}
+	for d, v := range sum.Series {
+		if v != 0 {
+			t.Fatalf("series[%d] = %d", d, v)
+		}
+	}
+	if sum.MonitoringDays < 15 {
+		t.Fatalf("monitoring days = %d", sum.MonitoringDays)
+	}
+}
+
+// TestMonitorIncrementalMatchesRescan checks the cursor-based monitor
+// against a full re-scan of the page stream at every poll instant: the
+// cumulative series and the cursor high-water mark must agree with the
+// store's own counts.
+func TestMonitorIncrementalMatchesRescan(t *testing.T) {
+	clock, st, page := setup(t)
+	mon, err := StartMonitor(clock, st, page, DefaultMonitorConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A messy delivery: bursts and trickles across the campaign.
+	for i := 0; i < 40; i++ {
+		i := i
+		at := time.Duration(i%5)*24*time.Hour + time.Duration(i*37%1440)*time.Minute
+		_, _ = clock.ScheduleAfter(at, "like", func(cl *simclock.Clock) {
+			addLiker(t, st, page, cl.Now())
+		})
+	}
+	clock.Drain(0)
+	if got := mon.TotalLikes(); got != 40 {
+		t.Fatalf("observed %d likes, want 40", got)
+	}
+	if mon.Cursor() != st.LikeCountOfPage(page) {
+		t.Fatalf("cursor %d != page stream %d", mon.Cursor(), st.LikeCountOfPage(page))
+	}
+	// Snapshots must be monotone and end at the full count.
+	snaps := mon.Snapshots()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cumulative < snaps[i-1].Cumulative {
+			t.Fatalf("series not monotone at %d: %+v", i, snaps[i])
+		}
+	}
+	if len(mon.Likers()) != 40 {
+		t.Fatalf("likers = %d", len(mon.Likers()))
+	}
+	sum := mon.Summarize(clock.Now(), 15)
+	if sum.Events != 40 || sum.Cursor != 40 {
+		t.Fatalf("summary journal stats = %+v", sum)
+	}
+}

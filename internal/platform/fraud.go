@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/parallel"
@@ -77,6 +78,12 @@ func FraudSweep(r *rand.Rand, st *socialnet.Store, accounts []socialnet.UserID, 
 // read-only over the store; terminations are applied in a serial pass
 // afterwards, which matches the serial semantics because an account's
 // features never depend on another account's termination status.
+//
+// The burst features come from the store's journal: one unsorted scan
+// groups like timestamps per examined account, replacing a per-account
+// sorted copy of the user-side index. Scan order is not canonical, but
+// the features consume only the timestamp multiset (the window scans
+// sort private copies), so the scores stay bit-deterministic.
 func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.UserID, cfg FraudSweepConfig, workers int) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -95,6 +102,19 @@ func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.User
 	}
 	sorted = uniq
 
+	// Group the examined accounts' like timestamps out of the journal —
+	// one unsorted scan; the burst features only consume the timestamp
+	// multiset, so no canonical materialization is needed.
+	likeTimes := make(map[socialnet.UserID][]time.Time, len(sorted))
+	for _, uid := range sorted {
+		likeTimes[uid] = nil
+	}
+	st.Journal().Scan(func(ev socialnet.LikeEvent) {
+		if ts, tracked := likeTimes[ev.User]; tracked {
+			likeTimes[ev.User] = append(ts, ev.At)
+		}
+	})
+
 	type verdict struct {
 		examined  bool
 		score     float64
@@ -111,7 +131,7 @@ func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.User
 			if u.Status == socialnet.StatusTerminated {
 				continue
 			}
-			f, err := detect.ExtractFeatures(st, uid)
+			f, err := detect.FeaturesFromTimes(st, uid, likeTimes[uid])
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,373 @@
+package socialnet
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// LikeSource tags where a journal record entered the system.
+type LikeSource uint8
+
+// Like-event sources.
+const (
+	// SourceLike is an interactive like recorded by AddLike: it is
+	// indexed on both the user and the page side.
+	SourceLike LikeSource = iota
+	// SourceHistory is a bulk pre-study history record imported by
+	// AddHistory: user-side only, never on a honeypot page.
+	SourceHistory
+)
+
+// String implements fmt.Stringer.
+func (s LikeSource) String() string {
+	if s == SourceHistory {
+		return "history"
+	}
+	return "like"
+}
+
+// LikeEvent is one append-only journal record: user liked page at the
+// given instant, entering via the given write path.
+type LikeEvent struct {
+	At     time.Time
+	User   UserID
+	Page   PageID
+	Source LikeSource
+}
+
+// Like converts the event to the index form.
+func (e LikeEvent) Like() Like { return Like{User: e.User, Page: e.Page, At: e.At} }
+
+// cmpEvents is the canonical total order on like events: by time, ties
+// by user ID, then page ID. (user, page) pairs are unique across the
+// journal — AddLike dedupes and AddHistory forbids repeats — so this is
+// a strict total order: any two stores holding the same events agree on
+// it no matter how the events were sharded or interleaved at append
+// time. Every streaming consumer (aggregators, readers) sees events in
+// this order (globally or per shard), which is what the engine's
+// bit-determinism rests on.
+//
+// Time compares by UnixNano — equivalent to time.Time ordering for any
+// instant a simulation produces (wall-clock times within ±292 years of
+// 1970) and several times cheaper in the hot sort path.
+func cmpEvents(a, b LikeEvent) int {
+	if c := cmp.Compare(a.At.UnixNano(), b.At.UnixNano()); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.User, b.User); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Page, b.Page)
+}
+
+// eventLess is cmpEvents as a strict less-than.
+func eventLess(a, b LikeEvent) bool { return cmpEvents(a, b) < 0 }
+
+// sortEvents orders a slice canonically in place.
+func sortEvents(evs []LikeEvent) { slices.SortFunc(evs, cmpEvents) }
+
+// journalShard is one append-only partition of the event log. Events
+// are kept strictly in arrival order — nothing ever sorts the backing
+// slice in place — so integer offsets into a shard remain valid
+// forever, which is what Reader cursors rely on.
+type journalShard struct {
+	mu     sync.RWMutex
+	events []LikeEvent
+}
+
+// Journal is a sharded, append-only log of like events: the store's
+// single write path for likes. Shards are keyed by user ID, so
+// concurrent likers rarely contend; the shard count affects only
+// contention, never the canonical event order, because the canonical
+// order is a pure function of the event tuples (see eventLess).
+//
+// Readers consume the journal two ways: EventsCanonical materializes
+// the whole log in canonical order (cached until the next append) for
+// one-pass analyses, and NewReader returns an incremental cursor that
+// delivers each event exactly once for monitors and future disk-backed
+// or multi-process consumers.
+type Journal struct {
+	shards []journalShard
+	mask   uint64
+
+	// merged caches the canonical materialization. Valid while the
+	// per-shard lengths it was computed from still match (append-only:
+	// equal lengths imply equal contents).
+	mergedMu   sync.Mutex
+	merged     []LikeEvent
+	mergedLens []int
+}
+
+// NewJournal returns an empty journal with the given number of shards
+// (rounded up to a power of two; values < 1 fall back to DefaultShards).
+func NewJournal(shards int) *Journal {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Journal{shards: make([]journalShard, n), mask: uint64(n - 1)}
+}
+
+// NumShards returns the number of journal shards.
+func (j *Journal) NumShards() int { return len(j.shards) }
+
+func (j *Journal) shard(u UserID) *journalShard {
+	return &j.shards[uint64(u)&j.mask]
+}
+
+// Append records one event.
+func (j *Journal) Append(ev LikeEvent) {
+	sh := j.shard(ev.User)
+	sh.mu.Lock()
+	sh.events = append(sh.events, ev)
+	sh.mu.Unlock()
+}
+
+// AppendUserBatch records a batch of events for one user under a single
+// shard lock — the bulk-history fast path. All events must carry the
+// same user.
+func (j *Journal) AppendUserBatch(u UserID, evs []LikeEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	sh := j.shard(u)
+	sh.mu.Lock()
+	sh.events = append(sh.events, evs...)
+	sh.mu.Unlock()
+}
+
+// Len returns the total number of events across all shards.
+func (j *Journal) Len() int {
+	n := 0
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		n += len(sh.events)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// lens snapshots the per-shard lengths.
+func (j *Journal) lens() []int {
+	out := make([]int, len(j.shards))
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.events)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func lensEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EventsCanonical returns every journal event in canonical (time, user,
+// page) order. Each shard's prefix is copied and sorted on the worker
+// pool, then shards are merged pairwise in index order — log2(shards)
+// parallel rounds — so the result is bit-identical for every worker and
+// shard count. The merged slice is cached until the next append and
+// shared between callers: treat it as read-only.
+func (j *Journal) EventsCanonical(workers int) []LikeEvent {
+	j.mergedMu.Lock()
+	defer j.mergedMu.Unlock()
+
+	lens := j.lens()
+	if j.merged != nil && lensEqual(lens, j.mergedLens) {
+		return j.merged
+	}
+
+	parts := make([][]LikeEvent, len(j.shards))
+	_ = parallel.ForEach(workers, len(j.shards), func(i int) error {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		part := append([]LikeEvent(nil), sh.events[:lens[i]]...)
+		sh.mu.RUnlock()
+		sortEvents(part)
+		parts[i] = part
+		return nil
+	})
+	j.merged = mergeParts(workers, parts)
+	j.mergedLens = lens
+	return j.merged
+}
+
+// EventsWhere returns the journal's events satisfying keep, in
+// shard-canonical order: shards appear in index order, and events are
+// canonically (time, user, page) sorted within each shard's span. The
+// order is a pure function of the event set and the shard count — no
+// scheduling leaks in — but it is NOT globally time-sorted: consumers
+// must either fold order-insensitively or sort their (now filtered,
+// small) slice themselves. Skipping the global merge is deliberate:
+// filtering and per-shard sorting parallelize perfectly on the pool,
+// and the merge was the dominant cost of one-pass analysis.
+//
+// The result is freshly allocated (never cached); keep must be pure,
+// and it runs under a shard read lock, so it must not call back into
+// the journal or store.
+func (j *Journal) EventsWhere(workers int, keep func(LikeEvent) bool) []LikeEvent {
+	parts := make([][]LikeEvent, len(j.shards))
+	_ = parallel.ForEach(workers, len(j.shards), func(i int) error {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		// Count first so the survivors land in one exact allocation —
+		// keep is a couple of array probes, cheaper than re-growing.
+		n := 0
+		for _, ev := range sh.events {
+			if keep(ev) {
+				n++
+			}
+		}
+		part := make([]LikeEvent, 0, n)
+		for _, ev := range sh.events {
+			if keep(ev) {
+				part = append(part, ev)
+			}
+		}
+		sh.mu.RUnlock()
+		sortEvents(part)
+		parts[i] = part
+		return nil
+	})
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]LikeEvent, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Scan calls fn for every event currently in the journal, shard by
+// shard in index order, events within a shard in append order. The
+// iteration is NOT canonical — use it only for order-insensitive folds
+// (the fraud sweep groups per-account timestamps this way, and the
+// serial analysis pass feeds its aggregators this way, skipping sort
+// and materialization entirely). fn runs under the shard read lock: it
+// must not append to the journal, but read-only store access is safe —
+// no store write path holds a journal lock and a store lock at once.
+func (j *Journal) Scan(fn func(LikeEvent)) {
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		for _, ev := range sh.events {
+			fn(ev)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// mergeParts folds canonically sorted per-shard slices into one sorted
+// slice via pairwise merge rounds in index order — log2(shards)
+// parallel rounds whose tree shape depends only on the part count, so
+// the output is identical regardless of scheduling.
+func mergeParts(workers int, parts [][]LikeEvent) []LikeEvent {
+	for len(parts) > 1 {
+		next := make([][]LikeEvent, (len(parts)+1)/2)
+		_ = parallel.ForEach(workers, len(next), func(i int) error {
+			lo := 2 * i
+			if lo+1 == len(parts) {
+				next[i] = parts[lo]
+				return nil
+			}
+			next[i] = mergeEvents(parts[lo], parts[lo+1])
+			return nil
+		})
+		parts = next
+	}
+	if len(parts) == 0 {
+		return []LikeEvent{}
+	}
+	return parts[0]
+}
+
+// mergeEvents merges two canonically sorted slices.
+func mergeEvents(a, b []LikeEvent) []LikeEvent {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]LikeEvent, 0, len(a)+len(b))
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		if eventLess(b[k], a[i]) {
+			out = append(out, b[k])
+			k++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[k:]...)
+	return out
+}
+
+// Reader is an incremental journal cursor: each Next call returns the
+// events appended since the previous call, exactly once, canonically
+// ordered within the batch. A Reader is single-consumer (not safe for
+// concurrent use); concurrent appends to the journal remain safe and
+// are simply picked up by a later Next.
+//
+// Note that only per-batch order is guaranteed: an event appended late
+// with an early timestamp sorts at the front of its own batch, not into
+// a batch already delivered. Consumers needing a globally canonical
+// replay of a quiescent journal should use EventsCanonical.
+type Reader struct {
+	j       *Journal
+	offsets []int
+}
+
+// NewReader returns a cursor positioned at the start of the journal.
+func (j *Journal) NewReader() *Reader {
+	return &Reader{j: j, offsets: make([]int, len(j.shards))}
+}
+
+// Next returns the batch of events appended since the previous call,
+// canonically sorted, or nil when there is nothing new.
+func (r *Reader) Next() []LikeEvent {
+	var out []LikeEvent
+	for i := range r.j.shards {
+		sh := &r.j.shards[i]
+		sh.mu.RLock()
+		n := len(sh.events)
+		if n > r.offsets[i] {
+			out = append(out, sh.events[r.offsets[i]:n]...)
+		}
+		sh.mu.RUnlock()
+		r.offsets[i] = n
+	}
+	sortEvents(out)
+	return out
+}
+
+// Offset returns the total number of events consumed so far — the
+// reader's high-water mark.
+func (r *Reader) Offset() int {
+	n := 0
+	for _, o := range r.offsets {
+		n += o
+	}
+	return n
+}

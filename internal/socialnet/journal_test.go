@@ -1,0 +1,336 @@
+package socialnet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+var jt0 = time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+
+// synthEvents builds a deterministic scrambled batch of unique
+// (user, page) events with colliding timestamps.
+func synthEvents(n int) []LikeEvent {
+	r := rand.New(rand.NewSource(99))
+	evs := make([]LikeEvent, n)
+	for i := range evs {
+		evs[i] = LikeEvent{
+			// Few distinct instants: exercise the (user, page) tiebreak.
+			At:     jt0.Add(time.Duration(r.Intn(n/4+1)) * time.Minute),
+			User:   UserID(1 + i%37),
+			Page:   PageID(1 + i/37),
+			Source: LikeSource(i % 2),
+		}
+	}
+	r.Shuffle(len(evs), func(i, k int) { evs[i], evs[k] = evs[k], evs[i] })
+	return evs
+}
+
+func TestJournalCanonicalOrderAcrossShardAndWorkerCounts(t *testing.T) {
+	evs := synthEvents(500)
+	want := append([]LikeEvent(nil), evs...)
+	sort.Slice(want, func(i, k int) bool { return eventLess(want[i], want[k]) })
+
+	for _, shards := range []int{1, 4, 64} {
+		for _, workers := range []int{1, 8} {
+			j := NewJournal(shards)
+			for _, ev := range evs {
+				j.Append(ev)
+			}
+			if j.Len() != len(evs) {
+				t.Fatalf("shards=%d: Len = %d, want %d", shards, j.Len(), len(evs))
+			}
+			got := j.EventsCanonical(workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d workers=%d: canonical order diverges", shards, workers)
+			}
+		}
+	}
+}
+
+func TestJournalCanonicalCacheInvalidatesOnAppend(t *testing.T) {
+	j := NewJournal(4)
+	evs := synthEvents(100)
+	for _, ev := range evs[:50] {
+		j.Append(ev)
+	}
+	first := j.EventsCanonical(2)
+	if len(first) != 50 {
+		t.Fatalf("first snapshot = %d events", len(first))
+	}
+	// Cached: same underlying slice back.
+	again := j.EventsCanonical(2)
+	if &first[0] != &again[0] {
+		t.Fatal("unchanged journal should return the cached snapshot")
+	}
+	for _, ev := range evs[50:] {
+		j.Append(ev)
+	}
+	full := j.EventsCanonical(2)
+	if len(full) != 100 {
+		t.Fatalf("post-append snapshot = %d events", len(full))
+	}
+	for i := 1; i < len(full); i++ {
+		if eventLess(full[i], full[i-1]) {
+			t.Fatalf("snapshot not canonically sorted at %d", i)
+		}
+	}
+}
+
+func TestJournalReaderDeliversExactlyOnce(t *testing.T) {
+	j := NewJournal(8)
+	evs := synthEvents(120)
+	r := j.NewReader()
+	if batch := r.Next(); batch != nil {
+		t.Fatalf("empty journal returned %d events", len(batch))
+	}
+
+	var got []LikeEvent
+	for i, ev := range evs {
+		j.Append(ev)
+		if i%17 == 0 {
+			got = append(got, r.Next()...)
+		}
+	}
+	got = append(got, r.Next()...)
+	if r.Offset() != len(evs) {
+		t.Fatalf("Offset = %d, want %d", r.Offset(), len(evs))
+	}
+	if batch := r.Next(); batch != nil {
+		t.Fatalf("drained reader returned %d events", len(batch))
+	}
+
+	// Exactly once: same multiset as the canonical view.
+	sort.Slice(got, func(i, k int) bool { return eventLess(got[i], got[k]) })
+	if !reflect.DeepEqual(got, j.EventsCanonical(1)) {
+		t.Fatal("reader lost or duplicated events")
+	}
+}
+
+func TestStoreWritePathsLandInJournal(t *testing.T) {
+	st := NewShardedStore(8)
+	u1 := st.AddUser(User{Country: CountryUSA})
+	u2 := st.AddUser(User{Country: CountryUSA})
+	page, err := st.AddPage(Page{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb1, _ := st.AddPage(Page{Name: "ambient-1"})
+	amb2, _ := st.AddPage(Page{Name: "ambient-2"})
+
+	if err := st.AddLike(u1, page, jt0.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddLike(u2, page, jt0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddHistory(u1, []Like{
+		{Page: amb1, At: jt0.Add(-time.Hour)},
+		{Page: amb2, At: jt0.Add(-2 * time.Hour)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := st.Journal().EventsCanonical(1)
+	if len(evs) != 4 {
+		t.Fatalf("journal holds %d events, want 4", len(evs))
+	}
+	// Canonical order: the two histories (earlier), then u2's like, then u1's.
+	wantUsers := []UserID{u1, u1, u2, u1}
+	wantSources := []LikeSource{SourceHistory, SourceHistory, SourceLike, SourceLike}
+	for i, ev := range evs {
+		if ev.User != wantUsers[i] || ev.Source != wantSources[i] {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if evs[2].Like() != (Like{User: u2, Page: page, At: jt0.Add(time.Hour)}) {
+		t.Fatalf("Like() = %+v", evs[2].Like())
+	}
+}
+
+func TestPageEventsSinceCursor(t *testing.T) {
+	st := NewStore()
+	page, err := st.AddPage(Page{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []UserID
+	for i := 0; i < 10; i++ {
+		users = append(users, st.AddUser(User{Country: CountryUSA}))
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.AddLike(users[i], page, jt0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch, cur := st.PageEventsSince(page, 0)
+	if len(batch) != 6 || cur != 6 {
+		t.Fatalf("first read: %d events, cursor %d", len(batch), cur)
+	}
+	// Interleave a sorted read: it must not disturb the cursor space.
+	if got := st.LikesOfPage(page); len(got) != 6 {
+		t.Fatalf("LikesOfPage = %d", len(got))
+	}
+	for i := 6; i < 10; i++ {
+		if err := st.AddLike(users[i], page, jt0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, cur = st.PageEventsSince(page, cur)
+	if len(batch) != 4 || cur != 10 {
+		t.Fatalf("second read: %d events, cursor %d", len(batch), cur)
+	}
+	for i, ev := range batch {
+		if ev.User != users[6+i] {
+			t.Fatalf("batch out of order: %+v", batch)
+		}
+	}
+	if batch, cur = st.PageEventsSince(page, cur); batch != nil || cur != 10 {
+		t.Fatalf("drained cursor returned %d events, cursor %d", len(batch), cur)
+	}
+	// A cursor past the end (corrupt caller state) stays put.
+	if batch, cur = st.PageEventsSince(page, 99); batch != nil || cur != 99 {
+		t.Fatalf("overshot cursor: %d events, cursor %d", len(batch), cur)
+	}
+}
+
+// TestLikesOfPageSortedViewSurvivesAppends pins the regression the
+// sorted-copy cache exists for: reading the sorted view between cursor
+// reads must never reorder the append-only stream.
+func TestLikesOfPageSortedViewSurvivesAppends(t *testing.T) {
+	st := NewStore()
+	page, _ := st.AddPage(Page{Name: "p"})
+	var users []UserID
+	for i := 0; i < 8; i++ {
+		users = append(users, st.AddUser(User{Country: CountryUSA}))
+	}
+	// Append out of time order (possible for non-honeypot pages).
+	at := []int{5, 1, 7, 3}
+	for i, h := range at {
+		if err := st.AddLike(users[i], page, jt0.Add(time.Duration(h)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, cur := st.PageEventsSince(page, 0)
+	sorted1 := st.LikesOfPage(page)
+	for i := 1; i < len(sorted1); i++ {
+		if sorted1[i].At.Before(sorted1[i-1].At) {
+			t.Fatalf("sorted view unsorted: %+v", sorted1)
+		}
+	}
+	at2 := []int{2, 6, 0, 4}
+	for i, h := range at2 {
+		if err := st.AddLike(users[4+i], page, jt0.Add(time.Duration(h)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, cur2 := st.PageEventsSince(page, cur)
+	if cur2 != 8 || len(second) != 4 {
+		t.Fatalf("second batch = %d, cursor %d", len(second), cur2)
+	}
+	// Exactly-once across the interleaved sorted read.
+	seen := map[UserID]bool{}
+	for _, ev := range append(first, second...) {
+		if seen[ev.User] {
+			t.Fatalf("user %d delivered twice", ev.User)
+		}
+		seen[ev.User] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("delivered %d of 8 likes", len(seen))
+	}
+	if got := st.LikesOfPage(page); len(got) != 8 {
+		t.Fatalf("final sorted view = %d", len(got))
+	}
+}
+
+// TestJournalConcurrentAppendsAndReads exercises the journal under the
+// race detector: parallel AddLike traffic with canonical snapshots,
+// cursor reads, and an incremental reader in flight.
+func TestJournalConcurrentAppendsAndReads(t *testing.T) {
+	st := NewShardedStore(16)
+	const nUsers, nPages = 64, 8
+	var users []UserID
+	var pages []PageID
+	for i := 0; i < nUsers; i++ {
+		users = append(users, st.AddUser(User{Country: CountryUSA}))
+	}
+	for i := 0; i < nPages; i++ {
+		p, _ := st.AddPage(Page{Name: fmt.Sprintf("p%d", i)})
+		pages = append(pages, p)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < nUsers*nPages; i += 4 {
+				u := users[i%nUsers]
+				p := pages[i/nUsers]
+				if err := st.AddLike(u, p, jt0.Add(time.Duration(i)*time.Second)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := st.Journal().NewReader()
+		total := 0
+		for i := 0; i < 50; i++ {
+			total += len(r.Next())
+			_ = st.Journal().EventsCanonical(2)
+			_, _ = st.PageEventsSince(pages[0], 0)
+		}
+		total += len(r.Next())
+	}()
+	wg.Wait()
+	<-done
+
+	evs := st.Journal().EventsCanonical(4)
+	if len(evs) != nUsers*nPages {
+		t.Fatalf("journal holds %d events, want %d", len(evs), nUsers*nPages)
+	}
+	for i := 1; i < len(evs); i++ {
+		if eventLess(evs[i], evs[i-1]) {
+			t.Fatalf("canonical snapshot unsorted at %d", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTripRebuildsJournal(t *testing.T) {
+	st := NewStore()
+	u := st.AddUser(User{Country: CountryUSA})
+	page, _ := st.AddPage(Page{Name: "p"})
+	amb, _ := st.AddPage(Page{Name: "ambient"})
+	if err := st.AddLike(u, page, jt0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddHistory(u, []Like{{Page: amb, At: jt0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st2.Journal().EventsCanonical(1)
+	want := st.Journal().EventsCanonical(1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("journal after round trip = %+v, want %+v", got, want)
+	}
+}

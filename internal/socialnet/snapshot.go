@@ -82,12 +82,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		snap.Pages = append(snap.Pages, *s.pageShard(id).pages[id])
 	}
 
-	// Collect page-side streams into mutable copies (the lazy sort
-	// cache must not be touched under a read lock), remembering which
-	// (user, page) pairs the page side has: an AddLike caught between
-	// its user-side commit and its page-side append (it holds no lock
-	// at that point) is in likeSet but not yet in likesByPage, and is
-	// recovered from the user side below.
+	// Collect page-side streams into mutable copies (the append-only
+	// stream must not be sorted in place — cursors hold offsets into
+	// it), remembering which (user, page) pairs the page side has: an
+	// AddLike caught between its user-side commit and its page-side
+	// append (it holds no lock at that point) is in likeSet but not yet
+	// in likesByPage, and is recovered from the user side below.
 	byPage := make(map[PageID][]Like, len(pageIDs))
 	pageSeen := make(map[likeKey]struct{})
 	for _, pid := range pageIDs {
@@ -171,6 +171,7 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		ush.likeSet[k] = struct{}{}
 		psh.likesByPage[lk.Page] = append(psh.likesByPage[lk.Page], lk)
 		ush.likesByUser[lk.User] = append(ush.likesByUser[lk.User], lk)
+		st.journal.Append(LikeEvent{At: lk.At, User: lk.User, Page: lk.Page, Source: SourceLike})
 	}
 	for _, uh := range snap.Histories {
 		ush := st.userShard(uh.User)
@@ -178,6 +179,11 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("socialnet: snapshot history references missing user %d", uh.User)
 		}
 		ush.likesByUser[uh.User] = append(ush.likesByUser[uh.User], uh.Likes...)
+		events := make([]LikeEvent, len(uh.Likes))
+		for i, lk := range uh.Likes {
+			events[i] = LikeEvent{At: lk.At, User: uh.User, Page: lk.Page, Source: SourceHistory}
+		}
+		st.journal.AppendUserBatch(uh.User, events)
 	}
 	for _, e := range snap.Friendships {
 		if err := st.friends.AddEdge(e[0], e[1]); err != nil {

@@ -23,10 +23,18 @@ import (
 // data in a canonical order (IDs ascending, likes by (time, ID)), so a
 // store filled concurrently reads back identically to one filled
 // serially with the same contents.
+//
+// Every like write — AddLike, AddHistory, snapshot replay — also lands
+// in the store's append-only Journal, the single event log streaming
+// consumers (honeypot monitors, one-pass analyses, the fraud sweep)
+// read instead of re-scanning the indexes. The user- and page-side like
+// indexes are derived views over that log: convenient per-ID access
+// paths whose contents are always exactly the journal's events.
 type Store struct {
 	userShards []userShard
 	pageShards []pageShard
 	shardMask  uint64
+	journal    *Journal
 
 	nextUser atomic.Int64
 	nextPage atomic.Int64
@@ -50,12 +58,17 @@ type userShard struct {
 }
 
 // pageShard holds one partition of the page space: the page records and
-// the page-side like streams.
+// the page-side like streams. likesByPage is strictly append-ordered —
+// it is never sorted in place — so integer offsets into a page's stream
+// (the per-page journal cursors monitors hold) stay valid across reads.
+// pageSorted caches a canonically sorted copy per page, valid while its
+// length still matches the stream (append-only: equal lengths imply
+// equal contents).
 type pageShard struct {
 	mu          sync.RWMutex
 	pages       map[PageID]*Page
 	likesByPage map[PageID][]Like
-	pageSorted  map[PageID]bool
+	pageSorted  map[PageID][]Like
 }
 
 type likeKey struct {
@@ -94,6 +107,7 @@ func NewShardedStore(shards int) *Store {
 		userShards: make([]userShard, n),
 		pageShards: make([]pageShard, n),
 		shardMask:  uint64(n - 1),
+		journal:    NewJournal(n),
 		friends:    graph.NewUndirected(),
 	}
 	for i := range s.userShards {
@@ -108,7 +122,7 @@ func NewShardedStore(shards int) *Store {
 		s.pageShards[i] = pageShard{
 			pages:       make(map[PageID]*Page),
 			likesByPage: make(map[PageID][]Like),
-			pageSorted:  make(map[PageID]bool),
+			pageSorted:  make(map[PageID][]Like),
 		}
 	}
 	s.nextUser.Store(1)
@@ -118,6 +132,13 @@ func NewShardedStore(shards int) *Store {
 
 // NumShards returns the number of lock stripes.
 func (s *Store) NumShards() int { return len(s.userShards) }
+
+// Journal returns the store's append-only like-event log. The journal
+// is the single write path: every like recorded through the store is in
+// it, in append order per shard, and streaming consumers (monitors,
+// one-pass analyses, the fraud sweep) read it instead of re-scanning
+// the derived indexes.
+func (s *Store) Journal() *Journal { return s.journal }
 
 func (s *Store) userShard(u UserID) *userShard {
 	return &s.userShards[uint64(u)&s.shardMask]
@@ -256,12 +277,12 @@ func (s *Store) Pages() []PageID {
 // AddLike records user liking page at the given instant. Terminated
 // accounts cannot like; duplicate likes return ErrDuplicateLike.
 //
-// The operation touches two stripes (user-side, then page-side) but
-// never holds both locks at once, so concurrent AddLike calls on any
-// mix of users and pages are deadlock-free. The user-side stripe is the
-// linearization point: the duplicate check and the user-side append are
-// atomic, and pages are never deleted, so the page-side append cannot
-// fail after the user-side commit.
+// The operation touches two stripes (user-side, then page-side) plus
+// the journal shard, but never holds two locks at once, so concurrent
+// AddLike calls on any mix of users and pages are deadlock-free. The
+// user-side stripe is the linearization point: the duplicate check and
+// the user-side append are atomic, and pages are never deleted, so the
+// journal and page-side appends cannot fail after the user-side commit.
 func (s *Store) AddLike(u UserID, p PageID, at time.Time) error {
 	psh := s.pageShard(p)
 	psh.mu.RLock()
@@ -293,9 +314,10 @@ func (s *Store) AddLike(u UserID, p PageID, at time.Time) error {
 	delete(ush.userSorted, u)
 	ush.mu.Unlock()
 
+	s.journal.Append(LikeEvent{At: at, User: u, Page: p, Source: SourceLike})
+
 	psh.mu.Lock()
 	psh.likesByPage[p] = append(psh.likesByPage[p], lk)
-	delete(psh.pageSorted, p)
 	psh.mu.Unlock()
 	return nil
 }
@@ -310,27 +332,62 @@ func (s *Store) Likes(u UserID, p PageID) bool {
 }
 
 // LikesOfPage returns the page's likes in like-time order (ties by user
-// ID). The slice is sorted lazily on first read after a write and the
-// order cached, so repeated polling (the §3 monitor crawls every page
-// every 2 virtual hours) does not re-sort an unchanged stream.
+// ID). The sorted order is computed lazily on first read after a write
+// and cached as a copy — the underlying stream stays in append order so
+// PageEventsSince cursors remain valid — and repeated polling of an
+// unchanged stream costs only the copy.
 func (s *Store) LikesOfPage(p PageID) []Like {
 	sh := s.pageShard(p)
 	sh.mu.RLock()
-	if sh.pageSorted[p] {
-		out := append([]Like(nil), sh.likesByPage[p]...)
+	if cache, ok := sh.pageSorted[p]; ok && len(cache) == len(sh.likesByPage[p]) {
+		out := append([]Like(nil), cache...)
 		sh.mu.RUnlock()
 		return out
 	}
 	sh.mu.RUnlock()
 
 	sh.mu.Lock()
-	if !sh.pageSorted[p] {
-		sortPageLikes(sh.likesByPage[p])
-		sh.pageSorted[p] = true
+	cache, ok := sh.pageSorted[p]
+	if !ok || len(cache) != len(sh.likesByPage[p]) {
+		cache = append([]Like(nil), sh.likesByPage[p]...)
+		sortPageLikes(cache)
+		sh.pageSorted[p] = cache
 	}
-	out := append([]Like(nil), sh.likesByPage[p]...)
+	out := append([]Like(nil), cache...)
 	sh.mu.Unlock()
 	return out
+}
+
+// PageEventsSince returns the page's like events appended after cursor
+// (a value previously returned by this method; 0 starts from the
+// beginning), canonically sorted within the batch, plus the new cursor.
+// This is the per-page view of the journal: cursors are plain offsets
+// into the append-only stream, so a consumer polling the page (the §3
+// honeypot monitor) pays O(new likes) per poll instead of re-reading
+// the cumulative stream.
+//
+// Batches are sorted internally, and for a single-writer page — every
+// honeypot page is liked only by its own campaign's deliveries, which
+// run on one virtual clock — the concatenation of successive batches is
+// globally canonical too.
+func (s *Store) PageEventsSince(p PageID, cursor int) ([]LikeEvent, int) {
+	sh := s.pageShard(p)
+	sh.mu.RLock()
+	stream := sh.likesByPage[p]
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(stream) {
+		sh.mu.RUnlock()
+		return nil, cursor
+	}
+	out := make([]LikeEvent, len(stream)-cursor)
+	for i, lk := range stream[cursor:] {
+		out[i] = LikeEvent{At: lk.At, User: lk.User, Page: lk.Page, Source: SourceLike}
+	}
+	sh.mu.RUnlock()
+	sortEvents(out)
+	return out, cursor + len(out)
 }
 
 // LikeCountOfPage returns the number of likes on a page.
@@ -398,13 +455,14 @@ func (s *Store) LikeCountOfUser(u UserID) int {
 	return len(sh.likesByUser[u])
 }
 
-// AddHistory bulk-imports a user's pre-existing like history. Unlike
-// AddLike it updates only the user-side index: ambient/job pages never
-// need page-side like streams (no analysis reads them), and skipping the
-// page index and dedup set keeps multi-million-like histories cheap.
-// Callers must not include honeypot pages (enforced) and must not repeat
-// pages within or across imports for the same user. Concurrent imports
-// for different users proceed on different stripes.
+// AddHistory bulk-imports a user's pre-existing like history. The
+// events land in the journal (tagged SourceHistory, one batched append
+// per call) but update only the user-side index: ambient/job pages
+// never need page-side like streams (no analysis reads them), and
+// skipping the page index and dedup set keeps multi-million-like
+// histories cheap. Callers must not include honeypot pages (enforced)
+// and must not repeat pages within or across imports for the same user.
+// Concurrent imports for different users proceed on different stripes.
 func (s *Store) AddHistory(u UserID, likes []Like) error {
 	// Validate all referenced pages first, stripe by stripe, before
 	// touching the user shard — no lock nesting, no partial import on a
@@ -425,15 +483,20 @@ func (s *Store) AddHistory(u UserID, likes []Like) error {
 
 	sh := s.userShard(u)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.users[u]; !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
-	for _, lk := range likes {
+	events := make([]LikeEvent, len(likes))
+	for i, lk := range likes {
 		lk.User = u
 		sh.likesByUser[u] = append(sh.likesByUser[u], lk)
+		events[i] = LikeEvent{At: lk.At, User: u, Page: lk.Page, Source: SourceHistory}
 	}
 	delete(sh.userSorted, u)
+	sh.mu.Unlock()
+
+	s.journal.AppendUserBatch(u, events)
 	return nil
 }
 
