@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/crawler"
+)
+
+// runCrawl is the `likefraud crawl` subcommand: the §3 data collection
+// as a concurrent, resumable pipeline. With no -url it builds the study
+// world, serves it on a loopback listener, and crawls its own campaign
+// pages — a self-contained end-to-end exercise of the HTTP + crawl
+// stack. With -url it crawls an external API server (then -pages is
+// required). -checkpoint makes the crawl resumable: the file is loaded
+// if present, rewritten after every fully processed like window, and a
+// crawl interrupted by SIGINT/SIGTERM picks up where it left off.
+func runCrawl(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("likefraud crawl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "API base URL to crawl (default: build a study world and serve it in-process)")
+	pagesFlag := fs.String("pages", "", "comma-separated page IDs to crawl (default: all campaign pages; required with -url)")
+	seed := fs.Int64("seed", 2014, "random seed for the self-served study world")
+	scale := fs.Float64("scale", 0.1, "self-served study scale in (0,1]")
+	workers := fs.Int("workers", 8, "concurrent profile fetchers")
+	batch := fs.Int("batch", 50, "profiles per batched /api/users request")
+	interval := fs.Duration("interval", 0, "politeness spacing between requests (shared across workers)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses")
+	out := fs.String("out", "", "write crawled profiles as JSON lines to this file")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	base := *url
+	var pageIDs []int64
+	if base == "" {
+		if !*quiet {
+			fmt.Fprintf(stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
+		}
+		cfg, err := core.ScaledConfig(*seed, *scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+		study, err := core.NewStudy(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+		res, err := study.Run()
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+		hs := &http.Server{
+			Handler:           api.NewServer(study.Store(), ""),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		if !*quiet {
+			fmt.Fprintf(stderr, "platform served at %s\n", base)
+		}
+		for _, c := range res.Campaigns {
+			pageIDs = append(pageIDs, int64(c.Page))
+		}
+	} else if *pagesFlag == "" {
+		fmt.Fprintln(stderr, "likefraud crawl: -pages is required with -url")
+		return 2
+	}
+	if *pagesFlag != "" {
+		pageIDs = pageIDs[:0]
+		for _, part := range strings.Split(*pagesFlag, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "likefraud crawl: bad page id %q\n", part)
+				return 2
+			}
+			pageIDs = append(pageIDs, id)
+		}
+	}
+
+	ccfg := crawler.DefaultConfig(base)
+	ccfg.MinInterval = *interval
+	cl, err := crawler.New(ccfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+		return 1
+	}
+
+	var resume *crawler.Checkpoint
+	if *checkpoint != "" {
+		if data, err := os.ReadFile(*checkpoint); err == nil {
+			var ck crawler.Checkpoint
+			if err := json.Unmarshal(data, &ck); err != nil {
+				fmt.Fprintf(stderr, "likefraud crawl: corrupt checkpoint %s: %v\n", *checkpoint, err)
+				return 1
+			}
+			resume = &ck
+			if !*quiet {
+				fmt.Fprintf(stderr, "resuming: %d profiles already crawled\n", len(ck.Crawled))
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+	}
+
+	var sink io.Writer = io.Discard
+	if *out != "" {
+		// A resumed crawl appends: the profiles already in the file are
+		// exactly the ones the checkpoint will never re-emit.
+		mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		if resume != nil {
+			mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+		}
+		f, err := os.OpenFile(*out, mode, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+
+	pcfg := crawler.PipelineConfig{Workers: *workers, BatchSize: *batch}
+	if *checkpoint != "" {
+		pcfg.OnCheckpoint = func(ck crawler.Checkpoint) {
+			if err := writeCheckpoint(*checkpoint, ck); err != nil && !*quiet {
+				fmt.Fprintf(stderr, "likefraud crawl: checkpoint: %v\n", err)
+			}
+		}
+	}
+	pipe := crawler.NewPipeline(cl, pcfg, resume)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	profiles := 0
+	perPage := map[int64]int{}
+	crawlErr := pipe.Crawl(ctx, pageIDs, func(page int64, prof crawler.LikerProfile) error {
+		// A failed write aborts the crawl before the user is marked
+		// crawled, so nothing silently vanishes from the output.
+		if err := enc.Encode(struct {
+			Page int64 `json:"page"`
+			crawler.LikerProfile
+		}{page, prof}); err != nil {
+			return fmt.Errorf("writing profile: %w", err)
+		}
+		profiles++
+		perPage[page]++
+		return nil
+	})
+	if *checkpoint != "" {
+		if err := writeCheckpoint(*checkpoint, pipe.Checkpoint()); err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: checkpoint: %v\n", err)
+		}
+	}
+	if crawlErr != nil {
+		fmt.Fprintf(stderr, "likefraud crawl: %v\n", crawlErr)
+		if *checkpoint != "" {
+			fmt.Fprintf(stderr, "progress saved to %s; rerun to resume\n", *checkpoint)
+		}
+		return 1
+	}
+
+	var ids []int64
+	for id := range perPage {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(stdout, "page %d: %d new likers\n", id, perPage[id])
+	}
+	fmt.Fprintf(stdout, "crawled %d profiles over %d pages in %s (%d requests, %d retries, %d workers)\n",
+		profiles, len(pageIDs), time.Since(start).Round(time.Millisecond),
+		cl.Requests(), cl.Retries(), *workers)
+	return 0
+}
+
+// writeCheckpoint persists the crawl state atomically (tmp + rename) so
+// a kill mid-write can't corrupt the resume file.
+func writeCheckpoint(path string, ck crawler.Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	likefraud [-seed N] [-scale S] [-workers W] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|removed|econ] [-outdir DIR]
+//	likefraud crawl [-url BASE -pages IDS] [-workers W] [-checkpoint FILE] [-out FILE]
+//
+// The crawl subcommand runs the §3 data collection through the
+// concurrent, resumable crawl pipeline — see crawl.go.
 package main
 
 import (
@@ -22,9 +26,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable body of the command: parse flags, run the study,
-// render the requested artifact. It returns the process exit code.
+// run is the testable body of the command: dispatch subcommands, parse
+// flags, run the study, render the requested artifact. It returns the
+// process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "crawl" {
+		return runCrawl(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("likefraud", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 2014, "random seed (runs are deterministic per seed)")

@@ -42,6 +42,51 @@ func TestRunRejectsUnknownArtifact(t *testing.T) {
 	}
 }
 
+// TestRunCrawlSmoke runs the self-serving crawl subcommand end to end:
+// build a scaled study world, serve it on loopback, crawl every
+// campaign page through the pipeline, write profiles and a checkpoint.
+// A second run from the checkpoint must find nothing left to crawl.
+func TestRunCrawlSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	outFile := filepath.Join(dir, "profiles.jsonl")
+	args := []string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-checkpoint", ckpt, "-out", outFile, "-quiet"}
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "crawled ") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines < 10 {
+		t.Fatalf("only %d profile lines written", lines)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+
+	var resumed, errOut2 bytes.Buffer
+	if code := run(args, &resumed, &errOut2); code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, errOut2.String())
+	}
+	if !strings.Contains(resumed.String(), "crawled 0 profiles") {
+		t.Fatalf("resume should crawl nothing:\n%s", resumed.String())
+	}
+}
+
+func TestRunCrawlRequiresPagesWithURL(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"crawl", "-url", "http://127.0.0.1:1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
 func TestRunRejectsBadScale(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-scale", "7"}, &out, &errOut); code != 1 {

@@ -1,9 +1,12 @@
 // Crawlhttp: end-to-end HTTP data collection, the way the paper's
 // Selenium crawler worked (§3). The example builds a world, serves it
-// over a local HTTP API, crawls every liker of a honeypot page through
-// the network stack — profiles, friend lists (respecting privacy),
-// page-like lists, the admin report — and recomputes the paper's
-// per-campaign statistics purely from crawled data.
+// over a local HTTP API, and collects every liker of two contrasting
+// honeypot campaigns through the concurrent crawl pipeline: cursor
+// paging over the like streams (stable even while campaigns are still
+// delivering), batched profile fetches fanned over workers behind one
+// shared politeness limiter, cross-campaign dedup, and a checkpoint
+// that makes a second crawl a no-op. The paper's per-campaign
+// statistics are then recomputed purely from crawled data.
 package main
 
 import (
@@ -50,22 +53,30 @@ func main() {
 
 	// Crawl the two most contrasting campaigns: the stealth farm and a
 	// burst farm.
-	targets := map[string]int64{}
+	pageOf := map[int64]string{}
+	var pages []int64
 	for _, c := range res.Campaigns {
 		if c.Spec.ID == "BL-USA" || c.Spec.ID == "SF-ALL" {
-			targets[c.Spec.ID] = int64(c.Page)
+			pageOf[int64(c.Page)] = c.Spec.ID
+			pages = append(pages, int64(c.Page))
 		}
 	}
-	for _, id := range []string{"BL-USA", "SF-ALL"} {
-		page := targets[id]
-		fmt.Printf("\n== crawling %s (page %d) over HTTP ==\n", id, page)
-		profiles, err := cl.CrawlLikers(ctx, page)
-		if err != nil {
-			log.Fatal(err)
-		}
+
+	pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8, BatchSize: 25}, nil)
+	profiles := map[int64][]crawler.LikerProfile{}
+	fmt.Printf("\ncrawling %d campaigns through the 8-worker pipeline...\n", len(pages))
+	if err := pipe.Crawl(ctx, pages, func(page int64, prof crawler.LikerProfile) error {
+		profiles[page] = append(profiles[page], prof)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, page := range pages {
+		fmt.Printf("\n== %s (page %d), crawled over HTTP ==\n", pageOf[page], page)
 		hidden := 0
 		var friendCounts, likeCounts []float64
-		for _, p := range profiles {
+		for _, p := range profiles[page] {
 			if p.FriendsHidden {
 				hidden++
 			} else {
@@ -73,7 +84,7 @@ func main() {
 			}
 			likeCounts = append(likeCounts, float64(len(p.PageLikes)))
 		}
-		fmt.Printf("likers crawled: %d (friend lists private: %d)\n", len(profiles), hidden)
+		fmt.Printf("likers crawled: %d (friend lists private: %d)\n", len(profiles[page]), hidden)
 		if len(friendCounts) > 0 {
 			med, _ := stats.Median(friendCounts)
 			fmt.Printf("median friends (public lists): %.0f\n", med)
@@ -102,5 +113,17 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\ncrawler issued %d HTTP requests (%d retries)\n", cl.Requests, cl.Retries)
+	fmt.Printf("\ncrawler issued %d HTTP requests (%d retries)\n", cl.Requests(), cl.Retries())
+
+	// Resume from the checkpoint: everything is already crawled, so the
+	// second pass costs one tail probe per page and fetches no profiles.
+	ck := pipe.Checkpoint()
+	before := cl.Requests()
+	resumed := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8}, &ck)
+	refetched := 0
+	if err := resumed.Crawl(ctx, pages, func(int64, crawler.LikerProfile) error { refetched++; return nil }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resume from checkpoint: %d profiles refetched, %d extra requests\n",
+		refetched, cl.Requests()-before)
 }

@@ -7,11 +7,13 @@
 package api
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/platform"
 	"repro/internal/socialnet"
@@ -35,6 +37,7 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s.mux.HandleFunc("GET /api/page/{id}", s.handlePage)
 	s.mux.HandleFunc("GET /api/page/{id}/likes", s.handlePageLikes)
 	s.mux.HandleFunc("GET /api/user/{id}", s.handleUser)
+	s.mux.HandleFunc("GET /api/users", s.handleUsersBatch)
 	s.mux.HandleFunc("GET /api/user/{id}/friends", s.handleUserFriends)
 	s.mux.HandleFunc("GET /api/user/{id}/likes", s.handleUserLikes)
 	s.mux.HandleFunc("GET /api/directory", s.handleDirectory)
@@ -67,10 +70,21 @@ type LikeDoc struct {
 }
 
 // PageLikesDoc is a page's like stream (paginated).
+//
+// Two paging modes exist. Offset mode (`offset=`) windows the
+// time-sorted view; it is only stable over a quiescent page — a like
+// landing mid-crawl with an earlier timestamp shifts every later
+// offset, duplicating or dropping likers — so it is documented as
+// snapshot-only. Cursor mode (`cursor=`) windows the append-only
+// stream: Cursor echoes the request and NextCursor resumes after the
+// last returned event, exactly once per event even under live writes.
+// Offset-mode responses carry Cursor = NextCursor = -1.
 type PageLikesDoc struct {
-	Total  int       `json:"total"`
-	Offset int       `json:"offset"`
-	Likes  []LikeDoc `json:"likes"`
+	Total      int       `json:"total"`
+	Offset     int       `json:"offset"`
+	Cursor     int       `json:"cursor"`
+	NextCursor int       `json:"next_cursor"`
+	Likes      []LikeDoc `json:"likes"`
 }
 
 // UserDoc is the public profile view.
@@ -98,6 +112,14 @@ type UserLikesDoc struct {
 	Total  int     `json:"total"`
 	Offset int     `json:"offset"`
 	Pages  []int64 `json:"pages"`
+}
+
+// UsersDoc is the batched-profile response: the profiles of the
+// requested IDs that exist, in request order. Unknown IDs are skipped
+// (a profile deleted mid-crawl is not an error), so callers diff the
+// response against the request to detect missing users.
+type UsersDoc struct {
+	Users []UserDoc `json:"users"`
 }
 
 // DirectoryDoc is a slice of the searchable directory.
@@ -137,23 +159,31 @@ func pathID(r *http.Request) (int64, error) {
 	return strconv.ParseInt(r.PathValue("id"), 10, 64)
 }
 
+func limitParam(r *http.Request) (int, error) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		var err error
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, errors.New("bad limit")
+		}
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	return limit, nil
+}
+
 func paging(r *http.Request) (offset, limit int, err error) {
-	limit = 100
-	q := r.URL.Query()
-	if v := q.Get("offset"); v != "" {
+	if v := r.URL.Query().Get("offset"); v != "" {
 		offset, err = strconv.Atoi(v)
 		if err != nil || offset < 0 {
 			return 0, 0, errors.New("bad offset")
 		}
 	}
-	if v := q.Get("limit"); v != "" {
-		limit, err = strconv.Atoi(v)
-		if err != nil || limit < 1 {
-			return 0, 0, errors.New("bad limit")
-		}
-	}
-	if limit > MaxPageSize {
-		limit = MaxPageSize
+	limit, err = limitParam(r)
+	if err != nil {
+		return 0, 0, err
 	}
 	return offset, limit, nil
 }
@@ -197,13 +227,41 @@ func (s *Server) handlePageLikes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such page")
 		return
 	}
+	q := r.URL.Query()
+	if v := q.Get("cursor"); v != "" {
+		if q.Get("offset") != "" {
+			writeError(w, http.StatusBadRequest, "cursor and offset are mutually exclusive")
+			return
+		}
+		cursor, err := strconv.Atoi(v)
+		if err != nil || cursor < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor")
+			return
+		}
+		limit, err := limitParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		evs, next := s.store.PageEventsPage(socialnet.PageID(id), cursor, limit)
+		doc := PageLikesDoc{
+			Total:  s.store.LikeCountOfPage(socialnet.PageID(id)),
+			Offset: -1, Cursor: cursor, NextCursor: next,
+			Likes: make([]LikeDoc, 0, len(evs)),
+		}
+		for _, ev := range evs {
+			doc.Likes = append(doc.Likes, LikeDoc{User: int64(ev.User), At: ev.At.Format("2006-01-02T15:04:05Z07:00")})
+		}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
 	offset, limit, err := paging(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	likes := s.store.LikesOfPage(socialnet.PageID(id))
-	doc := PageLikesDoc{Total: len(likes), Offset: offset}
+	doc := PageLikesDoc{Total: len(likes), Offset: offset, Cursor: -1, NextCursor: -1, Likes: []LikeDoc{}}
 	for _, lk := range window(likes, offset, limit) {
 		doc.Likes = append(doc.Likes, LikeDoc{User: int64(lk.User), At: lk.At.Format("2006-01-02T15:04:05Z07:00")})
 	}
@@ -221,13 +279,47 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
-	writeJSON(w, http.StatusOK, UserDoc{
+	writeJSON(w, http.StatusOK, s.userDoc(u))
+}
+
+func (s *Server) userDoc(u socialnet.User) UserDoc {
+	return UserDoc{
 		ID: int64(u.ID), Gender: u.Gender.String(), Age: u.Age.String(),
 		Country: u.Country, HomeTown: u.HomeTown, CurrentTown: u.CurrentTown,
 		FriendsPublic:   u.FriendsPublic,
 		DeclaredFriends: s.store.DeclaredFriendCount(u.ID),
 		Status:          u.Status.String(),
-	})
+	}
+}
+
+// handleUsersBatch serves GET /api/users?ids=1,2,3 — up to MaxPageSize
+// public profiles in one round trip, for crawlers that would otherwise
+// pay one request per liker.
+func (s *Server) handleUsersBatch(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("ids")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing ids")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > MaxPageSize {
+		writeError(w, http.StatusBadRequest, "too many ids (max %d)", MaxPageSize)
+		return
+	}
+	doc := UsersDoc{Users: []UserDoc{}}
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad user id %q", p)
+			return
+		}
+		u, err := s.store.User(socialnet.UserID(id))
+		if err != nil {
+			continue // unknown/deleted profiles are skipped, not fatal
+		}
+		doc.Users = append(doc.Users, s.userDoc(u))
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleUserFriends(w http.ResponseWriter, r *http.Request) {
@@ -251,7 +343,7 @@ func (s *Server) handleUserFriends(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	friends := s.store.FriendsOf(uid)
-	doc := UserFriendsDoc{Total: len(friends), Offset: offset}
+	doc := UserFriendsDoc{Total: len(friends), Offset: offset, Friends: []int64{}}
 	for _, f := range window(friends, offset, limit) {
 		doc.Friends = append(doc.Friends, int64(f))
 	}
@@ -275,7 +367,7 @@ func (s *Server) handleUserLikes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	likes := s.store.LikesOfUser(uid)
-	doc := UserLikesDoc{Total: len(likes), Offset: offset}
+	doc := UserLikesDoc{Total: len(likes), Offset: offset, Pages: []int64{}}
 	for _, lk := range window(likes, offset, limit) {
 		doc.Pages = append(doc.Pages, int64(lk.Page))
 	}
@@ -289,7 +381,7 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dir := s.store.Directory()
-	doc := DirectoryDoc{Total: len(dir), Offset: offset}
+	doc := DirectoryDoc{Total: len(dir), Offset: offset, Users: []int64{}}
 	for _, u := range window(dir, offset, limit) {
 		doc.Users = append(doc.Users, int64(u))
 	}
@@ -297,7 +389,10 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdminReport(w http.ResponseWriter, r *http.Request) {
-	if s.adminToken == "" || r.Header.Get("X-Admin-Token") != s.adminToken {
+	// Constant-time compare: a byte-wise early-exit comparison would let
+	// a crawler recover the token one byte at a time from timing.
+	got := []byte(r.Header.Get("X-Admin-Token"))
+	if s.adminToken == "" || subtle.ConstantTimeCompare(got, []byte(s.adminToken)) != 1 {
 		writeError(w, http.StatusUnauthorized, "admin token required")
 		return
 	}

@@ -3,8 +3,10 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -96,6 +98,118 @@ func TestPageLikesPagination(t *testing.T) {
 	}
 	if code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?limit=0", srv.URL, page), nil); code != 400 {
 		t.Fatalf("bad limit status = %d", code)
+	}
+}
+
+// TestPageLikesCursorPaging exercises cursor mode: windows tile the
+// append-only stream, next_cursor resumes exactly after the last event,
+// and a like landing mid-pagination — with an earlier timestamp than
+// events already served — is delivered exactly once at the tail instead
+// of shifting the windows (the offset-mode dup/drop bug).
+func TestPageLikesCursorPaging(t *testing.T) {
+	srv, st, page, _, _ := testServer(t)
+	for i := 0; i < 23; i++ {
+		u := st.AddUser(socialnet.User{Country: "Egypt"})
+		_ = st.AddLike(u, page, t0.Add(time.Duration(i+2)*time.Hour))
+	}
+	seen := map[int64]int{}
+	cursor, got := 0, 0
+	for {
+		var doc PageLikesDoc
+		code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?cursor=%d&limit=10", srv.URL, page, cursor), &doc)
+		if code != 200 {
+			t.Fatalf("status = %d", code)
+		}
+		if doc.Cursor != cursor {
+			t.Fatalf("echoed cursor = %d, want %d", doc.Cursor, cursor)
+		}
+		if doc.NextCursor != cursor+len(doc.Likes) {
+			t.Fatalf("next_cursor = %d after cursor %d with %d likes", doc.NextCursor, cursor, len(doc.Likes))
+		}
+		for _, lk := range doc.Likes {
+			seen[lk.User]++
+		}
+		got += len(doc.Likes)
+		cursor = doc.NextCursor
+		if len(doc.Likes) == 0 {
+			break
+		}
+		// A like with a PRE-study timestamp lands while we paginate.
+		if got == 10 {
+			u := st.AddUser(socialnet.User{Country: "Turkey"})
+			_ = st.AddLike(u, page, t0.Add(-time.Hour))
+		}
+	}
+	if got != 26 {
+		t.Fatalf("cursor crawl saw %d likes, want 26", got)
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("user %d delivered %d times", u, n)
+		}
+	}
+	// cursor + offset together is a 400; so is a malformed cursor.
+	if code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?cursor=0&offset=1", srv.URL, page), nil); code != 400 {
+		t.Fatalf("cursor+offset status = %d", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/page/%d/likes?cursor=-2", srv.URL, page), nil); code != 400 {
+		t.Fatalf("bad cursor status = %d", code)
+	}
+}
+
+func TestUsersBatch(t *testing.T) {
+	srv, _, _, pub, priv := testServer(t)
+	var doc UsersDoc
+	// Unknown ID 999 is skipped, not fatal; order follows the request.
+	code := getJSON(t, fmt.Sprintf("%s/api/users?ids=%d,999,%d", srv.URL, pub, priv), &doc)
+	if code != 200 || len(doc.Users) != 2 {
+		t.Fatalf("batch: code=%d users=%d", code, len(doc.Users))
+	}
+	if doc.Users[0].ID != int64(pub) || doc.Users[1].ID != int64(priv) {
+		t.Fatalf("batch order = %+v", doc.Users)
+	}
+	if doc.Users[0].Country != "USA" || doc.Users[0].DeclaredFriends != 250 {
+		t.Fatalf("batch profile = %+v", doc.Users[0])
+	}
+	if code := getJSON(t, srv.URL+"/api/users", nil); code != 400 {
+		t.Fatalf("missing ids status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/users?ids=1,x", nil); code != 400 {
+		t.Fatalf("bad id status = %d", code)
+	}
+	ids := make([]string, MaxPageSize+1)
+	for i := range ids {
+		ids[i] = "1"
+	}
+	if code := getJSON(t, srv.URL+"/api/users?ids="+strings.Join(ids, ","), nil); code != 400 {
+		t.Fatalf("oversize batch status = %d", code)
+	}
+}
+
+// TestEmptyWindowsAreArrays pins the JSON shape: empty like/friend/page
+// windows serialize as [] rather than null, so typed clients in other
+// languages don't need null guards.
+func TestEmptyWindowsAreArrays(t *testing.T) {
+	srv, st, page, pub, _ := testServer(t)
+	lonely := st.AddUser(socialnet.User{FriendsPublic: true})
+	for name, url := range map[string]string{
+		"likes offset": fmt.Sprintf("%s/api/page/%d/likes?offset=%d", srv.URL, page, 9999),
+		"likes cursor": fmt.Sprintf("%s/api/page/%d/likes?cursor=%d", srv.URL, page, 9999),
+		"friends":      fmt.Sprintf("%s/api/user/%d/friends", srv.URL, lonely),
+		"user likes":   fmt.Sprintf("%s/api/user/%d/likes?offset=%d", srv.URL, pub, 9999),
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		if strings.Contains(string(body), "null") {
+			t.Fatalf("%s: body has null window: %s", name, body)
+		}
 	}
 }
 

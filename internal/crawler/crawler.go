@@ -14,6 +14,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -77,14 +80,23 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Client is the crawler.
+// Client is the crawler. It is safe for concurrent use: the politeness
+// limiter is shared across goroutines — N pipeline workers behind one
+// Client still space their requests MinInterval apart in aggregate, the
+// way the paper's single crawl account had one politeness budget no
+// matter how its fetches were scheduled.
 type Client struct {
 	cfg  Config
 	http *http.Client
+
+	// mu guards last: the politeness limiter's reservation point.
+	// Callers reserve the next free send slot under the lock, then
+	// sleep until their slot without holding it.
+	mu   sync.Mutex
 	last time.Time
-	// Stats counts requests and retries for observability.
-	Requests int
-	Retries  int
+
+	requests atomic.Int64
+	retries  atomic.Int64
 }
 
 // New builds a crawler client.
@@ -99,28 +111,64 @@ func New(cfg Config) (*Client, error) {
 	return &Client{cfg: cfg, http: hc}, nil
 }
 
+// Requests returns the number of HTTP requests issued so far.
+func (c *Client) Requests() int { return int(c.requests.Load()) }
+
+// Retries returns the number of retry attempts so far.
+func (c *Client) Retries() int { return int(c.retries.Load()) }
+
+// waitTurn reserves the next politeness slot and sleeps until it.
+// Reserving under the lock and sleeping outside it gives concurrent
+// callers distinct slots exactly MinInterval apart.
+func (c *Client) waitTurn(ctx context.Context) error {
+	if c.cfg.MinInterval <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	now := time.Now()
+	slot := c.last.Add(c.cfg.MinInterval)
+	if slot.Before(now) {
+		slot = now
+	}
+	c.last = slot
+	c.mu.Unlock()
+	if wait := time.Until(slot); wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // get performs one polite, retrying GET and decodes JSON into out.
 func (c *Client) get(ctx context.Context, path string, admin bool, out any) error {
 	var lastErr error
 	backoff := c.cfg.Backoff
+	// hint is the server's most recent Retry-After suggestion (capped).
+	// It replaces exactly one backoff sleep and is then cleared — it
+	// never enters the exponential schedule, so a 1 s hint cannot
+	// snowball into 2 s, 4 s, ... waits.
+	var hint time.Duration
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			c.Retries++
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return ctx.Err()
+			c.retries.Add(1)
+			wait := backoff
+			if hint > 0 {
+				wait, hint = hint, 0
+			} else {
+				backoff *= 2
 			}
-			backoff *= 2
-		}
-		if wait := c.cfg.MinInterval - time.Since(c.last); wait > 0 {
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
-		c.last = time.Now()
+		if err := c.waitTurn(ctx); err != nil {
+			return err
+		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
 		if err != nil {
 			return fmt.Errorf("crawler: %w", err)
@@ -128,7 +176,7 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 		if admin {
 			req.Header.Set("X-Admin-Token", c.cfg.AdminToken)
 		}
-		c.Requests++
+		c.requests.Add(1)
 		resp, err := c.http.Do(req)
 		if err != nil {
 			lastErr = err
@@ -152,6 +200,8 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 			return fmt.Errorf("%w: %s", ErrNotFound, path)
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// Honor the server's Retry-After hint when present, capped.
+			// The hint is held aside and spent on exactly the next sleep;
+			// folding it into backoff would double it on every retry.
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 					maxWait := c.cfg.RetryAfterCap
@@ -162,13 +212,11 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 					if d > maxWait {
 						d = maxWait
 					}
-					if d > backoff {
-						backoff = d
-					}
+					hint = d
 				}
 			}
 			lastErr = fmt.Errorf("crawler: rate limited on %s", path)
-			continue // retry after backoff
+			continue // retry after the hint (or backoff)
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("crawler: server error %d on %s", resp.StatusCode, path)
 			continue // retry
@@ -186,8 +234,15 @@ func (c *Client) Page(ctx context.Context, id int64) (api.PageDoc, error) {
 	return doc, err
 }
 
-// PageLikes fetches the full like stream of a page, following
-// pagination.
+// PageLikes fetches the full like stream of a page by offset paging
+// over the time-sorted view. Offset windows are only stable over a
+// quiescent page — a like landing mid-crawl with an earlier timestamp
+// shifts every later offset, duplicating or dropping likers — so this
+// is a snapshot read; crawls that race live writes use PageLikesSince.
+//
+// Termination is on a short (or empty) window, never on the reported
+// total: the total is a point-in-time value that goes stale the moment
+// the list grows or shrinks, and trusting it can truncate the tail.
 func (c *Client) PageLikes(ctx context.Context, id int64) ([]api.LikeDoc, error) {
 	var out []api.LikeDoc
 	offset := 0
@@ -199,8 +254,31 @@ func (c *Client) PageLikes(ctx context.Context, id int64) ([]api.LikeDoc, error)
 		}
 		out = append(out, doc.Likes...)
 		offset += len(doc.Likes)
-		if len(doc.Likes) == 0 || offset >= doc.Total {
+		if len(doc.Likes) < c.cfg.PageSize {
 			return out, nil
+		}
+	}
+}
+
+// PageLikesSince fetches the page's like events appended after cursor
+// (0 = from the beginning; otherwise a value previously returned by
+// this method), following cursor pagination until it reaches the live
+// tail. It returns the likes and the cursor that resumes after them.
+// Cursors index the page's append-only stream, so likes landing
+// mid-crawl are delivered exactly once — on this call if the crawl
+// hasn't passed them, on the next call otherwise.
+func (c *Client) PageLikesSince(ctx context.Context, id int64, cursor int) ([]api.LikeDoc, int, error) {
+	var out []api.LikeDoc
+	for {
+		var doc api.PageLikesDoc
+		path := fmt.Sprintf("/api/page/%d/likes?cursor=%d&limit=%d", id, cursor, c.cfg.PageSize)
+		if err := c.get(ctx, path, false, &doc); err != nil {
+			return out, cursor, err
+		}
+		out = append(out, doc.Likes...)
+		cursor = doc.NextCursor
+		if len(doc.Likes) < c.cfg.PageSize {
+			return out, cursor, nil
 		}
 	}
 }
@@ -224,7 +302,7 @@ func (c *Client) UserFriends(ctx context.Context, id int64) ([]int64, error) {
 		}
 		out = append(out, doc.Friends...)
 		offset += len(doc.Friends)
-		if len(doc.Friends) == 0 || offset >= doc.Total {
+		if len(doc.Friends) < c.cfg.PageSize {
 			return out, nil
 		}
 	}
@@ -242,10 +320,31 @@ func (c *Client) UserLikes(ctx context.Context, id int64) ([]int64, error) {
 		}
 		out = append(out, doc.Pages...)
 		offset += len(doc.Pages)
-		if len(doc.Pages) == 0 || offset >= doc.Total {
+		if len(doc.Pages) < c.cfg.PageSize {
 			return out, nil
 		}
 	}
+}
+
+// Users fetches up to api.MaxPageSize public profiles in one batched
+// request. Unknown IDs are skipped by the server (a profile deleted
+// mid-crawl is not an error), so the response may be shorter than ids.
+func (c *Client) Users(ctx context.Context, ids []int64) ([]api.UserDoc, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if len(ids) > api.MaxPageSize {
+		return nil, fmt.Errorf("crawler: batch of %d ids exceeds %d", len(ids), api.MaxPageSize)
+	}
+	strs := make([]string, len(ids))
+	for i, id := range ids {
+		strs[i] = strconv.FormatInt(id, 10)
+	}
+	var doc api.UsersDoc
+	if err := c.get(ctx, "/api/users?ids="+strings.Join(strs, ","), false, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Users, nil
 }
 
 // Directory fetches a window of the searchable directory.

@@ -80,8 +80,8 @@ func TestUserLikesPaginated(t *testing.T) {
 		t.Fatalf("user likes = %d, want 451", len(pages))
 	}
 	// Pagination required several requests.
-	if c.Requests < 5 {
-		t.Fatalf("requests = %d, want >=5 for pagination", c.Requests)
+	if c.Requests() < 5 {
+		t.Fatalf("requests = %d, want >=5 for pagination", c.Requests())
 	}
 	seen := map[int64]bool{}
 	for _, p := range pages {
@@ -196,8 +196,8 @@ func TestRetryOn500(t *testing.T) {
 	if doc.Name != "p" {
 		t.Fatalf("doc = %+v", doc)
 	}
-	if c.Retries != 2 {
-		t.Fatalf("retries = %d, want 2", c.Retries)
+	if c.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries())
 	}
 }
 
@@ -214,8 +214,8 @@ func TestGivesUpAfterMaxRetries(t *testing.T) {
 	if _, err := c.Page(context.Background(), 1); err == nil {
 		t.Fatal("should give up on persistent 500s")
 	}
-	if c.Retries != 2 {
-		t.Fatalf("retries = %d, want 2", c.Retries)
+	if c.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries())
 	}
 }
 

@@ -1,0 +1,270 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+)
+
+// Checkpoint is the resumable crawl state: how far into each page's
+// append-only like stream the pipeline has fully processed, and which
+// users it has already collected. Both advance only after the work they
+// cover is complete, so a checkpoint persisted at any point resumes
+// without refetching a single profile and without losing one.
+type Checkpoint struct {
+	// PageCursors maps page ID to the append-stream cursor up to which
+	// every liker in the page's stream has been crawled (or was already
+	// in Crawled).
+	PageCursors map[int64]int `json:"page_cursors"`
+	// Crawled lists users whose profiles have been collected and
+	// emitted, ascending.
+	Crawled []int64 `json:"crawled"`
+}
+
+// PipelineConfig tunes the concurrent crawl.
+type PipelineConfig struct {
+	// Workers is the number of concurrent profile fetchers (min 1).
+	// All workers share the Client's politeness limiter, so raising
+	// Workers overlaps server latency without ever exceeding the
+	// request spacing budget.
+	Workers int
+	// BatchSize is the number of profiles fetched per batched
+	// /api/users request (min 1, capped by the client's PageSize).
+	BatchSize int
+	// OnCheckpoint, when set, is called after each fully processed like
+	// window with a consistent snapshot — the hook for persisting crawl
+	// progress. It is called from the coordinating goroutine, never
+	// concurrently.
+	OnCheckpoint func(Checkpoint)
+}
+
+// Pipeline is the concurrent, resumable §3 data-collection engine: it
+// discovers likers through cursor paging (stable under live writes),
+// fans their profile collection — one batched profile fetch plus
+// per-user friend and page-like lists — over N workers behind the
+// client's shared politeness limiter, dedupes users already crawled
+// across campaigns (the paper crawled each profile exactly once), and
+// streams finished LikerProfiles to a consumer callback instead of
+// accumulating them.
+//
+// The set of profiles emitted is a pure function of the world state:
+// worker count and scheduling affect only emission order, never
+// membership. A Pipeline coordinates one Crawl at a time.
+type Pipeline struct {
+	cl    *Client
+	cfg   PipelineConfig
+	batch int
+
+	mu      sync.Mutex
+	cursors map[int64]int
+	crawled map[int64]bool
+
+	emitMu sync.Mutex
+}
+
+// NewPipeline builds a pipeline over the client. resume, when non-nil,
+// seeds the cursor map and crawled set from a prior crawl's Checkpoint.
+func NewPipeline(cl *Client, cfg PipelineConfig, resume *Checkpoint) *Pipeline {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 50
+	}
+	if cfg.BatchSize > cl.cfg.PageSize {
+		cfg.BatchSize = cl.cfg.PageSize
+	}
+	p := &Pipeline{
+		cl:      cl,
+		cfg:     cfg,
+		cursors: make(map[int64]int),
+		crawled: make(map[int64]bool),
+	}
+	if resume != nil {
+		for page, cur := range resume.PageCursors {
+			p.cursors[page] = cur
+		}
+		for _, u := range resume.Crawled {
+			p.crawled[u] = true
+		}
+	}
+	return p
+}
+
+// Checkpoint returns a consistent snapshot of the crawl state, safe to
+// persist: every user in it has been emitted, and every cursor covers
+// only fully crawled windows.
+func (p *Pipeline) Checkpoint() Checkpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ck := Checkpoint{
+		PageCursors: make(map[int64]int, len(p.cursors)),
+		Crawled:     make([]int64, 0, len(p.crawled)),
+	}
+	for page, cur := range p.cursors {
+		ck.PageCursors[page] = cur
+	}
+	for u := range p.crawled {
+		ck.Crawled = append(ck.Crawled, u)
+	}
+	slices.Sort(ck.Crawled)
+	return ck
+}
+
+// Crawl collects every liker of the given pages, calling emit once per
+// newly crawled profile with the page that surfaced it. Pages are
+// processed in order; within a page, profile collection fans out over
+// the configured workers. Each page is drained to its live tail: likes
+// landing while their page is being crawled are picked up before Crawl
+// moves on. emit is serialized (one call at a time) but its order is
+// scheduling-dependent; order-sensitive consumers sort on their side.
+// An error from emit aborts the crawl; the profile it rejected is NOT
+// marked crawled, so a resume refetches and re-emits it — consumers
+// that persist profiles lose nothing to a failed write.
+func (p *Pipeline) Crawl(ctx context.Context, pages []int64, emit func(page int64, prof LikerProfile) error) error {
+	for _, page := range pages {
+		if err := p.crawlPage(ctx, page, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crawlPage loops {read one cursor window, crawl its new likers,
+// advance the cursor} until a window comes back empty — the page's live
+// tail. The cursor advances only after the window's likers are done, so
+// a crawl killed mid-window resumes from the window's start and the
+// crawled set suppresses the refetches.
+func (p *Pipeline) crawlPage(ctx context.Context, page int64, emit func(int64, LikerProfile) error) error {
+	for {
+		p.mu.Lock()
+		cursor := p.cursors[page]
+		p.mu.Unlock()
+
+		likes, next, err := p.cl.PageLikesSince(ctx, page, cursor)
+		if err != nil {
+			return err
+		}
+		var todo []int64
+		p.mu.Lock()
+		for _, lk := range likes {
+			if !p.crawled[lk.User] {
+				todo = append(todo, lk.User)
+			}
+		}
+		p.mu.Unlock()
+		if err := p.crawlUsers(ctx, page, todo, emit); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.cursors[page] = next
+		p.mu.Unlock()
+		if p.cfg.OnCheckpoint != nil {
+			p.cfg.OnCheckpoint(p.Checkpoint())
+		}
+		if len(likes) == 0 {
+			return nil
+		}
+	}
+}
+
+// crawlUsers fans the users' profile collection over the worker pool in
+// BatchSize chunks and waits for the window to finish.
+func (p *Pipeline) crawlUsers(ctx context.Context, page int64, ids []int64, emit func(int64, LikerProfile) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	work := make(chan []int64)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := range work {
+				if err := p.crawlBatch(ctx, page, batch, emit); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for start := 0; start < len(ids); start += p.cfg.BatchSize {
+		end := min(start+p.cfg.BatchSize, len(ids))
+		select {
+		case work <- ids[start:end]:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// crawlBatch collects one batch: a single batched profile fetch, then
+// per-user friend and page-like lists, emitting each finished profile.
+func (p *Pipeline) crawlBatch(ctx context.Context, page int64, ids []int64, emit func(int64, LikerProfile) error) error {
+	users, err := p.cl.Users(ctx, ids)
+	if err != nil {
+		return err
+	}
+	for _, u := range users {
+		prof := LikerProfile{User: u}
+		friends, err := p.cl.UserFriends(ctx, u.ID)
+		switch {
+		case errors.Is(err, ErrPrivate):
+			prof.FriendsHidden = true
+		case err != nil:
+			return err
+		default:
+			prof.Friends = friends
+		}
+		pages, err := p.cl.UserLikes(ctx, u.ID)
+		if err != nil {
+			return err
+		}
+		prof.PageLikes = pages
+
+		// Emit first, mark crawled second (both under emitMu, so the
+		// pair is atomic against other emitters): a crawl killed — or a
+		// checkpoint snapshotted — anywhere before the mark resumes by
+		// refetching this user, never by losing them.
+		p.emitMu.Lock()
+		p.mu.Lock()
+		dup := p.crawled[u.ID]
+		p.mu.Unlock()
+		if !dup {
+			if err := emit(page, prof); err != nil {
+				p.emitMu.Unlock()
+				return err
+			}
+			p.mu.Lock()
+			p.crawled[u.ID] = true
+			p.mu.Unlock()
+		}
+		p.emitMu.Unlock()
+	}
+	return nil
+}

@@ -44,7 +44,7 @@ func TestCrawlerSurvivesThrottledServer(t *testing.T) {
 	if len(profiles) != 12 {
 		t.Fatalf("profiles = %d, want 12", len(profiles))
 	}
-	if c.Retries == 0 {
+	if c.Retries() == 0 {
 		t.Fatal("throttled crawl should have retried at least once")
 	}
 }

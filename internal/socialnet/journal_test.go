@@ -200,6 +200,64 @@ func TestPageEventsSinceCursor(t *testing.T) {
 	}
 }
 
+// TestPageEventsPage pins the bounded cursor read the HTTP API's cursor
+// paging serves: windows are limit-sized, successive cursors tile the
+// stream exactly once, and likes appended mid-pagination — even with
+// timestamps earlier than windows already delivered — appear exactly
+// once at the tail instead of shifting delivered windows.
+func TestPageEventsPage(t *testing.T) {
+	st := NewStore()
+	page, err := st.AddPage(Page{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var users []UserID
+	for i := 0; i < 12; i++ {
+		users = append(users, st.AddUser(User{Country: CountryUSA}))
+	}
+	for i := 0; i < 7; i++ {
+		if err := st.AddLike(users[i], page, jt0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch, cur := st.PageEventsPage(page, 0, 3)
+	if len(batch) != 3 || cur != 3 {
+		t.Fatalf("first window: %d events, cursor %d", len(batch), cur)
+	}
+	// A like lands mid-pagination with a timestamp BEFORE everything
+	// already delivered: it must not disturb undelivered windows.
+	if err := st.AddLike(users[7], page, jt0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[UserID]bool{batch[0].User: true, batch[1].User: true, batch[2].User: true}
+	for cur < 8 {
+		batch, cur = st.PageEventsPage(page, cur, 3)
+		if len(batch) == 0 {
+			t.Fatalf("short read at cursor %d", cur)
+		}
+		for _, ev := range batch {
+			if seen[ev.User] {
+				t.Fatalf("user %d delivered twice", ev.User)
+			}
+			seen[ev.User] = true
+		}
+	}
+	if len(seen) != 8 || !seen[users[7]] {
+		t.Fatalf("delivered %d of 8 likers (late liker seen: %v)", len(seen), seen[users[7]])
+	}
+	// Drained and overshot cursors stay put; limit < 1 means unbounded.
+	if batch, cur = st.PageEventsPage(page, 8, 3); batch != nil || cur != 8 {
+		t.Fatalf("drained cursor: %d events, cursor %d", len(batch), cur)
+	}
+	if batch, cur = st.PageEventsPage(page, 99, 3); batch != nil || cur != 99 {
+		t.Fatalf("overshot cursor: %d events, cursor %d", len(batch), cur)
+	}
+	if batch, cur = st.PageEventsPage(page, 0, 0); len(batch) != 8 || cur != 8 {
+		t.Fatalf("unbounded read: %d events, cursor %d", len(batch), cur)
+	}
+}
+
 // TestLikesOfPageSortedViewSurvivesAppends pins the regression the
 // sorted-copy cache exists for: reading the sorted view between cursor
 // reads must never reorder the append-only stream.

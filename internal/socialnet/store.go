@@ -390,6 +390,40 @@ func (s *Store) PageEventsSince(p PageID, cursor int) ([]LikeEvent, int) {
 	return out, cursor + len(out)
 }
 
+// PageEventsPage is the bounded form of PageEventsSince: it returns at
+// most limit of the page's like events appended after cursor (limit < 1
+// means no bound), canonically sorted within the batch, plus the cursor
+// that resumes after the last returned event. Because cursors index the
+// append-only stream, a like landing mid-pagination — even one with an
+// earlier timestamp than events already delivered — only ever extends
+// the tail: windows already handed out are immutable, so a paginating
+// consumer sees every event exactly once. This is what the HTTP API's
+// cursor paging serves; offset paging over the sorted view cannot make
+// that guarantee under live writes.
+func (s *Store) PageEventsPage(p PageID, cursor, limit int) ([]LikeEvent, int) {
+	sh := s.pageShard(p)
+	sh.mu.RLock()
+	stream := sh.likesByPage[p]
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(stream) {
+		sh.mu.RUnlock()
+		return nil, cursor
+	}
+	end := len(stream)
+	if limit > 0 && cursor+limit < end {
+		end = cursor + limit
+	}
+	out := make([]LikeEvent, end-cursor)
+	for i, lk := range stream[cursor:end] {
+		out[i] = LikeEvent{At: lk.At, User: lk.User, Page: lk.Page, Source: SourceLike}
+	}
+	sh.mu.RUnlock()
+	sortEvents(out)
+	return out, cursor + len(out)
+}
+
 // LikeCountOfPage returns the number of likes on a page.
 func (s *Store) LikeCountOfPage(p PageID) int {
 	sh := s.pageShard(p)
