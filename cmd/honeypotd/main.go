@@ -5,10 +5,19 @@
 // Usage:
 //
 //	honeypotd [-addr :8080] [-seed N] [-scale 0.25] [-workers W] [-token secret]
+//	          [-data-dir DIR] [-sync-every N] [-rps R] [-client-rps R]
 //
-// Endpoints: /api/page/{id}, /api/page/{id}/likes, /api/user/{id},
-// /api/user/{id}/friends, /api/user/{id}/likes, /api/directory,
-// /api/admin/report/{id} (X-Admin-Token), /api/healthz.
+// Endpoints: /api/page/{id}, /api/page/{id}/likes (GET paged, POST
+// inject with X-Admin-Token), /api/user/{id}, /api/user/{id}/friends,
+// /api/user/{id}/likes, /api/directory, /api/admin/report/{id}
+// (X-Admin-Token), /api/healthz.
+//
+// With -data-dir the world is durable: the first start builds it,
+// checkpoints it into the directory, and serves the reopened copy;
+// every like accepted afterwards streams through the append-only
+// journal segments, so a restart — graceful or SIGKILL — resumes the
+// world (and the live monitor's per-page cursors) instead of
+// rebuilding it.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -38,11 +48,11 @@ func main() {
 }
 
 // run is the testable body of the command: it parses flags, builds (or
-// loads) the world, assembles the crawl surface, and hands the handler
-// to serve. In production serve is serveGraceful — an http.Server with
-// slow-client timeouts that drains on SIGINT/SIGTERM; tests inject a
-// serve function backed by httptest instead of a real listener. It
-// returns the process exit code.
+// loads, or durably reopens) the world, assembles the crawl surface,
+// and hands the handler to serve. In production serve is serveGraceful
+// — an http.Server with slow-client timeouts that drains on
+// SIGINT/SIGTERM; tests inject a serve function backed by httptest
+// instead of a real listener. It returns the process exit code.
 func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) int {
 	fs := flag.NewFlagSet("honeypotd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -51,9 +61,14 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	scale := fs.Float64("scale", 0.25, "study scale in (0,1]")
 	workers := fs.Int("workers", 0, "study worker pool size (0 = one per CPU)")
 	token := fs.String("token", "honeypot-admin", "admin token for /api/admin (empty disables)")
-	rps := fs.Float64("rps", 0, "rate-limit requests/second (0 = unlimited)")
+	rps := fs.Float64("rps", 0, "global rate-limit ceiling, requests/second (0 = unlimited)")
+	clientRPS := fs.Float64("client-rps", 0, "per-client rate limit, requests/second (0 = disabled)")
 	load := fs.String("load", "", "serve a world snapshot instead of building one")
 	save := fs.String("save", "", "write the built world to a snapshot file before serving")
+	dataDir := fs.String("data-dir", "", "durable state directory: the world persists here and a restart resumes it (likes, monitor cursors and all)")
+	syncEvery := fs.Int("sync-every", socialnet.DefaultSyncEvery, "fsync the journal after this many likes (with -data-dir)")
+	syncInterval := fs.Duration("sync-interval", socialnet.DefaultSyncInterval, "background journal fsync period (with -data-dir)")
+	monPoll := fs.Duration("monitor-poll", 2*time.Second, "live monitor poll interval (with -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -61,19 +76,85 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		return 2
 	}
 
-	store, err := buildStore(*seed, *scale, *workers, *load, *save, stderr)
+	var store *socialnet.Store
+	var tailByPage map[socialnet.PageID]int
+	var err error
+	if *dataDir != "" {
+		opts := socialnet.WALOptions{SyncEvery: *syncEvery, SyncInterval: *syncInterval}
+		store, tailByPage, err = openOrBuildDurable(*dataDir, opts, *seed, *scale, *workers, *load, *save, stderr)
+	} else {
+		store, err = buildStore(*seed, *scale, *workers, *load, *save, stderr)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "honeypotd: %v\n", err)
 		return 1
 	}
 
-	handler := newHandler(store, *token, *rps)
+	// The live monitor resumes each honeypot page's journal cursor from
+	// the data dir, so likes injected while serving are observed across
+	// any number of restarts (at-least-once over a crash boundary).
+	var lm *liveMonitor
+	if *dataDir != "" {
+		lm, err = newLiveMonitor(store, filepath.Join(*dataDir, monitorStateFile), stderr, tailByPage)
+		if err != nil {
+			fmt.Fprintf(stderr, "honeypotd: %v\n", err)
+			return 1
+		}
+		stop := lm.start(*monPoll)
+		defer stop()
+	}
+
+	handler := newHandler(store, *token, *rps, *clientRPS)
 	fmt.Fprintf(stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
-	if err := serve(*addr, handler); err != nil {
-		fmt.Fprintf(stderr, "honeypotd: %v\n", err)
+	serveErr := serve(*addr, handler)
+
+	// Orderly shutdown: persist the monitor cursors, checkpoint the
+	// world (folding the WAL tail into the snapshot and compacting),
+	// and close the journal. A SIGKILL skips all of this — that is what
+	// the WAL is for.
+	if lm != nil {
+		lm.stopAndSave()
+	}
+	if *dataDir != "" {
+		if err := store.Checkpoint(*dataDir); err != nil {
+			fmt.Fprintf(stderr, "honeypotd: final checkpoint: %v\n", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(stderr, "honeypotd: close journal: %v\n", err)
+		}
+	}
+	if serveErr != nil {
+		fmt.Fprintf(stderr, "honeypotd: %v\n", serveErr)
 		return 1
 	}
 	return 0
+}
+
+// openOrBuildDurable resumes the world persisted in dir, or — on first
+// start — builds it, checkpoints it into dir, and reopens it from disk.
+// Serving always happens from the durably reopened store, so every
+// restart sees the identical canonical world plus whatever the journal
+// accumulated, and the world build is paid exactly once per data dir.
+// It also returns the recovery's per-page WAL-tail counts, which the
+// live monitor uses to clamp persisted cursors.
+func openOrBuildDurable(dir string, opts socialnet.WALOptions, seed int64, scale float64, workers int, load, save string, stderr io.Writer) (*socialnet.Store, map[socialnet.PageID]int, error) {
+	resuming := socialnet.HasDurableState(dir)
+	store, stats, err := socialnet.OpenOrCreate(dir, opts, func() (*socialnet.Store, error) {
+		return buildStore(seed, scale, workers, load, save, stderr)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resuming {
+		fmt.Fprintf(stderr, "resumed world from %s (%d users, %d pages, %d journal events; %d replayed from WAL tail)\n",
+			dir, store.NumUsers(), store.NumPages(), store.Journal().Len(), stats.TailEvents)
+		if stats.DroppedEvents > 0 {
+			fmt.Fprintf(stderr, "warning: %d journal events referenced unknown users/pages and were dropped\n", stats.DroppedEvents)
+		}
+	} else {
+		fmt.Fprintf(stderr, "world persisted to %s\n", dir)
+	}
+	return store, stats.TailByPage, nil
 }
 
 // buildStore loads a snapshot or builds a fresh world by running the
@@ -132,10 +213,19 @@ func buildStore(seed int64, scale float64, workers int, load, save string, stder
 }
 
 // newHandler assembles the crawl surface: the API server plus the
-// optional rate limiter.
-func newHandler(store *socialnet.Store, token string, rps float64) http.Handler {
+// optional rate limiters. With -client-rps each client identity (the
+// X-API-Token header, or the remote address) gets its own token bucket
+// under the -rps global ceiling; with only -rps the single global
+// bucket applies.
+func newHandler(store *socialnet.Store, token string, rps, clientRPS float64) http.Handler {
 	var handler http.Handler = api.NewServer(store, token)
-	if rps > 0 {
+	switch {
+	case clientRPS > 0:
+		handler = api.PerClientThrottle(handler, api.ThrottleConfig{
+			PerClientRPS: clientRPS,
+			GlobalRPS:    rps,
+		})
+	case rps > 0:
 		handler = api.Throttle(handler, rps, int(rps)+1)
 	}
 	return handler

@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -115,4 +120,132 @@ func TestServeGracefulBadAddr(t *testing.T) {
 	if err == nil {
 		t.Fatal("bad address should fail to listen")
 	}
+}
+
+// TestDataDirResume is the restart contract: a world served from
+// -data-dir, with likes injected over the API, must come back after a
+// restart with those likes (and the monitor cursors) intact — and must
+// resume rather than rebuild.
+func TestDataDirResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-seed", "3", "-scale", "0.05", "-token", "tk",
+		"-data-dir", dir, "-sync-every", "1", "-monitor-poll", "10ms"}
+
+	var pageID string
+	var before, after int
+
+	// First run: find a honeypot page, inject two likes, shut down
+	// gracefully (serve returning simulates the drained server).
+	runOnce(t, args, func(addr string, h http.Handler) error {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		pageID = firstHoneypotPage(t, ts.URL)
+		before = likeCount(t, ts.URL, pageID)
+		injected := 0
+		for uid := 1; uid <= 50 && injected < 2; uid++ {
+			code := postLike(t, ts.URL, pageID, "tk", uid)
+			switch code {
+			case http.StatusCreated:
+				injected++
+			case http.StatusConflict, http.StatusForbidden:
+				// already a liker, or terminated: try the next user
+			default:
+				t.Fatalf("inject like: status %d", code)
+			}
+		}
+		if injected != 2 {
+			t.Fatalf("could not inject 2 likes (got %d)", injected)
+		}
+		return nil
+	})
+
+	// Second run must resume (not rebuild) and still hold the likes.
+	stderr := runOnce(t, args, func(addr string, h http.Handler) error {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		after = likeCount(t, ts.URL, pageID)
+		return nil
+	})
+	if !bytes.Contains(stderr.Bytes(), []byte("resumed world from")) {
+		t.Fatalf("second run did not resume; stderr:\n%s", stderr.String())
+	}
+	if after != before+2 {
+		t.Fatalf("like count after restart = %d, want %d", after, before+2)
+	}
+	// Monitor cursors persisted alongside the world.
+	if _, err := os.Stat(filepath.Join(dir, "monitors.json")); err != nil {
+		t.Fatalf("monitor cursor file: %v", err)
+	}
+}
+
+func runOnce(t *testing.T, args []string, serve func(string, http.Handler) error) *bytes.Buffer {
+	t.Helper()
+	var stderr bytes.Buffer
+	if code := run(args, &stderr, serve); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	return &stderr
+}
+
+func firstHoneypotPage(t *testing.T, base string) string {
+	t.Helper()
+	// Page IDs are dense (1..N); honeypot pages deploy last, so binary
+	// search the max ID and scan down.
+	exists := func(id int) bool {
+		code, _ := get(t, fmt.Sprintf("%s/api/page/%d", base, id))
+		return code == http.StatusOK
+	}
+	hi := 1
+	for exists(hi) {
+		hi *= 2
+	}
+	lo := hi / 2
+	for lo+1 < hi { // invariant: exists(lo) && !exists(hi)
+		mid := (lo + hi) / 2
+		if exists(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	for id := lo; id > 0 && id > lo-50; id-- {
+		code, body := get(t, fmt.Sprintf("%s/api/page/%d", base, id))
+		if code == http.StatusOK && strings.Contains(body, `"honeypot":true`) {
+			return strconv.Itoa(id)
+		}
+	}
+	t.Fatal("no honeypot page found")
+	return ""
+}
+
+func likeCount(t *testing.T, base, page string) int {
+	t.Helper()
+	code, body := get(t, base+"/api/page/"+page)
+	if code != http.StatusOK {
+		t.Fatalf("page fetch: %d", code)
+	}
+	var doc struct {
+		LikeCount int `json:"like_count"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.LikeCount
+}
+
+func postLike(t *testing.T, base, page, token string, user int) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, fmt.Sprintf("%s/api/page/%s/likes", base, page),
+		strings.NewReader(fmt.Sprintf(`{"user": %d}`, user)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Admin-Token", token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
 }

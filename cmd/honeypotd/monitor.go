@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// monitorStateFile holds the live monitor's per-page journal cursors
+// inside the data dir.
+const monitorStateFile = "monitors.json"
+
+// liveMonitor is the serving-time analogue of honeypot.Monitor: it
+// polls every honeypot page's append-only like stream on real time
+// (the study-time monitors run on the virtual clock and are long done
+// by the time honeypotd serves), advancing one journal cursor per page
+// and persisting the cursor map so a restarted daemon reports each
+// injected like exactly once instead of recounting history.
+type liveMonitor struct {
+	store *socialnet.Store
+	path  string
+	out   io.Writer
+	pages []socialnet.PageID
+
+	mu      sync.Mutex
+	cursors map[socialnet.PageID]int
+
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// monitorState is the JSON form of the cursor map (string keys — JSON
+// objects cannot key on integers).
+type monitorState struct {
+	Cursors map[string]int `json:"cursors"`
+}
+
+// newLiveMonitor discovers the store's honeypot pages and loads any
+// persisted cursors, reporting likes that arrived while the daemon was
+// down (the gap between the saved cursor and the stream's tail).
+// tailByPage is the recovery's per-page WAL-tail count (OpenStats):
+// saved cursors are only trustworthy up to the snapshot-covered prefix
+// — tail replay can reorder a stream's tail relative to the live
+// arrival order the cursor was measured against — so cursors are
+// clamped below the tail and the tail is re-observed (at-least-once;
+// a like is re-reported rather than ever missed).
+func newLiveMonitor(store *socialnet.Store, path string, out io.Writer, tailByPage map[socialnet.PageID]int) (*liveMonitor, error) {
+	m := &liveMonitor{
+		store:   store,
+		path:    path,
+		out:     out,
+		pages:   store.HoneypotPages(),
+		cursors: make(map[socialnet.PageID]int),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// First start: begin at each stream's current tail — the world
+		// build's own likes are history, not live observations.
+		for _, pid := range m.pages {
+			m.cursors[pid] = store.LikeCountOfPage(pid)
+		}
+	case err != nil:
+		return nil, err
+	default:
+		var st monitorState
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("corrupt %s: %w", path, err)
+		}
+		for k, v := range st.Cursors {
+			id, err := strconv.ParseInt(k, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("corrupt %s: page key %q", path, k)
+			}
+			// Clamp to the snapshot-covered prefix of the rebuilt
+			// stream. Beyond it the cursor cannot be trusted: a crash
+			// inside the batched-fsync window can have LOST events the
+			// monitor observed (cursor past the tail), and WAL-tail
+			// replay can REORDER surviving events relative to the live
+			// order the cursor was measured against. Pulling the cursor
+			// back re-reports the boundary instead of ever skipping a
+			// like.
+			pid := socialnet.PageID(id)
+			if bound := store.LikeCountOfPage(pid) - tailByPage[pid]; v > bound {
+				fmt.Fprintf(out, "monitor: page %d cursor %d beyond snapshot-covered prefix (%d), clamping\n", pid, v, bound)
+				v = bound
+			}
+			m.cursors[pid] = v
+		}
+		if n := m.poll(); n > 0 {
+			fmt.Fprintf(out, "monitor: %d likes arrived across the restart\n", n)
+		}
+	}
+	return m, m.save()
+}
+
+// poll advances every page cursor to its stream tail and returns how
+// many new like events were observed.
+func (m *liveMonitor) poll() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, pid := range m.pages {
+		batch, next := m.store.PageEventsSince(pid, m.cursors[pid])
+		if len(batch) > 0 {
+			m.cursors[pid] = next
+			total += len(batch)
+		}
+	}
+	return total
+}
+
+// save persists the cursor map atomically (tmp + rename).
+func (m *liveMonitor) save() error {
+	m.mu.Lock()
+	st := monitorState{Cursors: make(map[string]int, len(m.cursors))}
+	for pid, c := range m.cursors {
+		st.Cursors[strconv.FormatInt(int64(pid), 10)] = c
+	}
+	m.mu.Unlock()
+	data, err := json.MarshalIndent(&st, "", " ")
+	if err != nil {
+		return err
+	}
+	return socialnet.WriteFileDurable(m.path, data)
+}
+
+// start launches the polling loop; the returned function stops it (it
+// is safe to call alongside stopAndSave — both are idempotent). A
+// non-positive interval disables periodic polling: cursors still
+// advance on startup and shutdown observations.
+func (m *liveMonitor) start(interval time.Duration) func() {
+	if interval <= 0 {
+		close(m.done)
+		return m.stopAndSave
+	}
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stopc:
+				return
+			case <-t.C:
+				if n := m.poll(); n > 0 {
+					fmt.Fprintf(m.out, "monitor: %d new likes\n", n)
+					if err := m.save(); err != nil {
+						fmt.Fprintf(m.out, "monitor: save cursors: %v\n", err)
+					}
+				}
+			}
+		}
+	}()
+	return m.stopAndSave
+}
+
+// stopAndSave halts polling, takes a final observation, and persists
+// the cursors.
+func (m *liveMonitor) stopAndSave() {
+	select {
+	case <-m.stopc:
+	default:
+		close(m.stopc)
+	}
+	<-m.done
+	m.poll()
+	if err := m.save(); err != nil {
+		fmt.Fprintf(m.out, "monitor: save cursors: %v\n", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/socialnet"
 )
 
 // runCrawl is the `likefraud crawl` subcommand: the §3 data collection
@@ -30,6 +32,13 @@ import (
 // required). -checkpoint makes the crawl resumable: the file is loaded
 // if present, rewritten after every fully processed like window, and a
 // crawl interrupted by SIGINT/SIGTERM picks up where it left off.
+//
+// -data-dir makes the self-served world itself durable: the first run
+// builds it once, checkpoints it into the directory, and serves the
+// reopened copy; later runs reopen it instead of rebuilding, so crawl
+// checkpoints (stored in the same directory by default) always resume
+// against the bit-identical world — cursors never go stale between
+// runs.
 func runCrawl(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("likefraud crawl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -40,7 +49,8 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 8, "concurrent profile fetchers")
 	batch := fs.Int("batch", 50, "profiles per batched /api/users request")
 	interval := fs.Duration("interval", 0, "politeness spacing between requests (shared across workers)")
-	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses (default with -data-dir: DIR/crawl-checkpoint.json)")
+	dataDir := fs.String("data-dir", "", "durable directory for the self-served world: built once, reopened on later runs")
 	out := fs.String("out", "", "write crawled profiles as JSON lines to this file")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
@@ -49,35 +59,27 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if *checkpoint == "" && *dataDir != "" {
+		*checkpoint = filepath.Join(*dataDir, "crawl-checkpoint.json")
+	}
 
 	base := *url
 	var pageIDs []int64
 	if base == "" {
-		if !*quiet {
-			fmt.Fprintf(stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", *seed, *scale)
-		}
-		cfg, err := core.ScaledConfig(*seed, *scale)
+		store, pages, err := selfServedWorld(*dataDir, *seed, *scale, *quiet, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
 			return 1
 		}
-		study, err := core.NewStudy(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
-			return 1
-		}
-		res, err := study.Run()
-		if err != nil {
-			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
-			return 1
-		}
+		defer store.Close()
+		pageIDs = pages
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
 			return 1
 		}
 		hs := &http.Server{
-			Handler:           api.NewServer(study.Store(), ""),
+			Handler:           api.NewServer(store, ""),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() { _ = hs.Serve(ln) }()
@@ -85,9 +87,6 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		base = "http://" + ln.Addr().String()
 		if !*quiet {
 			fmt.Fprintf(stderr, "platform served at %s\n", base)
-		}
-		for _, c := range res.Campaigns {
-			pageIDs = append(pageIDs, int64(c.Page))
 		}
 	} else if *pagesFlag == "" {
 		fmt.Fprintln(stderr, "likefraud crawl: -pages is required with -url")
@@ -205,16 +204,70 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// writeCheckpoint persists the crawl state atomically (tmp + rename) so
-// a kill mid-write can't corrupt the resume file.
+// selfServedWorld produces the store the subcommand serves to itself,
+// plus the campaign (honeypot) page IDs to crawl. Without -data-dir it
+// builds and runs the study in memory, as before. With -data-dir it
+// reopens the persisted world when one exists; otherwise it builds the
+// world, checkpoints it, and serves the durably reopened copy — so the
+// first run and every resume see the identical canonical like streams.
+func selfServedWorld(dataDir string, seed int64, scale float64, quiet bool, stderr io.Writer) (*socialnet.Store, []int64, error) {
+	buildWorld := func() (*socialnet.Store, error) {
+		if !quiet {
+			fmt.Fprintf(stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", seed, scale)
+		}
+		cfg, err := core.ScaledConfig(seed, scale)
+		if err != nil {
+			return nil, err
+		}
+		study, err := core.NewStudy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := study.Run(); err != nil {
+			return nil, err
+		}
+		return study.Store(), nil
+	}
+	if dataDir == "" {
+		store, err := buildWorld()
+		if err != nil {
+			return nil, nil, err
+		}
+		return store, honeypotPages(store), nil
+	}
+	resuming := socialnet.HasDurableState(dataDir)
+	store, stats, err := socialnet.OpenOrCreate(dataDir, socialnet.WALOptions{}, buildWorld)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !quiet {
+		if resuming {
+			fmt.Fprintf(stderr, "reopened world from %s (%d users, %d pages, %d WAL tail events)\n",
+				dataDir, store.NumUsers(), store.NumPages(), stats.TailEvents)
+		} else {
+			fmt.Fprintf(stderr, "world persisted to %s\n", dataDir)
+		}
+	}
+	return store, honeypotPages(store), nil
+}
+
+// honeypotPages lists the store's honeypot (campaign) pages ascending.
+func honeypotPages(store *socialnet.Store) []int64 {
+	pids := store.HoneypotPages()
+	out := make([]int64, len(pids))
+	for i, pid := range pids {
+		out[i] = int64(pid)
+	}
+	return out
+}
+
+// writeCheckpoint persists the crawl state atomically (tmp + fsync +
+// rename) so a kill — or a power loss — mid-write can't corrupt or
+// empty the resume file.
 func writeCheckpoint(path string, ck crawler.Checkpoint) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return socialnet.WriteFileDurable(path, data)
 }

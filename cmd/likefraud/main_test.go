@@ -93,3 +93,34 @@ func TestRunRejectsBadScale(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
+
+// TestRunCrawlDataDir: with -data-dir the self-served world is durable —
+// the first run builds and persists it, the second reopens it (no
+// rebuild) and, resuming from the checkpoint stored in the same
+// directory, finds nothing left to crawl.
+func TestRunCrawlDataDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-data-dir", dir}
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "world persisted to") {
+		t.Fatalf("first run did not persist the world:\n%s", errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crawl-checkpoint.json")); err != nil {
+		t.Fatalf("default checkpoint in data dir: %v", err)
+	}
+
+	var out2, errOut2 bytes.Buffer
+	if code := run(args, &out2, &errOut2); code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, errOut2.String())
+	}
+	if !strings.Contains(errOut2.String(), "reopened world from") {
+		t.Fatalf("second run rebuilt instead of reopening:\n%s", errOut2.String())
+	}
+	if !strings.Contains(out2.String(), "crawled 0 profiles") {
+		t.Fatalf("resume against reopened world should crawl nothing:\n%s", out2.String())
+	}
+}

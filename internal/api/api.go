@@ -11,9 +11,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/socialnet"
@@ -36,6 +38,7 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s := &Server{store: st, adminToken: adminToken, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /api/page/{id}", s.handlePage)
 	s.mux.HandleFunc("GET /api/page/{id}/likes", s.handlePageLikes)
+	s.mux.HandleFunc("POST /api/page/{id}/likes", s.handlePostLike)
 	s.mux.HandleFunc("GET /api/user/{id}", s.handleUser)
 	s.mux.HandleFunc("GET /api/users", s.handleUsersBatch)
 	s.mux.HandleFunc("GET /api/user/{id}/friends", s.handleUserFriends)
@@ -101,17 +104,35 @@ type UserDoc struct {
 }
 
 // UserFriendsDoc is a (public) friend list page.
+//
+// Cursor mode (`cursor=`) is keyset pagination over the ID-sorted
+// list: Cursor echoes the request (the smallest friend ID the window
+// may contain) and NextCursor resumes after the last returned friend —
+// entries present when pagination began are delivered exactly once
+// even if edges are inserted mid-crawl. Offset mode windows the sorted
+// list positionally and is stable only over a quiescent graph
+// (snapshot-only); offset responses carry Cursor = NextCursor = -1.
 type UserFriendsDoc struct {
-	Total   int     `json:"total"`
-	Offset  int     `json:"offset"`
-	Friends []int64 `json:"friends"`
+	Total      int     `json:"total"`
+	Offset     int     `json:"offset"`
+	Cursor     int64   `json:"cursor"`
+	NextCursor int64   `json:"next_cursor"`
+	Friends    []int64 `json:"friends"`
 }
 
 // UserLikesDoc is a user's page-like list page.
+//
+// Cursor mode windows the user's append-only like stream exactly like
+// PageLikesDoc windows a page's: NextCursor resumes after the last
+// returned like, and a like (or bulk history import) landing mid-crawl
+// only ever extends the tail. Offset mode windows the time-sorted view
+// and is snapshot-only; offset responses carry Cursor = NextCursor = -1.
 type UserLikesDoc struct {
-	Total  int     `json:"total"`
-	Offset int     `json:"offset"`
-	Pages  []int64 `json:"pages"`
+	Total      int     `json:"total"`
+	Offset     int     `json:"offset"`
+	Cursor     int     `json:"cursor"`
+	NextCursor int     `json:"next_cursor"`
+	Pages      []int64 `json:"pages"`
 }
 
 // UsersDoc is the batched-profile response: the profiles of the
@@ -268,6 +289,67 @@ func (s *Server) handlePageLikes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// LikeRequest is the POST /api/page/{id}/likes body: inject one like
+// into the live world. At is optional RFC3339 (default: server time).
+type LikeRequest struct {
+	User int64  `json:"user"`
+	At   string `json:"at,omitempty"`
+}
+
+// handlePostLike records a like against a served world. This is the
+// simulation-control surface (there is no organic user session to act
+// through), so it sits behind the admin token like the report tool;
+// the crash-recovery smoke test drives it to prove injected likes
+// survive a SIGKILL via the durable journal.
+func (s *Server) handlePostLike(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad page id")
+		return
+	}
+	var req LikeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	at := time.Now().UTC()
+	if req.At != "" {
+		at, err = time.Parse(time.RFC3339, req.At)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad at: %v", err)
+			return
+		}
+		// Normalize to UTC: the WAL record format stores instants, not
+		// zones, so a zoned timestamp would render differently before
+		// and after a crash-recovery replay.
+		at = at.UTC()
+	}
+	err = s.store.AddLike(socialnet.UserID(req.User), socialnet.PageID(id), at)
+	switch {
+	case errors.Is(err, socialnet.ErrNoUser), errors.Is(err, socialnet.ErrNoPage):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, socialnet.ErrDuplicateLike):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, socialnet.ErrTerminated):
+		writeError(w, http.StatusForbidden, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		// The like is in the in-memory world, but a 201 also promises
+		// durability when the store is disk-backed; a failed WAL write
+		// or fsync (ENOSPC, EIO) must not be silently acknowledged.
+		if derr := s.store.DurabilityErr(); derr != nil {
+			writeError(w, http.StatusInsufficientStorage, "like accepted in memory but journal write failed: %v", derr)
+			return
+		}
+		writeJSON(w, http.StatusCreated, LikeDoc{User: req.User, At: at.Format(time.RFC3339)})
+	}
+}
+
 func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
@@ -337,13 +419,41 @@ func (s *Server) handleUserFriends(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "friend list is private")
 		return
 	}
+	q := r.URL.Query()
+	if v := q.Get("cursor"); v != "" {
+		if q.Get("offset") != "" {
+			writeError(w, http.StatusBadRequest, "cursor and offset are mutually exclusive")
+			return
+		}
+		cursor, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || cursor < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor")
+			return
+		}
+		limit, err := limitParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		friends, next := s.store.FriendsPage(uid, cursor, limit)
+		doc := UserFriendsDoc{
+			Total:  s.store.FriendCount(uid),
+			Offset: -1, Cursor: cursor, NextCursor: next,
+			Friends: make([]int64, 0, len(friends)),
+		}
+		for _, f := range friends {
+			doc.Friends = append(doc.Friends, int64(f))
+		}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
 	offset, limit, err := paging(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	friends := s.store.FriendsOf(uid)
-	doc := UserFriendsDoc{Total: len(friends), Offset: offset, Friends: []int64{}}
+	doc := UserFriendsDoc{Total: len(friends), Offset: offset, Cursor: -1, NextCursor: -1, Friends: []int64{}}
 	for _, f := range window(friends, offset, limit) {
 		doc.Friends = append(doc.Friends, int64(f))
 	}
@@ -361,13 +471,41 @@ func (s *Server) handleUserLikes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
+	q := r.URL.Query()
+	if v := q.Get("cursor"); v != "" {
+		if q.Get("offset") != "" {
+			writeError(w, http.StatusBadRequest, "cursor and offset are mutually exclusive")
+			return
+		}
+		cursor, err := strconv.Atoi(v)
+		if err != nil || cursor < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor")
+			return
+		}
+		limit, err := limitParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		likes, next := s.store.UserLikesPage(uid, cursor, limit)
+		doc := UserLikesDoc{
+			Total:  s.store.LikeCountOfUser(uid),
+			Offset: -1, Cursor: cursor, NextCursor: next,
+			Pages: make([]int64, 0, len(likes)),
+		}
+		for _, lk := range likes {
+			doc.Pages = append(doc.Pages, int64(lk.Page))
+		}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
 	offset, limit, err := paging(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	likes := s.store.LikesOfUser(uid)
-	doc := UserLikesDoc{Total: len(likes), Offset: offset, Pages: []int64{}}
+	doc := UserLikesDoc{Total: len(likes), Offset: offset, Cursor: -1, NextCursor: -1, Pages: []int64{}}
 	for _, lk := range window(likes, offset, limit) {
 		doc.Pages = append(doc.Pages, int64(lk.Page))
 	}
@@ -388,11 +526,16 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-func (s *Server) handleAdminReport(w http.ResponseWriter, r *http.Request) {
-	// Constant-time compare: a byte-wise early-exit comparison would let
-	// a crawler recover the token one byte at a time from timing.
+// adminAuthorized gates the admin surface. Constant-time compare: a
+// byte-wise early-exit comparison would let a crawler recover the
+// token one byte at a time from timing.
+func (s *Server) adminAuthorized(r *http.Request) bool {
 	got := []byte(r.Header.Get("X-Admin-Token"))
-	if s.adminToken == "" || subtle.ConstantTimeCompare(got, []byte(s.adminToken)) != 1 {
+	return s.adminToken != "" && subtle.ConstantTimeCompare(got, []byte(s.adminToken)) == 1
+}
+
+func (s *Server) handleAdminReport(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
 		writeError(w, http.StatusUnauthorized, "admin token required")
 		return
 	}

@@ -329,3 +329,156 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d", code)
 	}
 }
+
+// TestUserLikesCursorPaging mirrors the page-likes cursor contract on
+// the user side: windows tile the user's append-only like stream, and
+// a like landing mid-pagination is delivered exactly once at the tail.
+func TestUserLikesCursorPaging(t *testing.T) {
+	srv, st, page, pub, _ := testServer(t)
+	pages := []socialnet.PageID{page}
+	for i := 0; i < 22; i++ {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+		_ = st.AddLike(pub, p, t0.Add(time.Duration(i+2)*time.Hour))
+	}
+	seen := map[int64]int{}
+	cursor, windows := 0, 0
+	for {
+		var doc UserLikesDoc
+		code := getJSON(t, fmt.Sprintf("%s/api/user/%d/likes?cursor=%d&limit=7", srv.URL, pub, cursor), &doc)
+		if code != 200 {
+			t.Fatalf("cursor window: status %d", code)
+		}
+		if doc.Offset != -1 || doc.Cursor != cursor {
+			t.Fatalf("cursor window echo: %+v", doc)
+		}
+		for _, p := range doc.Pages {
+			seen[p]++
+		}
+		if windows == 1 {
+			// A live like with an EARLY timestamp, mid-pagination.
+			late, err := st.AddPage(socialnet.Page{Name: "late"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, late)
+			_ = st.AddLike(pub, late, t0.Add(time.Minute))
+		}
+		windows++
+		if len(doc.Pages) == 0 {
+			break
+		}
+		cursor = doc.NextCursor
+	}
+	if len(seen) != len(pages) {
+		t.Fatalf("cursor crawl saw %d pages, want %d", len(seen), len(pages))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("page %d delivered %d times, want exactly once", p, n)
+		}
+	}
+	// Offset mode still works and marks itself snapshot-only.
+	var off UserLikesDoc
+	if code := getJSON(t, fmt.Sprintf("%s/api/user/%d/likes?limit=5", srv.URL, pub), &off); code != 200 {
+		t.Fatalf("offset mode: %d", code)
+	}
+	if off.Cursor != -1 || off.NextCursor != -1 {
+		t.Fatalf("offset mode should carry cursor=-1: %+v", off)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/user/%d/likes?cursor=0&offset=3", srv.URL, pub), nil); code != 400 {
+		t.Fatal("cursor+offset should be rejected")
+	}
+}
+
+// TestUserFriendsCursorPaging: keyset pagination over the friend list —
+// windows tile the ID space, exactly once per friend.
+func TestUserFriendsCursorPaging(t *testing.T) {
+	srv, st, _, pub, priv := testServer(t)
+	want := map[int64]bool{int64(priv): true}
+	for i := 0; i < 17; i++ {
+		f := st.AddUser(socialnet.User{Country: "UK"})
+		if err := st.Friend(pub, f); err != nil {
+			t.Fatal(err)
+		}
+		want[int64(f)] = true
+	}
+	seen := map[int64]int{}
+	var cursor int64
+	for {
+		var doc UserFriendsDoc
+		code := getJSON(t, fmt.Sprintf("%s/api/user/%d/friends?cursor=%d&limit=5", srv.URL, pub, cursor), &doc)
+		if code != 200 {
+			t.Fatalf("cursor window: status %d", code)
+		}
+		if doc.Offset != -1 || doc.Cursor != cursor || doc.Total != len(want) {
+			t.Fatalf("window doc: %+v", doc)
+		}
+		for _, f := range doc.Friends {
+			seen[f]++
+		}
+		if len(doc.Friends) < 5 {
+			break
+		}
+		cursor = doc.NextCursor
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("cursor crawl saw %d friends, want %d", len(seen), len(want))
+	}
+	for f, n := range seen {
+		if !want[f] || n != 1 {
+			t.Fatalf("friend %d seen %d times (known=%v)", f, n, want[f])
+		}
+	}
+	// Privacy still applies in cursor mode.
+	if code := getJSON(t, fmt.Sprintf("%s/api/user/%d/friends?cursor=0", srv.URL, priv), nil); code != 403 {
+		t.Fatal("private friend list served in cursor mode")
+	}
+}
+
+// TestPostLike: the admin-gated like-injection surface used by the
+// crash-recovery smoke test.
+func TestPostLike(t *testing.T) {
+	srv, st, page, _, _ := testServer(t)
+	u := st.AddUser(socialnet.User{Country: "USA"})
+	post := func(token string, body string) int {
+		req, err := http.NewRequest(http.MethodPost,
+			fmt.Sprintf("%s/api/page/%d/likes", srv.URL, page), strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("X-Admin-Token", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	body := fmt.Sprintf(`{"user": %d}`, u)
+	if code := post("", body); code != 401 {
+		t.Fatalf("unauthenticated POST = %d, want 401", code)
+	}
+	before := st.LikeCountOfPage(page)
+	if code := post("sekrit", body); code != 201 {
+		t.Fatalf("POST like = %d, want 201", code)
+	}
+	if got := st.LikeCountOfPage(page); got != before+1 {
+		t.Fatalf("like count %d, want %d", got, before+1)
+	}
+	if code := post("sekrit", body); code != 409 {
+		t.Fatalf("duplicate POST = %d, want 409", code)
+	}
+	if code := post("sekrit", `{"user": 99999}`); code != 404 {
+		t.Fatalf("unknown user POST = %d, want 404", code)
+	}
+	if code := post("sekrit", `{"user":`); code != 400 {
+		t.Fatalf("bad body POST = %d, want 400", code)
+	}
+}

@@ -1,6 +1,8 @@
 package api
 
 import (
+	"container/list"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -46,16 +48,167 @@ type tokenBucket struct {
 func (b *tokenBucket) take() (time.Duration, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := time.Now()
-	b.tokens += now.Sub(b.last).Seconds() * b.rate
-	if b.tokens > b.burst {
-		b.tokens = b.burst
+	return b.takeLocked(time.Now())
+}
+
+func (b *tokenBucket) takeLocked(now time.Time) (time.Duration, bool) {
+	return refillTake(&b.tokens, &b.last, now, b.rate, b.burst)
+}
+
+// refillTake is the one token-bucket step both the global and the
+// per-client limiters share: refill by elapsed time, clamp to burst,
+// consume one token or report the wait until the next one accrues.
+func refillTake(tokens *float64, last *time.Time, now time.Time, rate, burst float64) (time.Duration, bool) {
+	*tokens += now.Sub(*last).Seconds() * rate
+	if *tokens > burst {
+		*tokens = burst
 	}
-	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	*last = now
+	if *tokens >= 1 {
+		*tokens--
 		return 0, true
 	}
-	deficit := 1 - b.tokens
-	return time.Duration(deficit / b.rate * float64(time.Second)), false
+	deficit := 1 - *tokens
+	return time.Duration(deficit / rate * float64(time.Second)), false
+}
+
+// ThrottleConfig tunes PerClientThrottle.
+type ThrottleConfig struct {
+	// PerClientRPS / PerClientBurst bound each client identity (API
+	// token when presented, remote address otherwise). <= 0 disables the
+	// per-client layer.
+	PerClientRPS   float64
+	PerClientBurst int
+	// GlobalRPS / GlobalBurst is the server-wide ceiling applied after
+	// the per-client check, so a fleet of polite clients still cannot
+	// overrun the backend in aggregate. <= 0 disables the ceiling.
+	GlobalRPS   float64
+	GlobalBurst int
+	// MaxClients bounds the per-client bucket table (LRU eviction).
+	// 0 means DefaultMaxClients. An evicted-and-returning client starts
+	// with a fresh (full) bucket — the cost of bounded memory.
+	MaxClients int
+}
+
+// DefaultMaxClients bounds the per-client bucket table.
+const DefaultMaxClients = 4096
+
+// ClientTokenHeader identifies a crawler across connections; absent,
+// the remote address is the client identity.
+const ClientTokenHeader = "X-API-Token"
+
+// PerClientThrottle wraps a handler with per-client token buckets plus
+// a global ceiling, returning 429 (with a Retry-After hint) when either
+// is empty. The global Throttle let one greedy crawler starve every
+// polite one — the 429s land on whoever arrives next, not on the
+// offender; keying buckets by client identity makes each crawler spend
+// only its own budget. Identity is the X-API-Token header when the
+// client presents one (a crawler's politeness identity, stable across
+// pooled connections), else the remote host. The bucket table is
+// LRU-bounded so an address-spraying client costs bounded memory.
+func PerClientThrottle(next http.Handler, cfg ThrottleConfig) http.Handler {
+	if cfg.PerClientRPS <= 0 && cfg.GlobalRPS <= 0 {
+		return next
+	}
+	if cfg.PerClientBurst < 1 {
+		cfg.PerClientBurst = int(cfg.PerClientRPS) + 1
+	}
+	if cfg.GlobalBurst < 1 {
+		cfg.GlobalBurst = int(cfg.GlobalRPS) + 1
+	}
+	if cfg.MaxClients < 1 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	var global *tokenBucket
+	if cfg.GlobalRPS > 0 {
+		global = &tokenBucket{
+			rate: cfg.GlobalRPS, burst: float64(cfg.GlobalBurst),
+			tokens: float64(cfg.GlobalBurst), last: time.Now(),
+		}
+	}
+	var clients *clientBuckets
+	if cfg.PerClientRPS > 0 {
+		clients = newClientBuckets(cfg.PerClientRPS, float64(cfg.PerClientBurst), cfg.MaxClients)
+	}
+	reject := func(w http.ResponseWriter, wait time.Duration) {
+		secs := int(wait/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "rate limited")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Per-client first: a starved client's 429 must name its own
+		// refill time, and its request must not drain the global bucket.
+		if clients != nil {
+			if wait, ok := clients.take(clientKey(r)); !ok {
+				reject(w, wait)
+				return
+			}
+		}
+		if global != nil {
+			if wait, ok := global.take(); !ok {
+				reject(w, wait)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey derives the throttle identity for a request.
+func clientKey(r *http.Request) string {
+	if tok := r.Header.Get(ClientTokenHeader); tok != "" {
+		return "t:" + tok
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "a:" + r.RemoteAddr
+	}
+	return "a:" + host
+}
+
+// clientBuckets is an LRU-bounded table of per-identity token buckets.
+type clientBuckets struct {
+	rate  float64
+	burst float64
+	max   int
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used; values are *clientEntry
+	byKey map[string]*list.Element
+}
+
+type clientEntry struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+func newClientBuckets(rate, burst float64, max int) *clientBuckets {
+	return &clientBuckets{
+		rate: rate, burst: burst, max: max,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// take consumes one token from the key's bucket, creating (and, at
+// capacity, evicting the least recently used) as needed.
+func (c *clientBuckets) take(key string) (time.Duration, bool) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		if c.order.Len() >= c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*clientEntry).key)
+		}
+		el = c.order.PushFront(&clientEntry{key: key, tokens: c.burst, last: now})
+		c.byKey[key] = el
+	} else {
+		c.order.MoveToFront(el)
+	}
+	e := el.Value.(*clientEntry)
+	return refillTake(&e.tokens, &e.last, now, c.rate, c.burst)
 }

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -90,5 +91,112 @@ func TestThrottleDisabled(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Fatal("disabled throttle should never limit")
 		}
+	}
+}
+
+func perClientServer(t *testing.T, cfg ThrottleConfig) *httptest.Server {
+	t.Helper()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(PerClientThrottle(inner, cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getAs(t *testing.T, url, token string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set(ClientTokenHeader, token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestPerClientIsolation: a greedy client exhausting its own bucket
+// must not consume a polite client's budget — the failure mode of the
+// old global Throttle.
+func TestPerClientIsolation(t *testing.T) {
+	srv := perClientServer(t, ThrottleConfig{PerClientRPS: 0.001, PerClientBurst: 3})
+	greedy429 := false
+	for i := 0; i < 10; i++ {
+		if getAs(t, srv.URL, "greedy") == http.StatusTooManyRequests {
+			greedy429 = true
+		}
+	}
+	if !greedy429 {
+		t.Fatal("greedy client was never throttled")
+	}
+	for i := 0; i < 3; i++ {
+		if code := getAs(t, srv.URL, "polite"); code != http.StatusOK {
+			t.Fatalf("polite client starved: request %d = %d", i, code)
+		}
+	}
+}
+
+// TestPerClientGlobalCeiling: distinct identities still share the
+// global ceiling.
+func TestPerClientGlobalCeiling(t *testing.T) {
+	srv := perClientServer(t, ThrottleConfig{
+		PerClientRPS: 1000, PerClientBurst: 1000,
+		GlobalRPS: 0.001, GlobalBurst: 4,
+	})
+	got429 := false
+	for i := 0; i < 10; i++ {
+		code := getAs(t, srv.URL, fmt.Sprintf("client-%d", i))
+		if code == http.StatusTooManyRequests {
+			got429 = true
+		}
+	}
+	if !got429 {
+		t.Fatal("global ceiling never engaged across distinct clients")
+	}
+}
+
+// TestPerClientLRUBound: the bucket table stays bounded; an evicted
+// identity returns with a fresh bucket rather than an error.
+func TestPerClientLRUBound(t *testing.T) {
+	srv := perClientServer(t, ThrottleConfig{
+		PerClientRPS: 0.001, PerClientBurst: 1, MaxClients: 2,
+	})
+	// a, b fill the table; c evicts a; a returns evicted => fresh bucket.
+	for _, tok := range []string{"a", "b", "c", "a"} {
+		if code := getAs(t, srv.URL, tok); code != http.StatusOK {
+			t.Fatalf("first request for %q = %d, want 200", tok, code)
+		}
+	}
+	// A still-resident identity with an empty bucket is limited.
+	if code := getAs(t, srv.URL, "a"); code != http.StatusTooManyRequests {
+		t.Fatalf("second request for resident %q = %d, want 429", "a", code)
+	}
+}
+
+// TestPerClientRetryAfterHint: 429s carry a Retry-After the crawler's
+// backoff machinery understands.
+func TestPerClientRetryAfterHint(t *testing.T) {
+	srv := perClientServer(t, ThrottleConfig{PerClientRPS: 0.5, PerClientBurst: 1})
+	if code := getAs(t, srv.URL, "x"); code != http.StatusOK {
+		t.Fatalf("first = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set(ClientTokenHeader, "x")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After hint")
 	}
 }

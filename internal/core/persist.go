@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/honeypot"
+	"repro/internal/simclock"
+	"repro/internal/socialnet"
+)
+
+// StudyStateFile is the run-state file Persist writes next to the
+// store checkpoint inside a study directory.
+const StudyStateFile = "study.json"
+
+// persistedCampaign is one campaign's run outcome on disk: everything
+// Finalize reads from a `running` state. The spec itself is not
+// persisted — ReopenStudy re-derives it from the caller's config and
+// verifies the IDs line up, so distributions and large specs never
+// round-trip through JSON.
+type persistedCampaign struct {
+	ID      string
+	Page    socialnet.PageID
+	Active  bool
+	Summary honeypot.Summary
+}
+
+// persistedStudy is the study run-state file format.
+type persistedStudy struct {
+	Version      int
+	Seed         int64
+	Baseline     []socialnet.UserID
+	HistoryLikes int
+	Campaigns    []persistedCampaign
+}
+
+const persistedStudyVersion = 1
+
+// Persist writes the completed run to dir: a durable checkpoint of the
+// world (socialnet snapshot + manifest; see Store.Checkpoint) plus the
+// run state Finalize needs. After Persist, the process can die —
+// ReopenStudy(cfg, dir) recovers a study whose Finalize output is
+// byte-identical to what this one would have produced.
+func (s *Study) Persist(dir string) error {
+	if s.world == nil {
+		return errors.New("core: Persist called before RunWorld")
+	}
+	if err := s.store.Checkpoint(dir); err != nil {
+		return fmt.Errorf("core: persist world: %w", err)
+	}
+	ps := persistedStudy{
+		Version:      persistedStudyVersion,
+		Seed:         s.cfg.Seed,
+		Baseline:     s.world.baseline,
+		HistoryLikes: s.world.histLikes,
+		Campaigns:    make([]persistedCampaign, len(s.world.states)),
+	}
+	for i, st := range s.world.states {
+		ps.Campaigns[i] = persistedCampaign{
+			ID:      st.spec.ID,
+			Page:    st.page,
+			Active:  st.active,
+			Summary: st.summary,
+		}
+	}
+	data, err := json.MarshalIndent(&ps, "", " ")
+	if err != nil {
+		return err
+	}
+	return socialnet.WriteFileDurable(filepath.Join(dir, StudyStateFile), data)
+}
+
+// ReopenStudy recovers a persisted study run: the durable world is
+// reopened (snapshot + WAL tail replay) and the run state reattached to
+// the caller's config. cfg must be the same configuration the original
+// study ran with — campaign IDs are verified, and Seed must match — but
+// Workers may differ: Finalize is bit-deterministic across pool sizes.
+//
+// The returned study is finalize-only: the world phases already ran in
+// the original process, so RunWorld/Run and the accessors backing them
+// (Population, Farm) are unavailable.
+func ReopenStudy(cfg StudyConfig, dir string, opts socialnet.WALOptions) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, StudyStateFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen study: %w", err)
+	}
+	var ps persistedStudy
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("core: corrupt %s: %w", StudyStateFile, err)
+	}
+	if ps.Version != persistedStudyVersion {
+		return nil, fmt.Errorf("core: %s version %d, want %d", StudyStateFile, ps.Version, persistedStudyVersion)
+	}
+	if ps.Seed != cfg.Seed {
+		return nil, fmt.Errorf("core: persisted run used seed %d, config says %d", ps.Seed, cfg.Seed)
+	}
+	if len(ps.Campaigns) != len(cfg.Campaigns) {
+		return nil, fmt.Errorf("core: persisted run has %d campaigns, config %d", len(ps.Campaigns), len(cfg.Campaigns))
+	}
+	states := make([]*running, len(ps.Campaigns))
+	for i, pc := range ps.Campaigns {
+		if cfg.Campaigns[i].ID != pc.ID {
+			return nil, fmt.Errorf("core: campaign %d is %q on disk, %q in config", i, pc.ID, cfg.Campaigns[i].ID)
+		}
+		states[i] = &running{
+			spec:    cfg.Campaigns[i],
+			page:    pc.Page,
+			active:  pc.Active,
+			summary: pc.Summary,
+		}
+	}
+	store, stats, err := socialnet.OpenDurable(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen world: %w", err)
+	}
+	if stats.DroppedEvents > 0 {
+		store.Close()
+		return nil, fmt.Errorf("core: reopen world: %d journal events reference unknown users/pages", stats.DroppedEvents)
+	}
+	return &Study{
+		cfg:   cfg,
+		store: store,
+		clock: simclock.New(cfg.Start),
+		world: &worldState{states: states, baseline: ps.Baseline, histLikes: ps.HistoryLikes},
+	}, nil
+}

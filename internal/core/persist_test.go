@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/socialnet"
+)
+
+// noSync disables the WAL's background fsync ticker in tests.
+var noSync = socialnet.WALOptions{SyncInterval: -1}
+
+// TestPersistedRestartIsByteIdentical is the durable-restart
+// determinism guarantee: run the world, persist it, "kill" the process
+// (drop the study), reopen from disk, and Finalize — the stable JSON
+// must equal the uninterrupted run's, byte for byte.
+func TestPersistedRestartIsByteIdentical(t *testing.T) {
+	cfg, err := ScaledConfig(42, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+
+	// Uninterrupted run.
+	direct, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directRes, err := direct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := directRes.MarshalJSONStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: world phases, persist, process "dies".
+	dir := t.TempDir()
+	interrupted, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interrupted.RunWorld(); err != nil {
+		t.Fatal(err)
+	}
+	if err := interrupted.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	interrupted = nil // the kill
+
+	reopened, err := ReopenStudy(cfg, dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Store().Close()
+	res, err := reopened.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.MarshalJSONStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("reopened Finalize differs from uninterrupted run (%d vs %d bytes)", len(want), len(got))
+	}
+}
+
+// TestReopenedFinalizeDeterministicAcrossWorkers: the reopened world
+// must finalize identically for any pool size, like a live one.
+func TestReopenedFinalizeDeterministicAcrossWorkers(t *testing.T) {
+	cfg, err := ScaledConfig(7, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunWorld(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var baseline []byte
+	for _, workers := range []int{1, 8} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		re, err := ReopenStudy(wcfg, dir, noSync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := re.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		re.Store().Close()
+		res.Config.Workers = 0 // normalize the one field allowed to differ
+		data, err := res.MarshalJSONStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = data
+		} else if !bytes.Equal(baseline, data) {
+			t.Fatalf("reopened Finalize differs at Workers=%d", workers)
+		}
+	}
+}
+
+// TestReopenRejectsMismatchedConfig: a persisted run must refuse to
+// attach to a config with a different seed (silently finalizing someone
+// else's world would be much worse than an error).
+func TestReopenRejectsMismatchedConfig(t *testing.T) {
+	cfg, err := ScaledConfig(11, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunWorld(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Seed = 12
+	if _, err := ReopenStudy(bad, dir, noSync); err == nil {
+		t.Fatal("ReopenStudy accepted a mismatched seed")
+	}
+	if _, err := ReopenStudy(cfg, t.TempDir(), noSync); err == nil {
+		t.Fatal("ReopenStudy accepted an empty directory")
+	}
+}

@@ -27,6 +27,21 @@ type Study struct {
 	engine *platform.AdEngine
 	farms  map[string]*farm.Farm
 	clock  *simclock.Clock
+
+	// world is the completed outcome of RunWorld (campaign states,
+	// baseline sample, materialized-history count) — everything
+	// Finalize needs beyond the store itself. A Study reopened from a
+	// persisted run (ReopenStudy) carries world and store only.
+	world *worldState
+}
+
+// worldState is the run outcome Finalize consumes: it is exactly the
+// state Persist writes to disk (alongside the store checkpoint), so a
+// reopened study finalizes bit-identically to an uninterrupted one.
+type worldState struct {
+	states    []*running
+	baseline  []socialnet.UserID
+	histLikes int
 }
 
 // CampaignResult is the outcome of one campaign (a Table 1 row plus the
@@ -244,7 +259,24 @@ type running struct {
 // CPU), and the output is bit-identical for every worker count because
 // all randomness is drawn from streams split per campaign and per
 // account rather than from one shared sequence.
+//
+// Run is RunWorld followed by Finalize; callers that persist the run
+// between the two (Persist / ReopenStudy) can kill the process after
+// RunWorld and finalize later — on another machine, in another process
+// — with byte-identical Results.
 func (s *Study) Run() (*Results, error) {
+	if err := s.RunWorld(); err != nil {
+		return nil, err
+	}
+	return s.Finalize()
+}
+
+// RunWorld executes the world-building phases: deploy the honeypot
+// pages, promote and monitor every campaign, materialize cover
+// histories, and run the fraud sweep. Afterwards the store holds the
+// final world and the study holds the per-campaign monitor summaries;
+// Finalize turns them into Results.
+func (s *Study) RunWorld() error {
 	workers := parallel.Workers(s.cfg.Workers)
 
 	// Phase 1 — deploy all 13 pages at t0, as in §3 ("all campaigns
@@ -254,7 +286,7 @@ func (s *Study) Run() (*Results, error) {
 	for i, cs := range s.cfg.Campaigns {
 		page, _, err := honeypot.Deploy(s.store, cs.ID, s.cfg.Start)
 		if err != nil {
-			return nil, fmt.Errorf("core: deploy %s: %w", cs.ID, err)
+			return fmt.Errorf("core: deploy %s: %w", cs.ID, err)
 		}
 		states[i] = &running{
 			spec:   cs,
@@ -300,7 +332,7 @@ func (s *Study) Run() (*Results, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Keep the study clock (Elapsed, examples) at the virtual end of
 	// the slowest campaign, as in the single-clock engine.
@@ -319,20 +351,36 @@ func (s *Study) Run() (*Results, error) {
 	}
 	baseline, err := analysis.BaselineSample(stats.SplitRand(s.cfg.Seed, "baseline"), s.store, s.cfg.BaselineSize)
 	if err != nil {
-		return nil, fmt.Errorf("core: baseline: %w", err)
+		return fmt.Errorf("core: baseline: %w", err)
 	}
 	toMaterialize := append(append([]socialnet.UserID(nil), allLikers...), baseline...)
 	histLikes, err := s.ledger.MaterializeSeeded(s.cfg.Seed, s.store, toMaterialize, workers)
 	if err != nil {
-		return nil, fmt.Errorf("core: materialize histories: %w", err)
+		return fmt.Errorf("core: materialize histories: %w", err)
 	}
 
 	// Phase 5 — the month-later fraud sweep (§5): Facebook examines the
 	// accounts and terminates a score-proportional few, scoring on the
 	// pool with one split stream per account.
 	if _, err := platform.FraudSweepSeeded(s.cfg.Seed, s.store, allLikers, s.cfg.Sweep, workers); err != nil {
-		return nil, fmt.Errorf("core: fraud sweep: %w", err)
+		return fmt.Errorf("core: fraud sweep: %w", err)
 	}
+
+	s.world = &worldState{states: states, baseline: baseline, histLikes: histLikes}
+	return nil
+}
+
+// Finalize computes Results from a completed world — phases 6 and 7:
+// per-campaign outcomes from the monitor summaries, then the §4
+// analyses. It reads only the store and the worldState, both of which
+// Persist/ReopenStudy round-trip through disk, so a reopened study
+// finalizes to the same bytes as the process that ran the campaigns.
+func (s *Study) Finalize() (*Results, error) {
+	if s.world == nil {
+		return nil, errors.New("core: Finalize called before RunWorld (or reopen)")
+	}
+	workers := parallel.Workers(s.cfg.Workers)
+	states, baseline, histLikes := s.world.states, s.world.baseline, s.world.histLikes
 
 	// Phase 6 — per-campaign results straight from the monitor
 	// summaries, fanned out on the pool. Every task writes its own
@@ -343,7 +391,7 @@ func (s *Study) Run() (*Results, error) {
 		Temporal:  make([]analysis.TemporalSeries, len(states)),
 		Bursts:    make([]analysis.BurstStats, len(states)),
 	}
-	err = parallel.ForEach(workers, len(states), func(i int) error {
+	err := parallel.ForEach(workers, len(states), func(i int) error {
 		st := states[i]
 		terminated, err := platform.TerminatedAmong(s.store, st.summary.Likers)
 		if err != nil {

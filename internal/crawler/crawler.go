@@ -291,35 +291,42 @@ func (c *Client) User(ctx context.Context, id int64) (api.UserDoc, error) {
 }
 
 // UserFriends fetches the full friend list; ErrPrivate when hidden.
+// Pagination is cursor-first (keyset over the ID-sorted list): windows
+// tile the ID space, so friends present when the crawl began are
+// collected exactly once even if edges are inserted mid-crawl — offset
+// windows would shift under an insert and duplicate or drop entries.
 func (c *Client) UserFriends(ctx context.Context, id int64) ([]int64, error) {
 	var out []int64
-	offset := 0
+	var cursor int64
 	for {
 		var doc api.UserFriendsDoc
-		path := fmt.Sprintf("/api/user/%d/friends?offset=%d&limit=%d", id, offset, c.cfg.PageSize)
+		path := fmt.Sprintf("/api/user/%d/friends?cursor=%d&limit=%d", id, cursor, c.cfg.PageSize)
 		if err := c.get(ctx, path, false, &doc); err != nil {
 			return nil, err
 		}
 		out = append(out, doc.Friends...)
-		offset += len(doc.Friends)
+		cursor = doc.NextCursor
 		if len(doc.Friends) < c.cfg.PageSize {
 			return out, nil
 		}
 	}
 }
 
-// UserLikes fetches the full page-like list of a user.
+// UserLikes fetches the full page-like list of a user by cursor paging
+// the user's append-only like stream to its live tail: a like landing
+// mid-crawl only ever extends the tail, so the crawl sees every page
+// exactly once (the same contract PageLikesSince gives page streams).
 func (c *Client) UserLikes(ctx context.Context, id int64) ([]int64, error) {
 	var out []int64
-	offset := 0
+	cursor := 0
 	for {
 		var doc api.UserLikesDoc
-		path := fmt.Sprintf("/api/user/%d/likes?offset=%d&limit=%d", id, offset, c.cfg.PageSize)
+		path := fmt.Sprintf("/api/user/%d/likes?cursor=%d&limit=%d", id, cursor, c.cfg.PageSize)
 		if err := c.get(ctx, path, false, &doc); err != nil {
 			return nil, err
 		}
 		out = append(out, doc.Pages...)
-		offset += len(doc.Pages)
+		cursor = doc.NextCursor
 		if len(doc.Pages) < c.cfg.PageSize {
 			return out, nil
 		}

@@ -263,21 +263,26 @@ func (m *Monitor) MonitoringDays(now time.Time) int {
 // engine's worker pool collects one Summary per campaign; a Monitor is
 // confined to the goroutine driving its clock, so collection needs no
 // locking.
+//
+// Summaries are persistence-stable: core.Study.Persist writes them to
+// the study directory as JSON (the tags below are the wire format) and
+// a reopened study finalizes from them byte-identically, so fields may
+// be added but existing tags must not change meaning.
 type Summary struct {
 	// Likers is the observed liker set in first-seen order (ties by ID).
-	Likers []socialnet.UserID
+	Likers []socialnet.UserID `json:"likers"`
 	// TotalLikes is the final observed cumulative count.
-	TotalLikes int
+	TotalLikes int `json:"total_likes"`
 	// MonitoringDays is the monitored span in days, rounded up.
-	MonitoringDays int
+	MonitoringDays int `json:"monitoring_days"`
 	// Series is the cumulative like count by day offset 0..days.
-	Series []int
+	Series []int `json:"series"`
 	// Events is the number of like events the page's journal stream held
 	// at summarize time; Cursor is the monitor's high-water mark (events
 	// consumed by polls). They differ only if likes landed after the
 	// monitor stopped.
-	Events int
-	Cursor int
+	Events int `json:"events"`
+	Cursor int `json:"cursor"`
 }
 
 // Summarize collects the monitor's full outcome: likers, final count,

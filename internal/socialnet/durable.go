@@ -1,0 +1,435 @@
+package socialnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A durable store directory holds three kinds of files:
+//
+//	manifest.json        — points at the current snapshot and records the
+//	                       per-shard WAL offsets it covers
+//	snapshot-<seq>.gob   — a full world snapshot (users, pages, friends,
+//	                       every like), the gob form WriteSnapshot emits
+//	s<shard>-<start>.seg — WAL segments (see segment.go)
+//
+// Recovery is snapshot + tail-replay: OpenDurable rebuilds the world
+// from the manifest's snapshot, then replays only the WAL events at or
+// beyond the manifest offsets, deduplicating on the journal's global
+// (user, page) uniqueness invariant. Checkpoint moves the snapshot
+// forward and compacts the segments it covers, so neither recovery time
+// nor disk usage grows with history — only with the tail since the last
+// checkpoint.
+const manifestFile = "manifest.json"
+
+// manifest is the durable directory's root pointer. It is replaced
+// atomically (tmp + rename), so a crash mid-checkpoint leaves the
+// previous snapshot + its WAL tail fully intact.
+type manifest struct {
+	Version  int
+	Seq      int64 // checkpoint sequence, monotonically increasing
+	Shards   int   // journal/WAL shard count
+	Snapshot string
+	// Offsets are the per-shard WAL stream offsets captured immediately
+	// BEFORE the snapshot was taken. Invariant: every WAL event below
+	// Offsets[i] is contained in the snapshot (an event reaches the WAL
+	// only after its user-side index commit, and the snapshot is a
+	// superset of all user-side commits at capture time). Events at or
+	// above the offsets may or may not be in the snapshot; replay
+	// dedupes them on (user, page).
+	Offsets []uint64
+}
+
+const manifestVersion = 1
+
+// ErrNoDurableState reports a directory with no manifest — nothing to
+// reopen. Callers typically build a fresh world and Checkpoint it.
+var ErrNoDurableState = errors.New("socialnet: no durable state in directory")
+
+// HasDurableState reports whether dir holds a reopenable world.
+func HasDurableState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestFile))
+	return err == nil
+}
+
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoDurableState, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("socialnet: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("socialnet: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 || len(m.Offsets) != m.Shards {
+		return nil, fmt.Errorf("socialnet: manifest shards %d / offsets %d inconsistent", m.Shards, len(m.Offsets))
+	}
+	return &m, nil
+}
+
+// WriteFileDurable writes data to path via a temp file with fsync,
+// then renames it into place and fsyncs the directory, so a crash at
+// any instant leaves either the old file or the new one — never a torn
+// mix. Every state file in the durable stack (manifest, monitor
+// cursors, study run state, crawl checkpoints) goes through this.
+func WriteFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// samePath reports whether two path spellings name the same directory.
+// A raw string comparison would let "./data" vs "data" misclassify a
+// checkpoint into the store's own WAL directory as an export — writing
+// a zero-offset manifest next to live segments and skipping compaction.
+func samePath(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Durable reports whether the store streams its journal to disk.
+func (s *Store) Durable() bool { return s.wal != nil }
+
+// DurabilityErr returns the disk backend's sticky error: non-nil once
+// any WAL write or fsync has failed, meaning acknowledged likes since
+// then may not survive a crash. Write surfaces that promise durability
+// (the API's like injection) check it after acknowledging into memory;
+// nil for in-memory stores.
+func (s *Store) DurabilityErr() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Err()
+}
+
+// Sync forces every acknowledged like to stable storage, narrowing the
+// batched-fsync loss window to zero. A no-op for in-memory stores.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Close flushes and closes the disk backend. The store stays readable
+// (it is an in-memory structure) but must not be written afterwards.
+// A no-op for in-memory stores.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.journal.SetBackend(nil)
+	s.wal = nil
+	return err
+}
+
+// Checkpoint writes a full snapshot of the world plus a manifest into
+// dir, then — when dir is the store's own WAL directory — compacts the
+// segments the snapshot covers. It is safe (and race-free) under
+// concurrent writers: the WAL offsets are captured before the snapshot,
+// so a write landing mid-checkpoint is either inside the snapshot,
+// inside the surviving WAL tail, or both (recovery dedupes), never
+// lost. After a successful Checkpoint, OpenDurable(dir) recovers by
+// loading this snapshot and replaying only the tail.
+//
+// Checkpoint also works on a plain in-memory store: it then produces a
+// durable seed directory (snapshot + zero offsets, no segments) that
+// OpenDurable turns into a live durable store — the handoff path for
+// "build the world fast in memory, then persist it".
+func (s *Store) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	shards := s.journal.NumShards()
+	offsets := make([]uint64, shards)
+	own := s.wal != nil && samePath(s.wal.Dir(), dir)
+	if own {
+		offsets = s.wal.Offsets() // capture BEFORE the snapshot: see manifest.Offsets
+	}
+
+	var seq int64 = 1
+	if old, err := readManifest(dir); err == nil {
+		seq = old.Seq + 1
+		if own && old.Shards != shards {
+			return fmt.Errorf("socialnet: checkpoint into %s: shard count %d != manifest %d", dir, shards, old.Shards)
+		}
+	} else if !errors.Is(err, ErrNoDurableState) {
+		return err
+	}
+
+	snapName := fmt.Sprintf("snapshot-%016d.gob", seq)
+	snapPath := filepath.Join(dir, snapName)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapPath); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+
+	// Flush the WAL BEFORE publishing the manifest: the captured offsets
+	// count buffered (possibly unfsynced) appends, and once the manifest
+	// claims them, recovery skips everything below them. Publishing
+	// first would let a crash leave segment chains ending short of the
+	// offsets — and new appends after reopen would land inside the
+	// claimed range and be skipped by the recovery after that.
+	if own {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	}
+
+	m := manifest{Version: manifestVersion, Seq: seq, Shards: shards, Snapshot: snapName, Offsets: offsets}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := WriteFileDurable(filepath.Join(dir, manifestFile), data); err != nil {
+		return err
+	}
+
+	// The manifest now points at the new snapshot: everything it
+	// supersedes — older snapshots and fully covered segments — is
+	// garbage. Removal failures are non-fatal leftovers, not data loss.
+	removeStaleSnapshots(dir, snapName)
+	if own {
+		return s.wal.Compact(offsets)
+	}
+	return nil
+}
+
+func removeStaleSnapshots(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".gob") && name != keep {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// OpenStats reports what recovery found.
+type OpenStats struct {
+	// TailEvents is how many WAL events beyond the snapshot offsets were
+	// replayed into the store (after deduplication).
+	TailEvents int
+	// DupEvents is how many tail events were already present in the
+	// snapshot (the checkpoint race window) and were skipped.
+	DupEvents int
+	// DroppedEvents counts tail events referencing a user or page absent
+	// from the snapshot. The write paths create users and pages before
+	// likes and nothing ever deletes them, so a drop indicates external
+	// tampering with the directory; they are counted, not silently eaten.
+	DroppedEvents int
+	// TailByPage counts the replayed (SourceLike) tail events per page.
+	// Tail replay is deterministic but proceeds journal-shard by shard,
+	// so a page stream's tail can be ordered differently from the live
+	// arrival order the previous process saw: a page cursor persisted
+	// before a crash is only trustworthy up to the snapshot-covered
+	// prefix, i.e. LikeCountOfPage(p) - TailByPage[p]. Consumers holding
+	// cursors across a crash (honeypotd's live monitor) clamp to that
+	// boundary and re-observe the tail — at-least-once, never a miss.
+	TailByPage map[PageID]int
+}
+
+// OpenDurable reopens the world persisted in dir: it loads the manifest
+// snapshot, repairs and replays the WAL tail, and returns a live store
+// whose journal streams every new like back into the same WAL. The
+// rebuilt store is bit-identical, for every canonical read path, to the
+// store that was checkpointed plus its replayed tail — the property the
+// engine's restart-determinism test pins.
+func OpenDurable(dir string, opts WALOptions) (*Store, *OpenStats, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, m.Snapshot))
+	if err != nil {
+		return nil, nil, fmt.Errorf("socialnet: open snapshot: %w", err)
+	}
+	st, err := ReadSnapshotSharded(f, m.Shards)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.journal.NumShards() != m.Shards {
+		return nil, nil, fmt.Errorf("socialnet: snapshot rebuilt %d journal shards, manifest says %d", st.journal.NumShards(), m.Shards)
+	}
+
+	wal, recovered, err := openWAL(dir, m.Shards, m.Offsets, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stats := &OpenStats{TailByPage: make(map[PageID]int)}
+	for _, rec := range recovered {
+		for _, ev := range rec.Events {
+			switch st.replayEvent(ev) {
+			case replayApplied:
+				stats.TailEvents++
+				if ev.Source == SourceLike {
+					stats.TailByPage[ev.Page]++
+				}
+			case replayDup:
+				stats.DupEvents++
+			case replayDropped:
+				stats.DroppedEvents++
+			}
+		}
+	}
+
+	// Attach the backend only now: replayed history is already on disk
+	// and must not be re-appended.
+	st.journal.SetBackend(wal)
+	st.wal = wal
+	return st, stats, nil
+}
+
+// OpenOrCreate reopens the durable world in dir or, when none exists,
+// calls build, checkpoints the fresh world into dir, and reopens THAT —
+// callers always end up serving the durably reopened copy, so the
+// canonical streams (and any cursors measured against them) are
+// identical on the first run and on every resume. This is the one
+// open-or-build path every durable command shares; the invariant that
+// serving state always equals recoverable state lives here, not in
+// per-command copies.
+func OpenOrCreate(dir string, opts WALOptions, build func() (*Store, error)) (*Store, *OpenStats, error) {
+	if !HasDurableState(dir) {
+		built, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := built.Checkpoint(dir); err != nil {
+			return nil, nil, fmt.Errorf("socialnet: initial checkpoint: %w", err)
+		}
+	}
+	return OpenDurable(dir, opts)
+}
+
+// replayOutcome classifies one tail event's recovery.
+type replayOutcome uint8
+
+const (
+	replayApplied replayOutcome = iota
+	replayDup
+	replayDropped
+)
+
+// replayEvent applies one recovered WAL event to the store's indexes
+// and in-memory journal, bypassing the business checks AddLike runs
+// (termination): the event passed them when it was first accepted, and
+// replay must reproduce exactly what was acknowledged. Events the
+// snapshot already contains — the checkpoint race window — are detected
+// per event, exactly, via the journal's global (user, page) uniqueness:
+// an indexed like is in likeSet, a history like in the user's own
+// stream. Both checks cost the one user the event touches, so reopening
+// a huge world with a tiny tail stays O(snapshot load + tail), not
+// O(snapshot × tail) or O(world) extra memory.
+func (s *Store) replayEvent(ev LikeEvent) replayOutcome {
+	k := likeKey{ev.User, ev.Page}
+	ush := s.userShard(ev.User)
+	ush.mu.Lock()
+	if _, ok := ush.users[ev.User]; !ok {
+		ush.mu.Unlock()
+		return replayDropped
+	}
+	if ev.Source == SourceLike {
+		if _, dup := ush.likeSet[k]; dup {
+			ush.mu.Unlock()
+			return replayDup
+		}
+		psh := s.pageShard(ev.Page)
+		psh.mu.RLock()
+		_, pageOK := psh.pages[ev.Page]
+		psh.mu.RUnlock()
+		if !pageOK {
+			ush.mu.Unlock()
+			return replayDropped
+		}
+	} else {
+		for _, lk := range ush.likesByUser[ev.User] {
+			if lk.Page == ev.Page {
+				ush.mu.Unlock()
+				return replayDup
+			}
+		}
+	}
+	lk := Like{User: ev.User, Page: ev.Page, At: ev.At}
+	ush.likesByUser[ev.User] = append(ush.likesByUser[ev.User], lk)
+	delete(ush.userSorted, ev.User)
+	if ev.Source == SourceLike {
+		ush.likeSet[k] = struct{}{}
+	}
+	ush.mu.Unlock()
+
+	s.journal.Append(ev)
+
+	if ev.Source == SourceLike {
+		psh := s.pageShard(ev.Page)
+		psh.mu.Lock()
+		psh.likesByPage[ev.Page] = append(psh.likesByPage[ev.Page], lk)
+		delete(psh.pageSorted, ev.Page)
+		psh.mu.Unlock()
+	}
+	return replayApplied
+}

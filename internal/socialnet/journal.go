@@ -94,12 +94,27 @@ type Journal struct {
 	shards []journalShard
 	mask   uint64
 
+	// backend, when set, receives every appended event (under the shard
+	// lock, so per-shard disk order always matches the in-memory
+	// stream). nil keeps the journal memory-only — the default.
+	backend Backend
+
 	// merged caches the canonical materialization. Valid while the
 	// per-shard lengths it was computed from still match (append-only:
 	// equal lengths imply equal contents).
 	mergedMu   sync.Mutex
 	merged     []LikeEvent
 	mergedLens []int
+}
+
+// Backend is the journal's durability hook: a sink that receives every
+// appended event tagged with its shard index. Append is called under
+// the journal's shard lock — implementations must be fast (buffer, not
+// fsync) and must never call back into the journal or store. Errors are
+// the backend's to keep (sticky) and surface on its own Sync/Close; the
+// in-memory journal remains the authoritative read path regardless.
+type Backend interface {
+	Append(shard int, evs ...LikeEvent)
 }
 
 // NewJournal returns an empty journal with the given number of shards
@@ -118,15 +133,27 @@ func NewJournal(shards int) *Journal {
 // NumShards returns the number of journal shards.
 func (j *Journal) NumShards() int { return len(j.shards) }
 
+// SetBackend attaches (or detaches, with nil) the durability sink.
+// Call it before the journal sees concurrent appends — recovery code
+// replays history first, then attaches the backend, so replayed events
+// are never re-written to disk.
+func (j *Journal) SetBackend(b Backend) { j.backend = b }
+
+func (j *Journal) shardIndex(u UserID) int { return int(uint64(u) & j.mask) }
+
 func (j *Journal) shard(u UserID) *journalShard {
 	return &j.shards[uint64(u)&j.mask]
 }
 
 // Append records one event.
 func (j *Journal) Append(ev LikeEvent) {
-	sh := j.shard(ev.User)
+	idx := j.shardIndex(ev.User)
+	sh := &j.shards[idx]
 	sh.mu.Lock()
 	sh.events = append(sh.events, ev)
+	if j.backend != nil {
+		j.backend.Append(idx, ev)
+	}
 	sh.mu.Unlock()
 }
 
@@ -137,9 +164,13 @@ func (j *Journal) AppendUserBatch(u UserID, evs []LikeEvent) {
 	if len(evs) == 0 {
 		return
 	}
-	sh := j.shard(u)
+	idx := j.shardIndex(u)
+	sh := &j.shards[idx]
 	sh.mu.Lock()
 	sh.events = append(sh.events, evs...)
+	if j.backend != nil {
+		j.backend.Append(idx, evs...)
+	}
 	sh.mu.Unlock()
 }
 

@@ -1,0 +1,207 @@
+package socialnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Segment files are the journal's on-disk form: one directory holds one
+// sharded stream of like events, each shard a chain of append-only
+// segment files. A segment is a fixed header followed by framed
+// records:
+//
+//	header  = magic "LIKESEG1" | uint32 version | uint32 shard | uint64 start
+//	record  = uint32 payloadLen | uint32 crc32(payload) | payload
+//	payload = int64 unixNanos | int64 user | int64 page | uint8 source
+//
+// All integers are little-endian. `start` is the stream index of the
+// segment's first event within its shard, so a segment's name and
+// header together place every record at an absolute per-shard offset —
+// the cursor coordinate system Journal.NewReader established and the
+// snapshot manifest reuses. Records are one event each: recovery
+// granularity is a single like, and a torn tail (a crash mid-write)
+// costs at most the unsynced suffix.
+const (
+	segMagic   = "LIKESEG1"
+	segVersion = 1
+
+	segHeaderSize    = 8 + 4 + 4 + 8
+	eventPayloadSize = 8 + 8 + 8 + 1
+	recordSize       = 4 + 4 + eventPayloadSize
+)
+
+// ErrCorruptSegment marks a segment whose body fails validation
+// somewhere other than a repairable torn tail.
+var ErrCorruptSegment = errors.New("socialnet: corrupt segment")
+
+// encodeEvent appends the framed record for ev to buf and returns the
+// extended slice.
+func encodeEvent(buf []byte, ev LikeEvent) []byte {
+	var payload [eventPayloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:8], uint64(ev.At.UnixNano()))
+	binary.LittleEndian.PutUint64(payload[8:16], uint64(ev.User))
+	binary.LittleEndian.PutUint64(payload[16:24], uint64(ev.Page))
+	payload[24] = byte(ev.Source)
+
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(eventPayloadSize))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload[:]))
+	buf = append(buf, frame[:]...)
+	return append(buf, payload[:]...)
+}
+
+// decodeEventPayload rebuilds an event from a record payload.
+func decodeEventPayload(payload []byte) LikeEvent {
+	return LikeEvent{
+		At:     time.Unix(0, int64(binary.LittleEndian.Uint64(payload[0:8]))).UTC(),
+		User:   UserID(binary.LittleEndian.Uint64(payload[8:16])),
+		Page:   PageID(binary.LittleEndian.Uint64(payload[16:24])),
+		Source: LikeSource(payload[24]),
+	}
+}
+
+// segmentHeader writes the fixed header for a new segment.
+func segmentHeader(shard int, start uint64) []byte {
+	buf := make([]byte, segHeaderSize)
+	copy(buf[0:8], segMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], segVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(shard))
+	binary.LittleEndian.PutUint64(buf[16:24], start)
+	return buf
+}
+
+// parseSegmentHeader validates the header and returns (shard, start).
+func parseSegmentHeader(buf []byte) (int, uint64, error) {
+	if len(buf) < segHeaderSize {
+		return 0, 0, fmt.Errorf("%w: short header (%d bytes)", ErrCorruptSegment, len(buf))
+	}
+	if string(buf[0:8]) != segMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrCorruptSegment)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != segVersion {
+		return 0, 0, fmt.Errorf("%w: version %d, want %d", ErrCorruptSegment, v, segVersion)
+	}
+	shard := int(binary.LittleEndian.Uint32(buf[12:16]))
+	start := binary.LittleEndian.Uint64(buf[16:24])
+	return shard, start, nil
+}
+
+// scanSegment reads every valid record from an open segment file and
+// returns the decoded events plus validSize, the byte offset just past
+// the last intact record. A short frame, short payload, or CRC
+// mismatch ends the scan — everything before it is trusted, everything
+// from it on is the torn tail. The caller decides whether a tail is
+// repairable (last segment of a shard) or fatal (an interior segment).
+func scanSegment(f *os.File) (events []LikeEvent, validSize int64, shard int, start uint64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	header := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("%w: %s: unreadable header", ErrCorruptSegment, f.Name())
+	}
+	shard, start, err = parseSegmentHeader(header)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("%s: %w", f.Name(), err)
+	}
+	validSize = segHeaderSize
+	var frame [8]byte
+	payload := make([]byte, eventPayloadSize)
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return events, validSize, shard, start, nil // clean EOF or torn frame
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		if n != eventPayloadSize {
+			return events, validSize, shard, start, nil // garbage length: torn
+		}
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return events, validSize, shard, start, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4:8]) {
+			return events, validSize, shard, start, nil // corrupt record: torn
+		}
+		events = append(events, decodeEventPayload(payload))
+		validSize += recordSize
+	}
+}
+
+// segmentHeaderReadable reports whether the file begins with a valid
+// segment header. It distinguishes a torn segment creation (header
+// never reached the disk — repairable by dropping the file) from a
+// readable segment whose body may still need tail repair.
+func segmentHeaderReadable(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	header := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return false, nil // short file: header never landed
+	}
+	if _, _, err := parseSegmentHeader(header); err != nil {
+		return false, nil // garbage header: same crash window
+	}
+	return true, nil
+}
+
+// segmentFileName places a segment in its directory: shard index and
+// the per-shard stream index of its first event.
+func segmentFileName(shard int, start uint64) string {
+	return fmt.Sprintf("s%04d-%016d.seg", shard, start)
+}
+
+// segmentRef locates one segment file on disk.
+type segmentRef struct {
+	path  string
+	shard int
+	start uint64
+}
+
+// listSegments finds every segment file under dir, grouped by shard and
+// sorted by start offset within each shard.
+func listSegments(dir string, nShards int) ([][]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byShard := make([][]segmentRef, nShards)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".seg") || !strings.HasPrefix(name, "s") {
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimPrefix(name, "s"), ".seg")
+		parts := strings.SplitN(base, "-", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		shard, err1 := strconv.Atoi(parts[0])
+		start, err2 := strconv.ParseUint(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if shard < 0 || shard >= nShards {
+			return nil, fmt.Errorf("%w: %s names shard %d of %d", ErrCorruptSegment, name, shard, nShards)
+		}
+		byShard[shard] = append(byShard[shard], segmentRef{
+			path:  filepath.Join(dir, name),
+			shard: shard,
+			start: start,
+		})
+	}
+	for _, segs := range byShard {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	}
+	return byShard, nil
+}

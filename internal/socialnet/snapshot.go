@@ -132,6 +132,14 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 
 // ReadSnapshot reconstructs a Store from a snapshot stream.
 func ReadSnapshot(r io.Reader) (*Store, error) {
+	return ReadSnapshotSharded(r, DefaultShards)
+}
+
+// ReadSnapshotSharded is ReadSnapshot with an explicit lock-stripe
+// count: a durable store must reopen with the shard count its WAL was
+// written under, so the manifest's per-shard offsets keep indexing the
+// same streams.
+func ReadSnapshotSharded(r io.Reader, shards int) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("socialnet: decode snapshot: %w", err)
@@ -139,7 +147,7 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("socialnet: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
-	st := NewStore()
+	st := NewShardedStore(shards)
 	st.nextUser.Store(int64(snap.NextUser))
 	st.nextPage.Store(int64(snap.NextPage))
 	for i := range snap.Users {

@@ -36,6 +36,10 @@ type Store struct {
 	shardMask  uint64
 	journal    *Journal
 
+	// wal is the attached disk backend for a durable store (nil for the
+	// default in-memory store); see OpenDurable / Checkpoint.
+	wal *DiskWAL
+
 	nextUser atomic.Int64
 	nextPage atomic.Int64
 
@@ -48,12 +52,17 @@ type Store struct {
 
 // userShard holds one partition of the user space: the user records,
 // the user-side like index, and the duplicate-like set (keyed by user,
-// so the dedup check is atomic with the user-side append).
+// so the dedup check is atomic with the user-side append). likesByUser
+// is strictly append-ordered — like the page-side streams it is never
+// sorted in place — so integer offsets into a user's stream (the
+// cursors the API's cursor-paged likes list hands out) stay valid
+// across reads. userSorted caches a canonically sorted copy per user,
+// valid while its length still matches the stream.
 type userShard struct {
 	mu          sync.RWMutex
 	users       map[UserID]*User
 	likesByUser map[UserID][]Like
-	userSorted  map[UserID]bool
+	userSorted  map[UserID][]Like
 	likeSet     map[likeKey]struct{}
 }
 
@@ -114,7 +123,7 @@ func NewShardedStore(shards int) *Store {
 		s.userShards[i] = userShard{
 			users:       make(map[UserID]*User),
 			likesByUser: make(map[UserID][]Like),
-			userSorted:  make(map[UserID]bool),
+			userSorted:  make(map[UserID][]Like),
 			likeSet:     make(map[likeKey]struct{}),
 		}
 	}
@@ -267,6 +276,24 @@ func (s *Store) Pages() []PageID {
 		sh.mu.RLock()
 		for id := range sh.pages {
 			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HoneypotPages returns the study's honeypot (campaign) page IDs in
+// ascending order — the pages monitors watch and crawls target.
+func (s *Store) HoneypotPages() []PageID {
+	var out []PageID
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.RLock()
+		for id, p := range sh.pages {
+			if p.Honeypot {
+				out = append(out, id)
+			}
 		}
 		sh.mu.RUnlock()
 	}
@@ -459,26 +486,87 @@ func (s *Store) ActiveLikeCountOfPage(p PageID) int {
 // page ID). This is the "pages liked" list the crawler collected per
 // liker (§4.4); in the reproduction it is always public, as it
 // effectively was via the 2014 profile crawl. Like LikesOfPage, the
-// sort is computed lazily once per write burst and cached — the §4
-// analyses read each liker's history several times.
+// sorted order is computed lazily on first read after a write and
+// cached as a copy — the underlying stream stays in append order so
+// UserLikesPage cursors remain valid — and the §4 analyses re-reading a
+// liker's history pay only the copy.
 func (s *Store) LikesOfUser(u UserID) []Like {
 	sh := s.userShard(u)
 	sh.mu.RLock()
-	if sh.userSorted[u] {
-		out := append([]Like(nil), sh.likesByUser[u]...)
+	if cache, ok := sh.userSorted[u]; ok && len(cache) == len(sh.likesByUser[u]) {
+		out := append([]Like(nil), cache...)
 		sh.mu.RUnlock()
 		return out
 	}
 	sh.mu.RUnlock()
 
 	sh.mu.Lock()
-	if !sh.userSorted[u] {
-		sortUserLikes(sh.likesByUser[u])
-		sh.userSorted[u] = true
+	cache, ok := sh.userSorted[u]
+	if !ok || len(cache) != len(sh.likesByUser[u]) {
+		cache = append([]Like(nil), sh.likesByUser[u]...)
+		sortUserLikes(cache)
+		sh.userSorted[u] = cache
 	}
-	out := append([]Like(nil), sh.likesByUser[u]...)
+	out := append([]Like(nil), cache...)
 	sh.mu.Unlock()
 	return out
+}
+
+// UserLikesPage returns at most limit of the user's likes appended
+// after cursor (limit < 1 means no bound), canonically sorted within
+// the batch, plus the cursor resuming after the last returned like.
+// This is the user-side twin of PageEventsPage: cursors index the
+// user's append-only like stream, so a like (or bulk history import)
+// landing mid-pagination only ever extends the tail — a paginating
+// consumer sees every like exactly once even under live writes, which
+// offset paging over the time-sorted view cannot guarantee.
+func (s *Store) UserLikesPage(u UserID, cursor, limit int) ([]Like, int) {
+	sh := s.userShard(u)
+	sh.mu.RLock()
+	stream := sh.likesByUser[u]
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(stream) {
+		sh.mu.RUnlock()
+		return nil, cursor
+	}
+	end := len(stream)
+	if limit > 0 && cursor+limit < end {
+		end = cursor + limit
+	}
+	out := append([]Like(nil), stream[cursor:end]...)
+	sh.mu.RUnlock()
+	sortUserLikes(out)
+	return out, cursor + len(out)
+}
+
+// FriendsPage returns at most limit friends of the user with IDs at or
+// above cursor, ascending, plus the cursor resuming after the last
+// returned friend (keyset pagination). Friend lists have no append
+// order to expose — the graph stores sorted adjacency — so the stable
+// cursor is the ID space itself: entries present when pagination began
+// are delivered exactly once regardless of concurrent edge inserts
+// (an edge added behind the cursor is simply picked up by a re-crawl,
+// like any late write).
+func (s *Store) FriendsPage(u UserID, cursor int64, limit int) ([]UserID, int64) {
+	s.friendsMu.RLock()
+	ns := s.friends.Neighbors(int64(u))
+	s.friendsMu.RUnlock()
+	i := sort.Search(len(ns), func(k int) bool { return ns[k] >= cursor })
+	end := len(ns)
+	if limit > 0 && i+limit < end {
+		end = i + limit
+	}
+	out := make([]UserID, end-i)
+	for k, n := range ns[i:end] {
+		out[k] = UserID(n)
+	}
+	next := cursor
+	if len(out) > 0 {
+		next = int64(out[len(out)-1]) + 1
+	}
+	return out, next
 }
 
 // LikeCountOfUser returns the number of pages the user likes.

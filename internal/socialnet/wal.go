@@ -1,0 +1,485 @@
+package socialnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WALOptions tunes the disk journal backend.
+type WALOptions struct {
+	// SyncEvery fsyncs after this many appended events have accumulated
+	// (across all shards): the appending shard synchronously, the rest
+	// via the background syncer. 0 means DefaultSyncEvery; 1 fsyncs
+	// every append before it returns (slow, but nothing acknowledged is
+	// ever lost to a crash — an fsync FAILURE is sticky in Err, and
+	// write surfaces consult Store.DurabilityErr before acknowledging).
+	SyncEvery int
+	// SyncInterval is the background fsync period bounding how long a
+	// quiet tail can stay volatile. 0 means DefaultSyncInterval; < 0
+	// disables the background syncer (tests, benchmarks).
+	SyncInterval time.Duration
+	// SegmentMaxBytes rotates a shard to a fresh segment file once the
+	// active one reaches this size. 0 means DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+}
+
+// WAL option defaults.
+const (
+	DefaultSyncEvery       = 256
+	DefaultSyncInterval    = 100 * time.Millisecond
+	DefaultSegmentMaxBytes = int64(4 << 20)
+)
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	return o
+}
+
+// walShard is one shard's active segment writer. Appends go through a
+// buffered writer; flush+fsync happens on the batched sync policy, not
+// per append, so the write path costs a memcpy until a sync boundary.
+type walShard struct {
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	next     uint64 // stream index of the next event to append
+	segStart uint64 // first index of the active segment
+	segSize  int64  // bytes written to the active segment
+	dirty    bool   // bytes flushed or buffered since the last fsync
+	scratch  []byte // record-encoding buffer, reused under mu
+}
+
+// DiskWAL is the journal's disk backend: per-shard append-only segment
+// files with batched fsync and size-based rotation. It implements
+// Backend; Journal streams every appended event through it while the
+// in-memory shards stay the read path. Appends are acknowledged before
+// they are synced — the durability contract is "at most SyncEvery
+// events (or SyncInterval of wall time) may be lost on a crash"; Sync
+// narrows that window to zero on demand (shutdown, checkpoints).
+type DiskWAL struct {
+	dir    string
+	opts   WALOptions
+	shards []*walShard
+
+	unsynced atomic.Int64
+
+	errMu sync.Mutex
+	err   error // sticky: first write/sync failure, surfaced by Err/Sync/Close
+
+	syncMu sync.Mutex // serializes whole-WAL sync passes
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wake     chan struct{} // nudges the background syncer (buffered, size 1)
+	done     chan struct{}
+}
+
+// walRecovery is one shard's replayed disk state: the events found in
+// its segments at or after the requested base offset, and the stream
+// index of the first of them.
+type walRecovery struct {
+	Start  uint64
+	Events []LikeEvent
+}
+
+// openWAL opens (or initializes) the segment files under dir for
+// nShards shards and returns the WAL positioned for appending plus the
+// recovered per-shard events from base[i] onward. Only the last segment
+// of a shard may carry a torn tail; it is repaired by truncating to the
+// last valid record. An interior segment that fails validation is a
+// hard error — rotation never leaves a torn interior segment behind, so
+// one means external damage the WAL must not silently paper over.
+func openWAL(dir string, nShards int, base []uint64, opts WALOptions) (*DiskWAL, []walRecovery, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	byShard, err := listSegments(dir, nShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &DiskWAL{
+		dir:    dir,
+		opts:   opts,
+		shards: make([]*walShard, nShards),
+		stopc:  make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	recovered := make([]walRecovery, nShards)
+	for i := 0; i < nShards; i++ {
+		sh := &walShard{next: base[i]}
+		recovered[i] = walRecovery{Start: base[i]}
+		// A crash between rotation and the first flush leaves the newest
+		// segment with a missing or torn HEADER (creation reserves the
+		// name; the header sits in the write buffer). Nothing in such a
+		// file is readable, so it is the degenerate torn tail: drop it
+		// and resume on the previous segment, which rotation fsynced.
+		segs := byShard[i]
+		for len(segs) > 0 {
+			lastSeg := segs[len(segs)-1]
+			if ok, err := segmentHeaderReadable(lastSeg.path); err != nil {
+				return nil, nil, err
+			} else if ok {
+				break
+			}
+			if err := os.Remove(lastSeg.path); err != nil {
+				return nil, nil, err
+			}
+			segs = segs[:len(segs)-1]
+		}
+		for k, seg := range segs {
+			f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, nil, err
+			}
+			events, validSize, shard, start, err := scanSegment(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if shard != i || start != seg.start {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s header says shard %d start %d", ErrCorruptSegment, seg.path, shard, start)
+			}
+			info, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			last := k == len(segs)-1
+			if validSize < info.Size() {
+				if !last {
+					f.Close()
+					return nil, nil, fmt.Errorf("%w: %s torn at %d bytes but is not the shard's last segment", ErrCorruptSegment, seg.path, validSize)
+				}
+				if err := f.Truncate(validSize); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("socialnet: repair %s: %w", seg.path, err)
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+			}
+			// Contiguity: a later segment must resume exactly where the
+			// previous one ended; the first must not start beyond the
+			// snapshot offset (compaction can leave it at or below it).
+			if k > 0 {
+				if start != sh.next {
+					f.Close()
+					return nil, nil, fmt.Errorf("%w: %s starts at %d, expected %d", ErrCorruptSegment, seg.path, start, sh.next)
+				}
+			} else if start > base[i] {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s starts at %d beyond snapshot offset %d", ErrCorruptSegment, seg.path, start, base[i])
+			}
+			end := start + uint64(len(events))
+			// Keep only events at/after the base offset; earlier ones are
+			// guaranteed covered by the snapshot the base came from.
+			if end > base[i] {
+				skip := 0
+				if start < base[i] {
+					skip = int(base[i] - start)
+				}
+				if len(recovered[i].Events) == 0 {
+					recovered[i].Start = start + uint64(skip)
+				}
+				recovered[i].Events = append(recovered[i].Events, events[skip:]...)
+			}
+			sh.next = end
+			if last {
+				// Position the write offset at the valid end: the scan (and
+				// a torn-tail truncation) can leave it elsewhere, and a
+				// write at the wrong offset would corrupt the chain.
+				if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+				sh.f = f
+				sh.bw = bufio.NewWriterSize(f, 1<<16)
+				sh.segStart = start
+				sh.segSize = validSize
+			} else {
+				f.Close()
+			}
+		}
+		// A chain ending below the manifest offset means a checkpoint's
+		// snapshot covered events the segments never got (all of them:
+		// end < base implies every on-disk record is below the offset).
+		// Drop the stale chain and resume AT the offset — appending below
+		// it would put acknowledged events where the next recovery skips.
+		if sh.next < base[i] {
+			if sh.f != nil {
+				if err := sh.f.Close(); err != nil {
+					return nil, nil, err
+				}
+				sh.f, sh.bw = nil, nil
+			}
+			for _, seg := range segs {
+				if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+					return nil, nil, err
+				}
+			}
+			sh.next = base[i]
+			recovered[i] = walRecovery{Start: base[i]}
+		}
+		w.shards[i] = sh
+	}
+	if opts.SyncInterval > 0 {
+		go w.syncLoop()
+	} else {
+		close(w.done)
+	}
+	return w, recovered, nil
+}
+
+// syncLoop is the background fsync ticker.
+func (w *DiskWAL) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-w.wake:
+			_ = w.Sync()
+		case <-t.C:
+			if w.unsynced.Load() > 0 {
+				_ = w.Sync()
+			}
+		}
+	}
+}
+
+func (w *DiskWAL) setErr(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+}
+
+// Err returns the sticky first write or sync failure, if any.
+func (w *DiskWAL) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// Dir returns the WAL's directory.
+func (w *DiskWAL) Dir() string { return w.dir }
+
+// Append writes the events to the shard's active segment, rotating
+// first if it is full. It implements Backend and is called by the
+// journal under the corresponding journal-shard lock, so per-shard
+// append order on disk always matches the in-memory stream. Errors are
+// sticky (surfaced by Sync/Err/Close): the in-memory journal stays
+// authoritative for reads even if the disk falls over.
+func (w *DiskWAL) Append(shard int, evs ...LikeEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	sh := w.shards[shard]
+	sh.mu.Lock()
+	for _, ev := range evs {
+		if sh.f == nil || sh.segSize >= w.opts.SegmentMaxBytes {
+			if err := w.rotateLocked(shard, sh); err != nil {
+				sh.mu.Unlock()
+				w.setErr(err)
+				return
+			}
+		}
+		sh.scratch = encodeEvent(sh.scratch[:0], ev)
+		if _, err := sh.bw.Write(sh.scratch); err != nil {
+			sh.mu.Unlock()
+			w.setErr(err)
+			return
+		}
+		sh.next++
+		sh.segSize += recordSize
+		sh.dirty = true
+	}
+	sh.mu.Unlock()
+	if w.unsynced.Add(int64(len(evs))) >= int64(w.opts.SyncEvery) {
+		// The caller holds this shard's journal lock, so keep the inline
+		// work bounded to this shard's file: the events just acknowledged
+		// live here, and fsyncing it makes them durable before Append
+		// returns (the SyncEvery=1 contract). Other shards' quiet tails
+		// are handed to the background syncer instead of being flushed
+		// under this caller's lock; without a background syncer (tests,
+		// benchmarks) fall back to a full inline pass.
+		if w.opts.SyncInterval > 0 {
+			w.syncShard(sh)
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		} else {
+			_ = w.Sync()
+		}
+	}
+}
+
+// syncShard flushes and fsyncs one shard's active segment.
+func (w *DiskWAL) syncShard(sh *walShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil || !sh.dirty {
+		return
+	}
+	if err := sh.bw.Flush(); err != nil {
+		w.setErr(err)
+		return
+	}
+	if err := sh.f.Sync(); err != nil {
+		w.setErr(err)
+		return
+	}
+	sh.dirty = false
+}
+
+// rotateLocked closes the active segment (flushed and fsynced — an
+// interior segment is always fully valid on disk) and opens a fresh one
+// starting at the shard's next stream index. Called with sh.mu held.
+func (w *DiskWAL) rotateLocked(shard int, sh *walShard) error {
+	if sh.f != nil {
+		if err := sh.bw.Flush(); err != nil {
+			return err
+		}
+		if err := sh.f.Sync(); err != nil {
+			return err
+		}
+		if err := sh.f.Close(); err != nil {
+			return err
+		}
+		sh.f, sh.bw, sh.dirty = nil, nil, false
+	}
+	path := fmt.Sprintf("%s/%s", w.dir, segmentFileName(shard, sh.next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(segmentHeader(shard, sh.next)); err != nil {
+		f.Close()
+		return err
+	}
+	sh.f, sh.bw = f, bw
+	sh.segStart = sh.next
+	sh.segSize = segHeaderSize
+	sh.dirty = true
+	return nil
+}
+
+// Sync flushes every shard's buffer and fsyncs dirty segments, then
+// resets the batched-sync counter. It returns the sticky error if any
+// write has ever failed.
+func (w *DiskWAL) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		if sh.f != nil && sh.dirty {
+			if err := sh.bw.Flush(); err != nil {
+				sh.mu.Unlock()
+				w.setErr(err)
+				return w.Err()
+			}
+			if err := sh.f.Sync(); err != nil {
+				sh.mu.Unlock()
+				w.setErr(err)
+				return w.Err()
+			}
+			sh.dirty = false
+		}
+		sh.mu.Unlock()
+	}
+	w.unsynced.Store(0)
+	return w.Err()
+}
+
+// Offsets snapshots each shard's next stream index — the per-shard
+// high-water marks a checkpoint manifest records. Capturing offsets
+// BEFORE writing the snapshot preserves the recovery invariant: every
+// event below an offset committed to its user index (and thus to any
+// later snapshot) before it entered the WAL.
+func (w *DiskWAL) Offsets() []uint64 {
+	out := make([]uint64, len(w.shards))
+	for i, sh := range w.shards {
+		sh.mu.Lock()
+		out[i] = sh.next
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Compact removes segments made redundant by a snapshot covering the
+// given per-shard offsets: a non-active segment whose every record sits
+// below its shard's offset is deleted. Recovery afterwards is snapshot
+// + tail-replay of the surviving segments, never full history.
+func (w *DiskWAL) Compact(offsets []uint64) error {
+	byShard, err := listSegments(w.dir, len(w.shards))
+	if err != nil {
+		return err
+	}
+	for i, segs := range byShard {
+		sh := w.shards[i]
+		sh.mu.Lock()
+		activeStart, active := sh.segStart, sh.f != nil
+		sh.mu.Unlock()
+		for k, seg := range segs {
+			if active && seg.start == activeStart {
+				continue
+			}
+			// A segment's span ends where the next one starts (or at the
+			// shard's active segment). Fixed-size records would also give
+			// the count from the file size, but the chain is authoritative.
+			var end uint64
+			if k+1 < len(segs) {
+				end = segs[k+1].start
+			} else {
+				continue // newest segment, keep
+			}
+			if end <= offsets[i] {
+				if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the background syncer, flushes and fsyncs everything, and
+// closes the segment files. The WAL must not be appended to afterwards.
+func (w *DiskWAL) Close() error {
+	w.stopOnce.Do(func() { close(w.stopc) })
+	<-w.done
+	err := w.Sync()
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		if sh.f != nil {
+			if cerr := sh.f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			sh.f, sh.bw = nil, nil
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}

@@ -1,0 +1,114 @@
+package socialnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchWorld builds a store with enough (user, page) pairs for b.N
+// unique likes and returns a like generator.
+func benchWorld(b *testing.B, st *Store) func(i int) (UserID, PageID, time.Time) {
+	b.Helper()
+	const users = 1024
+	pages := b.N/users + 1
+	uids := make([]UserID, users)
+	for i := range uids {
+		uids[i] = st.AddUser(User{Country: "USA"})
+	}
+	pids := make([]PageID, pages)
+	for i := range pids {
+		pid, err := st.AddPage(Page{Name: "p"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pids[i] = pid
+	}
+	t0 := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	return func(i int) (UserID, PageID, time.Time) {
+		return uids[i%users], pids[i/users], t0.Add(time.Duration(i) * time.Second)
+	}
+}
+
+// BenchmarkJournalMemIngest is the baseline: like ingest into the
+// default in-memory store (journal with no disk backend).
+func BenchmarkJournalMemIngest(b *testing.B) {
+	st := NewStore()
+	next := benchWorld(b, st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, p, at := next(i)
+		if err := st.AddLike(u, p, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalDiskIngest measures the same ingest through the disk
+// WAL at several batched-fsync settings. SyncEvery=1 is the fully
+// durable (fsync per like) bound; larger batches amortize the fsync
+// until the write path is again dominated by the in-memory indexes.
+func BenchmarkJournalDiskIngest(b *testing.B) {
+	for _, syncEvery := range []int{1, 64, 1024, 8192} {
+		b.Run(fmt.Sprintf("syncEvery=%d", syncEvery), func(b *testing.B) {
+			dir := b.TempDir()
+			seed := NewStore()
+			if err := seed.Checkpoint(dir); err != nil {
+				b.Fatal(err)
+			}
+			st, _, err := OpenDurable(dir, WALOptions{SyncEvery: syncEvery, SyncInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			next := benchWorld(b, st)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u, p, at := next(i)
+				if err := st.AddLike(u, p, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkDurableReopen measures recovery cost: open a checkpointed
+// world with a WAL tail of b.N likes (snapshot + tail replay).
+func BenchmarkDurableReopen(b *testing.B) {
+	dir := b.TempDir()
+	// The world (users, pages) must be inside the snapshot — only likes
+	// ride the WAL — so build it before the checkpoint.
+	seed := NewStore()
+	next := benchWorld(b, seed)
+	if err := seed.Checkpoint(dir); err != nil {
+		b.Fatal(err)
+	}
+	st, _, err := OpenDurable(dir, WALOptions{SyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		u, p, at := next(i)
+		if err := st.AddLike(u, p, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	re, _, err := OpenDurable(dir, WALOptions{SyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got := re.Journal().Len(); got != b.N {
+		b.Fatalf("recovered %d of %d events", got, b.N)
+	}
+	re.Close()
+}
