@@ -18,10 +18,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/socialnet"
+	"repro/internal/stats"
 )
 
 // runCrawl is the `likefraud crawl` subcommand: the §3 data collection
@@ -52,6 +54,10 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses (default with -data-dir: DIR/crawl-checkpoint.json)")
 	dataDir := fs.String("data-dir", "", "durable directory for the self-served world: built once, reopened on later runs")
 	out := fs.String("out", "", "write crawled profiles as JSON lines to this file")
+	analyze := fs.Bool("analyze", false, "stream crawled profiles into the §4 aggregators and write the table JSON (see -tables)")
+	tables := fs.String("tables", "", "with -analyze: write the §4 table JSON here (default crawl-tables.json, or DIR/crawl-tables.json with -data-dir)")
+	forceActive := fs.String("active", "", "comma-separated campaign IDs to treat as active regardless of like count (the default heuristic marks zero-like campaigns inactive)")
+	forceInactive := fs.String("inactive", "", "comma-separated campaign IDs to treat as never-delivered (inactive) regardless of like count")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,9 +68,16 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	if *checkpoint == "" && *dataDir != "" {
 		*checkpoint = filepath.Join(*dataDir, "crawl-checkpoint.json")
 	}
+	if *tables == "" {
+		*tables = "crawl-tables.json"
+		if *dataDir != "" {
+			*tables = filepath.Join(*dataDir, "crawl-tables.json")
+		}
+	}
 
 	base := *url
 	var pageIDs []int64
+	var baseline []socialnet.UserID
 	if base == "" {
 		store, pages, err := selfServedWorld(*dataDir, *seed, *scale, *quiet, stderr)
 		if err != nil {
@@ -73,6 +86,22 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		}
 		defer store.Close()
 		pageIDs = pages
+		if *analyze {
+			// The Figure 4 "Facebook" row needs the organic baseline
+			// sample. The sample is a pure function of (seed, world), so
+			// the crawl side can re-derive exactly the IDs the study
+			// engine drew — and then crawl their profiles like any liker.
+			cfg, err := core.ScaledConfig(*seed, *scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+				return 1
+			}
+			baseline, err = analysis.BaselineSample(stats.SplitRand(*seed, "baseline"), store, cfg.BaselineSize)
+			if err != nil {
+				fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+				return 1
+			}
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
@@ -130,7 +159,47 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var sink io.Writer = io.Discard
+	// The signal context covers everything that talks to the network,
+	// roster discovery included — Ctrl-C must be able to cancel a stuck
+	// remote fetch, not just the crawl proper.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// -analyze: build the crawl-side §4 analyzer over the roster the
+	// crawler can observe (honeypot page names carry the campaign ID),
+	// and restore its state from the checkpoint when resuming.
+	var analyzer *analysis.CrawlAnalyzer
+	var sink *crawler.AnalysisSink
+	switch {
+	case *analyze:
+		roster, err := discoverRoster(ctx, cl, pageIDs)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: roster: %v\n", err)
+			return 1
+		}
+		applyActiveOverrides(roster, *forceActive, *forceInactive)
+		analyzer = analysis.NewCrawlAnalyzer(roster, baseline)
+		sink = crawler.NewAnalysisSink(analyzer.Aggregators()...)
+		if resume != nil {
+			if resume.Sink == nil {
+				fmt.Fprintf(stderr, "likefraud crawl: checkpoint %s has no aggregator state (was it written without -analyze?); delete it to recrawl\n", *checkpoint)
+				return 1
+			}
+			if err := sink.Restore(resume.Sink); err != nil {
+				fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
+				return 1
+			}
+		}
+	case resume != nil && resume.Sink != nil:
+		// The inverse mistake: resuming an -analyze checkpoint without
+		// -analyze. Proceeding would rewrite the checkpoint WITHOUT the
+		// aggregator state (no sink attached), silently destroying the
+		// analysis progress the previous run paid for.
+		fmt.Fprintf(stderr, "likefraud crawl: checkpoint %s carries §4 aggregator state; resume with -analyze (or delete the checkpoint to recrawl without it)\n", *checkpoint)
+		return 1
+	}
+
+	var outW io.Writer = io.Discard
 	if *out != "" {
 		// A resumed crawl appends: the profiles already in the file are
 		// exactly the ones the checkpoint will never re-emit.
@@ -144,11 +213,14 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer f.Close()
-		sink = f
+		outW = f
 	}
-	enc := json.NewEncoder(sink)
+	enc := json.NewEncoder(outW)
 
 	pcfg := crawler.PipelineConfig{Workers: *workers, BatchSize: *batch}
+	if sink != nil {
+		pcfg.Sink = sink
+	}
 	if *checkpoint != "" {
 		pcfg.OnCheckpoint = func(ck crawler.Checkpoint) {
 			if err := writeCheckpoint(*checkpoint, ck); err != nil && !*quiet {
@@ -158,13 +230,10 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	}
 	pipe := crawler.NewPipeline(cl, pcfg, resume)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	start := time.Now()
 	profiles := 0
 	perPage := map[int64]int{}
-	crawlErr := pipe.Crawl(ctx, pageIDs, func(page int64, prof crawler.LikerProfile) error {
+	emitProfile := func(page int64, prof crawler.LikerProfile) error {
 		// A failed write aborts the crawl before the user is marked
 		// crawled, so nothing silently vanishes from the output.
 		if err := enc.Encode(struct {
@@ -176,9 +245,27 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		profiles++
 		perPage[page]++
 		return nil
-	})
+	}
+	crawlErr := pipe.Crawl(ctx, pageIDs, emitProfile)
+	if crawlErr == nil && *analyze && len(baseline) > 0 {
+		// The baseline sample rides the same pipeline (dedup, sink,
+		// checkpoint); its profiles appear in the JSONL with page -1.
+		ids := make([]int64, len(baseline))
+		for i, u := range baseline {
+			ids[i] = int64(u)
+		}
+		crawlErr = pipe.CrawlProfiles(ctx, ids, emitProfile)
+	}
 	if *checkpoint != "" {
-		if err := writeCheckpoint(*checkpoint, pipe.Checkpoint()); err != nil {
+		// A failed sink snapshot must not overwrite the last good
+		// checkpoint with a sink-less one — that would strand the resume.
+		ck := pipe.Checkpoint()
+		if err := pipe.SnapshotErr(); err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: checkpoint not written (sink snapshot failed): %v\n", err)
+			if crawlErr == nil {
+				crawlErr = err
+			}
+		} else if err := writeCheckpoint(*checkpoint, ck); err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: checkpoint: %v\n", err)
 		}
 	}
@@ -188,6 +275,23 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "progress saved to %s; rerun to resume\n", *checkpoint)
 		}
 		return 1
+	}
+	if *analyze {
+		t, err := analyzer.Tables()
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: analyze: %v\n", err)
+			return 1
+		}
+		data, err := t.MarshalStable()
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: analyze: %v\n", err)
+			return 1
+		}
+		if err := socialnet.WriteFileDurable(*tables, data); err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: analyze: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote §4 tables for %d campaigns to %s\n", len(analyzer.Campaigns), *tables)
 	}
 
 	var ids []int64
@@ -249,6 +353,63 @@ func selfServedWorld(dataDir string, seed int64, scale float64, quiet bool, stde
 		}
 	}
 	return store, honeypotPages(store), nil
+}
+
+// discoverRoster builds the crawl-side campaign roster from what the
+// API exposes: one CrawlCampaign per page, labelled by the campaign ID
+// embedded in the honeypot page name ("Virtual Electricity (FB-USA)"),
+// active when the page has garnered any likes. The roster order is the
+// page order given on the command line (for a self-served world:
+// ascending page ID, which is deploy — i.e. paper-roster — order).
+func discoverRoster(ctx context.Context, cl *crawler.Client, pageIDs []int64) ([]analysis.CrawlCampaign, error) {
+	roster := make([]analysis.CrawlCampaign, len(pageIDs))
+	for i, id := range pageIDs {
+		doc, err := cl.Page(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		roster[i] = analysis.CrawlCampaign{
+			ID:     campaignIDFromName(doc.Name, id),
+			Page:   socialnet.PageID(id),
+			Active: doc.LikeCount > 0,
+		}
+	}
+	return roster, nil
+}
+
+// applyActiveOverrides forces campaigns named in the -active /
+// -inactive lists to that state. The like-count heuristic cannot
+// distinguish an active campaign that delivered zero likes from a
+// never-delivered one — the operator, like the paper's authors, knows
+// which campaigns they paid for and which scams never shipped.
+func applyActiveOverrides(roster []analysis.CrawlCampaign, active, inactive string) {
+	set := func(csv string, val bool) {
+		for _, id := range strings.Split(csv, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			for i := range roster {
+				if roster[i].ID == id {
+					roster[i].Active = val
+				}
+			}
+		}
+	}
+	set(active, true)
+	set(inactive, false)
+}
+
+// campaignIDFromName extracts the campaign label from a honeypot page
+// name's trailing parenthetical; pages named differently fall back to
+// "page-<id>".
+func campaignIDFromName(name string, id int64) string {
+	if open := strings.LastIndexByte(name, '('); open >= 0 && strings.HasSuffix(name, ")") {
+		if label := name[open+1 : len(name)-1]; label != "" {
+			return label
+		}
+	}
+	return fmt.Sprintf("page-%d", id)
 }
 
 // honeypotPages lists the store's honeypot (campaign) pages ascending.

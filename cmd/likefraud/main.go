@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
 	artifact := fs.String("artifact", "all", "which artifact to print: all, table1, table2, table3, fig1..fig5, removed, econ")
 	outdir := fs.String("outdir", "", "also write CSV/DOT/JSON artifacts to this directory")
+	tables := fs.String("tables", "", "write the crawl-comparable §4 table JSON (geo, demo, windows, CDFs, Jaccard) to this file")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,6 +72,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stderr, "done in %s (%d cover likes materialized)\n",
 			time.Since(start).Round(time.Millisecond), res.HistoryLikes)
+	}
+	if *tables != "" {
+		// The same table set `likefraud crawl -analyze` produces from an
+		// HTTP crawl — the two files are byte-comparable on one world.
+		t := res.CrawlTables()
+		data, err := t.MarshalStable()
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*tables, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
 	}
 	if *outdir != "" {
 		files, err := res.WriteArtifacts(*outdir)

@@ -124,3 +124,108 @@ func TestRunCrawlDataDir(t *testing.T) {
 		t.Fatalf("resume against reopened world should crawl nothing:\n%s", out2.String())
 	}
 }
+
+// TestCrawlAnalyzeMatchesJournalTables is the command-level half of
+// the equivalence guarantee: `likefraud crawl -analyze` (self-served
+// world, roster discovered from page names, baseline re-derived from
+// the seed) writes byte-identical §4 table JSON to `likefraud -tables`
+// (journal engine) for the same seed and scale.
+func TestCrawlAnalyzeMatchesJournalTables(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal-tables.json")
+	crawl := filepath.Join(dir, "crawl-tables.json")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-seed", "3", "-scale", "0.05", "-quiet",
+		"-artifact", "table1", "-tables", journal}, &out, &errOut); code != 0 {
+		t.Fatalf("journal run exit %d, stderr: %s", code, errOut.String())
+	}
+	var cOut, cErr bytes.Buffer
+	if code := run([]string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-analyze", "-tables", crawl, "-quiet"}, &cOut, &cErr); code != 0 {
+		t.Fatalf("crawl -analyze exit %d, stderr: %s", code, cErr.String())
+	}
+	want, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(crawl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("crawl-derived tables differ from journal tables\ncrawl:   %.400s\njournal: %.400s", got, want)
+	}
+	if !strings.Contains(cOut.String(), "wrote §4 tables") {
+		t.Fatalf("missing tables summary:\n%s", cOut.String())
+	}
+}
+
+// TestCrawlAnalyzeResumeKeepsTables: a crawl with -analyze resumed
+// from a checkpoint (here: a completed one — nothing left to crawl)
+// still writes the full tables, because the aggregator state rides the
+// checkpoint instead of living only in the crawling process.
+func TestCrawlAnalyzeResumeKeepsTables(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	tables := filepath.Join(dir, "crawl-tables.json")
+	args := []string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-analyze", "-tables", tables, "-checkpoint", ckpt, "-quiet"}
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	want, err := os.ReadFile(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(tables); err != nil {
+		t.Fatal(err)
+	}
+	var rOut, rErr bytes.Buffer
+	if code := run(args, &rOut, &rErr); code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, rErr.String())
+	}
+	if !strings.Contains(rOut.String(), "crawled 0 profiles") {
+		t.Fatalf("resume should crawl nothing:\n%s", rOut.String())
+	}
+	got, err := os.ReadFile(tables)
+	if err != nil {
+		t.Fatalf("resumed run did not rewrite tables: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed tables differ from original run")
+	}
+}
+
+// TestCrawlResumeWithoutAnalyzeRefuses: a checkpoint carrying
+// aggregator state must not be resumed sink-less — rewriting it would
+// silently drop the §4 analysis progress.
+func TestCrawlResumeWithoutAnalyzeRefuses(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-analyze", "-tables", filepath.Join(dir, "t.json"), "-checkpoint", ckpt, "-quiet"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	before, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rOut, rErr bytes.Buffer
+	if code := run([]string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-checkpoint", ckpt, "-quiet"}, &rOut, &rErr); code != 1 {
+		t.Fatalf("sink-less resume exit %d, want 1 (refusal); stderr: %s", code, rErr.String())
+	}
+	if !strings.Contains(rErr.String(), "resume with -analyze") {
+		t.Fatalf("missing refusal message:\n%s", rErr.String())
+	}
+	after, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused resume still rewrote the checkpoint")
+	}
+}

@@ -1,25 +1,31 @@
 // Crawlhttp: end-to-end HTTP data collection, the way the paper's
 // Selenium crawler worked (§3). The example builds a world, serves it
-// over a local HTTP API, and collects every liker of two contrasting
-// honeypot campaigns through the concurrent crawl pipeline: cursor
-// paging over the like streams (stable even while campaigns are still
-// delivering), batched profile fetches fanned over workers behind one
-// shared politeness limiter, cross-campaign dedup, and a checkpoint
-// that makes a second crawl a no-op. The paper's per-campaign
-// statistics are then recomputed purely from crawled data.
+// over a local HTTP API, and collects every liker of every honeypot
+// campaign through the concurrent crawl pipeline: cursor paging over
+// the like streams (stable even while campaigns are still delivering),
+// batched profile fetches fanned over workers behind one shared
+// politeness limiter, cross-campaign dedup, and a checkpoint that
+// makes a second crawl a no-op.
+//
+// The §4 tables are computed WHILE the crawl runs: an AnalysisSink
+// streams every crawled profile and like window straight into the
+// crawl-side aggregator family, so no profile slice is ever
+// materialized — and the resulting tables are byte-identical to what
+// the local journal engine computes from the same world.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
-	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/crawler"
-	"repro/internal/stats"
+	"repro/internal/report"
 )
 
 func main() {
@@ -51,79 +57,92 @@ func main() {
 	}
 	ctx := context.Background()
 
-	// Crawl the two most contrasting campaigns: the stealth farm and a
-	// burst farm.
-	pageOf := map[int64]string{}
+	// The crawl-side roster: what a crawler can know (page, label,
+	// whether anything was delivered) — NOT the monitor's liker lists.
+	var roster []analysis.CrawlCampaign
 	var pages []int64
 	for _, c := range res.Campaigns {
-		if c.Spec.ID == "BL-USA" || c.Spec.ID == "SF-ALL" {
-			pageOf[int64(c.Page)] = c.Spec.ID
-			pages = append(pages, int64(c.Page))
-		}
+		roster = append(roster, analysis.CrawlCampaign{ID: c.Spec.ID, Page: c.Page, Active: c.Active})
+		pages = append(pages, int64(c.Page))
+	}
+	var baseline []int64
+	for _, u := range res.Baseline {
+		baseline = append(baseline, int64(u))
 	}
 
-	pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8, BatchSize: 25}, nil)
-	profiles := map[int64][]crawler.LikerProfile{}
-	fmt.Printf("\ncrawling %d campaigns through the 8-worker pipeline...\n", len(pages))
-	if err := pipe.Crawl(ctx, pages, func(page int64, prof crawler.LikerProfile) error {
-		profiles[page] = append(profiles[page], prof)
-		return nil
-	}); err != nil {
+	analyzer := analysis.NewCrawlAnalyzer(roster, res.Baseline)
+	sink := crawler.NewAnalysisSink(analyzer.Aggregators()...)
+	pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8, BatchSize: 25, Sink: sink}, nil)
+
+	fmt.Printf("\ncrawling %d campaign pages + %d baseline profiles through the 8-worker pipeline...\n",
+		len(pages), len(baseline))
+	crawled := 0
+	count := func(int64, crawler.LikerProfile) error { crawled++; return nil }
+	if err := pipe.Crawl(ctx, pages, count); err != nil {
 		log.Fatal(err)
 	}
-
-	for _, page := range pages {
-		fmt.Printf("\n== %s (page %d), crawled over HTTP ==\n", pageOf[page], page)
-		hidden := 0
-		var friendCounts, likeCounts []float64
-		for _, p := range profiles[page] {
-			if p.FriendsHidden {
-				hidden++
-			} else {
-				friendCounts = append(friendCounts, float64(p.User.DeclaredFriends))
-			}
-			likeCounts = append(likeCounts, float64(len(p.PageLikes)))
-		}
-		fmt.Printf("likers crawled: %d (friend lists private: %d)\n", len(profiles[page]), hidden)
-		if len(friendCounts) > 0 {
-			med, _ := stats.Median(friendCounts)
-			fmt.Printf("median friends (public lists): %.0f\n", med)
-		}
-		if len(likeCounts) > 0 {
-			med, _ := stats.Median(likeCounts)
-			fmt.Printf("median page-likes per liker:   %.0f\n", med)
-		}
-		rep, err := cl.AdminReport(ctx, page)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var countries []string
-		for c := range rep.CountryCounts {
-			countries = append(countries, c)
-		}
-		sort.Slice(countries, func(i, j int) bool {
-			return rep.CountryCounts[countries[i]] > rep.CountryCounts[countries[j]]
-		})
-		fmt.Printf("admin report: %d likes; top countries:", rep.TotalLikes)
-		for i, c := range countries {
-			if i >= 3 {
-				break
-			}
-			fmt.Printf(" %s(%d)", c, rep.CountryCounts[c])
-		}
-		fmt.Println()
+	if err := pipe.CrawlProfiles(ctx, baseline, count); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\ncrawler issued %d HTTP requests (%d retries)\n", cl.Requests(), cl.Retries())
+	fmt.Printf("crawled %d profiles with %d HTTP requests (%d retries) — none retained in memory\n",
+		crawled, cl.Requests(), cl.Retries())
 
-	// Resume from the checkpoint: everything is already crawled, so the
-	// second pass costs one tail probe per page and fetches no profiles.
+	// Finalize the crawl-side §4 tables and compare against the journal
+	// engine byte-for-byte.
+	tables, err := analyzer.Tables()
+	if err != nil {
+		log.Fatal(err)
+	}
+	crawlJSON, err := tables.MarshalStable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	jt := res.CrawlTables()
+	journalJSON, err := jt.MarshalStable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bytes.Equal(crawlJSON, journalJSON) {
+		fmt.Printf("\ncrawl-derived §4 tables == journal-engine tables (%d bytes, byte-identical)\n", len(crawlJSON))
+	} else {
+		fmt.Println("\nWARNING: crawl-derived tables diverge from the journal engine")
+	}
+
+	// A taste of the recomputed artifacts, straight from the crawl.
+	t := report.NewTable("Table 2 (recomputed from the HTTP crawl)", "Campaign", "%F/%M", "N", "KL")
+	for _, row := range tables.Demo {
+		t.AddRow(row.CampaignID,
+			fmt.Sprintf("%s/%s", report.F(row.FemalePct, 0), report.F(row.MalePct, 0)),
+			fmt.Sprintf("%d", row.N), report.F(row.KL, 2))
+	}
+	fmt.Println(t.String())
+
+	// Resume from the checkpoint: everything is already crawled — and
+	// the aggregator state rides along, so a resumed process could
+	// finalize the same tables without refetching a single profile.
 	ck := pipe.Checkpoint()
 	before := cl.Requests()
-	resumed := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8}, &ck)
+	analyzer2 := analysis.NewCrawlAnalyzer(roster, res.Baseline)
+	sink2 := crawler.NewAnalysisSink(analyzer2.Aggregators()...)
+	if err := sink2.Restore(ck.Sink); err != nil {
+		log.Fatal(err)
+	}
+	resumed := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8, Sink: sink2}, &ck)
 	refetched := 0
 	if err := resumed.Crawl(ctx, pages, func(int64, crawler.LikerProfile) error { refetched++; return nil }); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("resume from checkpoint: %d profiles refetched, %d extra requests\n",
-		refetched, cl.Requests()-before)
+	if err := resumed.CrawlProfiles(ctx, baseline, func(int64, crawler.LikerProfile) error { refetched++; return nil }); err != nil {
+		log.Fatal(err)
+	}
+	tables2, err := analyzer2.Tables()
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumedJSON, err := tables2.MarshalStable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resume from checkpoint: %d profiles refetched, %d extra requests, tables identical: %v\n",
+		refetched, cl.Requests()-before, bytes.Equal(resumedJSON, crawlJSON))
 }

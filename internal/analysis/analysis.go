@@ -61,14 +61,23 @@ func knownCountries() map[string]bool {
 }
 
 // geoRowFrom normalizes accumulated per-country liker counts into a
-// Figure 1 row (counts become percentages in place).
+// Figure 1 row. It builds a fresh percentage map rather than scaling
+// counts in place: aggregator Finalize must not destroy observe-state,
+// because the crawl checkpoint may snapshot that state after a
+// finalize (e.g. tables written, then the final checkpoint) and a
+// resume would otherwise re-normalize percentages as if they were
+// counts.
 func geoRowFrom(id string, counts map[string]float64, total int) GeoRow {
+	pct := make(map[string]float64, len(counts))
+	for k, v := range counts {
+		pct[k] = v
+	}
 	if total > 0 {
-		for k := range counts {
-			counts[k] = 100 * counts[k] / float64(total)
+		for k := range pct {
+			pct[k] = 100 * pct[k] / float64(total)
 		}
 	}
-	return GeoRow{CampaignID: id, Percent: counts, Total: total}
+	return GeoRow{CampaignID: id, Percent: pct, Total: total}
 }
 
 // LocationBreakdown computes Figure 1: per campaign, the percentage of

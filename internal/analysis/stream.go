@@ -515,22 +515,6 @@ func (j *JaccardAggregator) Finalize() error {
 			}
 		}
 	}
-	jaccard := func(a, b []bool, na, nb int) float64 {
-		if na == 0 && nb == 0 {
-			return 0
-		}
-		m := len(a)
-		if len(b) < m {
-			m = len(b)
-		}
-		inter := 0
-		for p := 0; p < m; p++ {
-			if a[p] && b[p] {
-				inter++
-			}
-		}
-		return float64(inter) / float64(na+nb-inter)
-	}
 	userSets := make([]map[socialnet.UserID]struct{}, n)
 	for i, c := range j.campaigns {
 		userSets[i] = make(map[socialnet.UserID]struct{})
@@ -542,9 +526,30 @@ func (j *JaccardAggregator) Finalize() error {
 		}
 	}
 	j.pageSim, j.userSim = similarityMatrices(j.campaigns,
-		func(a, b int) float64 { return 100 * jaccard(j.pageSeen[a], j.pageSeen[b], sizes[a], sizes[b]) },
+		func(a, b int) float64 { return 100 * bitmapJaccard(j.pageSeen[a], j.pageSeen[b], sizes[a], sizes[b]) },
 		func(a, b int) float64 { return 100 * stats.Jaccard(userSets[a], userSets[b]) })
 	return nil
+}
+
+// bitmapJaccard is the Jaccard similarity of two dense membership
+// bitmaps with precomputed set sizes — the Figure 5 page-union math
+// shared between the journal aggregator and the crawl-side aggregator,
+// so the two engines cannot diverge in arithmetic.
+func bitmapJaccard(a, b []bool, na, nb int) float64 {
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	inter := 0
+	for p := 0; p < m; p++ {
+		if a[p] && b[p] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(na+nb-inter)
 }
 
 // Matrices returns the Figure 5 page and liker similarity matrices

@@ -27,6 +27,8 @@ type Server struct {
 	// AdminToken gates /api/admin endpoints.
 	adminToken string
 	mux        *http.ServeMux
+	// handler is the mux behind the server-wide middleware (gzip).
+	handler http.Handler
 }
 
 // MaxPageSize caps pagination limits.
@@ -48,11 +50,15 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// Response compression is part of the server, not an opt-in wrapper:
+	// every deployment (honeypotd, self-served crawls, tests) negotiates
+	// it the same way.
+	s.handler = Gzip(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // ---- wire types ----
 
@@ -69,7 +75,11 @@ type PageDoc struct {
 // LikeDoc is one like event.
 type LikeDoc struct {
 	User int64  `json:"user"`
-	At   string `json:"at"` // RFC3339
+	// At is RFC3339 with nanoseconds when the instant has them: the
+	// crawl-side window analyses must see the exact instants the
+	// journal holds, and whole-second truncation would shift events
+	// across 2-hour window boundaries.
+	At string `json:"at"`
 }
 
 // PageLikesDoc is a page's like stream (paginated).
@@ -271,7 +281,7 @@ func (s *Server) handlePageLikes(w http.ResponseWriter, r *http.Request) {
 			Likes: make([]LikeDoc, 0, len(evs)),
 		}
 		for _, ev := range evs {
-			doc.Likes = append(doc.Likes, LikeDoc{User: int64(ev.User), At: ev.At.Format("2006-01-02T15:04:05Z07:00")})
+			doc.Likes = append(doc.Likes, LikeDoc{User: int64(ev.User), At: ev.At.Format(time.RFC3339Nano)})
 		}
 		writeJSON(w, http.StatusOK, doc)
 		return
@@ -284,7 +294,7 @@ func (s *Server) handlePageLikes(w http.ResponseWriter, r *http.Request) {
 	likes := s.store.LikesOfPage(socialnet.PageID(id))
 	doc := PageLikesDoc{Total: len(likes), Offset: offset, Cursor: -1, NextCursor: -1, Likes: []LikeDoc{}}
 	for _, lk := range window(likes, offset, limit) {
-		doc.Likes = append(doc.Likes, LikeDoc{User: int64(lk.User), At: lk.At.Format("2006-01-02T15:04:05Z07:00")})
+		doc.Likes = append(doc.Likes, LikeDoc{User: int64(lk.User), At: lk.At.Format(time.RFC3339Nano)})
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
@@ -346,7 +356,7 @@ func (s *Server) handlePostLike(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInsufficientStorage, "like accepted in memory but journal write failed: %v", derr)
 			return
 		}
-		writeJSON(w, http.StatusCreated, LikeDoc{User: req.User, At: at.Format(time.RFC3339)})
+		writeJSON(w, http.StatusCreated, LikeDoc{User: req.User, At: at.Format(time.RFC3339Nano)})
 	}
 }
 

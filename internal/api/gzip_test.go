@@ -1,0 +1,139 @@
+package api
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// gzipWorld serves a store with one page whose like stream is large
+// enough to cross GzipMinSize.
+func gzipWorld(t *testing.T) (*httptest.Server, socialnet.PageID) {
+	t.Helper()
+	st := socialnet.NewStore()
+	page, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		u := st.AddUser(socialnet.User{Country: "USA"})
+		_ = st.AddLike(u, page, at.Add(time.Duration(i)*time.Minute))
+	}
+	srv := httptest.NewServer(NewServer(st, ""))
+	t.Cleanup(srv.Close)
+	return srv, page
+}
+
+// rawGet performs a GET with transport auto-decompression disabled so
+// the test sees the wire encoding.
+func rawGet(t *testing.T, url, acceptEncoding string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acceptEncoding != "" {
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestGzipLargeBody: a large like window is gzip-encoded when offered,
+// decodes to the same JSON as the identity response, and carries Vary.
+func TestGzipLargeBody(t *testing.T) {
+	srv, page := gzipWorld(t)
+	url := srv.URL + "/api/page/1/likes?cursor=0&limit=200"
+	_ = page
+
+	plain := rawGet(t, url, "")
+	if enc := plain.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity request got Content-Encoding %q", enc)
+	}
+	plainBody, err := io.ReadAll(plain.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := rawGet(t, url, "gzip")
+	if enc := comp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip request got Content-Encoding %q, want gzip", enc)
+	}
+	if !strings.Contains(comp.Header.Get("Vary"), "Accept-Encoding") {
+		t.Fatalf("compressed response missing Vary: Accept-Encoding (got %q)", comp.Header.Get("Vary"))
+	}
+	raw, err := io.ReadAll(comp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) >= len(plainBody) {
+		t.Fatalf("compressed body (%d bytes) not smaller than plain (%d bytes)", len(raw), len(plainBody))
+	}
+	gz, err := gzip.NewReader(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(decoded) != string(plainBody) {
+		t.Fatal("gzip round-trip does not reproduce the identity body")
+	}
+	var doc PageLikesDoc
+	if err := json.Unmarshal(decoded, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Likes) != 200 {
+		t.Fatalf("decoded %d likes, want 200", len(doc.Likes))
+	}
+}
+
+// TestGzipSkipsTinyBodies: responses under GzipMinSize stay identity
+// even when the client offers gzip — framing overhead isn't worth it.
+func TestGzipSkipsTinyBodies(t *testing.T) {
+	srv, _ := gzipWorld(t)
+	resp := rawGet(t, srv.URL+"/api/healthz", "gzip")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("tiny body got Content-Encoding %q, want identity", enc)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("unexpected body %q", body)
+	}
+}
+
+// TestGzipRespectsRefusal: gzip;q=0 is an explicit refusal.
+func TestGzipRespectsRefusal(t *testing.T) {
+	srv, _ := gzipWorld(t)
+	resp := rawGet(t, srv.URL+"/api/page/1/likes?cursor=0&limit=200", "gzip;q=0")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("refused gzip but got Content-Encoding %q", enc)
+	}
+}
+
+// TestGzipErrorStatusPreserved: status codes pass through the
+// buffering writer unchanged for small (error) bodies.
+func TestGzipErrorStatusPreserved(t *testing.T) {
+	srv, _ := gzipWorld(t)
+	resp := rawGet(t, srv.URL+"/api/page/99999", "gzip")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}

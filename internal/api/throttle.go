@@ -85,8 +85,10 @@ type ThrottleConfig struct {
 	GlobalRPS   float64
 	GlobalBurst int
 	// MaxClients bounds the per-client bucket table (LRU eviction).
-	// 0 means DefaultMaxClients. An evicted-and-returning client starts
-	// with a fresh (full) bucket — the cost of bounded memory.
+	// 0 means DefaultMaxClients. An identity admitted while the table
+	// is at capacity — which includes every evicted-and-returning one —
+	// starts with an EMPTY bucket and earns tokens at the refill rate
+	// only; see clientBuckets.take for why.
 	MaxClients int
 }
 
@@ -105,7 +107,9 @@ const ClientTokenHeader = "X-API-Token"
 // only its own budget. Identity is the X-API-Token header when the
 // client presents one (a crawler's politeness identity, stable across
 // pooled connections), else the remote host. The bucket table is
-// LRU-bounded so an address-spraying client costs bounded memory.
+// LRU-bounded so an address-spraying client costs bounded memory, and
+// identities admitted at capacity start with empty buckets so the
+// spray cannot launder fresh bursts through eviction.
 func PerClientThrottle(next http.Handler, cfg ThrottleConfig) http.Handler {
 	if cfg.PerClientRPS <= 0 && cfg.GlobalRPS <= 0 {
 		return next
@@ -193,18 +197,34 @@ func newClientBuckets(rate, burst float64, max int) *clientBuckets {
 
 // take consumes one token from the key's bucket, creating (and, at
 // capacity, evicting the least recently used) as needed.
+//
+// Admission policy: while the table has free capacity, a new identity
+// gets the full burst — the honest-startup case. Once the table is at
+// capacity (every admission evicts someone), a new identity starts
+// EMPTY and earns tokens at the refill rate only. Eviction forgets a
+// bucket's spent state, so a full-burst re-admission would let an
+// address-spraying client cycle identities through the LRU and launder
+// a fresh burst per lap — unbounded throughput from bounded memory.
+// Starting empty closes that: a lap through the table now yields
+// nothing beyond the refill rate the identity would have earned by
+// waiting. The cost is that a genuinely new client arriving at a hot
+// table sees a 429 with a one-token Retry-After before its first
+// success; that is the documented price of bounded memory, paid by
+// exactly the clients that arrive during an identity flood.
 func (c *clientBuckets) take(key string) (time.Duration, bool) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
+		tokens := c.burst
 		if c.order.Len() >= c.max {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
 			delete(c.byKey, oldest.Value.(*clientEntry).key)
+			tokens = 0
 		}
-		el = c.order.PushFront(&clientEntry{key: key, tokens: c.burst, last: now})
+		el = c.order.PushFront(&clientEntry{key: key, tokens: tokens, last: now})
 		c.byKey[key] = el
 	} else {
 		c.order.MoveToFront(el)

@@ -161,21 +161,62 @@ func TestPerClientGlobalCeiling(t *testing.T) {
 	}
 }
 
-// TestPerClientLRUBound: the bucket table stays bounded; an evicted
-// identity returns with a fresh bucket rather than an error.
+// TestPerClientLRUBound: the bucket table stays bounded, and — the
+// eviction-laundering fix — identities admitted while the table is at
+// capacity start with an EMPTY bucket. Under the old fresh-full-bucket
+// policy, an address-spraying client could cycle identities through
+// the LRU and collect a whole burst per lap; now both a returning
+// evicted identity and a brand-new one arriving at a hot table are
+// limited from their first request.
 func TestPerClientLRUBound(t *testing.T) {
 	srv := perClientServer(t, ThrottleConfig{
-		PerClientRPS: 0.001, PerClientBurst: 1, MaxClients: 2,
+		PerClientRPS: 0.001, PerClientBurst: 3, MaxClients: 2,
 	})
-	// a, b fill the table; c evicts a; a returns evicted => fresh bucket.
-	for _, tok := range []string{"a", "b", "c", "a"} {
+	// a, b fill the table while it has free capacity: full bursts.
+	for _, tok := range []string{"a", "b"} {
 		if code := getAs(t, srv.URL, tok); code != http.StatusOK {
 			t.Fatalf("first request for %q = %d, want 200", tok, code)
 		}
 	}
-	// A still-resident identity with an empty bucket is limited.
+	// c arrives at a full table: admitted (evicting a), but with an
+	// empty bucket — no fresh burst for new identities during a flood.
+	if code := getAs(t, srv.URL, "c"); code != http.StatusTooManyRequests {
+		t.Fatalf("first request for %q at capacity = %d, want 429", "c", code)
+	}
+	// a returns after eviction (c's admission evicted it): also an
+	// empty bucket, even though a never spent its original burst —
+	// eviction forgot it, and re-admission must not mint a new one.
 	if code := getAs(t, srv.URL, "a"); code != http.StatusTooManyRequests {
-		t.Fatalf("second request for resident %q = %d, want 429", "a", code)
+		t.Fatalf("evicted-and-returning %q = %d, want 429 (laundered bucket)", "a", code)
+	}
+}
+
+// TestPerClientEvictionLaunderingClosed drives the actual attack: a
+// client spraying distinct identities round-robin through a bounded
+// table. The aggregate throughput it extracts must stay at the honest
+// startup allowance (one burst per identity that was admitted while
+// the table had free capacity) instead of growing by a fresh burst per
+// lap.
+func TestPerClientEvictionLaunderingClosed(t *testing.T) {
+	const max, burst = 4, 5
+	srv := perClientServer(t, ThrottleConfig{
+		PerClientRPS: 0.001, PerClientBurst: burst, MaxClients: max,
+	})
+	ok := 0
+	// 3 laps over 8 identities (table holds 4): every admission after
+	// the first `max` identities evicts someone.
+	for lap := 0; lap < 3; lap++ {
+		for id := 0; id < 2*max; id++ {
+			if getAs(t, srv.URL, fmt.Sprintf("spray-%d", id)) == http.StatusOK {
+				ok++
+			}
+		}
+	}
+	// Honest allowance: the first `max` identities were admitted into
+	// free capacity with full bursts. Everything beyond that (refills
+	// at 0.001 rps are negligible) means eviction laundered tokens.
+	if ok > max*burst {
+		t.Fatalf("spray extracted %d requests, want <= %d (one burst per free-capacity admission)", ok, max*burst)
 	}
 }
 

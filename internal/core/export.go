@@ -92,6 +92,28 @@ func (r *Results) MarshalJSONStable() ([]byte, error) {
 	return json.MarshalIndent(&out, "", " ")
 }
 
+// CrawlTables reduces the journal-engine Results to the §4 table
+// subset an HTTP crawl can also compute (analysis.CrawlTables): geo,
+// demographics, 2-hour windows, page-like CDFs, and the Jaccard
+// matrices, with the campaign roster IDs in finalize order. The
+// crawl-vs-journal equivalence tests and the CI smoke compare this
+// rendering byte-for-byte against the crawl pipeline's output.
+func (r *Results) CrawlTables() analysis.CrawlTables {
+	t := analysis.CrawlTables{
+		Campaigns: make([]string, len(r.Campaigns)),
+		Geo:       r.Geo,
+		Demo:      r.Demo,
+		Windows:   r.Windows,
+		CDFs:      r.CDFs,
+		PageSim:   r.PageSim,
+		UserSim:   r.UserSim,
+	}
+	for i, c := range r.Campaigns {
+		t.Campaigns[i] = c.Spec.ID
+	}
+	return t
+}
+
 // WriteJSON writes the stable JSON rendering to dir/results.json and
 // returns the file name.
 func (r *Results) WriteJSON(dir string) (string, error) {

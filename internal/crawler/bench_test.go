@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/api"
 	"repro/internal/socialnet"
 )
@@ -82,6 +83,37 @@ func BenchmarkCrawlPipeline8(b *testing.B) {
 		}
 		if n != 40 {
 			b.Fatalf("profiles = %d", n)
+		}
+	}
+}
+
+// BenchmarkCrawlAnalyze measures the crawl-to-analysis path: the same
+// pipeline crawl with the full §4 aggregator family attached as a
+// Sink. Comparing against BenchmarkCrawlPipeline8 isolates what the
+// streaming analyses add on top of the crawl itself (they fold per
+// profile and per window — no post-hoc pass over materialized
+// profiles, which is the memory-shape this PR exists for).
+func BenchmarkCrawlAnalyze(b *testing.B) {
+	srv, page := benchWorld(b, 40, 2*time.Millisecond)
+	roster := []analysis.CrawlCampaign{{ID: "BENCH", Page: page, Active: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer := analysis.NewCrawlAnalyzer(roster, nil)
+		sink := NewAnalysisSink(analyzer.Aggregators()...)
+		p := NewPipeline(benchClient(b, srv), PipelineConfig{Workers: 8, BatchSize: 5, Sink: sink}, nil)
+		n := 0
+		if err := p.Crawl(context.Background(), []int64{int64(page)}, func(int64, LikerProfile) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 40 {
+			b.Fatalf("profiles = %d", n)
+		}
+		tables, err := analyzer.Tables()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables.Geo) != 1 || tables.Geo[0].Total != 40 {
+			b.Fatalf("geo = %+v", tables.Geo)
 		}
 	}
 }

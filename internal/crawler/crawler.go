@@ -7,6 +7,7 @@
 package crawler
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,8 +44,9 @@ type Config struct {
 	// PageSize is the pagination window.
 	PageSize int
 	// RetryAfterCap bounds how long a server's Retry-After hint can
-	// stall a retry (0 = 2s). Servers advertise whole seconds; a polite
-	// crawler honors them but never sleeps unboundedly.
+	// stall a retry (0 = 2s). Servers advertise delta-seconds or an
+	// HTTP-date; a polite crawler honors both forms but never sleeps
+	// unboundedly — a far-future date is clamped to the cap.
 	RetryAfterCap time.Duration
 	// AdminToken authorizes admin-report requests.
 	AdminToken string
@@ -142,6 +144,29 @@ func (c *Client) waitTurn(ctx context.Context) error {
 	return nil
 }
 
+// parseRetryAfter interprets a Retry-After header value, which RFC
+// 9110 allows in two forms: delta-seconds ("120") or an HTTP-date
+// ("Fri, 31 Dec 1999 23:59:59 GMT"). It returns the wait relative to
+// now and whether the value parsed at all. A past (or zero-delay)
+// date means "retry now" — a zero wait, which is still a valid hint
+// and distinct from an unparseable header.
+func parseRetryAfter(ra string, now time.Time) (time.Duration, bool) {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // get performs one polite, retrying GET and decodes JSON into out.
 func (c *Client) get(ctx context.Context, path string, admin bool, out any) error {
 	var lastErr error
@@ -149,21 +174,26 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 	// hint is the server's most recent Retry-After suggestion (capped).
 	// It replaces exactly one backoff sleep and is then cleared — it
 	// never enters the exponential schedule, so a 1 s hint cannot
-	// snowball into 2 s, 4 s, ... waits.
+	// snowball into 2 s, 4 s, ... waits. hintSet distinguishes a
+	// zero-duration hint (a past HTTP-date: retry immediately) from no
+	// hint at all.
 	var hint time.Duration
+	var hintSet bool
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			wait := backoff
-			if hint > 0 {
-				wait, hint = hint, 0
+			if hintSet {
+				wait, hint, hintSet = hint, 0, false
 			} else {
 				backoff *= 2
 			}
-			select {
-			case <-time.After(wait):
-			case <-ctx.Done():
-				return ctx.Err()
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			}
 		}
 		if err := c.waitTurn(ctx); err != nil {
@@ -176,13 +206,17 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 		if admin {
 			req.Header.Set("X-Admin-Token", c.cfg.AdminToken)
 		}
+		// Explicit negotiation (instead of the transport's implicit
+		// one) so compression also works through custom HTTPClients;
+		// setting the header manually means decoding is ours too.
+		req.Header.Set("Accept-Encoding", "gzip")
 		c.requests.Add(1)
 		resp, err := c.http.Do(req)
 		if err != nil {
 			lastErr = err
 			continue // transient: retry
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		body, err := readBody(resp)
 		resp.Body.Close()
 		if err != nil {
 			lastErr = err
@@ -199,20 +233,20 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 		case resp.StatusCode == http.StatusNotFound:
 			return fmt.Errorf("%w: %s", ErrNotFound, path)
 		case resp.StatusCode == http.StatusTooManyRequests:
-			// Honor the server's Retry-After hint when present, capped.
-			// The hint is held aside and spent on exactly the next sleep;
+			// Honor the server's Retry-After hint when present — both
+			// the delta-seconds and the HTTP-date form — capped. The
+			// hint is held aside and spent on exactly the next sleep;
 			// folding it into backoff would double it on every retry.
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				if d, ok := parseRetryAfter(ra, time.Now()); ok {
 					maxWait := c.cfg.RetryAfterCap
 					if maxWait <= 0 {
 						maxWait = 2 * time.Second
 					}
-					d := time.Duration(secs) * time.Second
 					if d > maxWait {
 						d = maxWait
 					}
-					hint = d
+					hint, hintSet = d, true
 				}
 			}
 			lastErr = fmt.Errorf("crawler: rate limited on %s", path)
@@ -225,6 +259,25 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 		}
 	}
 	return fmt.Errorf("crawler: giving up on %s after %d attempts: %w", path, c.cfg.MaxRetries+1, lastErr)
+}
+
+// maxBody bounds response bodies (compressed and decompressed alike):
+// a misbehaving server cannot balloon the crawler's memory.
+const maxBody = 16 << 20
+
+// readBody drains a response, transparently gunzipping when the server
+// took the client's Accept-Encoding offer.
+func readBody(resp *http.Response) ([]byte, error) {
+	var r io.Reader = io.LimitReader(resp.Body, maxBody)
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: gzip response: %w", err)
+		}
+		defer gz.Close()
+		r = io.LimitReader(gz, maxBody)
+	}
+	return io.ReadAll(r)
 }
 
 // Page fetches a page view.

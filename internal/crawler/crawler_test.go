@@ -272,3 +272,103 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// retryAfter429Server replies 429 with the given Retry-After header
+// value once, then 200 with a minimal page doc.
+func retryAfter429Server(t *testing.T, header func() string) *httptest.Server {
+	t.Helper()
+	var n atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", header())
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"rate limited"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":1,"name":"p","honeypot":false,"like_count":0}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRetryAfterHTTPDatePast: a standards-compliant HTTP-date hint in
+// the past means "retry now" — the retry must happen immediately, not
+// fall through to exponential backoff (the bug: only delta-seconds
+// parsed, so date hints were silently ignored).
+func TestRetryAfterHTTPDatePast(t *testing.T) {
+	srv := retryAfter429Server(t, func() string {
+		return time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	})
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 0
+	// A huge backoff proves the date hint (zero wait) was used: if the
+	// hint fell through to backoff, the test would stall well past the
+	// deadline below.
+	cfg.Backoff = 10 * time.Second
+	cfg.MaxRetries = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Page(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("past-date hint took %v, want an immediate retry", elapsed)
+	}
+}
+
+// TestRetryAfterHTTPDateFutureCapped: a far-future HTTP-date is
+// honored but clamped to RetryAfterCap, like an oversized
+// delta-seconds value.
+func TestRetryAfterHTTPDateFutureCapped(t *testing.T) {
+	srv := retryAfter429Server(t, func() string {
+		return time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	})
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 0
+	cfg.Backoff = time.Millisecond
+	cfg.RetryAfterCap = 60 * time.Millisecond
+	cfg.MaxRetries = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Page(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("future-date hint waited only %v, want >= ~RetryAfterCap", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("future-date hint waited %v, want clamped to RetryAfterCap", elapsed)
+	}
+}
+
+// TestParseRetryAfter covers the header grammar directly.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2014, 3, 12, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"120", 120 * time.Second, true},
+		{"0", 0, true},
+		{"-3", 0, false},
+		{"garbage", 0, false},
+		{"", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -2,16 +2,20 @@ package crawler
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"slices"
 	"sync"
 )
 
 // Checkpoint is the resumable crawl state: how far into each page's
-// append-only like stream the pipeline has fully processed, and which
-// users it has already collected. Both advance only after the work they
-// cover is complete, so a checkpoint persisted at any point resumes
-// without refetching a single profile and without losing one.
+// append-only like stream the pipeline has fully processed, which
+// users it has already collected, and — when a Sink is attached — the
+// sink's aggregator state covering exactly those observations. All
+// three advance only after the work they cover is complete and are
+// snapshotted under one lock, so a checkpoint persisted at any point
+// resumes without refetching a profile, without losing one, and
+// without double-feeding (or starving) the sink.
 type Checkpoint struct {
 	// PageCursors maps page ID to the append-stream cursor up to which
 	// every liker in the page's stream has been crawled (or was already
@@ -20,6 +24,12 @@ type Checkpoint struct {
 	// Crawled lists users whose profiles have been collected and
 	// emitted, ascending.
 	Crawled []int64 `json:"crawled"`
+	// Sink is the attached Sink's Snapshot at checkpoint time, absent
+	// when the crawl runs without one. A resumed crawl that attaches a
+	// sink must Restore it from this state BEFORE crawling (the
+	// pipeline only validates presence; restoring is the caller's
+	// step, since the caller constructed the sink).
+	Sink json.RawMessage `json:"sink,omitempty"`
 }
 
 // PipelineConfig tunes the concurrent crawl.
@@ -32,6 +42,10 @@ type PipelineConfig struct {
 	// BatchSize is the number of profiles fetched per batched
 	// /api/users request (min 1, capped by the client's PageSize).
 	BatchSize int
+	// Sink, when set, observes the crawl's streams (every like window
+	// and every new profile) under the contract documented on Sink.
+	// Its state snapshots into Checkpoint.Sink.
+	Sink Sink
 	// OnCheckpoint, when set, is called after each fully processed like
 	// window with a consistent snapshot — the hook for persisting crawl
 	// progress. It is called from the coordinating goroutine, never
@@ -45,8 +59,8 @@ type PipelineConfig struct {
 // per-user friend and page-like lists — over N workers behind the
 // client's shared politeness limiter, dedupes users already crawled
 // across campaigns (the paper crawled each profile exactly once), and
-// streams finished LikerProfiles to a consumer callback instead of
-// accumulating them.
+// streams finished LikerProfiles to a consumer callback and the
+// configured Sink instead of accumulating them.
 //
 // The set of profiles emitted is a pure function of the world state:
 // worker count and scheduling affect only emission order, never
@@ -59,12 +73,24 @@ type Pipeline struct {
 	mu      sync.Mutex
 	cursors map[int64]int
 	crawled map[int64]bool
+	// snapErr is the first sink Snapshot failure, sticky: a checkpoint
+	// written without sink state would starve a resumed sink of every
+	// user already marked crawled, so the crawl aborts instead.
+	snapErr error
 
+	// emitMu serializes every externally visible transition: the
+	// {emit, sink.ObserveProfile, mark-crawled} triple, the
+	// {sink.ObserveLikes, cursor-advance} pair, and Checkpoint's
+	// snapshot of all of it. Holding it in Checkpoint is what makes a
+	// persisted (cursors, crawled, sink) triple mutually consistent.
 	emitMu sync.Mutex
 }
 
 // NewPipeline builds a pipeline over the client. resume, when non-nil,
-// seeds the cursor map and crawled set from a prior crawl's Checkpoint.
+// seeds the cursor map and crawled set from a prior crawl's
+// Checkpoint; if cfg.Sink is set, the caller must have Restored it
+// from resume.Sink first (NewPipeline cannot — it did not build the
+// sink).
 func NewPipeline(cl *Client, cfg PipelineConfig, resume *Checkpoint) *Pipeline {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -93,11 +119,13 @@ func NewPipeline(cl *Client, cfg PipelineConfig, resume *Checkpoint) *Pipeline {
 }
 
 // Checkpoint returns a consistent snapshot of the crawl state, safe to
-// persist: every user in it has been emitted, and every cursor covers
-// only fully crawled windows.
+// persist: every user in it has been emitted and observed, every
+// cursor covers only fully crawled windows, and the sink state (when a
+// sink is attached) covers exactly those users and windows.
 func (p *Pipeline) Checkpoint() Checkpoint {
+	p.emitMu.Lock()
+	defer p.emitMu.Unlock()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	ck := Checkpoint{
 		PageCursors: make(map[int64]int, len(p.cursors)),
 		Crawled:     make([]int64, 0, len(p.crawled)),
@@ -108,8 +136,30 @@ func (p *Pipeline) Checkpoint() Checkpoint {
 	for u := range p.crawled {
 		ck.Crawled = append(ck.Crawled, u)
 	}
+	p.mu.Unlock()
 	slices.Sort(ck.Crawled)
+	if p.cfg.Sink != nil {
+		state, err := p.cfg.Sink.Snapshot()
+		if err != nil {
+			p.mu.Lock()
+			if p.snapErr == nil {
+				p.snapErr = err
+			}
+			p.mu.Unlock()
+		} else {
+			ck.Sink = state
+		}
+	}
 	return ck
+}
+
+// SnapshotErr reports the first sink Snapshot failure, if any — the
+// crawl loop aborts on it, and callers persisting a final checkpoint
+// should check it before trusting the file.
+func (p *Pipeline) SnapshotErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapErr
 }
 
 // Crawl collects every liker of the given pages, calling emit once per
@@ -118,10 +168,12 @@ func (p *Pipeline) Checkpoint() Checkpoint {
 // the configured workers. Each page is drained to its live tail: likes
 // landing while their page is being crawled are picked up before Crawl
 // moves on. emit is serialized (one call at a time) but its order is
-// scheduling-dependent; order-sensitive consumers sort on their side.
-// An error from emit aborts the crawl; the profile it rejected is NOT
-// marked crawled, so a resume refetches and re-emits it — consumers
-// that persist profiles lose nothing to a failed write.
+// scheduling-dependent; order-sensitive consumers sort on their side
+// (the Sink contract is built on order-insensitive folds for exactly
+// this reason). An error from emit or the sink aborts the crawl; the
+// profile it rejected is NOT marked crawled, so a resume refetches and
+// re-emits it — consumers that persist profiles lose nothing to a
+// failed write.
 func (p *Pipeline) Crawl(ctx context.Context, pages []int64, emit func(page int64, prof LikerProfile) error) error {
 	for _, page := range pages {
 		if err := p.crawlPage(ctx, page, emit); err != nil {
@@ -131,11 +183,42 @@ func (p *Pipeline) Crawl(ctx context.Context, pages []int64, emit func(page int6
 	return nil
 }
 
+// CrawlProfiles collects the given users' profiles (skipping any
+// already crawled) through the same worker fan-out, dedup set, sink
+// wiring, and checkpoint semantics as a page crawl, emitting them
+// under the BaselinePage label. It is how the Figure 4 organic
+// baseline sample joins a crawl: the paper crawled its random user
+// sample with the same machinery as the honeypot likers.
+func (p *Pipeline) CrawlProfiles(ctx context.Context, ids []int64, emit func(page int64, prof LikerProfile) error) error {
+	var todo []int64
+	p.mu.Lock()
+	for _, id := range ids {
+		if !p.crawled[id] {
+			todo = append(todo, id)
+		}
+	}
+	p.mu.Unlock()
+	if err := p.crawlUsers(ctx, BaselinePage, todo, emit); err != nil {
+		return err
+	}
+	if p.cfg.OnCheckpoint != nil {
+		ck := p.Checkpoint()
+		if err := p.SnapshotErr(); err != nil {
+			return err
+		}
+		p.cfg.OnCheckpoint(ck)
+	}
+	return nil
+}
+
 // crawlPage loops {read one cursor window, crawl its new likers,
 // advance the cursor} until a window comes back empty — the page's live
-// tail. The cursor advances only after the window's likers are done, so
-// a crawl killed mid-window resumes from the window's start and the
-// crawled set suppresses the refetches.
+// tail. The cursor advances only after the window's likers are done —
+// and, when a sink is attached, in the same critical section as the
+// window's like events are folded into it — so a crawl killed
+// mid-window resumes from the window's start with the crawled set
+// suppressing the refetches, and a checkpoint can never claim a window
+// the sink has not seen (or vice versa).
 func (p *Pipeline) crawlPage(ctx context.Context, page int64, emit func(int64, LikerProfile) error) error {
 	for {
 		p.mu.Lock()
@@ -157,11 +240,26 @@ func (p *Pipeline) crawlPage(ctx context.Context, page int64, emit func(int64, L
 		if err := p.crawlUsers(ctx, page, todo, emit); err != nil {
 			return err
 		}
+		p.emitMu.Lock()
+		if p.cfg.Sink != nil && len(likes) > 0 {
+			if err := p.cfg.Sink.ObserveLikes(page, likes); err != nil {
+				p.emitMu.Unlock()
+				return err
+			}
+		}
 		p.mu.Lock()
 		p.cursors[page] = next
 		p.mu.Unlock()
+		p.emitMu.Unlock()
 		if p.cfg.OnCheckpoint != nil {
-			p.cfg.OnCheckpoint(p.Checkpoint())
+			// Snapshot first, surface a sink failure BEFORE handing the
+			// checkpoint out: persisting a sink-less checkpoint would
+			// clobber the previous good one and strand the resume.
+			ck := p.Checkpoint()
+			if err := p.SnapshotErr(); err != nil {
+				return err
+			}
+			p.cfg.OnCheckpoint(ck)
 		}
 		if len(likes) == 0 {
 			return nil
@@ -247,10 +345,12 @@ func (p *Pipeline) crawlBatch(ctx context.Context, page int64, ids []int64, emit
 		}
 		prof.PageLikes = pages
 
-		// Emit first, mark crawled second (both under emitMu, so the
-		// pair is atomic against other emitters): a crawl killed — or a
-		// checkpoint snapshotted — anywhere before the mark resumes by
-		// refetching this user, never by losing them.
+		// Emit and observe first, mark crawled second (the whole triple
+		// under emitMu, so it is atomic against other emitters AND
+		// against Checkpoint): a crawl killed — or a checkpoint
+		// snapshotted — anywhere before the mark resumes by refetching
+		// this user, never by losing them and never by feeding the sink
+		// twice.
 		p.emitMu.Lock()
 		p.mu.Lock()
 		dup := p.crawled[u.ID]
@@ -259,6 +359,12 @@ func (p *Pipeline) crawlBatch(ctx context.Context, page int64, ids []int64, emit
 			if err := emit(page, prof); err != nil {
 				p.emitMu.Unlock()
 				return err
+			}
+			if p.cfg.Sink != nil {
+				if err := p.cfg.Sink.ObserveProfile(page, prof); err != nil {
+					p.emitMu.Unlock()
+					return err
+				}
 			}
 			p.mu.Lock()
 			p.crawled[u.ID] = true

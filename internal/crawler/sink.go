@@ -1,0 +1,157 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+	"repro/internal/socialnet"
+)
+
+// Sink consumes the crawl's two sub-streams as the pipeline produces
+// them — the crawl-to-analysis path that computes the §4 tables from a
+// remote API without ever materializing a profile slice.
+//
+// Contract (the pipeline upholds it; implementations rely on it):
+//
+//   - All methods are called serialized — never concurrently — so
+//     sinks need no internal locking.
+//   - ObserveProfile is called exactly once per user across the whole
+//     crawl (and across resumes: the checkpointed crawled set
+//     suppresses refetches). Call order is scheduling-dependent, so
+//     observers must be order-insensitive folds — the same determinism
+//     rules as the journal aggregators (DESIGN.md §8): the observed
+//     SET is a pure function of the world, the order is not.
+//   - ObserveLikes is called once per fully processed like window, in
+//     page-stream order, after every new liker in the window has been
+//     fetched and observed. Each like event is delivered exactly once
+//     (cursor windows within a crawl, checkpointed cursors across
+//     resumes).
+//   - Snapshot is called only at points where the pipeline's
+//     checkpoint (cursors + crawled set) is consistent with everything
+//     the sink has observed; the returned state rides inside
+//     Checkpoint.Sink. Restore (before the resumed crawl starts)
+//     re-arms the sink with that state, and the resumed crawl then
+//     delivers exactly the complement — so finalized output is
+//     byte-identical to an uninterrupted crawl.
+type Sink interface {
+	// ObserveProfile folds one newly crawled profile. page is the page
+	// that surfaced it (BaselinePage for roster-less profile crawls).
+	ObserveProfile(page int64, prof LikerProfile) error
+	// ObserveLikes folds one fully processed window of a page's like
+	// stream — every event, including those of already-crawled users.
+	ObserveLikes(page int64, likes []api.LikeDoc) error
+	// Snapshot serializes the sink's progress for the crawl checkpoint.
+	Snapshot() ([]byte, error)
+	// Restore replaces the sink's progress with a prior Snapshot.
+	Restore(data []byte) error
+}
+
+// BaselinePage is the page label Pipeline.CrawlProfiles emits for
+// profiles not surfaced by any page's like stream (e.g. the Figure 4
+// organic baseline sample).
+const BaselinePage int64 = -1
+
+// AnalysisSink adapts a set of analysis.CrawlAggregators to the
+// pipeline's Sink contract: it parses the wire documents back into
+// analysis-domain types and fans every observation to each aggregator.
+type AnalysisSink struct {
+	aggs []analysis.CrawlAggregator
+}
+
+// NewAnalysisSink builds a sink over aggregators. The standard §4
+// family comes from analysis.NewCrawlAnalyzer(...).Aggregators().
+func NewAnalysisSink(aggs ...analysis.CrawlAggregator) *AnalysisSink {
+	return &AnalysisSink{aggs: aggs}
+}
+
+// ObserveProfile implements Sink.
+func (s *AnalysisSink) ObserveProfile(_ int64, prof LikerProfile) error {
+	p := analysis.CrawlProfile{
+		User:          socialnet.UserID(prof.User.ID),
+		Gender:        socialnet.ParseGender(prof.User.Gender),
+		Country:       prof.User.Country,
+		FriendsHidden: prof.FriendsHidden,
+	}
+	if age, ok := socialnet.ParseAgeBracket(prof.User.Age); ok {
+		p.Age = age
+	} else {
+		// Out-of-range sentinel: the demographic tally counts the
+		// profile but no bracket — the same treatment the journal
+		// engine gives an unbracketed age.
+		p.Age = socialnet.AgeBracket(^uint8(0))
+	}
+	p.Friends = make([]socialnet.UserID, len(prof.Friends))
+	for i, f := range prof.Friends {
+		p.Friends[i] = socialnet.UserID(f)
+	}
+	p.PageLikes = make([]socialnet.PageID, len(prof.PageLikes))
+	for i, pg := range prof.PageLikes {
+		p.PageLikes[i] = socialnet.PageID(pg)
+	}
+	for _, agg := range s.aggs {
+		agg.ObserveProfile(p)
+	}
+	return nil
+}
+
+// ObserveLikes implements Sink. The whole window is parsed BEFORE any
+// event is folded: a bad record mid-window must reject the window
+// untouched, not leave a half-folded prefix in aggregator state — the
+// cursor has not advanced, so a resume would re-deliver the window and
+// double-count that prefix.
+func (s *AnalysisSink) ObserveLikes(page int64, likes []api.LikeDoc) error {
+	ats := make([]time.Time, len(likes))
+	for i, lk := range likes {
+		at, err := time.Parse(time.RFC3339Nano, lk.At)
+		if err != nil {
+			return fmt.Errorf("crawler: like time %q on page %d: %w", lk.At, page, err)
+		}
+		ats[i] = at
+	}
+	for i, lk := range likes {
+		for _, agg := range s.aggs {
+			agg.ObserveLike(socialnet.PageID(page), socialnet.UserID(lk.User), ats[i])
+		}
+	}
+	return nil
+}
+
+// sinkSnapshot is the serialized AnalysisSink: one state blob per
+// aggregator, positional.
+type sinkSnapshot struct {
+	Aggs []json.RawMessage `json:"aggs"`
+}
+
+// Snapshot implements Sink.
+func (s *AnalysisSink) Snapshot() ([]byte, error) {
+	snap := sinkSnapshot{Aggs: make([]json.RawMessage, len(s.aggs))}
+	for i, agg := range s.aggs {
+		st, err := agg.State()
+		if err != nil {
+			return nil, fmt.Errorf("crawler: sink snapshot: %w", err)
+		}
+		snap.Aggs[i] = st
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Sink. The aggregator set must match the one that
+// produced the snapshot (same family, same order).
+func (s *AnalysisSink) Restore(data []byte) error {
+	var snap sinkSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("crawler: sink restore: %w", err)
+	}
+	if len(snap.Aggs) != len(s.aggs) {
+		return fmt.Errorf("crawler: sink snapshot has %d aggregator states, sink has %d aggregators", len(snap.Aggs), len(s.aggs))
+	}
+	for i, st := range snap.Aggs {
+		if err := s.aggs[i].Restore(st); err != nil {
+			return fmt.Errorf("crawler: sink restore: %w", err)
+		}
+	}
+	return nil
+}

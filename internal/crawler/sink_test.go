@@ -1,0 +1,228 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+	"repro/internal/socialnet"
+)
+
+// sinkWorld builds a two-campaign world with overlapping likers (the
+// AL/MS situation) and extra per-user page likes, served over HTTP.
+func sinkWorld(t *testing.T) (*httptest.Server, []analysis.CrawlCampaign, []int64) {
+	t.Helper()
+	st := socialnet.NewStore()
+	pageA, err := st.AddPage(socialnet.Page{Name: "Virtual Electricity (A)", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageB, err := st.AddPage(socialnet.Page{Name: "Virtual Electricity (B)", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cover []socialnet.PageID
+	for i := 0; i < 5; i++ {
+		p, _ := st.AddPage(socialnet.Page{Name: "cover"})
+		cover = append(cover, p)
+	}
+	for i := 0; i < 30; i++ {
+		u := st.AddUser(socialnet.User{Country: "USA", FriendsPublic: i%2 == 0})
+		_ = st.AddLike(u, pageA, t0.Add(time.Duration(i)*time.Minute))
+		if i%3 == 0 { // the shared-liker overlap
+			_ = st.AddLike(u, pageB, t0.Add(time.Duration(i)*time.Minute+time.Second))
+		}
+		_ = st.AddLike(u, cover[i%len(cover)], t0.Add(-time.Hour))
+	}
+	srv := httptest.NewServer(api.NewServer(st, ""))
+	t.Cleanup(srv.Close)
+	roster := []analysis.CrawlCampaign{
+		{ID: "A", Page: pageA, Active: true},
+		{ID: "B", Page: pageB, Active: true},
+	}
+	return srv, roster, []int64{int64(pageA), int64(pageB)}
+}
+
+// TestSinkObservationsAreExactlyOnce: across worker counts, the sink
+// sees every profile exactly once and every like event exactly once —
+// the contract the aggregators' order-insensitive folds rest on.
+func TestSinkObservationsAreExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		srv, _, pages := sinkWorld(t)
+		cl := newClient(t, srv)
+		rec := &recordingSink{}
+		pipe := NewPipeline(cl, PipelineConfig{Workers: workers, BatchSize: 4, Sink: rec}, nil)
+		if err := pipe.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.profiles) != 30 {
+			t.Fatalf("workers=%d: sink saw %d profiles, want 30 (deduped across campaigns)", workers, len(rec.profiles))
+		}
+		for u, n := range rec.profiles {
+			if n != 1 {
+				t.Fatalf("workers=%d: profile %d observed %d times", workers, u, n)
+			}
+		}
+		// 30 likes on A + 10 on B.
+		if rec.likes != 40 {
+			t.Fatalf("workers=%d: sink saw %d like events, want 40", workers, rec.likes)
+		}
+	}
+}
+
+// recordingSink counts observations.
+type recordingSink struct {
+	profiles map[int64]int
+	likes    int
+}
+
+func (r *recordingSink) ObserveProfile(_ int64, prof LikerProfile) error {
+	if r.profiles == nil {
+		r.profiles = make(map[int64]int)
+	}
+	r.profiles[prof.User.ID]++
+	return nil
+}
+func (r *recordingSink) ObserveLikes(_ int64, likes []api.LikeDoc) error {
+	r.likes += len(likes)
+	return nil
+}
+func (r *recordingSink) Snapshot() ([]byte, error) { return []byte("{}"), nil }
+func (r *recordingSink) Restore([]byte) error      { return nil }
+
+// TestAnalysisSinkTablesDeterministicAcrossWorkers: the full
+// crawl-to-analysis path produces byte-identical tables for any worker
+// count, including a checkpoint/restore in the middle of one of them.
+func TestAnalysisSinkTablesDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		srv, roster, pages := sinkWorld(t)
+		cl := newClient(t, srv)
+		analyzer := analysis.NewCrawlAnalyzer(roster, nil)
+		sink := NewAnalysisSink(analyzer.Aggregators()...)
+		pipe := NewPipeline(cl, PipelineConfig{Workers: workers, BatchSize: 4, Sink: sink}, nil)
+		if err := pipe.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		tables, err := analyzer.Tables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tables.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if string(got) != string(want) {
+			t.Fatalf("workers=%d tables differ:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+
+	// Mid-crawl snapshot → restore into a fresh sink → same bytes.
+	srv, roster, pages := sinkWorld(t)
+	cl := newClient(t, srv)
+	analyzer := analysis.NewCrawlAnalyzer(roster, nil)
+	sink := NewAnalysisSink(analyzer.Aggregators()...)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int32
+	pipe := NewPipeline(cl, PipelineConfig{Workers: 4, BatchSize: 3, Sink: sink}, nil)
+	_ = pipe.Crawl(ctx, pages, func(int64, LikerProfile) error {
+		if n.Add(1) == 7 {
+			cancel()
+		}
+		return nil
+	})
+	ck := pipe.Checkpoint()
+	if err := pipe.SnapshotErr(); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Sink == nil {
+		t.Fatal("checkpoint has no sink state")
+	}
+	analyzer2 := analysis.NewCrawlAnalyzer(roster, nil)
+	sink2 := NewAnalysisSink(analyzer2.Aggregators()...)
+	if err := sink2.Restore(ck.Sink); err != nil {
+		t.Fatal(err)
+	}
+	pipe2 := NewPipeline(cl, PipelineConfig{Workers: 2, BatchSize: 9, Sink: sink2}, &ck)
+	if err := pipe2.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := analyzer2.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tables.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed tables differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestClientGzipRoundTrip: the crawler offers gzip explicitly, the API
+// compresses large windows, and the client transparently decodes —
+// end-to-end through the real client against the real server.
+func TestClientGzipRoundTrip(t *testing.T) {
+	srv, _, page, pub, _ := testWorld(t)
+
+	// Prove the server actually compresses for this client by watching
+	// the wire through a recording proxy.
+	var sawGzip atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequest(r.Method, srv.URL+r.URL.String(), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		tr := &http.Transport{DisableCompression: true}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+			sawGzip.Store(true)
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	ccfg := DefaultConfig(proxy.URL)
+	ccfg.MinInterval = 0
+	ccfg.PageSize = 500 // one 451-entry window: comfortably past GzipMinSize
+	c, err := New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pub has 451 page likes — a >1 KiB window.
+	likes, err := c.UserLikes(context.Background(), int64(pub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(likes) != 451 {
+		t.Fatalf("decoded %d page likes through gzip, want 451", len(likes))
+	}
+	if !sawGzip.Load() {
+		t.Fatal("server never gzip-encoded a response for the crawler")
+	}
+	_ = page
+}

@@ -40,6 +40,21 @@ func (g Gender) String() string {
 	}
 }
 
+// ParseGender inverts Gender.String: "F" and "M" map to their genders,
+// anything else (including the "?" rendering of GenderUnknown) to
+// GenderUnknown. Crawl-side analyses use it to rebuild enum attributes
+// from the API's public-profile strings.
+func ParseGender(s string) Gender {
+	switch s {
+	case "F":
+		return GenderFemale
+	case "M":
+		return GenderMale
+	default:
+		return GenderUnknown
+	}
+}
+
 // AgeBracket matches the buckets of the paper's Table 2.
 type AgeBracket uint8
 
@@ -71,6 +86,18 @@ func (a AgeBracket) String() string {
 		return labels[a]
 	}
 	return "?"
+}
+
+// ParseAgeBracket inverts AgeBracket.String: a Table 2 column label
+// ("13-17" ... "55+") maps back to its bracket. The second return is
+// false for any other string.
+func ParseAgeBracket(s string) (AgeBracket, bool) {
+	for i, label := range AgeBracketLabels() {
+		if s == label {
+			return AgeBracket(i), true
+		}
+	}
+	return 0, false
 }
 
 // AccountStatus tracks whether an account is live or terminated by the
