@@ -66,7 +66,7 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	load := fs.String("load", "", "serve a world snapshot instead of building one")
 	save := fs.String("save", "", "write the built world to a snapshot file before serving")
 	dataDir := fs.String("data-dir", "", "durable state directory: the world persists here and a restart resumes it (likes, monitor cursors and all)")
-	syncEvery := fs.Int("sync-every", socialnet.DefaultSyncEvery, "fsync the journal after this many likes (with -data-dir)")
+	syncEvery := fs.Int("sync-every", 1, "fsync the journal after this many likes; 1 = group commit, fully durable acknowledgements at coalesced-fsync cost (with -data-dir)")
 	syncInterval := fs.Duration("sync-interval", socialnet.DefaultSyncInterval, "background journal fsync period (with -data-dir)")
 	monPoll := fs.Duration("monitor-poll", 2*time.Second, "live monitor poll interval (with -data-dir)")
 	if err := fs.Parse(args); err != nil {

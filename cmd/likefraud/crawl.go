@@ -53,6 +53,8 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	interval := fs.Duration("interval", 0, "politeness spacing between requests (shared across workers)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses (default with -data-dir: DIR/crawl-checkpoint.json)")
 	dataDir := fs.String("data-dir", "", "durable directory for the self-served world: built once, reopened on later runs")
+	syncEvery := fs.Int("sync-every", 1, "fsync the world's journal after this many likes; 1 = group commit, fully durable acknowledgements (with -data-dir)")
+	syncInterval := fs.Duration("sync-interval", socialnet.DefaultSyncInterval, "background journal fsync period (with -data-dir)")
 	out := fs.String("out", "", "write crawled profiles as JSON lines to this file")
 	analyze := fs.Bool("analyze", false, "stream crawled profiles into the §4 aggregators and write the table JSON (see -tables)")
 	tables := fs.String("tables", "", "with -analyze: write the §4 table JSON here (default crawl-tables.json, or DIR/crawl-tables.json with -data-dir)")
@@ -79,7 +81,8 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	var pageIDs []int64
 	var baseline []socialnet.UserID
 	if base == "" {
-		store, pages, err := selfServedWorld(*dataDir, *seed, *scale, *quiet, stderr)
+		wopts := socialnet.WALOptions{SyncEvery: *syncEvery, SyncInterval: *syncInterval}
+		store, pages, err := selfServedWorld(*dataDir, wopts, *seed, *scale, *quiet, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
 			return 1
@@ -314,7 +317,7 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 // reopens the persisted world when one exists; otherwise it builds the
 // world, checkpoints it, and serves the durably reopened copy — so the
 // first run and every resume see the identical canonical like streams.
-func selfServedWorld(dataDir string, seed int64, scale float64, quiet bool, stderr io.Writer) (*socialnet.Store, []int64, error) {
+func selfServedWorld(dataDir string, wopts socialnet.WALOptions, seed int64, scale float64, quiet bool, stderr io.Writer) (*socialnet.Store, []int64, error) {
 	buildWorld := func() (*socialnet.Store, error) {
 		if !quiet {
 			fmt.Fprintf(stderr, "building world and running campaigns (seed %d, scale %.2f)...\n", seed, scale)
@@ -340,7 +343,7 @@ func selfServedWorld(dataDir string, seed int64, scale float64, quiet bool, stde
 		return store, honeypotPages(store), nil
 	}
 	resuming := socialnet.HasDurableState(dataDir)
-	store, stats, err := socialnet.OpenOrCreate(dataDir, socialnet.WALOptions{}, buildWorld)
+	store, stats, err := socialnet.OpenOrCreate(dataDir, wopts, buildWorld)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -39,8 +40,19 @@ type Config struct {
 	MinInterval time.Duration
 	// MaxRetries bounds retry attempts per request.
 	MaxRetries int
-	// Backoff is the initial retry backoff (doubled per attempt).
+	// Backoff is the initial retry backoff ceiling. The ceiling doubles
+	// per attempt up to BackoffCap, and each sleep is drawn uniformly
+	// from [0, ceiling] (full jitter), so concurrent workers hitting a
+	// flapping server spread their retries instead of stampeding in
+	// lockstep.
 	Backoff time.Duration
+	// BackoffCap bounds the backoff ceiling (0 = 2s). Without a cap the
+	// doubled ceiling grows without limit — a few consecutive failures
+	// and a worker sleeps for minutes.
+	BackoffCap time.Duration
+	// BackoffSeed seeds the jitter source (0 = a fixed default), making
+	// retry schedules reproducible in tests.
+	BackoffSeed int64
 	// PageSize is the pagination window.
 	PageSize int
 	// RetryAfterCap bounds how long a server's Retry-After hint can
@@ -70,7 +82,7 @@ func (c *Config) Validate() error {
 	if c.BaseURL == "" {
 		return errors.New("crawler: empty base URL")
 	}
-	if c.MinInterval < 0 || c.Backoff < 0 {
+	if c.MinInterval < 0 || c.Backoff < 0 || c.BackoffCap < 0 {
 		return errors.New("crawler: negative intervals")
 	}
 	if c.MaxRetries < 0 {
@@ -99,6 +111,12 @@ type Client struct {
 
 	requests atomic.Int64
 	retries  atomic.Int64
+
+	// rngMu guards rng, the jitter source for retry backoff. Seeded
+	// (deterministically by default) rather than global so tests can
+	// reproduce a retry schedule exactly.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // New builds a crawler client.
@@ -110,7 +128,11 @@ func New(cfg Config) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{cfg: cfg, http: hc}, nil
+	seed := cfg.BackoffSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{cfg: cfg, http: hc, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // Requests returns the number of HTTP requests issued so far.
@@ -144,6 +166,34 @@ func (c *Client) waitTurn(ctx context.Context) error {
 	return nil
 }
 
+// retryWait returns the sleep before retry attempt n (n >= 1): full
+// jitter over an exponentially growing, capped ceiling. The ceiling is
+// Backoff doubled per attempt, clamped to BackoffCap (default 2s); the
+// wait is drawn uniformly from [0, ceiling]. Exponential-with-cap keeps
+// a flapping server from inflating sleeps without bound, and the
+// jitter decorrelates concurrent workers whose requests failed
+// together and would otherwise all come back at the same instant.
+func (c *Client) retryWait(attempt int) time.Duration {
+	ceiling := c.cfg.Backoff
+	if ceiling <= 0 {
+		return 0
+	}
+	max := c.cfg.BackoffCap
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for i := 1; i < attempt && ceiling < max; i++ {
+		ceiling *= 2
+	}
+	if ceiling > max {
+		ceiling = max
+	}
+	c.rngMu.Lock()
+	wait := time.Duration(c.rng.Int63n(int64(ceiling) + 1))
+	c.rngMu.Unlock()
+	return wait
+}
+
 // parseRetryAfter interprets a Retry-After header value, which RFC
 // 9110 allows in two forms: delta-seconds ("120") or an HTTP-date
 // ("Fri, 31 Dec 1999 23:59:59 GMT"). It returns the wait relative to
@@ -170,7 +220,6 @@ func parseRetryAfter(ra string, now time.Time) (time.Duration, bool) {
 // get performs one polite, retrying GET and decodes JSON into out.
 func (c *Client) get(ctx context.Context, path string, admin bool, out any) error {
 	var lastErr error
-	backoff := c.cfg.Backoff
 	// hint is the server's most recent Retry-After suggestion (capped).
 	// It replaces exactly one backoff sleep and is then cleared — it
 	// never enters the exponential schedule, so a 1 s hint cannot
@@ -182,11 +231,9 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			wait := backoff
+			wait := c.retryWait(attempt)
 			if hintSet {
 				wait, hint, hintSet = hint, 0, false
-			} else {
-				backoff *= 2
 			}
 			if wait > 0 {
 				select {

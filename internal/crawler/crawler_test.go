@@ -372,3 +372,76 @@ func TestParseRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryWaitCapAndJitter: retryWait must (a) never exceed BackoffCap
+// no matter how many attempts pile up — the old unjittered doubling
+// overflowed into minutes-long sleeps — (b) draw full jitter from
+// [0, ceiling] rather than sleeping in deterministic lockstep, and
+// (c) be reproducible for a fixed BackoffSeed.
+func TestRetryWaitCapAndJitter(t *testing.T) {
+	cfg := DefaultConfig("http://crawl.test")
+	cfg.Backoff = 10 * time.Millisecond
+	cfg.BackoffCap = 40 * time.Millisecond
+	cfg.BackoffSeed = 42
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []time.Duration
+	for attempt := 1; attempt <= 50; attempt++ {
+		w := c.retryWait(attempt)
+		if w < 0 || w > cfg.BackoffCap {
+			t.Fatalf("attempt %d: wait %v outside [0, %v]", attempt, w, cfg.BackoffCap)
+		}
+		if attempt == 1 && w > cfg.Backoff {
+			t.Fatalf("first retry waited %v, ceiling is base backoff %v", w, cfg.Backoff)
+		}
+		waits = append(waits, w)
+	}
+	allEqual := true
+	for _, w := range waits[1:] {
+		if w != waits[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		t.Fatal("50 jittered waits all identical — jitter is not being applied")
+	}
+	// Same seed, fresh client: identical sequence (deterministic tests).
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 50; attempt++ {
+		if w := c2.retryWait(attempt); w != waits[attempt-1] {
+			t.Fatalf("attempt %d: seed %d not reproducible: %v vs %v", attempt, cfg.BackoffSeed, w, waits[attempt-1])
+		}
+	}
+}
+
+// TestBackoffCapBoundsRetryLatency: with a tight cap, even a long retry
+// chain against a dead endpoint finishes quickly. Under the old
+// uncapped doubling, 8 retries at 200ms base would sleep ~51s.
+func TestBackoffCapBoundsRetryLatency(t *testing.T) {
+	always500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer always500.Close()
+	cfg := DefaultConfig(always500.URL)
+	cfg.MinInterval = 0
+	cfg.MaxRetries = 8
+	cfg.Backoff = 200 * time.Millisecond
+	cfg.BackoffCap = 5 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Page(context.Background(), 1); err == nil {
+		t.Fatal("should give up on persistent 500s")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("8 capped retries took %v; BackoffCap is not bounding the sleeps", elapsed)
+	}
+}

@@ -18,31 +18,59 @@ import (
 //	s<shard>-<start>.seg — WAL segments (see segment.go)
 //
 // Recovery is snapshot + tail-replay: OpenDurable rebuilds the world
-// from the manifest's snapshot, then replays only the WAL events at or
-// beyond the manifest offsets, deduplicating on the journal's global
-// (user, page) uniqueness invariant. Checkpoint moves the snapshot
-// forward and compacts the segments it covers, so neither recovery time
-// nor disk usage grows with history — only with the tail since the last
-// checkpoint.
+// from the manifest's snapshot, then replays only the WAL records at or
+// beyond the manifest offsets — likes (deduplicated on the journal's
+// global (user, page) uniqueness invariant) and world mutations (user
+// and page creations, friendships, status/visibility updates), so the
+// tail alone reconstructs everything since the snapshot. Checkpoint
+// moves the snapshot forward and compacts the segments it covers —
+// or, when the tail is small relative to the world, just fsyncs the
+// tail and republishes the manifest (an incremental checkpoint) — so
+// neither recovery time nor disk usage grows with history, and
+// checkpoint cost tracks the delta, not the world.
 const manifestFile = "manifest.json"
 
 // manifest is the durable directory's root pointer. It is replaced
 // atomically (tmp + rename), so a crash mid-checkpoint leaves the
 // previous snapshot + its WAL tail fully intact.
 type manifest struct {
-	Version  int
-	Seq      int64 // checkpoint sequence, monotonically increasing
-	Shards   int   // journal/WAL shard count
-	Snapshot string
-	// Offsets are the per-shard WAL stream offsets captured immediately
-	// BEFORE the snapshot was taken. Invariant: every WAL event below
-	// Offsets[i] is contained in the snapshot (an event reaches the WAL
-	// only after its user-side index commit, and the snapshot is a
-	// superset of all user-side commits at capture time). Events at or
-	// above the offsets may or may not be in the snapshot; replay
-	// dedupes them on (user, page).
+	Version int
+	Seq     int64 // checkpoint sequence, monotonically increasing
+	Shards  int   // journal shard count (snapshot shape)
+	// WALShards is the number of WAL log files (segment chains). It is
+	// decoupled from Shards: the journal keeps many lock stripes for
+	// in-memory concurrency, while the WAL keeps FEW files so a group
+	// commit coalesces concurrent appends into a handful of fsyncs
+	// instead of one per dirty stripe. Zero means a legacy manifest
+	// written when the counts were fused: fall back to Shards.
+	WALShards int `json:",omitempty"`
+	Snapshot  string
+	// Offsets are the per-WAL-file stream offsets captured immediately
+	// BEFORE the snapshot was taken. Invariant: every WAL record below
+	// Offsets[i] is contained in the snapshot (a record reaches the WAL
+	// only after its in-memory commit, and the snapshot is a superset
+	// of all in-memory commits at capture time). Records at or above
+	// the offsets may or may not be in the snapshot; replay dedupes
+	// likes on (user, page) and world records on entity existence. An
+	// incremental checkpoint republishes the PREVIOUS offsets untouched
+	// — they still describe what the (unchanged) snapshot covers.
 	Offsets []uint64
 }
+
+// walShardCount is the effective WAL file count for a manifest.
+func (m *manifest) walShardCount() int {
+	if m.WALShards > 0 {
+		return m.WALShards
+	}
+	return m.Shards
+}
+
+// DefaultWALShards is the WAL file count for new durable directories.
+// One log file is the classic group-commit shape: every concurrent
+// append lands in the same segment chain, so a commit pass is exactly
+// one flush+fsync no matter how many appenders are waiting. Buffered
+// record writes are memcpys and never the bottleneck; fsyncs are.
+const DefaultWALShards = 1
 
 const manifestVersion = 1
 
@@ -71,8 +99,11 @@ func readManifest(dir string) (*manifest, error) {
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("socialnet: manifest version %d, want %d", m.Version, manifestVersion)
 	}
-	if m.Shards < 1 || len(m.Offsets) != m.Shards {
-		return nil, fmt.Errorf("socialnet: manifest shards %d / offsets %d inconsistent", m.Shards, len(m.Offsets))
+	if m.Shards < 1 || len(m.Offsets) != m.walShardCount() {
+		return nil, fmt.Errorf("socialnet: manifest shards %d/%d / offsets %d inconsistent", m.Shards, m.walShardCount(), len(m.Offsets))
+	}
+	if w := m.walShardCount(); w&(w-1) != 0 {
+		return nil, fmt.Errorf("socialnet: manifest WAL shard count %d not a power of two", w)
 	}
 	return &m, nil
 }
@@ -165,38 +196,94 @@ func (s *Store) Close() error {
 	return err
 }
 
-// Checkpoint writes a full snapshot of the world plus a manifest into
-// dir, then — when dir is the store's own WAL directory — compacts the
-// segments the snapshot covers. It is safe (and race-free) under
-// concurrent writers: the WAL offsets are captured before the snapshot,
-// so a write landing mid-checkpoint is either inside the snapshot,
-// inside the surviving WAL tail, or both (recovery dedupes), never
-// lost. After a successful Checkpoint, OpenDurable(dir) recovers by
-// loading this snapshot and replaying only the tail.
+// incrementalTailFactor picks the checkpoint mode: when the WAL tail
+// since the published snapshot is more than this factor smaller than
+// the world, rewriting the full snapshot buys little — the checkpoint
+// fsyncs the tail and republishes the manifest instead (O(delta)).
+// Otherwise a full snapshot rewrite + compaction (O(world)) resets the
+// tail so recovery replay stays short.
+const incrementalTailFactor = 4
+
+// Checkpoint persists the store's current state into dir. When dir is
+// the store's own WAL directory and the tail since the published
+// snapshot is small (see incrementalTailFactor), the checkpoint is
+// INCREMENTAL: the WAL — which journals world mutations alongside
+// likes, so its tail alone replays everything since the snapshot — is
+// fsynced and the manifest republished pointing at the existing
+// snapshot, costing O(delta) instead of O(world). Otherwise it writes
+// a full snapshot plus manifest and compacts the segments the snapshot
+// covers. Either way the operation is safe (and race-free) under
+// concurrent writers: the WAL offsets are captured before the
+// snapshot, so a write landing mid-checkpoint is either inside the
+// snapshot, inside the surviving WAL tail, or both (recovery dedupes),
+// never lost. After a successful Checkpoint, OpenDurable(dir) recovers
+// by loading the manifest snapshot and replaying only the tail.
 //
 // Checkpoint also works on a plain in-memory store: it then produces a
 // durable seed directory (snapshot + zero offsets, no segments) that
 // OpenDurable turns into a live durable store — the handoff path for
-// "build the world fast in memory, then persist it".
+// "build the world fast in memory, then persist it". (With world
+// mutations journaled, the seed snapshot is a fast-path, not a
+// requirement: a durable store created empty and grown live recovers
+// entirely from its WAL.)
 func (s *Store) Checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	shards := s.journal.NumShards()
-	offsets := make([]uint64, shards)
+	// Non-own checkpoints seed a fresh durable directory with no
+	// segments: zero offsets sized for the default WAL file count.
+	walShards := DefaultWALShards
+	offsets := make([]uint64, walShards)
 	own := s.wal != nil && samePath(s.wal.Dir(), dir)
 	if own {
 		offsets = s.wal.Offsets() // capture BEFORE the snapshot: see manifest.Offsets
+		walShards = len(offsets)
 	}
 
 	var seq int64 = 1
-	if old, err := readManifest(dir); err == nil {
+	var old *manifest
+	if m, err := readManifest(dir); err == nil {
+		old = m
 		seq = old.Seq + 1
 		if own && old.Shards != shards {
 			return fmt.Errorf("socialnet: checkpoint into %s: shard count %d != manifest %d", dir, shards, old.Shards)
 		}
 	} else if !errors.Is(err, ErrNoDurableState) {
 		return err
+	}
+
+	if own && old != nil {
+		// Incremental checkpoint: the delta since the published snapshot
+		// is exactly the WAL records above old.Offsets. If that tail is
+		// small relative to the world, make it durable and bump the
+		// manifest seq against the SAME snapshot and SAME offsets — the
+		// offsets describe snapshot coverage, which has not moved. No
+		// compaction either: nothing new is covered.
+		tail := int64(0)
+		for i := range offsets {
+			if offsets[i] < old.Offsets[i] {
+				tail = -1 // manifest ahead of the WAL: let the full path run
+				break
+			}
+			tail += int64(offsets[i] - old.Offsets[i])
+		}
+		s.friendsMu.RLock()
+		edges := s.friends.NumEdges()
+		s.friendsMu.RUnlock()
+		world := int64(s.journal.Len()+s.NumUsers()+s.NumPages()) + int64(edges)
+		if _, err := os.Stat(filepath.Join(dir, old.Snapshot)); err == nil &&
+			tail >= 0 && tail*incrementalTailFactor < world {
+			if err := s.wal.Sync(); err != nil {
+				return err
+			}
+			m := manifest{Version: manifestVersion, Seq: seq, Shards: shards, WALShards: old.walShardCount(), Snapshot: old.Snapshot, Offsets: old.Offsets}
+			data, err := json.MarshalIndent(&m, "", " ")
+			if err != nil {
+				return err
+			}
+			return WriteFileDurable(filepath.Join(dir, manifestFile), data)
+		}
 	}
 
 	snapName := fmt.Sprintf("snapshot-%016d.gob", seq)
@@ -236,7 +323,7 @@ func (s *Store) Checkpoint(dir string) error {
 		}
 	}
 
-	m := manifest{Version: manifestVersion, Seq: seq, Shards: shards, Snapshot: snapName, Offsets: offsets}
+	m := manifest{Version: manifestVersion, Seq: seq, Shards: shards, WALShards: walShards, Snapshot: snapName, Offsets: offsets}
 	data, err := json.MarshalIndent(&m, "", " ")
 	if err != nil {
 		return err
@@ -276,11 +363,16 @@ type OpenStats struct {
 	// DupEvents is how many tail events were already present in the
 	// snapshot (the checkpoint race window) and were skipped.
 	DupEvents int
-	// DroppedEvents counts tail events referencing a user or page absent
-	// from the snapshot. The write paths create users and pages before
-	// likes and nothing ever deletes them, so a drop indicates external
-	// tampering with the directory; they are counted, not silently eaten.
+	// DroppedEvents counts tail records referencing a user or page absent
+	// from the rebuilt world. The write paths journal creations before
+	// any record can reference them and nothing ever deletes them, so a
+	// drop indicates external tampering with the directory; they are
+	// counted, not silently eaten.
 	DroppedEvents int
+	// TailWorld is how many world-mutation records (user/page creations,
+	// friendships, status and visibility updates) beyond the snapshot
+	// offsets were replayed into the store (after deduplication).
+	TailWorld int
 	// TailByPage counts the replayed (SourceLike) tail events per page.
 	// Tail replay is deterministic but proceeds journal-shard by shard,
 	// so a page stream's tail can be ordered differently from the live
@@ -316,24 +408,81 @@ func OpenDurable(dir string, opts WALOptions) (*Store, *OpenStats, error) {
 		return nil, nil, fmt.Errorf("socialnet: snapshot rebuilt %d journal shards, manifest says %d", st.journal.NumShards(), m.Shards)
 	}
 
-	wal, recovered, err := openWAL(dir, m.Shards, m.Offsets, opts)
+	wal, recovered, err := openWAL(dir, m.walShardCount(), m.Offsets, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	stats := &OpenStats{TailByPage: make(map[PageID]int)}
+	// Pass 1: entity creations. Likes and edges in the tail may
+	// reference a user or page created in ANOTHER shard's tail (records
+	// are sharded by subject ID, so creation order is not shard order);
+	// landing every creation first makes pass 2 reference-complete.
+	var maxUser UserID
+	var maxPage PageID
 	for _, rec := range recovered {
-		for _, ev := range rec.Events {
-			switch st.replayEvent(ev) {
-			case replayApplied:
-				stats.TailEvents++
-				if ev.Source == SourceLike {
-					stats.TailByPage[ev.Page]++
+		for _, r := range rec.Records {
+			if r.like {
+				continue
+			}
+			switch r.world.Kind {
+			case WorldUser:
+				if r.world.User.ID > maxUser {
+					maxUser = r.world.User.ID
 				}
-			case replayDup:
-				stats.DupEvents++
-			case replayDropped:
-				stats.DroppedEvents++
+				if st.replayUser(r.world.User) == replayApplied {
+					stats.TailWorld++
+				} else {
+					stats.DupEvents++
+				}
+			case WorldPage:
+				if r.world.Page.ID > maxPage {
+					maxPage = r.world.Page.ID
+				}
+				if st.replayPage(r.world.Page) == replayApplied {
+					stats.TailWorld++
+				} else {
+					stats.DupEvents++
+				}
+			}
+		}
+	}
+	// ID counters must resume past every recovered entity, or the next
+	// AddUser/AddPage would reassign a replayed ID.
+	if int64(maxUser)+1 > st.nextUser.Load() {
+		st.nextUser.Store(int64(maxUser) + 1)
+	}
+	if int64(maxPage)+1 > st.nextPage.Load() {
+		st.nextPage.Store(int64(maxPage) + 1)
+	}
+	// Pass 2: likes and the remaining world mutations, in per-shard
+	// record order (which per entity is its true mutation order).
+	for _, rec := range recovered {
+		for _, r := range rec.Records {
+			if r.like {
+				switch st.replayEvent(r.ev) {
+				case replayApplied:
+					stats.TailEvents++
+					if r.ev.Source == SourceLike {
+						stats.TailByPage[r.ev.Page]++
+					}
+				case replayDup:
+					stats.DupEvents++
+				case replayDropped:
+					stats.DroppedEvents++
+				}
+				continue
+			}
+			switch r.world.Kind {
+			case WorldFriend, WorldStatus, WorldFriendsVis:
+				switch st.replayWorld(r.world) {
+				case replayApplied:
+					stats.TailWorld++
+				case replayDup:
+					stats.DupEvents++
+				case replayDropped:
+					stats.DroppedEvents++
+				}
 			}
 		}
 	}
@@ -364,6 +513,91 @@ func OpenOrCreate(dir string, opts WALOptions, build func() (*Store, error)) (*S
 		}
 	}
 	return OpenDurable(dir, opts)
+}
+
+// replayUser applies a recovered user-creation record. A user the
+// snapshot already contains (the checkpoint race window: the record is
+// above the captured offsets AND inside the snapshot) is a dup.
+func (s *Store) replayUser(u User) replayOutcome {
+	sh := s.userShard(u.ID)
+	sh.mu.Lock()
+	if _, ok := sh.users[u.ID]; ok {
+		sh.mu.Unlock()
+		return replayDup
+	}
+	cp := u
+	sh.users[u.ID] = &cp
+	sh.mu.Unlock()
+
+	s.friendsMu.Lock()
+	s.friends.AddNode(int64(u.ID))
+	s.friendsMu.Unlock()
+
+	if u.Searchable {
+		s.dirMu.Lock()
+		s.directory = append(s.directory, u.ID)
+		s.dirMu.Unlock()
+	}
+	return replayApplied
+}
+
+// replayPage applies a recovered page-creation record; dups are the
+// same checkpoint race window as replayUser.
+func (s *Store) replayPage(p Page) replayOutcome {
+	sh := s.pageShard(p.ID)
+	sh.mu.Lock()
+	if _, ok := sh.pages[p.ID]; ok {
+		sh.mu.Unlock()
+		return replayDup
+	}
+	cp := p
+	sh.pages[p.ID] = &cp
+	sh.mu.Unlock()
+	return replayApplied
+}
+
+// replayWorld applies a recovered friendship/status/visibility record.
+// Edges the snapshot already holds are dups; status and visibility
+// updates are idempotent sets. A subject absent from the rebuilt world
+// is dropped — the store journals creations before any record can
+// reference them, so like orphaned likes it indicates tampering.
+func (s *Store) replayWorld(rec WorldRecord) replayOutcome {
+	switch rec.Kind {
+	case WorldFriend:
+		if !s.userExists(rec.A) || !s.userExists(rec.B) {
+			return replayDropped
+		}
+		s.friendsMu.Lock()
+		defer s.friendsMu.Unlock()
+		if s.friends.HasEdge(int64(rec.A), int64(rec.B)) {
+			return replayDup
+		}
+		if err := s.friends.AddEdge(int64(rec.A), int64(rec.B)); err != nil {
+			return replayDropped
+		}
+		return replayApplied
+	case WorldStatus:
+		sh := s.userShard(rec.A)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		usr, ok := sh.users[rec.A]
+		if !ok {
+			return replayDropped
+		}
+		usr.Status = rec.Status
+		return replayApplied
+	case WorldFriendsVis:
+		sh := s.userShard(rec.A)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		usr, ok := sh.users[rec.A]
+		if !ok {
+			return replayDropped
+		}
+		usr.FriendsPublic = rec.Visible
+		return replayApplied
+	}
+	return replayDropped
 }
 
 // replayOutcome classifies one tail event's recovery.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"sync"
 	"testing"
@@ -525,7 +526,11 @@ func TestTornSegmentCreationIsRepaired(t *testing.T) {
 // claimed range would be skipped as "covered" by the next recovery.
 func TestManifestAheadOfSegments(t *testing.T) {
 	dir := t.TempDir()
-	const k, extra = 6, 3
+	// extra is sized so the second checkpoint's delta crosses the
+	// incremental threshold and a FULL snapshot (claiming offsets
+	// k+extra) is written — the scenario needs a manifest whose
+	// snapshot covers records the chain then loses.
+	const k, extra = 6, 7
 	st, users, pages := durableWorld(t, dir, 1, k+extra+1, noSync)
 	for i := 0; i < k; i++ {
 		if err := st.AddLike(users[0], pages[i], at(i)); err != nil {
@@ -578,5 +583,197 @@ func TestManifestAheadOfSegments(t *testing.T) {
 	}
 	if !re2.Likes(users[0], pages[k+extra]) {
 		t.Fatal("post-crash like lost across reopen")
+	}
+}
+
+// TestWorldMutationsSurviveCrash: with world mutations journaled
+// alongside likes, everything done to a durable store AFTER it was
+// opened — user and page creations, friendships, likes, terminations,
+// visibility flips — must survive a crash with no checkpoint at all.
+// This is the property that removed the old "world must precede the
+// first checkpoint" caveat. Group commit (SyncEvery: 1) means every
+// acknowledged mutation is already on disk when the crash hits.
+func TestWorldMutationsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	st, users, _ := durableWorld(t, dir, 2, 1, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	defer st.Close()
+
+	u1 := st.AddUser(User{Country: "UK", Searchable: true, Gender: GenderFemale})
+	u2 := st.AddUser(User{Country: "IT"})
+	pid, err := st.AddPage(Page{Name: "campaign", Honeypot: true, Owner: users[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Friend(u1, u2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Friend(u1, users[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddLike(u1, pid, at(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Terminate(u2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetFriendsPublic(u1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := cloneDir(t, dir) // no Sync, no Close, no Checkpoint
+	re, stats, err := OpenDurable(crash, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	ru1, err := re.User(u1)
+	if err != nil {
+		t.Fatalf("user created after open lost in crash: %v", err)
+	}
+	if ru1.Country != "UK" || ru1.Gender != GenderFemale || !ru1.Searchable {
+		t.Fatalf("user attributes mangled in replay: %+v", ru1)
+	}
+	if !ru1.FriendsPublic {
+		t.Fatal("visibility flip lost in crash")
+	}
+	ru2, err := re.User(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru2.Status != StatusTerminated {
+		t.Fatal("termination lost in crash")
+	}
+	pg, err := re.Page(pid)
+	if err != nil {
+		t.Fatalf("page created after open lost in crash: %v", err)
+	}
+	if !pg.Honeypot || pg.Name != "campaign" || pg.Owner != users[0] {
+		t.Fatalf("page attributes mangled in replay: %+v", pg)
+	}
+	if !re.AreFriends(u1, u2) || !re.AreFriends(u1, users[0]) {
+		t.Fatal("friendships lost in crash")
+	}
+	if !re.Likes(u1, pid) {
+		t.Fatal("like lost in crash")
+	}
+	found := false
+	for _, id := range re.Directory() {
+		if id == u1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("searchable user missing from rebuilt directory")
+	}
+	if stats.TailWorld < 6 {
+		t.Fatalf("TailWorld = %d, want >= 6 (2 users, 1 page, 2 edges, 1 status, 1 visibility)", stats.TailWorld)
+	}
+	if stats.DroppedEvents != 0 {
+		t.Fatalf("DroppedEvents = %d, want 0", stats.DroppedEvents)
+	}
+	// The ID counters must resume past the replayed entities: a fresh
+	// AddUser on the recovered store gets the next unused ID, not a
+	// collision with u2.
+	nu := re.AddUser(User{})
+	if nu != u2+1 {
+		t.Fatalf("post-recovery AddUser assigned %d, want %d", nu, u2+1)
+	}
+	if ru2b, err := re.User(u2); err != nil || ru2b.Status != StatusTerminated {
+		t.Fatal("new user clobbered a replayed one")
+	}
+}
+
+// TestIncrementalCheckpointSkipsSnapshotRewrite: a checkpoint whose
+// delta is small relative to the world must NOT rewrite the snapshot —
+// it fsyncs the WAL tail and republishes the manifest against the same
+// snapshot and offsets — while a large delta escalates to a full
+// snapshot that resets the tail.
+func TestIncrementalCheckpointSkipsSnapshotRewrite(t *testing.T) {
+	dir := t.TempDir()
+	st, users, pages := durableWorld(t, dir, 40, 40, noSync)
+	m1, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := st.AddLike(users[i], pages[i], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Seq != m1.Seq+1 {
+		t.Fatalf("incremental checkpoint seq = %d, want %d", m2.Seq, m1.Seq+1)
+	}
+	if m2.Snapshot != m1.Snapshot {
+		t.Fatalf("small-delta checkpoint rewrote the snapshot: %s -> %s", m1.Snapshot, m2.Snapshot)
+	}
+	if !reflect.DeepEqual(m2.Offsets, m1.Offsets) {
+		t.Fatalf("incremental checkpoint moved offsets %v -> %v; they describe snapshot coverage, which did not move", m1.Offsets, m2.Offsets)
+	}
+
+	// The checkpoint still made the delta durable: a crash image taken
+	// now must recover all three likes from the tail.
+	crash := cloneDir(t, dir)
+	re, stats, err := OpenDurable(crash, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TailEvents != 3 {
+		t.Fatalf("TailEvents = %d, want 3 (the incremental delta)", stats.TailEvents)
+	}
+	for i := 0; i < 3; i++ {
+		if !re.Likes(users[i], pages[i]) {
+			t.Fatalf("like %d lost after incremental checkpoint + crash", i)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A large delta (comparable to the world) escalates to a full
+	// snapshot: fresh snapshot file, offsets at the new high-water mark.
+	for i := 0; i < 40; i++ {
+		if err := st.AddLike(users[i], pages[(i+5)%40], at(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Snapshot == m2.Snapshot {
+		t.Fatal("large-delta checkpoint should have written a fresh snapshot")
+	}
+	var covered uint64
+	for _, o := range m3.Offsets {
+		covered += o
+	}
+	if covered != 43 {
+		t.Fatalf("full checkpoint covers %d records, want 43", covered)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, stats2, err := OpenDurable(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.Journal().Len(); got != 43 {
+		t.Fatalf("reopened journal has %d events, want 43", got)
+	}
+	if stats2.TailEvents != 0 {
+		t.Fatalf("TailEvents = %d after full checkpoint, want 0 (all snapshot-covered)", stats2.TailEvents)
 	}
 }

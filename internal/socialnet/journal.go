@@ -108,13 +108,18 @@ type Journal struct {
 }
 
 // Backend is the journal's durability hook: a sink that receives every
-// appended event tagged with its shard index. Append is called under
-// the journal's shard lock — implementations must be fast (buffer, not
-// fsync) and must never call back into the journal or store. Errors are
-// the backend's to keep (sticky) and surface on its own Sync/Close; the
-// in-memory journal remains the authoritative read path regardless.
+// appended like event tagged with its shard index, and — via
+// AppendWorld, called by the Store rather than the journal — every
+// world mutation (user/page creations, friendships, status and
+// visibility updates). Both methods are called under the owning shard
+// or entity lock — implementations must not call back into the journal
+// or store, and may block only to satisfy their own durability
+// contract (group commit). Errors are the backend's to keep (sticky)
+// and surface on its own Sync/Close; the in-memory journal remains the
+// authoritative read path regardless.
 type Backend interface {
 	Append(shard int, evs ...LikeEvent)
+	AppendWorld(shard int, recs ...WorldRecord)
 }
 
 // NewJournal returns an empty journal with the given number of shards

@@ -37,7 +37,11 @@ type Store struct {
 	journal    *Journal
 
 	// wal is the attached disk backend for a durable store (nil for the
-	// default in-memory store); see OpenDurable / Checkpoint.
+	// default in-memory store); see OpenDurable / Checkpoint. Likes
+	// reach it through the journal; world mutations (user/page
+	// creations, friendships, status/visibility updates) are journaled
+	// directly by the mutating methods, so the WAL tail alone replays
+	// everything since the last snapshot.
 	wal *DiskWAL
 
 	nextUser atomic.Int64
@@ -181,12 +185,24 @@ func sortPageLikes(likes []Like) {
 	})
 }
 
+// logWorld journals a world mutation to the attached WAL, sharded by
+// the subject entity's ID so per-entity mutation order on disk matches
+// the in-memory history. Callers hold the mutated entity's lock; under
+// group commit the call blocks until the record is durable, which is
+// safe because the committer takes only WAL-shard locks.
+func (s *Store) logWorld(id uint64, rec WorldRecord) {
+	if s.wal != nil {
+		s.wal.AppendWorld(int(id&s.shardMask), rec)
+	}
+}
+
 // AddUser inserts a user, assigning its ID. The input is copied.
 func (s *Store) AddUser(u User) UserID {
 	u.ID = UserID(s.nextUser.Add(1) - 1)
 	sh := s.userShard(u.ID)
 	sh.mu.Lock()
 	sh.users[u.ID] = &u
+	s.logWorld(uint64(u.ID), WorldRecord{Kind: WorldUser, User: u})
 	sh.mu.Unlock()
 
 	s.friendsMu.Lock()
@@ -240,6 +256,7 @@ func (s *Store) AddPage(p Page) (PageID, error) {
 	sh := s.pageShard(p.ID)
 	sh.mu.Lock()
 	sh.pages[p.ID] = &p
+	s.logWorld(uint64(p.ID), WorldRecord{Kind: WorldPage, Page: p})
 	sh.mu.Unlock()
 	return p.ID, nil
 }
@@ -657,7 +674,14 @@ func (s *Store) Friend(a, b UserID) error {
 	}
 	s.friendsMu.Lock()
 	defer s.friendsMu.Unlock()
-	return s.friends.AddEdge(int64(a), int64(b))
+	if s.friends.HasEdge(int64(a), int64(b)) {
+		return nil // already friends: idempotent, nothing to journal
+	}
+	if err := s.friends.AddEdge(int64(a), int64(b)); err != nil {
+		return err
+	}
+	s.logWorld(uint64(a), WorldRecord{Kind: WorldFriend, A: a, B: b})
+	return nil
 }
 
 func (s *Store) userExists(u UserID) bool {
@@ -724,6 +748,7 @@ func (s *Store) Terminate(u UserID) error {
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
 	usr.Status = StatusTerminated
+	s.logWorld(uint64(u), WorldRecord{Kind: WorldStatus, A: u, Status: StatusTerminated})
 	return nil
 }
 
@@ -770,5 +795,6 @@ func (s *Store) SetFriendsPublic(u UserID, public bool) error {
 		return fmt.Errorf("%w: %d", ErrNoUser, u)
 	}
 	usr.FriendsPublic = public
+	s.logWorld(uint64(u), WorldRecord{Kind: WorldFriendsVis, A: u, Visible: public})
 	return nil
 }
