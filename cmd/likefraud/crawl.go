@@ -51,6 +51,15 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 8, "concurrent profile fetchers")
 	batch := fs.Int("batch", 50, "profiles per batched /api/users request")
 	interval := fs.Duration("interval", 0, "politeness spacing between requests (shared across workers)")
+	fs.DurationVar(interval, "min-interval", 0, "alias for -interval: the starting (and, unless -adaptive-floor lowers it, minimum) request spacing")
+	backoffCap := fs.Duration("backoff-cap", 0, "cap on the retry backoff ceiling (0 = client default, 2s)")
+	adaptive := fs.Bool("adaptive", true, "AIMD-adapt the request spacing: shrink on sustained successes, multiply on 429s (false = fixed -interval spacing)")
+	adaptiveFloor := fs.Duration("adaptive-floor", 0, "fastest spacing the adaptive limiter may reach (0 = -interval: never exceed configured politeness)")
+	adaptiveCeil := fs.Duration("adaptive-ceil", 0, "slowest spacing an adaptive backoff may stretch to (0 = 2s)")
+	adaptiveStep := fs.Duration("adaptive-step", 0, "additive spacing shrink per success window (0 = 1ms)")
+	adaptiveWindow := fs.Int("adaptive-window", 0, "consecutive successes per additive shrink (0 = 8)")
+	adaptiveBackoff := fs.Float64("adaptive-backoff", 0, "multiplicative spacing stretch per 429 (0 = 2.0; must be >= 1)")
+	sequential := fs.Bool("sequential", false, "use the legacy page-sequential crawl engine instead of the global work queue")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: loaded if present, rewritten as the crawl progresses (default with -data-dir: DIR/crawl-checkpoint.json)")
 	dataDir := fs.String("data-dir", "", "durable directory for the self-served world: built once, reopened on later runs")
 	syncEvery := fs.Int("sync-every", 1, "fsync the world's journal after this many likes; 1 = group commit, fully durable acknowledgements (with -data-dir)")
@@ -138,6 +147,13 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 
 	ccfg := crawler.DefaultConfig(base)
 	ccfg.MinInterval = *interval
+	ccfg.BackoffCap = *backoffCap
+	ccfg.Adaptive = *adaptive
+	ccfg.AdaptiveFloor = *adaptiveFloor
+	ccfg.AdaptiveCeil = *adaptiveCeil
+	ccfg.AdaptiveStep = *adaptiveStep
+	ccfg.AdaptiveWindow = *adaptiveWindow
+	ccfg.AdaptiveBackoff = *adaptiveBackoff
 	cl, err := crawler.New(ccfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "likefraud crawl: %v\n", err)
@@ -220,7 +236,7 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	}
 	enc := json.NewEncoder(outW)
 
-	pcfg := crawler.PipelineConfig{Workers: *workers, BatchSize: *batch}
+	pcfg := crawler.PipelineConfig{Workers: *workers, BatchSize: *batch, Sequential: *sequential}
 	if sink != nil {
 		pcfg.Sink = sink
 	}
@@ -305,9 +321,9 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	for _, id := range ids {
 		fmt.Fprintf(stdout, "page %d: %d new likers\n", id, perPage[id])
 	}
-	fmt.Fprintf(stdout, "crawled %d profiles over %d pages in %s (%d requests, %d retries, %d workers)\n",
+	fmt.Fprintf(stdout, "crawled %d profiles over %d pages in %s (%d requests, %d retries, %d throttled, %d workers, final interval %s)\n",
 		profiles, len(pageIDs), time.Since(start).Round(time.Millisecond),
-		cl.Requests(), cl.Retries(), *workers)
+		cl.Requests(), cl.Retries(), cl.Throttled(), *workers, cl.Interval())
 	return 0
 }
 

@@ -80,6 +80,47 @@ func TestRunCrawlSmoke(t *testing.T) {
 	}
 }
 
+// TestRunCrawlTuningFlags drives the crawl with every limiter tuning
+// flag set — the AIMD bounds, the -min-interval alias, -backoff-cap,
+// and the sequential-engine fallback — and checks they parse, plumb
+// through crawler.Config validation, and still produce a full crawl.
+func TestRunCrawlTuningFlags(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "profiles.jsonl")
+	args := []string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-min-interval", "200us", "-backoff-cap", "500ms",
+		"-adaptive", "-adaptive-floor", "50us", "-adaptive-ceil", "1s",
+		"-adaptive-step", "100us", "-adaptive-window", "4", "-adaptive-backoff", "1.5",
+		"-out", outFile, "-quiet"}
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "throttled") || !strings.Contains(out.String(), "final interval") {
+		t.Fatalf("summary missing limiter counters:\n%s", out.String())
+	}
+
+	// The static fallback engine and fixed spacing still work.
+	args = []string{"crawl", "-seed", "3", "-scale", "0.05", "-workers", "4",
+		"-adaptive=false", "-sequential", "-interval", "100us", "-quiet"}
+	out.Reset()
+	errOut.Reset()
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("sequential exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "crawled ") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+
+	// A nonsense adaptive-backoff must be rejected by config validation.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"crawl", "-seed", "3", "-scale", "0.05",
+		"-adaptive-backoff", "0.5", "-quiet"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 for adaptive-backoff < 1; stderr: %s", code, errOut.String())
+	}
+}
+
 func TestRunCrawlRequiresPagesWithURL(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"crawl", "-url", "http://127.0.0.1:1"}, &out, &errOut); code != 2 {

@@ -61,12 +61,12 @@ func crawlWorld(t *testing.T) (srv *httptest.Server, want []byte, roster []analy
 // crawlTablesOver runs a full crawl (pages then baseline) through a
 // fresh pipeline with the given worker count and returns the resulting
 // §4 table bytes.
-func crawlTablesOver(t *testing.T, srv *httptest.Server, roster []analysis.CrawlCampaign, baseline, pages []int64, workers int) []byte {
+func crawlTablesOver(t *testing.T, srv *httptest.Server, roster []analysis.CrawlCampaign, baseline, pages []int64, workers int, sequential bool) []byte {
 	t.Helper()
 	cl := newCrawlClient(t, srv)
 	analyzer := analysis.NewCrawlAnalyzer(roster, toUserIDs(baseline))
 	sink := crawler.NewAnalysisSink(analyzer.Aggregators()...)
-	pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: workers, BatchSize: 17, Sink: sink}, nil)
+	pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: workers, BatchSize: 17, Sink: sink, Sequential: sequential}, nil)
 	noop := func(int64, crawler.LikerProfile) error { return nil }
 	if err := pipe.Crawl(context.Background(), pages, noop); err != nil {
 		t.Fatal(err)
@@ -106,11 +106,14 @@ func TestCrawlTablesMatchJournalEngine(t *testing.T) {
 		t.Skip("full study + HTTP crawl")
 	}
 	srv, want, roster, baseline, pages := crawlWorld(t)
-	for _, workers := range []int{1, 4, 16} {
-		got := crawlTablesOver(t, srv, roster, baseline, pages, workers)
+	for _, v := range []struct {
+		workers    int
+		sequential bool
+	}{{1, false}, {4, false}, {16, false}, {4, true}} {
+		got := crawlTablesOver(t, srv, roster, baseline, pages, v.workers, v.sequential)
 		if !bytes.Equal(got, want) {
-			t.Fatalf("workers=%d: crawl-derived tables differ from journal engine\ncrawl:   %.300s\njournal: %.300s",
-				workers, got, want)
+			t.Fatalf("workers=%d sequential=%v: crawl-derived tables differ from journal engine\ncrawl:   %.300s\njournal: %.300s",
+				v.workers, v.sequential, got, want)
 		}
 	}
 }

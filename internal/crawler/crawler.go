@@ -60,13 +60,46 @@ type Config struct {
 	// HTTP-date; a polite crawler honors both forms but never sleeps
 	// unboundedly — a far-future date is clamped to the cap.
 	RetryAfterCap time.Duration
+	// Adaptive selects the AIMD politeness limiter instead of the
+	// fixed MinInterval spacing (the default via DefaultConfig; the
+	// fixed limiter remains the static fallback when false). The
+	// spacing starts at MinInterval, shrinks additively by
+	// AdaptiveStep per AdaptiveWindow consecutive successes toward
+	// AdaptiveFloor, and stretches multiplicatively by
+	// AdaptiveBackoff (clamped to AdaptiveCeil) on every 429 — the
+	// crawl converges to the rate the server actually absorbs.
+	// Retry-After hints keep their spent-exactly-once contract; the
+	// controller reacts only to the 429 signal itself. Deterministic:
+	// the schedule is a pure function of the outcome sequence.
+	Adaptive bool
+	// AdaptiveFloor is the fastest spacing the controller may reach
+	// (0 = MinInterval: adaptivity only ever backs off from the
+	// configured politeness and returns to it). Setting a floor below
+	// MinInterval explicitly licenses the crawl to outrun it against
+	// a demonstrably permissive server.
+	AdaptiveFloor time.Duration
+	// AdaptiveCeil is the slowest spacing a backoff may stretch to
+	// (0 = 2s).
+	AdaptiveCeil time.Duration
+	// AdaptiveStep is the additive spacing shrink per success window
+	// (0 = 1ms).
+	AdaptiveStep time.Duration
+	// AdaptiveBackoff is the multiplicative spacing stretch per 429
+	// (0 = 2.0; values below 1 are invalid).
+	AdaptiveBackoff float64
+	// AdaptiveWindow is the number of consecutive successes that earn
+	// one additive shrink (0 = 8).
+	AdaptiveWindow int
 	// AdminToken authorizes admin-report requests.
 	AdminToken string
 	// HTTPClient overrides the default client (tests, timeouts).
 	HTTPClient *http.Client
 }
 
-// DefaultConfig returns a polite configuration for local use.
+// DefaultConfig returns a polite configuration for local use. The
+// adaptive limiter is the default: with AdaptiveFloor unset it backs
+// off from MinInterval under 429s and returns to it — never faster
+// than the configured politeness unless a lower floor is granted.
 func DefaultConfig(baseURL string) Config {
 	return Config{
 		BaseURL:     baseURL,
@@ -74,6 +107,7 @@ func DefaultConfig(baseURL string) Config {
 		MaxRetries:  3,
 		Backoff:     50 * time.Millisecond,
 		PageSize:    200,
+		Adaptive:    true,
 	}
 }
 
@@ -84,6 +118,15 @@ func (c *Config) Validate() error {
 	}
 	if c.MinInterval < 0 || c.Backoff < 0 || c.BackoffCap < 0 {
 		return errors.New("crawler: negative intervals")
+	}
+	if c.AdaptiveFloor < 0 || c.AdaptiveCeil < 0 || c.AdaptiveStep < 0 {
+		return errors.New("crawler: negative adaptive intervals")
+	}
+	if c.AdaptiveBackoff != 0 && c.AdaptiveBackoff < 1 {
+		return errors.New("crawler: adaptive backoff factor below 1 would speed up on throttles")
+	}
+	if c.AdaptiveWindow < 0 {
+		return errors.New("crawler: negative adaptive window")
 	}
 	if c.MaxRetries < 0 {
 		return errors.New("crawler: negative retries")
@@ -103,14 +146,22 @@ type Client struct {
 	cfg  Config
 	http *http.Client
 
-	// mu guards last: the politeness limiter's reservation point.
-	// Callers reserve the next free send slot under the lock, then
-	// sleep until their slot without holding it.
+	// mu guards last: the fixed politeness limiter's reservation
+	// point. Callers reserve the next free send slot under the lock,
+	// then sleep until their slot without holding it. With
+	// cfg.Adaptive the reservation point lives in pace instead.
 	mu   sync.Mutex
 	last time.Time
 
-	requests atomic.Int64
-	retries  atomic.Int64
+	// paceMu guards the lazily built pace. Construction is deferred
+	// to the first request so tests that adjust cfg.MinInterval after
+	// New still seed the controller with the value they configured.
+	paceMu sync.Mutex
+	pace   *aimdPacer
+
+	requests  atomic.Int64
+	retries   atomic.Int64
+	throttled atomic.Int64
 
 	// rngMu guards rng, the jitter source for retry backoff. Seeded
 	// (deterministically by default) rather than global so tests can
@@ -141,21 +192,60 @@ func (c *Client) Requests() int { return int(c.requests.Load()) }
 // Retries returns the number of retry attempts so far.
 func (c *Client) Retries() int { return int(c.retries.Load()) }
 
+// Throttled returns the number of 429 responses received so far.
+// Throttles also count as retries (the request is re-attempted), but
+// folding them into Retries alone hid the congestion signal the AIMD
+// controller acts on — this counter makes its behavior observable.
+func (c *Client) Throttled() int { return int(c.throttled.Load()) }
+
+// Interval reports the current politeness spacing: the adaptive
+// controller's live value when Adaptive is set, MinInterval otherwise.
+func (c *Client) Interval() time.Duration {
+	if c.cfg.Adaptive {
+		return c.pacer().interval()
+	}
+	return c.cfg.MinInterval
+}
+
+// pacer returns the adaptive controller, building it on first use.
+func (c *Client) pacer() *aimdPacer {
+	c.paceMu.Lock()
+	defer c.paceMu.Unlock()
+	if c.pace == nil {
+		c.pace = newAIMDPacer(c.cfg)
+	}
+	return c.pace
+}
+
+// noteOutcome feeds a request outcome to the adaptive controller, if
+// one is configured.
+func (c *Client) noteOutcome(success bool) {
+	if c.cfg.Adaptive {
+		c.pacer().outcome(success)
+	}
+}
+
 // waitTurn reserves the next politeness slot and sleeps until it.
 // Reserving under the lock and sleeping outside it gives concurrent
-// callers distinct slots exactly MinInterval apart.
+// callers distinct slots exactly one spacing apart — MinInterval for
+// the fixed limiter, the AIMD controller's current value otherwise.
 func (c *Client) waitTurn(ctx context.Context) error {
-	if c.cfg.MinInterval <= 0 {
-		return nil
+	var slot time.Time
+	if c.cfg.Adaptive {
+		slot = c.pacer().reserve(time.Now())
+	} else {
+		if c.cfg.MinInterval <= 0 {
+			return nil
+		}
+		c.mu.Lock()
+		now := time.Now()
+		slot = c.last.Add(c.cfg.MinInterval)
+		if slot.Before(now) {
+			slot = now
+		}
+		c.last = slot
+		c.mu.Unlock()
 	}
-	c.mu.Lock()
-	now := time.Now()
-	slot := c.last.Add(c.cfg.MinInterval)
-	if slot.Before(now) {
-		slot = now
-	}
-	c.last = slot
-	c.mu.Unlock()
 	if wait := time.Until(slot); wait > 0 {
 		select {
 		case <-time.After(wait):
@@ -269,6 +359,18 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 			lastErr = err
 			continue
 		}
+		// Feed the adaptive controller: a 429 is the congestion signal
+		// it multiplies the spacing on; any other sub-500 response is a
+		// success signal (the server answered — 403/404 are healthy
+		// answers). 5xx and transport errors are neutral: server
+		// trouble, not congestion, and already the retry path's job.
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.throttled.Add(1)
+			c.noteOutcome(false)
+		case resp.StatusCode < 500:
+			c.noteOutcome(true)
+		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			if err := json.Unmarshal(body, out); err != nil {
@@ -381,6 +483,24 @@ func (c *Client) PageLikesSince(ctx context.Context, id int64, cursor int) ([]ap
 			return out, cursor, nil
 		}
 	}
+}
+
+// PageLikesWindow fetches exactly one pagination window of the page's
+// like stream starting at cursor, returning the window's likes and the
+// cursor that resumes after them. It is the global work queue's probe
+// primitive: one request per task, so a quiet page's tail probe costs
+// one politeness slot and the scheduler decides when the next window
+// is worth probing. An empty window means the cursor is at the live
+// tail; a short non-empty window means the tail is near (the stream
+// may still grow). PageLikesSince remains the drain-to-tail loop over
+// this primitive.
+func (c *Client) PageLikesWindow(ctx context.Context, id int64, cursor int) ([]api.LikeDoc, int, error) {
+	var doc api.PageLikesDoc
+	path := fmt.Sprintf("/api/page/%d/likes?cursor=%d&limit=%d", id, cursor, c.cfg.PageSize)
+	if err := c.get(ctx, path, false, &doc); err != nil {
+		return nil, cursor, err
+	}
+	return doc.Likes, doc.NextCursor, nil
 }
 
 // User fetches a public profile.

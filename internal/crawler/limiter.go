@@ -1,0 +1,148 @@
+package crawler
+
+import (
+	"sync"
+	"time"
+)
+
+// aimdPacer is the adaptive politeness limiter: an AIMD controller
+// over the inter-request spacing. While the server keeps answering,
+// the spacing shrinks additively (step per window consecutive
+// successes) toward floor — the crawl speeds up to whatever rate the
+// server demonstrably absorbs. On a 429 the spacing stretches
+// multiplicatively (×factor, clamped to ceil) and the success streak
+// resets — one congestion signal undoes many cautious probes, the
+// classic TCP-style asymmetry that makes the controller converge to
+// just under the server's limit instead of oscillating through it.
+//
+// The controller is deterministic: the spacing after any sequence of
+// outcomes is a pure function of that sequence and the initial
+// parameters. It draws no randomness of its own (the client's seeded
+// retry jitter stays in the retry path), so tests can replay an
+// outcome sequence and assert the exact schedule.
+//
+// Retry-After hints keep their existing contract — spent on exactly
+// one retry sleep, never folded into backoff — and are deliberately
+// NOT folded into the spacing either: the pacer reacts to the 429
+// event, not the hint's magnitude, so a hint can never be honored
+// twice (once as a sleep, once as a rate).
+type aimdPacer struct {
+	mu sync.Mutex
+	// cur is the current inter-request spacing, always within
+	// [floor, ceil].
+	cur time.Duration
+	// last is the most recently reserved send slot.
+	last time.Time
+	// streak counts consecutive successes since the last adjustment.
+	streak int
+
+	floor  time.Duration // fastest spacing the controller may reach
+	ceil   time.Duration // slowest spacing a backoff may stretch to
+	step   time.Duration // additive shrink per completed success window
+	factor float64       // multiplicative stretch per throttle signal
+	window int           // consecutive successes per additive shrink
+}
+
+// Adaptive-limiter defaults, used when the corresponding Config field
+// is zero.
+const (
+	defaultAdaptiveCeil   = 2 * time.Second
+	defaultAdaptiveStep   = time.Millisecond
+	defaultAdaptiveWindow = 8
+)
+
+const defaultAdaptiveBackoff = 2.0
+
+// newAIMDPacer builds the controller from a validated Config. The
+// starting spacing is MinInterval clamped into [floor, ceil]; an
+// unset floor defaults to MinInterval itself, so by default the
+// controller only ever backs OFF from the configured politeness and
+// returns to it — reaching beyond MinInterval requires the operator
+// to grant an explicit lower floor.
+func newAIMDPacer(cfg Config) *aimdPacer {
+	floor := cfg.AdaptiveFloor
+	if floor <= 0 {
+		floor = cfg.MinInterval
+	}
+	ceil := cfg.AdaptiveCeil
+	if ceil <= 0 {
+		ceil = defaultAdaptiveCeil
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	step := cfg.AdaptiveStep
+	if step <= 0 {
+		step = defaultAdaptiveStep
+	}
+	factor := cfg.AdaptiveBackoff
+	if factor < 1 {
+		factor = defaultAdaptiveBackoff
+	}
+	window := cfg.AdaptiveWindow
+	if window < 1 {
+		window = defaultAdaptiveWindow
+	}
+	cur := cfg.MinInterval
+	if cur < floor {
+		cur = floor
+	}
+	if cur > ceil {
+		cur = ceil
+	}
+	return &aimdPacer{cur: cur, floor: floor, ceil: ceil, step: step, factor: factor, window: window}
+}
+
+// reserve claims the next politeness slot at the current spacing and
+// returns it; the caller sleeps until the slot without holding any
+// lock. Concurrent callers get distinct slots exactly one spacing
+// apart — the same reservation discipline the fixed limiter uses.
+func (p *aimdPacer) reserve(now time.Time) time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slot := p.last.Add(p.cur)
+	if slot.Before(now) {
+		slot = now
+	}
+	p.last = slot
+	return slot
+}
+
+// outcome feeds one request's result into the controller: success
+// (any non-throttle response) or throttle (a 429). Transport errors
+// and 5xx responses are neutral — they signal server trouble, not
+// congestion, and belong to the retry path.
+func (p *aimdPacer) outcome(success bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if success {
+		p.streak++
+		if p.streak >= p.window {
+			p.streak = 0
+			p.cur -= p.step
+			if p.cur < p.floor {
+				p.cur = p.floor
+			}
+		}
+		return
+	}
+	p.streak = 0
+	next := time.Duration(float64(p.cur) * p.factor)
+	// Multiplying a zero (or sub-step) spacing would stall the
+	// backoff at ~zero; re-seed from the additive step so the
+	// exponential climb has a foothold.
+	if next < p.step {
+		next = p.step
+	}
+	if next > p.ceil {
+		next = p.ceil
+	}
+	p.cur = next
+}
+
+// interval reports the current spacing (observability, tests).
+func (p *aimdPacer) interval() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}

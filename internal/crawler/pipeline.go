@@ -30,6 +30,14 @@ type Checkpoint struct {
 	// pipeline only validates presence; restoring is the caller's
 	// step, since the caller constructed the sink).
 	Sink json.RawMessage `json:"sink,omitempty"`
+	// Windows holds the global queue's in-flight cursor windows —
+	// probed but not yet closed — sorted by (page, start). Each
+	// carries its like payload and the users still pending, so a
+	// resume rebuilds exactly the open frontier: pending profiles are
+	// refetched (minus any since crawled), stored likes are folded
+	// into the sink when the restored window closes. Absent for the
+	// sequential engine and for checkpoints taken at quiescence.
+	Windows []WindowState `json:"windows,omitempty"`
 }
 
 // PipelineConfig tunes the concurrent crawl.
@@ -48,9 +56,24 @@ type PipelineConfig struct {
 	Sink Sink
 	// OnCheckpoint, when set, is called after each fully processed like
 	// window with a consistent snapshot — the hook for persisting crawl
-	// progress. It is called from the coordinating goroutine, never
-	// concurrently.
+	// progress. It is never called concurrently.
 	OnCheckpoint func(Checkpoint)
+	// Sequential selects the legacy page-sequential engine: pages are
+	// drained one at a time to their live tail, as before the global
+	// work queue. The default (false) runs all pages through one
+	// shared task queue so quiet-page probes overlap busy-page profile
+	// fetches. Both engines produce the same profile set and the same
+	// sink tables; Sequential exists as the static fallback and the
+	// benchmark baseline.
+	Sequential bool
+	// ProbeAhead caps how many windows of a single page may be open
+	// (probed, profiles in flight) at once under the global queue
+	// (min 1, default 8). It bounds checkpoint size and keeps one
+	// deep page from monopolizing the queue.
+	ProbeAhead int
+	// lifo flips the queue to stack order — a test knob proving result
+	// tables are scheduling-order independent.
+	lifo bool
 }
 
 // Pipeline is the concurrent, resumable §3 data-collection engine: it
@@ -77,6 +100,16 @@ type Pipeline struct {
 	// written without sink state would starve a resumed sink of every
 	// user already marked crawled, so the crawl aborts instead.
 	snapErr error
+	// resumeWindows carries a resumed checkpoint's in-flight windows
+	// until the next queue crawl consumes them (guarded by mu). While
+	// present they also ride any Checkpoint taken before that crawl,
+	// so persisting a freshly resumed pipeline loses nothing.
+	resumeWindows []WindowState
+
+	// sched is the live global-queue scheduler during a queue crawl
+	// (guarded by emitMu for install/teardown, so Checkpoint — which
+	// holds emitMu — always sees a consistent pointer).
+	sched *scheduler
 
 	// emitMu serializes every externally visible transition: the
 	// {emit, sink.ObserveProfile, mark-crawled} triple, the
@@ -107,6 +140,9 @@ func NewPipeline(cl *Client, cfg PipelineConfig, resume *Checkpoint) *Pipeline {
 		cursors: make(map[int64]int),
 		crawled: make(map[int64]bool),
 	}
+	if p.cfg.ProbeAhead < 1 {
+		p.cfg.ProbeAhead = 8
+	}
 	if resume != nil {
 		for page, cur := range resume.PageCursors {
 			p.cursors[page] = cur
@@ -114,8 +150,29 @@ func NewPipeline(cl *Client, cfg PipelineConfig, resume *Checkpoint) *Pipeline {
 		for _, u := range resume.Crawled {
 			p.crawled[u] = true
 		}
+		p.resumeWindows = slices.Clone(resume.Windows)
 	}
 	return p
+}
+
+// cursorOf reads one page's checkpointed cursor.
+func (p *Pipeline) cursorOf(page int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cursors[page]
+}
+
+// probeAhead reports the per-page open-window cap.
+func (p *Pipeline) probeAhead() int { return p.cfg.ProbeAhead }
+
+// takeResumeWindows hands the resumed in-flight windows to the queue
+// crawl exactly once.
+func (p *Pipeline) takeResumeWindows() []WindowState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.resumeWindows
+	p.resumeWindows = nil
+	return ws
 }
 
 // Checkpoint returns a consistent snapshot of the crawl state, safe to
@@ -138,6 +195,13 @@ func (p *Pipeline) Checkpoint() Checkpoint {
 	}
 	p.mu.Unlock()
 	slices.Sort(ck.Crawled)
+	if p.sched != nil {
+		ck.Windows = p.sched.snapshotWindows()
+	} else {
+		p.mu.Lock()
+		ck.Windows = slices.Clone(p.resumeWindows)
+		p.mu.Unlock()
+	}
 	if p.cfg.Sink != nil {
 		state, err := p.cfg.Sink.Snapshot()
 		if err != nil {
@@ -175,12 +239,61 @@ func (p *Pipeline) SnapshotErr() error {
 // re-emits it — consumers that persist profiles lose nothing to a
 // failed write.
 func (p *Pipeline) Crawl(ctx context.Context, pages []int64, emit func(page int64, prof LikerProfile) error) error {
-	for _, page := range pages {
-		if err := p.crawlPage(ctx, page, emit); err != nil {
-			return err
+	if p.cfg.Sequential {
+		for _, page := range pages {
+			if err := p.crawlPage(ctx, page, emit); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+	return p.crawlQueue(ctx, pages, emit)
+}
+
+// crawlQueue runs the global-work-queue engine: every page's cursor
+// probes and profile batches go through one shared queue consumed by
+// the worker pool, so all pages progress concurrently and a page's
+// probing runs ahead of its window closes (see queue.go). The same
+// per-page guarantee holds as in the sequential engine — each page is
+// drained to its live tail before Crawl returns — and the emitted
+// profile set is identical.
+func (p *Pipeline) crawlQueue(ctx context.Context, pages []int64, emit func(int64, LikerProfile) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s := newScheduler(p, pages, emit, cancel)
+	p.emitMu.Lock()
+	p.sched = s
+	p.emitMu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(ctx)
+		}()
+	}
+	wg.Wait()
+
+	// Tear down under emitMu: any still-open windows (error/cancel
+	// path) move back to resumeWindows, so a final Checkpoint taken
+	// after Crawl returns still carries them.
+	leftover := s.snapshotWindows()
+	p.emitMu.Lock()
+	p.mu.Lock()
+	p.resumeWindows = leftover
+	p.mu.Unlock()
+	p.sched = nil
+	p.emitMu.Unlock()
+
+	s.mu.Lock()
+	err := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // CrawlProfiles collects the given users' profiles (skipping any

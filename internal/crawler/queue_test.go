@@ -1,0 +1,269 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/api"
+)
+
+// smallWindowClient builds a client with a small PageSize so a modest
+// page splits into several cursor windows — the multi-window-in-flight
+// regime the global queue's checkpointing has to survive.
+func smallWindowClient(t *testing.T, srv *httptest.Server, pageSize int) *Client {
+	t.Helper()
+	cfg := DefaultConfig(srv.URL)
+	cfg.MinInterval = 0
+	cfg.PageSize = pageSize
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQueueTablesSchedulingOrderIndependent: the crawl-to-analysis
+// tables are byte-identical across worker counts, queue scheduling
+// orders (FIFO vs LIFO), probe-ahead depths, and the sequential
+// fallback engine — concurrency and scheduling affect wall clock only,
+// never the result.
+func TestQueueTablesSchedulingOrderIndependent(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  PipelineConfig
+	}{
+		{"queue-w1", PipelineConfig{Workers: 1, BatchSize: 4}},
+		{"queue-w4", PipelineConfig{Workers: 4, BatchSize: 4}},
+		{"queue-w16", PipelineConfig{Workers: 16, BatchSize: 4}},
+		{"queue-lifo", PipelineConfig{Workers: 4, BatchSize: 4, lifo: true}},
+		{"queue-probe1", PipelineConfig{Workers: 4, BatchSize: 4, ProbeAhead: 1}},
+		{"queue-probe2-w16", PipelineConfig{Workers: 16, BatchSize: 2, ProbeAhead: 2}},
+		{"sequential", PipelineConfig{Workers: 4, BatchSize: 4, Sequential: true}},
+	}
+	var want []byte
+	for _, v := range variants {
+		srv, roster, pages := sinkWorld(t)
+		cl := smallWindowClient(t, srv, 7) // 30 likers → ≥5 windows per page
+		analyzer := analysis.NewCrawlAnalyzer(roster, nil)
+		cfg := v.cfg
+		cfg.Sink = NewAnalysisSink(analyzer.Aggregators()...)
+		pipe := NewPipeline(cl, cfg, nil)
+		if err := pipe.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		tables, err := analyzer.Tables()
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		got, err := tables.MarshalStable()
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if want == nil {
+			want = got
+		} else if string(got) != string(want) {
+			t.Fatalf("%s: tables differ from baseline:\n%s\nvs\n%s", v.name, got, want)
+		}
+	}
+}
+
+// durableSink counts every observation and round-trips its counts
+// through Snapshot/Restore, so a kill/resume chain can prove the
+// exactly-once contract end to end: no profile or like event observed
+// twice (double-feed) and none missing (starvation).
+type durableSink struct {
+	Profiles map[int64]int  `json:"profiles"`
+	Likes    map[string]int `json:"likes"`
+}
+
+func newDurableSink() *durableSink {
+	return &durableSink{Profiles: map[int64]int{}, Likes: map[string]int{}}
+}
+
+func (d *durableSink) ObserveProfile(_ int64, prof LikerProfile) error {
+	d.Profiles[prof.User.ID]++
+	return nil
+}
+
+func (d *durableSink) ObserveLikes(page int64, likes []api.LikeDoc) error {
+	for _, lk := range likes {
+		d.Likes[fmt.Sprintf("%d/%d/%s", page, lk.User, lk.At)]++
+	}
+	return nil
+}
+
+func (d *durableSink) Snapshot() ([]byte, error) { return json.Marshal(d) }
+func (d *durableSink) Restore(data []byte) error { return json.Unmarshal(data, d) }
+
+// TestQueueKillResumeMidWindows kills a multi-page-concurrent crawl at
+// arbitrary points — with several pages mid-window — JSON-round-trips
+// the checkpoint (including its in-flight Windows), and resumes into a
+// restored sink, twice, before letting the third leg finish. The
+// chained result must match an uninterrupted crawl observation for
+// observation: every profile exactly once, every like event exactly
+// once.
+func TestQueueKillResumeMidWindows(t *testing.T) {
+	// Uninterrupted baseline.
+	srv, _, pages := sinkWorld(t)
+	base := newDurableSink()
+	pipe := NewPipeline(smallWindowClient(t, srv, 7), PipelineConfig{Workers: 4, BatchSize: 3, Sink: base}, nil)
+	if err := pipe.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	leg := func(srv *httptest.Server, resume *Checkpoint, killAfter int32) *Checkpoint {
+		t.Helper()
+		sink := newDurableSink()
+		if resume != nil && resume.Sink != nil {
+			if err := sink.Restore(resume.Sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl := smallWindowClient(t, srv, 7)
+		pipe := NewPipeline(cl, PipelineConfig{Workers: 4, BatchSize: 3, Sink: sink, ProbeAhead: 3}, resume)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var emitted atomic.Int32
+		err := pipe.Crawl(ctx, pages, func(int64, LikerProfile) error {
+			if killAfter > 0 && emitted.Add(1) == killAfter {
+				cancel()
+			}
+			return nil
+		})
+		if killAfter > 0 && err == nil {
+			t.Fatalf("kill after %d emits: crawl finished anyway", killAfter)
+		}
+		if killAfter == 0 && err != nil {
+			t.Fatal(err)
+		}
+		ck := pipe.Checkpoint()
+		if err := pipe.SnapshotErr(); err != nil {
+			t.Fatal(err)
+		}
+		// The checkpoint must survive persistence: round-trip through
+		// JSON exactly as a crawl data dir would.
+		raw, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Checkpoint
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	srv2, _, _ := sinkWorld(t) // identical deterministic world, fresh server
+	sawWindows := false
+	ck := leg(srv2, nil, 5)
+	if len(ck.Windows) > 0 {
+		sawWindows = true
+	}
+	ck = leg(srv2, ck, 9)
+	if len(ck.Windows) > 0 {
+		sawWindows = true
+	}
+	final := leg(srv2, ck, 0)
+	if len(final.Windows) != 0 {
+		t.Fatalf("finished crawl checkpoint still holds %d open windows", len(final.Windows))
+	}
+	if !sawWindows {
+		t.Fatal("no kill point caught an in-flight window; kill points too late to exercise Windows round-trip")
+	}
+
+	got := newDurableSink()
+	if err := got.Restore(final.Sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != len(base.Profiles) {
+		t.Fatalf("chained crawl observed %d profiles, baseline %d", len(got.Profiles), len(base.Profiles))
+	}
+	for u, n := range got.Profiles {
+		if n != 1 {
+			t.Fatalf("profile %d observed %d times across kill/resume chain", u, n)
+		}
+		if base.Profiles[u] != 1 {
+			t.Fatalf("profile %d not in baseline", u)
+		}
+	}
+	if len(got.Likes) != len(base.Likes) {
+		t.Fatalf("chained crawl observed %d like events, baseline %d", len(got.Likes), len(base.Likes))
+	}
+	for k, n := range got.Likes {
+		if n != 1 {
+			t.Fatalf("like event %s observed %d times across kill/resume chain", k, n)
+		}
+		if base.Likes[k] != 1 {
+			t.Fatalf("like event %s not in baseline", k)
+		}
+	}
+}
+
+// TestQueueCheckpointMidCrawlResumesExactly: a checkpoint captured by
+// the OnCheckpoint hook mid-crawl (not at the kill point — an earlier,
+// arbitrary window close) also resumes to the complete result: the
+// Windows it carries refetch only what was pending.
+func TestQueueCheckpointMidCrawlResumesExactly(t *testing.T) {
+	srv, _, pages := sinkWorld(t)
+	sink := newDurableSink()
+	var fromHook *Checkpoint
+	var closes int
+	cfg := PipelineConfig{Workers: 8, BatchSize: 2, Sink: sink, ProbeAhead: 4}
+	cfg.OnCheckpoint = func(ck Checkpoint) {
+		closes++
+		if closes == 3 { // an early close, plenty still in flight
+			fromHook = &ck
+		}
+	}
+	pipe := NewPipeline(smallWindowClient(t, srv, 5), cfg, nil)
+	if err := pipe.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	full, err := sink.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromHook == nil {
+		t.Fatal("crawl closed fewer than 3 windows; shrink PageSize")
+	}
+
+	srv2, _, _ := sinkWorld(t)
+	sink2 := newDurableSink()
+	if err := sink2.Restore(fromHook.Sink); err != nil {
+		t.Fatal(err)
+	}
+	pipe2 := NewPipeline(smallWindowClient(t, srv2, 5), PipelineConfig{Workers: 8, BatchSize: 2, Sink: sink2}, fromHook)
+	if err := pipe2.Crawl(context.Background(), pages, func(int64, LikerProfile) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sink2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b durableSink
+	if err := json.Unmarshal(full, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resumed, &b); err != nil {
+		t.Fatal(err)
+	}
+	for u, n := range b.Profiles {
+		if n != 1 || a.Profiles[u] != 1 {
+			t.Fatalf("profile %d: resumed count %d, baseline count %d", u, n, a.Profiles[u])
+		}
+	}
+	if len(a.Profiles) != len(b.Profiles) || len(a.Likes) != len(b.Likes) {
+		t.Fatalf("resumed observations (%d profiles, %d likes) differ from uninterrupted (%d, %d)",
+			len(b.Profiles), len(b.Likes), len(a.Profiles), len(a.Likes))
+	}
+	for k, n := range b.Likes {
+		if n != 1 || a.Likes[k] != 1 {
+			t.Fatalf("like event %s: resumed count %d, baseline count %d", k, n, a.Likes[k])
+		}
+	}
+}
