@@ -261,10 +261,12 @@ func (p *Pipeline) crawlQueue(ctx context.Context, pages []int64, emit func(int6
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// newScheduler consumes resumeWindows and installs itself as
+	// p.sched in one emitMu critical section, so no Checkpoint can
+	// observe the in-flight windows in neither place; start then folds
+	// any restored windows that are already closable.
 	s := newScheduler(p, pages, emit, cancel)
-	p.emitMu.Lock()
-	p.sched = s
-	p.emitMu.Unlock()
+	s.start(pages)
 
 	var wg sync.WaitGroup
 	for w := 0; w < p.cfg.Workers; w++ {

@@ -102,8 +102,8 @@ type pageState struct {
 }
 
 // scheduler is the global work queue and its bookkeeping. Lock order:
-// closeMu → emitMu → (mu | the pipeline's mu); mu and the pipeline's
-// mu are never nested within each other.
+// closeMu → emitMu → mu → the pipeline's mu; the pipeline's mu is
+// never held while taking mu.
 type scheduler struct {
 	p      *Pipeline
 	emit   func(int64, LikerProfile) error
@@ -126,7 +126,7 @@ type scheduler struct {
 // newScheduler seeds the queue: per-page state at the checkpointed
 // cursors, restored in-flight windows (their pending profiles become
 // batch tasks, their stored likes wait for the close), and one initial
-// probe per page.
+// probe per page. It installs itself as p.sched before returning.
 func newScheduler(p *Pipeline, pages []int64, emit func(int64, LikerProfile) error, cancel context.CancelFunc) *scheduler {
 	s := &scheduler{
 		p:      p,
@@ -135,6 +135,14 @@ func newScheduler(p *Pipeline, pages []int64, emit func(int64, LikerProfile) err
 		pages:  make(map[int64]*pageState, len(pages)),
 	}
 	s.cond = sync.NewCond(&s.mu)
+
+	// Seeding and installing happen in ONE emitMu critical section: a
+	// concurrent Checkpoint sees either the pipeline's resumeWindows
+	// (before) or the installed scheduler carrying those same windows
+	// (after), never a gap with the in-flight windows in neither — the
+	// "windows ride any Checkpoint" guarantee has no hole.
+	p.emitMu.Lock()
+	defer p.emitMu.Unlock()
 
 	// Consume the resume windows once: group by page, discard windows
 	// already covered by the page's cursor (a prior crawl closed them)
@@ -146,7 +154,6 @@ func newScheduler(p *Pipeline, pages []int64, emit func(int64, LikerProfile) err
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, page := range pages {
 		if _, dup := s.pages[page]; dup {
 			continue
@@ -174,10 +181,31 @@ func newScheduler(p *Pipeline, pages []int64, emit func(int64, LikerProfile) err
 		}
 		s.maybeProbeLocked(page, ps)
 	}
-	if s.outstanding == 0 {
-		s.closed = true // nothing to do (empty page list)
-	}
+	s.mu.Unlock()
+	p.sched = s
 	return s
+}
+
+// start folds restored windows that arrived already closable (every
+// Pending user crawled before the checkpoint, e.g. via another page)
+// and then closes the queue if there is nothing to do. Such a page may
+// hold open windows yet have no batch task and — at the ProbeAhead
+// cap — no probe either, so without this pass no queue task would ever
+// reference it and its likes would never reach the sink. Runs before
+// the workers, outside any lock.
+func (s *scheduler) start(pages []int64) {
+	for _, page := range pages {
+		if err := s.drain(page); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	s.mu.Lock()
+	if s.outstanding == 0 && !s.closed {
+		s.closed = true // nothing to do (empty pages, or all restored windows folded)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
 }
 
 // pushLocked enqueues a task; the caller holds mu.
@@ -305,7 +333,12 @@ func (s *scheduler) runProbe(ctx context.Context, t task) error {
 			ps.done = true
 		}
 		s.mu.Unlock()
-		return nil
+		// The head window can already be closable here with no batch
+		// task left to trigger the fold — a restored window whose
+		// Pending users were all crawled elsewhere. Skipping the drain
+		// would strand it: its likes never reach the sink, the cursor
+		// never advances, and Crawl returns success anyway.
+		return s.drain(t.page)
 	}
 
 	w := &window{page: t.page, start: t.cursor, next: next, likes: likes, pending: make(map[int64]bool)}

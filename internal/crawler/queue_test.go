@@ -204,6 +204,97 @@ func TestQueueKillResumeMidWindows(t *testing.T) {
 	}
 }
 
+// TestQueueResumeFoldsClosableRestoredWindow: a checkpoint can hold an
+// open window whose Pending users were all crawled before the kill
+// (via another page, or because the snapshot landed right after the
+// window's last batch retired) — the window is closable the moment it
+// is restored, with no profile batch left to trigger the close. A
+// resumed crawl of a then-quiet page (its next probe hits the tail)
+// must still fold the window's likes into the sink and advance the
+// cursor; a crawl that instead returns success with the window
+// stranded drops those like events on every subsequent resume.
+func TestQueueResumeFoldsClosableRestoredWindow(t *testing.T) {
+	srv, _, pages := sinkWorld(t)
+	page := pages[0]
+	cl := smallWindowClient(t, srv, 7)
+
+	// Read the page's full like stream, as a prior crawl leg would have.
+	var likes []api.LikeDoc
+	cursor := 0
+	for {
+		win, next, err := cl.PageLikesWindow(context.Background(), page, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(win) == 0 {
+			break
+		}
+		likes = append(likes, win...)
+		cursor = next
+	}
+	if len(likes) == 0 {
+		t.Fatal("page has no likes")
+	}
+
+	// The scenario's checkpoint: the whole stream is one open window,
+	// every liker already crawled (profile observed by the sink),
+	// Pending empty — but the like events not yet folded and the
+	// cursor still at the window's start.
+	sink := newDurableSink()
+	seen := map[int64]bool{}
+	var crawled []int64
+	for _, lk := range likes {
+		if !seen[lk.User] {
+			seen[lk.User] = true
+			crawled = append(crawled, lk.User)
+			sink.Profiles[lk.User] = 1
+		}
+	}
+	snap, err := sink.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		PageCursors: map[int64]int{page: 0},
+		Crawled:     crawled,
+		Sink:        snap,
+		Windows:     []WindowState{{Page: page, Start: 0, Next: cursor, Likes: likes}},
+	}
+
+	// ProbeAhead 0 (default cap) resumes with a tail probe queued;
+	// ProbeAhead 1 leaves the restored window with no task at all —
+	// both must fold it.
+	for _, probeAhead := range []int{0, 1} {
+		resumed := newDurableSink()
+		if err := resumed.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		pipe := NewPipeline(smallWindowClient(t, srv, 7),
+			PipelineConfig{Workers: 4, BatchSize: 3, Sink: resumed, ProbeAhead: probeAhead}, ck)
+		var emitted atomic.Int32
+		if err := pipe.Crawl(context.Background(), []int64{page},
+			func(int64, LikerProfile) error { emitted.Add(1); return nil }); err != nil {
+			t.Fatalf("probeAhead=%d: %v", probeAhead, err)
+		}
+		if n := emitted.Load(); n != 0 {
+			t.Fatalf("probeAhead=%d: refetched %d already-crawled profiles", probeAhead, n)
+		}
+		for _, lk := range likes {
+			key := fmt.Sprintf("%d/%d/%s", page, lk.User, lk.At)
+			if resumed.Likes[key] != 1 {
+				t.Fatalf("probeAhead=%d: like event %s folded %d times, want 1", probeAhead, key, resumed.Likes[key])
+			}
+		}
+		final := pipe.Checkpoint()
+		if len(final.Windows) != 0 {
+			t.Fatalf("probeAhead=%d: %d windows still open after successful crawl", probeAhead, len(final.Windows))
+		}
+		if got := final.PageCursors[page]; got < cursor {
+			t.Fatalf("probeAhead=%d: cursor = %d, want ≥ %d", probeAhead, got, cursor)
+		}
+	}
+}
+
 // TestQueueCheckpointMidCrawlResumesExactly: a checkpoint captured by
 // the OnCheckpoint hook mid-crawl (not at the kill point — an earlier,
 // arbitrary window close) also resumes to the complete result: the
