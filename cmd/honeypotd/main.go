@@ -5,12 +5,14 @@
 // Usage:
 //
 //	honeypotd [-addr :8080] [-seed N] [-scale 0.25] [-workers W] [-token secret]
-//	          [-data-dir DIR] [-sync-every N] [-rps R] [-client-rps R]
+//	          [-data-dir DIR] [-sync-every N] [-rps R] [-client-rps R] [-max-conns N]
 //
 // Endpoints: /api/page/{id}, /api/page/{id}/likes (GET paged, POST
 // inject with X-Admin-Token), /api/user/{id}, /api/user/{id}/friends,
 // /api/user/{id}/likes, /api/directory, /api/admin/report/{id}
-// (X-Admin-Token), /api/healthz.
+// (X-Admin-Token), /api/healthz, and the live fraud-scoring surface
+// /api/fraud, /api/page/{id}/fraud, /api/user/{id}/fraud (all
+// X-Admin-Token; backed by the streaming detector's journal cursor).
 //
 // With -data-dir the world is durable: the first start builds it,
 // checkpoints it into the directory, and serves the reopened copy;
@@ -36,14 +38,15 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/socialnet"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	os.Exit(run(os.Args[1:], os.Stderr, func(addr string, h http.Handler) error {
-		return serveGraceful(ctx, addr, h, os.Stderr)
+	os.Exit(run(os.Args[1:], os.Stderr, func(addr string, h http.Handler, maxConns int) error {
+		return serveGraceful(ctx, addr, h, maxConns, os.Stderr)
 	}))
 }
 
@@ -53,7 +56,7 @@ func main() {
 // — an http.Server with slow-client timeouts that drains on
 // SIGINT/SIGTERM; tests inject a serve function backed by httptest
 // instead of a real listener. It returns the process exit code.
-func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler) error) int {
+func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler, maxConns int) error) int {
 	fs := flag.NewFlagSet("honeypotd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -63,6 +66,7 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	token := fs.String("token", "honeypot-admin", "admin token for /api/admin (empty disables)")
 	rps := fs.Float64("rps", 0, "global rate-limit ceiling, requests/second (0 = unlimited)")
 	clientRPS := fs.Float64("client-rps", 0, "per-client rate limit, requests/second (0 = disabled)")
+	maxConns := fs.Int("max-conns", 0, "maximum simultaneously open client connections; over-limit connections are shed at accept (0 = unlimited)")
 	load := fs.String("load", "", "serve a world snapshot instead of building one")
 	save := fs.String("save", "", "write the built world to a snapshot file before serving")
 	dataDir := fs.String("data-dir", "", "durable state directory: the world persists here and a restart resumes it (likes, monitor cursors and all)")
@@ -104,17 +108,29 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		defer stop()
 	}
 
-	handler := newHandler(store, *token, *rps, *clientRPS)
-	fmt.Fprintf(stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
-	serveErr := serve(*addr, handler)
+	// The streaming fraud scorer serves live verdicts; with -data-dir
+	// its cursor and feature state ride the checkpoint as a sidecar and
+	// a restart resumes scoring instead of rescanning the journal.
+	scorerPath := ""
+	if *dataDir != "" {
+		scorerPath = filepath.Join(*dataDir, scorerStateFile)
+	}
+	ls := newLiveScorer(store, scorerPath, stderr)
+	stopScorer := ls.start(*monPoll)
+	defer stopScorer()
 
-	// Orderly shutdown: persist the monitor cursors, checkpoint the
-	// world (folding the WAL tail into the snapshot and compacting),
-	// and close the journal. A SIGKILL skips all of this — that is what
-	// the WAL is for.
+	handler := newHandler(store, *token, *rps, *clientRPS, ls.scorer)
+	fmt.Fprintf(stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
+	serveErr := serve(*addr, handler, *maxConns)
+
+	// Orderly shutdown: persist the monitor cursors and scorer state,
+	// checkpoint the world (folding the WAL tail into the snapshot and
+	// compacting), and close the journal. A SIGKILL skips all of this —
+	// that is what the WAL is for.
 	if lm != nil {
 		lm.stopAndSave()
 	}
+	ls.stopAndSave()
 	if *dataDir != "" {
 		if err := store.Checkpoint(*dataDir); err != nil {
 			fmt.Fprintf(stderr, "honeypotd: final checkpoint: %v\n", err)
@@ -217,8 +233,12 @@ func buildStore(seed int64, scale float64, workers int, load, save string, stder
 // X-API-Token header, or the remote address) gets its own token bucket
 // under the -rps global ceiling; with only -rps the single global
 // bucket applies.
-func newHandler(store *socialnet.Store, token string, rps, clientRPS float64) http.Handler {
-	var handler http.Handler = api.NewServer(store, token)
+func newHandler(store *socialnet.Store, token string, rps, clientRPS float64, scorer *detect.StreamScorer) http.Handler {
+	srv := api.NewServer(store, token)
+	if scorer != nil {
+		srv.SetFraudScorer(scorer)
+	}
+	var handler http.Handler = srv
 	switch {
 	case clientRPS > 0:
 		handler = api.PerClientThrottle(handler, api.ThrottleConfig{
@@ -238,11 +258,15 @@ const shutdownGrace = 10 * time.Second
 // serveGraceful runs an http.Server with slow-client timeouts and
 // drains it cleanly when ctx is cancelled (SIGINT/SIGTERM in main). A
 // clean shutdown returns nil; an aborted listener returns its error.
-func serveGraceful(ctx context.Context, addr string, h http.Handler, stderr io.Writer) error {
+// maxConns > 0 gates the listener with api.LimitListener, bounding how
+// many connections can hold server resources at once (the timeouts
+// bound only how long each one can).
+func serveGraceful(ctx context.Context, addr string, h http.Handler, maxConns int, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	ln = api.LimitListener(ln, maxConns)
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,

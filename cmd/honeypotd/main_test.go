@@ -22,7 +22,7 @@ func serveOnce(t *testing.T, args []string) (*httptest.Server, *bytes.Buffer) {
 	t.Helper()
 	var stderr bytes.Buffer
 	var captured http.Handler
-	code := run(args, &stderr, func(addr string, h http.Handler) error {
+	code := run(args, &stderr, func(addr string, h http.Handler, maxConns int) error {
 		captured = h
 		return nil
 	})
@@ -80,9 +80,50 @@ func TestSnapshotSaveAndLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeLiveFraudSurface covers the in-memory (no -data-dir) scorer
+// path: the fraud endpoints serve live verdicts for the built world.
+func TestServeLiveFraudSurface(t *testing.T) {
+	ts, _ := serveOnce(t, []string{"-seed", "3", "-scale", "0.05", "-token", "tk", "-max-conns", "64"})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/fraud", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Admin-Token", "tk")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fraud report = %d", resp.StatusCode)
+	}
+	var doc struct {
+		Pages []struct {
+			Page     int64 `json:"page"`
+			Likers   int   `json:"likers"`
+			Verdicts []struct {
+				Score float64 `json:"score"`
+			} `json:"verdicts"`
+		} `json:"pages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Pages) == 0 {
+		t.Fatal("fraud report covers no pages")
+	}
+	likers := 0
+	for _, p := range doc.Pages {
+		likers += p.Likers
+	}
+	if likers == 0 {
+		t.Fatal("fraud report has no scored likers")
+	}
+}
+
 func TestBadScaleFails(t *testing.T) {
 	var stderr bytes.Buffer
-	code := run([]string{"-scale", "9"}, &stderr, func(string, http.Handler) error { return nil })
+	code := run([]string{"-scale", "9"}, &stderr, func(string, http.Handler, int) error { return nil })
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
@@ -96,7 +137,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	go func() {
 		done <- serveGraceful(ctx, addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusOK)
-		}), &stderr)
+		}), 4, &stderr)
 	}()
 	// Let the listener come up, then signal shutdown.
 	time.Sleep(50 * time.Millisecond)
@@ -116,7 +157,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 
 func TestServeGracefulBadAddr(t *testing.T) {
 	var stderr bytes.Buffer
-	err := serveGraceful(context.Background(), "256.256.256.256:99999", http.NotFoundHandler(), &stderr)
+	err := serveGraceful(context.Background(), "256.256.256.256:99999", http.NotFoundHandler(), 0, &stderr)
 	if err == nil {
 		t.Fatal("bad address should fail to listen")
 	}
@@ -133,10 +174,11 @@ func TestDataDirResume(t *testing.T) {
 
 	var pageID string
 	var before, after int
+	var likerID int
 
 	// First run: find a honeypot page, inject two likes, shut down
 	// gracefully (serve returning simulates the drained server).
-	runOnce(t, args, func(addr string, h http.Handler) error {
+	runOnce(t, args, func(addr string, h http.Handler, maxConns int) error {
 		ts := httptest.NewServer(h)
 		defer ts.Close()
 		pageID = firstHoneypotPage(t, ts.URL)
@@ -147,6 +189,7 @@ func TestDataDirResume(t *testing.T) {
 			switch code {
 			case http.StatusCreated:
 				injected++
+				likerID = uid
 			case http.StatusConflict, http.StatusForbidden:
 				// already a liker, or terminated: try the next user
 			default:
@@ -159,26 +202,48 @@ func TestDataDirResume(t *testing.T) {
 		return nil
 	})
 
-	// Second run must resume (not rebuild) and still hold the likes.
-	stderr := runOnce(t, args, func(addr string, h http.Handler) error {
+	// Second run must resume (not rebuild) and still hold the likes —
+	// and the fraud scorer must resume its cursor and already know the
+	// injected liker.
+	stderr := runOnce(t, args, func(addr string, h http.Handler, maxConns int) error {
 		ts := httptest.NewServer(h)
 		defer ts.Close()
 		after = likeCount(t, ts.URL, pageID)
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/api/user/%d/fraud", ts.URL, likerID), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Admin-Token", "tk")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fraud verdict for injected liker = %d", resp.StatusCode)
+		}
 		return nil
 	})
 	if !bytes.Contains(stderr.Bytes(), []byte("resumed world from")) {
 		t.Fatalf("second run did not resume; stderr:\n%s", stderr.String())
 	}
+	if !bytes.Contains(stderr.Bytes(), []byte("scorer: resumed at")) {
+		t.Fatalf("second run did not resume the scorer cursor; stderr:\n%s", stderr.String())
+	}
 	if after != before+2 {
 		t.Fatalf("like count after restart = %d, want %d", after, before+2)
 	}
-	// Monitor cursors persisted alongside the world.
+	// Monitor cursors and scorer state persisted alongside the world.
 	if _, err := os.Stat(filepath.Join(dir, "monitors.json")); err != nil {
 		t.Fatalf("monitor cursor file: %v", err)
 	}
+	if _, err := os.Stat(filepath.Join(dir, scorerStateFile)); err != nil {
+		t.Fatalf("scorer state file: %v", err)
+	}
 }
 
-func runOnce(t *testing.T, args []string, serve func(string, http.Handler) error) *bytes.Buffer {
+func runOnce(t *testing.T, args []string, serve func(string, http.Handler, int) error) *bytes.Buffer {
 	t.Helper()
 	var stderr bytes.Buffer
 	if code := run(args, &stderr, serve); code != 0 {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/socialnet"
+)
+
+// scorerStateFile holds the streaming fraud scorer's journal cursor and
+// per-account feature state inside the data dir.
+const scorerStateFile = "scorer.json"
+
+// liveScorer runs the streaming fraud detector while the daemon serves:
+// the detect.StreamScorer consumes the journal incrementally (O(new
+// likes) per poll) and backs the admin /fraud endpoints with verdicts
+// that always reflect the current stream.
+//
+// With a data dir, the scorer's state rides the checkpoint as a sidecar
+// like the monitor's cursors: per-shard journal offsets plus the folded
+// per-account features, written durably (tmp + fsync + rename) after
+// every observing poll and at shutdown. Across a restart the state is
+// restored through detect.RestoreStreamScorer, whose validation rejects
+// anything the journal can no longer back (a crash that lost an
+// unsynced tail, a changed shard layout); rejection falls back to a
+// fresh scorer and a full rescan — slower, never wrong. Unlike the
+// monitor's per-page cursors, no tail clamping is needed: per-shard
+// offsets are the journal's native replication coordinate, and the
+// fold state is a pure function of the consumed per-user event
+// multisets, which per-shard prefixes pin exactly.
+type liveScorer struct {
+	scorer *detect.StreamScorer
+	path   string // empty: in-memory only (no -data-dir)
+	out    io.Writer
+
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// newLiveScorer restores (or freshly builds) the scorer and catches it
+// up on the whole journal — unlike the live monitor, the world build's
+// own likes are exactly what the detector must score, so a first start
+// consumes the stream from offset zero.
+func newLiveScorer(store *socialnet.Store, path string, out io.Writer) *liveScorer {
+	s := &liveScorer{path: path, out: out, stopc: make(chan struct{}), done: make(chan struct{})}
+	cfg := detect.StreamScorerConfig{}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			// First start.
+		case err != nil:
+			fmt.Fprintf(out, "scorer: read %s: %v; rescanning journal\n", path, err)
+		default:
+			sc, rerr := detect.RestoreStreamScorer(store, cfg, data)
+			if rerr != nil {
+				fmt.Fprintf(out, "scorer: %v; rescanning journal\n", rerr)
+			} else {
+				s.scorer = sc
+				fmt.Fprintf(out, "scorer: resumed at %d consumed journal events\n", sc.Offset())
+			}
+		}
+	}
+	if s.scorer == nil {
+		s.scorer = detect.NewStreamScorer(store, cfg)
+	}
+	if n := s.scorer.Tick(); n > 0 {
+		fmt.Fprintf(out, "scorer: caught up on %d journal events (%d accounts enrolled)\n",
+			n, len(s.scorer.Accounts()))
+	}
+	s.save()
+	return s
+}
+
+// save persists the scorer state durably; without a data dir it is a
+// no-op.
+func (s *liveScorer) save() {
+	if s.path == "" {
+		return
+	}
+	data, err := s.scorer.MarshalState()
+	if err == nil {
+		err = socialnet.WriteFileDurable(s.path, data)
+	}
+	if err != nil {
+		fmt.Fprintf(s.out, "scorer: save state: %v\n", err)
+	}
+}
+
+// start launches the polling loop; the returned function stops it (safe
+// alongside stopAndSave — both are idempotent). A non-positive interval
+// disables periodic polling: the scorer still advances on the startup
+// catch-up, on every /fraud request (the API ticks on demand), and at
+// shutdown.
+func (s *liveScorer) start(interval time.Duration) func() {
+	if interval <= 0 {
+		close(s.done)
+		return s.stopAndSave
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+				if n := s.scorer.Tick(); n > 0 {
+					fmt.Fprintf(s.out, "scorer: %d new journal events\n", n)
+					s.save()
+				}
+			}
+		}
+	}()
+	return s.stopAndSave
+}
+
+// stopAndSave halts polling, consumes the stream tail, and persists the
+// state — the graceful-shutdown path; a SIGKILL instead relies on the
+// last observing poll's durable save plus restore-time validation.
+func (s *liveScorer) stopAndSave() {
+	select {
+	case <-s.stopc:
+	default:
+		close(s.stopc)
+	}
+	<-s.done
+	s.scorer.Tick()
+	s.save()
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	likefraud [-seed N] [-scale S] [-workers W] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|removed|econ] [-outdir DIR]
+//	likefraud [-seed N] [-scale S] [-workers W] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|removed|econ] [-outdir DIR] [-fraud FILE]
 //	likefraud crawl [-url BASE -pages IDS] [-workers W] [-checkpoint FILE] [-out FILE]
 //
 // The crawl subcommand runs the §3 data collection through the
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 )
 
@@ -41,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	artifact := fs.String("artifact", "all", "which artifact to print: all, table1, table2, table3, fig1..fig5, removed, econ")
 	outdir := fs.String("outdir", "", "also write CSV/DOT/JSON artifacts to this directory")
 	tables := fs.String("tables", "", "write the crawl-comparable §4 table JSON (geo, demo, windows, CDFs, Jaccard) to this file")
+	fraud := fs.String("fraud", "", "write the batch fraud report JSON (byte-comparable with honeypotd's GET /api/fraud) to this file")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,6 +86,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if err := os.WriteFile(*tables, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
+	}
+	if *fraud != "" {
+		// The same report the live service answers on GET /api/fraud —
+		// compact JSON plus a trailing newline, so the two are
+		// byte-comparable on one world (the CI equivalence smoke runs
+		// cmp over them).
+		doc, err := api.BatchFraudReport(study.Store(), *workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*fraud, data, 0o644); err != nil {
 			fmt.Fprintf(stderr, "likefraud: %v\n", err)
 			return 1
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -268,5 +269,49 @@ func TestCrawlResumeWithoutAnalyzeRefuses(t *testing.T) {
 	}
 	if !bytes.Equal(before, after) {
 		t.Fatal("refused resume still rewrote the checkpoint")
+	}
+}
+
+// TestRunWritesFraudReport pins the -fraud file format: the batch fraud
+// report as compact JSON with a trailing newline — the exact bytes the
+// live service answers on GET /api/fraud (see the api package's
+// TestBatchFraudReportMatchesLive for the in-process equivalence pin).
+func TestRunWritesFraudReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fraud.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-seed", "3", "-scale", "0.05", "-quiet", "-artifact", "table1", "-fraud", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatal("fraud report must end with a single trailing newline")
+	}
+	if bytes.ContainsAny(bytes.TrimSuffix(data, []byte("\n")), "\n") {
+		t.Fatal("fraud report body must be compact single-line JSON")
+	}
+	var doc struct {
+		Pages []struct {
+			Page     int64 `json:"page"`
+			Likers   int   `json:"likers"`
+			HighRisk int   `json:"high_risk"`
+		} `json:"pages"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("fraud report is not valid JSON: %v", err)
+	}
+	if len(doc.Pages) == 0 {
+		t.Fatal("fraud report covers no pages")
+	}
+	likers, highRisk := 0, 0
+	for _, p := range doc.Pages {
+		likers += p.Likers
+		highRisk += p.HighRisk
+	}
+	if likers == 0 || highRisk == 0 {
+		t.Fatalf("fraud report scored %d likers, %d high-risk — campaigns buy fake likes, both must be positive", likers, highRisk)
 	}
 }

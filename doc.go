@@ -25,6 +25,15 @@
 // from one journal scan; see DESIGN.md §8 for the cursor semantics and
 // the determinism rules new aggregators must follow.
 //
+// The §5 fraud detector also runs live: detect.StreamScorer consumes
+// the journal from a persisted cursor, folding per-account burst
+// features in O(1) amortized per like and resynchronizing out-of-order
+// arrivals exactly, so its verdicts match the batch sweep byte for
+// byte. honeypotd serves them on admin-gated /fraud endpoints with the
+// cursor and fold state riding the checkpoint, and core.Sweep can score
+// the detector against ground truth across a scenario grid
+// (EvalDetector); see DESIGN.md §14.
+//
 // The root-level benchmarks (bench_test.go) regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment
 // index and the sharding + worker-pool architecture.

@@ -4,6 +4,21 @@
 // gated by the owner's privacy setting, public page-like lists, the
 // searchable directory, and the page-admin aggregate report (gated by an
 // admin token, as the real report tool was gated by page ownership).
+//
+// The same admin token gates the platform's internal enforcement view —
+// the §5 fraud detector's live verdicts, backed by a
+// detect.StreamScorer attached via SetFraudScorer (503 until then):
+//
+//	GET /api/page/{id}/fraud  per-liker verdicts + page aggregates
+//	                          (likers, high-risk count, mean score)
+//	GET /api/user/{id}/fraud  one enrolled account's verdict (404 if
+//	                          the account never liked a tracked page)
+//	GET /api/fraud            the all-tracked-pages report, pages
+//	                          ascending — byte-identical to
+//	                          BatchFraudReport over the same world
+//
+// Each request ticks the scorer first, so verdicts reflect the journal
+// tail at request time. See DESIGN.md §14.
 package api
 
 import (
@@ -15,8 +30,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/platform"
 	"repro/internal/socialnet"
 )
@@ -29,6 +46,10 @@ type Server struct {
 	mux        *http.ServeMux
 	// handler is the mux behind the server-wide middleware (gzip).
 	handler http.Handler
+	// scorer, when attached via SetFraudScorer, backs the admin-gated
+	// /fraud endpoints with live streaming verdicts.
+	scorerMu sync.RWMutex
+	scorer   *detect.StreamScorer
 }
 
 // MaxPageSize caps pagination limits.
@@ -47,6 +68,9 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s.mux.HandleFunc("GET /api/user/{id}/likes", s.handleUserLikes)
 	s.mux.HandleFunc("GET /api/directory", s.handleDirectory)
 	s.mux.HandleFunc("GET /api/admin/report/{id}", s.handleAdminReport)
+	s.mux.HandleFunc("GET /api/page/{id}/fraud", s.handlePageFraud)
+	s.mux.HandleFunc("GET /api/user/{id}/fraud", s.handleUserFraud)
+	s.mux.HandleFunc("GET /api/fraud", s.handleFraudReport)
 	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -74,7 +98,7 @@ type PageDoc struct {
 
 // LikeDoc is one like event.
 type LikeDoc struct {
-	User int64  `json:"user"`
+	User int64 `json:"user"`
 	// At is RFC3339 with nanoseconds when the instant has them: the
 	// crawl-side window analyses must see the exact instants the
 	// journal holds, and whole-second truncation would shift events

@@ -1,0 +1,222 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/socialnet"
+)
+
+// FraudVerdictDoc is one account's fraud verdict on the wire.
+type FraudVerdictDoc struct {
+	User        int64   `json:"user"`
+	LikeCount   int     `json:"like_count"`
+	FriendCount int     `json:"friend_count"`
+	MaxIn2h     int     `json:"max_in_2h"`
+	Burst2h     float64 `json:"burst_2h"`
+	IslandSize  int     `json:"island_size"`
+	Score       float64 `json:"score"`
+	Terminated  bool    `json:"terminated"`
+}
+
+// PageFraudDoc is a tracked page's fraud summary: per-liker verdicts
+// (sorted by user ID) plus page-level aggregates.
+type PageFraudDoc struct {
+	Page      int64             `json:"page"`
+	Likers    int               `json:"likers"`
+	HighRisk  int               `json:"high_risk"`
+	MeanScore float64           `json:"mean_score"`
+	Verdicts  []FraudVerdictDoc `json:"verdicts"`
+}
+
+// FraudReportDoc is the all-tracked-pages report, pages ascending.
+type FraudReportDoc struct {
+	Pages []PageFraudDoc `json:"pages"`
+}
+
+// HighRiskScore is the score threshold above which a verdict counts
+// toward a page's HighRisk tally — the detect package's default
+// operating point.
+const HighRiskScore = detect.FlagThreshold
+
+// SetFraudScorer attaches the live streaming scorer behind the /fraud
+// endpoints. Until it is called the endpoints answer 503: the serving
+// deployment (honeypotd) owns the scorer's lifecycle — construction,
+// checkpointing, restore — and the Server only reads verdicts.
+func (s *Server) SetFraudScorer(sc *detect.StreamScorer) {
+	s.scorerMu.Lock()
+	s.scorer = sc
+	s.scorerMu.Unlock()
+}
+
+func (s *Server) fraudScorer() *detect.StreamScorer {
+	s.scorerMu.RLock()
+	defer s.scorerMu.RUnlock()
+	return s.scorer
+}
+
+// fraudVerdictDoc renders a detect.Verdict for the wire.
+func fraudVerdictDoc(u socialnet.UserID, v detect.Verdict) FraudVerdictDoc {
+	return FraudVerdictDoc{
+		User:        int64(u),
+		LikeCount:   v.Features.LikeCount,
+		FriendCount: v.Features.FriendCount,
+		MaxIn2h:     v.Features.MaxIn2h,
+		Burst2h:     v.Features.Burst2h,
+		IslandSize:  v.Features.IslandSize,
+		Score:       v.Score,
+		Terminated:  v.Terminated,
+	}
+}
+
+// buildPageFraudDoc assembles one page's summary from a verdict lookup.
+// Both the live path (StreamScorer verdicts) and the batch path
+// (BatchFraudReport) funnel through this function with likers already
+// sorted, so the two reports agree byte for byte — the CI equivalence
+// smoke diffs their JSON.
+func buildPageFraudDoc(p socialnet.PageID, likers []socialnet.UserID, verdictOf func(socialnet.UserID) (detect.Verdict, bool)) PageFraudDoc {
+	doc := PageFraudDoc{Page: int64(p), Verdicts: []FraudVerdictDoc{}}
+	sum := 0.0
+	for _, u := range likers {
+		v, ok := verdictOf(u)
+		if !ok {
+			continue
+		}
+		doc.Likers++
+		sum += v.Score
+		if v.Score >= HighRiskScore {
+			doc.HighRisk++
+		}
+		doc.Verdicts = append(doc.Verdicts, fraudVerdictDoc(u, v))
+	}
+	if doc.Likers > 0 {
+		doc.MeanScore = sum / float64(doc.Likers)
+	}
+	return doc
+}
+
+// BatchFraudReport computes the full fraud report from the store alone
+// — no scorer, no cursor — via the batch feature path. `likefraud
+// -fraud` writes this JSON; CI compares it against the live service's
+// GET /api/fraud over the same world to pin the two paths identical.
+func BatchFraudReport(st *socialnet.Store, workers int) (FraudReportDoc, error) {
+	pages := st.HoneypotPages()
+	likersOf := make(map[socialnet.PageID][]socialnet.UserID, len(pages))
+	var all []socialnet.UserID
+	seen := map[socialnet.UserID]bool{}
+	for _, p := range pages {
+		for _, lk := range st.LikesOfPage(p) {
+			likersOf[p] = append(likersOf[p], lk.User)
+			if !seen[lk.User] {
+				seen[lk.User] = true
+				all = append(all, lk.User)
+			}
+		}
+	}
+	feats, err := detect.BatchFeatures(st, all, workers)
+	if err != nil {
+		return FraudReportDoc{}, err
+	}
+	verdicts := make(map[socialnet.UserID]detect.Verdict, len(feats))
+	for _, f := range feats {
+		v := detect.Verdict{Features: f, Score: f.Score()}
+		if u, err := st.User(f.User); err == nil {
+			v.Terminated = u.Status == socialnet.StatusTerminated
+		}
+		verdicts[f.User] = v
+	}
+	doc := FraudReportDoc{Pages: []PageFraudDoc{}}
+	for _, p := range pages {
+		likers := likersOf[p]
+		sort.Slice(likers, func(i, j int) bool { return likers[i] < likers[j] })
+		doc.Pages = append(doc.Pages, buildPageFraudDoc(p, likers, func(u socialnet.UserID) (detect.Verdict, bool) {
+			v, ok := verdicts[u]
+			return v, ok
+		}))
+	}
+	return doc, nil
+}
+
+// withScorer runs fn against the attached scorer after ticking it —
+// verdicts always reflect the journal tail at request time (a tick is
+// O(events since the last tick), the whole point of the cursor design).
+func (s *Server) withScorer(w http.ResponseWriter, fn func(sc *detect.StreamScorer)) {
+	sc := s.fraudScorer()
+	if sc == nil {
+		writeError(w, http.StatusServiceUnavailable, "fraud scorer not running")
+		return
+	}
+	sc.Tick()
+	fn(sc)
+}
+
+// handlePageFraud serves GET /api/page/{id}/fraud: per-liker verdicts
+// and the page summary. Admin-gated — fraud verdicts are the platform's
+// internal enforcement view, not part of the public crawl surface.
+func (s *Server) handlePageFraud(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad page id")
+		return
+	}
+	if _, err := s.store.Page(socialnet.PageID(id)); err != nil {
+		writeError(w, http.StatusNotFound, "no such page")
+		return
+	}
+	s.withScorer(w, func(sc *detect.StreamScorer) {
+		likers, tracked := sc.PageLikers(socialnet.PageID(id))
+		if !tracked {
+			writeError(w, http.StatusNotFound, "page is not fraud-tracked")
+			return
+		}
+		writeJSON(w, http.StatusOK, buildPageFraudDoc(socialnet.PageID(id), likers, sc.Verdict))
+	})
+}
+
+// handleUserFraud serves GET /api/user/{id}/fraud: one enrolled
+// account's live verdict. Admin-gated like the page view.
+func (s *Server) handleUserFraud(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	if _, err := s.store.User(socialnet.UserID(id)); err != nil {
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	s.withScorer(w, func(sc *detect.StreamScorer) {
+		v, ok := sc.Verdict(socialnet.UserID(id))
+		if !ok {
+			writeError(w, http.StatusNotFound, "user is not enrolled (no tracked-page like)")
+			return
+		}
+		writeJSON(w, http.StatusOK, fraudVerdictDoc(socialnet.UserID(id), v))
+	})
+}
+
+// handleFraudReport serves GET /api/fraud: the all-tracked-pages report
+// the CI equivalence smoke diffs against likefraud's batch output.
+func (s *Server) handleFraudReport(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	s.withScorer(w, func(sc *detect.StreamScorer) {
+		doc := FraudReportDoc{Pages: []PageFraudDoc{}}
+		for _, p := range sc.TrackedPages() {
+			likers, _ := sc.PageLikers(p)
+			doc.Pages = append(doc.Pages, buildPageFraudDoc(p, likers, sc.Verdict))
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+}

@@ -1,0 +1,184 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/socialnet"
+)
+
+// fraudWorld: one honeypot with a burst-bot pair and an organic liker,
+// one ambient page keeping a bystander un-enrolled.
+func fraudWorld(t *testing.T) (*socialnet.Store, socialnet.PageID, socialnet.UserID, socialnet.UserID) {
+	t.Helper()
+	st := socialnet.NewStore()
+	hp, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb, err := st.AddPage(socialnet.Page{Name: "amb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	botA := st.AddUser(socialnet.User{Country: "TR", Kind: socialnet.KindFarmBot})
+	botB := st.AddUser(socialnet.User{Country: "TR", Kind: socialnet.KindFarmBot})
+	if err := st.Friend(botA, botB); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range []socialnet.UserID{botA, botB} {
+		likes := make([]socialnet.Like, 0, 40)
+		for j := 0; j < 40; j++ {
+			p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("job%d-%d", i, j)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			likes = append(likes, socialnet.Like{Page: p, At: t0.Add(time.Duration(j) * time.Minute)})
+		}
+		if err := st.AddHistory(b, likes); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AddLike(b, hp, t0.Add(40*time.Minute+time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	organic := st.AddUser(socialnet.User{Country: "US", FriendsPublic: true, DeclaredFriends: 300})
+	if err := st.AddLike(organic, hp, t0.Add(300*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	bystander := st.AddUser(socialnet.User{Country: "US"})
+	if err := st.AddLike(bystander, amb, t0); err != nil {
+		t.Fatal(err)
+	}
+	return st, hp, botA, bystander
+}
+
+func adminGet(t *testing.T, url string, out any) int {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("X-Admin-Token", "sekrit")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestFraudEndpoints(t *testing.T) {
+	st, hp, bot, bystander := fraudWorld(t)
+	server := NewServer(st, "sekrit")
+	server.SetFraudScorer(detect.NewStreamScorer(st, detect.StreamScorerConfig{}))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	// Admin gate on all three endpoints.
+	for _, path := range []string{
+		fmt.Sprintf("/api/page/%d/fraud", hp),
+		fmt.Sprintf("/api/user/%d/fraud", bot),
+		"/api/fraud",
+	} {
+		if code := getJSON(t, srv.URL+path, nil); code != 401 {
+			t.Fatalf("GET %s without token = %d, want 401", path, code)
+		}
+	}
+
+	var page PageFraudDoc
+	if code := adminGet(t, fmt.Sprintf("%s/api/page/%d/fraud", srv.URL, hp), &page); code != 200 {
+		t.Fatalf("page fraud status = %d", code)
+	}
+	if page.Likers != 3 || len(page.Verdicts) != 3 {
+		t.Fatalf("page fraud = %+v", page)
+	}
+	if page.HighRisk != 2 {
+		t.Fatalf("high risk = %d, want the 2 burst bots", page.HighRisk)
+	}
+	for i := 1; i < len(page.Verdicts); i++ {
+		if page.Verdicts[i-1].User >= page.Verdicts[i].User {
+			t.Fatal("verdicts not sorted by user")
+		}
+	}
+
+	var v FraudVerdictDoc
+	if code := adminGet(t, fmt.Sprintf("%s/api/user/%d/fraud", srv.URL, bot), &v); code != 200 {
+		t.Fatalf("user fraud status = %d", code)
+	}
+	if v.User != int64(bot) || v.MaxIn2h < 40 || v.Score < HighRiskScore || v.IslandSize != 2 {
+		t.Fatalf("bot verdict = %+v", v)
+	}
+
+	// Likes arriving after the scorer was built are picked up by the
+	// request-time tick.
+	late := st.AddUser(socialnet.User{Country: "US"})
+	if err := st.AddLike(late, hp, t0.Add(400*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if code := adminGet(t, fmt.Sprintf("%s/api/user/%d/fraud", srv.URL, late), &v); code != 200 {
+		t.Fatalf("late liker fraud status = %d", code)
+	}
+
+	// Not enrolled / unknown / untracked: 404s.
+	if code := adminGet(t, fmt.Sprintf("%s/api/user/%d/fraud", srv.URL, bystander), nil); code != 404 {
+		t.Fatalf("bystander fraud = %d, want 404", code)
+	}
+	if code := adminGet(t, srv.URL+"/api/user/999999/fraud", nil); code != 404 {
+		t.Fatalf("unknown user fraud = %d, want 404", code)
+	}
+	if code := adminGet(t, srv.URL+"/api/page/999999/fraud", nil); code != 404 {
+		t.Fatalf("unknown page fraud = %d, want 404", code)
+	}
+}
+
+func TestFraudWithoutScorer(t *testing.T) {
+	st, hp, _, _ := fraudWorld(t)
+	srv := httptest.NewServer(NewServer(st, "sekrit"))
+	defer srv.Close()
+	if code := adminGet(t, fmt.Sprintf("%s/api/page/%d/fraud", srv.URL, hp), nil); code != 503 {
+		t.Fatalf("fraud without scorer = %d, want 503", code)
+	}
+}
+
+// TestBatchFraudReportMatchesLive pins the CI equivalence contract in
+// process: the batch report bytes equal the live endpoint's bytes.
+func TestBatchFraudReportMatchesLive(t *testing.T) {
+	st, _, _, _ := fraudWorld(t)
+	server := NewServer(st, "sekrit")
+	server.SetFraudScorer(detect.NewStreamScorer(st, detect.StreamScorerConfig{}))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/fraud", nil)
+	req.Header.Set("X-Admin-Token", "sekrit")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var live bytes.Buffer
+	if _, err := live.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := BatchFraudReport(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if !bytes.Equal(live.Bytes(), raw) {
+		t.Fatalf("live and batch fraud reports differ:\nlive:  %s\nbatch: %s", live.Bytes(), raw)
+	}
+}

@@ -1,0 +1,59 @@
+package api
+
+import (
+	"net"
+	"sync"
+)
+
+// LimitListener caps the number of simultaneously open accepted
+// connections at max, complementing the server's read/write/idle
+// timeouts: timeouts bound how long one connection can hold resources,
+// the listener gate bounds how many can hold them at once.
+//
+// The gate is a capacity semaphore checked after accept: an over-limit
+// connection is accepted and immediately closed (load shedding — the
+// peer sees a reset and can back off) rather than left in the kernel
+// backlog, where it would hang until the backlog itself overflows. A
+// slot is released when the connection closes, whichever of the
+// server's paths (handler return, timeout, shutdown drain) closes it;
+// double closes release the slot once.
+//
+// max <= 0 disables the gate and returns l unchanged.
+func LimitListener(l net.Listener, max int) net.Listener {
+	if max <= 0 {
+		return l
+	}
+	return &limitListener{Listener: l, slots: make(chan struct{}, max)}
+}
+
+type limitListener struct {
+	net.Listener
+	slots chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case l.slots <- struct{}{}:
+			return &limitConn{Conn: c, slots: l.slots}, nil
+		default:
+			_ = c.Close()
+		}
+	}
+}
+
+type limitConn struct {
+	net.Conn
+	slots   chan struct{}
+	release sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.release.Do(func() { <-c.slots })
+	return err
+}

@@ -1,0 +1,80 @@
+package api
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestLimitListenerShedsOverLimit(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := LimitListener(inner, 2)
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 8)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	dial := func() net.Conn {
+		t.Helper()
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	c1, c2 := dial(), dial()
+	_, _ = c1, c2
+	a1 := <-accepted
+	a2 := <-accepted
+
+	// Third connection: accepted by the kernel but shed by the gate —
+	// the client sees EOF/reset, never a served connection.
+	c3 := dial()
+	c3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c3.Read(make([]byte, 1)); err == nil || err == io.ErrNoProgress {
+		t.Fatalf("over-limit conn read err = %v, want closed", err)
+	}
+	select {
+	case <-accepted:
+		t.Fatal("over-limit connection was served")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Closing a served conn frees its slot; double close releases once.
+	a1.Close()
+	a1.Close()
+	c4 := dial()
+	_ = c4
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot not released after close")
+	}
+	a2.Close()
+}
+
+func TestLimitListenerDisabled(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if l := LimitListener(inner, 0); l != inner {
+		t.Fatal("max<=0 should return the listener unchanged")
+	}
+}

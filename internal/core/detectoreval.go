@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/detect"
+	"repro/internal/socialnet"
+)
+
+// DetectorEval scores the streaming fraud detector against the
+// simulation's ground truth over one finished study's world — the
+// evaluation the paper's authors could not run (they had no labels for
+// Facebook's own enforcement, §5). Population: the detector's enrolled
+// accounts (honeypot likers). Ground truth: socialnet.AccountKind —
+// every farm-controlled account (bot or stealth) counts as fake.
+type DetectorEval struct {
+	// Enrolled is the scored population size; Fakes how many of them
+	// are farm-controlled.
+	Enrolled int `json:"enrolled"`
+	Fakes    int `json:"fakes"`
+	// AUC summarizes the whole score ranking (trapezoidal over the
+	// threshold sweep).
+	AUC float64 `json:"auc"`
+	// Precision/Recall/F1 are the operating point at
+	// detect.FlagThreshold.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// EvaluateDetector runs the streaming scorer over the store's full
+// journal and evaluates the resulting scores. It is read-only over the
+// store and deterministic: the scorer's verdicts are a pure function of
+// the journal and the friendship graph.
+func EvaluateDetector(st *socialnet.Store) *DetectorEval {
+	sc := detect.NewStreamScorer(st, detect.StreamScorerConfig{})
+	for sc.Tick() > 0 {
+	}
+	accounts := sc.Accounts()
+	scores := make(map[socialnet.UserID]float64, len(accounts))
+	for _, u := range accounts {
+		if v, ok := sc.Verdict(u); ok {
+			scores[u] = v.Score
+		}
+	}
+	isFake := func(u socialnet.UserID) bool {
+		usr, err := st.User(u)
+		return err == nil && usr.Kind != socialnet.KindOrganic
+	}
+	eval := &DetectorEval{Enrolled: len(accounts)}
+	for _, u := range accounts {
+		if isFake(u) {
+			eval.Fakes++
+		}
+	}
+	points := detect.ScoreSweep(scores, isFake)
+	eval.AUC = detect.AUC(points)
+	flagged := make(map[socialnet.UserID]bool)
+	for u, s := range scores {
+		if s >= detect.FlagThreshold {
+			flagged[u] = true
+		}
+	}
+	op := detect.Evaluate(accounts, flagged, isFake)
+	eval.Precision = op.Precision()
+	eval.Recall = op.Recall()
+	eval.F1 = op.F1()
+	return eval
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/socialnet"
+)
+
+// miniStudy runs a small study and returns its live store (cached, and
+// shared with miniResults' run when that already happened — both use
+// the same config).
+var cachedMiniStore *socialnet.Store
+
+func miniStore(t *testing.T) *socialnet.Store {
+	t.Helper()
+	if cachedMiniStore != nil {
+		return cachedMiniStore
+	}
+	cfg, err := ScaledConfig(7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cachedMiniStore = s.Store()
+	return cachedMiniStore
+}
+
+func TestEvaluateDetectorOnStudyWorld(t *testing.T) {
+	st := miniStore(t)
+	eval := EvaluateDetector(st)
+	if eval.Enrolled == 0 || eval.Fakes == 0 {
+		t.Fatalf("degenerate population: %+v", eval)
+	}
+	if eval.Fakes >= eval.Enrolled {
+		t.Fatalf("no organic likers enrolled: %+v", eval)
+	}
+	if eval.AUC < 0 || eval.AUC > 1 {
+		t.Fatalf("AUC out of range: %v", eval.AUC)
+	}
+	// The burst farms are blatant; ranking must beat a coin flip by a
+	// wide margin on the mixed population.
+	if eval.AUC < 0.6 {
+		t.Fatalf("AUC %v: detector no better than chance", eval.AUC)
+	}
+	for name, v := range map[string]float64{
+		"auc": eval.AUC, "precision": eval.Precision,
+		"recall": eval.Recall, "f1": eval.F1,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is %v", name, v)
+		}
+	}
+	// Flagging at the default threshold must be precise: organic users
+	// don't exhibit the burst/inflation signature.
+	if eval.Precision < 0.9 {
+		t.Fatalf("precision %v at the default threshold", eval.Precision)
+	}
+}
+
+// TestStreamScorerMatchesBatchOnStudyWorld pins streaming == batch on a
+// full generated world — cover histories, farm islands, terminated
+// accounts, ALMS reuse — not just the synthetic unit-test worlds.
+func TestStreamScorerMatchesBatchOnStudyWorld(t *testing.T) {
+	st := miniStore(t)
+	sc := detect.NewStreamScorer(st, detect.StreamScorerConfig{})
+	for sc.Tick() > 0 {
+	}
+	accounts := sc.Accounts()
+	if len(accounts) == 0 {
+		t.Fatal("no enrolled accounts")
+	}
+	for _, workers := range []int{1, 4, 16} {
+		feats, err := detect.BatchFeatures(st, accounts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range accounts {
+			v, ok := sc.Verdict(u)
+			if !ok {
+				t.Fatalf("user %d enrolled but no verdict", u)
+			}
+			if v.Features != feats[i] {
+				t.Fatalf("workers=%d user %d: streaming %+v != batch %+v", workers, u, v.Features, feats[i])
+			}
+			if v.Score != feats[i].Score() {
+				t.Fatalf("workers=%d user %d: score %v != %v", workers, u, v.Score, feats[i].Score())
+			}
+		}
+	}
+}
+
+func TestSweepEvalDetector(t *testing.T) {
+	cfg, err := ScaledConfig(11, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := GridVariants(cfg, SweepAxis{Name: "seed", Values: []SweepValue{
+		{Label: "seed=11", Apply: func(c *StudyConfig) { c.Seed = 11 }},
+		{Label: "seed=12", Apply: func(c *StudyConfig) { c.Seed = 12 }},
+	}})
+	sw := &Sweep{Variants: variants, Workers: 2, InnerWorkers: 2, EvalDetector: true}
+	outcomes, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Detector == nil {
+			t.Fatalf("variant %s: no detector eval", o.Name)
+		}
+		if o.Detector.Enrolled == 0 || o.Detector.AUC <= 0 {
+			t.Fatalf("variant %s: detector eval %+v", o.Name, o.Detector)
+		}
+	}
+	rows := Summarize(outcomes)
+	if len(rows) != len(outcomes) {
+		t.Fatalf("summary rows = %d, want %d", len(rows), len(outcomes))
+	}
+	for _, row := range rows {
+		if !row.Detector || row.DetectorAUC <= 0 {
+			t.Fatalf("summary row missing detector columns: %+v", row)
+		}
+	}
+}

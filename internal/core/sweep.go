@@ -76,12 +76,14 @@ func GridVariants(base StudyConfig, axes ...SweepAxis) []SweepVariant {
 
 // SweepOutcome is the result of one variant: the full Results on
 // success, or the error that stopped it. Elapsed is the wall time the
-// variant took on its worker.
+// variant took on its worker. Detector carries the streaming-detector
+// evaluation when the sweep ran with EvalDetector.
 type SweepOutcome struct {
-	Name    string
-	Results *Results
-	Err     error
-	Elapsed time.Duration
+	Name     string
+	Results  *Results
+	Detector *DetectorEval
+	Err      error
+	Elapsed  time.Duration
 }
 
 // SweepSummaryRow aggregates one variant for quick comparison across
@@ -94,6 +96,11 @@ type SweepSummaryRow struct {
 	Terminated   int
 	RemovedLikes int
 	HistoryLikes int
+	// DetectorAUC/DetectorF1 are filled (with Detector=true) when the
+	// sweep ran with EvalDetector.
+	Detector    bool
+	DetectorAUC float64
+	DetectorF1  float64
 }
 
 // Sweep executes many study variants concurrently — the scenario-grid
@@ -112,6 +119,12 @@ type Sweep struct {
 	// > 0; set it to 1 to keep the total goroutine count equal to
 	// Workers.
 	InnerWorkers int
+	// EvalDetector, when set, scores the streaming fraud detector
+	// against ground truth over every variant's finished world
+	// (SweepOutcome.Detector) — the regression axis for detector
+	// changes: a scoring tweak shows up as AUC/precision/recall drift
+	// across the scenario grid.
+	EvalDetector bool
 }
 
 // Run executes the grid. Every variant runs to completion (failures
@@ -127,7 +140,7 @@ func (sw *Sweep) Run() ([]SweepOutcome, error) {
 			cfg.Workers = sw.InnerWorkers
 		}
 		start := time.Now()
-		res, err := runVariant(cfg)
+		res, study, err := runVariant(cfg)
 		outcomes[i] = SweepOutcome{
 			Name:    v.Name,
 			Results: res,
@@ -137,17 +150,21 @@ func (sw *Sweep) Run() ([]SweepOutcome, error) {
 		if err != nil {
 			return fmt.Errorf("core: sweep variant %s: %w", v.Name, err)
 		}
+		if sw.EvalDetector {
+			outcomes[i].Detector = EvaluateDetector(study.Store())
+		}
 		return nil
 	})
 	return outcomes, err
 }
 
-func runVariant(cfg StudyConfig) (*Results, error) {
+func runVariant(cfg StudyConfig) (*Results, *Study, error) {
 	s, err := NewStudy(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.Run()
+	res, err := s.Run()
+	return res, s, err
 }
 
 // Summarize aggregates outcomes into comparison rows, skipping failed
@@ -170,6 +187,11 @@ func Summarize(outcomes []SweepOutcome) []SweepSummaryRow {
 		}
 		for _, n := range o.Results.RemovedLikes {
 			row.RemovedLikes += n
+		}
+		if o.Detector != nil {
+			row.Detector = true
+			row.DetectorAUC = o.Detector.AUC
+			row.DetectorF1 = o.Detector.F1
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,68 @@
+package detect
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/socialnet"
+)
+
+// BatchFeatures is the batch scoring path: it computes AccountFeatures
+// (island sizes included) for every distinct account in the given set,
+// returned sorted by user ID. This is the feature-assembly core the
+// platform's fraud sweep drives, and the reference the streaming
+// scorer is pinned byte-identical against.
+//
+// The burst features come from the store's journal: one unsorted scan
+// groups like timestamps per examined account, replacing a per-account
+// sorted copy of the user-side index. Scan order is not canonical, but
+// the features consume only the timestamp multiset (per-account times
+// arrive append-ordered, so the sorted fast-path usually skips the
+// sort), so the output is bit-deterministic for any worker count.
+func BatchFeatures(st *socialnet.Store, accounts []socialnet.UserID, workers int) ([]AccountFeatures, error) {
+	islands := IsolatedIslands(st.FriendGraph(), accounts)
+
+	// Sort and dedupe: an account that liked several honeypots (the
+	// ALMS reuse scenario) is examined exactly once.
+	sorted := append([]socialnet.UserID(nil), accounts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	for i, uid := range sorted {
+		if i == 0 || uid != sorted[i-1] {
+			uniq = append(uniq, uid)
+		}
+	}
+	sorted = uniq
+
+	// Group the examined accounts' like timestamps out of the journal —
+	// one unsorted scan; the burst features only consume the timestamp
+	// multiset, so no canonical materialization is needed.
+	likeTimes := make(map[socialnet.UserID][]time.Time, len(sorted))
+	for _, uid := range sorted {
+		likeTimes[uid] = nil
+	}
+	st.Journal().Scan(func(ev socialnet.LikeEvent) {
+		if ts, tracked := likeTimes[ev.User]; tracked {
+			likeTimes[ev.User] = append(ts, ev.At)
+		}
+	})
+
+	out := make([]AccountFeatures, len(sorted))
+	err := parallel.Chunks(workers, len(sorted), 64, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			uid := sorted[i]
+			f, err := FeaturesFromTimes(st, uid, likeTimes[uid])
+			if err != nil {
+				return err
+			}
+			f.IslandSize = islands[uid]
+			out[i] = f
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// Bench world shape: a fixed population of enrolled accounts sitting on
+// top of a history backlog of varying depth. The scorer consumes the
+// backlog once at setup; the measured unit is one steady-state tick
+// over a fixed number of fresh likes — which must cost the same no
+// matter how deep the already-consumed backlog is.
+const (
+	benchUsers       = 500
+	benchTickLikes   = 500 // one fresh like per enrolled user per tick
+	benchAmbientPool = 1024
+)
+
+// benchBacklogWorld builds the backlog store and a scorer that has
+// consumed all of it.
+func benchBacklogWorld(tb testing.TB, backlog int) (*socialnet.Store, *StreamScorer, []socialnet.UserID, time.Time) {
+	tb.Helper()
+	st := socialnet.NewStore()
+	hp, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	amb := make([]socialnet.PageID, benchAmbientPool)
+	for i := range amb {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("amb%d", i)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		amb[i] = p
+	}
+	perUser := backlog / benchUsers
+	if perUser > benchAmbientPool {
+		tb.Fatalf("backlog %d needs %d history pages per user, pool has %d", backlog, perUser, benchAmbientPool)
+	}
+	users := make([]socialnet.UserID, benchUsers)
+	for i := range users {
+		u := st.AddUser(socialnet.User{Country: "TR"})
+		users[i] = u
+		likes := make([]socialnet.Like, perUser)
+		for j := range likes {
+			likes[j] = socialnet.Like{Page: amb[j], At: t0.Add(time.Duration(i*perUser+j) * time.Second)}
+		}
+		if err := st.AddHistory(u, likes); err != nil {
+			tb.Fatal(err)
+		}
+		if err := st.AddLike(u, hp, t0.AddDate(0, 1, 0).Add(time.Duration(i)*time.Second)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s := NewStreamScorer(st, StreamScorerConfig{})
+	s.Tick()
+	return st, s, users, t0.AddDate(0, 2, 0)
+}
+
+// benchTick appends one fresh like per enrolled user (all on one new
+// page, 3h past the previous tick so the window deques stay shallow)
+// and consumes them in one tick.
+func benchTick(tb testing.TB, st *socialnet.Store, s *StreamScorer, users []socialnet.UserID, at time.Time, i int) {
+	tb.Helper()
+	p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("tick%d", i)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for j, u := range users {
+		if err := st.AddLike(u, p, at.Add(time.Duration(j)*time.Millisecond)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if got := s.Tick(); got != len(users) {
+		tb.Fatalf("tick consumed %d of %d fresh likes", got, len(users))
+	}
+}
+
+// BenchmarkStreamScorerTick pins the streaming scorer's per-tick cost
+// to O(new likes): the incremental sub-benches must stay flat from a
+// 10k to a 500k event backlog, while the coldstart sub-benches (a fresh
+// scorer consuming the whole journal, the pre-cursor behaviour) scale
+// linearly with it.
+func BenchmarkStreamScorerTick(b *testing.B) {
+	for _, backlog := range []int{10_000, 100_000, 500_000} {
+		backlog := backlog
+		b.Run(fmt.Sprintf("backlog=%d/incremental", backlog), func(b *testing.B) {
+			st, s, users, start := benchBacklogWorld(b, backlog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchTick(b, st, s, users, start.Add(time.Duration(i)*3*time.Hour), i)
+			}
+		})
+		b.Run(fmt.Sprintf("backlog=%d/coldstart", backlog), func(b *testing.B) {
+			st, _, _, _ := benchBacklogWorld(b, backlog)
+			total := st.Journal().Len()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fresh := NewStreamScorer(st, StreamScorerConfig{})
+				if got := fresh.Tick(); got != total {
+					b.Fatalf("coldstart consumed %d of %d", got, total)
+				}
+			}
+		})
+	}
+}
+
+// detectBenchResult is one row of the BENCH_detect.json artifact.
+type detectBenchResult struct {
+	Name    string `json:"name"`
+	Backlog int    `json:"backlog"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// TestEmitDetectBenchJSON, gated behind DETECT_BENCH_JSON=<path>, runs
+// the incremental tick benchmark across backlog depths through
+// testing.Benchmark and writes ns/op per depth as JSON. CI uploads the
+// file as an artifact and gates on the 500k/10k flatness ratio.
+func TestEmitDetectBenchJSON(t *testing.T) {
+	path := os.Getenv("DETECT_BENCH_JSON")
+	if path == "" {
+		t.Skip("set DETECT_BENCH_JSON=<path> to emit the detect benchmark artifact")
+	}
+	var results []detectBenchResult
+	for _, backlog := range []int{10_000, 100_000, 500_000} {
+		backlog := backlog
+		br := testing.Benchmark(func(b *testing.B) {
+			st, s, users, start := benchBacklogWorld(b, backlog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchTick(b, st, s, users, start.Add(time.Duration(i)*3*time.Hour), i)
+			}
+		})
+		results = append(results, detectBenchResult{
+			Name:    "BenchmarkStreamScorerTickIncremental",
+			Backlog: backlog,
+			NsPerOp: br.NsPerOp(),
+		})
+	}
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, raw)
+}

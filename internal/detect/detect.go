@@ -16,6 +16,85 @@ import (
 	"repro/internal/socialnet"
 )
 
+// FeatureWindow is the burst window every scorer in the package shares:
+// the paper's burst farms delivered likes in ≤2-hour bursts (§4.4), so
+// MaxIn2h/Burst2h are defined over 2-hour sliding windows.
+const FeatureWindow = 2 * time.Hour
+
+// featureFold is the canonical per-like transition function of the
+// burst features. Both the batch path (FeaturesFromTimes folds a sorted
+// time slice through it) and the streaming path (StreamScorer folds
+// journal events through it as they arrive) run this exact code, which
+// is what makes batch and streaming scores byte-identical.
+//
+// The fold consumes timestamps in non-decreasing order and maintains a
+// deque of the times inside the trailing window: on each like the
+// expired front is popped, the like is pushed, and the deque length is
+// the population of the window ending at that like. The running best
+// equals the classic two-pointer scan over the full sorted slice, but
+// the retained state is bounded by the densest window's population —
+// the property the streaming scorer's per-account memory bound rests
+// on. Observe reports a monotonicity violation instead of folding,
+// letting the caller fall back to a sort (batch) or a resync
+// (streaming); exactness under out-of-order input is the caller's
+// responsibility, not the fold's.
+type featureFold struct {
+	window int64 // ns
+	count  int
+	best   int
+	last   int64
+	deque  []int64 // times (UnixNano) in (last-window, last], ascending
+}
+
+// observe folds one like time (UnixNano). It returns false — without
+// folding — if at precedes the previously folded time.
+func (f *featureFold) observe(at int64) bool {
+	if f.count > 0 && at < f.last {
+		return false
+	}
+	lo := 0
+	for lo < len(f.deque) && at-f.deque[lo] > f.window {
+		lo++
+	}
+	// Advance the head by reslicing: append reuses the remaining
+	// capacity and, once exhausted, reallocates sized to the live
+	// window population, so the backing array never grows past O(the
+	// densest window) and each element is copied O(1) amortized times.
+	f.deque = append(f.deque[lo:], at)
+	if n := len(f.deque); n > f.best {
+		f.best = n
+	}
+	f.count++
+	f.last = at
+	return true
+}
+
+// foldSorted folds a sorted time slice from scratch.
+func foldSorted(ts []time.Time, window time.Duration) featureFold {
+	f := featureFold{window: int64(window)}
+	for _, t := range ts {
+		f.observe(t.UnixNano())
+	}
+	return f
+}
+
+// ensureSorted returns the slice itself when it is already
+// non-decreasing — a single monotonicity scan, no allocation — and a
+// sorted copy otherwise. Journal-derived like times arrive
+// append-ordered per user, so the sweep's per-account hot path takes
+// the scan; only genuinely out-of-order input (late bulk-history
+// imports) pays the sort.
+func ensureSorted(times []time.Time) []time.Time {
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			ts := append([]time.Time(nil), times...)
+			sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
+			return ts
+		}
+	}
+	return times
+}
+
 // BurstScore measures how concentrated in time a like sequence is: the
 // largest fraction of likes falling inside any sliding window of the
 // given width. 1.0 means every like landed within one window (pure bot
@@ -27,19 +106,8 @@ func BurstScore(times []time.Time, window time.Duration) (float64, error) {
 	if len(times) == 0 {
 		return 0, nil
 	}
-	ts := append([]time.Time(nil), times...)
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
-	best := 1
-	lo := 0
-	for hi := range ts {
-		for ts[hi].Sub(ts[lo]) > window {
-			lo++
-		}
-		if n := hi - lo + 1; n > best {
-			best = n
-		}
-	}
-	return float64(best) / float64(len(ts)), nil
+	f := foldSorted(ensureSorted(times), window)
+	return float64(f.best) / float64(f.count), nil
 }
 
 // MaxLikesInWindow returns the largest number of likes inside any
@@ -52,19 +120,7 @@ func MaxLikesInWindow(times []time.Time, window time.Duration) (int, error) {
 	if len(times) == 0 {
 		return 0, nil
 	}
-	ts := append([]time.Time(nil), times...)
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
-	best := 1
-	lo := 0
-	for hi := range ts {
-		for ts[hi].Sub(ts[lo]) > window {
-			lo++
-		}
-		if n := hi - lo + 1; n > best {
-			best = n
-		}
-	}
-	return best, nil
+	return foldSorted(ensureSorted(times), window).best, nil
 }
 
 // AccountFeatures are the observable signals the composite scorer uses.
@@ -107,23 +163,31 @@ func ExtractFeatures(st *socialnet.Store, u socialnet.UserID) (AccountFeatures, 
 // timestamps per account out of one pass over the store's journal,
 // instead of copying each account's index. The caller is responsible
 // for the slice covering the account's complete like activity; order
-// does not matter (the window scans sort a private copy).
+// does not matter (already-sorted input is detected by a single scan,
+// anything else is sorted into a private copy).
+//
+// It is one fold of the canonical featureFold transition — the same
+// function the StreamScorer applies per arriving journal event — so
+// the two paths cannot drift: Burst2h and MaxIn2h are both read off
+// the fold's final state (Burst2h = MaxIn2h / LikeCount, the same
+// division BurstScore performs).
 func FeaturesFromTimes(st *socialnet.Store, u socialnet.UserID, times []time.Time) (AccountFeatures, error) {
-	burst, err := BurstScore(times, 2*time.Hour)
-	if err != nil {
-		return AccountFeatures{}, err
-	}
-	maxIn, err := MaxLikesInWindow(times, 2*time.Hour)
-	if err != nil {
-		return AccountFeatures{}, err
-	}
-	return AccountFeatures{
+	f := foldSorted(ensureSorted(times), FeatureWindow)
+	return featuresFromFold(f, u, st.DeclaredFriendCount(u)), nil
+}
+
+// featuresFromFold reads the burst features off a completed fold.
+func featuresFromFold(f featureFold, u socialnet.UserID, friends int) AccountFeatures {
+	out := AccountFeatures{
 		User:        u,
-		LikeCount:   len(times),
-		FriendCount: st.DeclaredFriendCount(u),
-		Burst2h:     burst,
-		MaxIn2h:     maxIn,
-	}, nil
+		LikeCount:   f.count,
+		FriendCount: friends,
+		MaxIn2h:     f.best,
+	}
+	if f.count > 0 {
+		out.Burst2h = float64(f.best) / float64(f.count)
+	}
+	return out
 }
 
 // Score combines the features into a suspicion score in [0,1].

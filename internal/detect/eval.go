@@ -7,6 +7,11 @@ import (
 	"repro/internal/socialnet"
 )
 
+// FlagThreshold is the default operating point of the composite scorer:
+// accounts at or above it are flagged (the live API's "high risk"
+// tally and the sweep summaries both report this point).
+const FlagThreshold = 0.5
+
 // Evaluation is a binary confusion matrix for detector output against
 // ground truth. The simulation knows which accounts are farm-controlled
 // (socialnet.AccountKind), letting the §5-motivated detectors be scored

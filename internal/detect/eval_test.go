@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -126,5 +128,136 @@ func TestAUCBoundedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScoreSweepTiedScores pins the collapse rule: duplicate scores are
+// one threshold, not one per account. A population where everyone ties
+// at one of two values must sweep exactly two operating points.
+func TestScoreSweepTiedScores(t *testing.T) {
+	scores := map[socialnet.UserID]float64{
+		1: 0.9, 2: 0.9, 3: 0.9, 4: 0.1, 5: 0.1, 6: 0.1,
+	}
+	isFake := func(id socialnet.UserID) bool { return id <= 3 }
+	points := ScoreSweep(scores, isFake)
+	if len(points) != 2 {
+		t.Fatalf("tied scores swept %d thresholds, want 2: %+v", len(points), points)
+	}
+	// The top threshold flags the whole tied block at once — all three
+	// fakes, no organics.
+	if e := points[0].Eval; e.TP != 3 || e.FP != 0 || e.FN != 0 || e.TN != 3 {
+		t.Fatalf("top tied point = %+v", e)
+	}
+	if e := points[1].Eval; e.TP != 3 || e.FP != 3 {
+		t.Fatalf("bottom tied point = %+v", e)
+	}
+	if auc := AUC(points); auc < 0.99 {
+		t.Fatalf("two-block perfect separator AUC = %v", auc)
+	}
+}
+
+// TestScoreSweepAllFakePopulation: with no negatives every FPR is 0 (by
+// the 0-guard), so the curve runs up the left edge and the metrics stay
+// finite.
+func TestScoreSweepAllFakePopulation(t *testing.T) {
+	scores := map[socialnet.UserID]float64{1: 0.9, 2: 0.5, 3: 0.1}
+	isFake := func(socialnet.UserID) bool { return true }
+	points := ScoreSweep(scores, isFake)
+	for _, p := range points {
+		if p.Eval.FP != 0 || p.Eval.TN != 0 {
+			t.Fatalf("all-fake sweep produced negatives: %+v", p.Eval)
+		}
+		if fpr := p.Eval.FalsePositiveRate(); fpr != 0 {
+			t.Fatalf("FPR with no negatives = %v", fpr)
+		}
+		if prec := p.Eval.Precision(); prec != 1 {
+			t.Fatalf("all-fake precision = %v", prec)
+		}
+	}
+	auc := AUC(points)
+	if math.IsNaN(auc) || auc < 0 || auc > 1 {
+		t.Fatalf("all-fake AUC = %v", auc)
+	}
+}
+
+// TestScoreSweepAllOrganicPopulation: with no positives recall is 0
+// everywhere (by the 0-guard) and the curve runs along the bottom edge.
+func TestScoreSweepAllOrganicPopulation(t *testing.T) {
+	scores := map[socialnet.UserID]float64{1: 0.9, 2: 0.5, 3: 0.1}
+	isFake := func(socialnet.UserID) bool { return false }
+	points := ScoreSweep(scores, isFake)
+	for _, p := range points {
+		if p.Eval.TP != 0 || p.Eval.FN != 0 {
+			t.Fatalf("all-organic sweep produced positives: %+v", p.Eval)
+		}
+		if r := p.Eval.Recall(); r != 0 {
+			t.Fatalf("recall with no positives = %v", r)
+		}
+		if f := p.Eval.F1(); f != 0 {
+			t.Fatalf("F1 with no positives = %v", f)
+		}
+	}
+	auc := AUC(points)
+	if math.IsNaN(auc) || auc < 0 || auc > 1 {
+		t.Fatalf("all-organic AUC = %v", auc)
+	}
+}
+
+// TestAUCSinglePoint: one account means one threshold; AUC must still
+// interpolate through the (0,0) and (1,1) anchors to a finite value.
+func TestAUCSinglePoint(t *testing.T) {
+	for _, fake := range []bool{true, false} {
+		scores := map[socialnet.UserID]float64{1: 0.7}
+		points := ScoreSweep(scores, func(socialnet.UserID) bool { return fake })
+		if len(points) != 1 {
+			t.Fatalf("single account swept %d thresholds", len(points))
+		}
+		auc := AUC(points)
+		if math.IsNaN(auc) || auc < 0 || auc > 1 {
+			t.Fatalf("single-point AUC (fake=%v) = %v", fake, auc)
+		}
+	}
+	// And the empty sweep: just the anchors, a straight diagonal.
+	if auc := AUC(nil); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("empty-sweep AUC = %v, want 0.5", auc)
+	}
+}
+
+// TestEvaluationRatiosJSONSafe pins that the ratio methods never emit
+// NaN under any degenerate confusion matrix — encoding/json refuses NaN
+// outright, so a single 0/0 would turn a sweep summary into a marshal
+// error at serving time.
+func TestEvaluationRatiosJSONSafe(t *testing.T) {
+	cells := []Evaluation{
+		{},             // empty population
+		{TP: 3},        // all flagged fakes
+		{FP: 3},        // all flagged organics
+		{FN: 3},        // all missed fakes
+		{TN: 3},        // all ignored organics
+		{TP: 1, FN: 2}, // no flags beyond fakes
+		{FP: 1, TN: 2}, // flags but no fakes
+		{TP: 2, FP: 1, FN: 1, TN: 2},
+	}
+	for _, e := range cells {
+		doc := struct {
+			Precision float64 `json:"precision"`
+			Recall    float64 `json:"recall"`
+			F1        float64 `json:"f1"`
+			FPR       float64 `json:"fpr"`
+		}{e.Precision(), e.Recall(), e.F1(), e.FalsePositiveRate()}
+		for name, v := range map[string]float64{
+			"precision": doc.Precision, "recall": doc.Recall, "f1": doc.F1, "fpr": doc.FPR,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%+v: %s = %v", e, name, v)
+			}
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("%+v: marshal: %v", e, err)
+		}
+		if bytes.Contains(data, []byte("NaN")) {
+			t.Fatalf("%+v: NaN leaked into JSON: %s", e, data)
+		}
 	}
 }

@@ -1,0 +1,375 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// streamWorld builds a store exercising every scorer path: burst-farm
+// bot pairs liking both honeypots, organic likers spread over weeks,
+// bulk history imported both before and AFTER the honeypot likes (the
+// latter lands out-of-order in the journal and forces the dirty-set
+// resync), bystanders who never touch a honeypot, and a terminated
+// account.
+func streamWorld(tb testing.TB) *socialnet.Store {
+	tb.Helper()
+	st := socialnet.NewStore()
+	hp1, err := st.AddPage(socialnet.Page{Name: "hp1", Honeypot: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hp2, err := st.AddPage(socialnet.Page{Name: "hp2", Honeypot: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var amb []socialnet.PageID
+	for i := 0; i < 40; i++ {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("amb%d", i)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		amb = append(amb, p)
+	}
+
+	history := func(u socialnet.UserID, base time.Time, n int) {
+		likes := make([]socialnet.Like, n)
+		for i := range likes {
+			likes[i] = socialnet.Like{Page: amb[i], At: base.Add(time.Duration(i) * time.Minute)}
+		}
+		if err := st.AddHistory(u, likes); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
+	// 20 bot pairs: mutual friends, burst likes on both honeypots.
+	// Even pairs import their cover history up front (in-order); odd
+	// pairs import it after the burst with earlier timestamps — the
+	// out-of-order arrival that invalidates an incremental fold.
+	for i := 0; i < 20; i++ {
+		a := st.AddUser(socialnet.User{Country: "TR", Kind: socialnet.KindFarmBot})
+		b := st.AddUser(socialnet.User{Country: "TR", Kind: socialnet.KindFarmBot})
+		if err := st.Friend(a, b); err != nil {
+			tb.Fatal(err)
+		}
+		burst := t0.Add(72*time.Hour + time.Duration(i)*time.Minute)
+		for _, u := range []socialnet.UserID{a, b} {
+			if i%2 == 0 {
+				history(u, t0, 15)
+			}
+			if err := st.AddLike(u, hp1, burst); err != nil {
+				tb.Fatal(err)
+			}
+			if err := st.AddLike(u, hp2, burst.Add(3*time.Minute)); err != nil {
+				tb.Fatal(err)
+			}
+			if i%2 == 1 {
+				history(u, t0, 15)
+			}
+			burst = burst.Add(30 * time.Second)
+		}
+	}
+
+	// 15 organic users in a friendship chain, honeypot likes spread
+	// over weeks, modest ambient history.
+	var prev socialnet.UserID
+	for i := 0; i < 15; i++ {
+		u := st.AddUser(socialnet.User{Country: "US", DeclaredFriends: 120 + i})
+		if i > 0 {
+			if err := st.Friend(prev, u); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		prev = u
+		history(u, t0.AddDate(0, -2, 0).Add(time.Duration(i)*24*time.Hour), 5)
+		if err := st.AddLike(u, hp1, t0.Add(time.Duration(i)*90*time.Hour)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := st.Terminate(prev); err != nil {
+		tb.Fatal(err)
+	}
+
+	// Bystanders: ambient likes only — must never enroll.
+	for i := 0; i < 5; i++ {
+		u := st.AddUser(socialnet.User{Country: "US"})
+		if err := st.AddLike(u, amb[i], t0.Add(time.Duration(i)*time.Hour)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return st
+}
+
+// drain ticks in odd-sized chunks until the journal is exhausted,
+// cutting the stream at arbitrary points, and returns the event total.
+func drain(s *StreamScorer, chunk int) int {
+	total := 0
+	for {
+		n := s.TickLimit(chunk)
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+// assertMatchesBatch pins every enrolled account's streaming verdict
+// byte-identical to the batch path at the given worker count.
+func assertMatchesBatch(t *testing.T, st *socialnet.Store, s *StreamScorer, workers int) {
+	t.Helper()
+	accounts := s.Accounts()
+	if len(accounts) == 0 {
+		t.Fatal("no enrolled accounts")
+	}
+	batch, err := BatchFeatures(st, accounts, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range accounts {
+		v, ok := s.Verdict(u)
+		if !ok {
+			t.Fatalf("user %d enrolled but has no verdict", u)
+		}
+		if v.Features != batch[i] {
+			t.Errorf("user %d: streaming %+v\n        batch %+v", u, v.Features, batch[i])
+		}
+		if want := batch[i].Score(); v.Score != want {
+			t.Errorf("user %d: streaming score %v, batch %v", u, v.Score, want)
+		}
+	}
+}
+
+func TestStreamScorerMatchesBatchSweep(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			st := streamWorld(t)
+			s := NewStreamScorer(st, StreamScorerConfig{})
+			if got, want := drain(s, 37), st.Journal().Len(); got != want {
+				t.Fatalf("consumed %d of %d events", got, want)
+			}
+			// Enrolled set == the honeypot liker population the batch
+			// sweep examines.
+			want := make(map[socialnet.UserID]bool)
+			for _, p := range st.HoneypotPages() {
+				for _, lk := range st.LikesOfPage(p) {
+					want[lk.User] = true
+				}
+			}
+			accounts := s.Accounts()
+			if len(accounts) != len(want) {
+				t.Fatalf("enrolled %d accounts, honeypots have %d likers", len(accounts), len(want))
+			}
+			for _, u := range accounts {
+				if !want[u] {
+					t.Fatalf("user %d enrolled without a honeypot like", u)
+				}
+			}
+			assertMatchesBatch(t, st, s, workers)
+		})
+	}
+}
+
+// TestStreamScorerKillRestore cuts the stream mid-way, serializes the
+// scorer, restores it against the same store, and pins the resumed
+// scorer's verdicts to both the batch path and an uninterrupted scorer.
+func TestStreamScorerKillRestore(t *testing.T) {
+	st := streamWorld(t)
+	uncut := NewStreamScorer(st, StreamScorerConfig{})
+	drain(uncut, 0)
+
+	for _, cut := range []int{1, 101, 307} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			s := NewStreamScorer(st, StreamScorerConfig{})
+			if s.TickLimit(cut) != cut {
+				t.Fatalf("short stream: could not consume %d events", cut)
+			}
+			blob, err := s.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreStreamScorer(st, StreamScorerConfig{}, blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := restored.Offset(), s.Offset(); got != want {
+				t.Fatalf("restored offset %d, want %d", got, want)
+			}
+			drain(restored, 53)
+			if got, want := restored.Offset(), st.Journal().Len(); got != want {
+				t.Fatalf("restored consumed %d of %d", got, want)
+			}
+			assertMatchesBatch(t, st, restored, 4)
+			for _, u := range uncut.Accounts() {
+				a, _ := uncut.Verdict(u)
+				b, ok := restored.Verdict(u)
+				if !ok || a != b {
+					t.Errorf("user %d: uninterrupted %+v, restored %+v (ok=%v)", u, a, b, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamScorerOutOfOrderResync isolates the resync path: history
+// imported after enrollment with earlier timestamps must land in the
+// features exactly as a batch recompute would place it.
+func TestStreamScorerOutOfOrderResync(t *testing.T) {
+	st := socialnet.NewStore()
+	hp, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amb []socialnet.PageID
+	for i := 0; i < 30; i++ {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("a%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		amb = append(amb, p)
+	}
+	u := st.AddUser(socialnet.User{Country: "TR"})
+	if err := st.AddLike(u, hp, t0.Add(10*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamScorer(st, StreamScorerConfig{})
+	s.Tick()
+	v, ok := s.Verdict(u)
+	if !ok || v.Features.MaxIn2h != 1 {
+		t.Fatalf("pre-import verdict = %+v, ok=%v", v, ok)
+	}
+
+	// 30 likes inside one hour, 9 hours before the already-folded like.
+	likes := make([]socialnet.Like, 30)
+	for i := range likes {
+		likes[i] = socialnet.Like{Page: amb[i], At: t0.Add(time.Duration(i) * 2 * time.Minute)}
+	}
+	if err := st.AddHistory(u, likes); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	assertMatchesBatch(t, st, s, 1)
+	v, _ = s.Verdict(u)
+	if v.Features.MaxIn2h != 30 || v.Features.LikeCount != 31 {
+		t.Fatalf("post-import features = %+v", v.Features)
+	}
+}
+
+func TestStreamScorerEnrollment(t *testing.T) {
+	st := streamWorld(t)
+	s := NewStreamScorer(st, StreamScorerConfig{})
+	drain(s, 0)
+
+	// Bystanders (ambient-only likers) are not enrolled.
+	for _, u := range s.Accounts() {
+		if len(st.HoneypotPages()) == 0 {
+			t.Fatal("no honeypot pages")
+		}
+		found := false
+		for _, p := range st.HoneypotPages() {
+			for _, lk := range st.LikesOfPage(p) {
+				if lk.User == u {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("user %d enrolled without honeypot like", u)
+		}
+	}
+	if _, ok := s.Verdict(socialnet.UserID(1 << 40)); ok {
+		t.Fatal("verdict for unknown user")
+	}
+
+	hp := st.HoneypotPages()[0]
+	likers, ok := s.PageLikers(hp)
+	if !ok || len(likers) == 0 {
+		t.Fatalf("PageLikers(%d) = %v, %v", hp, likers, ok)
+	}
+	for i := 1; i < len(likers); i++ {
+		if likers[i-1] >= likers[i] {
+			t.Fatal("PageLikers not sorted/deduped")
+		}
+	}
+	if _, ok := s.PageLikers(socialnet.PageID(1 << 40)); ok {
+		t.Fatal("PageLikers for untracked page")
+	}
+
+	// The terminated organic account surfaces Terminated in its verdict.
+	terminated := 0
+	for _, u := range s.Accounts() {
+		if v, _ := s.Verdict(u); v.Terminated {
+			terminated++
+		}
+	}
+	if terminated != 1 {
+		t.Fatalf("terminated verdicts = %d, want 1", terminated)
+	}
+}
+
+func TestStreamScorerRestoreRejects(t *testing.T) {
+	st := streamWorld(t)
+	s := NewStreamScorer(st, StreamScorerConfig{})
+	s.TickLimit(40)
+	blob, err := s.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreStreamScorer(st, StreamScorerConfig{}, []byte("{")); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	if _, err := RestoreStreamScorer(st, StreamScorerConfig{Window: time.Hour}, blob); err == nil {
+		t.Error("window mismatch accepted")
+	}
+	if _, err := RestoreStreamScorer(st, StreamScorerConfig{Pages: []socialnet.PageID{st.HoneypotPages()[0]}}, blob); err == nil {
+		t.Error("tracked-page mismatch accepted")
+	}
+
+	// Offsets claiming events beyond a shard's length — the
+	// crash-lost-tail case — must be rejected so the caller rescans.
+	var state map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &state); err != nil {
+		t.Fatal(err)
+	}
+	var offs []int
+	if err := json.Unmarshal(state["offsets"], &offs); err != nil {
+		t.Fatal(err)
+	}
+	offs[0] = 1 << 30
+	raw, _ := json.Marshal(offs)
+	state["offsets"] = raw
+	tampered, _ := json.Marshal(state)
+	if _, err := RestoreStreamScorer(st, StreamScorerConfig{}, tampered); err == nil {
+		t.Error("out-of-range offsets accepted")
+	}
+
+	// A healthy round-trip still works after all the rejected attempts.
+	if _, err := RestoreStreamScorer(st, StreamScorerConfig{}, blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamScorerStateDeterministic pins the sidecar bytes: same state,
+// same bytes (sorted keys, indented JSON) — the property the CI
+// equivalence smoke's cmp relies on.
+func TestStreamScorerStateDeterministic(t *testing.T) {
+	st := streamWorld(t)
+	a := NewStreamScorer(st, StreamScorerConfig{})
+	b := NewStreamScorer(st, StreamScorerConfig{})
+	drain(a, 37)
+	drain(b, 0)
+	ba, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Fatalf("state bytes differ between chunked and one-shot consumption:\n%s\n----\n%s", ba, bb)
+	}
+}

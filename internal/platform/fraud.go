@@ -3,11 +3,8 @@ package platform
 import (
 	"fmt"
 	"math/rand"
-	"sort"
-	"time"
 
 	"repro/internal/detect"
-	"repro/internal/parallel"
 	"repro/internal/socialnet"
 	"repro/internal/stats"
 )
@@ -74,95 +71,47 @@ func FraudSweep(r *rand.Rand, st *socialnet.Store, accounts []socialnet.UserID, 
 // a root seed and feature scoring fanned out over a worker pool. Each
 // account's termination coin flip draws from its own stream
 // (seed, "sweep", userID), so the outcome is bit-identical for any
-// worker count — including workers == 1, the serial path. Scoring is
-// read-only over the store; terminations are applied in a serial pass
-// afterwards, which matches the serial semantics because an account's
-// features never depend on another account's termination status.
+// worker count — including workers == 1, the serial path.
 //
-// The burst features come from the store's journal: one unsorted scan
-// groups like timestamps per examined account, replacing a per-account
-// sorted copy of the user-side index. Scan order is not canonical, but
-// the features consume only the timestamp multiset (the window scans
-// sort private copies), so the scores stay bit-deterministic.
+// It is a thin policy driver over detect.BatchFeatures — the same
+// feature-assembly core the streaming scorer is pinned byte-identical
+// against — adding only what makes it the *platform's* sweep:
+// already-terminated accounts are skipped (not re-examined), and each
+// surviving account flips a score-proportional termination coin.
+// Feature extraction is read-only over the store; terminations are
+// applied in the same serial pass that draws the coins, which matches
+// the serial semantics because an account's features never depend on
+// another account's termination status.
 func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.UserID, cfg FraudSweepConfig, workers int) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	islands := detect.IsolatedIslands(st.FriendGraph(), accounts)
-
-	// Sort and dedupe: an account that liked several honeypots (the
-	// ALMS reuse scenario) is examined exactly once.
-	sorted := append([]socialnet.UserID(nil), accounts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	uniq := sorted[:0]
-	for i, uid := range sorted {
-		if i == 0 || uid != sorted[i-1] {
-			uniq = append(uniq, uid)
-		}
-	}
-	sorted = uniq
-
-	// Group the examined accounts' like timestamps out of the journal —
-	// one unsorted scan; the burst features only consume the timestamp
-	// multiset, so no canonical materialization is needed.
-	likeTimes := make(map[socialnet.UserID][]time.Time, len(sorted))
-	for _, uid := range sorted {
-		likeTimes[uid] = nil
-	}
-	st.Journal().Scan(func(ev socialnet.LikeEvent) {
-		if ts, tracked := likeTimes[ev.User]; tracked {
-			likeTimes[ev.User] = append(ts, ev.At)
-		}
-	})
-
-	type verdict struct {
-		examined  bool
-		score     float64
-		terminate bool
-	}
-	verdicts := make([]verdict, len(sorted))
-	err := parallel.Chunks(workers, len(sorted), 64, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			uid := sorted[i]
-			u, err := st.User(uid)
-			if err != nil {
-				return err
-			}
-			if u.Status == socialnet.StatusTerminated {
-				continue
-			}
-			f, err := detect.FeaturesFromTimes(st, uid, likeTimes[uid])
-			if err != nil {
-				return err
-			}
-			f.IslandSize = islands[uid]
-			score := f.Score()
-			p := cfg.RandomFloor
-			if score >= cfg.MinScore {
-				p += cfg.BaseRate * score
-			}
-			r := stats.SplitRandN(seed, "sweep", int64(uid))
-			verdicts[i] = verdict{examined: true, score: score, terminate: stats.Bernoulli(r, p)}
-		}
-		return nil
-	})
+	feats, err := detect.BatchFeatures(st, accounts, workers)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(sorted))}
-	for i, uid := range sorted {
-		v := verdicts[i]
-		if !v.examined {
+	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(feats))}
+	for _, f := range feats {
+		u, err := st.User(f.User)
+		if err != nil {
+			return nil, err
+		}
+		if u.Status == socialnet.StatusTerminated {
 			continue
 		}
+		score := f.Score()
 		res.Examined++
-		res.Scores[uid] = v.score
-		if v.terminate {
-			if err := st.Terminate(uid); err != nil {
+		res.Scores[f.User] = score
+		p := cfg.RandomFloor
+		if score >= cfg.MinScore {
+			p += cfg.BaseRate * score
+		}
+		r := stats.SplitRandN(seed, "sweep", int64(f.User))
+		if stats.Bernoulli(r, p) {
+			if err := st.Terminate(f.User); err != nil {
 				return nil, err
 			}
-			res.Terminated = append(res.Terminated, uid)
+			res.Terminated = append(res.Terminated, f.User)
 		}
 	}
 	return res, nil

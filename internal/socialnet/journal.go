@@ -2,6 +2,7 @@ package socialnet
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"sync"
 	"time"
@@ -380,6 +381,31 @@ func (j *Journal) NewReader() *Reader {
 	return &Reader{j: j, offsets: make([]int, len(j.shards))}
 }
 
+// ReaderAt returns a cursor positioned at the given per-shard offsets —
+// the resume path for consumers that persisted a Reader's Offsets()
+// across a restart (the streaming fraud scorer's checkpoint sidecar).
+// It fails if the offsets don't match the journal's shard count or
+// claim events beyond a shard's current length (a crash having lost an
+// unsynced tail the consumer had already observed): the caller must
+// then fall back to a fresh Reader and rescan.
+func (j *Journal) ReaderAt(offsets []int) (*Reader, error) {
+	if len(offsets) != len(j.shards) {
+		return nil, fmt.Errorf("socialnet: reader offsets cover %d shards, journal has %d", len(offsets), len(j.shards))
+	}
+	own := make([]int, len(offsets))
+	for i, off := range offsets {
+		sh := &j.shards[i]
+		sh.mu.RLock()
+		n := len(sh.events)
+		sh.mu.RUnlock()
+		if off < 0 || off > n {
+			return nil, fmt.Errorf("socialnet: reader offset %d for shard %d outside [0,%d]", off, i, n)
+		}
+		own[i] = off
+	}
+	return &Reader{j: j, offsets: own}, nil
+}
+
 // Next returns the batch of events appended since the previous call,
 // canonically sorted, or nil when there is nothing new.
 func (r *Reader) Next() []LikeEvent {
@@ -398,6 +424,40 @@ func (r *Reader) Next() []LikeEvent {
 	return out
 }
 
+// NextLimit is Next bounded to at most max events (max <= 0 means
+// unbounded). Shards are drained in index order, so a bounded call
+// consumes a prefix of each shard's append-ordered stream — per-user
+// delivery order is preserved exactly as with Next, since a user's
+// events all live in one shard. The batch is canonically sorted like
+// Next's. Consumers use it to cap per-tick work (and tests use it to
+// cut a stream at arbitrary points for kill/restore coverage).
+func (r *Reader) NextLimit(max int) []LikeEvent {
+	if max <= 0 {
+		return r.Next()
+	}
+	var out []LikeEvent
+	for i := range r.j.shards {
+		if len(out) >= max {
+			break
+		}
+		sh := &r.j.shards[i]
+		sh.mu.RLock()
+		n := len(sh.events)
+		if take := n - r.offsets[i]; take > 0 {
+			if room := max - len(out); take > room {
+				take = room
+			}
+			out = append(out, sh.events[r.offsets[i]:r.offsets[i]+take]...)
+			r.offsets[i] += take
+		} else {
+			r.offsets[i] = n
+		}
+		sh.mu.RUnlock()
+	}
+	sortEvents(out)
+	return out
+}
+
 // Offset returns the total number of events consumed so far — the
 // reader's high-water mark.
 func (r *Reader) Offset() int {
@@ -406,4 +466,38 @@ func (r *Reader) Offset() int {
 		n += o
 	}
 	return n
+}
+
+// Offsets returns a copy of the per-shard offsets — the reader's
+// position in the journal's native coordinates, suitable for
+// persisting and resuming via ReaderAt. Per-shard offsets stay valid
+// across a durable store's crash recovery (disk order matches the
+// in-memory stream per shard), which total counts do not.
+func (r *Reader) Offsets() []int {
+	return append([]int(nil), r.offsets...)
+}
+
+// ReplayUser re-delivers, in append order, the already-consumed events
+// of one user: the user's shard prefix below the reader's offset,
+// filtered to that user. Consumers that keep bounded per-user state
+// (the streaming fraud scorer's window deque) use it to rebuild a
+// user's state exactly when an out-of-order arrival invalidates the
+// incremental fold — the replayed multiset is precisely what a batch
+// pass over the consumed prefix would see for that user. fn runs under
+// the shard read lock: it must not call back into the journal or
+// append to the store.
+func (r *Reader) ReplayUser(u UserID, fn func(LikeEvent)) {
+	i := r.j.shardIndex(u)
+	sh := &r.j.shards[i]
+	sh.mu.RLock()
+	limit := r.offsets[i]
+	if limit > len(sh.events) {
+		limit = len(sh.events)
+	}
+	for _, ev := range sh.events[:limit] {
+		if ev.User == u {
+			fn(ev)
+		}
+	}
+	sh.mu.RUnlock()
 }
