@@ -73,11 +73,31 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	syncEvery := fs.Int("sync-every", 1, "fsync the journal after this many likes; 1 = group commit, fully durable acknowledgements at coalesced-fsync cost (with -data-dir)")
 	syncInterval := fs.Duration("sync-interval", socialnet.DefaultSyncInterval, "background journal fsync period (with -data-dir)")
 	monPoll := fs.Duration("monitor-poll", 2*time.Second, "live monitor poll interval (with -data-dir)")
+	follow := fs.String("follow", "", "run as a read replica of the leader at this URL: bootstrap from its snapshot, tail its journal segments, serve the full read API locally (requires -data-dir)")
+	leaderToken := fs.String("leader-token", "honeypot-admin", "admin token for the leader's replication endpoints (with -follow)")
+	followPoll := fs.Duration("follow-poll", 500*time.Millisecond, "replication poll interval (with -follow)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	if *follow != "" {
+		return runFollower(followerConfig{
+			leaderURL:   *follow,
+			leaderToken: *leaderToken,
+			pollEvery:   *followPoll,
+			dataDir:     *dataDir,
+			addr:        *addr,
+			token:       *token,
+			rps:         *rps,
+			clientRPS:   *clientRPS,
+			maxConns:    *maxConns,
+			monPoll:     *monPoll,
+			syncEvery:   *syncEvery,
+			syncInt:     *syncInterval,
+		}, stderr, serve)
 	}
 
 	var store *socialnet.Store
@@ -119,7 +139,12 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 	stopScorer := ls.start(*monPoll)
 	defer stopScorer()
 
-	handler := newHandler(store, *token, *rps, *clientRPS, ls.scorer)
+	handler, apiSrv := newHandler(store, *token, *rps, *clientRPS, ls.scorer)
+	if store.Durable() {
+		// Advertise the fsync horizon so clients (and replicas' users)
+		// can compare leader and replica X-Repl-Offsets directly.
+		apiSrv.SetReplOffsets(func() []uint64 { return store.ReplOffsets(nil) })
+	}
 	fmt.Fprintf(stderr, "serving on http://%s (admin token %q)\n", *addr, *token)
 	serveErr := serve(*addr, handler, *maxConns)
 
@@ -138,6 +163,107 @@ func run(args []string, stderr io.Writer, serve func(addr string, h http.Handler
 		if err := store.Close(); err != nil {
 			fmt.Fprintf(stderr, "honeypotd: close journal: %v\n", err)
 		}
+	}
+	if serveErr != nil {
+		fmt.Fprintf(stderr, "honeypotd: %v\n", serveErr)
+		return 1
+	}
+	return 0
+}
+
+// followerConfig carries the replica-mode settings from run's flags.
+type followerConfig struct {
+	leaderURL   string
+	leaderToken string
+	pollEvery   time.Duration
+	dataDir     string
+	addr        string
+	token       string
+	rps         float64
+	clientRPS   float64
+	maxConns    int
+	monPoll     time.Duration
+	syncEvery   int
+	syncInt     time.Duration
+}
+
+// runFollower serves a read replica: bootstrap from the leader's
+// snapshot (first start only), tail its journal segments into a local
+// WAL, and serve the full read API — likes, users, friends, directory,
+// and live fraud verdicts from a local StreamScorer — while writes get
+// 403 and every response carries the replica's applied offsets in
+// X-Repl-Offsets. The live monitor does not run here: campaign
+// observation is the leader's job; the replica's job is read capacity.
+func runFollower(cfg followerConfig, stderr io.Writer, serve func(addr string, h http.Handler, maxConns int) error) int {
+	if cfg.dataDir == "" {
+		fmt.Fprintf(stderr, "honeypotd: -follow requires -data-dir (the replica persists shipped segments there)\n")
+		return 2
+	}
+	src := api.NewReplHTTPSource(cfg.leaderURL, cfg.leaderToken, nil)
+	opts := socialnet.WALOptions{SyncEvery: cfg.syncEvery, SyncInterval: cfg.syncInt}
+	fw, stats, err := socialnet.OpenFollower(context.Background(), cfg.dataDir, src, socialnet.FollowerOptions{WAL: opts})
+	if err != nil {
+		fmt.Fprintf(stderr, "honeypotd: open follower: %v\n", err)
+		return 1
+	}
+	store := fw.Store()
+	if stats != nil && stats.TailEvents > 0 {
+		fmt.Fprintf(stderr, "resumed replica from %s (%d replayed from WAL tail)\n", cfg.dataDir, stats.TailEvents)
+	}
+	if n, err := fw.Poll(context.Background()); err != nil {
+		fmt.Fprintf(stderr, "honeypotd: initial catch-up: %v\n", err)
+		return 1
+	} else {
+		fmt.Fprintf(stderr, "replica of %s caught up (+%d records; %d users, %d pages)\n",
+			cfg.leaderURL, n, store.NumUsers(), store.NumPages())
+	}
+
+	// The replica scores fraud locally from its own shipped journal —
+	// read capacity scales with replicas, verdicts included.
+	ls := newLiveScorer(store, filepath.Join(cfg.dataDir, scorerStateFile), stderr)
+	stopScorer := ls.start(cfg.monPoll)
+
+	// Tail loop: poll the leader until shutdown. A replication gap
+	// (leader compacted past our cursor) is fatal — the operator must
+	// re-bootstrap from a fresh directory; anything else is transient
+	// and retried next tick.
+	done := make(chan struct{})
+	tailStopped := make(chan struct{})
+	go func() {
+		defer close(tailStopped)
+		tick := time.NewTicker(cfg.pollEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if _, err := fw.Poll(context.Background()); err != nil {
+					if errors.Is(err, socialnet.ErrReplGap) {
+						fmt.Fprintf(stderr, "honeypotd: replication gap: %v (delete %s and restart to re-bootstrap)\n", err, cfg.dataDir)
+						return
+					}
+					fmt.Fprintf(stderr, "honeypotd: replication poll: %v\n", err)
+				}
+			}
+		}
+	}()
+
+	handler, apiSrv := newHandler(store, cfg.token, cfg.rps, cfg.clientRPS, ls.scorer)
+	apiSrv.SetReadOnly(true)
+	apiSrv.SetReplOffsets(func() []uint64 { return fw.Offsets(nil) })
+	fmt.Fprintf(stderr, "serving replica on http://%s (leader %s)\n", cfg.addr, cfg.leaderURL)
+	serveErr := serve(cfg.addr, handler, cfg.maxConns)
+
+	close(done)
+	<-tailStopped
+	stopScorer()
+	ls.stopAndSave()
+	if err := fw.Checkpoint(); err != nil {
+		fmt.Fprintf(stderr, "honeypotd: final checkpoint: %v\n", err)
+	}
+	if err := fw.Close(); err != nil {
+		fmt.Fprintf(stderr, "honeypotd: close journal: %v\n", err)
 	}
 	if serveErr != nil {
 		fmt.Fprintf(stderr, "honeypotd: %v\n", serveErr)
@@ -233,7 +359,7 @@ func buildStore(seed int64, scale float64, workers int, load, save string, stder
 // X-API-Token header, or the remote address) gets its own token bucket
 // under the -rps global ceiling; with only -rps the single global
 // bucket applies.
-func newHandler(store *socialnet.Store, token string, rps, clientRPS float64, scorer *detect.StreamScorer) http.Handler {
+func newHandler(store *socialnet.Store, token string, rps, clientRPS float64, scorer *detect.StreamScorer) (http.Handler, *api.Server) {
 	srv := api.NewServer(store, token)
 	if scorer != nil {
 		srv.SetFraudScorer(scorer)
@@ -248,12 +374,37 @@ func newHandler(store *socialnet.Store, token string, rps, clientRPS float64, sc
 	case rps > 0:
 		handler = api.Throttle(handler, rps, int(rps)+1)
 	}
-	return handler
+	return handler, srv
 }
 
 // shutdownGrace bounds how long a graceful shutdown waits for in-flight
 // requests before the process exits anyway.
 const shutdownGrace = 10 * time.Second
+
+// Slow-client timeouts for the public listener. Every accepted
+// connection holds a goroutine and (under -max-conns) a listener slot,
+// so each phase of a request's life gets an explicit bound; without
+// them one slowloris-style client per slot could pin the server's
+// capacity indefinitely.
+const (
+	// readHeaderTimeout bounds the wait for the request line and
+	// headers — the cheapest phase to stall and the classic slowloris
+	// vector, so it gets the tightest bound.
+	readHeaderTimeout = 5 * time.Second
+	// readTimeout bounds reading the entire request, body included.
+	// Bodies here are small (the only POST is a like injection, capped
+	// at 64 KiB), so 15s is generous even for slow links.
+	readTimeout = 15 * time.Second
+	// writeTimeout bounds writing the response. Directory and
+	// like-stream pages can reach a few hundred KiB compressed; a
+	// client must still drain that within 30s or forfeit the slot.
+	writeTimeout = 30 * time.Second
+	// idleTimeout bounds a keep-alive connection between requests. The
+	// crawler reuses connections aggressively, so idle slots are
+	// normal; two minutes keeps reuse effective while still reclaiming
+	// abandoned sockets.
+	idleTimeout = 2 * time.Minute
+)
 
 // serveGraceful runs an http.Server with slow-client timeouts and
 // drains it cleanly when ctx is cancelled (SIGINT/SIGTERM in main). A
@@ -269,10 +420,10 @@ func serveGraceful(ctx context.Context, addr string, h http.Handler, maxConns in
 	ln = api.LimitListener(ln, maxConns)
 	srv := &http.Server{
 		Handler:           h,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       15 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

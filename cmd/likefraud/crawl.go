@@ -44,7 +44,7 @@ import (
 func runCrawl(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("likefraud crawl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	url := fs.String("url", "", "API base URL to crawl (default: build a study world and serve it in-process)")
+	url := fs.String("url", "", "API base URL(s) to crawl, comma-separated for read replicas of one leader (default: build a study world and serve it in-process)")
 	pagesFlag := fs.String("pages", "", "comma-separated page IDs to crawl (default: all campaign pages; required with -url)")
 	seed := fs.Int64("seed", 2014, "random seed for the self-served study world")
 	scale := fs.Float64("scale", 0.1, "self-served study scale in (0,1]")
@@ -67,6 +67,8 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write crawled profiles as JSON lines to this file")
 	analyze := fs.Bool("analyze", false, "stream crawled profiles into the §4 aggregators and write the table JSON (see -tables)")
 	tables := fs.String("tables", "", "with -analyze: write the §4 table JSON here (default crawl-tables.json, or DIR/crawl-tables.json with -data-dir)")
+	shardFlag := fs.String("shard", "", "crawl one slice of an N-way sharded study, as \"i/n\" (1 <= i <= n): this process owns the pages hashing to shard i and writes a -sink-out export for `likefraud merge` instead of partial -tables")
+	sinkOut := fs.String("sink-out", "", "with -shard: write this shard's export (roster, baseline, aggregator snapshot) to this file")
 	forceActive := fs.String("active", "", "comma-separated campaign IDs to treat as active regardless of like count (the default heuristic marks zero-like campaigns inactive)")
 	forceInactive := fs.String("inactive", "", "comma-separated campaign IDs to treat as never-delivered (inactive) regardless of like count")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
@@ -75,6 +77,23 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+	shardIdx, shardN := 0, 1
+	if *shardFlag != "" {
+		var i, n int
+		if _, err := fmt.Sscanf(*shardFlag, "%d/%d", &i, &n); err != nil || n < 1 || i < 1 || i > n {
+			fmt.Fprintf(stderr, "likefraud crawl: bad -shard %q (want i/n with 1 <= i <= n)\n", *shardFlag)
+			return 2
+		}
+		shardIdx, shardN = i-1, n
+		if !*analyze {
+			fmt.Fprintln(stderr, "likefraud crawl: -shard requires -analyze (the merge folds aggregator state, not raw profiles)")
+			return 2
+		}
+		if *sinkOut == "" {
+			fmt.Fprintln(stderr, "likefraud crawl: -shard requires -sink-out (the export `likefraud merge` consumes)")
+			return 2
+		}
 	}
 	if *checkpoint == "" && *dataDir != "" {
 		*checkpoint = filepath.Join(*dataDir, "crawl-checkpoint.json")
@@ -86,7 +105,16 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	base := *url
+	var bases []string
+	for _, part := range strings.Split(*url, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			bases = append(bases, part)
+		}
+	}
+	base := ""
+	if len(bases) > 0 {
+		base = bases[0]
+	}
 	var pageIDs []int64
 	var baseline []socialnet.UserID
 	if base == "" {
@@ -146,6 +174,16 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ccfg := crawler.DefaultConfig(base)
+	if len(bases) > 1 {
+		// Round-robin the read load across the replicas; retries fail
+		// over to the next one.
+		ccfg.BaseURLs = bases
+	}
+	if shardN > 1 {
+		// Each shard process crawls under its own politeness identity —
+		// the paper's N crawl accounts, one throttle budget each.
+		ccfg.APIToken = fmt.Sprintf("crawler-shard-%d-of-%d", shardIdx+1, shardN)
+	}
 	ccfg.MinInterval = *interval
 	ccfg.BackoffCap = *backoffCap
 	ccfg.Adaptive = *adaptive
@@ -189,15 +227,35 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 	// and restore its state from the checkpoint when resuming.
 	var analyzer *analysis.CrawlAnalyzer
 	var sink *crawler.AnalysisSink
+	// trueRoster keeps the un-masked active flags for the shard export;
+	// crawlPages/crawlBaseline are this process's slice of the work.
+	var trueRoster []analysis.CrawlCampaign
+	crawlPages, crawlBaseline := pageIDs, baseline
+	if shardN > 1 {
+		crawlPages = crawler.ShardPages(pageIDs, shardIdx, shardN)
+		crawlBaseline = crawler.ShardUsers(baseline, shardIdx, shardN)
+	}
 	switch {
 	case *analyze:
+		// The roster is discovered over the FULL page list even when
+		// sharded — every shard must export the identical roster for the
+		// merge to validate — but the analyzer activates only owned
+		// campaigns, the ownership discipline that makes the merged
+		// tables byte-identical to a single-process crawl.
 		roster, err := discoverRoster(ctx, cl, pageIDs)
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: roster: %v\n", err)
 			return 1
 		}
 		applyActiveOverrides(roster, *forceActive, *forceInactive)
-		analyzer = analysis.NewCrawlAnalyzer(roster, baseline)
+		trueRoster = roster
+		crawlRoster := roster
+		if shardN > 1 {
+			crawlRoster = analysis.ShardActive(roster, func(p socialnet.PageID) bool {
+				return crawler.ShardOf(int64(p), shardN) == shardIdx
+			})
+		}
+		analyzer = analysis.NewCrawlAnalyzer(crawlRoster, crawlBaseline)
 		sink = crawler.NewAnalysisSink(analyzer.Aggregators()...)
 		if resume != nil {
 			if resume.Sink == nil {
@@ -265,12 +323,12 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		perPage[page]++
 		return nil
 	}
-	crawlErr := pipe.Crawl(ctx, pageIDs, emitProfile)
-	if crawlErr == nil && *analyze && len(baseline) > 0 {
+	crawlErr := pipe.Crawl(ctx, crawlPages, emitProfile)
+	if crawlErr == nil && *analyze && len(crawlBaseline) > 0 {
 		// The baseline sample rides the same pipeline (dedup, sink,
 		// checkpoint); its profiles appear in the JSONL with page -1.
-		ids := make([]int64, len(baseline))
-		for i, u := range baseline {
+		ids := make([]int64, len(crawlBaseline))
+		for i, u := range crawlBaseline {
 			ids[i] = int64(u)
 		}
 		crawlErr = pipe.CrawlProfiles(ctx, ids, emitProfile)
@@ -295,7 +353,27 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	if *analyze {
+	switch {
+	case shardN > 1:
+		// A shard's tables would be partial — export the aggregator
+		// snapshot for `likefraud merge` instead.
+		blob, err := sink.Snapshot()
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: shard export: %v\n", err)
+			return 1
+		}
+		export := crawler.NewShardExport(shardIdx, shardN, trueRoster, baseline, blob)
+		data, err := json.MarshalIndent(export, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: shard export: %v\n", err)
+			return 1
+		}
+		if err := socialnet.WriteFileDurable(*sinkOut, data); err != nil {
+			fmt.Fprintf(stderr, "likefraud crawl: shard export: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote shard %d/%d export (%d owned pages) to %s\n", shardIdx+1, shardN, len(crawlPages), *sinkOut)
+	case *analyze:
 		t, err := analyzer.Tables()
 		if err != nil {
 			fmt.Fprintf(stderr, "likefraud crawl: analyze: %v\n", err)
@@ -322,7 +400,7 @@ func runCrawl(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "page %d: %d new likers\n", id, perPage[id])
 	}
 	fmt.Fprintf(stdout, "crawled %d profiles over %d pages in %s (%d requests, %d retries, %d throttled, %d workers, final interval %s)\n",
-		profiles, len(pageIDs), time.Since(start).Round(time.Millisecond),
+		profiles, len(crawlPages), time.Since(start).Round(time.Millisecond),
 		cl.Requests(), cl.Retries(), cl.Throttled(), *workers, cl.Interval())
 	return 0
 }

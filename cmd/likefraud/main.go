@@ -4,10 +4,15 @@
 // Usage:
 //
 //	likefraud [-seed N] [-scale S] [-workers W] [-artifact all|table1|table2|table3|fig1|fig2|fig3|fig4|fig5|removed|econ] [-outdir DIR] [-fraud FILE]
-//	likefraud crawl [-url BASE -pages IDS] [-workers W] [-checkpoint FILE] [-out FILE]
+//	likefraud crawl [-url BASE[,BASE2,...] -pages IDS] [-workers W] [-checkpoint FILE] [-out FILE]
+//	likefraud crawl -shard i/n -analyze -sink-out FILE ...
+//	likefraud merge [-tables OUT] shard1.json shard2.json ...
 //
 // The crawl subcommand runs the §3 data collection through the
-// concurrent, resumable crawl pipeline — see crawl.go.
+// concurrent, resumable crawl pipeline — see crawl.go. With -shard it
+// crawls one hash-slice of the study (targeting read replicas via a
+// comma-separated -url list) and exports its aggregator state; merge
+// folds the shard exports back into the single-process §4 tables.
 package main
 
 import (
@@ -34,6 +39,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "crawl" {
 		return runCrawl(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("likefraud", flag.ContinueOnError)
 	fs.SetOutput(stderr)

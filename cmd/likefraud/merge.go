@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/crawler"
+	"repro/internal/socialnet"
+)
+
+// runMerge is the `likefraud merge` subcommand: fold the exports of an
+// N-way sharded crawl (one -sink-out file per `likefraud crawl -shard
+// i/n` process) back into the single-process §4 tables. The merge
+// validates that the exports form one complete partition over one
+// roster; under the sharded crawl's ownership discipline the output is
+// byte-identical to an unsharded crawl of the same world.
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("likefraud merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tables := fs.String("tables", "crawl-tables.json", "write the merged §4 table JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "likefraud merge: usage: likefraud merge [-tables OUT] shard1.json shard2.json ...")
+		return 2
+	}
+	exports := make([]crawler.ShardExport, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
+			return 1
+		}
+		var e crawler.ShardExport
+		if err := json.Unmarshal(data, &e); err != nil {
+			fmt.Fprintf(stderr, "likefraud merge: %s: %v\n", p, err)
+			return 1
+		}
+		exports = append(exports, e)
+	}
+	analyzer, err := crawler.MergeShardExports(exports)
+	if err != nil {
+		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
+		return 1
+	}
+	t, err := analyzer.Tables()
+	if err != nil {
+		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
+		return 1
+	}
+	data, err := t.MarshalStable()
+	if err != nil {
+		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
+		return 1
+	}
+	if err := socialnet.WriteFileDurable(*tables, data); err != nil {
+		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "merged %d shard exports into %s (%d campaigns)\n", len(exports), *tables, len(analyzer.Campaigns))
+	return 0
+}

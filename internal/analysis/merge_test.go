@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/socialnet"
+)
+
+// shardTables runs the crawl fixture as a 2-shard crawl under the
+// ownership discipline — shard 0 owns page 100, shard 1 owns 101 and
+// 102 — and merges the two aggregator families into a fresh analyzer
+// built over the true roster and full baseline.
+func shardTables(t *testing.T) []byte {
+	t.Helper()
+	campaigns, profiles, likes := crawlFixture()
+	owns := []func(socialnet.PageID) bool{
+		func(p socialnet.PageID) bool { return p == 100 },
+		func(p socialnet.PageID) bool { return p != 100 },
+	}
+	// Baseline sample [3 7] split across the shards; each shard's
+	// analyzer carries only its slice, the merged analyzer the full set.
+	baselines := [][]socialnet.UserID{{3}, {7}}
+	shards := make([]*CrawlAnalyzer, 2)
+	for s := range shards {
+		shards[s] = NewCrawlAnalyzer(ShardActive(campaigns, owns[s]), baselines[s])
+	}
+	// Each shard sees the like streams of its owned pages only...
+	for _, lk := range likes {
+		for s := range shards {
+			if !owns[s](lk.Page) {
+				continue
+			}
+			for _, agg := range shards[s].Aggregators() {
+				agg.ObserveLike(lk.Page, lk.User, lk.At)
+			}
+		}
+	}
+	// ...and the profiles its crawl would fetch: likers of owned pages
+	// plus its baseline slice. Users liking pages in both shards are
+	// crawled twice — once per shard — which the ownership masking must
+	// keep from double-counting.
+	for _, p := range profiles {
+		for s := range shards {
+			fetch := false
+			for _, pg := range p.PageLikes {
+				if owns[s](pg) {
+					fetch = true
+				}
+			}
+			for _, b := range baselines[s] {
+				if b == p.User {
+					fetch = true
+				}
+			}
+			if !fetch {
+				continue
+			}
+			for _, agg := range shards[s].Aggregators() {
+				agg.ObserveProfile(p)
+			}
+		}
+	}
+	merged := NewCrawlAnalyzer(campaigns, []socialnet.UserID{3, 7})
+	for s := range shards {
+		for i, agg := range shards[s].Aggregators() {
+			st, err := agg.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := merged.Aggregators()[i].(CrawlMerger)
+			if !ok {
+				t.Fatalf("aggregator %d (%T) does not implement CrawlMerger", i, merged.Aggregators()[i])
+			}
+			if err := m.MergeState(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tables, err := merged.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tables.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestShardedMergeMatchesSingleProcess: the 2-shard crawl's merged
+// tables are byte-identical to the single-process crawl's — the merge
+// exactness contract the distributed study rests on.
+func TestShardedMergeMatchesSingleProcess(t *testing.T) {
+	tables := runAnalyzer(t, -1)
+	want, err := tables.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shardTables(t)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded merge diverges from single process:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestShardActiveMasksOwnership: masking keeps the roster shape and
+// flips only un-owned campaigns to inactive, without touching the
+// caller's slice.
+func TestShardActiveMasksOwnership(t *testing.T) {
+	campaigns, _, _ := crawlFixture()
+	masked := ShardActive(campaigns, func(p socialnet.PageID) bool { return p == 101 })
+	if len(masked) != len(campaigns) {
+		t.Fatalf("masked roster has %d campaigns, want %d", len(masked), len(campaigns))
+	}
+	if masked[0].Active || !masked[1].Active || masked[2].Active {
+		t.Fatalf("masked actives = %v %v %v, want false true false",
+			masked[0].Active, masked[1].Active, masked[2].Active)
+	}
+	if !campaigns[0].Active {
+		t.Fatal("ShardActive mutated the caller's roster")
+	}
+}
+
+// TestMergeCDFRejectsConflictingCounts: two shards reporting different
+// page-like totals for the same user is data corruption, not a merge.
+func TestMergeCDFRejectsConflictingCounts(t *testing.T) {
+	campaigns, _, _ := crawlFixture()
+	a := NewCrawlCDFAggregator(campaigns, nil)
+	b := NewCrawlCDFAggregator(campaigns, nil)
+	a.ObserveProfile(CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200}})
+	b.ObserveProfile(CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200, 300}})
+	st, err := b.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeState(st); err == nil {
+		t.Fatal("merge accepted conflicting per-user like counts")
+	}
+}
+
+// TestMergeRejectsRosterMismatch: shard state from a different roster
+// size is refused by every aggregator's merge, same as Restore.
+func TestMergeRejectsRosterMismatch(t *testing.T) {
+	campaigns, _, _ := crawlFixture()
+	big := NewCrawlAnalyzer(campaigns, nil)
+	small := NewCrawlAnalyzer(campaigns[:1], nil)
+	for i, agg := range big.Aggregators() {
+		st, err := agg.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := small.Aggregators()[i].(CrawlMerger).MergeState(st); err == nil {
+			t.Fatalf("aggregator %d merged state for a different roster", i)
+		}
+	}
+}

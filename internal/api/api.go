@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
@@ -50,6 +51,13 @@ type Server struct {
 	// /fraud endpoints with live streaming verdicts.
 	scorerMu sync.RWMutex
 	scorer   *detect.StreamScorer
+	// readOnly rejects writes with 403 — the replica stance: reads are
+	// local, writes belong to the leader.
+	readOnly atomic.Bool
+	// replOffsets, when set, supplies the per-shard applied offsets
+	// stamped on every response as X-Repl-Offsets — the staleness
+	// signal a client can compare across leader and replicas.
+	replOffsets atomic.Value // func() []uint64
 }
 
 // MaxPageSize caps pagination limits.
@@ -74,6 +82,9 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /api/repl/manifest", s.handleReplManifest)
+	s.mux.HandleFunc("GET /api/repl/snapshot/{name}", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /api/repl/segments", s.handleReplSegments)
 	// Response compression is part of the server, not an opt-in wrapper:
 	// every deployment (honeypotd, self-served crawls, tests) negotiates
 	// it the same way.
@@ -82,7 +93,32 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if fn, ok := s.replOffsets.Load().(func() []uint64); ok && fn != nil {
+		offs := fn()
+		var b strings.Builder
+		for i, o := range offs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(o, 10))
+		}
+		w.Header().Set("X-Repl-Offsets", b.String())
+	}
+	s.handler.ServeHTTP(w, r)
+}
+
+// SetReadOnly makes the server reject writes with 403 — the stance a
+// read replica serves in: every GET is answered from local state,
+// every write belongs to the leader.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// SetReplOffsets installs the offsets source stamped on responses as
+// X-Repl-Offsets (comma-separated decimals, one per WAL shard). On a
+// leader this is Store.ReplOffsets (the fsync horizon); on a follower,
+// FollowerStore.Offsets (the applied horizon). A client comparing the
+// two headers reads the replica's staleness directly in records.
+func (s *Server) SetReplOffsets(fn func() []uint64) { s.replOffsets.Store(fn) }
 
 // ---- wire types ----
 
@@ -338,6 +374,10 @@ type LikeRequest struct {
 func (s *Server) handlePostLike(w http.ResponseWriter, r *http.Request) {
 	if !s.adminAuthorized(r) {
 		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, "read-only replica: writes go to the leader")
 		return
 	}
 	id, err := pathID(r)

@@ -1,0 +1,197 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// Replication endpoints (DESIGN §15). The leader serves its durable
+// state to followers over three admin-gated routes:
+//
+//	GET /api/repl/manifest          -> ReplManifestDoc (JSON)
+//	GET /api/repl/snapshot/{name}   -> the current snapshot file (octet-stream)
+//	GET /api/repl/segments?shard=S&from=N[&max=B] -> raw record frames
+//
+// The segments route is the journal's own wire format: the leader
+// ships the exact framed bytes its WAL holds (below the fsync
+// horizon), and the follower CRC-checks and re-appends them — no
+// re-encoding, no second serialization schema. A follower whose
+// cursor predates the leader's compacted chain gets 410 Gone and must
+// re-bootstrap from the snapshot.
+
+// handleReplManifest serves the leader's durable manifest plus live
+// fsynced offsets — the follower's bootstrap and tail coordinates.
+func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	if !s.store.Durable() {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store")
+		return
+	}
+	m, err := s.store.ReplManifest()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleReplSnapshot streams the current snapshot file. The store
+// validates the requested name against its manifest, so the path
+// parameter can never escape the data directory.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	if !s.store.Durable() {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store")
+		return
+	}
+	rc, err := s.store.ReplSnapshot(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, rc)
+}
+
+// handleReplSegments serves raw framed records from one WAL shard
+// starting at the follower's cursor. An empty 200 body means caught
+// up; 410 Gone means the cursor predates the compacted chain.
+func (s *Server) handleReplSegments(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	if !s.store.Durable() {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store")
+		return
+	}
+	q := r.URL.Query()
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard: %v", err)
+		return
+	}
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	maxBytes := 0
+	if m := q.Get("max"); m != "" {
+		if maxBytes, err = strconv.Atoi(m); err != nil {
+			writeError(w, http.StatusBadRequest, "bad max: %v", err)
+			return
+		}
+	}
+	blob, err := s.store.ReplSegments(shard, from, maxBytes)
+	switch {
+	case errors.Is(err, socialnet.ErrReplGap):
+		writeError(w, http.StatusGone, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(blob)
+	}
+}
+
+// ReplHTTPSource is a socialnet.ReplSource over the routes above — the
+// client half a follower process points at its leader's URL.
+type ReplHTTPSource struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewReplHTTPSource builds a source for a leader at baseURL,
+// authenticating with adminToken. hc may be nil for a default client
+// with a 30s timeout (long enough for a full segment batch, short
+// enough that a wedged leader surfaces as an error, not a hang).
+func NewReplHTTPSource(baseURL, adminToken string, hc *http.Client) *ReplHTTPSource {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &ReplHTTPSource{base: baseURL, token: adminToken, hc: hc}
+}
+
+// get issues one authenticated GET and returns the response, mapping
+// the replication status codes; callers own the body.
+func (s *ReplHTTPSource) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("api: repl source: %w", err)
+	}
+	req.Header.Set("X-Admin-Token", s.token)
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: repl source: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp, nil
+	case http.StatusGone:
+		resp.Body.Close()
+		return nil, socialnet.ErrReplGap
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		resp.Body.Close()
+		return nil, fmt.Errorf("api: repl source: %s: status %d: %s", path, resp.StatusCode, body)
+	}
+}
+
+// Manifest implements socialnet.ReplSource.
+func (s *ReplHTTPSource) Manifest(ctx context.Context) (socialnet.ReplManifestDoc, error) {
+	var m socialnet.ReplManifestDoc
+	resp, err := s.get(ctx, "/api/repl/manifest")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("api: repl source: decode manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Snapshot implements socialnet.ReplSource. The caller streams and
+// closes the body.
+func (s *ReplHTTPSource) Snapshot(ctx context.Context, name string) (io.ReadCloser, error) {
+	resp, err := s.get(ctx, "/api/repl/snapshot/"+url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Segments implements socialnet.ReplSource.
+func (s *ReplHTTPSource) Segments(ctx context.Context, shard int, from uint64, maxBytes int) ([]byte, error) {
+	path := fmt.Sprintf("/api/repl/segments?shard=%d&from=%d&max=%d", shard, from, maxBytes)
+	resp, err := s.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("api: repl source: read segments: %w", err)
+	}
+	return blob, nil
+}

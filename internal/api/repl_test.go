@@ -1,0 +1,181 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+// durableLeader builds a small durable world and serves it.
+func durableLeader(t *testing.T) (*httptest.Server, *socialnet.Store) {
+	t.Helper()
+	dir := t.TempDir()
+	st := socialnet.NewShardedStore(4)
+	var users []socialnet.UserID
+	for i := 0; i < 6; i++ {
+		users = append(users, st.AddUser(socialnet.User{Country: "USA", Searchable: true}))
+	}
+	page, err := st.AddPage(socialnet.Page{Name: "Honeypot", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err = socialnet.OpenDurable(dir, socialnet.WALOptions{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for i, u := range users {
+		if err := st.AddLike(u, page, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(st, "sekrit"))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+// TestReplSourceRoundTrip: the HTTP source returns exactly what the
+// store's replication surface serves — manifest, snapshot bytes, and
+// segment frames — and a follower opened over it converges.
+func TestReplSourceRoundTrip(t *testing.T) {
+	srv, st := durableLeader(t)
+	src := NewReplHTTPSource(srv.URL, "sekrit", nil)
+	ctx := context.Background()
+
+	m, err := src.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.ReplManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != want.Seq || m.Snapshot != want.Snapshot || m.WALShards != want.WALShards {
+		t.Fatalf("manifest over HTTP differs: %+v vs %+v", m, want)
+	}
+
+	for sh := 0; sh < m.WALShards; sh++ {
+		got, err := src.Segments(ctx, sh, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := st.ReplSegments(sh, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, direct) {
+			t.Fatalf("shard %d segment bytes differ over HTTP: %d vs %d bytes", sh, len(got), len(direct))
+		}
+	}
+
+	// A follower bootstrapped and tailed entirely over HTTP matches the
+	// leader's canonical stream.
+	fw, _, err := socialnet.OpenFollower(ctx, t.TempDir(), src, socialnet.FollowerOptions{WAL: socialnet.WALOptions{SyncInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	if _, err := fw.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := st.Journal().EventsCanonical(1)
+	b := fw.Store().Journal().EventsCanonical(1)
+	if len(a) != len(b) {
+		t.Fatalf("follower over HTTP has %d events, leader %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs over HTTP", i)
+		}
+	}
+}
+
+// TestReplEndpointsRequireAdmin: all three routes refuse without the
+// admin token — replication ships raw private state.
+func TestReplEndpointsRequireAdmin(t *testing.T) {
+	srv, _ := durableLeader(t)
+	for _, path := range []string{
+		"/api/repl/manifest",
+		"/api/repl/snapshot/anything",
+		"/api/repl/segments?shard=0&from=0",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s without token: status %d, want 401", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestReplRequiresDurableStore: an in-memory server has no segment
+// chain to ship — 503, not a panic or an empty stream.
+func TestReplRequiresDurableStore(t *testing.T) {
+	srv, _, _, _, _ := testServer(t)
+	src := NewReplHTTPSource(srv.URL, "sekrit", nil)
+	if _, err := src.Manifest(context.Background()); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("manifest on in-memory store: err %v, want 503", err)
+	}
+}
+
+// TestReadOnlyReplicaRejectsWrites: a follower-backed server refuses
+// POSTs with 403 even with a valid admin token.
+func TestReadOnlyReplicaRejectsWrites(t *testing.T) {
+	srv, _, page, pub, _ := testServer(t)
+	s := srv.Config.Handler.(*Server)
+	s.SetReadOnly(true)
+	req, _ := http.NewRequest(http.MethodPost,
+		srv.URL+"/api/page/"+strconv.FormatInt(int64(page), 10)+"/likes",
+		strings.NewReader(`{"user": `+strconv.FormatInt(int64(pub), 10)+`}`))
+	req.Header.Set("X-Admin-Token", "sekrit")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("write on read-only replica: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestReplOffsetsHeader: once installed, every response carries the
+// X-Repl-Offsets staleness header.
+func TestReplOffsetsHeader(t *testing.T) {
+	srv, st := durableLeader(t)
+	s := srv.Config.Handler.(*Server)
+	s.SetReplOffsets(func() []uint64 { return st.ReplOffsets(nil) })
+	resp, err := http.Get(srv.URL + "/api/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	h := resp.Header.Get("X-Repl-Offsets")
+	if h == "" {
+		t.Fatal("X-Repl-Offsets header missing")
+	}
+	parts := strings.Split(h, ",")
+	offs := st.ReplOffsets(nil)
+	if len(parts) != len(offs) {
+		t.Fatalf("header has %d offsets, store has %d", len(parts), len(offs))
+	}
+	for i, p := range parts {
+		if p != strconv.FormatUint(offs[i], 10) {
+			t.Fatalf("header offset %d = %q, store %d", i, p, offs[i])
+		}
+	}
+}

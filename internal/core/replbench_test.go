@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/crawler"
+	"repro/internal/socialnet"
+)
+
+// Replication benchmark (BENCH_repl.json). Two perf stories:
+//
+//   - repl_read_throughput: aggregate read rps against 1, 2, and 4
+//     read replicas. All replicas run in one test process, so raw
+//     wall-clock would just measure the shared CPU; instead each
+//     replica node sits behind a capacity gate — a mutex serializing
+//     requests with a fixed per-request service time — modelling the
+//     one-node capacity that real replicas multiply. The CI gate
+//     requires rps(2 replicas) >= 1.6x rps(1).
+//   - sharded_crawl: wall-clock of the same politeness-bound crawl
+//     run as 1 process vs 2 shard processes. Politeness is per crawl
+//     identity (the paper's crawl accounts), so two shards with their
+//     own MinInterval budgets finish in about half the time.
+type replBenchResult struct {
+	Name     string  `json:"name"`
+	Replicas int     `json:"replicas,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
+	RPS      float64 `json:"rps,omitempty"`
+	Ms       float64 `json:"ms,omitempty"`
+}
+
+// nodeCost is the modelled per-request service time of one replica
+// node; its serialization is what makes N nodes ~N× the throughput.
+const nodeCost = 300 * time.Microsecond
+
+// replBenchWorld builds a small durable world and serves it as a
+// replication leader.
+func replBenchWorld(t *testing.T) (*httptest.Server, socialnet.PageID) {
+	t.Helper()
+	dir := t.TempDir()
+	st := socialnet.NewShardedStore(4)
+	page, err := st.AddPage(socialnet.Page{Name: "bench", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 40; i++ {
+		u := st.AddUser(socialnet.User{Country: "USA", Searchable: true})
+		if err := st.AddLike(u, page, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	leader, _, err := socialnet.OpenDurable(dir, socialnet.WALOptions{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	srv := httptest.NewServer(api.NewServer(leader, "sekrit"))
+	t.Cleanup(srv.Close)
+	return srv, page
+}
+
+// gatedReplicas bootstraps n followers of the leader and serves each
+// behind its own capacity gate, returning the replica base URLs.
+func gatedReplicas(t *testing.T, leaderURL string, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		src := api.NewReplHTTPSource(leaderURL, "sekrit", nil)
+		fw, _, err := socialnet.OpenFollower(context.Background(), t.TempDir(), src, socialnet.FollowerOptions{WAL: socialnet.WALOptions{SyncInterval: -1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fw.Close() })
+		if _, err := fw.Poll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		rs := api.NewServer(fw.Store(), "")
+		rs.SetReadOnly(true)
+		var mu sync.Mutex
+		gate := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			time.Sleep(nodeCost)
+			mu.Unlock()
+			rs.ServeHTTP(w, r)
+		})
+		srv := httptest.NewServer(gate)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// measureReadRPS drives totalReqs page reads from `clients` goroutines
+// round-robin across the replica set and returns aggregate rps.
+func measureReadRPS(t *testing.T, urls []string, page socialnet.PageID) float64 {
+	t.Helper()
+	const totalReqs = 2000
+	const clients = 16
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	path := fmt.Sprintf("/api/page/%d", page)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > totalReqs {
+					return
+				}
+				resp, err := hc.Get(urls[int(i)%len(urls)] + path)
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	return totalReqs / time.Since(start).Seconds()
+}
+
+// crawlBenchWorld builds a small in-memory roster for the wall-clock
+// comparison: 8 pages, 4 likers each.
+func crawlBenchWorld(t *testing.T) (*httptest.Server, []int64) {
+	t.Helper()
+	st := socialnet.NewStore()
+	base := time.Date(2014, 3, 12, 0, 0, 0, 0, time.UTC)
+	var pages []int64
+	for p := 0; p < 8; p++ {
+		pg, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("hp-%d", p), Honeypot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, int64(pg))
+		for i := 0; i < 4; i++ {
+			u := st.AddUser(socialnet.User{Country: "USA", FriendsPublic: true})
+			if err := st.AddLike(u, pg, base.Add(time.Duration(p*10+i)*time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	srv := httptest.NewServer(api.NewServer(st, ""))
+	t.Cleanup(srv.Close)
+	return srv, pages
+}
+
+// shardedCrawlMs runs the roster as n concurrent shard processes, each
+// with its own politeness budget (MinInterval 2ms), and returns total
+// wall-clock in milliseconds.
+func shardedCrawlMs(t *testing.T, srv *httptest.Server, pages []int64, n int) float64 {
+	t.Helper()
+	var wg sync.WaitGroup
+	errc := make(chan error, n)
+	start := time.Now()
+	for shard := 0; shard < n; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			cfg := crawler.DefaultConfig(srv.URL)
+			cfg.MinInterval = 2 * time.Millisecond
+			cfg.Adaptive = false
+			cfg.APIToken = fmt.Sprintf("crawler-shard-%d-of-%d", shard+1, n)
+			cl, err := crawler.New(cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			pipe := crawler.NewPipeline(cl, crawler.PipelineConfig{Workers: 8, BatchSize: 10}, nil)
+			owned := crawler.ShardPages(pages, shard, n)
+			if err := pipe.Crawl(context.Background(), owned, func(int64, crawler.LikerProfile) error { return nil }); err != nil {
+				errc <- err
+			}
+		}(shard)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// TestEmitReplBenchJSON, gated behind REPL_BENCH_JSON=<path>, measures
+// read-replica throughput scaling (1/2/4 replicas) and sharded-crawl
+// wall-clock (1/2 shards) and writes BENCH_repl.json. CI uploads the
+// file and gates on the 2-replica read ratio.
+func TestEmitReplBenchJSON(t *testing.T) {
+	path := os.Getenv("REPL_BENCH_JSON")
+	if path == "" {
+		t.Skip("set REPL_BENCH_JSON=<path> to emit the replication benchmark artifact")
+	}
+	var results []replBenchResult
+
+	leaderSrv, page := replBenchWorld(t)
+	for _, n := range []int{1, 2, 4} {
+		urls := gatedReplicas(t, leaderSrv.URL, n)
+		// One warm pass to open connections, then the measured pass.
+		measureReadRPS(t, urls, page)
+		rps := measureReadRPS(t, urls, page)
+		results = append(results, replBenchResult{Name: "repl_read_throughput", Replicas: n, RPS: rps})
+		t.Logf("replicas=%d rps=%.0f", n, rps)
+	}
+
+	crawlSrv, pages := crawlBenchWorld(t)
+	for _, n := range []int{1, 2} {
+		ms := shardedCrawlMs(t, crawlSrv, pages, n)
+		results = append(results, replBenchResult{Name: "sharded_crawl", Shards: n, Ms: ms})
+		t.Logf("shards=%d wall=%.1fms", n, ms)
+	}
+
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, raw)
+}

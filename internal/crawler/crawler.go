@@ -36,6 +36,13 @@ var (
 type Config struct {
 	// BaseURL is the API root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs optionally lists several API roots — read replicas of
+	// one leader (DESIGN §15). Requests rotate round-robin across them,
+	// and the rotation is per-ATTEMPT, not per-request: a retry after a
+	// replica failure lands on the next replica, so one dead node
+	// degrades throughput instead of stalling the crawl. When set,
+	// BaseURLs takes precedence over BaseURL.
+	BaseURLs []string
 	// MinInterval is the minimum spacing between requests (politeness).
 	MinInterval time.Duration
 	// MaxRetries bounds retry attempts per request.
@@ -92,6 +99,12 @@ type Config struct {
 	AdaptiveWindow int
 	// AdminToken authorizes admin-report requests.
 	AdminToken string
+	// APIToken, when set, is sent as X-API-Token on every request — the
+	// crawler's politeness identity. Servers running a per-client
+	// throttle budget key on it, so N sharded crawl processes with
+	// distinct tokens each get their own budget (the paper's N crawl
+	// accounts) instead of tripping one shared limit.
+	APIToken string
 	// HTTPClient overrides the default client (tests, timeouts).
 	HTTPClient *http.Client
 }
@@ -113,8 +126,13 @@ func DefaultConfig(baseURL string) Config {
 
 // Validate checks the config.
 func (c *Config) Validate() error {
-	if c.BaseURL == "" {
+	if c.BaseURL == "" && len(c.BaseURLs) == 0 {
 		return errors.New("crawler: empty base URL")
+	}
+	for _, u := range c.BaseURLs {
+		if u == "" {
+			return errors.New("crawler: empty base URL in replica list")
+		}
 	}
 	if c.MinInterval < 0 || c.Backoff < 0 || c.BackoffCap < 0 {
 		return errors.New("crawler: negative intervals")
@@ -162,6 +180,9 @@ type Client struct {
 	requests  atomic.Int64
 	retries   atomic.Int64
 	throttled atomic.Int64
+
+	// rr is the round-robin cursor over cfg.BaseURLs.
+	rr atomic.Int64
 
 	// rngMu guards rng, the jitter source for retry backoff. Seeded
 	// (deterministically by default) rather than global so tests can
@@ -307,6 +328,17 @@ func parseRetryAfter(ra string, now time.Time) (time.Duration, bool) {
 	return 0, false
 }
 
+// baseURL picks the target root for one request attempt: the next
+// replica in round-robin order when BaseURLs is set, the single
+// BaseURL otherwise.
+func (c *Client) baseURL() string {
+	if len(c.cfg.BaseURLs) == 0 {
+		return c.cfg.BaseURL
+	}
+	n := c.rr.Add(1) - 1
+	return c.cfg.BaseURLs[int(uint64(n)%uint64(len(c.cfg.BaseURLs)))]
+}
+
 // get performs one polite, retrying GET and decodes JSON into out.
 func (c *Client) get(ctx context.Context, path string, admin bool, out any) error {
 	var lastErr error
@@ -336,12 +368,15 @@ func (c *Client) get(ctx context.Context, path string, admin bool, out any) erro
 		if err := c.waitTurn(ctx); err != nil {
 			return err
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL()+path, nil)
 		if err != nil {
 			return fmt.Errorf("crawler: %w", err)
 		}
 		if admin {
 			req.Header.Set("X-Admin-Token", c.cfg.AdminToken)
+		}
+		if c.cfg.APIToken != "" {
+			req.Header.Set("X-API-Token", c.cfg.APIToken)
 		}
 		// Explicit negotiation (instead of the transport's implicit
 		// one) so compression also works through custom HTTPClients;

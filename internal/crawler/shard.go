@@ -1,0 +1,137 @@
+package crawler
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"slices"
+
+	"repro/internal/analysis"
+	"repro/internal/socialnet"
+)
+
+// Roster sharding splits one study across N crawler processes: each
+// process owns the campaign pages (and the slice of the baseline
+// sample) whose stable hash lands on its shard index, crawls only
+// those, and exports its sink snapshot plus the roster it observed.
+// `likefraud merge` (MergeShardExports) folds the exports back into
+// the single-process tables. The hash is a pure function of the ID —
+// no coordination, no assignment state — so any process can compute
+// the full partition and restarts keep their slice.
+
+// ShardOf maps an ID to a shard index in [0, n) by FNV-1a over the
+// ID's little-endian bytes. n <= 1 means a single shard.
+func ShardOf(id int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(id))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// ShardPages returns the pages owned by shard (0-based) of n, in input
+// order.
+func ShardPages(pages []int64, shard, n int) []int64 {
+	var out []int64
+	for _, p := range pages {
+		if ShardOf(p, n) == shard {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ShardUsers returns the users owned by shard (0-based) of n, in input
+// order — the baseline-sample partition.
+func ShardUsers(users []socialnet.UserID, shard, n int) []socialnet.UserID {
+	var out []socialnet.UserID
+	for _, u := range users {
+		if ShardOf(int64(u), n) == shard {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// ShardExport is one sharded crawl's contribution to the merged §4
+// tables: the TRUE roster (full active flags, not the shard-masked
+// ones the shard's own analyzer ran with), the full baseline sample,
+// and the shard's sink snapshot.
+type ShardExport struct {
+	Version int `json:"version"`
+	// Shard and Of identify the partition slice (Shard is 0-based).
+	Shard int `json:"shard"`
+	Of    int `json:"of"`
+	// Campaigns is the full roster with true active flags.
+	Campaigns []analysis.CrawlCampaign `json:"campaigns"`
+	// Baseline is the full baseline sample (empty when the crawl had
+	// none); each shard crawls only its ShardUsers slice of it.
+	Baseline []socialnet.UserID `json:"baseline"`
+	// Sink is the shard's AnalysisSink.Snapshot.
+	Sink json.RawMessage `json:"sink"`
+}
+
+// shardExportVersion is the current ShardExport wire version.
+const shardExportVersion = 1
+
+// NewShardExport packages a shard's sink snapshot for merging.
+func NewShardExport(shard, of int, campaigns []analysis.CrawlCampaign, baseline []socialnet.UserID, sink []byte) ShardExport {
+	return ShardExport{
+		Version:   shardExportVersion,
+		Shard:     shard,
+		Of:        of,
+		Campaigns: campaigns,
+		Baseline:  baseline,
+		Sink:      sink,
+	}
+}
+
+// MergeShardExports validates that the exports form one complete
+// partition over one roster and folds them into a fresh analyzer built
+// with the true active flags and full baseline. The returned analyzer
+// is ready for Tables(); under the ownership discipline (each shard's
+// analyzer activates only owned campaigns) the result is byte-identical
+// to a single-process crawl of the same world.
+func MergeShardExports(exports []ShardExport) (*analysis.CrawlAnalyzer, error) {
+	if len(exports) == 0 {
+		return nil, fmt.Errorf("crawler: merge: no shard exports")
+	}
+	first := exports[0]
+	if first.Version != shardExportVersion {
+		return nil, fmt.Errorf("crawler: merge: export version %d, want %d", first.Version, shardExportVersion)
+	}
+	if first.Of != len(exports) {
+		return nil, fmt.Errorf("crawler: merge: %d exports for a %d-shard crawl", len(exports), first.Of)
+	}
+	seen := make([]bool, first.Of)
+	for _, e := range exports {
+		if e.Version != first.Version || e.Of != first.Of {
+			return nil, fmt.Errorf("crawler: merge: export shard %d disagrees on partition (%d/%d vs %d/%d)", e.Shard, e.Version, e.Of, first.Version, first.Of)
+		}
+		if e.Shard < 0 || e.Shard >= first.Of {
+			return nil, fmt.Errorf("crawler: merge: shard index %d outside [0,%d)", e.Shard, first.Of)
+		}
+		if seen[e.Shard] {
+			return nil, fmt.Errorf("crawler: merge: shard %d exported twice", e.Shard)
+		}
+		seen[e.Shard] = true
+		if !slices.Equal(e.Campaigns, first.Campaigns) {
+			return nil, fmt.Errorf("crawler: merge: shard %d crawled a different roster", e.Shard)
+		}
+		if !slices.Equal(e.Baseline, first.Baseline) {
+			return nil, fmt.Errorf("crawler: merge: shard %d carries a different baseline sample", e.Shard)
+		}
+	}
+	analyzer := analysis.NewCrawlAnalyzer(first.Campaigns, first.Baseline)
+	sink := NewAnalysisSink(analyzer.Aggregators()...)
+	for _, e := range exports {
+		if err := sink.MergeSnapshot(e.Sink); err != nil {
+			return nil, fmt.Errorf("crawler: merge shard %d: %w", e.Shard, err)
+		}
+	}
+	return analyzer, nil
+}

@@ -1,0 +1,96 @@
+package crawler
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/socialnet"
+)
+
+// TestShardPartitionProperties: the hash partition is a true partition
+// (every ID lands on exactly one shard, shards are disjoint, the union
+// is the input) and stable (pure function of the ID).
+func TestShardPartitionProperties(t *testing.T) {
+	pages := make([]int64, 50)
+	for i := range pages {
+		pages[i] = int64(100 + i*7)
+	}
+	const n = 3
+	total := 0
+	seen := make(map[int64]int)
+	for s := 0; s < n; s++ {
+		for _, p := range ShardPages(pages, s, n) {
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("page %d owned by shards %d and %d", p, prev, s)
+			}
+			seen[p] = s
+			total++
+		}
+	}
+	if total != len(pages) {
+		t.Fatalf("partition covers %d of %d pages", total, len(pages))
+	}
+	for _, p := range pages {
+		if ShardOf(p, n) != seen[p] {
+			t.Fatalf("ShardOf(%d) unstable", p)
+		}
+	}
+	if ShardOf(12345, 1) != 0 || ShardOf(12345, 0) != 0 {
+		t.Fatal("single-shard crawl must own everything")
+	}
+	users := []socialnet.UserID{1, 2, 3, 4, 5, 6, 7, 8}
+	utotal := 0
+	for s := 0; s < n; s++ {
+		utotal += len(ShardUsers(users, s, n))
+	}
+	if utotal != len(users) {
+		t.Fatalf("user partition covers %d of %d", utotal, len(users))
+	}
+}
+
+// shardSink builds a trivial one-campaign export for merge-validation
+// tests.
+func shardSink(t *testing.T, shard, of int, campaigns []analysis.CrawlCampaign, baseline []socialnet.UserID) ShardExport {
+	t.Helper()
+	a := analysis.NewCrawlAnalyzer(campaigns, baseline)
+	sink := NewAnalysisSink(a.Aggregators()...)
+	blob, err := sink.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewShardExport(shard, of, campaigns, baseline, blob)
+}
+
+func TestMergeShardExportsValidation(t *testing.T) {
+	campaigns := []analysis.CrawlCampaign{{ID: "A", Page: 100, Active: true}}
+	e0 := shardSink(t, 0, 2, campaigns, nil)
+	e1 := shardSink(t, 1, 2, campaigns, nil)
+
+	if _, err := MergeShardExports([]ShardExport{e0, e1}); err != nil {
+		t.Fatalf("valid partition refused: %v", err)
+	}
+	if _, err := MergeShardExports(nil); err == nil {
+		t.Fatal("empty export set accepted")
+	}
+	if _, err := MergeShardExports([]ShardExport{e0}); err == nil {
+		t.Fatal("incomplete partition (1 of 2) accepted")
+	}
+	if _, err := MergeShardExports([]ShardExport{e0, e0}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	bad := e1
+	bad.Campaigns = []analysis.CrawlCampaign{{ID: "B", Page: 101, Active: true}}
+	if _, err := MergeShardExports([]ShardExport{e0, bad}); err == nil {
+		t.Fatal("mismatched rosters accepted")
+	}
+	badBase := e1
+	badBase.Baseline = []socialnet.UserID{9}
+	if _, err := MergeShardExports([]ShardExport{e0, badBase}); err == nil {
+		t.Fatal("mismatched baselines accepted")
+	}
+	badVer := e1
+	badVer.Version = 99
+	if _, err := MergeShardExports([]ShardExport{e0, badVer}); err == nil {
+		t.Fatal("unknown export version accepted")
+	}
+}

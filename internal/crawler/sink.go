@@ -155,3 +155,28 @@ func (s *AnalysisSink) Restore(data []byte) error {
 	}
 	return nil
 }
+
+// MergeSnapshot folds a peer sink's Snapshot into this sink's
+// aggregators — the sharded-crawl merge path. Every aggregator must
+// implement analysis.CrawlMerger (the standard §4 family does), and the
+// peer must have run the same family in the same order over the same
+// roster shape.
+func (s *AnalysisSink) MergeSnapshot(data []byte) error {
+	var snap sinkSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("crawler: sink merge: %w", err)
+	}
+	if len(snap.Aggs) != len(s.aggs) {
+		return fmt.Errorf("crawler: sink snapshot has %d aggregator states, sink has %d aggregators", len(snap.Aggs), len(s.aggs))
+	}
+	for i, st := range snap.Aggs {
+		m, ok := s.aggs[i].(analysis.CrawlMerger)
+		if !ok {
+			return fmt.Errorf("crawler: sink merge: aggregator %d (%T) cannot merge", i, s.aggs[i])
+		}
+		if err := m.MergeState(st); err != nil {
+			return fmt.Errorf("crawler: sink merge: %w", err)
+		}
+	}
+	return nil
+}

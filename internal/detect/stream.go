@@ -72,6 +72,10 @@ type StreamScorer struct {
 	// component sizes.
 	parent map[socialnet.UserID]socialnet.UserID
 	size   map[socialnet.UserID]int
+	// offScratch backs the cursor snapshot in MarshalState, reused
+	// across checkpoints so the periodic sidecar write stops allocating
+	// a fresh offsets slice every tick.
+	offScratch []int
 }
 
 // NewStreamScorer builds a scorer positioned at the start of the
@@ -324,9 +328,10 @@ type foldState struct {
 func (s *StreamScorer) MarshalState() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.offScratch = s.reader.OffsetsInto(s.offScratch)
 	st := scorerState{
 		WindowNS:   int64(s.window),
-		Offsets:    s.reader.Offsets(),
+		Offsets:    s.offScratch,
 		Accounts:   make(map[string]foldState, len(s.accounts)),
 		PageLikers: make(map[string][]socialnet.UserID, len(s.pageLikers)),
 	}

@@ -473,8 +473,19 @@ func (r *Reader) Offset() int {
 // persisting and resuming via ReaderAt. Per-shard offsets stay valid
 // across a durable store's crash recovery (disk order matches the
 // in-memory stream per shard), which total counts do not.
-func (r *Reader) Offsets() []int {
-	return append([]int(nil), r.offsets...)
+func (r *Reader) Offsets() []int { return r.OffsetsInto(nil) }
+
+// OffsetsInto is Offsets writing into dst, reusing its backing array
+// when capacity allows. Consumers that persist their position every
+// poll (the streaming fraud scorer's per-tick state save) keep one
+// scratch slice instead of allocating a copy per call.
+func (r *Reader) OffsetsInto(dst []int) []int {
+	if cap(dst) < len(r.offsets) {
+		dst = make([]int, len(r.offsets))
+	}
+	dst = dst[:len(r.offsets)]
+	copy(dst, r.offsets)
+	return dst
 }
 
 // ReplayUser re-delivers, in append order, the already-consumed events

@@ -1,0 +1,312 @@
+package socialnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+)
+
+// openTestFollower opens a follower of leader in dir with backgrounds
+// disabled; the tests drive Sync and Poll explicitly.
+func openTestFollower(t *testing.T, dir string, leader *Store) *FollowerStore {
+	t.Helper()
+	fw, _, err := OpenFollower(context.Background(), dir, StoreReplSource{Leader: leader}, FollowerOptions{WAL: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// assertReplEqual pins a follower against its leader: identical
+// canonical event streams, world counts, and — after both sides sync —
+// byte-identical record streams served from their segment chains.
+func assertReplEqual(t *testing.T, leader, follower *Store) {
+	t.Helper()
+	a := leader.Journal().EventsCanonical(1)
+	b := follower.Journal().EventsCanonical(1)
+	if len(a) != len(b) {
+		t.Fatalf("canonical lengths differ: leader %d vs follower %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("canonical event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if leader.NumUsers() != follower.NumUsers() || leader.NumPages() != follower.NumPages() {
+		t.Fatalf("world size differs: %d/%d users, %d/%d pages",
+			leader.NumUsers(), follower.NumUsers(), leader.NumPages(), follower.NumPages())
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := leader.ReplManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh := 0; sh < lm.WALShards; sh++ {
+		// Both chains may begin above zero after compaction; compare from
+		// the higher of the two floors (records below either floor are
+		// snapshot-covered on that side).
+		lb, err := leader.ReplSegments(sh, 0, maxReplBatchBytes)
+		if err != nil && !errors.Is(err, ErrReplGap) {
+			t.Fatal(err)
+		}
+		fb, err := follower.ReplSegments(sh, 0, maxReplBatchBytes)
+		if err != nil && !errors.Is(err, ErrReplGap) {
+			t.Fatal(err)
+		}
+		if lb != nil && fb != nil && !bytes.Equal(lb, fb) {
+			t.Fatalf("shard %d record streams differ: leader %d bytes vs follower %d bytes", sh, len(lb), len(fb))
+		}
+	}
+}
+
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	leader, users, pages := durableWorld(t, t.TempDir(), 12, 3, noSync)
+	defer leader.Close()
+	for i, u := range users {
+		if err := leader.AddLike(u, pages[i%len(pages)], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fw := openTestFollower(t, t.TempDir(), leader)
+	defer fw.Close()
+	n, err := fw.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(users) {
+		t.Fatalf("first poll applied %d records, want %d", n, len(users))
+	}
+	assertReplEqual(t, leader, fw.Store())
+
+	// Live tail: likes, a user creation, a friendship, a status change,
+	// and a visibility flip all ship as journal records.
+	nu := leader.AddUser(User{Country: "IT", Searchable: true})
+	if err := leader.AddLike(nu, pages[0], at(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Friend(users[0], users[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Terminate(users[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.SetFriendsPublic(users[3], false); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertReplEqual(t, leader, fw.Store())
+	f := fw.Store()
+	if !f.AreFriends(users[0], users[1]) {
+		t.Fatal("friend edge did not replicate")
+	}
+	if u, err := f.User(users[2]); err != nil || u.Status != StatusTerminated {
+		t.Fatalf("termination did not replicate: %+v, %v", u, err)
+	}
+	if f.FriendsVisible(users[3]) {
+		t.Fatal("visibility flip did not replicate")
+	}
+	if u, err := f.User(nu); err != nil || u.Country != "IT" {
+		t.Fatalf("user creation did not replicate: %+v, %v", u, err)
+	}
+
+	// Caught up: another poll is a no-op.
+	if n, err := fw.Poll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("caught-up poll applied %d, err %v", n, err)
+	}
+}
+
+func TestFollowerSeesOnlySyncedRecords(t *testing.T) {
+	leader, users, pages := durableWorld(t, t.TempDir(), 4, 1, noSync)
+	defer leader.Close()
+	fw := openTestFollower(t, t.TempDir(), leader)
+	defer fw.Close()
+
+	if err := leader.AddLike(users[0], pages[0], at(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced records are beyond the feed's horizon: a crash on the
+	// leader could still lose them, and a follower must never get ahead
+	// of what the leader can recover.
+	if n, err := fw.Poll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("poll before leader sync applied %d, err %v", n, err)
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fw.Poll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("poll after leader sync applied %d, err %v", n, err)
+	}
+}
+
+func TestFollowerRestartResumes(t *testing.T) {
+	leader, users, pages := durableWorld(t, t.TempDir(), 8, 2, noSync)
+	defer leader.Close()
+	for i := 0; i < 4; i++ {
+		if err := leader.AddLike(users[i], pages[0], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	fw := openTestFollower(t, fdir, leader)
+	if _, err := fw.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 4; i < 8; i++ {
+		if err := leader.AddLike(users[i], pages[1], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen is plain OpenDurable on the shipped files; the tail resumes
+	// from wherever the local chains end.
+	fw2 := openTestFollower(t, fdir, leader)
+	defer fw2.Close()
+	if n, err := fw2.Poll(context.Background()); err != nil || n != 4 {
+		t.Fatalf("resumed poll applied %d, err %v", n, err)
+	}
+	assertReplEqual(t, leader, fw2.Store())
+}
+
+// TestFollowerCrashTornTail kills a follower mid-ship — its newest
+// local segment ends in a torn frame — and pins that reopening repairs
+// the tail exactly like DESIGN §10 crash recovery (truncate to the last
+// valid record), refetches the lost suffix, and converges byte-for-byte
+// with the leader.
+func TestFollowerCrashTornTail(t *testing.T) {
+	leader, users, pages := durableWorld(t, t.TempDir(), 10, 2, noSync)
+	defer leader.Close()
+	for i, u := range users {
+		if err := leader.AddLike(u, pages[i%2], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	fw := openTestFollower(t, fdir, leader)
+	if _, err := fw.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Store().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the shipped chain two ways: chop the last valid record in
+	// half (a crash mid-AppendRaw), then smear garbage over the end (a
+	// torn frame header).
+	byShard, err := listSegments(fdir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := byShard[0]
+	if len(segs) == 0 {
+		t.Fatal("follower has no segments after tailing")
+	}
+	last := segs[len(segs)-1].path
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fw2 := openTestFollower(t, fdir, leader)
+	defer fw2.Close()
+	// The truncated record was repaired away, so the resumed cursor sits
+	// one record short: the poll must refetch exactly the lost suffix.
+	if n, err := fw2.Poll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("post-repair poll applied %d, err %v", n, err)
+	}
+	assertReplEqual(t, leader, fw2.Store())
+}
+
+func TestFollowerGapAfterLeaderCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := WALOptions{SyncInterval: -1, SegmentMaxBytes: 256}
+	leader, users, pages := durableWorld(t, dir, 6, 2, opts)
+	defer leader.Close()
+
+	// Bootstrap a follower at the initial floor, then advance and
+	// checkpoint the leader so compaction removes the segments the
+	// follower's cursor still points into.
+	fw := openTestFollower(t, t.TempDir(), leader)
+	defer fw.Close()
+	for i := 0; i < 12; i++ {
+		if err := leader.AddLike(users[i%len(users)], pages[i/len(users)], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		leader.AddUser(User{Country: "USA"})
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := fw.Poll(context.Background())
+	if !errors.Is(err, ErrReplGap) {
+		t.Fatalf("poll across a compacted gap: err %v, want ErrReplGap", err)
+	}
+}
+
+func TestOffsetsIntoReusesSlice(t *testing.T) {
+	j := NewJournal(4)
+	r := j.NewReader()
+	dst := make([]int, 0, 16)
+	out := r.OffsetsInto(dst)
+	if len(out) != j.NumShards() || cap(out) != cap(dst) {
+		t.Fatalf("reader OffsetsInto did not reuse dst: len %d cap %d", len(out), cap(out))
+	}
+	dir := t.TempDir()
+	st, _, _ := durableWorld(t, dir, 2, 1, noSync)
+	defer st.Close()
+	wdst := make([]uint64, 0, 8)
+	wout := st.ReplOffsets(wdst)
+	if cap(wout) != cap(wdst) {
+		t.Fatalf("ReplOffsets did not reuse dst: cap %d vs %d", cap(wout), cap(wdst))
+	}
+}

@@ -649,14 +649,67 @@ func (w *DiskWAL) Sync() error {
 // BEFORE writing the snapshot preserves the recovery invariant: every
 // record below an offset committed to the in-memory store (and thus to
 // any later snapshot) before it entered the WAL.
-func (w *DiskWAL) Offsets() []uint64 {
-	out := make([]uint64, len(w.shards))
+func (w *DiskWAL) Offsets() []uint64 { return w.OffsetsInto(nil) }
+
+// OffsetsInto is Offsets writing into dst (grown as needed): pollers
+// that snapshot offsets every tick (the replication tail, the staleness
+// header) reuse one scratch slice instead of allocating per call.
+func (w *DiskWAL) OffsetsInto(dst []uint64) []uint64 {
+	dst = sizeOffsets(dst, len(w.shards))
 	for i, sh := range w.shards {
 		sh.mu.Lock()
-		out[i] = sh.next
+		dst[i] = sh.next
 		sh.mu.Unlock()
 	}
-	return out
+	return dst
+}
+
+// SyncedOffsets snapshots each shard's fsynced high-water mark into dst
+// (grown as needed). This is the replication feed's publish horizon:
+// records below it are both durable on the leader and fully flushed to
+// the segment files, so a concurrent reader is guaranteed to find them.
+func (w *DiskWAL) SyncedOffsets(dst []uint64) []uint64 {
+	dst = sizeOffsets(dst, len(w.shards))
+	for i, sh := range w.shards {
+		sh.mu.Lock()
+		dst[i] = sh.synced
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// sizeOffsets returns dst resized to n entries, reusing its backing
+// array when capacity allows.
+func sizeOffsets(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	return dst[:n]
+}
+
+// shardNext returns one shard's next stream index — the follower tail's
+// per-shard replication cursor, read without allocating.
+func (w *DiskWAL) shardNext(shard int) uint64 {
+	sh := w.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.next
+}
+
+// appendRaw writes pre-framed record bytes (shipped segment frames,
+// already CRC-verified by the caller) to the given WAL shard's chain,
+// with the same rotation, sync policy, group-commit and sticky-error
+// behavior as Append. shard is the WAL file index itself, not a journal
+// shard to fold. This is the follower's persist path: frames land
+// byte-identical to the leader's, so the follower's chain IS the
+// leader's record stream.
+func (w *DiskWAL) appendRaw(shard int, frames [][]byte) {
+	if len(frames) == 0 {
+		return
+	}
+	w.appendRecords(shard, len(frames), func(i int, buf []byte) []byte {
+		return append(buf, frames[i]...)
+	})
 }
 
 // Compact removes segments made redundant by a snapshot covering the
