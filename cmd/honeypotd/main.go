@@ -223,10 +223,17 @@ func runFollower(cfg followerConfig, stderr io.Writer, serve func(addr string, h
 	ls := newLiveScorer(store, filepath.Join(cfg.dataDir, scorerStateFile), stderr)
 	stopScorer := ls.start(cfg.monPoll)
 
+	handler, apiSrv := newHandler(store, cfg.token, cfg.rps, cfg.clientRPS, ls.scorer)
+	apiSrv.SetReadOnly(true)
+	apiSrv.SetReplOffsets(func() []uint64 { return fw.Offsets(nil) })
+
 	// Tail loop: poll the leader until shutdown. A replication gap
 	// (leader compacted past our cursor) is fatal — the operator must
 	// re-bootstrap from a fresh directory; anything else is transient
-	// and retried next tick.
+	// and retried next tick. A dead tail marks the replica unhealthy
+	// (/api/healthz goes 503) rather than exiting the goroutine
+	// silently: the process keeps draining in-flight readers, but
+	// health-checked traffic stops landing on ever-staler data.
 	done := make(chan struct{})
 	tailStopped := make(chan struct{})
 	go func() {
@@ -241,6 +248,7 @@ func runFollower(cfg followerConfig, stderr io.Writer, serve func(addr string, h
 				if _, err := fw.Poll(context.Background()); err != nil {
 					if errors.Is(err, socialnet.ErrReplGap) {
 						fmt.Fprintf(stderr, "honeypotd: replication gap: %v (delete %s and restart to re-bootstrap)\n", err, cfg.dataDir)
+						apiSrv.SetHealthError(fmt.Sprintf("replication tail dead: %v", err))
 						return
 					}
 					fmt.Fprintf(stderr, "honeypotd: replication poll: %v\n", err)
@@ -248,10 +256,6 @@ func runFollower(cfg followerConfig, stderr io.Writer, serve func(addr string, h
 			}
 		}
 	}()
-
-	handler, apiSrv := newHandler(store, cfg.token, cfg.rps, cfg.clientRPS, ls.scorer)
-	apiSrv.SetReadOnly(true)
-	apiSrv.SetReplOffsets(func() []uint64 { return fw.Offsets(nil) })
 	fmt.Fprintf(stderr, "serving replica on http://%s (leader %s)\n", cfg.addr, cfg.leaderURL)
 	serveErr := serve(cfg.addr, handler, cfg.maxConns)
 

@@ -52,6 +52,11 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)
 		return 1
 	}
+	for _, agg := range analyzer.Aggregators() {
+		if c, ok := agg.(interface{ MergeConflicts() int }); ok && c.MergeConflicts() > 0 {
+			fmt.Fprintf(stderr, "likefraud merge: warning: %d per-user like-count conflicts across shards (profiles changed between shard crawls); larger counts kept\n", c.MergeConflicts())
+		}
+	}
 	t, err := analyzer.Tables()
 	if err != nil {
 		fmt.Fprintf(stderr, "likefraud merge: %v\n", err)

@@ -381,6 +381,9 @@ type CrawlCDFAggregator struct {
 	members [][]socialnet.UserID
 	counts  map[socialnet.UserID]int32
 	rows    []PageLikeCDF
+	// conflicts counts per-user count disagreements MergeState resolved
+	// (crawl-timing drift across shards); see MergeConflicts.
+	conflicts int
 }
 
 // crawlCDFState is the serialized fold.

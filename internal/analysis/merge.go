@@ -20,8 +20,10 @@ import (
 //   - Geo/Demo: per-campaign scalar sums — disjoint across shards.
 //   - Window: per-campaign time series concatenation (Finalize sorts).
 //   - CDF: member lists concatenate disjointly; the counts map unions
-//     consistently (a user's page-like count is the same full crawled
-//     list no matter which shard observed the profile).
+//     (a user's page-like count is the same full crawled list no
+//     matter which shard observed the profile, unless the profile
+//     drifted between the shards' crawls — resolved deterministically
+//     to the larger count, counted via MergeConflicts).
 //   - Jaccard: per-campaign page/user set unions — disjoint across
 //     shards.
 //
@@ -37,17 +39,22 @@ type CrawlMerger interface {
 }
 
 // MergeState implements CrawlMerger: per-campaign country tallies and
-// totals add.
+// totals add. The peer state is validated in full BEFORE any fold: a
+// mid-merge error must not leave the target half-merged, because the
+// caller's aggregator state is the accumulated result of an entire
+// crawl.
 func (g *CrawlGeoAggregator) MergeState(data []byte) error {
 	peer := NewCrawlGeoAggregator(g.campaigns)
 	if err := peer.Restore(data); err != nil {
 		return err
 	}
 	for i := range g.campaigns {
+		if g.counts[i] == nil && (len(peer.counts[i]) > 0 || peer.totals[i] > 0) {
+			return fmt.Errorf("analysis: merge geo: shard state has data for inactive campaign %q", g.campaigns[i].ID)
+		}
+	}
+	for i := range g.campaigns {
 		for label, n := range peer.counts[i] {
-			if g.counts[i] == nil {
-				return fmt.Errorf("analysis: merge geo: shard state has data for inactive campaign %q", g.campaigns[i].ID)
-			}
 			g.counts[i][label] += n
 		}
 		g.totals[i] += peer.totals[i]
@@ -90,6 +97,17 @@ func (w *CrawlWindowAggregator) MergeState(data []byte) error {
 
 // MergeState implements CrawlMerger: member lists concatenate (disjoint
 // under campaign ownership), the per-user page-like counts union.
+//
+// Two shards CAN legitimately disagree on one user's page-like count:
+// the shards crawl the same live world at different times, and a
+// profile that gained likes between the two observations drifts. That
+// is crawl-timing skew, not corruption, so the union resolves it
+// deterministically — the larger count wins, independent of merge
+// order — instead of aborting the merge of an entire multi-shard
+// crawl. Resolved conflicts are counted and reported by
+// MergeConflicts so callers can surface the drift; against a quiesced
+// world the count is zero and merged tables stay byte-identical to a
+// single-process crawl.
 func (a *CrawlCDFAggregator) MergeState(data []byte) error {
 	peer := NewCrawlCDFAggregator(a.campaigns, nil)
 	if err := peer.Restore(data); err != nil {
@@ -100,12 +118,20 @@ func (a *CrawlCDFAggregator) MergeState(data []byte) error {
 	}
 	for u, n := range peer.counts {
 		if have, ok := a.counts[u]; ok && have != n {
-			return fmt.Errorf("analysis: merge CDF: user %d has %d page likes in one shard, %d in another", u, have, n)
+			a.conflicts++
+			if have > n {
+				continue
+			}
 		}
 		a.counts[u] = n
 	}
 	return nil
 }
+
+// MergeConflicts reports how many per-user count conflicts MergeState
+// resolved (one per user per conflicting shard pair) — nonzero means
+// profiles changed between two shards' observations of them.
+func (a *CrawlCDFAggregator) MergeConflicts() int { return a.conflicts }
 
 // MergeState implements CrawlMerger: per-campaign page bitmaps and
 // liker sets union.

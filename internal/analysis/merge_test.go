@@ -121,20 +121,60 @@ func TestShardActiveMasksOwnership(t *testing.T) {
 	}
 }
 
-// TestMergeCDFRejectsConflictingCounts: two shards reporting different
-// page-like totals for the same user is data corruption, not a merge.
-func TestMergeCDFRejectsConflictingCounts(t *testing.T) {
+// TestMergeCDFResolvesConflictingCounts: two shards reporting
+// different page-like totals for the same user is crawl-timing drift
+// (the profile changed between the two shards' observations). The
+// merge resolves it deterministically — larger count wins, whichever
+// side it arrives from — and reports the conflict instead of aborting
+// the whole multi-shard merge.
+func TestMergeCDFResolvesConflictingCounts(t *testing.T) {
 	campaigns, _, _ := crawlFixture()
-	a := NewCrawlCDFAggregator(campaigns, nil)
-	b := NewCrawlCDFAggregator(campaigns, nil)
-	a.ObserveProfile(CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200}})
-	b.ObserveProfile(CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200, 300}})
-	st, err := b.State()
+	small := CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200}}
+	big := CrawlProfile{User: 1, PageLikes: []socialnet.PageID{100, 200, 300}}
+	for name, pair := range map[string][2]CrawlProfile{
+		"small-then-big": {small, big},
+		"big-then-small": {big, small},
+	} {
+		a := NewCrawlCDFAggregator(campaigns, nil)
+		b := NewCrawlCDFAggregator(campaigns, nil)
+		a.ObserveProfile(pair[0])
+		b.ObserveProfile(pair[1])
+		st, err := b.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.MergeState(st); err != nil {
+			t.Fatalf("%s: merge rejected crawl-timing drift: %v", name, err)
+		}
+		if a.counts[1] != 3 {
+			t.Fatalf("%s: merged count %d, want the larger observation 3", name, a.counts[1])
+		}
+		if a.MergeConflicts() != 1 {
+			t.Fatalf("%s: MergeConflicts = %d, want 1", name, a.MergeConflicts())
+		}
+	}
+}
+
+// TestMergeGeoValidatesBeforeFolding: peer state carrying data for a
+// campaign the target holds inactive is rejected with the target
+// UNTOUCHED — a failed merge must not leave a whole crawl's
+// accumulated state half-folded.
+func TestMergeGeoValidatesBeforeFolding(t *testing.T) {
+	campaigns, _, _ := crawlFixture()
+	full := NewCrawlGeoAggregator(campaigns)
+	full.ObserveProfile(CrawlProfile{User: 1, Country: "USA", PageLikes: []socialnet.PageID{100, 101, 102}})
+	st, err := full.State()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.MergeState(st); err == nil {
-		t.Fatal("merge accepted conflicting per-user like counts")
+	masked := NewCrawlGeoAggregator(ShardActive(campaigns, func(p socialnet.PageID) bool { return p == 100 }))
+	masked.ObserveProfile(CrawlProfile{User: 2, Country: "USA", PageLikes: []socialnet.PageID{100}})
+	wantTotal := masked.totals[0]
+	if err := masked.MergeState(st); err == nil {
+		t.Fatal("merge accepted peer data for an inactive campaign")
+	}
+	if masked.totals[0] != wantTotal || len(masked.counts[0]) != 1 || masked.counts[0]["USA"] != 1 {
+		t.Fatalf("rejected merge mutated the target: totals[0]=%d counts[0]=%v", masked.totals[0], masked.counts[0])
 	}
 }
 

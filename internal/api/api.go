@@ -58,6 +58,11 @@ type Server struct {
 	// stamped on every response as X-Repl-Offsets — the staleness
 	// signal a client can compare across leader and replicas.
 	replOffsets atomic.Value // func() []uint64
+	// health, when set non-empty via SetHealthError, flips
+	// /api/healthz to 503 with the reason — how a replica whose
+	// replication tail died tells load balancers to eject it instead
+	// of letting it serve ever-staler reads.
+	health atomic.Value // string
 }
 
 // MaxPageSize caps pagination limits.
@@ -79,9 +84,7 @@ func NewServer(st *socialnet.Store, adminToken string) *Server {
 	s.mux.HandleFunc("GET /api/page/{id}/fraud", s.handlePageFraud)
 	s.mux.HandleFunc("GET /api/user/{id}/fraud", s.handleUserFraud)
 	s.mux.HandleFunc("GET /api/fraud", s.handleFraudReport)
-	s.mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /api/repl/manifest", s.handleReplManifest)
 	s.mux.HandleFunc("GET /api/repl/snapshot/{name}", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /api/repl/segments", s.handleReplSegments)
@@ -112,6 +115,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // read replica serves in: every GET is answered from local state,
 // every write belongs to the leader.
 func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// handleHealthz answers 200 while the process is serving normally and
+// 503 with the recorded reason after SetHealthError — the signal a
+// load balancer or client uses to stop routing to a dead-tailed
+// replica.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if msg, ok := s.health.Load().(string); ok && msg != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "failed", "error": msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SetHealthError marks the server unhealthy: /api/healthz answers 503
+// with the given reason until it is cleared with an empty string. The
+// read API keeps serving — existing clients can still drain — but
+// health-checked traffic moves away.
+func (s *Server) SetHealthError(msg string) { s.health.Store(msg) }
 
 // SetReplOffsets installs the offsets source stamped on responses as
 // X-Repl-Offsets (comma-separated decimals, one per WAL shard). On a

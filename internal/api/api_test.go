@@ -330,6 +330,35 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestHealthzReportsFailure: once the process marks itself unhealthy —
+// a replica whose tail loop died, say — healthz flips to 503 so load
+// balancers and probes route traffic away from the stale instance.
+func TestHealthzReportsFailure(t *testing.T) {
+	st := socialnet.NewStore()
+	api := NewServer(st, "")
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	if code := getJSON(t, srv.URL+"/api/healthz", nil); code != 200 {
+		t.Fatalf("healthz before failure = %d, want 200", code)
+	}
+	api.SetHealthError("replication tail dead: cursor predates leader chain")
+	resp, err := http.Get(srv.URL + "/api/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("healthz after failure = %d, want 503", resp.StatusCode)
+	}
+	var body struct{ Status, Error string }
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "failed" || body.Error == "" {
+		t.Fatalf("healthz body = %+v, want failed status with the error", body)
+	}
+}
+
 // TestUserLikesCursorPaging mirrors the page-likes cursor contract on
 // the user side: windows tile the user's append-only like stream, and
 // a like landing mid-pagination is delivered exactly once at the tail.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -121,13 +122,28 @@ type ReplHTTPSource struct {
 	hc    *http.Client
 }
 
+// replCallTimeout bounds the bounded-body calls (manifest, segments):
+// their bodies are read in full inside this package, so a deadline on
+// the whole exchange is safe and turns a wedged leader into an error.
+const replCallTimeout = 2 * time.Minute
+
 // NewReplHTTPSource builds a source for a leader at baseURL,
 // authenticating with adminToken. hc may be nil for a default client
-// with a 30s timeout (long enough for a full segment batch, short
-// enough that a wedged leader surfaces as an error, not a hang).
+// with per-phase timeouts (dial, TLS handshake, response headers) but
+// NO overall http.Client.Timeout: that deadline covers the entire
+// exchange including body streaming, and a follower bootstrap streams
+// the leader's whole snapshot through Snapshot's body — any download
+// slower than such a cap would fail mid-copy on every attempt.
+// Wedged-leader detection instead comes from the header timeout, the
+// caller's context, and replCallTimeout on the bounded calls.
 func NewReplHTTPSource(baseURL, adminToken string, hc *http.Client) *ReplHTTPSource {
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+		}}
 	}
 	return &ReplHTTPSource{base: baseURL, token: adminToken, hc: hc}
 }
@@ -159,6 +175,8 @@ func (s *ReplHTTPSource) get(ctx context.Context, path string) (*http.Response, 
 
 // Manifest implements socialnet.ReplSource.
 func (s *ReplHTTPSource) Manifest(ctx context.Context) (socialnet.ReplManifestDoc, error) {
+	ctx, cancel := context.WithTimeout(ctx, replCallTimeout)
+	defer cancel()
 	var m socialnet.ReplManifestDoc
 	resp, err := s.get(ctx, "/api/repl/manifest")
 	if err != nil {
@@ -172,7 +190,9 @@ func (s *ReplHTTPSource) Manifest(ctx context.Context) (socialnet.ReplManifestDo
 }
 
 // Snapshot implements socialnet.ReplSource. The caller streams and
-// closes the body.
+// closes the body; no replCallTimeout applies here — a deadline
+// spanning the download would abort any snapshot larger than the link
+// can move in time. Cancelling ctx aborts the stream.
 func (s *ReplHTTPSource) Snapshot(ctx context.Context, name string) (io.ReadCloser, error) {
 	resp, err := s.get(ctx, "/api/repl/snapshot/"+url.PathEscape(name))
 	if err != nil {
@@ -183,6 +203,8 @@ func (s *ReplHTTPSource) Snapshot(ctx context.Context, name string) (io.ReadClos
 
 // Segments implements socialnet.ReplSource.
 func (s *ReplHTTPSource) Segments(ctx context.Context, shard int, from uint64, maxBytes int) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, replCallTimeout)
+	defer cancel()
 	path := fmt.Sprintf("/api/repl/segments?shard=%d&from=%d&max=%d", shard, from, maxBytes)
 	resp, err := s.get(ctx, path)
 	if err != nil {

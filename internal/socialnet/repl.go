@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // Replication ships the durable journal's segment chains from a leader
@@ -326,6 +327,9 @@ type FollowerStore struct {
 	src   ReplSource
 	dir   string
 	batch int
+	// held counts records the last Poll sweep fetched but deferred
+	// because a cross-shard referenced entity had not shipped yet.
+	held atomic.Int64
 }
 
 // OpenFollower opens (or bootstraps) a follower of src in dir. A fresh
@@ -437,14 +441,29 @@ type replBatch struct {
 	frames [][]byte
 }
 
-// Poll tails every shard once (repeating while full batches keep
-// arriving) and returns how many records it applied. Records are
+// Poll tails every shard once (repeating while progress is being made)
+// and returns how many records it applied AND persisted. Records are
 // applied to the in-memory store FIRST and persisted to the local
 // chains second: a checkpoint racing Poll then always snapshots a
 // superset of the offsets it records (the manifest invariant), and a
 // crash between the two simply refetches the suffix — replay dedupes
 // absorb any overlap. Fetched frames were CRC-verified and decoded
 // before anything is applied, so a damaged batch is rejected whole.
+//
+// Per-shard fetches are sequential, so one sweep is not a consistent
+// cut of the leader's shard horizons: a like or edge can arrive whose
+// referenced user/page creation sits in another shard beyond this
+// sweep's batch cap or fetch point. Such a record must NOT be
+// discarded (the leader has it applied) and must NOT be persisted
+// while unapplied (a restart's full-WAL replay would then apply it,
+// shifting the journal's record offsets relative to every cursor saved
+// before the restart). Instead the record holds its shard back: apply
+// stops the shard at the first record that fails, nothing at or past
+// it is persisted or acknowledged, and the next sweep refetches it —
+// by then the missing creation has usually shipped. A sweep that
+// fetches records but can apply none returns and lets the next Poll
+// retry (the leader's group commit may simply not have synced the
+// creation's shard yet); Held reports the deferred count.
 func (f *FollowerStore) Poll(ctx context.Context) (int, error) {
 	w := f.st.wal
 	if w == nil {
@@ -474,25 +493,49 @@ func (f *FollowerStore) Poll(ctx context.Context) (int, error) {
 			got += len(recs)
 		}
 		if got == 0 {
+			f.held.Store(0)
 			return total, nil
 		}
-		f.apply(batches)
-		for _, b := range batches {
-			w.appendRaw(b.shard, b.frames)
+		limits, applied := f.apply(batches)
+		for bi, b := range batches {
+			w.appendRaw(b.shard, b.frames[:limits[bi]])
 		}
 		if err := w.Err(); err != nil {
 			return total, err
 		}
-		total += got
+		total += applied
+		f.held.Store(int64(got - applied))
+		if applied == 0 {
+			return total, nil
+		}
 	}
 }
+
+// Held reports how many fetched records the most recent Poll sweep
+// deferred because a referenced user or page had not shipped yet. A
+// transiently positive value is normal (the reference is in flight);
+// a value that never drains means the leader's stream is damaged —
+// the follower refuses to diverge and its staleness offsets stop
+// advancing on the held shards.
+func (f *FollowerStore) Held() int { return int(f.held.Load()) }
 
 // apply replays fetched records into the in-memory store with the same
 // two-pass discipline as OpenDurable: every entity creation across ALL
 // shards lands before any like or edge, because records are sharded by
 // subject ID and a like may reference a user or page created in
 // another shard's batch.
-func (f *FollowerStore) apply(batches []replBatch) {
+//
+// It returns, per batch, the length of the batch's applyable prefix —
+// what Poll may persist and advance past — plus the total prefix
+// record count. A record that fails to apply (its referenced user or
+// page has not shipped yet) cuts its shard's prefix there: applying or
+// persisting past it would silently drop it from the live store while
+// the WAL kept it, diverging the replica from the leader until a
+// restart and shifting the follower journal's offsets when that
+// restart replayed it. Records ahead of a cut may already have been
+// applied in memory (creations in pass 1); the refetch re-applies them
+// as dups, which replay dedupe absorbs exactly.
+func (f *FollowerStore) apply(batches []replBatch) ([]int, int) {
 	st := f.st
 	var maxUser UserID
 	var maxPage PageID
@@ -521,18 +564,28 @@ func (f *FollowerStore) apply(batches []replBatch) {
 	if int64(maxPage)+1 > st.nextPage.Load() {
 		st.nextPage.Store(int64(maxPage) + 1)
 	}
-	for _, b := range batches {
-		for _, r := range b.recs {
+	limits := make([]int, len(batches))
+	applied := 0
+	for bi, b := range batches {
+		limits[bi] = len(b.recs)
+		for ri, r := range b.recs {
+			out := replayApplied
 			if r.like {
-				st.replayEvent(r.ev)
-				continue
+				out = st.replayEvent(r.ev)
+			} else {
+				switch r.world.Kind {
+				case WorldFriend, WorldStatus, WorldFriendsVis:
+					out = st.replayWorld(r.world)
+				}
 			}
-			switch r.world.Kind {
-			case WorldFriend, WorldStatus, WorldFriendsVis:
-				st.replayWorld(r.world)
+			if out == replayDropped {
+				limits[bi] = ri
+				break
 			}
 		}
+		applied += limits[bi]
 	}
+	return limits, applied
 }
 
 // Checkpoint persists the follower's state into its own directory —

@@ -3,8 +3,10 @@ package socialnet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -290,6 +292,138 @@ func TestFollowerGapAfterLeaderCompaction(t *testing.T) {
 	_, err := fw.Poll(context.Background())
 	if !errors.Is(err, ErrReplGap) {
 		t.Fatalf("poll across a compacted gap: err %v, want ErrReplGap", err)
+	}
+}
+
+// durableMultiWAL builds a durable store in dir whose WAL runs one
+// segment chain per journal shard — the legacy multi-chain layout (a
+// manifest without WALShards falls back to Shards) — so tests can put
+// a record and the entity it references in DIFFERENT chains.
+func durableMultiWAL(t *testing.T, dir string, shards, nUsers int) *Store {
+	t.Helper()
+	st := NewShardedStore(shards)
+	for i := 0; i < nUsers; i++ {
+		st.AddUser(User{Country: "USA", Searchable: true})
+	}
+	snap := "snapshot-0000000000000001.gob"
+	f, err := os.Create(filepath.Join(dir, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := manifest{Version: manifestVersion, Seq: 1, Shards: shards, Snapshot: snap, Offsets: make([]uint64, shards)}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileDurable(filepath.Join(dir, manifestFile), data); err != nil {
+		t.Fatal(err)
+	}
+	dst, _, err := OpenDurable(dir, noSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestFollowerDefersCrossShardReference: with multiple WAL chains, a
+// like can become fetchable BEFORE the creation of the page it
+// references — the creation lives in another shard beyond the sweep's
+// batch cap or fetch point. The follower must neither discard the like
+// (the leader has it applied) nor persist its frame while unapplied (a
+// restart's full replay would then apply it and shift the journal's
+// record offsets under every saved scorer cursor). It holds the shard
+// back and converges once the creation ships.
+func TestFollowerDefersCrossShardReference(t *testing.T) {
+	ldir := t.TempDir()
+	leader := durableMultiWAL(t, ldir, 4, 1) // user 1, in the snapshot
+	defer leader.Close()
+
+	fdir := t.TempDir()
+	fw, _, err := OpenFollower(context.Background(), fdir, StoreReplSource{Leader: leader},
+		FollowerOptions{WAL: noSync, BatchBytes: 1}) // 1 byte: one frame per fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	// Ship a like referencing page 5 whose creation has not reached the
+	// leader's durable stream yet (it will land in shard 1 later). User
+	// 1 is the snapshot's one user — IDs allocate from 1.
+	ev := LikeEvent{At: at(1), User: 1, Page: 5, Source: SourceLike}
+	leader.wal.Append(0, ev)
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fw.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("poll applied %d records with the referenced page missing, want 0", n)
+	}
+	if fw.Held() != 1 {
+		t.Fatalf("Held() = %d, want 1 deferred like", fw.Held())
+	}
+	if got := fw.Offsets(nil); got[0] != 0 {
+		t.Fatalf("follower persisted the unapplied like: shard 0 offset %d, want 0", got[0])
+	}
+	if got := fw.Store().Journal().Len(); got != 0 {
+		t.Fatalf("follower journal has %d events before the page shipped, want 0", got)
+	}
+
+	// The creations arrive in shard 1: a filler page first, so the
+	// referenced page sits beyond the first 1-frame fetch of the next
+	// sweep and the like must survive one more intra-sweep deferral.
+	leader.wal.AppendWorld(1, WorldRecord{Kind: WorldPage, Page: Page{ID: 1, Name: "filler"}})
+	leader.wal.AppendWorld(1, WorldRecord{Kind: WorldPage, Page: Page{ID: 5, Name: "target"}})
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fw.Poll(context.Background()); err != nil || n != 3 {
+		t.Fatalf("catch-up poll applied %d, err %v, want 3", n, err)
+	}
+	if fw.Held() != 0 {
+		t.Fatalf("Held() = %d after convergence, want 0", fw.Held())
+	}
+	if _, err := fw.Store().Page(5); err != nil {
+		t.Fatalf("page 5 did not replicate: %v", err)
+	}
+	evs := fw.Store().Journal().EventsCanonical(1)
+	if len(evs) != 1 || evs[0] != ev {
+		t.Fatalf("follower journal = %+v, want exactly the shipped like", evs)
+	}
+
+	// Alignment across restart: reopening replays the shipped WAL in
+	// full; journal contents and offsets must not shift (a saved scorer
+	// cursor stays valid).
+	beforeOffsets := fw.Offsets(nil)
+	if err := fw.Store().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fw2, _, err := OpenFollower(context.Background(), fdir, StoreReplSource{Leader: leader},
+		FollowerOptions{WAL: noSync, BatchBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw2.Close()
+	if got := fw2.Offsets(nil); len(got) != len(beforeOffsets) || got[0] != beforeOffsets[0] || got[1] != beforeOffsets[1] {
+		t.Fatalf("offsets shifted across restart: %v vs %v", got, beforeOffsets)
+	}
+	evs2 := fw2.Store().Journal().EventsCanonical(1)
+	if len(evs2) != 1 || evs2[0] != ev {
+		t.Fatalf("reopened journal = %+v, want exactly the shipped like", evs2)
+	}
+	if n, err := fw2.Poll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("caught-up reopened poll applied %d, err %v", n, err)
 	}
 }
 
