@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -218,56 +219,109 @@ func runFollower(cfg followerConfig, stderr io.Writer, serve func(addr string, h
 			cfg.leaderURL, n, store.NumUsers(), store.NumPages())
 	}
 
+	// The serving state — follower store, its local fraud scorer, and
+	// the API server built over them — is bundled so a re-bootstrap can
+	// swap all of it atomically under the live listener.
+	type replica struct {
+		fw         *socialnet.FollowerStore
+		ls         *liveScorer
+		stopScorer func()
+		apiSrv     *api.Server
+		handler    http.Handler
+		// dead marks a replica whose store was closed by a failed
+		// re-bootstrap: shutdown must not checkpoint or re-close it.
+		dead bool
+	}
 	// The replica scores fraud locally from its own shipped journal —
 	// read capacity scales with replicas, verdicts included.
-	ls := newLiveScorer(store, filepath.Join(cfg.dataDir, scorerStateFile), stderr)
-	stopScorer := ls.start(cfg.monPoll)
-
-	handler, apiSrv := newHandler(store, cfg.token, cfg.rps, cfg.clientRPS, ls.scorer)
-	apiSrv.SetReadOnly(true)
-	apiSrv.SetReplOffsets(func() []uint64 { return fw.Offsets(nil) })
+	openReplica := func(fw *socialnet.FollowerStore) *replica {
+		ls := newLiveScorer(fw.Store(), filepath.Join(cfg.dataDir, scorerStateFile), stderr)
+		stop := ls.start(cfg.monPoll)
+		handler, apiSrv := newHandler(fw.Store(), cfg.token, cfg.rps, cfg.clientRPS, ls.scorer)
+		apiSrv.SetReadOnly(true)
+		apiSrv.SetReplOffsets(func() []uint64 { return fw.Offsets(nil) })
+		return &replica{fw: fw, ls: ls, stopScorer: stop, apiSrv: apiSrv, handler: handler}
+	}
+	var live atomic.Pointer[replica]
+	live.Store(openReplica(fw))
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		live.Load().handler.ServeHTTP(w, r)
+	})
 
 	// Tail loop: poll the leader until shutdown. A replication gap
-	// (leader compacted past our cursor) is fatal — the operator must
-	// re-bootstrap from a fresh directory; anything else is transient
-	// and retried next tick. A dead tail marks the replica unhealthy
-	// (/api/healthz goes 503) rather than exiting the goroutine
-	// silently: the process keeps draining in-flight readers, but
-	// health-checked traffic stops landing on ever-staler data.
+	// (leader compacted past our cursor) gets ONE automatic recovery
+	// attempt: re-bootstrap from the leader's current snapshot into a
+	// scratch dir, atomically swap it over the data dir, and swap the
+	// whole serving bundle under the listener. A second gap, or a
+	// failed re-bootstrap, is fatal — the operator must intervene;
+	// anything else is transient and retried next tick. A dead tail
+	// marks the replica unhealthy (/api/healthz goes 503) rather than
+	// exiting the goroutine silently: the process keeps draining
+	// in-flight readers, but health-checked traffic stops landing on
+	// ever-staler data.
 	done := make(chan struct{})
 	tailStopped := make(chan struct{})
 	go func() {
 		defer close(tailStopped)
 		tick := time.NewTicker(cfg.pollEvery)
 		defer tick.Stop()
+		rebootstrapped := false
 		for {
 			select {
 			case <-done:
 				return
 			case <-tick.C:
-				if _, err := fw.Poll(context.Background()); err != nil {
-					if errors.Is(err, socialnet.ErrReplGap) {
-						fmt.Fprintf(stderr, "honeypotd: replication gap: %v (delete %s and restart to re-bootstrap)\n", err, cfg.dataDir)
-						apiSrv.SetHealthError(fmt.Sprintf("replication tail dead: %v", err))
-						return
-					}
-					fmt.Fprintf(stderr, "honeypotd: replication poll: %v\n", err)
+				cur := live.Load()
+				_, err := cur.fw.Poll(context.Background())
+				if err == nil {
+					continue
 				}
+				if !errors.Is(err, socialnet.ErrReplGap) {
+					fmt.Fprintf(stderr, "honeypotd: replication poll: %v\n", err)
+					continue
+				}
+				if rebootstrapped {
+					fmt.Fprintf(stderr, "honeypotd: replication gap again after re-bootstrap: %v (delete %s and restart)\n", err, cfg.dataDir)
+					cur.apiSrv.SetHealthError(fmt.Sprintf("replication tail dead: %v", err))
+					return
+				}
+				rebootstrapped = true
+				fmt.Fprintf(stderr, "honeypotd: replication gap: %v; re-bootstrapping from the leader's current snapshot\n", err)
+				cur.stopScorer()
+				if cerr := cur.fw.Close(); cerr != nil {
+					fmt.Fprintf(stderr, "honeypotd: close gapped replica: %v\n", cerr)
+				}
+				fw2, _, rerr := socialnet.RebootstrapFollower(context.Background(), cfg.dataDir, src, socialnet.FollowerOptions{WAL: opts})
+				if rerr != nil {
+					fmt.Fprintf(stderr, "honeypotd: re-bootstrap: %v (delete %s and restart)\n", rerr, cfg.dataDir)
+					deadCopy := *cur
+					deadCopy.dead = true
+					live.Store(&deadCopy)
+					cur.apiSrv.SetHealthError(fmt.Sprintf("replication tail dead: re-bootstrap failed: %v", rerr))
+					return
+				}
+				next := openReplica(fw2)
+				live.Store(next)
+				fmt.Fprintf(stderr, "replica re-bootstrapped from %s (%d users, %d pages)\n",
+					cfg.leaderURL, fw2.Store().NumUsers(), fw2.Store().NumPages())
 			}
 		}
 	}()
 	fmt.Fprintf(stderr, "serving replica on http://%s (leader %s)\n", cfg.addr, cfg.leaderURL)
-	serveErr := serve(cfg.addr, handler, cfg.maxConns)
+	serveErr := serve(cfg.addr, root, cfg.maxConns)
 
 	close(done)
 	<-tailStopped
-	stopScorer()
-	ls.stopAndSave()
-	if err := fw.Checkpoint(); err != nil {
-		fmt.Fprintf(stderr, "honeypotd: final checkpoint: %v\n", err)
-	}
-	if err := fw.Close(); err != nil {
-		fmt.Fprintf(stderr, "honeypotd: close journal: %v\n", err)
+	cur := live.Load()
+	cur.stopScorer()
+	if !cur.dead {
+		cur.ls.stopAndSave()
+		if err := cur.fw.Checkpoint(); err != nil {
+			fmt.Fprintf(stderr, "honeypotd: final checkpoint: %v\n", err)
+		}
+		if err := cur.fw.Close(); err != nil {
+			fmt.Fprintf(stderr, "honeypotd: close journal: %v\n", err)
+		}
 	}
 	if serveErr != nil {
 		fmt.Fprintf(stderr, "honeypotd: %v\n", serveErr)

@@ -12,8 +12,13 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/api"
+	"repro/internal/socialnet"
 )
 
 // serveOnce runs the command with a serve function that captures the
@@ -313,4 +318,171 @@ func postLike(t *testing.T, base, page, token string, user int) int {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode
+}
+
+// syncBuf is a bytes.Buffer safe for the follower's tail goroutine to
+// write while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestFollowerAutoRebootstrap drives a live replica into a replication
+// gap and checks the one-shot recovery: the follower re-bootstraps from
+// the leader's current snapshot, atomically swaps its serving state
+// under the listener, and keeps /api/healthz at 200 — while a SECOND
+// gap is fatal and flips healthz to 503 with reads still served.
+func TestFollowerAutoRebootstrap(t *testing.T) {
+	// A durable leader with tiny WAL segments, so a checkpoint compacts
+	// records away from under the follower's cursor.
+	ldir := t.TempDir()
+	lst := socialnet.NewShardedStore(2)
+	var users []socialnet.UserID
+	for i := 0; i < 6; i++ {
+		users = append(users, lst.AddUser(socialnet.User{Country: "USA", Searchable: true}))
+	}
+	page, err := lst.AddPage(socialnet.Page{Name: "Honeypot", Honeypot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lst.Checkpoint(ldir); err != nil {
+		t.Fatal(err)
+	}
+	lst, _, err = socialnet.OpenDurable(ldir, socialnet.WALOptions{SyncInterval: -1, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	base := time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	// advance writes a burst of records and checkpoints, compacting the
+	// chain below any cursor that has not yet fetched the burst.
+	advance := func(round int) socialnet.UserID {
+		t.Helper()
+		var last socialnet.UserID
+		var fresh []socialnet.UserID
+		for i := 0; i < 40; i++ {
+			last = lst.AddUser(socialnet.User{Country: "USA", Searchable: true})
+			fresh = append(fresh, last)
+		}
+		for i := 0; i < 12; i++ {
+			if err := lst.AddLike(fresh[i], page, base.Add(time.Duration(round*100+i)*time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := lst.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := lst.Checkpoint(ldir); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+
+	// The leader's segment feed can be gated off (503 = transient, the
+	// follower retries) so a write burst plus checkpoint lands while the
+	// follower's cursor is guaranteed stale.
+	var gate atomic.Bool
+	leaderAPI := api.NewServer(lst, "sekrit")
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gate.Load() && strings.HasPrefix(r.URL.Path, "/api/repl/segments") {
+			http.Error(w, "maintenance", http.StatusServiceUnavailable)
+			return
+		}
+		leaderAPI.ServeHTTP(w, r)
+	}))
+	defer leader.Close()
+
+	stderr := &syncBuf{}
+	handlerCh := make(chan http.Handler, 1)
+	stopServe := make(chan struct{})
+	followerDone := make(chan int, 1)
+	go func() {
+		followerDone <- runFollower(followerConfig{
+			leaderURL:   leader.URL,
+			leaderToken: "sekrit",
+			pollEvery:   10 * time.Millisecond,
+			dataDir:     filepath.Join(t.TempDir(), "replica"),
+			addr:        "ignored",
+			token:       "sekrit",
+			syncInt:     -1,
+		}, stderr, func(addr string, h http.Handler, maxConns int) error {
+			handlerCh <- h
+			<-stopServe
+			return nil
+		})
+	}()
+	var ts *httptest.Server
+	select {
+	case h := <-handlerCh:
+		ts = httptest.NewServer(h)
+	case code := <-followerDone:
+		t.Fatalf("follower exited %d before serving: %s", code, stderr.String())
+	}
+	defer ts.Close()
+	defer func() {
+		close(stopServe)
+		if code := <-followerDone; code != 0 {
+			t.Errorf("follower exit code %d: %s", code, stderr.String())
+		}
+	}()
+
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if ok() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; follower stderr:\n%s", what, stderr.String())
+	}
+	healthz := func() int {
+		code, _ := get(t, ts.URL+"/api/healthz")
+		return code
+	}
+	if healthz() != http.StatusOK {
+		t.Fatalf("fresh replica healthz = %d", healthz())
+	}
+
+	// Gap #1: burst + checkpoint behind the gate. The follower must
+	// recover on its own — the post-gap user is only reachable through
+	// the new snapshot, so serving it proves the store swap happened.
+	gate.Store(true)
+	newUser := advance(1)
+	gate.Store(false)
+	waitFor("auto re-bootstrap to serve post-gap user", func() bool {
+		code, _ := get(t, fmt.Sprintf("%s/api/user/%d", ts.URL, newUser))
+		return code == http.StatusOK
+	})
+	if healthz() != http.StatusOK {
+		t.Fatalf("healthz after auto re-bootstrap = %d", healthz())
+	}
+	if !strings.Contains(stderr.String(), "re-bootstrapped") {
+		t.Fatalf("no re-bootstrap logged:\n%s", stderr.String())
+	}
+
+	// Gap #2 is fatal: healthz flips to 503, reads still drain.
+	gate.Store(true)
+	advance(2)
+	gate.Store(false)
+	waitFor("second gap to mark the replica unhealthy", func() bool {
+		return healthz() == http.StatusServiceUnavailable
+	})
+	if code, _ := get(t, fmt.Sprintf("%s/api/user/%d", ts.URL, newUser)); code != http.StatusOK {
+		t.Fatalf("reads after dead tail = %d, want 200", code)
+	}
 }

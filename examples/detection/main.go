@@ -89,12 +89,16 @@ func main() {
 		fmt.Printf("%-10.1f %-10d %-10.2f %-10.2f\n", thr, tp+fp, prec, rec)
 	}
 
-	// Detector 2: lockstep co-liking over the honeypot pages.
-	fmt.Println("\n== Lockstep (CopyCatch-style) detector ==")
-	groups, err := detect.Lockstep(st, pages, detect.DefaultLockstepConfig())
-	if err != nil {
-		log.Fatal(err)
+	// Detector 2: lockstep co-liking over the honeypot pages, served by
+	// the STREAMING scorer's per-page co-action sketches. Draining the
+	// journal tick by tick yields groups byte-identical to the batch
+	// detect.Lockstep fold — the one detection core, two consumption
+	// modes.
+	fmt.Println("\n== Lockstep (CopyCatch-style) detector, streaming ==")
+	sc := detect.NewStreamScorer(st, detect.StreamScorerConfig{Pages: pages})
+	for sc.Tick() > 0 {
 	}
+	groups := sc.LockstepGroups()
 	sort.Slice(groups, func(i, j int) bool { return len(groups[i].Users) > len(groups[j].Users) })
 	caught := map[socialnet.UserID]bool{}
 	for _, g := range groups {

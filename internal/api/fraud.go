@@ -17,7 +17,13 @@ type FraudVerdictDoc struct {
 	Burst2h     float64 `json:"burst_2h"`
 	IslandSize  int     `json:"island_size"`
 	Score       float64 `json:"score"`
-	Terminated  bool    `json:"terminated"`
+	// Lockstep group membership: the 1-based index of the account's
+	// group in the report's lockstep_groups list (0 = none), the
+	// group's member count, and its distinct evidence pages.
+	LockstepGroup int  `json:"lockstep_group"`
+	LockstepSize  int  `json:"lockstep_size"`
+	LockstepPages int  `json:"lockstep_pages"`
+	Terminated    bool `json:"terminated"`
 }
 
 // PageFraudDoc is a tracked page's fraud summary: per-liker verdicts
@@ -30,9 +36,35 @@ type PageFraudDoc struct {
 	Verdicts  []FraudVerdictDoc `json:"verdicts"`
 }
 
-// FraudReportDoc is the all-tracked-pages report, pages ascending.
+// LockstepGroupDoc is one detected lockstep cluster on the wire:
+// members and evidence pages, both ascending.
+type LockstepGroupDoc struct {
+	Users []int64 `json:"users"`
+	Pages []int64 `json:"pages"`
+}
+
+// FraudReportDoc is the all-tracked-pages report, pages ascending,
+// plus the lockstep group report the per-verdict lockstep_group
+// indices point into (groups ordered by smallest member).
 type FraudReportDoc struct {
-	Pages []PageFraudDoc `json:"pages"`
+	Pages          []PageFraudDoc     `json:"pages"`
+	LockstepGroups []LockstepGroupDoc `json:"lockstep_groups"`
+}
+
+// lockstepGroupDocs renders a detect group report for the wire.
+func lockstepGroupDocs(groups []detect.LockstepGroup) []LockstepGroupDoc {
+	docs := []LockstepGroupDoc{}
+	for _, g := range groups {
+		d := LockstepGroupDoc{Users: make([]int64, 0, len(g.Users)), Pages: make([]int64, 0, len(g.Pages))}
+		for _, u := range g.Users {
+			d.Users = append(d.Users, int64(u))
+		}
+		for _, p := range g.Pages {
+			d.Pages = append(d.Pages, int64(p))
+		}
+		docs = append(docs, d)
+	}
+	return docs
 }
 
 // HighRiskScore is the score threshold above which a verdict counts
@@ -59,14 +91,17 @@ func (s *Server) fraudScorer() *detect.StreamScorer {
 // fraudVerdictDoc renders a detect.Verdict for the wire.
 func fraudVerdictDoc(u socialnet.UserID, v detect.Verdict) FraudVerdictDoc {
 	return FraudVerdictDoc{
-		User:        int64(u),
-		LikeCount:   v.Features.LikeCount,
-		FriendCount: v.Features.FriendCount,
-		MaxIn2h:     v.Features.MaxIn2h,
-		Burst2h:     v.Features.Burst2h,
-		IslandSize:  v.Features.IslandSize,
-		Score:       v.Score,
-		Terminated:  v.Terminated,
+		User:          int64(u),
+		LikeCount:     v.Features.LikeCount,
+		FriendCount:   v.Features.FriendCount,
+		MaxIn2h:       v.Features.MaxIn2h,
+		Burst2h:       v.Features.Burst2h,
+		IslandSize:    v.Features.IslandSize,
+		Score:         v.Score,
+		LockstepGroup: v.Lockstep.Group,
+		LockstepSize:  v.Lockstep.Size,
+		LockstepPages: v.Lockstep.Pages,
+		Terminated:    v.Terminated,
 	}
 }
 
@@ -118,15 +153,24 @@ func BatchFraudReport(st *socialnet.Store, workers int) (FraudReportDoc, error) 
 	if err != nil {
 		return FraudReportDoc{}, err
 	}
-	verdicts := make(map[socialnet.UserID]detect.Verdict, len(feats))
-	for _, f := range feats {
+	groups, err := detect.Lockstep(st, pages, detect.DefaultLockstepConfig())
+	if err != nil {
+		return FraudReportDoc{}, err
+	}
+	vs := make([]detect.Verdict, len(feats))
+	for i, f := range feats {
 		v := detect.Verdict{Features: f, Score: f.Score()}
 		if u, err := st.User(f.User); err == nil {
 			v.Terminated = u.Status == socialnet.StatusTerminated
 		}
-		verdicts[f.User] = v
+		vs[i] = v
 	}
-	doc := FraudReportDoc{Pages: []PageFraudDoc{}}
+	detect.AttachLockstep(vs, groups)
+	verdicts := make(map[socialnet.UserID]detect.Verdict, len(vs))
+	for _, v := range vs {
+		verdicts[v.Features.User] = v
+	}
+	doc := FraudReportDoc{Pages: []PageFraudDoc{}, LockstepGroups: lockstepGroupDocs(groups)}
 	for _, p := range pages {
 		likers := likersOf[p]
 		sort.Slice(likers, func(i, j int) bool { return likers[i] < likers[j] })
@@ -212,7 +256,10 @@ func (s *Server) handleFraudReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withScorer(w, func(sc *detect.StreamScorer) {
-		doc := FraudReportDoc{Pages: []PageFraudDoc{}}
+		doc := FraudReportDoc{
+			Pages:          []PageFraudDoc{},
+			LockstepGroups: lockstepGroupDocs(sc.LockstepGroups()),
+		}
 		for _, p := range sc.TrackedPages() {
 			likers, _ := sc.PageLikers(p)
 			doc.Pages = append(doc.Pages, buildPageFraudDoc(p, likers, sc.Verdict))

@@ -124,12 +124,28 @@ type StudyConfig struct {
 	// per analysis, kept as the regression baseline — both produce
 	// byte-identical Results.
 	Analyses string
+
+	// Terminations selects the fraud-sweep verdict engine for phase 5.
+	// The default (TerminationBatch) scores the likers with the batch
+	// verdict pass; TerminationStream drives the same termination
+	// policy off a live StreamScorer tick over the journal — the
+	// production deployment's path — and produces byte-identical
+	// Results (the detect package pins the two engines' verdicts equal,
+	// and each account's termination coin comes from its own split
+	// stream).
+	Terminations string
 }
 
 // Analysis engine modes for StudyConfig.Analyses.
 const (
 	AnalysisOnePass   = ""
 	AnalysisMultiScan = "multiscan"
+)
+
+// Termination engine modes for StudyConfig.Terminations.
+const (
+	TerminationBatch  = ""
+	TerminationStream = "stream"
 )
 
 // StudyStart is the paper's campaign launch date (§3).
@@ -180,6 +196,9 @@ func (c *StudyConfig) Validate() error {
 	}
 	if c.Analyses != AnalysisOnePass && c.Analyses != AnalysisMultiScan {
 		return fmt.Errorf("core: unknown analysis mode %q", c.Analyses)
+	}
+	if c.Terminations != TerminationBatch && c.Terminations != TerminationStream {
+		return fmt.Errorf("core: unknown termination mode %q", c.Terminations)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d must be >=0", c.Workers)

@@ -16,11 +16,30 @@ type DetectorEval struct {
 	// are farm-controlled.
 	Enrolled int `json:"enrolled"`
 	Fakes    int `json:"fakes"`
-	// AUC summarizes the whole score ranking (trapezoidal over the
-	// threshold sweep).
+	// AUC summarizes the whole burst-score ranking (trapezoidal over
+	// the threshold sweep).
 	AUC float64 `json:"auc"`
-	// Precision/Recall/F1 are the operating point at
+	// Precision/Recall/F1 are the burst signal's operating point at
 	// detect.FlagThreshold.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// LockstepGroups counts the detected lockstep clusters; Lockstep
+	// scores group membership as a detector on its own (flag = in any
+	// group), and Composite the union signal (flag = burst score at
+	// threshold OR group member; ranking = burst score lifted by
+	// membership). Comparing the three shows what each dimension of
+	// the composite verdict contributes.
+	LockstepGroups int        `json:"lockstep_groups"`
+	Lockstep       SignalEval `json:"lockstep"`
+	Composite      SignalEval `json:"composite"`
+}
+
+// SignalEval is one detection signal's scorecard: AUC over its ranking
+// plus the confusion-matrix operating point.
+type SignalEval struct {
+	Flagged   int     `json:"flagged"`
+	AUC       float64 `json:"auc"`
 	Precision float64 `json:"precision"`
 	Recall    float64 `json:"recall"`
 	F1        float64 `json:"f1"`
@@ -63,5 +82,55 @@ func EvaluateDetector(st *socialnet.Store) *DetectorEval {
 	eval.Precision = op.Precision()
 	eval.Recall = op.Recall()
 	eval.F1 = op.F1()
+
+	// Lockstep alone: membership is a binary score (ScoreSweep/AUC
+	// degrade gracefully on two-valued rankings), flag = member.
+	groups := sc.LockstepGroups()
+	eval.LockstepGroups = len(groups)
+	member := make(map[socialnet.UserID]bool)
+	for _, g := range groups {
+		for _, u := range g.Users {
+			member[u] = true
+		}
+	}
+	lockScores := make(map[socialnet.UserID]float64, len(accounts))
+	for _, u := range accounts {
+		if member[u] {
+			lockScores[u] = 1
+		} else {
+			lockScores[u] = 0
+		}
+	}
+	eval.Lockstep = evalSignal(accounts, lockScores, member, isFake)
+
+	// Composite: a group member is flagged regardless of its burst
+	// score, and ranks above every non-member with the same score
+	// (membership lifts the score by 1 — scores live in [0,1], so the
+	// lift is a strict tier, not a reshuffle).
+	compScores := make(map[socialnet.UserID]float64, len(accounts))
+	compFlagged := make(map[socialnet.UserID]bool)
+	for _, u := range accounts {
+		compScores[u] = scores[u]
+		if member[u] {
+			compScores[u] += 1
+			compFlagged[u] = true
+		} else if flagged[u] {
+			compFlagged[u] = true
+		}
+	}
+	eval.Composite = evalSignal(accounts, compScores, compFlagged, isFake)
 	return eval
+}
+
+// evalSignal assembles one signal's scorecard from its ranking and
+// flag set.
+func evalSignal(accounts []socialnet.UserID, scores map[socialnet.UserID]float64, flagged map[socialnet.UserID]bool, isFake func(socialnet.UserID) bool) SignalEval {
+	op := detect.Evaluate(accounts, flagged, isFake)
+	return SignalEval{
+		Flagged:   len(flagged),
+		AUC:       detect.AUC(detect.ScoreSweep(scores, isFake)),
+		Precision: op.Precision(),
+		Recall:    op.Recall(),
+		F1:        op.F1(),
+	}
 }

@@ -129,3 +129,58 @@ func TestSweepEvalDetector(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluateDetectorLockstepSignals scores the three detection
+// signals — lockstep membership alone, burst score alone, and their
+// composite — against ground truth on the generated study world (both
+// farm archetypes present). The world's burst farms co-like honeypot
+// pages inside shared 2h windows, so lockstep finds real groups; the
+// relationships pinned here are the ones the verdict model is built
+// on: lockstep is a high-precision low-recall signal, and the
+// composite can only widen the burst signal's net.
+func TestEvaluateDetectorLockstepSignals(t *testing.T) {
+	st := miniStore(t)
+	eval := EvaluateDetector(st)
+	if eval.LockstepGroups == 0 {
+		t.Fatal("study world produced no lockstep groups")
+	}
+	if eval.Lockstep.Flagged == 0 {
+		t.Fatal("lockstep groups with no flagged members")
+	}
+	for name, v := range map[string]float64{
+		"lockstep.auc": eval.Lockstep.AUC, "lockstep.precision": eval.Lockstep.Precision,
+		"lockstep.recall": eval.Lockstep.Recall, "lockstep.f1": eval.Lockstep.F1,
+		"composite.auc": eval.Composite.AUC, "composite.precision": eval.Composite.Precision,
+		"composite.recall": eval.Composite.Recall, "composite.f1": eval.Composite.F1,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			t.Fatalf("%s = %v", name, v)
+		}
+	}
+	// Lockstep alone: co-acting in capped 2h buckets across >=2 pages
+	// is a farm signature — organic likers should not survive it.
+	if eval.Lockstep.Precision < 0.9 {
+		t.Fatalf("lockstep precision %v: organic users grouped", eval.Lockstep.Precision)
+	}
+	// ... but it only sees accounts that co-act on multiple honeypots,
+	// a small slice of the farm population.
+	if eval.Lockstep.Recall >= eval.Recall {
+		t.Fatalf("lockstep recall %v >= burst recall %v: world too easy to pin the composite",
+			eval.Lockstep.Recall, eval.Recall)
+	}
+	// Composite: flag = burst-threshold OR group member, so its net is
+	// a superset of both signals' nets.
+	if eval.Composite.Recall < eval.Recall || eval.Composite.Recall < eval.Lockstep.Recall {
+		t.Fatalf("composite recall %v below a component (burst %v, lockstep %v)",
+			eval.Composite.Recall, eval.Recall, eval.Lockstep.Recall)
+	}
+	if eval.Composite.Flagged < eval.Lockstep.Flagged {
+		t.Fatalf("composite flagged %d < lockstep flagged %d", eval.Composite.Flagged, eval.Lockstep.Flagged)
+	}
+	// Membership lifts fakes' ranks; on a high-precision lockstep
+	// signal the composite AUC cannot fall behind burst by more than
+	// noise.
+	if eval.Composite.AUC < eval.AUC-0.02 {
+		t.Fatalf("composite AUC %v well below burst AUC %v", eval.Composite.AUC, eval.AUC)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/accounts"
 	"repro/internal/analysis"
+	"repro/internal/detect"
 	"repro/internal/farm"
 	"repro/internal/honeypot"
 	"repro/internal/parallel"
@@ -361,13 +363,55 @@ func (s *Study) RunWorld() error {
 
 	// Phase 5 — the month-later fraud sweep (§5): Facebook examines the
 	// accounts and terminates a score-proportional few, scoring on the
-	// pool with one split stream per account.
-	if _, err := platform.FraudSweepSeeded(s.cfg.Seed, s.store, allLikers, s.cfg.Sweep, workers); err != nil {
+	// pool with one split stream per account. TerminationStream runs
+	// the same policy off live StreamScorer verdicts — one tick drains
+	// the journal the campaigns just wrote, and the detect package pins
+	// streaming verdicts byte-identical to the batch pass, so Results
+	// are bit-equal across engines and worker counts.
+	if s.cfg.Terminations == TerminationStream {
+		if err := s.streamingSweep(allLikers); err != nil {
+			return fmt.Errorf("core: fraud sweep: %w", err)
+		}
+	} else if _, err := platform.FraudSweepSeeded(s.cfg.Seed, s.store, allLikers, s.cfg.Sweep, workers); err != nil {
 		return fmt.Errorf("core: fraud sweep: %w", err)
 	}
 
 	s.world = &worldState{states: states, baseline: baseline, histLikes: histLikes}
 	return nil
+}
+
+// streamingSweep is phase 5 on the live detection path: a StreamScorer
+// drains the journal in one tick, and its verdicts — burst features,
+// score, lockstep membership — feed the same termination policy the
+// batch sweep applies. The examined population is the sorted, deduped
+// honeypot liker pool, exactly the set FraudSweepSeeded's batch pass
+// examines; every liker must be enrolled (their honeypot like is in
+// the journal the tick consumed), so a missing verdict is a bug, not a
+// skip.
+func (s *Study) streamingSweep(allLikers []socialnet.UserID) error {
+	sc := detect.NewStreamScorer(s.store, detect.StreamScorerConfig{})
+	for sc.Tick() > 0 {
+	}
+	uniq := append([]socialnet.UserID(nil), allLikers...)
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	n := 0
+	for i, uid := range uniq {
+		if i == 0 || uid != uniq[i-1] {
+			uniq[n] = uid
+			n++
+		}
+	}
+	uniq = uniq[:n]
+	verdicts := make([]detect.Verdict, 0, len(uniq))
+	for _, uid := range uniq {
+		v, ok := sc.Verdict(uid)
+		if !ok {
+			return fmt.Errorf("core: liker %d not enrolled in streaming scorer", uid)
+		}
+		verdicts = append(verdicts, v)
+	}
+	_, err := platform.FraudSweepVerdicts(s.cfg.Seed, s.store, verdicts, s.cfg.Sweep)
+	return err
 }
 
 // Finalize computes Results from a completed world — phases 6 and 7:

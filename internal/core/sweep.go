@@ -125,6 +125,12 @@ type Sweep struct {
 	// changes: a scoring tweak shows up as AUC/precision/recall drift
 	// across the scenario grid.
 	EvalDetector bool
+	// StreamTerminations forces every variant onto the live-verdict
+	// termination engine (StudyConfig.Terminations = TerminationStream)
+	// — the grid-wide switch for exercising the production detection
+	// path. Results are byte-identical to the batch engine, so flipping
+	// it must never change a summary row.
+	StreamTerminations bool
 }
 
 // Run executes the grid. Every variant runs to completion (failures
@@ -138,6 +144,9 @@ func (sw *Sweep) Run() ([]SweepOutcome, error) {
 		cfg := v.Config
 		if sw.InnerWorkers > 0 {
 			cfg.Workers = sw.InnerWorkers
+		}
+		if sw.StreamTerminations {
+			cfg.Terminations = TerminationStream
 		}
 		start := time.Now()
 		res, study, err := runVariant(cfg)

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runScaledWithTerminations runs the 13-campaign study at small scale
+// with a given termination engine and worker-pool size, returning the
+// stable JSON rendering minus the two config fields allowed to differ.
+func runScaledWithTerminations(t *testing.T, seed int64, scale float64, workers int, mode string) []byte {
+	t.Helper()
+	cfg, err := ScaledConfig(seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Terminations = mode
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Config.Workers = 0
+	res.Config.Terminations = TerminationBatch // normalize: engines must agree
+	data, err := res.MarshalJSONStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestStreamTerminationsMatchBatch pins the live-verdict termination
+// engine to the batch one: identical study Results bytes, for any
+// worker count. The batch sweep examines the sorted liker pool with
+// batch verdicts; the streaming sweep drains a StreamScorer over the
+// same journal and feeds its verdicts to the same policy — equality
+// holds because the detect package pins the two engines' verdicts
+// byte-identical and each account's termination coin is split from
+// (seed, "sweep", uid) regardless of engine.
+func TestStreamTerminationsMatchBatch(t *testing.T) {
+	batch := runScaledWithTerminations(t, 42, 0.08, 1, TerminationBatch)
+	if len(batch) == 0 {
+		t.Fatal("empty results JSON")
+	}
+	for _, workers := range []int{1, 4, 16} {
+		stream := runScaledWithTerminations(t, 42, 0.08, workers, TerminationStream)
+		if !bytes.Equal(batch, stream) {
+			t.Fatalf("streaming terminations with Workers=%d diverge from batch (batch %d bytes, stream %d bytes)",
+				workers, len(batch), len(stream))
+		}
+	}
+}
+
+// TestSweepStreamTerminations checks the grid-wide switch: a Sweep run
+// with StreamTerminations produces the same summary rows as without.
+func TestSweepStreamTerminations(t *testing.T) {
+	cfg, err := ScaledConfig(11, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(stream bool) []SweepSummaryRow {
+		sw := &Sweep{
+			Variants:           GridVariants(cfg),
+			Workers:            1,
+			StreamTerminations: stream,
+		}
+		outcomes, err := sw.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(outcomes)
+	}
+	batch, stream := run(false), run(true)
+	if len(batch) == 0 || len(batch) != len(stream) {
+		t.Fatalf("summary rows: batch %d, stream %d", len(batch), len(stream))
+	}
+	for i := range batch {
+		if batch[i] != stream[i] {
+			t.Fatalf("row %d differs: batch %+v, stream %+v", i, batch[i], stream[i])
+		}
+	}
+}
+
+func TestTerminationModeValidation(t *testing.T) {
+	cfg, err := ScaledConfig(1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Terminations = "psychic"
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("unknown termination mode accepted")
+	}
+}

@@ -66,3 +66,34 @@ func BatchFeatures(st *socialnet.Store, accounts []socialnet.UserID, workers int
 	}
 	return out, nil
 }
+
+// BatchVerdicts is the batch engine for the composite Verdict model:
+// BatchFeatures for the burst dimension, Lockstep over the given pages
+// (nil means the store's honeypot pages, matching the StreamScorer's
+// default tracked set) for the group dimension, and the account's
+// platform status — one verdict per distinct account, sorted by user
+// ID. At any quiescent point this matches StreamScorer verdicts over
+// the same account set byte for byte.
+func BatchVerdicts(st *socialnet.Store, accounts []socialnet.UserID, pages []socialnet.PageID, lockCfg LockstepConfig, workers int) ([]Verdict, error) {
+	feats, err := BatchFeatures(st, accounts, workers)
+	if err != nil {
+		return nil, err
+	}
+	if pages == nil {
+		pages = st.HoneypotPages()
+	}
+	groups, err := Lockstep(st, pages, lockCfg)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, len(feats))
+	for i, f := range feats {
+		v := Verdict{Features: f, Score: f.Score()}
+		if u, err := st.User(f.User); err == nil {
+			v.Terminated = u.Status == socialnet.StatusTerminated
+		}
+		verdicts[i] = v
+	}
+	AttachLockstep(verdicts, groups)
+	return verdicts, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -138,6 +139,144 @@ func TestEmitDetectBenchJSON(t *testing.T) {
 		})
 		results = append(results, detectBenchResult{
 			Name:    "BenchmarkStreamScorerTickIncremental",
+			Backlog: backlog,
+			NsPerOp: br.NsPerOp(),
+		})
+	}
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, raw)
+}
+
+// Lockstep bench world shape: backlog honeypot likes spread thin across
+// a few tracked pages (every like lands in a per-page co-action
+// sketch), then steady-state ticks of fresh likes from ALREADY-enrolled
+// users onto pre-registered tracked pages — no enrollments, matching
+// the scorer bench's steady-state notion. Fresh likes within one tick
+// share a timestamp: the journal's shard-ordered drain then never
+// presents a tracked page an out-of-order instant, so the measured tick
+// exercises the pure incremental observe path — no poison, no resync —
+// which must stay flat in backlog depth.
+const (
+	lockstepBenchPages   = 4     // backlog honeypot pages
+	lockstepTickPages    = 8     // tracked pages receiving one tick's likes
+	lockstepTickPagePool = 16384 // pre-registered tick pages (tracking is fixed at scorer creation)
+)
+
+// benchLockstepWorld builds a store whose WHOLE backlog is
+// sketch-relevant (honeypot likes) and a scorer that has consumed it,
+// plus a cohort of enrolled users for the steady-state ticks.
+func benchLockstepWorld(tb testing.TB, backlog int) (*socialnet.Store, *StreamScorer, []socialnet.UserID, []socialnet.PageID, time.Time) {
+	tb.Helper()
+	st := socialnet.NewStore()
+	hps := make([]socialnet.PageID, lockstepBenchPages)
+	for i := range hps {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("hp%d", i), Honeypot: true})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hps[i] = p
+	}
+	pool := make([]socialnet.PageID, lockstepTickPagePool)
+	for i := range pool {
+		p, err := st.AddPage(socialnet.Page{Name: fmt.Sprintf("tickhp%d", i), Honeypot: true})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pool[i] = p
+	}
+	nUsers := backlog / lockstepBenchPages
+	if nUsers < benchTickLikes {
+		tb.Fatalf("backlog %d enrolls %d users, tick cohort needs %d", backlog, nUsers, benchTickLikes)
+	}
+	users := make([]socialnet.UserID, 0, nUsers)
+	for i := 0; i < nUsers; i++ {
+		u := st.AddUser(socialnet.User{Country: "TR"})
+		users = append(users, u)
+		for j, p := range hps {
+			// 15-minute stride: ~2 co-bin likes per page per 2h window,
+			// so the backlog's pair mass scales linearly, not
+			// quadratically, with depth.
+			at := t0.Add(time.Duration(i*lockstepBenchPages+j) * 15 * time.Minute)
+			if err := st.AddLike(u, p, at); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	s := NewStreamScorer(st, StreamScorerConfig{})
+	s.Tick()
+	// Settle the setup's garbage before timing starts: the world build
+	// leaves a large freshly-allocated heap, and at low iteration counts
+	// the collection it forces would otherwise land inside the first few
+	// measured ticks — read as backlog-dependent cost when it is not.
+	runtime.GC()
+	start := t0.Add(time.Duration(nUsers*lockstepBenchPages+1) * 15 * time.Minute).Add(24 * time.Hour)
+	return st, s, users[:benchTickLikes], pool, start
+}
+
+// benchLockstepTick has every cohort user like one of tick i's tracked
+// pages, all stamped with the identical instant, and consumes the batch
+// in one tick.
+func benchLockstepTick(tb testing.TB, st *socialnet.Store, s *StreamScorer, cohort []socialnet.UserID, pool []socialnet.PageID, at time.Time, i int) {
+	tb.Helper()
+	lo := i * lockstepTickPages
+	if lo+lockstepTickPages > len(pool) {
+		tb.Fatalf("tick %d exhausts the %d-page pool; raise lockstepTickPagePool", i, len(pool))
+	}
+	pages := pool[lo : lo+lockstepTickPages]
+	for j, u := range cohort {
+		if err := st.AddLike(u, pages[j%lockstepTickPages], at); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if got := s.Tick(); got != len(cohort) {
+		tb.Fatalf("tick consumed %d of %d fresh likes", got, len(cohort))
+	}
+}
+
+// BenchmarkStreamLockstepTick pins the sketch-maintaining tick to
+// O(new likes): per-tick cost must stay flat from a 10k to a 500k
+// backlog of consumed honeypot likes, even though the deeper backlogs
+// carry proportionally larger sketches.
+func BenchmarkStreamLockstepTick(b *testing.B) {
+	for _, backlog := range []int{10_000, 100_000, 500_000} {
+		backlog := backlog
+		b.Run(fmt.Sprintf("backlog=%d/incremental", backlog), func(b *testing.B) {
+			st, s, cohort, pool, start := benchLockstepWorld(b, backlog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchLockstepTick(b, st, s, cohort, pool, start.Add(time.Duration(i)*3*time.Hour), i)
+			}
+		})
+	}
+}
+
+// TestEmitLockstepBenchJSON, gated behind LOCKSTEP_BENCH_JSON=<path>,
+// runs the lockstep tick benchmark across backlog depths through
+// testing.Benchmark and writes ns/op per depth as JSON. CI uploads the
+// file as an artifact and gates on the 500k/10k flatness ratio.
+func TestEmitLockstepBenchJSON(t *testing.T) {
+	path := os.Getenv("LOCKSTEP_BENCH_JSON")
+	if path == "" {
+		t.Skip("set LOCKSTEP_BENCH_JSON=<path> to emit the lockstep benchmark artifact")
+	}
+	var results []detectBenchResult
+	for _, backlog := range []int{10_000, 100_000, 500_000} {
+		backlog := backlog
+		br := testing.Benchmark(func(b *testing.B) {
+			st, s, cohort, pool, start := benchLockstepWorld(b, backlog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchLockstepTick(b, st, s, cohort, pool, start.Add(time.Duration(i)*3*time.Hour), i)
+			}
+		})
+		results = append(results, detectBenchResult{
+			Name:    "BenchmarkStreamLockstepTickIncremental",
 			Backlog: backlog,
 			NsPerOp: br.NsPerOp(),
 		})

@@ -2,7 +2,6 @@ package detect
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/socialnet"
@@ -17,7 +16,10 @@ type LockstepConfig struct {
 	MinUsers int
 	MinPages int
 	// MaxBucketUsers caps the per-(page,window) bucket fanout to bound
-	// the pair-counting cost on pathological inputs.
+	// the pair-counting cost on pathological inputs. A capped bucket
+	// keeps its smallest MaxBucketUsers member IDs — a pure function of
+	// the bucket's user set, so which users survive the cap never
+	// depends on arrival order.
 	MaxBucketUsers int
 }
 
@@ -56,130 +58,62 @@ type LockstepGroup struct {
 	Pages []socialnet.PageID
 }
 
+// LockstepVerdict is one account's slice of a lockstep group report:
+// which group it belongs to and how big the evidence is. The zero
+// value means the account is in no group.
+type LockstepVerdict struct {
+	// Group is the 1-based index of the account's group in the report
+	// (groups are ordered by smallest member); 0 means none.
+	Group int
+	// Size is the group's member count.
+	Size int
+	// Pages is the group's count of distinct co-action evidence pages.
+	Pages int
+}
+
+// AttachLockstep stamps each verdict with its account's membership in
+// the given group report (batch Lockstep output or the StreamScorer's
+// live LockstepGroups — same bytes either way). Non-members get the
+// zero LockstepVerdict.
+func AttachLockstep(verdicts []Verdict, groups []LockstepGroup) {
+	if len(groups) == 0 {
+		return
+	}
+	member := make(map[socialnet.UserID]LockstepVerdict)
+	for gi, g := range groups {
+		lv := LockstepVerdict{Group: gi + 1, Size: len(g.Users), Pages: len(g.Pages)}
+		for _, u := range g.Users {
+			member[u] = lv
+		}
+	}
+	for i := range verdicts {
+		verdicts[i].Lockstep = member[verdicts[i].Features.User]
+	}
+}
+
 // Lockstep runs the detector over the given pages' like streams.
 //
-// Implementation: bucket each page's likes into Window-aligned bins; for
-// every pair of users sharing a (page, bin) bucket, count distinct pages
-// of co-occurrence; build a co-liking graph over pairs meeting MinPages;
-// its connected components of size >= MinUsers are reported.
+// It is the batch driver over the same core the StreamScorer maintains
+// live: fold each page's likes (already sorted by time) into a
+// coactionSketch, then derive groups with groupsFromSketches. The
+// streaming path folds the identical events into identical sketches
+// incrementally, so the two engines' group lists match byte for byte
+// at any quiescent point.
 func Lockstep(st *socialnet.Store, pages []socialnet.PageID, cfg LockstepConfig) ([]LockstepGroup, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	type pairKey struct{ a, b socialnet.UserID }
-	pairPages := make(map[pairKey]map[socialnet.PageID]struct{})
-
+	sketches := make(map[socialnet.PageID]*coactionSketch, len(pages))
 	for _, pid := range pages {
-		likes := st.LikesOfPage(pid)
-		buckets := make(map[int64][]socialnet.UserID)
-		for _, lk := range likes {
-			bin := lk.At.UnixNano() / int64(cfg.Window)
-			buckets[bin] = append(buckets[bin], lk.User)
-		}
-		// Deterministic bucket order.
-		bins := make([]int64, 0, len(buckets))
-		for b := range buckets {
-			bins = append(bins, b)
-		}
-		sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
-		for _, b := range bins {
-			us := buckets[b]
-			if len(us) < 2 {
-				continue
-			}
-			if len(us) > cfg.MaxBucketUsers {
-				us = us[:cfg.MaxBucketUsers]
-			}
-			sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
-			for i := 0; i < len(us); i++ {
-				for j := i + 1; j < len(us); j++ {
-					if us[i] == us[j] {
-						continue
-					}
-					k := pairKey{us[i], us[j]}
-					m, ok := pairPages[k]
-					if !ok {
-						m = make(map[socialnet.PageID]struct{}, 2)
-						pairPages[k] = m
-					}
-					m[pid] = struct{}{}
-				}
-			}
-		}
-	}
-
-	// Union-find over qualifying pairs.
-	parent := make(map[socialnet.UserID]socialnet.UserID)
-	var find func(socialnet.UserID) socialnet.UserID
-	find = func(x socialnet.UserID) socialnet.UserID {
-		p, ok := parent[x]
-		if !ok {
-			parent[x] = x
-			return x
-		}
-		if p == x {
-			return x
-		}
-		r := find(p)
-		parent[x] = r
-		return r
-	}
-	union := func(a, b socialnet.UserID) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			if ra > rb {
-				ra, rb = rb, ra
-			}
-			parent[rb] = ra
-		}
-	}
-	memberPages := make(map[socialnet.UserID]map[socialnet.PageID]struct{})
-	for k, pgs := range pairPages {
-		if len(pgs) < cfg.MinPages {
+		if _, dup := sketches[pid]; dup {
 			continue
 		}
-		union(k.a, k.b)
-		for _, u := range []socialnet.UserID{k.a, k.b} {
-			m, ok := memberPages[u]
-			if !ok {
-				m = make(map[socialnet.PageID]struct{})
-				memberPages[u] = m
-			}
-			for p := range pgs {
-				m[p] = struct{}{}
-			}
+		sk := newCoactionSketch(int64(cfg.Window), cfg.MaxBucketUsers)
+		for _, lk := range st.LikesOfPage(pid) {
+			// LikesOfPage is sorted by (time, user): always in order.
+			sk.observe(lk.User, lk.At.UnixNano())
 		}
+		sketches[pid] = sk
 	}
-
-	clusters := make(map[socialnet.UserID][]socialnet.UserID)
-	for u := range memberPages {
-		r := find(u)
-		clusters[r] = append(clusters[r], u)
-	}
-	var out []LockstepGroup
-	roots := make([]socialnet.UserID, 0, len(clusters))
-	for r := range clusters {
-		roots = append(roots, r)
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	for _, r := range roots {
-		us := clusters[r]
-		if len(us) < cfg.MinUsers {
-			continue
-		}
-		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
-		pageSet := make(map[socialnet.PageID]struct{})
-		for _, u := range us {
-			for p := range memberPages[u] {
-				pageSet[p] = struct{}{}
-			}
-		}
-		pgs := make([]socialnet.PageID, 0, len(pageSet))
-		for p := range pageSet {
-			pgs = append(pgs, p)
-		}
-		sort.Slice(pgs, func(i, j int) bool { return pgs[i] < pgs[j] })
-		out = append(out, LockstepGroup{Users: us, Pages: pgs})
-	}
-	return out, nil
+	return groupsFromSketches(sketches, cfg), nil
 }

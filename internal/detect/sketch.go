@@ -1,0 +1,246 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/socialnet"
+)
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("detect: bad integer key %q", s)
+	}
+	return v, nil
+}
+
+// pairKey identifies an unordered user pair, stored with a < b.
+type pairKey struct{ a, b socialnet.UserID }
+
+func makePair(a, b socialnet.UserID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// coactionSketch is one page's streamable lockstep evidence: its likers
+// bucketed into Window-aligned bins, each bucket capped at the `cap`
+// smallest user IDs, plus a per-pair refcount of how many bins the pair
+// co-occupies. It is the unit the batch Lockstep pass folds over and
+// the unit the StreamScorer maintains incrementally per tracked page —
+// one code path, two drivers.
+//
+// The capped bucket keeps the cap smallest members of the bin's full
+// user set (truncate-after-sort semantics): inserting a user either
+// lands it in the kept set, evicting the current largest, or bounces
+// off when the bucket is full of smaller IDs. Evicted users never
+// return — the kept set only ever selects downward — so the sketch is
+// a pure function of the {user, bin} SET, independent of arrival
+// order. Each insert touches at most one bucket's members, so the
+// incremental cost is O(bucket) <= O(cap) per event: pair counts for
+// the new member are added and the evictee's retired in the same
+// sweep.
+//
+// observe still refuses out-of-order input (at < last): the sketch
+// deliberately shares the featureFold's poison/resync state machine
+// (DESIGN §14) rather than relying on the order-insensitivity
+// argument above, so any future order-sensitive refinement (bin
+// expiry, densest-window tracking) inherits an exactness guarantee
+// instead of a silent approximation. A page's events span shards, and
+// bounded ticks drain shards in index order, so cross-tick
+// out-of-order delivery on a page is routine — the owner resyncs the
+// sketch from the reader's consumed prefix via ReplayPage.
+type coactionSketch struct {
+	window int64 // bin width, ns
+	cap    int   // MaxBucketUsers
+	last   int64 // latest in-order timestamp folded, ns
+	count  int   // events folded (diagnostics; not part of the verdict)
+	// buckets maps bin -> kept users, sorted ascending.
+	buckets map[int64][]socialnet.UserID
+	// pairs counts, per unordered user pair, the bins whose kept sets
+	// contain both. pairs[k] > 0 <=> the pair co-acts on this page.
+	pairs map[pairKey]int
+}
+
+func newCoactionSketch(window int64, capUsers int) *coactionSketch {
+	return &coactionSketch{
+		window:  window,
+		cap:     capUsers,
+		buckets: make(map[int64][]socialnet.UserID),
+		pairs:   make(map[pairKey]int),
+	}
+}
+
+// observe folds one like into the sketch. It returns false — leaving
+// the sketch untouched — when the like is out of order (strictly
+// before the latest folded time); the caller must then poison the
+// sketch and rebuild it from a sorted replay. The journal guarantees a
+// user likes a page at most once, so u is never already present.
+func (s *coactionSketch) observe(u socialnet.UserID, atNS int64) bool {
+	if atNS < s.last {
+		return false
+	}
+	s.last = atNS
+	s.count++
+	bin := atNS / s.window
+	b := s.buckets[bin]
+	// Sorted insert.
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= u })
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = u
+	var evicted socialnet.UserID
+	hasEvict := false
+	if len(b) > s.cap {
+		evicted = b[len(b)-1]
+		b = b[:len(b)-1]
+		hasEvict = true
+	}
+	s.buckets[bin] = b
+	if hasEvict && evicted == u {
+		return true // bounced off a full bucket of smaller IDs: no pair change
+	}
+	// u joined the kept set; pair it with every other member, and
+	// retire the evictee's pairs with those same members in one sweep.
+	for _, v := range b {
+		if v == u {
+			continue
+		}
+		s.pairs[makePair(u, v)]++
+		if hasEvict {
+			k := makePair(evicted, v)
+			if s.pairs[k]--; s.pairs[k] == 0 {
+				delete(s.pairs, k)
+			}
+		}
+	}
+	return true
+}
+
+// groupsFromSketches is the shared back half of lockstep detection:
+// given each candidate page's co-action sketch, count distinct pages
+// per co-acting pair, union pairs meeting MinPages, and report
+// components of MinUsers or more. Groups are sorted by their smallest
+// member, users and pages ascending — a pure function of the sketches,
+// so the batch and streaming drivers produce byte-identical output.
+func groupsFromSketches(sketches map[socialnet.PageID]*coactionSketch, cfg LockstepConfig) []LockstepGroup {
+	pairPages := make(map[pairKey]map[socialnet.PageID]struct{})
+	for pid, sk := range sketches {
+		for k, n := range sk.pairs {
+			if n <= 0 {
+				continue
+			}
+			m, ok := pairPages[k]
+			if !ok {
+				m = make(map[socialnet.PageID]struct{}, 2)
+				pairPages[k] = m
+			}
+			m[pid] = struct{}{}
+		}
+	}
+	uf := newUnionFind()
+	memberPages := make(map[socialnet.UserID]map[socialnet.PageID]struct{})
+	for k, pgs := range pairPages {
+		if len(pgs) < cfg.MinPages {
+			continue
+		}
+		uf.union(k.a, k.b)
+		for _, u := range []socialnet.UserID{k.a, k.b} {
+			m, ok := memberPages[u]
+			if !ok {
+				m = make(map[socialnet.PageID]struct{})
+				memberPages[u] = m
+			}
+			for p := range pgs {
+				m[p] = struct{}{}
+			}
+		}
+	}
+	clusters := make(map[socialnet.UserID][]socialnet.UserID)
+	for u := range memberPages {
+		r := uf.find(u)
+		clusters[r] = append(clusters[r], u)
+	}
+	type cluster struct {
+		min socialnet.UserID
+		us  []socialnet.UserID
+	}
+	ordered := make([]cluster, 0, len(clusters))
+	for _, us := range clusters {
+		if len(us) < cfg.MinUsers {
+			continue
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		ordered = append(ordered, cluster{min: us[0], us: us})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].min < ordered[j].min })
+	var out []LockstepGroup
+	for _, c := range ordered {
+		pageSet := make(map[socialnet.PageID]struct{})
+		for _, u := range c.us {
+			for p := range memberPages[u] {
+				pageSet[p] = struct{}{}
+			}
+		}
+		pgs := make([]socialnet.PageID, 0, len(pageSet))
+		for p := range pageSet {
+			pgs = append(pgs, p)
+		}
+		sort.Slice(pgs, func(i, j int) bool { return pgs[i] < pgs[j] })
+		out = append(out, LockstepGroup{Users: c.us, Pages: pgs})
+	}
+	return out
+}
+
+// ---- persisted state ----
+
+// sketchState is a coactionSketch's wire form for the scorer's
+// checkpoint sidecar. Pair refcounts are NOT serialized: they are a
+// pure function of the kept buckets (rebuild sweeps each bucket once),
+// so restore recomputes them — smaller sidecars, no drift (the §14
+// reconstructibility rule).
+type sketchState struct {
+	Last    int64                         `json:"last"`
+	Count   int                           `json:"count"`
+	Buckets map[string][]socialnet.UserID `json:"buckets"`
+}
+
+func (s *coactionSketch) marshalState() sketchState {
+	st := sketchState{
+		Last:    s.last,
+		Count:   s.count,
+		Buckets: make(map[string][]socialnet.UserID, len(s.buckets)),
+	}
+	for bin, us := range s.buckets {
+		st.Buckets[formatInt(bin)] = append([]socialnet.UserID(nil), us...)
+	}
+	return st
+}
+
+// restoreSketch rebuilds a sketch — pair counts included — from its
+// wire form.
+func restoreSketch(st sketchState, window int64, capUsers int) (*coactionSketch, error) {
+	s := newCoactionSketch(window, capUsers)
+	s.last = st.Last
+	s.count = st.Count
+	for key, us := range st.Buckets {
+		bin, err := parseInt(key)
+		if err != nil {
+			return nil, err
+		}
+		kept := append([]socialnet.UserID(nil), us...)
+		sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+		s.buckets[bin] = kept
+		for i := 0; i < len(kept); i++ {
+			for j := i + 1; j < len(kept); j++ {
+				s.pairs[pairKey{kept[i], kept[j]}]++
+			}
+		}
+	}
+	return s, nil
+}

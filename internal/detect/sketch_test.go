@@ -1,0 +1,148 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+func TestCoactionSketchObserve(t *testing.T) {
+	w := int64(2 * time.Hour)
+	sk := newCoactionSketch(w, 4096)
+	base := t0.UnixNano()
+	if !sk.observe(5, base) || !sk.observe(7, base+int64(time.Minute)) {
+		t.Fatal("in-order observes refused")
+	}
+	if sk.observe(9, base-int64(time.Hour)) {
+		t.Fatal("out-of-order observe accepted")
+	}
+	if sk.count != 2 || sk.last != base+int64(time.Minute) {
+		t.Fatalf("refused observe mutated the sketch: count=%d last=%d", sk.count, sk.last)
+	}
+	if got := sk.pairs[pairKey{5, 7}]; got != 1 {
+		t.Fatalf("pair count = %d, want 1", got)
+	}
+	// Same timestamp is in order (the journal's canonical order ties
+	// break on user, and equal times carry no window information).
+	if !sk.observe(9, base+int64(time.Minute)) {
+		t.Fatal("equal-time observe refused")
+	}
+	if len(sk.pairs) != 3 {
+		t.Fatalf("pairs = %v, want all three", sk.pairs)
+	}
+}
+
+// TestCoactionSketchCapKeepsSmallest pins the capped bucket to the
+// smallest `cap` member IDs — truncate-after-sort semantics — for
+// every arrival order, including the order that evicts incrementally.
+func TestCoactionSketchCapKeepsSmallest(t *testing.T) {
+	w := int64(2 * time.Hour)
+	base := t0.UnixNano() // t0 is bin-aligned for the 2h window
+	orders := [][]socialnet.UserID{
+		{10, 20, 30, 40, 50}, // ascending: later arrivals bounce off
+		{50, 40, 30, 20, 10}, // descending: every arrival evicts the max
+		{30, 50, 10, 40, 20}, // mixed
+	}
+	for _, order := range orders {
+		sk := newCoactionSketch(w, 3)
+		for i, u := range order {
+			if !sk.observe(u, base+int64(i)*int64(time.Minute)) {
+				t.Fatalf("order %v: observe(%d) refused", order, u)
+			}
+		}
+		bin := base / w
+		b := sk.buckets[bin]
+		if len(b) != 3 || b[0] != 10 || b[1] != 20 || b[2] != 30 {
+			t.Fatalf("order %v: kept bucket %v, want [10 20 30]", order, b)
+		}
+		want := []pairKey{{10, 20}, {10, 30}, {20, 30}}
+		if len(sk.pairs) != len(want) {
+			t.Fatalf("order %v: pairs %v, want exactly %v", order, sk.pairs, want)
+		}
+		for _, k := range want {
+			if sk.pairs[k] != 1 {
+				t.Fatalf("order %v: pairs[%v] = %d, want 1", order, k, sk.pairs[k])
+			}
+		}
+	}
+}
+
+// TestCoactionSketchRestoreRebuildsPairs round-trips a sketch through
+// its wire form and checks the recomputed pair refcounts.
+func TestCoactionSketchRestoreRebuildsPairs(t *testing.T) {
+	w := int64(2 * time.Hour)
+	sk := newCoactionSketch(w, 4096)
+	base := t0.UnixNano()
+	for i, u := range []socialnet.UserID{3, 1, 2} {
+		sk.observe(u, base+int64(i)*int64(time.Minute))
+	}
+	sk.observe(1, base+w) // second bin: refcount for no pair (singleton)
+	got, err := restoreSketch(sk.marshalState(), w, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.last != sk.last || got.count != sk.count {
+		t.Fatalf("restored last/count = %d/%d, want %d/%d", got.last, got.count, sk.last, sk.count)
+	}
+	if len(got.pairs) != len(sk.pairs) {
+		t.Fatalf("restored pairs %v, want %v", got.pairs, sk.pairs)
+	}
+	for k, n := range sk.pairs {
+		if got.pairs[k] != n {
+			t.Fatalf("restored pairs[%v] = %d, want %d", k, got.pairs[k], n)
+		}
+	}
+}
+
+// TestLockstepBucketCapDeterministic is the regression test for the
+// pre-sort truncation bug: with more same-window likers than
+// MaxBucketUsers, the surviving set must be the smallest user IDs —
+// a pure function of the liker set — no matter which likers hit the
+// page first.
+func TestLockstepBucketCapDeterministic(t *testing.T) {
+	cfg := LockstepConfig{Window: 2 * time.Hour, MinUsers: 2, MinPages: 1, MaxBucketUsers: 3}
+	build := func(earliestFirst bool) ([]LockstepGroup, []socialnet.UserID) {
+		st := socialnet.NewStore()
+		hp, err := st.AddPage(socialnet.Page{Name: "hp", Honeypot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var users []socialnet.UserID
+		for i := 0; i < 5; i++ {
+			users = append(users, st.AddUser(socialnet.User{Country: "US"}))
+		}
+		for i, u := range users {
+			// One shared 2h bin; like times ascend either with or
+			// against user-ID order, so the two stores' time-sorted
+			// like streams present the users in opposite orders.
+			slot := i
+			if !earliestFirst {
+				slot = len(users) - 1 - i
+			}
+			if err := st.AddLike(u, hp, t0.Add(time.Duration(slot)*time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		groups, err := Lockstep(st, []socialnet.PageID{hp}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return groups, users
+	}
+	for _, earliestFirst := range []bool{true, false} {
+		groups, users := build(earliestFirst)
+		if len(groups) != 1 {
+			t.Fatalf("earliestFirst=%v: groups = %v, want one", earliestFirst, groups)
+		}
+		want := users[:3] // smallest 3 IDs survive the cap, in both stores
+		if len(groups[0].Users) != len(want) {
+			t.Fatalf("earliestFirst=%v: group %v, want users %v", earliestFirst, groups[0], want)
+		}
+		for i, u := range want {
+			if groups[0].Users[i] != u {
+				t.Fatalf("earliestFirst=%v: group users %v, want %v", earliestFirst, groups[0].Users, want)
+			}
+		}
+	}
+}

@@ -19,6 +19,10 @@ type StreamScorerConfig struct {
 	// the liker for scoring. Nil tracks the store's honeypot pages —
 	// the §5 population the batch sweep examines.
 	Pages []socialnet.PageID
+	// Lockstep parameterizes the per-page co-action sketches behind the
+	// verdicts' lockstep dimension. The zero value (or any invalid
+	// config) falls back to DefaultLockstepConfig.
+	Lockstep LockstepConfig
 }
 
 // StreamScorer is the streaming counterpart of the batch fraud sweep
@@ -58,6 +62,7 @@ type StreamScorerConfig struct {
 type StreamScorer struct {
 	st      *socialnet.Store
 	window  time.Duration
+	lockCfg LockstepConfig
 	tracked map[socialnet.PageID]bool
 
 	mu       sync.Mutex
@@ -68,10 +73,21 @@ type StreamScorer struct {
 	// consumed journal events (not the store index, whose tail the
 	// cursor may not have reached yet).
 	pageLikers map[socialnet.PageID]map[socialnet.UserID]bool
-	// union-find over enrolled accounts: parent pointers plus root
-	// component sizes.
-	parent map[socialnet.UserID]socialnet.UserID
-	size   map[socialnet.UserID]int
+	// islands is the incremental union-find over enrolled accounts.
+	islands *unionFind
+	// sketches holds one co-action sketch per tracked page that has
+	// consumed events — the streaming half of the lockstep detector.
+	// dirtyPages marks sketches poisoned by an out-of-order arrival
+	// (a page's likers span shards, so bounded ticks deliver its
+	// events across time order routinely); the tick-end resync
+	// rebuilds them exactly from the reader's consumed prefix.
+	sketches   map[socialnet.PageID]*coactionSketch
+	dirtyPages map[socialnet.PageID]bool
+	// groups caches the derived lockstep report; groupsStale flips
+	// whenever a sketch changes, and the next verdict read recomputes.
+	groups      []LockstepGroup
+	groupOf     map[socialnet.UserID]LockstepVerdict
+	groupsStale bool
 	// offScratch backs the cursor snapshot in MarshalState, reused
 	// across checkpoints so the periodic sidecar write stops allocating
 	// a fresh offsets slice every tick.
@@ -100,15 +116,22 @@ func newStreamScorerShell(st *socialnet.Store, cfg StreamScorerConfig) *StreamSc
 	for _, p := range pages {
 		tracked[p] = true
 	}
+	lockCfg := cfg.Lockstep
+	if lockCfg.Validate() != nil {
+		lockCfg = DefaultLockstepConfig()
+	}
 	return &StreamScorer{
-		st:         st,
-		window:     window,
-		tracked:    tracked,
-		accounts:   make(map[socialnet.UserID]*featureFold),
-		dirty:      make(map[socialnet.UserID]bool),
-		pageLikers: make(map[socialnet.PageID]map[socialnet.UserID]bool),
-		parent:     make(map[socialnet.UserID]socialnet.UserID),
-		size:       make(map[socialnet.UserID]int),
+		st:          st,
+		window:      window,
+		lockCfg:     lockCfg,
+		tracked:     tracked,
+		accounts:    make(map[socialnet.UserID]*featureFold),
+		dirty:       make(map[socialnet.UserID]bool),
+		pageLikers:  make(map[socialnet.PageID]map[socialnet.UserID]bool),
+		islands:     newUnionFind(),
+		sketches:    make(map[socialnet.PageID]*coactionSketch),
+		dirtyPages:  make(map[socialnet.PageID]bool),
+		groupsStale: true,
 	}
 }
 
@@ -151,6 +174,7 @@ func (s *StreamScorer) observe(ev socialnet.LikeEvent) {
 			s.pageLikers[ev.Page] = likers
 		}
 		likers[ev.User] = true
+		s.observeSketch(ev)
 	}
 	if s.dirty[ev.User] {
 		return // resync at tick end rebuilds from the full prefix
@@ -160,38 +184,35 @@ func (s *StreamScorer) observe(ev socialnet.LikeEvent) {
 	}
 }
 
+// observeSketch folds a tracked-page event into the page's co-action
+// sketch, poisoning the page on out-of-order delivery — the tick-end
+// resync rebuilds it from the reader's consumed prefix via ReplayPage.
+func (s *StreamScorer) observeSketch(ev socialnet.LikeEvent) {
+	s.groupsStale = true
+	if s.dirtyPages[ev.Page] {
+		return // resync at tick end rebuilds from the full prefix
+	}
+	sk, ok := s.sketches[ev.Page]
+	if !ok {
+		sk = newCoactionSketch(int64(s.lockCfg.Window), s.lockCfg.MaxBucketUsers)
+		s.sketches[ev.Page] = sk
+	}
+	if !sk.observe(ev.User, ev.At.UnixNano()) {
+		s.dirtyPages[ev.Page] = true
+	}
+}
+
 // enroll registers a new account: a fresh (dirty) fold and a
 // union-find node united with every already-enrolled friend.
 func (s *StreamScorer) enroll(u socialnet.UserID) {
 	s.accounts[u] = &featureFold{window: int64(s.window)}
 	s.dirty[u] = true
-	s.parent[u] = u
-	s.size[u] = 1
+	s.islands.add(u)
 	for _, f := range s.st.FriendsOf(u) {
 		if _, in := s.accounts[f]; in {
-			s.union(u, f)
+			s.islands.union(u, f)
 		}
 	}
-}
-
-func (s *StreamScorer) find(u socialnet.UserID) socialnet.UserID {
-	for s.parent[u] != u {
-		s.parent[u] = s.parent[s.parent[u]] // path halving
-		u = s.parent[u]
-	}
-	return u
-}
-
-func (s *StreamScorer) union(a, b socialnet.UserID) {
-	ra, rb := s.find(a), s.find(b)
-	if ra == rb {
-		return
-	}
-	if s.size[ra] < s.size[rb] {
-		ra, rb = rb, ra
-	}
-	s.parent[rb] = ra
-	s.size[ra] += s.size[rb]
 }
 
 // resyncDirty rebuilds every dirty account from the reader's consumed
@@ -200,9 +221,6 @@ func (s *StreamScorer) union(a, b socialnet.UserID) {
 // out-of-order escape hatch that keeps the incremental fold exact with
 // bounded steady-state memory.
 func (s *StreamScorer) resyncDirty() {
-	if len(s.dirty) == 0 {
-		return
-	}
 	for u := range s.dirty {
 		var times []time.Time
 		s.reader.ReplayUser(u, func(ev socialnet.LikeEvent) {
@@ -212,12 +230,35 @@ func (s *StreamScorer) resyncDirty() {
 		s.accounts[u] = &fold
 		delete(s.dirty, u)
 	}
+	// Poisoned page sketches rebuild the same way: ReplayPage delivers
+	// the page's consumed prefix in canonical order, and the sketch is
+	// a pure function of that multiset, so the rebuilt sketch is
+	// exactly what uninterrupted in-order folding would have produced.
+	for p := range s.dirtyPages {
+		sk := newCoactionSketch(int64(s.lockCfg.Window), s.lockCfg.MaxBucketUsers)
+		s.reader.ReplayPage(p, func(ev socialnet.LikeEvent) {
+			sk.observe(ev.User, ev.At.UnixNano())
+		})
+		s.sketches[p] = sk
+		delete(s.dirtyPages, p)
+	}
 }
 
-// Verdict is one account's live scoring outcome.
+// Verdict is one account's composite detection outcome: the burst
+// features and score, the account's lockstep group membership, and its
+// platform status. Both engines produce it — the StreamScorer live,
+// BatchVerdicts from a store pass — and the two agree byte for byte at
+// quiescent points, so everything downstream (the /api/fraud wire
+// docs, the platform's termination sweep) consumes one model.
 type Verdict struct {
 	Features AccountFeatures
 	Score    float64
+	// Lockstep is the account's slice of the lockstep group report.
+	// It carries evidence, not score: group membership surfaces
+	// through the verdict without perturbing Score, which stays the
+	// burst/ratio/island composite the sweep's coin flips are pinned
+	// against.
+	Lockstep LockstepVerdict
 	// Terminated reports the account's current platform status — the
 	// batch sweep skips already-terminated accounts; the live service
 	// reports them with their score.
@@ -240,12 +281,43 @@ func (s *StreamScorer) verdictLocked(u socialnet.UserID) (Verdict, bool) {
 		return Verdict{}, false
 	}
 	f := featuresFromFold(*fold, u, s.st.DeclaredFriendCount(u))
-	f.IslandSize = s.size[s.find(u)]
-	v := Verdict{Features: f, Score: f.Score()}
+	f.IslandSize = s.islands.componentSize(u)
+	v := Verdict{Features: f, Score: f.Score(), Lockstep: s.groupOfLocked()[u]}
 	if user, err := s.st.User(u); err == nil {
 		v.Terminated = user.Status == socialnet.StatusTerminated
 	}
 	return v, true
+}
+
+// groupOfLocked returns the membership index for the current sketches,
+// recomputing the cached group report if any sketch changed since the
+// last read. Recomputation folds the co-acting pair sets — already
+// maintained per page — through the same groupsFromSketches back half
+// the batch detector uses.
+func (s *StreamScorer) groupOfLocked() map[socialnet.UserID]LockstepVerdict {
+	if s.groupsStale {
+		s.groups = groupsFromSketches(s.sketches, s.lockCfg)
+		s.groupOf = make(map[socialnet.UserID]LockstepVerdict)
+		for gi, g := range s.groups {
+			lv := LockstepVerdict{Group: gi + 1, Size: len(g.Users), Pages: len(g.Pages)}
+			for _, u := range g.Users {
+				s.groupOf[u] = lv
+			}
+		}
+		s.groupsStale = false
+	}
+	return s.groupOf
+}
+
+// LockstepGroups returns the live lockstep group report over the
+// consumed journal prefix — at any quiescent point, byte-identical to
+// batch Lockstep over the tracked pages. The returned slice is shared
+// with the scorer's cache; callers must not mutate it.
+func (s *StreamScorer) LockstepGroups() []LockstepGroup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groupOfLocked()
+	return s.groups
 }
 
 // Accounts returns the enrolled account set, sorted by user ID.
@@ -310,6 +382,14 @@ type scorerState struct {
 	Tracked    []int64                       `json:"tracked"`
 	Accounts   map[string]foldState          `json:"accounts"`
 	PageLikers map[string][]socialnet.UserID `json:"page_likers"`
+	// Lockstep sketch state: the bin width and bucket cap pin the
+	// sketch shape (restore rejects a sidecar built under different
+	// ones — MinUsers/MinPages only affect group derivation and may
+	// change freely), and Sketches carries each tracked page's kept
+	// buckets. Pair refcounts rebuild from the buckets at restore.
+	LockstepWindowNS int64                  `json:"lockstep_window_ns"`
+	LockstepCap      int                    `json:"lockstep_cap"`
+	Sketches         map[string]sketchState `json:"sketches"`
 }
 
 // foldState is one account's featureFold, wire form.
@@ -330,10 +410,16 @@ func (s *StreamScorer) MarshalState() ([]byte, error) {
 	defer s.mu.Unlock()
 	s.offScratch = s.reader.OffsetsInto(s.offScratch)
 	st := scorerState{
-		WindowNS:   int64(s.window),
-		Offsets:    s.offScratch,
-		Accounts:   make(map[string]foldState, len(s.accounts)),
-		PageLikers: make(map[string][]socialnet.UserID, len(s.pageLikers)),
+		WindowNS:         int64(s.window),
+		Offsets:          s.offScratch,
+		Accounts:         make(map[string]foldState, len(s.accounts)),
+		PageLikers:       make(map[string][]socialnet.UserID, len(s.pageLikers)),
+		LockstepWindowNS: int64(s.lockCfg.Window),
+		LockstepCap:      s.lockCfg.MaxBucketUsers,
+		Sketches:         make(map[string]sketchState, len(s.sketches)),
+	}
+	for p, sk := range s.sketches {
+		st.Sketches[formatInt(int64(p))] = sk.marshalState()
 	}
 	for _, p := range s.TrackedPagesLocked() {
 		st.Tracked = append(st.Tracked, int64(p))
@@ -392,6 +478,28 @@ func RestoreStreamScorer(st *socialnet.Store, cfg StreamScorerConfig, data []byt
 			return nil, fmt.Errorf("detect: scorer state tracks page %d, config does not", p)
 		}
 	}
+	if state.LockstepWindowNS != int64(s.lockCfg.Window) {
+		return nil, fmt.Errorf("detect: scorer state lockstep window %s, config wants %s",
+			time.Duration(state.LockstepWindowNS), s.lockCfg.Window)
+	}
+	if state.LockstepCap != s.lockCfg.MaxBucketUsers {
+		return nil, fmt.Errorf("detect: scorer state lockstep bucket cap %d, config wants %d",
+			state.LockstepCap, s.lockCfg.MaxBucketUsers)
+	}
+	for key, ss := range state.Sketches {
+		id, err := parseInt(key)
+		if err != nil {
+			return nil, fmt.Errorf("detect: scorer state sketch key %q", key)
+		}
+		if !s.tracked[socialnet.PageID(id)] {
+			return nil, fmt.Errorf("detect: scorer state sketches untracked page %d", id)
+		}
+		sk, err := restoreSketch(ss, int64(s.lockCfg.Window), s.lockCfg.MaxBucketUsers)
+		if err != nil {
+			return nil, err
+		}
+		s.sketches[socialnet.PageID(id)] = sk
+	}
 	reader, err := st.Journal().ReaderAt(state.Offsets)
 	if err != nil {
 		return nil, err
@@ -429,13 +537,12 @@ func RestoreStreamScorer(st *socialnet.Store, cfg StreamScorerConfig, data []byt
 	}
 	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
 	for _, u := range us {
-		s.parent[u] = u
-		s.size[u] = 1
+		s.islands.add(u)
 	}
 	for _, u := range us {
 		for _, f := range st.FriendsOf(u) {
 			if _, in := s.accounts[f]; in {
-				s.union(u, f)
+				s.islands.union(u, f)
 			}
 		}
 	}

@@ -1,0 +1,184 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/socialnet"
+)
+
+func groupsJSON(t *testing.T, groups []LockstepGroup) string {
+	t.Helper()
+	data, err := json.Marshal(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// assertLockstepMatchesBatch pins the streaming lockstep report — and
+// every enrolled account's full composite verdict — byte-identical to
+// the batch engine at the given worker count.
+func assertLockstepMatchesBatch(t *testing.T, st *socialnet.Store, s *StreamScorer, workers int) {
+	t.Helper()
+	batchGroups, err := Lockstep(st, st.HoneypotPages(), DefaultLockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := groupsJSON(t, s.LockstepGroups()), groupsJSON(t, batchGroups); got != want {
+		t.Errorf("streaming groups %s\n     batch groups %s", got, want)
+	}
+	accounts := s.Accounts()
+	if len(accounts) == 0 {
+		t.Fatal("no enrolled accounts")
+	}
+	batch, err := BatchVerdicts(st, accounts, nil, DefaultLockstepConfig(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range accounts {
+		v, ok := s.Verdict(u)
+		if !ok {
+			t.Fatalf("user %d enrolled but has no verdict", u)
+		}
+		if v != batch[i] {
+			t.Errorf("user %d: streaming %+v\n        batch %+v", u, v, batch[i])
+		}
+	}
+}
+
+// TestStreamLockstepMatchesBatch is the tentpole equivalence pin: the
+// streaming lockstep groups equal batch Lockstep output byte for byte
+// across worker counts, across kill/restore at mid-stream cut points,
+// and across an out-of-order arrival that forces a sketch resync.
+func TestStreamLockstepMatchesBatch(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			st := streamWorld(t)
+			s := NewStreamScorer(st, StreamScorerConfig{})
+			drain(s, 37)
+			if len(s.LockstepGroups()) == 0 {
+				t.Fatal("stream world produced no lockstep groups")
+			}
+			assertLockstepMatchesBatch(t, st, s, workers)
+		})
+	}
+
+	t.Run("kill-restore", func(t *testing.T) {
+		st := streamWorld(t)
+		uncut := NewStreamScorer(st, StreamScorerConfig{})
+		drain(uncut, 0)
+		for _, cut := range []int{1, 101, 307} {
+			t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+				s := NewStreamScorer(st, StreamScorerConfig{})
+				if s.TickLimit(cut) != cut {
+					t.Fatalf("short stream: could not consume %d events", cut)
+				}
+				blob, err := s.MarshalState()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored, err := RestoreStreamScorer(st, StreamScorerConfig{}, blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drain(restored, 53)
+				assertLockstepMatchesBatch(t, st, restored, 4)
+				if got, want := groupsJSON(t, restored.LockstepGroups()), groupsJSON(t, uncut.LockstepGroups()); got != want {
+					t.Errorf("restored groups %s\nuninterrupted %s", got, want)
+				}
+				for _, u := range uncut.Accounts() {
+					a, _ := uncut.Verdict(u)
+					b, ok := restored.Verdict(u)
+					if !ok || a != b {
+						t.Errorf("user %d: uninterrupted %+v, restored %+v (ok=%v)", u, a, b, ok)
+					}
+				}
+			})
+		}
+	})
+
+	t.Run("out-of-order-resync", func(t *testing.T) {
+		st := socialnet.NewStore()
+		hp1, err := st.AddPage(socialnet.Page{Name: "hp1", Honeypot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp2, err := st.AddPage(socialnet.Page{Name: "hp2", Honeypot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := st.AddUser(socialnet.User{Country: "TR"})
+		b := st.AddUser(socialnet.User{Country: "TR"})
+		c := st.AddUser(socialnet.User{Country: "TR"})
+		for _, like := range []struct {
+			u  socialnet.UserID
+			p  socialnet.PageID
+			at time.Time
+		}{
+			{a, hp1, t0.Add(10*time.Hour + 30*time.Minute)},
+			{b, hp1, t0.Add(10*time.Hour + 31*time.Minute)},
+			{a, hp2, t0.Add(20*time.Hour + 30*time.Minute)},
+			{b, hp2, t0.Add(20*time.Hour + 31*time.Minute)},
+		} {
+			if err := st.AddLike(like.u, like.p, like.at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := NewStreamScorer(st, StreamScorerConfig{})
+		s.Tick()
+
+		// Backfilled likes stamped before the pages' folded frontier —
+		// same 2h bins as a's and b's likes, but delivered after them —
+		// must poison both sketches and resync exactly.
+		if err := st.AddLike(c, hp1, t0.Add(10*time.Hour+10*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AddLike(c, hp2, t0.Add(20*time.Hour+10*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick()
+		if n := len(s.dirtyPages); n != 0 {
+			t.Fatalf("%d pages still dirty after tick", n)
+		}
+		for _, p := range []socialnet.PageID{hp1, hp2} {
+			sk := s.sketches[p]
+			if sk == nil || sk.count != 3 {
+				t.Fatalf("page %d sketch not rebuilt from full prefix: %+v", p, sk)
+			}
+		}
+		groups := s.LockstepGroups()
+		if len(groups) != 1 || len(groups[0].Users) != 3 || len(groups[0].Pages) != 2 {
+			t.Fatalf("groups after resync = %+v, want {a,b,c}x{hp1,hp2}", groups)
+		}
+		v, ok := s.Verdict(c)
+		if !ok || v.Lockstep != (LockstepVerdict{Group: 1, Size: 3, Pages: 2}) {
+			t.Fatalf("c's lockstep verdict = %+v (ok=%v)", v.Lockstep, ok)
+		}
+		assertLockstepMatchesBatch(t, st, s, 1)
+	})
+}
+
+// TestStreamLockstepStateDeterministic extends the sidecar-bytes pin to
+// the sketch state: chunked consumption (which poisons and resyncs
+// pages mid-stream) and one-shot consumption serialize identically.
+func TestStreamLockstepStateDeterministic(t *testing.T) {
+	st := streamWorld(t)
+	a := NewStreamScorer(st, StreamScorerConfig{})
+	b := NewStreamScorer(st, StreamScorerConfig{})
+	drain(a, 19)
+	drain(b, 0)
+	ba, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Fatalf("sketch state bytes differ between chunked and one-shot consumption")
+	}
+}

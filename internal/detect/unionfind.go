@@ -1,0 +1,58 @@
+package detect
+
+import "repro/internal/socialnet"
+
+// unionFind is the one disjoint-set implementation shared by every
+// detector in the package: the streaming scorer's incremental island
+// tracker and the lockstep group builder both partition user IDs. Find
+// is iterative with path halving — no recursion, so adversarially deep
+// parent chains (one huge cluster unioned link by link) cannot blow the
+// stack — and union is by size, keeping trees logarithmic before
+// halving flattens them further.
+type unionFind struct {
+	parent map[socialnet.UserID]socialnet.UserID
+	size   map[socialnet.UserID]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{
+		parent: make(map[socialnet.UserID]socialnet.UserID),
+		size:   make(map[socialnet.UserID]int),
+	}
+}
+
+// add registers u as its own singleton component if unseen.
+func (uf *unionFind) add(u socialnet.UserID) {
+	if _, ok := uf.parent[u]; !ok {
+		uf.parent[u] = u
+		uf.size[u] = 1
+	}
+}
+
+// find returns u's component root, registering u if unseen.
+func (uf *unionFind) find(u socialnet.UserID) socialnet.UserID {
+	uf.add(u)
+	for uf.parent[u] != u {
+		uf.parent[u] = uf.parent[uf.parent[u]] // path halving
+		u = uf.parent[u]
+	}
+	return u
+}
+
+// union merges a's and b's components.
+func (uf *unionFind) union(a, b socialnet.UserID) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// componentSize returns the size of u's component.
+func (uf *unionFind) componentSize(u socialnet.UserID) int {
+	return uf.size[uf.find(u)]
+}

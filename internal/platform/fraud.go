@@ -73,45 +73,63 @@ func FraudSweep(r *rand.Rand, st *socialnet.Store, accounts []socialnet.UserID, 
 // (seed, "sweep", userID), so the outcome is bit-identical for any
 // worker count — including workers == 1, the serial path.
 //
-// It is a thin policy driver over detect.BatchFeatures — the same
-// feature-assembly core the streaming scorer is pinned byte-identical
-// against — adding only what makes it the *platform's* sweep:
-// already-terminated accounts are skipped (not re-examined), and each
-// surviving account flips a score-proportional termination coin.
-// Feature extraction is read-only over the store; terminations are
-// applied in the same serial pass that draws the coins, which matches
-// the serial semantics because an account's features never depend on
-// another account's termination status.
+// It is a thin policy driver over detect.BatchVerdicts — the same
+// composite-verdict core the streaming scorer is pinned byte-identical
+// against — so the batch sweep and a sweep driven off live
+// StreamScorer verdicts (FraudSweepVerdicts) terminate the same
+// accounts. Termination probability depends only on Verdict.Score,
+// which excludes the lockstep dimension, keeping the coin flips pinned
+// across detector generations.
 func FraudSweepSeeded(seed int64, st *socialnet.Store, accounts []socialnet.UserID, cfg FraudSweepConfig, workers int) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	feats, err := detect.BatchFeatures(st, accounts, workers)
+	verdicts, err := detect.BatchVerdicts(st, accounts, nil, detect.DefaultLockstepConfig(), workers)
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(feats))}
-	for _, f := range feats {
-		u, err := st.User(f.User)
+	return FraudSweepVerdicts(seed, st, verdicts, cfg)
+}
+
+// FraudSweepVerdicts applies the platform's termination policy to
+// precomputed detector verdicts, sorted by user ID — the engine-neutral
+// back half of the sweep. FraudSweepSeeded feeds it batch verdicts; the
+// streaming study path (core.TerminationStream) feeds it live
+// StreamScorer verdicts. Already-terminated accounts are skipped (the
+// platform does not re-examine them — status is re-read from the store
+// at decision time, not taken from the verdict snapshot), and each
+// surviving account flips a score-proportional coin from its own
+// split stream, so outcomes are bit-identical across engines, worker
+// counts, and restarts. Terminations are applied in the same serial
+// pass that draws the coins, which matches the serial semantics
+// because an account's verdict never depends on another account's
+// termination status.
+func FraudSweepVerdicts(seed int64, st *socialnet.Store, verdicts []detect.Verdict, cfg FraudSweepConfig) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Scores: make(map[socialnet.UserID]float64, len(verdicts))}
+	for _, v := range verdicts {
+		uid := v.Features.User
+		u, err := st.User(uid)
 		if err != nil {
 			return nil, err
 		}
 		if u.Status == socialnet.StatusTerminated {
 			continue
 		}
-		score := f.Score()
 		res.Examined++
-		res.Scores[f.User] = score
+		res.Scores[uid] = v.Score
 		p := cfg.RandomFloor
-		if score >= cfg.MinScore {
-			p += cfg.BaseRate * score
+		if v.Score >= cfg.MinScore {
+			p += cfg.BaseRate * v.Score
 		}
-		r := stats.SplitRandN(seed, "sweep", int64(f.User))
+		r := stats.SplitRandN(seed, "sweep", int64(uid))
 		if stats.Bernoulli(r, p) {
-			if err := st.Terminate(f.User); err != nil {
+			if err := st.Terminate(uid); err != nil {
 				return nil, err
 			}
-			res.Terminated = append(res.Terminated, f.User)
+			res.Terminated = append(res.Terminated, uid)
 		}
 	}
 	return res, nil

@@ -512,3 +512,36 @@ func (r *Reader) ReplayUser(u UserID, fn func(LikeEvent)) {
 	}
 	sh.mu.RUnlock()
 }
+
+// ReplayPage re-delivers, in canonical (time, user, page) order, the
+// already-consumed events of one page. Unlike a user, whose events all
+// live in one shard, a page's likers are spread across every shard —
+// and bounded ticks drain shards in index order, so a page's events
+// can cross tick boundaries out of time order. ReplayPage is the
+// page-granular resync primitive for consumers that keep per-page
+// state (the streaming lockstep sketches): the delivered sequence is
+// exactly the page's slice of the reader's consumed prefix, sorted, so
+// rebuilding from it matches a batch pass over the same prefix. Events
+// are collected under the shard read locks and delivered after they
+// are released, so fn may call back into the journal.
+func (r *Reader) ReplayPage(p PageID, fn func(LikeEvent)) {
+	var evs []LikeEvent
+	for i := range r.j.shards {
+		sh := &r.j.shards[i]
+		sh.mu.RLock()
+		limit := r.offsets[i]
+		if limit > len(sh.events) {
+			limit = len(sh.events)
+		}
+		for _, ev := range sh.events[:limit] {
+			if ev.Page == p {
+				evs = append(evs, ev)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sortEvents(evs)
+	for _, ev := range evs {
+		fn(ev)
+	}
+}

@@ -421,6 +421,42 @@ func bootstrapFollower(ctx context.Context, dir string, src ReplSource) error {
 	return WriteFileDurable(filepath.Join(dir, manifestFile), data)
 }
 
+// RebootstrapFollower discards a follower directory whose cursor fell
+// below the leader's surviving chain (ErrReplGap) and re-seeds it from
+// the leader's CURRENT snapshot, returning a fresh follower tailing
+// from the new floor. The swap is atomic at the directory level: the
+// new state is fully bootstrapped into dir+".rebootstrap" first, then
+// renamed over dir via a dir→dir+".old" shuffle. The caller must Close
+// the old FollowerStore before calling. Every crash window is safe: a
+// stale leftover dir gaps again on the next Poll and retries here; a
+// missing dir (crash between the two renames) makes the next
+// OpenFollower bootstrap fresh.
+func RebootstrapFollower(ctx context.Context, dir string, src ReplSource, opts FollowerOptions) (*FollowerStore, *OpenStats, error) {
+	tmp := dir + ".rebootstrap"
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, nil, err
+	}
+	if err := bootstrapFollower(ctx, tmp, src); err != nil {
+		os.RemoveAll(tmp)
+		return nil, nil, fmt.Errorf("socialnet: follower re-bootstrap: %w", err)
+	}
+	old := dir + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return nil, nil, err
+	}
+	if err := os.Rename(dir, old); err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return nil, nil, err
+	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		return nil, nil, err
+	}
+	os.RemoveAll(old)
+	return OpenFollower(ctx, dir, src, opts)
+}
+
 // Store returns the follower's live store — the full read surface.
 func (f *FollowerStore) Store() *Store { return f.st }
 

@@ -295,6 +295,71 @@ func TestFollowerGapAfterLeaderCompaction(t *testing.T) {
 	}
 }
 
+// TestRebootstrapFollowerAfterGap drives a follower into ErrReplGap via
+// leader compaction, then re-bootstraps it in place: the directory is
+// atomically replaced with a fresh seed of the leader's current
+// snapshot, the new follower tails cleanly, and no scratch directories
+// survive the swap.
+func TestRebootstrapFollowerAfterGap(t *testing.T) {
+	dir := t.TempDir()
+	opts := WALOptions{SyncInterval: -1, SegmentMaxBytes: 256}
+	leader, users, pages := durableWorld(t, dir, 6, 2, opts)
+	defer leader.Close()
+
+	fdir := filepath.Join(t.TempDir(), "replica")
+	fw := openTestFollower(t, fdir, leader)
+	for i := 0; i < 12; i++ {
+		if err := leader.AddLike(users[i%len(users)], pages[i/len(users)], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		leader.AddUser(User{Country: "USA"})
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Poll(context.Background()); !errors.Is(err, ErrReplGap) {
+		t.Fatalf("poll across a compacted gap: err %v, want ErrReplGap", err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := StoreReplSource{Leader: leader}
+	fw2, _, err := RebootstrapFollower(context.Background(), fdir, src, FollowerOptions{WAL: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw2.Close()
+	if _, err := fw2.Poll(context.Background()); err != nil {
+		t.Fatalf("poll after re-bootstrap: %v", err)
+	}
+	assertReplEqual(t, leader, fw2.Store())
+
+	// New records keep flowing across the new floor.
+	nu := leader.AddUser(User{Country: "USA"})
+	if err := leader.AddLike(nu, pages[0], at(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fw2.Poll(context.Background()); err != nil || n != 2 {
+		t.Fatalf("tail after re-bootstrap applied %d, err %v (want 2)", n, err)
+	}
+	assertReplEqual(t, leader, fw2.Store())
+
+	for _, scratch := range []string{fdir + ".rebootstrap", fdir + ".old"} {
+		if _, err := os.Stat(scratch); !os.IsNotExist(err) {
+			t.Fatalf("scratch dir %s survived the swap (err %v)", scratch, err)
+		}
+	}
+}
+
 // durableMultiWAL builds a durable store in dir whose WAL runs one
 // segment chain per journal shard — the legacy multi-chain layout (a
 // manifest without WALShards falls back to Shards) — so tests can put
